@@ -1,0 +1,372 @@
+//! # surge-baseline
+//!
+//! The aG2 competitor (Amagata & Hara, EDBT 2016), adapted to the SURGE
+//! problem as described in the paper's Appendix J.
+//!
+//! aG2 monitors the continuous MaxRS problem with:
+//! * a coarse grid whose cell size is a multiple of the query rectangle
+//!   (the paper's experiments use `10q`);
+//! * for each cell, a *graph* over the rectangle objects mapped to it, with
+//!   an edge between every overlapping pair — O(n²) space per cell in the
+//!   worst case, which is the paper's main criticism;
+//! * a per-rectangle upper bound (the weight a point inside the rectangle
+//!   could possibly collect) driving a branch-and-bound scan;
+//! * an inner sweep to find the best point inside one rectangle — here
+//!   replaced by SL-CSPOT so the burst score is optimized instead of the
+//!   weight sum (the "modified aG2" of Appendix J).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use surge_core::{
+    object_to_rect, BurstDetector, BurstParams, CellId, DetectorStats, Event, EventKind, GridSpec,
+    ObjectId, Point, RegionAnswer, SurgeQuery, TotalF64, WindowKind,
+};
+use surge_exact::{sl_cspot, SweepRect};
+
+/// Per-rectangle state: geometry, overlap neighbours, bound, cached result.
+#[derive(Debug)]
+struct RectEntry {
+    sweep: SweepRect,
+    /// Coarse cells this rectangle is mapped to.
+    cells: Vec<CellId>,
+    /// Ids of rectangles whose extent overlaps this one (the per-cell graph,
+    /// flattened per rectangle).
+    neighbours: HashSet<ObjectId>,
+    /// Σ current-window weights of `self ∪ neighbours` — unnormalized upper
+    /// bound on the score of any point inside this rectangle.
+    ub_weight: f64,
+    /// Key under which this rectangle sits in the bound-ordered set.
+    key: TotalF64,
+    /// Best point inside this rectangle from the last sweep (None = domain
+    /// empty or never swept while `dirty`).
+    cached: Option<(Point, f64)>,
+    dirty: bool,
+}
+
+/// The adapted aG2 detector.
+#[derive(Debug)]
+pub struct Ag2 {
+    query: SurgeQuery,
+    params: BurstParams,
+    grid: GridSpec,
+    rects: HashMap<ObjectId, RectEntry>,
+    cells: HashMap<CellId, HashSet<ObjectId>>,
+    /// Rectangles ordered by upper bound.
+    ranked: BTreeSet<(TotalF64, ObjectId)>,
+    stats: DetectorStats,
+}
+
+impl Ag2 {
+    /// Creates an aG2 detector with the paper's default coarse-cell factor
+    /// of 10 (cells of `10a × 10b`).
+    pub fn new(query: SurgeQuery) -> Self {
+        Self::with_cell_factor(query, 10.0)
+    }
+
+    /// Creates an aG2 detector with an explicit coarse-cell factor.
+    pub fn with_cell_factor(query: SurgeQuery, factor: f64) -> Self {
+        assert!(factor >= 1.0, "cell factor must be >= 1");
+        Ag2 {
+            params: query.burst_params(),
+            grid: GridSpec::anchored(
+                query.region.width * factor,
+                query.region.height * factor,
+            ),
+            query,
+            rects: HashMap::new(),
+            cells: HashMap::new(),
+            ranked: BTreeSet::new(),
+            stats: DetectorStats::default(),
+        }
+    }
+
+    /// Number of rectangles currently tracked (both windows).
+    pub fn rect_count(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Total number of directed overlap edges — the O(n²) space the paper
+    /// criticizes.
+    pub fn edge_count(&self) -> usize {
+        self.rects.values().map(|r| r.neighbours.len()).sum()
+    }
+
+    fn rekey(&mut self, id: ObjectId) {
+        if let Some(e) = self.rects.get_mut(&id) {
+            let new_key = TotalF64(e.ub_weight / self.params.current_norm);
+            if new_key != e.key {
+                self.ranked.remove(&(e.key, id));
+                self.ranked.insert((new_key, id));
+                e.key = new_key;
+            }
+        }
+    }
+
+    fn handle_new(&mut self, id: ObjectId, sweep: SweepRect) {
+        let cells = self.grid.cells_overlapping(&sweep.rect);
+        // Candidate neighbours: all members of the overlapped coarse cells.
+        let mut neighbours: HashSet<ObjectId> = HashSet::new();
+        for c in &cells {
+            if let Some(members) = self.cells.get(c) {
+                for &m in members {
+                    if m != id {
+                        neighbours.insert(m);
+                    }
+                }
+            }
+        }
+        neighbours.retain(|m| {
+            self.rects
+                .get(m)
+                .is_some_and(|e| e.sweep.rect.intersects(&sweep.rect))
+        });
+
+        let mut ub_weight = sweep.weight; // self is in the current window
+        for &m in &neighbours {
+            let other = self.rects.get_mut(&m).expect("neighbour exists");
+            if other.sweep.kind == WindowKind::Current {
+                ub_weight += other.sweep.weight;
+            }
+            other.neighbours.insert(id);
+            other.ub_weight += sweep.weight;
+            other.dirty = true;
+        }
+        let nbr_ids: Vec<ObjectId> = neighbours.iter().copied().collect();
+        for c in &cells {
+            self.cells.entry(*c).or_default().insert(id);
+        }
+        let key = TotalF64(ub_weight / self.params.current_norm);
+        self.rects.insert(
+            id,
+            RectEntry {
+                sweep,
+                cells,
+                neighbours,
+                ub_weight,
+                key,
+                cached: None,
+                dirty: true,
+            },
+        );
+        self.ranked.insert((key, id));
+        for m in nbr_ids {
+            self.rekey(m);
+        }
+    }
+
+    fn handle_grown(&mut self, id: ObjectId) {
+        let Some(e) = self.rects.get_mut(&id) else { return };
+        let w = e.sweep.weight;
+        e.sweep.kind = WindowKind::Past;
+        e.ub_weight -= w; // self no longer counts toward current weight
+        e.dirty = true;
+        let nbrs: Vec<ObjectId> = e.neighbours.iter().copied().collect();
+        self.rekey(id);
+        for m in nbrs {
+            if let Some(o) = self.rects.get_mut(&m) {
+                o.ub_weight -= w;
+                o.dirty = true;
+            }
+            self.rekey(m);
+        }
+    }
+
+    fn handle_expired(&mut self, id: ObjectId) {
+        let Some(e) = self.rects.remove(&id) else { return };
+        self.ranked.remove(&(e.key, id));
+        for c in &e.cells {
+            if let Some(members) = self.cells.get_mut(c) {
+                members.remove(&id);
+                if members.is_empty() {
+                    self.cells.remove(c);
+                }
+            }
+        }
+        for m in e.neighbours {
+            if let Some(o) = self.rects.get_mut(&m) {
+                o.neighbours.remove(&id);
+                // Removing a past rectangle can only raise scores in the
+                // overlap area; the bound is unchanged but caches are stale.
+                o.dirty = true;
+            }
+        }
+    }
+
+    fn sweep_rect(&mut self, id: ObjectId) {
+        self.stats.searches += 1;
+        let Some(domain_full) = self.query.point_domain() else {
+            if let Some(e) = self.rects.get_mut(&id) {
+                e.cached = None;
+                e.dirty = false;
+            }
+            return;
+        };
+        let swept = {
+            let e = self.rects.get(&id).expect("rect exists");
+            match e.sweep.rect.intersection(&domain_full) {
+                None => None,
+                Some(area) => {
+                    // Deterministic sweep input (ties break by order).
+                    let mut nbrs: Vec<ObjectId> = e.neighbours.iter().copied().collect();
+                    nbrs.sort_unstable();
+                    let mut rects: Vec<SweepRect> = Vec::with_capacity(nbrs.len() + 1);
+                    rects.push(e.sweep);
+                    for m in &nbrs {
+                        rects.push(self.rects.get(m).expect("neighbour exists").sweep);
+                    }
+                    sl_cspot(&rects, &area, &self.params).map(|r| (r.point, r.score))
+                }
+            }
+        };
+        let e = self.rects.get_mut(&id).expect("rect exists");
+        e.cached = swept;
+        e.dirty = false;
+    }
+}
+
+impl BurstDetector for Ag2 {
+    fn on_event(&mut self, event: &Event) {
+        self.stats.events += 1;
+        if event.kind == EventKind::New {
+            self.stats.new_events += 1;
+        }
+        if !self.query.accepts(event.object.pos) {
+            return;
+        }
+        match event.kind {
+            EventKind::New => {
+                let g = object_to_rect(&event.object, self.query.region);
+                self.handle_new(
+                    event.object.id,
+                    SweepRect {
+                        rect: g.rect,
+                        weight: g.weight,
+                        kind: WindowKind::Current,
+                    },
+                );
+            }
+            EventKind::Grown => self.handle_grown(event.object.id),
+            EventKind::Expired => self.handle_expired(event.object.id),
+        }
+    }
+
+    fn current(&mut self) -> Option<RegionAnswer> {
+        let searches_before = self.stats.searches;
+        let mut best: Option<(f64, Point)> = None;
+        let mut cursor: Option<(TotalF64, ObjectId)> = None;
+        loop {
+            let entry = match cursor {
+                None => self.ranked.iter().next_back().copied(),
+                Some(c) => self.ranked.range(..c).next_back().copied(),
+            };
+            let Some((key, id)) = entry else { break };
+            if let Some((bs, _)) = best {
+                if key.get() <= bs {
+                    break;
+                }
+            }
+            let dirty = self.rects.get(&id).is_some_and(|e| e.dirty);
+            if dirty {
+                self.sweep_rect(id);
+            }
+            if let Some(e) = self.rects.get(&id) {
+                if let Some((p, s)) = e.cached {
+                    if best.map_or(true, |(bs, _)| s > bs) {
+                        best = Some((s, p));
+                    }
+                }
+            }
+            cursor = Some((key, id));
+        }
+        if self.stats.searches > searches_before {
+            self.stats.events_triggering_search += 1;
+        }
+        best.map(|(s, p)| RegionAnswer::from_point(p, self.query.region, s))
+    }
+
+    fn name(&self) -> &'static str {
+        "aG2"
+    }
+
+    fn stats(&self) -> DetectorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surge_core::{RegionSize, SpatialObject, WindowConfig};
+
+    fn query(alpha: f64) -> SurgeQuery {
+        SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), WindowConfig::equal(1_000), alpha)
+    }
+
+    fn obj(id: u64, w: f64, x: f64, y: f64, t: u64) -> SpatialObject {
+        SpatialObject::new(id, w, Point::new(x, y), t)
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        assert!(Ag2::new(query(0.5)).current().is_none());
+    }
+
+    #[test]
+    fn detects_cluster() {
+        let mut d = Ag2::new(query(0.0));
+        d.on_event(&Event::new_arrival(obj(0, 1.0, 0.0, 0.0, 0)));
+        d.on_event(&Event::new_arrival(obj(1, 2.0, 0.4, 0.4, 0)));
+        d.on_event(&Event::new_arrival(obj(2, 4.0, 40.0, 40.0, 0)));
+        let ans = d.current().unwrap();
+        assert!((ans.score - 4.0 / 1_000.0).abs() < 1e-12);
+        // raising the cluster over the singleton flips the answer
+        d.on_event(&Event::new_arrival(obj(3, 2.0, 0.2, 0.2, 10)));
+        let ans = d.current().unwrap();
+        assert!((ans.score - 5.0 / 1_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_graph_tracks_edges() {
+        let mut d = Ag2::new(query(0.5));
+        d.on_event(&Event::new_arrival(obj(0, 1.0, 0.0, 0.0, 0)));
+        assert_eq!(d.edge_count(), 0);
+        d.on_event(&Event::new_arrival(obj(1, 1.0, 0.5, 0.5, 0)));
+        assert_eq!(d.edge_count(), 2); // one undirected edge, both directions
+        d.on_event(&Event::new_arrival(obj(2, 1.0, 30.0, 30.0, 0)));
+        assert_eq!(d.edge_count(), 2);
+    }
+
+    #[test]
+    fn lifecycle_cleans_state() {
+        let mut d = Ag2::new(query(0.5));
+        let a = obj(0, 1.0, 0.0, 0.0, 0);
+        let b = obj(1, 1.0, 0.5, 0.5, 0);
+        d.on_event(&Event::new_arrival(a));
+        d.on_event(&Event::new_arrival(b));
+        d.on_event(&Event::grown(a, 1_000));
+        d.on_event(&Event::grown(b, 1_000));
+        d.on_event(&Event::expired(a, 2_000));
+        d.on_event(&Event::expired(b, 2_000));
+        assert_eq!(d.rect_count(), 0);
+        assert_eq!(d.edge_count(), 0);
+        assert!(d.current().is_none());
+    }
+
+    #[test]
+    fn grown_neighbour_lowers_score() {
+        let mut d = Ag2::new(query(0.5));
+        let a = obj(0, 2.0, 0.0, 0.0, 0);
+        let b = obj(1, 3.0, 0.3, 0.3, 0);
+        d.on_event(&Event::new_arrival(a));
+        d.on_event(&Event::new_arrival(b));
+        let s1 = d.current().unwrap().score;
+        assert!((s1 - 5.0 / 1_000.0).abs() < 1e-12);
+        d.on_event(&Event::grown(a, 1_000));
+        // Best point now covers only b: fc=3, fp=0 -> 0.5*3 + 0.5*3 = 3/1000.
+        let s2 = d.current().unwrap().score;
+        assert!((s2 - 3.0 / 1_000.0).abs() < 1e-12, "got {s2}");
+    }
+}

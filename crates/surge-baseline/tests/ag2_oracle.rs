@@ -1,0 +1,87 @@
+//! aG2 must be exact for the SURGE problem (it is a slower exact method, not
+//! an approximation): verify score equality with the snapshot oracle after
+//! every event of random streams.
+
+use proptest::prelude::*;
+
+use surge_baseline::Ag2;
+use surge_core::{BurstDetector, Point, RegionSize, SpatialObject, SurgeQuery, WindowConfig};
+use surge_exact::snapshot_bursty_region;
+use surge_stream::SlidingWindowEngine;
+
+fn object_stream(max_len: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
+    prop::collection::vec((0u64..20, 0u64..20, 1u64..5, 0u64..40), 1..max_len).prop_map(|raw| {
+        let mut t = 0u64;
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, dt))| {
+                t += dt;
+                SpatialObject::new(
+                    i as u64,
+                    w as f64,
+                    Point::new(x as f64 / 10.0, y as f64 / 10.0),
+                    t,
+                )
+            })
+            .collect()
+    })
+}
+
+fn check(objects: &[SpatialObject], alpha: f64, factor: f64) {
+    let query =
+        SurgeQuery::whole_space(RegionSize::new(0.5, 0.5), WindowConfig::equal(100), alpha);
+    let mut engine = SlidingWindowEngine::new(query.windows);
+    let mut det = Ag2::with_cell_factor(query, factor);
+    for (step, obj) in objects.iter().enumerate() {
+        for ev in engine.push(*obj) {
+            det.on_event(&ev);
+        }
+        let current: Vec<SpatialObject> = engine.current_objects().copied().collect();
+        let past: Vec<SpatialObject> = engine.past_objects().copied().collect();
+        let oracle = snapshot_bursty_region(&current, &past, &query);
+        let got = det.current();
+        match (&oracle, &got) {
+            (Some(o), Some(g)) => {
+                let scale = o.score.abs().max(1e-12);
+                assert!(
+                    (o.score - g.score).abs() <= 1e-9 * scale,
+                    "step {step}: oracle {} vs aG2 {}",
+                    o.score,
+                    g.score
+                );
+            }
+            (None, None) => {}
+            (None, Some(g)) => assert!(g.score.abs() <= 1e-12),
+            (Some(o), None) => assert!(o.score.abs() <= 1e-12),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ag2_matches_oracle(objects in object_stream(40), alpha in 0.0f64..0.95) {
+        check(&objects, alpha, 10.0);
+    }
+
+    #[test]
+    fn ag2_matches_oracle_small_cells(objects in object_stream(30), alpha in 0.0f64..0.95) {
+        check(&objects, alpha, 2.0);
+    }
+}
+
+#[test]
+fn ag2_alignment_heavy_regression() {
+    let objects: Vec<SpatialObject> = (0..30)
+        .map(|i| {
+            SpatialObject::new(
+                i,
+                1.0 + (i % 3) as f64,
+                Point::new((i % 4) as f64 * 0.5, (i % 3) as f64 * 0.5),
+                i * 25,
+            )
+        })
+        .collect();
+    check(&objects, 0.5, 10.0);
+}

@@ -1,0 +1,54 @@
+//! Criterion bench for Fig. 6: approximate-solution runtime (GAPS, MGAPS)
+//! across window lengths and rectangle sizes on the Taxi model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use surge_bench::experiments::{run_algo, Algo, DEFAULT_ALPHA};
+use surge_core::WindowConfig;
+use surge_stream::Dataset;
+
+const OBJECTS: usize = 20_000;
+const SEED: u64 = 42;
+
+fn bench_window_axis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_window");
+    g.sample_size(10);
+    for minutes in [1u64, 5, 10] {
+        let windows = WindowConfig::equal_minutes(minutes);
+        for algo in Algo::APPROX_SET {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{minutes}min")),
+                &windows,
+                |b, &w| {
+                    b.iter(|| {
+                        run_algo(algo, Dataset::Taxi, w, 1.0, DEFAULT_ALPHA, OBJECTS, SEED)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_rect_axis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_rect");
+    g.sample_size(10);
+    let windows = WindowConfig::equal_minutes(5);
+    for scale in [0.5f64, 1.0, 2.0, 3.0] {
+        for algo in Algo::APPROX_SET {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{scale}q")),
+                &scale,
+                |b, &s| {
+                    b.iter(|| {
+                        run_algo(algo, Dataset::Taxi, windows, s, DEFAULT_ALPHA, OBJECTS, SEED)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_window_axis, bench_rect_axis);
+criterion_main!(benches);

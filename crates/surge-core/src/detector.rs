@@ -1,0 +1,96 @@
+//! Detector traits implemented by every SURGE algorithm.
+
+use crate::event::Event;
+use crate::query::RegionAnswer;
+
+/// Counters exposed by detectors for the paper's instrumentation (Table II
+/// reports the fraction of rectangle events that trigger a cell search).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectorStats {
+    /// Number of events processed.
+    pub events: u64,
+    /// Number of `New` events processed (rectangle messages in Table II).
+    pub new_events: u64,
+    /// Number of times an inner exhaustive search (SL-CSPOT or equivalent)
+    /// was invoked.
+    pub searches: u64,
+    /// Number of events whose processing invoked at least one inner search.
+    pub events_triggering_search: u64,
+}
+
+impl DetectorStats {
+    /// Fraction of events that triggered at least one search, in `[0, 1]`.
+    pub fn trigger_ratio(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.events_triggering_search as f64 / self.events as f64
+        }
+    }
+}
+
+/// A continuous single-region bursty detector.
+///
+/// Implementations ingest the shared `New`/`Grown`/`Expired` event stream and
+/// can report the current bursty region at any time. `current` is expected to
+/// be cheap relative to `on_event` for the exact detectors (the answer is
+/// maintained incrementally), and O(log n) for the heap-backed approximate
+/// detectors.
+pub trait BurstDetector {
+    /// Processes one window-transition event.
+    fn on_event(&mut self, event: &Event);
+
+    /// The current bursty region, or `None` when both windows are empty of
+    /// in-area objects.
+    fn current(&mut self) -> Option<RegionAnswer>;
+
+    /// A short human-readable algorithm name (e.g. `"CCS"`).
+    fn name(&self) -> &'static str;
+
+    /// Instrumentation counters.
+    fn stats(&self) -> DetectorStats {
+        DetectorStats::default()
+    }
+}
+
+/// A continuous top-k bursty-region detector (paper §VI).
+pub trait TopKDetector {
+    /// Processes one window-transition event.
+    fn on_event(&mut self, event: &Event);
+
+    /// The current top-k bursty regions, best first. May return fewer than
+    /// `k` answers when the windows hold fewer occupied regions.
+    fn current_topk(&mut self) -> Vec<RegionAnswer>;
+
+    /// The configured `k`.
+    fn k(&self) -> usize;
+
+    /// A short human-readable algorithm name (e.g. `"kCCS"`).
+    fn name(&self) -> &'static str;
+
+    /// Instrumentation counters.
+    fn stats(&self) -> DetectorStats {
+        DetectorStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_ratio_empty_is_zero() {
+        assert_eq!(DetectorStats::default().trigger_ratio(), 0.0);
+    }
+
+    #[test]
+    fn trigger_ratio_counts_events() {
+        let s = DetectorStats {
+            events: 200,
+            new_events: 100,
+            searches: 30,
+            events_triggering_search: 10,
+        };
+        assert!((s.trigger_ratio() - 0.05).abs() < 1e-12);
+    }
+}

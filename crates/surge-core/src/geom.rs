@@ -1,0 +1,236 @@
+//! Planar geometry primitives.
+//!
+//! All SURGE algorithms work in a flat 2-D coordinate space. Geographic
+//! coordinates (longitude = x, latitude = y) are used directly; the paper's
+//! region sizes are small enough that planar treatment is faithful.
+
+/// A point in the plane. `x` is longitude-like, `y` latitude-like.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a new point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+}
+
+/// An axis-aligned closed rectangle `[x0, x1] × [y0, y1]`.
+///
+/// Rectangles are *closed*: boundary points are contained. This matters for
+/// the SURGE→cSPOT reduction, where a region of size `a×b` whose top-right
+/// corner sits exactly on the edge of a generated rectangle object still
+/// encloses the originating spatial object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f64,
+    /// Bottom edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the rectangle is inverted (`x1 < x0` or
+    /// `y1 < y0`).
+    #[inline]
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        debug_assert!(x0 <= x1, "inverted rect: x0={x0} > x1={x1}");
+        debug_assert!(y0 <= y1, "inverted rect: y0={y0} > y1={y1}");
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// Creates a rectangle from its bottom-left corner and a size.
+    #[inline]
+    pub fn from_corner_size(corner: Point, width: f64, height: f64) -> Self {
+        Rect::new(corner.x, corner.y, corner.x + width, corner.y + height)
+    }
+
+    /// The width `x1 − x0`.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// The height `y1 − y0`.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// The area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// The center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// Whether the closed rectangle contains `p` (boundary inclusive).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.x0 <= p.x && p.x <= self.x1 && self.y0 <= p.y && p.y <= self.y1
+    }
+
+    /// Whether two closed rectangles intersect (shared boundary counts).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// Whether the *interiors* of two rectangles intersect (shared boundary
+    /// alone does not count). Used by top-k non-overlap selection.
+    #[inline]
+    pub fn interior_intersects(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// The intersection of two closed rectangles, or `None` if disjoint.
+    ///
+    /// A degenerate (zero width/height) intersection is still returned,
+    /// because closed rectangles sharing only an edge have common points.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let x0 = self.x0.max(other.x0);
+        let y0 = self.y0.max(other.y0);
+        let x1 = self.x1.min(other.x1);
+        let y1 = self.y1.min(other.y1);
+        if x0 <= x1 && y0 <= y1 {
+            Some(Rect { x0, y0, x1, y1 })
+        } else {
+            None
+        }
+    }
+
+    /// The smallest rectangle containing both `self` and `other`.
+    #[inline]
+    pub fn union_bbox(&self, other: &Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Whether `other` lies entirely within `self` (boundary inclusive).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x0 <= other.x0 && other.x1 <= self.x1 && self.y0 <= other.y0 && other.y1 <= self.y1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_roundtrip() {
+        let p = Point::new(1.5, -2.25);
+        assert_eq!(p.x, 1.5);
+        assert_eq!(p.y, -2.25);
+    }
+
+    #[test]
+    fn rect_dimensions() {
+        let r = Rect::new(0.0, 1.0, 4.0, 3.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 2.0);
+        assert_eq!(r.area(), 8.0);
+        assert_eq!(r.center(), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn rect_from_corner_size() {
+        let r = Rect::from_corner_size(Point::new(1.0, 2.0), 3.0, 4.0);
+        assert_eq!(r, Rect::new(1.0, 2.0, 4.0, 6.0));
+    }
+
+    #[test]
+    fn contains_is_boundary_inclusive() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(r.contains(Point::new(0.5, 1.0)));
+        assert!(!r.contains(Point::new(1.0 + 1e-12, 0.5)));
+        assert!(!r.contains(Point::new(0.5, -1e-12)));
+    }
+
+    #[test]
+    fn intersects_shared_edge_counts() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert!(!a.interior_intersects(&b));
+        let c = Rect::new(1.0 + 1e-9, 0.0, 2.0, 1.0);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn interior_intersects_requires_area_overlap() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 3.0, 3.0);
+        assert!(a.interior_intersects(&b));
+        let corner_touch = Rect::new(2.0, 2.0, 3.0, 3.0);
+        assert!(a.intersects(&corner_touch));
+        assert!(!a.interior_intersects(&corner_touch));
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.intersection(&b), Some(Rect::new(1.0, 1.0, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn intersection_degenerate_edge() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 0.25, 2.0, 0.75);
+        let i = a.intersection(&b).expect("edge touch intersects");
+        assert_eq!(i.width(), 0.0);
+        assert_eq!(i, Rect::new(1.0, 0.25, 1.0, 0.75));
+    }
+
+    #[test]
+    fn intersection_disjoint() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(5.0, 5.0, 6.0, 6.0);
+        assert_eq!(a.intersection(&b), None);
+    }
+
+    #[test]
+    fn union_bbox_covers_both() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(5.0, -1.0, 6.0, 0.5);
+        let u = a.union_bbox(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, Rect::new(0.0, -1.0, 6.0, 1.0));
+    }
+
+    #[test]
+    fn contains_rect_inclusive() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(outer.contains_rect(&Rect::new(0.0, 0.0, 10.0, 10.0)));
+        assert!(outer.contains_rect(&Rect::new(2.0, 2.0, 3.0, 3.0)));
+        assert!(!outer.contains_rect(&Rect::new(-0.1, 0.0, 1.0, 1.0)));
+    }
+}

@@ -1,0 +1,211 @@
+//! The cell grid shared by the exact and approximate solutions.
+//!
+//! Paper Definition 6: the grid is the set of lines `x = i·a`, `y = i·b`
+//! (cell size = query-rectangle size), so that any query-sized rectangle
+//! overlaps at most four cells (Lemma 1). The approximate MGAP-SURGE solution
+//! uses four copies of this grid shifted by half a cell in x and/or y
+//! (paper §V-B), which [`GridSpec`] supports via an origin offset.
+
+use crate::geom::{Point, Rect};
+
+/// Integer coordinates of a grid cell: `(column, row)`.
+pub type CellId = (i64, i64);
+
+/// A uniform grid over the plane with a configurable origin offset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSpec {
+    /// x-coordinate of the grid origin (a vertical grid line).
+    pub origin_x: f64,
+    /// y-coordinate of the grid origin (a horizontal grid line).
+    pub origin_y: f64,
+    /// Cell width (the query rectangle's width).
+    pub cell_w: f64,
+    /// Cell height (the query rectangle's height).
+    pub cell_h: f64,
+}
+
+impl GridSpec {
+    /// Grid with cells of `cell_w × cell_h` anchored at the coordinate origin
+    /// (the paper's Grid 1).
+    pub fn anchored(cell_w: f64, cell_h: f64) -> Self {
+        Self::with_origin(0.0, 0.0, cell_w, cell_h)
+    }
+
+    /// Grid with an explicit origin offset (the paper's shifted Grids 2–4).
+    pub fn with_origin(origin_x: f64, origin_y: f64, cell_w: f64, cell_h: f64) -> Self {
+        assert!(
+            cell_w > 0.0 && cell_w.is_finite(),
+            "cell width must be positive and finite"
+        );
+        assert!(
+            cell_h > 0.0 && cell_h.is_finite(),
+            "cell height must be positive and finite"
+        );
+        GridSpec {
+            origin_x,
+            origin_y,
+            cell_w,
+            cell_h,
+        }
+    }
+
+    /// The four shifted grids of MGAP-SURGE for a query-sized cell: offsets
+    /// `(0,0)`, `(w/2,0)`, `(0,h/2)`, `(w/2,h/2)`.
+    pub fn mgap_grids(cell_w: f64, cell_h: f64) -> [GridSpec; 4] {
+        [
+            GridSpec::with_origin(0.0, 0.0, cell_w, cell_h),
+            GridSpec::with_origin(cell_w / 2.0, 0.0, cell_w, cell_h),
+            GridSpec::with_origin(0.0, cell_h / 2.0, cell_w, cell_h),
+            GridSpec::with_origin(cell_w / 2.0, cell_h / 2.0, cell_w, cell_h),
+        ]
+    }
+
+    /// The cell containing point `p`. Points exactly on a grid line belong to
+    /// the cell to the right/above (half-open cells `[i·w, (i+1)·w)`).
+    #[inline]
+    pub fn cell_of(&self, p: Point) -> CellId {
+        (
+            ((p.x - self.origin_x) / self.cell_w).floor() as i64,
+            ((p.y - self.origin_y) / self.cell_h).floor() as i64,
+        )
+    }
+
+    /// The closed rectangle spanned by cell `(i, j)`.
+    #[inline]
+    pub fn cell_rect(&self, cell: CellId) -> Rect {
+        let x0 = self.origin_x + cell.0 as f64 * self.cell_w;
+        let y0 = self.origin_y + cell.1 as f64 * self.cell_h;
+        Rect::new(x0, y0, x0 + self.cell_w, y0 + self.cell_h)
+    }
+
+    /// All cells whose **closed** extent intersects the closed rectangle `r`
+    /// (shared boundary counts).
+    ///
+    /// The exact detectors rely on this invariant: for any point `p` inside a
+    /// cell's closed extent, *every* rectangle covering `p` intersects that
+    /// cell's closed extent and is therefore in the cell's rectangle list —
+    /// cell-local sweeps compute true burst scores even for points on cell
+    /// boundaries. For a query-sized rectangle in generic position this
+    /// yields at most four cells (Lemma 1); edge-aligned rectangles can touch
+    /// up to nine.
+    pub fn cells_overlapping(&self, r: &Rect) -> Vec<CellId> {
+        // Cell i spans [i·w, (i+1)·w]; it intersects [x0, x1] iff
+        // i ≥ x0/w − 1 and i ≤ x1/w (in grid-relative coordinates).
+        let i0 = ((r.x0 - self.origin_x) / self.cell_w - 1.0).ceil() as i64;
+        let i1 = ((r.x1 - self.origin_x) / self.cell_w).floor() as i64;
+        let j0 = ((r.y0 - self.origin_y) / self.cell_h - 1.0).ceil() as i64;
+        let j1 = ((r.y1 - self.origin_y) / self.cell_h).floor() as i64;
+        let mut out = Vec::with_capacity(((i1 - i0 + 1) * (j1 - j0 + 1)) as usize);
+        for i in i0..=i1 {
+            for j in j0..=j1 {
+                out.push((i, j));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_of_basic() {
+        let g = GridSpec::anchored(2.0, 3.0);
+        assert_eq!(g.cell_of(Point::new(0.5, 0.5)), (0, 0));
+        assert_eq!(g.cell_of(Point::new(2.0, 3.0)), (1, 1));
+        assert_eq!(g.cell_of(Point::new(-0.1, -0.1)), (-1, -1));
+    }
+
+    #[test]
+    fn cell_of_respects_origin_offset() {
+        let g = GridSpec::with_origin(1.0, 1.5, 2.0, 3.0);
+        assert_eq!(g.cell_of(Point::new(1.0, 1.5)), (0, 0));
+        assert_eq!(g.cell_of(Point::new(0.9, 1.5)), (-1, 0));
+    }
+
+    #[test]
+    fn cell_rect_roundtrip() {
+        let g = GridSpec::anchored(2.0, 3.0);
+        let r = g.cell_rect((1, -1));
+        assert_eq!(r, Rect::new(2.0, -3.0, 4.0, 0.0));
+        // interior points map back
+        assert_eq!(g.cell_of(r.center()), (1, -1));
+    }
+
+    #[test]
+    fn lemma1_query_rect_overlaps_at_most_four_cells_generic_position() {
+        let g = GridSpec::anchored(2.0, 3.0);
+        // A 2x3 rect in generic position (corners strictly inside cells).
+        let r = Rect::from_corner_size(Point::new(0.7, 0.4), 2.0, 3.0);
+        let cells = g.cells_overlapping(&r);
+        assert_eq!(cells.len(), 4);
+    }
+
+    #[test]
+    fn aligned_rect_touches_nine_cells() {
+        let g = GridSpec::anchored(2.0, 3.0);
+        // Exactly one cell's extent: closed semantics include all eight
+        // boundary-touching neighbours, so boundary points are scored with
+        // their full covering set in every cell that can see them.
+        let r = Rect::new(2.0, 3.0, 4.0, 6.0);
+        let cells = g.cells_overlapping(&r);
+        assert_eq!(cells.len(), 9);
+        for i in 0..=2 {
+            for j in 0..=2 {
+                assert!(cells.contains(&(i, j)), "missing ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_intersection_invariant_holds() {
+        // For any point p in a cell's closed rect, every rectangle containing
+        // p must be assigned to that cell.
+        let g = GridSpec::with_origin(0.5, -0.25, 1.25, 0.75);
+        let rects = [
+            Rect::new(0.5, 0.5, 1.75, 1.25),    // edges on grid lines
+            Rect::new(0.6, 0.4, 1.1, 0.9),      // generic position
+            Rect::new(-1.0, -1.0, 4.0, 3.0),    // large
+        ];
+        for r in &rects {
+            let cells = g.cells_overlapping(r);
+            // sample points of r, including all corners
+            for &(fx, fy) in &[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0), (0.5, 0.5)] {
+                let p = Point::new(r.x0 + fx * r.width(), r.y0 + fy * r.height());
+                // every cell whose closed rect contains p must be in `cells`
+                let owner = g.cell_of(p);
+                for di in -1..=1i64 {
+                    for dj in -1..=1i64 {
+                        let c = (owner.0 + di, owner.1 + dj);
+                        if g.cell_rect(c).contains(p) {
+                            assert!(cells.contains(&c), "rect {r:?} misses cell {c:?} for point {p:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mgap_grids_are_half_shifted() {
+        let gs = GridSpec::mgap_grids(2.0, 4.0);
+        assert_eq!(gs[0].origin_x, 0.0);
+        assert_eq!(gs[1].origin_x, 1.0);
+        assert_eq!(gs[2].origin_y, 2.0);
+        assert_eq!(gs[3].origin_x, 1.0);
+        assert_eq!(gs[3].origin_y, 2.0);
+    }
+
+    #[test]
+    fn overlap_cells_cover_every_contained_point() {
+        let g = GridSpec::with_origin(0.25, -0.5, 1.5, 1.0);
+        let r = Rect::new(-1.0, -1.0, 2.0, 2.0);
+        let cells = g.cells_overlapping(&r);
+        // sample points inside r must be inside one of the returned cells
+        for &(px, py) in &[(-1.0, -1.0), (0.0, 0.0), (1.99, 1.99), (2.0, 2.0)] {
+            let c = g.cell_of(Point::new(px, py));
+            assert!(cells.contains(&c), "missing cell {c:?} for ({px},{py})");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Totally-ordered `f64` wrapper for priority structures.
+
+use std::cmp::Ordering;
+
+/// An `f64` with a total order (via [`f64::total_cmp`]), usable as a
+/// `BTreeSet`/`BTreeMap` key.
+///
+/// Detectors keep cells in `BTreeSet<(TotalF64, CellId)>` ordered by upper
+/// bound or burst score; re-prioritizing a cell is a `remove` + `insert` with
+/// the *stored* key, which avoids both stale-entry growth (lazy heaps) and
+/// float-recomputation mismatches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TotalF64(pub f64);
+
+impl TotalF64 {
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for TotalF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        TotalF64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn orders_like_f64() {
+        let mut s = BTreeSet::new();
+        s.insert(TotalF64(3.0));
+        s.insert(TotalF64(-1.0));
+        s.insert(TotalF64(2.5));
+        let v: Vec<f64> = s.iter().map(|t| t.0).collect();
+        assert_eq!(v, vec![-1.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn handles_infinity() {
+        let mut s = BTreeSet::new();
+        s.insert(TotalF64(f64::INFINITY));
+        s.insert(TotalF64(0.0));
+        assert_eq!(s.iter().next_back().unwrap().0, f64::INFINITY);
+    }
+
+    #[test]
+    fn exact_removal_with_stored_key() {
+        let mut s = BTreeSet::new();
+        let key = TotalF64(0.1 + 0.2); // not representable as 0.3
+        s.insert((key, 7u64));
+        assert!(s.remove(&(key, 7u64)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn zero_signs_are_distinct_but_ordered() {
+        // total_cmp puts -0.0 < +0.0; both stay retrievable.
+        let mut s = BTreeSet::new();
+        s.insert(TotalF64(-0.0));
+        s.insert(TotalF64(0.0));
+        assert_eq!(s.len(), 2);
+    }
+}

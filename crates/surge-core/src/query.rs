@@ -1,0 +1,239 @@
+//! The continuous SURGE query `q = ⟨A, a×b, |W|⟩` and detector answers.
+
+use crate::geom::{Point, Rect};
+use crate::score::BurstParams;
+use crate::time::WindowConfig;
+
+/// The size `a × b` of the query rectangle.
+///
+/// The paper writes `a × b` without fixing which side is horizontal; here
+/// `width` is the x-extent and `height` the y-extent, removing the ambiguity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionSize {
+    /// Horizontal extent of the query rectangle.
+    pub width: f64,
+    /// Vertical extent of the query rectangle.
+    pub height: f64,
+}
+
+impl RegionSize {
+    /// Creates a region size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is not strictly positive and finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "region width must be positive and finite"
+        );
+        assert!(
+            height > 0.0 && height.is_finite(),
+            "region height must be positive and finite"
+        );
+        RegionSize { width, height }
+    }
+
+    /// Scales both extents by `factor` (used for the paper's 0.5q–3q sweeps).
+    pub fn scaled(&self, factor: f64) -> Self {
+        RegionSize::new(self.width * factor, self.height * factor)
+    }
+}
+
+/// A continuous bursty-region query (paper Definition 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurgeQuery {
+    /// The preferred area `A`; objects outside it are ignored.
+    pub area: Rect,
+    /// The query rectangle size `a × b`.
+    pub region: RegionSize,
+    /// The sliding-window configuration `|W|`.
+    pub windows: WindowConfig,
+    /// The burst-score balance parameter `α ∈ [0, 1)`.
+    pub alpha: f64,
+}
+
+impl SurgeQuery {
+    /// Creates a query; validates `α`.
+    pub fn new(area: Rect, region: RegionSize, windows: WindowConfig, alpha: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&alpha),
+            "alpha must be in [0, 1), got {alpha}"
+        );
+        SurgeQuery {
+            area,
+            region,
+            windows,
+            alpha,
+        }
+    }
+
+    /// A query over the whole plane (no preferred-area restriction), the
+    /// paper's default setting.
+    pub fn whole_space(region: RegionSize, windows: WindowConfig, alpha: f64) -> Self {
+        Self::new(
+            Rect::new(
+                f64::NEG_INFINITY,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                f64::INFINITY,
+            ),
+            region,
+            windows,
+            alpha,
+        )
+    }
+
+    /// The burst-score parameters induced by this query.
+    #[inline]
+    pub fn burst_params(&self) -> BurstParams {
+        BurstParams::new(self.alpha, self.windows)
+    }
+
+    /// The domain of feasible bursty points: `p` is feasible iff the region
+    /// with top-right corner `p` lies entirely inside the preferred area.
+    /// `None` when the area is narrower than the query rectangle.
+    pub fn point_domain(&self) -> Option<Rect> {
+        let x0 = self.area.x0 + self.region.width;
+        let y0 = self.area.y0 + self.region.height;
+        if x0 <= self.area.x1 && y0 <= self.area.y1 {
+            Some(Rect::new(x0, y0, self.area.x1, self.area.y1))
+        } else {
+            None
+        }
+    }
+
+    /// Whether a location is inside the preferred area.
+    #[inline]
+    pub fn accepts(&self, p: Point) -> bool {
+        self.area.contains(p)
+    }
+}
+
+/// A detector's answer: the reported bursty region, the cSPOT point it was
+/// derived from (the region's top-right corner, per Theorem 1), and its burst
+/// score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionAnswer {
+    /// The reported region of size `a × b`.
+    pub region: Rect,
+    /// The bursty point (top-right corner of `region` for reduction-based
+    /// detectors; the region's top-right corner for grid detectors).
+    pub point: Point,
+    /// The region's burst score under the query's [`BurstParams`].
+    pub score: f64,
+}
+
+impl RegionAnswer {
+    /// Builds an answer from a bursty point and the query's region size,
+    /// placing the region's top-right corner at the point (Theorem 1).
+    pub fn from_point(point: Point, region: RegionSize, score: f64) -> Self {
+        RegionAnswer {
+            region: Rect::new(
+                point.x - region.width,
+                point.y - region.height,
+                point.x,
+                point.y,
+            ),
+            point,
+            score,
+        }
+    }
+
+    /// Builds an answer from an explicit region rectangle (grid detectors
+    /// report whole cells).
+    pub fn from_region(region: Rect, score: f64) -> Self {
+        RegionAnswer {
+            point: Point::new(region.x1, region.y1),
+            region,
+            score,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_size_scaling() {
+        let q = RegionSize::new(2.0, 4.0);
+        let h = q.scaled(0.5);
+        assert_eq!(h.width, 1.0);
+        assert_eq!(h.height, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_region_rejected() {
+        let _ = RegionSize::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn query_accepts_area_filter() {
+        let q = SurgeQuery::new(
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            RegionSize::new(1.0, 1.0),
+            WindowConfig::equal(100),
+            0.5,
+        );
+        assert!(q.accepts(Point::new(5.0, 5.0)));
+        assert!(q.accepts(Point::new(10.0, 10.0)));
+        assert!(!q.accepts(Point::new(10.5, 5.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn query_validates_alpha() {
+        let _ = SurgeQuery::new(
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            RegionSize::new(0.1, 0.1),
+            WindowConfig::equal(100),
+            -0.1,
+        );
+    }
+
+    #[test]
+    fn whole_space_accepts_everything() {
+        let q = SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), WindowConfig::equal(10), 0.3);
+        assert!(q.accepts(Point::new(1e300, -1e300)));
+        let d = q.point_domain().unwrap();
+        assert_eq!(d.x0, f64::NEG_INFINITY);
+        assert_eq!(d.x1, f64::INFINITY);
+    }
+
+    #[test]
+    fn point_domain_shrinks_area() {
+        let q = SurgeQuery::new(
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            RegionSize::new(2.0, 3.0),
+            WindowConfig::equal(10),
+            0.0,
+        );
+        assert_eq!(q.point_domain(), Some(Rect::new(2.0, 3.0, 10.0, 10.0)));
+    }
+
+    #[test]
+    fn point_domain_empty_when_area_too_small() {
+        let q = SurgeQuery::new(
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            RegionSize::new(2.0, 3.0),
+            WindowConfig::equal(10),
+            0.0,
+        );
+        assert_eq!(q.point_domain(), None);
+    }
+
+    #[test]
+    fn answer_from_point_places_top_right_corner() {
+        let a = RegionAnswer::from_point(Point::new(5.0, 5.0), RegionSize::new(2.0, 1.0), 3.0);
+        assert_eq!(a.region, Rect::new(3.0, 4.0, 5.0, 5.0));
+        assert_eq!(a.point, Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn answer_from_region_derives_point() {
+        let a = RegionAnswer::from_region(Rect::new(0.0, 0.0, 2.0, 2.0), 1.0);
+        assert_eq!(a.point, Point::new(2.0, 2.0));
+    }
+}

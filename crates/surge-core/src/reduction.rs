@@ -1,0 +1,75 @@
+//! The SURGE → cSPOT reduction (paper §IV-A, Theorem 1).
+//!
+//! Every spatial object `o` inside the preferred area is mapped to a
+//! rectangle object `g` of the query size whose **bottom-left** corner is
+//! `o.ρ`. A query-sized region `r` encloses `o` iff `g` covers `r`'s
+//! **top-right** corner. Hence the bursty point of the rectangle stream is the
+//! top-right corner of the bursty region, with identical burst score.
+
+use crate::geom::{Point, Rect};
+use crate::object::{RectObject, SpatialObject};
+use crate::query::RegionSize;
+
+/// Maps a spatial object to its rectangle object for a given query size.
+#[inline]
+pub fn object_to_rect(o: &SpatialObject, region: RegionSize) -> RectObject {
+    RectObject::new(
+        o.id,
+        o.weight,
+        Rect::from_corner_size(o.pos, region.width, region.height),
+        o.created,
+    )
+}
+
+/// The query-sized region whose top-right corner is the bursty point `p`
+/// (Theorem 1).
+#[inline]
+pub fn region_for_point(p: Point, region: RegionSize) -> Rect {
+    Rect::new(p.x - region.width, p.y - region.height, p.x, p.y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_has_object_at_bottom_left() {
+        let o = SpatialObject::new(3, 2.0, Point::new(1.0, 2.0), 10);
+        let g = object_to_rect(&o, RegionSize::new(0.5, 0.25));
+        assert_eq!(g.rect, Rect::new(1.0, 2.0, 1.5, 2.25));
+        assert_eq!(g.id, 3);
+        assert_eq!(g.weight, 2.0);
+        assert_eq!(g.created, 10);
+    }
+
+    #[test]
+    fn theorem1_containment_equivalence() {
+        // Region r with top-right corner p encloses o  <=>  g covers p.
+        let size = RegionSize::new(2.0, 1.0);
+        let o = SpatialObject::new(0, 1.0, Point::new(5.0, 5.0), 0);
+        let g = object_to_rect(&o, size);
+        // Sample a lattice of candidate corner points.
+        for ix in 0..40 {
+            for iy in 0..40 {
+                let p = Point::new(3.0 + ix as f64 * 0.2, 3.5 + iy as f64 * 0.15);
+                let region = region_for_point(p, size);
+                assert_eq!(
+                    region.contains(o.pos),
+                    g.covers(p),
+                    "mismatch at p=({}, {})",
+                    p.x,
+                    p.y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_for_point_has_query_size() {
+        let r = region_for_point(Point::new(10.0, 20.0), RegionSize::new(3.0, 4.0));
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 4.0);
+        assert_eq!(r.x1, 10.0);
+        assert_eq!(r.y1, 20.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Logical time and the dual sliding-window configuration.
+//!
+//! SURGE maintains two consecutive time-based sliding windows: the *current*
+//! window `W_c = (t − |W|, t]` and the *past* window `W_p = (t − 2|W|,
+//! t − |W|]`. The paper assumes equal lengths for simplicity; this
+//! implementation supports distinct lengths for the two windows (the paper
+//! notes the solutions carry over unchanged).
+
+/// Logical timestamp in milliseconds. Streams must be ingested in
+/// non-decreasing timestamp order.
+pub type Timestamp = u64;
+
+/// A span of logical time in milliseconds.
+pub type Duration = u64;
+
+/// Number of milliseconds in one hour, for readability of configurations.
+pub const MILLIS_PER_HOUR: Duration = 3_600_000;
+
+/// Number of milliseconds in one minute.
+pub const MILLIS_PER_MINUTE: Duration = 60_000;
+
+/// Configuration of the current and past sliding windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Length of the current window `|W_c|` in milliseconds.
+    pub current_len: Duration,
+    /// Length of the past window `|W_p|` in milliseconds.
+    pub past_len: Duration,
+}
+
+impl WindowConfig {
+    /// Equal-length windows of `len` milliseconds each (the paper's default).
+    #[inline]
+    pub fn equal(len: Duration) -> Self {
+        assert!(len > 0, "window length must be positive");
+        WindowConfig {
+            current_len: len,
+            past_len: len,
+        }
+    }
+
+    /// Distinct current/past window lengths.
+    #[inline]
+    pub fn new(current_len: Duration, past_len: Duration) -> Self {
+        assert!(current_len > 0, "current window length must be positive");
+        assert!(past_len > 0, "past window length must be positive");
+        WindowConfig {
+            current_len,
+            past_len,
+        }
+    }
+
+    /// Windows of `minutes` minutes each.
+    #[inline]
+    pub fn equal_minutes(minutes: u64) -> Self {
+        Self::equal(minutes * MILLIS_PER_MINUTE)
+    }
+
+    /// Windows of `hours` hours each.
+    #[inline]
+    pub fn equal_hours(hours: u64) -> Self {
+        Self::equal(hours * MILLIS_PER_HOUR)
+    }
+
+    /// At observation time `now`, the instant at which an object created at
+    /// `tc` leaves the current window and enters the past window.
+    #[inline]
+    pub fn grow_time(&self, tc: Timestamp) -> Timestamp {
+        tc + self.current_len
+    }
+
+    /// The instant at which an object created at `tc` leaves the past window.
+    #[inline]
+    pub fn expire_time(&self, tc: Timestamp) -> Timestamp {
+        tc + self.current_len + self.past_len
+    }
+
+    /// Whether an object created at `tc` is inside the current window at
+    /// observation time `now` (`now − |W_c| < tc ≤ now`).
+    #[inline]
+    pub fn in_current(&self, tc: Timestamp, now: Timestamp) -> bool {
+        tc <= now && now < self.grow_time(tc)
+    }
+
+    /// Whether an object created at `tc` is inside the past window at
+    /// observation time `now`.
+    #[inline]
+    pub fn in_past(&self, tc: Timestamp, now: Timestamp) -> bool {
+        self.grow_time(tc) <= now && now < self.expire_time(tc)
+    }
+
+    /// The normalizing divisor for current-window scores, in milliseconds.
+    ///
+    /// The paper's score `f(r, W)` divides the weight sum by `|W|`. Any
+    /// consistent unit works; we keep milliseconds so exact and approximate
+    /// detectors agree bit-for-bit.
+    #[inline]
+    pub fn current_norm(&self) -> f64 {
+        self.current_len as f64
+    }
+
+    /// The normalizing divisor for past-window scores, in milliseconds.
+    #[inline]
+    pub fn past_norm(&self) -> f64 {
+        self.past_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_windows() {
+        let w = WindowConfig::equal(1_000);
+        assert_eq!(w.current_len, 1_000);
+        assert_eq!(w.past_len, 1_000);
+    }
+
+    #[test]
+    fn helpers_convert_units() {
+        assert_eq!(WindowConfig::equal_minutes(5).current_len, 300_000);
+        assert_eq!(WindowConfig::equal_hours(2).current_len, 7_200_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = WindowConfig::equal(0);
+    }
+
+    #[test]
+    fn transition_times() {
+        let w = WindowConfig::new(100, 250);
+        assert_eq!(w.grow_time(1_000), 1_100);
+        assert_eq!(w.expire_time(1_000), 1_350);
+    }
+
+    #[test]
+    fn membership_boundaries() {
+        let w = WindowConfig::equal(100);
+        // Object created at t=1000: current for now in [1000, 1100),
+        // past for now in [1100, 1200), gone at now >= 1200.
+        assert!(w.in_current(1_000, 1_000));
+        assert!(w.in_current(1_000, 1_099));
+        assert!(!w.in_current(1_000, 1_100));
+        assert!(w.in_past(1_000, 1_100));
+        assert!(w.in_past(1_000, 1_199));
+        assert!(!w.in_past(1_000, 1_200));
+        assert!(!w.in_current(1_000, 999)); // not yet created
+    }
+
+    #[test]
+    fn norms_match_lengths() {
+        let w = WindowConfig::new(500, 2_000);
+        assert_eq!(w.current_norm(), 500.0);
+        assert_eq!(w.past_norm(), 2_000.0);
+    }
+}

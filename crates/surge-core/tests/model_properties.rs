@@ -1,0 +1,164 @@
+//! Randomized property tests over the core data model: the grid invariants
+//! behind Lemma 1, the reduction behind Theorem 1, and the burst-score
+//! inequalities behind Lemmas 2, 5 and 6.
+
+use proptest::prelude::*;
+use surge_core::{
+    burst_score, object_to_rect, region_for_point, BurstParams, GridSpec, Point, Rect,
+    RegionSize, SpatialObject, WindowConfig,
+};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1e4..1e4f64, -1e4..1e4f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_size() -> impl Strategy<Value = RegionSize> {
+    (0.01..100.0f64, 0.01..100.0f64).prop_map(|(w, h)| RegionSize::new(w, h))
+}
+
+fn arb_grid() -> impl Strategy<Value = GridSpec> {
+    (-50.0..50.0f64, -50.0..50.0f64, 0.1..50.0f64, 0.1..50.0f64)
+        .prop_map(|(ox, oy, w, h)| GridSpec::with_origin(ox, oy, w, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `cell_of` is consistent with `cell_rect`: every point lies inside its
+    /// own cell's closed extent.
+    #[test]
+    fn cell_of_point_is_inside_cell_rect(grid in arb_grid(), p in arb_point()) {
+        let cell = grid.cell_of(p);
+        let r = grid.cell_rect(cell);
+        prop_assert!(r.contains(p), "point {p:?} outside its cell rect {r:?}");
+    }
+
+    /// Lemma 1: a query-sized rectangle overlaps at most 4 cells of the
+    /// query-sized grid in generic position, and never more than 9.
+    #[test]
+    fn lemma1_query_rect_overlap_counts(
+        grid_origin in (-10.0..10.0f64, -10.0..10.0f64),
+        size in arb_size(),
+        corner in arb_point(),
+    ) {
+        let grid = GridSpec::with_origin(grid_origin.0, grid_origin.1, size.width, size.height);
+        let r = Rect::from_corner_size(corner, size.width, size.height);
+        let cells = grid.cells_overlapping(&r);
+        prop_assert!(!cells.is_empty());
+        prop_assert!(cells.len() <= 9, "query rect overlapped {} cells", cells.len());
+        // In generic position (no edge exactly on a grid line) it is <= 4.
+        let on_line = |v: f64, origin: f64, step: f64| ((v - origin) / step).fract() == 0.0;
+        let generic = !on_line(r.x0, grid.origin_x, grid.cell_w)
+            && !on_line(r.x1, grid.origin_x, grid.cell_w)
+            && !on_line(r.y0, grid.origin_y, grid.cell_h)
+            && !on_line(r.y1, grid.origin_y, grid.cell_h);
+        if generic {
+            prop_assert!(cells.len() <= 4, "generic-position rect overlapped {}", cells.len());
+        }
+    }
+
+    /// The cells returned for a rectangle cover every point of it.
+    #[test]
+    fn overlap_cells_cover_rect_points(
+        grid in arb_grid(),
+        corner in arb_point(),
+        dims in (0.01..200.0f64, 0.01..200.0f64),
+        frac in (0.0..=1.0f64, 0.0..=1.0f64),
+    ) {
+        let r = Rect::from_corner_size(corner, dims.0, dims.1);
+        let cells = grid.cells_overlapping(&r);
+        let p = Point::new(r.x0 + frac.0 * r.width(), r.y0 + frac.1 * r.height());
+        let owner = grid.cell_of(p);
+        prop_assert!(cells.contains(&owner), "cell {owner:?} of {p:?} missing");
+    }
+
+    /// Theorem 1: region with top-right corner `p` encloses `o` iff the
+    /// reduced rectangle object of `o` covers `p`.
+    #[test]
+    fn theorem1_reduction_equivalence(
+        obj_pos in arb_point(),
+        p in arb_point(),
+        size in arb_size(),
+        weight in 0.0..100.0f64,
+    ) {
+        let o = SpatialObject::new(0, weight, obj_pos, 0);
+        let g = object_to_rect(&o, size);
+        let region = region_for_point(p, size);
+        prop_assert_eq!(region.contains(o.pos), g.covers(p));
+        // The reduced rectangle preserves weight and times.
+        prop_assert_eq!(g.weight, o.weight);
+        prop_assert_eq!(g.created, o.created);
+    }
+
+    /// Lemma 2: `S(p) ≤ f(p, W_c)` — the static upper bound is sound.
+    #[test]
+    fn lemma2_static_bound(fc in 0.0..1e6f64, fp in 0.0..1e6f64, alpha in 0.0..0.999f64) {
+        prop_assert!(burst_score(fc, fp, alpha) <= fc + 1e-9 * fc.max(1.0));
+    }
+
+    /// Lemma 5 (containment): if `r1 ⊆ r2` then `S(r2) ≥ (1−α)·S(r1)`.
+    /// Containment means `fc2 ≥ fc1` and `fp2 ≥ fp1`.
+    #[test]
+    fn lemma5_containment(
+        fc1 in 0.0..1e5f64,
+        fp1 in 0.0..1e5f64,
+        dc in 0.0..1e5f64,
+        dp in 0.0..1e5f64,
+        alpha in 0.0..0.999f64,
+    ) {
+        let s1 = burst_score(fc1, fp1, alpha);
+        let s2 = burst_score(fc1 + dc, fp1 + dp, alpha);
+        prop_assert!(s2 >= (1.0 - alpha) * s1 - 1e-9 * s1.max(1.0));
+    }
+
+    /// Lemma 6 (subadditivity): for disjoint `r1`, `r2`,
+    /// `S(r1) + S(r2) ≥ S(r1 ∪ r2)`; union scores add per window.
+    #[test]
+    fn lemma6_subadditivity(
+        fc1 in 0.0..1e5f64, fp1 in 0.0..1e5f64,
+        fc2 in 0.0..1e5f64, fp2 in 0.0..1e5f64,
+        alpha in 0.0..0.999f64,
+    ) {
+        let s1 = burst_score(fc1, fp1, alpha);
+        let s2 = burst_score(fc2, fp2, alpha);
+        let su = burst_score(fc1 + fc2, fp1 + fp2, alpha);
+        prop_assert!(s1 + s2 >= su - 1e-9 * su.max(1.0));
+    }
+
+    /// The burst score is monotone in `fc` and antitone in `fp`.
+    #[test]
+    fn score_monotonicity(
+        fc in 0.0..1e5f64, fp in 0.0..1e5f64,
+        d in 0.0..1e5f64, alpha in 0.0..0.999f64,
+    ) {
+        let base = burst_score(fc, fp, alpha);
+        prop_assert!(burst_score(fc + d, fp, alpha) >= base - 1e-12);
+        prop_assert!(burst_score(fc, fp + d, alpha) <= base + 1e-12);
+    }
+
+    /// `BurstParams::score_weights` equals normalizing then scoring.
+    #[test]
+    fn params_normalization_consistency(
+        wc in 0.0..1e6f64, wp in 0.0..1e6f64,
+        alpha in 0.0..0.999f64,
+        cur_len in 1u64..10_000_000,
+        past_len in 1u64..10_000_000,
+    ) {
+        let params = BurstParams::new(alpha, WindowConfig::new(cur_len, past_len));
+        let direct = params.score_weights(wc, wp);
+        let manual = burst_score(wc / cur_len as f64, wp / past_len as f64, alpha);
+        prop_assert_eq!(direct.to_bits(), manual.to_bits());
+    }
+
+    /// The four MGAP grids tile the plane consistently: each point belongs to
+    /// exactly one cell per grid, and the four cells all contain it.
+    #[test]
+    fn mgap_grids_each_cover_every_point(size in arb_size(), p in arb_point()) {
+        for grid in GridSpec::mgap_grids(size.width, size.height) {
+            let r = grid.cell_rect(grid.cell_of(p));
+            prop_assert!(r.contains(p));
+            prop_assert!((r.width() - size.width).abs() < 1e-9 * size.width);
+            prop_assert!((r.height() - size.height).abs() < 1e-9 * size.height);
+        }
+    }
+}

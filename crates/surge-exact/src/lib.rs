@@ -1,0 +1,31 @@
+//! # surge-exact
+//!
+//! Exact solutions to the SURGE problem:
+//!
+//! * [`sweep`] — SL-CSPOT (Algorithm 1), the sweep-line bursty-point search
+//!   on a snapshot of rectangle objects.
+//! * [`cell`] — Cell-CSPOT (Algorithm 2), the continuous exact detector with
+//!   lazy cell updates, static + dynamic upper bounds and candidate-point
+//!   maintenance; also provides the B-CCS (static-bound-only) ablation.
+//! * [`base`] — the Base ablation that searches every affected cell on every
+//!   event (no bounds).
+//! * [`maxrs`] — an `O(n log n)` segment-tree sweep for the α = 0 special
+//!   case (classic MaxRS), kept as a documented optimization/ablation.
+//! * [`oracle`] — stateless snapshot oracles (global sweep, greedy top-k,
+//!   region scoring) used for testing and the approximation-ratio
+//!   experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod cell;
+pub mod maxrs;
+pub mod oracle;
+pub mod sweep;
+
+pub use base::BaseDetector;
+pub use cell::{BoundMode, CellCspot};
+pub use maxrs::maxrs_sweep;
+pub use oracle::{score_of_region, snapshot_bursty_region, snapshot_rects, snapshot_topk};
+pub use sweep::{score_at_point, sl_cspot, SweepRect, SweepResult};

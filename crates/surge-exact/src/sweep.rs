@@ -1,0 +1,454 @@
+//! SL-CSPOT: sweep-line bursty-point detection on a snapshot (Algorithm 1).
+//!
+//! Given a set of rectangle objects tagged with their window (current or
+//! past), find a point in a search area with the maximum burst score.
+//!
+//! The classic MaxRS sweep only needs to evaluate interval scores when the
+//! sweep line sits on a rectangle's top edge, because coverage is monotone:
+//! more rectangles can only help. The burst score is **not** monotone — a
+//! past-window rectangle *lowers* the score of the points it covers — so the
+//! maximum can be attained strictly inside a slab or interval that a past
+//! rectangle merely touches. This implementation therefore evaluates both
+//! every edge coordinate **and** every open slab/interval midpoint, which
+//! covers every distinct coverage pattern:
+//!
+//! * Along each axis, the coverage of a point changes only at edge
+//!   coordinates; between two consecutive edge coordinates the covering set
+//!   is constant, so the midpoint represents the whole open interval.
+//! * Points exactly on an edge coordinate have their own (closed-rectangle)
+//!   covering set and are evaluated directly.
+//!
+//! The cost is `O(n_y · n_x)` with `n_y, n_x ≤ 4n + O(1)` — the same `O(n²)`
+//! bound as the paper's Algorithm 1.
+
+use surge_core::{BurstParams, Point, Rect, TotalF64, WindowKind};
+
+/// A rectangle participating in a sweep, tagged with its window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRect {
+    /// Extent of the rectangle (already in world coordinates).
+    pub rect: Rect,
+    /// Object weight.
+    pub weight: f64,
+    /// Which window the originating object currently occupies.
+    pub kind: WindowKind,
+}
+
+/// The best point found by a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepResult {
+    /// A point attaining the maximum burst score in the search area.
+    pub point: Point,
+    /// The burst score at `point`.
+    pub score: f64,
+    /// Raw current-window weight sum at `point` (unnormalized).
+    pub wc: f64,
+    /// Raw past-window weight sum at `point` (unnormalized).
+    pub wp: f64,
+}
+
+/// Builds the evaluation coordinates for one axis: every distinct edge
+/// coordinate plus the midpoint of every open interval between neighbours.
+fn eval_positions(mut edges: Vec<f64>) -> Vec<f64> {
+    edges.sort_by(f64::total_cmp);
+    edges.dedup();
+    if edges.is_empty() {
+        return edges;
+    }
+    let mut out = Vec::with_capacity(edges.len() * 2 - 1);
+    for (i, &e) in edges.iter().enumerate() {
+        if i > 0 {
+            let prev = edges[i - 1];
+            let mid = prev + (e - prev) / 2.0;
+            // Degenerate gaps (adjacent equal-after-rounding coords) produce
+            // a midpoint equal to an endpoint; skip those.
+            if mid > prev && mid < e {
+                out.push(mid);
+            }
+        }
+        out.push(e);
+    }
+    out
+}
+
+/// Finds a point with the maximum burst score among `rects`, restricted to
+/// the closed `area`. Returns `None` iff no rectangle intersects `area`
+/// (every point then scores 0 and no point is distinguished).
+///
+/// `area` may be empty in one dimension (a segment) but must satisfy
+/// `x0 ≤ x1`, `y0 ≤ y1`.
+pub fn sl_cspot(rects: &[SweepRect], area: &Rect, params: &BurstParams) -> Option<SweepResult> {
+    // Clip to the search area; drop rectangles that miss it.
+    let mut clipped: Vec<SweepRect> = Vec::with_capacity(rects.len());
+    for r in rects {
+        if let Some(c) = r.rect.intersection(area) {
+            clipped.push(SweepRect {
+                rect: c,
+                weight: r.weight,
+                kind: r.kind,
+            });
+        }
+    }
+    if clipped.is_empty() {
+        return None;
+    }
+
+    // X axis: evaluation positions and, per rectangle, the covered index
+    // range (inclusive). Positions include each rectangle's own edges, so
+    // binary search by total order is exact.
+    let xs = eval_positions(
+        clipped
+            .iter()
+            .flat_map(|r| [r.rect.x0, r.rect.x1])
+            .collect(),
+    );
+    let x_index = |v: f64| -> usize {
+        xs.binary_search_by(|p| p.total_cmp(&v))
+            .expect("rect edge must be an evaluation position")
+    };
+    let ranges: Vec<(usize, usize)> = clipped
+        .iter()
+        .map(|r| (x_index(r.rect.x0), x_index(r.rect.x1)))
+        .collect();
+
+    // Y axis: evaluation positions, descending.
+    let mut ys = eval_positions(
+        clipped
+            .iter()
+            .flat_map(|r| [r.rect.y0, r.rect.y1])
+            .collect(),
+    );
+    ys.reverse();
+
+    // Enter order: by top edge descending; exit order: by bottom edge
+    // descending. A rectangle is active at evaluation height `y` iff
+    // `y0 ≤ y ≤ y1`.
+    let mut enter: Vec<usize> = (0..clipped.len()).collect();
+    enter.sort_by(|&a, &b| clipped[b].rect.y1.total_cmp(&clipped[a].rect.y1));
+    let mut exit: Vec<usize> = (0..clipped.len()).collect();
+    exit.sort_by(|&a, &b| clipped[b].rect.y0.total_cmp(&clipped[a].rect.y0));
+
+    let mut acc_wc = vec![0.0f64; xs.len()];
+    let mut acc_wp = vec![0.0f64; xs.len()];
+    let apply = |acc_wc: &mut [f64], acc_wp: &mut [f64], idx: usize, sign: f64| {
+        let (lo, hi) = ranges[idx];
+        let w = clipped[idx].weight * sign;
+        match clipped[idx].kind {
+            WindowKind::Current => {
+                for a in &mut acc_wc[lo..=hi] {
+                    *a += w;
+                }
+            }
+            WindowKind::Past => {
+                for a in &mut acc_wp[lo..=hi] {
+                    *a += w;
+                }
+            }
+        }
+    };
+
+    let mut next_enter = 0usize;
+    let mut next_exit = 0usize;
+    let mut best: Option<(TotalF64, Point, f64, f64)> = None;
+
+    for &y in &ys {
+        while next_enter < enter.len() && clipped[enter[next_enter]].rect.y1 >= y {
+            apply(&mut acc_wc, &mut acc_wp, enter[next_enter], 1.0);
+            next_enter += 1;
+        }
+        while next_exit < exit.len() && clipped[exit[next_exit]].rect.y0 > y {
+            apply(&mut acc_wc, &mut acc_wp, exit[next_exit], -1.0);
+            next_exit += 1;
+        }
+        for (i, &x) in xs.iter().enumerate() {
+            let score = params.score_weights(acc_wc[i], acc_wp[i]);
+            let key = TotalF64(score);
+            if best.map_or(true, |(b, _, _, _)| key > b) {
+                best = Some((key, Point::new(x, y), acc_wc[i], acc_wp[i]));
+            }
+        }
+    }
+
+    best.map(|(score, point, wc, wp)| SweepResult {
+        point,
+        score: score.get(),
+        wc,
+        wp,
+    })
+}
+
+/// Exhaustively scores `point` against a rectangle set — the O(n) reference
+/// used by tests and by candidate-point bookkeeping.
+pub fn score_at_point(rects: &[SweepRect], point: Point, params: &BurstParams) -> SweepResult {
+    let mut wc = 0.0;
+    let mut wp = 0.0;
+    for r in rects {
+        if r.rect.contains(point) {
+            match r.kind {
+                WindowKind::Current => wc += r.weight,
+                WindowKind::Past => wp += r.weight,
+            }
+        }
+    }
+    SweepResult {
+        point,
+        score: params.score_weights(wc, wp),
+        wc,
+        wp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(alpha: f64) -> BurstParams {
+        BurstParams {
+            alpha,
+            current_norm: 1.0,
+            past_norm: 1.0,
+        }
+    }
+
+    fn cur(x0: f64, y0: f64, x1: f64, y1: f64, w: f64) -> SweepRect {
+        SweepRect {
+            rect: Rect::new(x0, y0, x1, y1),
+            weight: w,
+            kind: WindowKind::Current,
+        }
+    }
+
+    fn past(x0: f64, y0: f64, x1: f64, y1: f64, w: f64) -> SweepRect {
+        SweepRect {
+            rect: Rect::new(x0, y0, x1, y1),
+            weight: w,
+            kind: WindowKind::Past,
+        }
+    }
+
+    const AREA: Rect = Rect {
+        x0: -100.0,
+        y0: -100.0,
+        x1: 100.0,
+        y1: 100.0,
+    };
+
+    /// Brute-force oracle: evaluate the burst score on a dense lattice plus
+    /// all edge coordinates (tests keep scenes small).
+    fn brute_force(rects: &[SweepRect], area: &Rect, p: &BurstParams) -> f64 {
+        let mut coords_x: Vec<f64> = rects
+            .iter()
+            .flat_map(|r| [r.rect.x0, r.rect.x1])
+            .filter(|v| (area.x0..=area.x1).contains(v))
+            .collect();
+        let mut coords_y: Vec<f64> = rects
+            .iter()
+            .flat_map(|r| [r.rect.y0, r.rect.y1])
+            .filter(|v| (area.y0..=area.y1).contains(v))
+            .collect();
+        coords_x.sort_by(f64::total_cmp);
+        coords_y.sort_by(f64::total_cmp);
+        let mut xs = coords_x.clone();
+        for w in coords_x.windows(2) {
+            xs.push((w[0] + w[1]) / 2.0);
+        }
+        let mut ys = coords_y.clone();
+        for w in coords_y.windows(2) {
+            ys.push((w[0] + w[1]) / 2.0);
+        }
+        let mut best = f64::NEG_INFINITY;
+        for &x in &xs {
+            for &y in &ys {
+                let r = score_at_point(rects, Point::new(x, y), p);
+                best = best.max(r.score);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn empty_input_returns_none() {
+        assert_eq!(sl_cspot(&[], &AREA, &params(0.5)), None);
+    }
+
+    #[test]
+    fn rect_outside_area_returns_none() {
+        let r = cur(200.0, 200.0, 201.0, 201.0, 1.0);
+        assert_eq!(sl_cspot(&[r], &AREA, &params(0.5)), None);
+    }
+
+    #[test]
+    fn single_current_rect() {
+        let r = cur(0.0, 0.0, 2.0, 1.0, 3.0);
+        let res = sl_cspot(&[r], &AREA, &params(0.5)).unwrap();
+        assert!((res.score - 3.0).abs() < 1e-12);
+        assert!(r.rect.contains(res.point));
+        assert_eq!(res.wc, 3.0);
+        assert_eq!(res.wp, 0.0);
+    }
+
+    #[test]
+    fn paper_example3_three_overlapping_unit_rects() {
+        // Figure 2 / Example 3: three unit-weight current rectangles with a
+        // common intersection; the bursty point scores 3.
+        let rects = [
+            cur(0.0, 0.0, 2.0, 2.0, 1.0),
+            cur(1.0, 0.5, 3.0, 2.5, 1.0),
+            cur(0.5, 1.0, 2.5, 3.0, 1.0),
+        ];
+        let res = sl_cspot(&rects, &AREA, &params(0.5)).unwrap();
+        assert!((res.score - 3.0).abs() < 1e-12);
+        for r in &rects {
+            assert!(r.rect.contains(res.point), "point not in {:?}", r.rect);
+        }
+    }
+
+    #[test]
+    fn past_rect_alone_scores_zero() {
+        let r = past(0.0, 0.0, 1.0, 1.0, 5.0);
+        let res = sl_cspot(&[r], &AREA, &params(0.5)).unwrap();
+        assert_eq!(res.score, 0.0);
+    }
+
+    #[test]
+    fn optimum_avoids_past_rectangle() {
+        // One big current rect; a past rect covering its left half. The best
+        // point must sit in the right half (outside the past rect).
+        let c = cur(0.0, 0.0, 4.0, 2.0, 2.0);
+        let p = past(-1.0, -1.0, 2.0, 3.0, 2.0);
+        let res = sl_cspot(&[c, p], &AREA, &params(0.5)).unwrap();
+        // In the right half: fc=2, fp=0 -> S = 2. In the left: S = 1.
+        assert!((res.score - 2.0).abs() < 1e-12);
+        assert!(res.point.x > 2.0, "point {:?} should avoid past rect", res.point);
+    }
+
+    #[test]
+    fn optimum_in_open_slab_interior_requires_midpoint_eval() {
+        // A past rectangle whose top edge coincides with the interior of a
+        // current rectangle: points ON the shared edge are covered by both;
+        // points just above are covered only by the current one. The optimum
+        // lies strictly inside the slab above the past rect's top edge.
+        let c = cur(0.0, 0.0, 4.0, 4.0, 1.0);
+        let p = past(0.0, 0.0, 4.0, 2.0, 1.0);
+        let res = sl_cspot(&[c, p], &AREA, &params(0.5)).unwrap();
+        // Above the past rect: fc=1, fp=0 -> S = 1. On/below: S = 0.5.
+        assert!((res.score - 1.0).abs() < 1e-12);
+        assert!(res.point.y > 2.0);
+    }
+
+    #[test]
+    fn degenerate_edge_touch_is_covered() {
+        // Two current rects sharing only the line x=2. Max coverage is ON the
+        // shared edge (score 2); slabs on either side only score 1.
+        let a = cur(0.0, 0.0, 2.0, 2.0, 1.0);
+        let b = cur(2.0, 0.0, 4.0, 2.0, 1.0);
+        let res = sl_cspot(&[a, b], &AREA, &params(0.0)).unwrap();
+        assert!((res.score - 2.0).abs() < 1e-12);
+        assert_eq!(res.point.x, 2.0);
+    }
+
+    #[test]
+    fn corner_touch_counts_both() {
+        let a = cur(0.0, 0.0, 1.0, 1.0, 1.0);
+        let b = cur(1.0, 1.0, 2.0, 2.0, 1.0);
+        let res = sl_cspot(&[a, b], &AREA, &params(0.0)).unwrap();
+        assert!((res.score - 2.0).abs() < 1e-12);
+        assert_eq!(res.point, Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn area_clipping_restricts_search() {
+        // Best overlap at x in [4,5] lies outside the area; inside, only a
+        // single rect is reachable.
+        let a = cur(0.0, 0.0, 5.0, 1.0, 1.0);
+        let b = cur(4.0, 0.0, 6.0, 1.0, 10.0);
+        let area = Rect::new(0.0, 0.0, 3.0, 1.0);
+        let res = sl_cspot(&[a, b], &area, &params(0.0)).unwrap();
+        assert!((res.score - 1.0).abs() < 1e-12);
+        assert!(area.contains(res.point));
+    }
+
+    #[test]
+    fn figure3_like_scene_past_and_current_mix() {
+        // Inspired by Figure 3: g1 past w=3, g2 current w=1, g3 current w=2,
+        // |Wc|=|Wp|=1, alpha=0.5. Best point is covered by g2 and g3 only:
+        // S = 0.5*max(3-0,0) + 0.5*3 = 3.
+        let g1 = past(0.0, 0.0, 5.0, 3.0, 3.0);
+        let g2 = cur(4.0, 2.0, 8.0, 6.0, 1.0);
+        let g3 = cur(4.5, 2.5, 9.0, 7.0, 2.0);
+        let res = sl_cspot(&[g1, g2, g3], &AREA, &params(0.5)).unwrap();
+        assert!((res.score - 3.0).abs() < 1e-12, "score {}", res.score);
+        // and the point avoids g1
+        assert!(!g1.rect.contains(res.point));
+    }
+
+    #[test]
+    fn alpha_weighting_balances_terms() {
+        // fc=1,fp=0 point vs fc=2,fp=3 point: with alpha=0 the heavier
+        // current coverage wins; with high alpha the clean burst wins.
+        let clean = cur(0.0, 0.0, 1.0, 1.0, 1.0);
+        let heavy1 = cur(5.0, 0.0, 6.0, 1.0, 1.0);
+        let heavy2 = cur(5.0, 0.0, 6.0, 1.0, 1.0);
+        let drag = past(5.0, 0.0, 6.0, 1.0, 3.0);
+        let rects = [clean, heavy1, heavy2, drag];
+        let r0 = sl_cspot(&rects, &AREA, &params(0.0)).unwrap();
+        assert!((r0.score - 2.0).abs() < 1e-12);
+        assert!(r0.point.x >= 5.0);
+        let r9 = sl_cspot(&rects, &AREA, &params(0.9)).unwrap();
+        // clean: 0.9*1 + 0.1*1 = 1.0 ; heavy: 0.9*0 + 0.1*2 = 0.2
+        assert!((r9.score - 1.0).abs() < 1e-12);
+        assert!(r9.point.x <= 1.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_pseudorandom_scenes() {
+        // Deterministic pseudo-random scenes (LCG) across several alphas.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64) // [0, 4)
+        };
+        for scene in 0..30 {
+            let n = 2 + (scene % 7);
+            let rects: Vec<SweepRect> = (0..n)
+                .map(|i| {
+                    let x0 = next();
+                    let y0 = next();
+                    let w = 1.0 + (next() / 2.0).floor(); // integer-ish weights
+                    let r = Rect::new(x0, y0, x0 + 0.5 + next() / 4.0, y0 + 0.5 + next() / 4.0);
+                    SweepRect {
+                        rect: r,
+                        weight: w,
+                        kind: if i % 3 == 0 {
+                            WindowKind::Past
+                        } else {
+                            WindowKind::Current
+                        },
+                    }
+                })
+                .collect();
+            for alpha in [0.0, 0.3, 0.7] {
+                let p = params(alpha);
+                let got = sl_cspot(&rects, &AREA, &p).unwrap();
+                let want = brute_force(&rects, &AREA, &p);
+                assert!(
+                    (got.score - want).abs() < 1e-9,
+                    "scene {scene} alpha {alpha}: got {} want {}",
+                    got.score,
+                    want
+                );
+                // The returned point's score must equal the reported score.
+                let check = score_at_point(&rects, got.point, &p);
+                assert!((check.score - got.score).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn score_at_point_counts_boundaries() {
+        let rects = [cur(0.0, 0.0, 1.0, 1.0, 2.0), past(1.0, 1.0, 2.0, 2.0, 3.0)];
+        let r = score_at_point(&rects, Point::new(1.0, 1.0), &params(0.5));
+        assert_eq!(r.wc, 2.0);
+        assert_eq!(r.wp, 3.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Oracle-equivalence property tests: after *every* event of a random
+//! stream, the continuous exact detectors (CCS, B-CCS, Base) must report the
+//! same burst score as a stateless global sweep over the window snapshots.
+//!
+//! This is the strongest correctness statement for the incremental machinery:
+//! upper bounds, candidate-point validity (Lemma 4) and lazy search can only
+//! fail by reporting a wrong score at *some* snapshot, which this test would
+//! catch.
+
+use proptest::prelude::*;
+
+use surge_core::{
+    BurstDetector, Point, Rect, RegionSize, SpatialObject, SurgeQuery, WindowConfig,
+};
+use surge_exact::{snapshot_bursty_region, BaseDetector, BoundMode, CellCspot};
+use surge_stream::SlidingWindowEngine;
+
+const REL_TOL: f64 = 1e-9;
+
+fn close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1e-12);
+    (a - b).abs() <= REL_TOL * scale
+}
+
+/// Runs a detector against the oracle after every object; panics on mismatch.
+fn check_against_oracle(
+    mut detector: impl BurstDetector,
+    query: SurgeQuery,
+    objects: &[SpatialObject],
+) {
+    let mut engine = SlidingWindowEngine::new(query.windows);
+    for (step, obj) in objects.iter().enumerate() {
+        for ev in engine.push(*obj) {
+            detector.on_event(&ev);
+        }
+        let current: Vec<SpatialObject> = engine.current_objects().copied().collect();
+        let past: Vec<SpatialObject> = engine.past_objects().copied().collect();
+        let oracle = snapshot_bursty_region(&current, &past, &query);
+        let got = detector.current();
+        match (&oracle, &got) {
+            (Some(o), Some(g)) => {
+                assert!(
+                    close(o.score, g.score),
+                    "step {step} [{}]: oracle score {} != detector score {}\n\
+                     oracle point {:?}, detector point {:?}",
+                    detector.name(),
+                    o.score,
+                    g.score,
+                    o.point,
+                    g.point,
+                );
+            }
+            (None, None) => {}
+            // A detector may report a zero-score answer where the oracle
+            // reports None (both mean "nothing bursty anywhere").
+            (None, Some(g)) => assert!(
+                g.score.abs() <= 1e-12,
+                "step {step}: oracle empty but detector scored {}",
+                g.score
+            ),
+            (Some(o), None) => assert!(
+                o.score.abs() <= 1e-12,
+                "step {step}: detector empty but oracle scored {}",
+                o.score
+            ),
+        }
+    }
+}
+
+/// Strategy: a stream of objects with integer-ish coordinates/weights to keep
+/// float error negligible, clustered enough to create overlapping rectangles
+/// and window churn.
+fn object_stream(max_len: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
+    prop::collection::vec(
+        (
+            0u64..20,    // x in [0, 2.0) after scaling
+            0u64..20,    // y
+            1u64..5,     // weight
+            0u64..40,    // inter-arrival (ms)
+        ),
+        1..max_len,
+    )
+    .prop_map(|raw| {
+        let mut t = 0u64;
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, dt))| {
+                t += dt;
+                SpatialObject::new(i as u64, w as f64, Point::new(x as f64 / 10.0, y as f64 / 10.0), t)
+            })
+            .collect()
+    })
+}
+
+fn small_query(alpha: f64) -> SurgeQuery {
+    // Window 100ms so streams of ~40 objects with dt<40 exercise all three
+    // event kinds heavily.
+    SurgeQuery::whole_space(RegionSize::new(0.5, 0.5), WindowConfig::equal(100), alpha)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ccs_matches_oracle(objects in object_stream(40), alpha in 0.0f64..0.95) {
+        let q = small_query(alpha);
+        check_against_oracle(CellCspot::new(q), q, &objects);
+    }
+
+    #[test]
+    fn bccs_matches_oracle(objects in object_stream(30), alpha in 0.0f64..0.95) {
+        let q = small_query(alpha);
+        check_against_oracle(CellCspot::with_mode(q, BoundMode::StaticOnly), q, &objects);
+    }
+
+    #[test]
+    fn base_matches_oracle(objects in object_stream(30), alpha in 0.0f64..0.95) {
+        let q = small_query(alpha);
+        check_against_oracle(BaseDetector::new(q), q, &objects);
+    }
+
+    #[test]
+    fn ccs_matches_oracle_with_restricted_area(objects in object_stream(30), alpha in 0.0f64..0.95) {
+        let q = SurgeQuery::new(
+            Rect::new(0.3, 0.3, 1.6, 1.6),
+            RegionSize::new(0.5, 0.5),
+            WindowConfig::equal(100),
+            alpha,
+        );
+        check_against_oracle(CellCspot::new(q), q, &objects);
+    }
+
+    #[test]
+    fn ccs_matches_oracle_unequal_windows(objects in object_stream(30), alpha in 0.0f64..0.95) {
+        let q = SurgeQuery::whole_space(
+            RegionSize::new(0.5, 0.5),
+            WindowConfig::new(80, 160),
+            alpha,
+        );
+        check_against_oracle(CellCspot::new(q), q, &objects);
+    }
+}
+
+#[test]
+fn regression_alignment_heavy_stream() {
+    // All coordinates on exact multiples of the cell size: maximal
+    // boundary-degeneracy (rect edges on grid lines everywhere).
+    let q = SurgeQuery::whole_space(RegionSize::new(0.5, 0.5), WindowConfig::equal(100), 0.5);
+    let objects: Vec<SpatialObject> = (0..30)
+        .map(|i| {
+            SpatialObject::new(
+                i,
+                1.0 + (i % 3) as f64,
+                Point::new((i % 4) as f64 * 0.5, (i % 3) as f64 * 0.5),
+                i * 25,
+            )
+        })
+        .collect();
+    check_against_oracle(CellCspot::new(q), q, &objects);
+    check_against_oracle(BaseDetector::new(q), q, &objects);
+}
+
+#[test]
+fn regression_all_objects_one_point() {
+    let q = SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), WindowConfig::equal(50), 0.7);
+    let objects: Vec<SpatialObject> = (0..40)
+        .map(|i| SpatialObject::new(i, 2.0, Point::new(1.0, 1.0), i * 10))
+        .collect();
+    check_against_oracle(CellCspot::new(q), q, &objects);
+}

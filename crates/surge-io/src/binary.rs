@@ -1,0 +1,242 @@
+//! Compact binary codec for spatial-object streams.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   : 8 bytes  = b"SURGEOB1"
+//! count   : u64      = number of records
+//! records : count × 40 bytes
+//!     id         : u64
+//!     weight     : f64 (IEEE-754 bits)
+//!     x          : f64
+//!     y          : f64
+//!     created_ms : u64
+//! ```
+//!
+//! The fixed 40-byte record makes the format seekable: record `i` starts at
+//! offset `16 + 40·i`. At one million objects (the paper's dataset size) a
+//! stream file is 40 MB, ~2.5× smaller than the CSV form and an order of
+//! magnitude faster to decode.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use surge_core::{Point, SpatialObject};
+
+use crate::error::{IoError, Result};
+
+/// Magic bytes identifying the format and version.
+pub const OBJECTS_MAGIC: &[u8; 8] = b"SURGEOB1";
+/// Size of one encoded record in bytes.
+pub const RECORD_SIZE: usize = 40;
+
+/// Writes objects in the binary format.
+pub fn write_objects_binary<W: Write>(out: W, objects: &[SpatialObject]) -> Result<()> {
+    let mut out = BufWriter::new(out);
+    out.write_all(OBJECTS_MAGIC)?;
+    out.write_all(&(objects.len() as u64).to_le_bytes())?;
+    for o in objects {
+        out.write_all(&o.id.to_le_bytes())?;
+        out.write_all(&o.weight.to_bits().to_le_bytes())?;
+        out.write_all(&o.pos.x.to_bits().to_le_bytes())?;
+        out.write_all(&o.pos.y.to_bits().to_le_bytes())?;
+        out.write_all(&o.created.to_le_bytes())?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes objects in binary form to a file at `path`.
+pub fn write_objects_binary_to(path: impl AsRef<Path>, objects: &[SpatialObject]) -> Result<()> {
+    write_objects_binary(File::create(path)?, objects)
+}
+
+fn read_exact_or(
+    input: &mut impl Read,
+    buf: &mut [u8],
+    at: u64,
+    what: &str,
+) -> Result<()> {
+    input.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            IoError::Parse {
+                at,
+                message: format!("truncated input while reading {what}"),
+            }
+        } else {
+            IoError::Io(e)
+        }
+    })
+}
+
+fn u64_from(buf: &[u8]) -> u64 {
+    u64::from_le_bytes(buf.try_into().expect("8-byte slice"))
+}
+
+/// Reads objects written by [`write_objects_binary`].
+///
+/// Validates the magic, the declared record count against the actual payload,
+/// weight/coordinate sanity, and non-decreasing timestamps.
+pub fn read_objects_binary<R: Read>(input: R) -> Result<Vec<SpatialObject>> {
+    let mut input = BufReader::new(input);
+    let mut magic = [0u8; 8];
+    read_exact_or(&mut input, &mut magic, 0, "magic")?;
+    if &magic != OBJECTS_MAGIC {
+        return Err(IoError::BadHeader {
+            expected: "SURGEOB1",
+            found: String::from_utf8_lossy(&magic).into_owned(),
+        });
+    }
+    let mut count_buf = [0u8; 8];
+    read_exact_or(&mut input, &mut count_buf, 0, "record count")?;
+    let count = u64_from(&count_buf);
+    // Guard against absurd declared counts before reserving memory.
+    let mut objects = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut rec = [0u8; RECORD_SIZE];
+    let mut last_created = 0u64;
+    for i in 0..count {
+        read_exact_or(&mut input, &mut rec, i, "record")?;
+        let id = u64_from(&rec[0..8]);
+        let weight = f64::from_bits(u64_from(&rec[8..16]));
+        let x = f64::from_bits(u64_from(&rec[16..24]));
+        let y = f64::from_bits(u64_from(&rec[24..32]));
+        let created = u64_from(&rec[32..40]);
+        if !(weight >= 0.0 && weight.is_finite()) {
+            return Err(IoError::Invariant(format!(
+                "record {i}: weight must be finite and non-negative, got {weight}"
+            )));
+        }
+        if !x.is_finite() || !y.is_finite() {
+            return Err(IoError::Invariant(format!(
+                "record {i}: coordinates must be finite"
+            )));
+        }
+        if created < last_created {
+            return Err(IoError::Invariant(format!(
+                "record {i}: created {created} regresses below {last_created}"
+            )));
+        }
+        last_created = created;
+        objects.push(SpatialObject::new(id, weight, Point::new(x, y), created));
+    }
+    // Trailing garbage means the file was not produced by this writer.
+    let mut probe = [0u8; 1];
+    match input.read(&mut probe)? {
+        0 => Ok(objects),
+        _ => Err(IoError::Invariant(format!(
+            "trailing bytes after {count} declared records"
+        ))),
+    }
+}
+
+/// Reads binary objects from a file at `path`.
+pub fn read_objects_binary_from(path: impl AsRef<Path>) -> Result<Vec<SpatialObject>> {
+    read_objects_binary(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SpatialObject> {
+        vec![
+            SpatialObject::new(0, 42.5, Point::new(12.4823, 41.8901), 0),
+            SpatialObject::new(7, 1.0, Point::new(-180.0, 90.0), 118),
+            SpatialObject::new(u64::MAX, 0.0, Point::new(0.0, 0.0), u64::MAX),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let objs = sample();
+        let mut buf = Vec::new();
+        write_objects_binary(&mut buf, &objs).unwrap();
+        assert_eq!(buf.len(), 16 + RECORD_SIZE * objs.len());
+        let back = read_objects_binary(&buf[..]).unwrap();
+        assert_eq!(back, objs);
+    }
+
+    #[test]
+    fn empty_roundtrips() {
+        let mut buf = Vec::new();
+        write_objects_binary(&mut buf, &[]).unwrap();
+        assert!(read_objects_binary(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let err = read_objects_binary(&b"NOTSURGE\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, IoError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        let err = read_objects_binary(&b"SURG"[..]).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let mut buf = Vec::new();
+        write_objects_binary(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_objects_binary(&buf[..]).unwrap_err();
+        match err {
+            IoError::Parse { at, .. } => assert_eq!(at, 2),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut buf = Vec::new();
+        write_objects_binary(&mut buf, &sample()).unwrap();
+        buf.push(0xFF);
+        assert!(matches!(
+            read_objects_binary(&buf[..]),
+            Err(IoError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_weight() {
+        let objs = vec![SpatialObject {
+            id: 0,
+            weight: f64::NAN,
+            pos: Point::new(0.0, 0.0),
+            created: 0,
+        }];
+        let mut buf = Vec::new();
+        write_objects_binary(&mut buf, &objs).unwrap();
+        assert!(matches!(
+            read_objects_binary(&buf[..]),
+            Err(IoError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_timestamp_regression() {
+        let objs = vec![
+            SpatialObject::new(0, 1.0, Point::new(0.0, 0.0), 100),
+            SpatialObject::new(1, 1.0, Point::new(0.0, 0.0), 99),
+        ];
+        let mut buf = Vec::new();
+        write_objects_binary(&mut buf, &objs).unwrap();
+        assert!(matches!(
+            read_objects_binary(&buf[..]),
+            Err(IoError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn file_helpers_roundtrip() {
+        let dir = std::env::temp_dir().join("surge-io-bin-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("objects.bin");
+        let objs = sample();
+        write_objects_binary_to(&path, &objs).unwrap();
+        assert_eq!(read_objects_binary_from(&path).unwrap(), objs);
+        std::fs::remove_file(&path).ok();
+    }
+}

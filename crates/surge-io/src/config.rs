@@ -1,0 +1,333 @@
+//! Textual query configuration: save and load a [`SurgeQuery`] so an
+//! experiment (or a production deployment) can be reproduced from a file.
+//!
+//! The format is a flat `key = value` document with `#` comments:
+//!
+//! ```text
+//! # surge-query v1
+//! area      = -8.2 49.9 1.8 60.9     # x0 y0 x1 y1; "unbounded" for all space
+//! region    = 0.01 0.011             # width height
+//! window_current_ms = 3600000
+//! window_past_ms    = 3600000
+//! alpha     = 0.5
+//! ```
+//!
+//! Keys may appear in any order; unknown keys are rejected (a typo should
+//! fail loudly, not silently fall back to a default).
+
+use std::collections::HashSet;
+use std::fs;
+use std::path::Path;
+
+use surge_core::{Rect, RegionSize, SurgeQuery, WindowConfig};
+
+use crate::error::{IoError, Result};
+
+/// Header line identifying the format and version.
+pub const QUERY_HEADER: &str = "# surge-query v1";
+
+/// Serializes a query to the textual format.
+pub fn query_to_string(q: &SurgeQuery) -> String {
+    let area = if q.area.x0.is_infinite()
+        && q.area.y0.is_infinite()
+        && q.area.x1.is_infinite()
+        && q.area.y1.is_infinite()
+    {
+        "unbounded".to_string()
+    } else {
+        format!("{} {} {} {}", q.area.x0, q.area.y0, q.area.x1, q.area.y1)
+    };
+    format!(
+        "{QUERY_HEADER}\n\
+         area = {area}\n\
+         region = {} {}\n\
+         window_current_ms = {}\n\
+         window_past_ms = {}\n\
+         alpha = {}\n",
+        q.region.width,
+        q.region.height,
+        q.windows.current_len,
+        q.windows.past_len,
+        q.alpha,
+    )
+}
+
+/// Writes a query to a file at `path`.
+pub fn write_query_to(path: impl AsRef<Path>, q: &SurgeQuery) -> Result<()> {
+    fs::write(path, query_to_string(q))?;
+    Ok(())
+}
+
+fn parse_floats(value: &str, want: usize, line_no: u64) -> Result<Vec<f64>> {
+    let parts: Vec<&str> = value.split_whitespace().collect();
+    if parts.len() != want {
+        return Err(IoError::Parse {
+            at: line_no,
+            message: format!("expected {want} numbers, found {}", parts.len()),
+        });
+    }
+    parts
+        .iter()
+        .map(|p| {
+            p.parse::<f64>().map_err(|e| IoError::Parse {
+                at: line_no,
+                message: format!("{p:?}: {e}"),
+            })
+        })
+        .collect()
+}
+
+/// Parses a query from the textual format.
+pub fn query_from_str(text: &str) -> Result<SurgeQuery> {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    if header.trim_end() != QUERY_HEADER {
+        return Err(IoError::BadHeader {
+            expected: QUERY_HEADER,
+            found: header.to_string(),
+        });
+    }
+
+    let mut area: Option<Rect> = None;
+    let mut region: Option<RegionSize> = None;
+    let mut current_ms: Option<u64> = None;
+    let mut past_ms: Option<u64> = None;
+    let mut alpha: Option<f64> = None;
+    let mut seen = HashSet::new();
+
+    for (i, raw) in lines.enumerate() {
+        let line_no = i as u64 + 2;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| IoError::Parse {
+            at: line_no,
+            message: format!("expected `key = value`, found {line:?}"),
+        })?;
+        let key = key.trim();
+        let value = value.trim();
+        if !seen.insert(key.to_string()) {
+            return Err(IoError::Parse {
+                at: line_no,
+                message: format!("duplicate key {key:?}"),
+            });
+        }
+        match key {
+            "area" => {
+                area = Some(if value == "unbounded" {
+                    Rect::new(
+                        f64::NEG_INFINITY,
+                        f64::NEG_INFINITY,
+                        f64::INFINITY,
+                        f64::INFINITY,
+                    )
+                } else {
+                    let v = parse_floats(value, 4, line_no)?;
+                    if v[0] > v[2] || v[1] > v[3] {
+                        return Err(IoError::Invariant(format!(
+                            "line {line_no}: inverted area rectangle"
+                        )));
+                    }
+                    Rect::new(v[0], v[1], v[2], v[3])
+                });
+            }
+            "region" => {
+                let v = parse_floats(value, 2, line_no)?;
+                if !(v[0] > 0.0 && v[1] > 0.0 && v[0].is_finite() && v[1].is_finite()) {
+                    return Err(IoError::Invariant(format!(
+                        "line {line_no}: region extents must be positive and finite"
+                    )));
+                }
+                region = Some(RegionSize::new(v[0], v[1]));
+            }
+            "window_current_ms" | "window_past_ms" => {
+                let ms = value.parse::<u64>().map_err(|e| IoError::Parse {
+                    at: line_no,
+                    message: format!("{value:?}: {e}"),
+                })?;
+                if ms == 0 {
+                    return Err(IoError::Invariant(format!(
+                        "line {line_no}: window length must be positive"
+                    )));
+                }
+                if key == "window_current_ms" {
+                    current_ms = Some(ms);
+                } else {
+                    past_ms = Some(ms);
+                }
+            }
+            "alpha" => {
+                let a = value.parse::<f64>().map_err(|e| IoError::Parse {
+                    at: line_no,
+                    message: format!("{value:?}: {e}"),
+                })?;
+                if !(0.0..1.0).contains(&a) {
+                    return Err(IoError::Invariant(format!(
+                        "line {line_no}: alpha must be in [0, 1), got {a}"
+                    )));
+                }
+                alpha = Some(a);
+            }
+            other => {
+                return Err(IoError::Parse {
+                    at: line_no,
+                    message: format!("unknown key {other:?}"),
+                });
+            }
+        }
+    }
+
+    let missing = |name: &str| IoError::Invariant(format!("missing required key {name:?}"));
+    let area = area.ok_or_else(|| missing("area"))?;
+    let region = region.ok_or_else(|| missing("region"))?;
+    let current = current_ms.ok_or_else(|| missing("window_current_ms"))?;
+    let past = past_ms.ok_or_else(|| missing("window_past_ms"))?;
+    let alpha = alpha.ok_or_else(|| missing("alpha"))?;
+    Ok(SurgeQuery::new(
+        area,
+        region,
+        WindowConfig::new(current, past),
+        alpha,
+    ))
+}
+
+/// Reads a query from a file at `path`.
+pub fn read_query_from(path: impl AsRef<Path>) -> Result<SurgeQuery> {
+    query_from_str(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SurgeQuery {
+        SurgeQuery::new(
+            Rect::new(-8.2, 49.9, 1.8, 60.9),
+            RegionSize::new(0.01, 0.011),
+            WindowConfig::new(3_600_000, 1_800_000),
+            0.5,
+        )
+    }
+
+    #[test]
+    fn roundtrip_bounded_query() {
+        let q = sample();
+        let back = query_from_str(&query_to_string(&q)).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn roundtrip_unbounded_query() {
+        let q = SurgeQuery::whole_space(
+            RegionSize::new(1.5, 2.5),
+            WindowConfig::equal(60_000),
+            0.25,
+        );
+        let back = query_from_str(&query_to_string(&q)).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn keys_may_be_reordered_and_commented() {
+        let text = format!(
+            "{QUERY_HEADER}\n\
+             alpha = 0.3   # burstiness-leaning\n\
+             \n\
+             region = 1 2\n\
+             window_past_ms = 500\n\
+             area = unbounded\n\
+             window_current_ms = 1000\n"
+        );
+        let q = query_from_str(&text).unwrap();
+        assert_eq!(q.alpha, 0.3);
+        assert_eq!(q.windows.past_len, 500);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            query_from_str("nope\n"),
+            Err(IoError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_key() {
+        let text = format!("{QUERY_HEADER}\nbogus = 1\n");
+        let err = query_from_str(&text).unwrap_err();
+        match err {
+            IoError::Parse { at, message } => {
+                assert_eq!(at, 2);
+                assert!(message.contains("bogus"));
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_key() {
+        let text = format!("{QUERY_HEADER}\nalpha = 0.1\nalpha = 0.2\n");
+        assert!(matches!(query_from_str(&text), Err(IoError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_missing_key() {
+        let text = format!("{QUERY_HEADER}\nalpha = 0.1\n");
+        let err = query_from_str(&text).unwrap_err();
+        assert!(err.to_string().contains("missing required key"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_alpha() {
+        let text = format!(
+            "{QUERY_HEADER}\narea = unbounded\nregion = 1 1\n\
+             window_current_ms = 1\nwindow_past_ms = 1\nalpha = 1.0\n"
+        );
+        assert!(matches!(
+            query_from_str(&text),
+            Err(IoError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_inverted_area() {
+        let text = format!(
+            "{QUERY_HEADER}\narea = 5 5 1 1\nregion = 1 1\n\
+             window_current_ms = 1\nwindow_past_ms = 1\nalpha = 0.5\n"
+        );
+        assert!(matches!(
+            query_from_str(&text),
+            Err(IoError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_window() {
+        let text = format!(
+            "{QUERY_HEADER}\narea = unbounded\nregion = 1 1\n\
+             window_current_ms = 0\nwindow_past_ms = 1\nalpha = 0.5\n"
+        );
+        assert!(matches!(
+            query_from_str(&text),
+            Err(IoError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let text = format!("{QUERY_HEADER}\nregion = 1 2 3\n");
+        assert!(matches!(query_from_str(&text), Err(IoError::Parse { .. })));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("surge-io-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("query.conf");
+        let q = sample();
+        write_query_to(&path, &q).unwrap();
+        assert_eq!(read_query_from(&path).unwrap(), q);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,318 @@
+//! Text (CSV) codec for spatial-object streams.
+//!
+//! The format is one header line followed by one record per line:
+//!
+//! ```text
+//! # surge-objects v1
+//! id,weight,x,y,created_ms
+//! 0,42.5,12.4823,41.8901,0
+//! 1,7,12.5010,41.9002,118
+//! ```
+//!
+//! Floats are written with Rust's shortest round-trip formatting, so a
+//! write→read cycle reproduces every object bit-for-bit. Records must be in
+//! non-decreasing `created_ms` order — the order the sliding-window engine
+//! requires — and the reader enforces this.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use surge_core::{Point, SpatialObject};
+
+use crate::error::{IoError, Result};
+
+/// Header line identifying the format and version.
+pub const OBJECTS_HEADER: &str = "# surge-objects v1";
+/// Column-name line written after the header.
+pub const OBJECTS_COLUMNS: &str = "id,weight,x,y,created_ms";
+
+/// Writes a stream of spatial objects in CSV form.
+///
+/// Objects may be passed in any order; use
+/// [`read_objects`] / [`read_objects_from`] to get order validation on the
+/// way back in.
+///
+/// # Example
+///
+/// ```
+/// use surge_core::{Point, SpatialObject};
+/// use surge_io::{read_objects, write_objects};
+///
+/// let objects = vec![SpatialObject::new(0, 2.5, Point::new(12.48, 41.89), 100)];
+/// let mut buf = Vec::new();
+/// write_objects(&mut buf, &objects).unwrap();
+/// assert_eq!(read_objects(&buf[..]).unwrap(), objects); // bit-exact
+/// ```
+pub fn write_objects<'a, W: Write>(
+    mut out: W,
+    objects: impl IntoIterator<Item = &'a SpatialObject>,
+) -> Result<()> {
+    writeln!(out, "{OBJECTS_HEADER}")?;
+    writeln!(out, "{OBJECTS_COLUMNS}")?;
+    for o in objects {
+        writeln!(out, "{},{},{},{},{}", o.id, o.weight, o.pos.x, o.pos.y, o.created)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes objects to a file at `path`, creating or truncating it.
+pub fn write_objects_to<'a>(
+    path: impl AsRef<Path>,
+    objects: impl IntoIterator<Item = &'a SpatialObject>,
+) -> Result<()> {
+    let f = File::create(path)?;
+    write_objects(BufWriter::new(f), objects)
+}
+
+fn parse_f64(field: &str, name: &str, line_no: u64) -> Result<f64> {
+    field.parse::<f64>().map_err(|e| IoError::Parse {
+        at: line_no,
+        message: format!("{name} {field:?}: {e}"),
+    })
+}
+
+fn parse_u64(field: &str, name: &str, line_no: u64) -> Result<u64> {
+    field.parse::<u64>().map_err(|e| IoError::Parse {
+        at: line_no,
+        message: format!("{name} {field:?}: {e}"),
+    })
+}
+
+/// Reads a stream of spatial objects written by [`write_objects`].
+///
+/// Validates the header, per-field syntax, weight non-negativity, coordinate
+/// finiteness, and non-decreasing timestamps.
+pub fn read_objects<R: Read>(input: R) -> Result<Vec<SpatialObject>> {
+    let mut lines = BufReader::new(input).lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| IoError::BadHeader {
+            expected: OBJECTS_HEADER,
+            found: "<empty input>".into(),
+        })?;
+    if header.trim_end() != OBJECTS_HEADER {
+        return Err(IoError::BadHeader {
+            expected: OBJECTS_HEADER,
+            found: header,
+        });
+    }
+    // The column line is advisory; accept and skip it if present.
+    let mut pending: Option<String> = None;
+    if let Some(second) = lines.next().transpose()? {
+        if second.trim_end() != OBJECTS_COLUMNS {
+            pending = Some(second);
+        }
+    }
+
+    let mut objects = Vec::new();
+    let mut line_no = 2u64;
+    let mut last_created = 0u64;
+    let mut handle = |line: String, line_no: u64, objects: &mut Vec<SpatialObject>| -> Result<()> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Ok(());
+        }
+        let mut fields = trimmed.split(',');
+        let mut next = |name: &str| {
+            fields.next().ok_or_else(|| IoError::Parse {
+                at: line_no,
+                message: format!("missing field {name}"),
+            })
+        };
+        let id = parse_u64(next("id")?, "id", line_no)?;
+        let weight = parse_f64(next("weight")?, "weight", line_no)?;
+        let x = parse_f64(next("x")?, "x", line_no)?;
+        let y = parse_f64(next("y")?, "y", line_no)?;
+        let created = parse_u64(next("created_ms")?, "created_ms", line_no)?;
+        if fields.next().is_some() {
+            return Err(IoError::Parse {
+                at: line_no,
+                message: "too many fields".into(),
+            });
+        }
+        if !(weight >= 0.0 && weight.is_finite()) {
+            return Err(IoError::Invariant(format!(
+                "record {line_no}: weight must be finite and non-negative, got {weight}"
+            )));
+        }
+        if !x.is_finite() || !y.is_finite() {
+            return Err(IoError::Invariant(format!(
+                "record {line_no}: coordinates must be finite, got ({x}, {y})"
+            )));
+        }
+        if created < last_created {
+            return Err(IoError::Invariant(format!(
+                "record {line_no}: created {created} regresses below {last_created}"
+            )));
+        }
+        last_created = created;
+        objects.push(SpatialObject::new(id, weight, Point::new(x, y), created));
+        Ok(())
+    };
+
+    if let Some(line) = pending.take() {
+        handle(line, line_no, &mut objects)?;
+    }
+    for line in lines {
+        line_no += 1;
+        handle(line?, line_no, &mut objects)?;
+    }
+    Ok(objects)
+}
+
+/// Reads objects from a file at `path`.
+pub fn read_objects_from(path: impl AsRef<Path>) -> Result<Vec<SpatialObject>> {
+    read_objects(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SpatialObject> {
+        vec![
+            SpatialObject::new(0, 42.5, Point::new(12.4823, 41.8901), 0),
+            SpatialObject::new(1, 7.0, Point::new(12.501, 41.9002), 118),
+            SpatialObject::new(2, 0.0, Point::new(-0.125, 51.5), 118),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let objs = sample();
+        let mut buf = Vec::new();
+        write_objects(&mut buf, &objs).unwrap();
+        let back = read_objects(&buf[..]).unwrap();
+        assert_eq!(back, objs);
+    }
+
+    #[test]
+    fn roundtrip_preserves_awkward_floats() {
+        let objs = vec![SpatialObject::new(
+            u64::MAX,
+            f64::MIN_POSITIVE,
+            Point::new(0.1 + 0.2, -1e-300),
+            u64::MAX,
+        )];
+        let mut buf = Vec::new();
+        write_objects(&mut buf, &objs).unwrap();
+        let back = read_objects(&buf[..]).unwrap();
+        assert_eq!(back[0].weight.to_bits(), objs[0].weight.to_bits());
+        assert_eq!(back[0].pos.x.to_bits(), objs[0].pos.x.to_bits());
+        assert_eq!(back[0].pos.y.to_bits(), objs[0].pos.y.to_bits());
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        let mut buf = Vec::new();
+        write_objects(&mut buf, &[]).unwrap();
+        assert!(read_objects(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_objects("0,1,2,3,4\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::BadHeader { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let err = read_objects("".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn tolerates_missing_column_line() {
+        let text = format!("{OBJECTS_HEADER}\n5,1.5,2,3,77\n");
+        let objs = read_objects(text.as_bytes()).unwrap();
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs[0].id, 5);
+        assert_eq!(objs[0].created, 77);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = format!("{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n\n# note\n1,1,0,0,5\n");
+        assert_eq!(read_objects(text.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_float_with_line_number() {
+        let text = format!("{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n1,abc,0,0,5\n");
+        let err = read_objects(text.as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { at, message } => {
+                assert_eq!(at, 3);
+                assert!(message.contains("weight"));
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        let text = format!("{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n1,1,0,0\n");
+        assert!(matches!(
+            read_objects(text.as_bytes()),
+            Err(IoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_extra_field() {
+        let text = format!("{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n1,1,0,0,5,9\n");
+        assert!(matches!(
+            read_objects(text.as_bytes()),
+            Err(IoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_weight() {
+        let text = format!("{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n1,-1,0,0,5\n");
+        assert!(matches!(
+            read_objects(text.as_bytes()),
+            Err(IoError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_weight() {
+        let text = format!("{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n1,NaN,0,0,5\n");
+        assert!(matches!(
+            read_objects(text.as_bytes()),
+            Err(IoError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_infinite_coordinate() {
+        let text = format!("{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n1,1,inf,0,5\n");
+        assert!(matches!(
+            read_objects(text.as_bytes()),
+            Err(IoError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_order_timestamps() {
+        let text = format!("{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n1,1,0,0,50\n2,1,0,0,49\n");
+        let err = read_objects(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Invariant(_)), "{err}");
+    }
+
+    #[test]
+    fn file_helpers_roundtrip() {
+        let dir = std::env::temp_dir().join("surge-io-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("objects.csv");
+        let objs = sample();
+        write_objects_to(&path, &objs).unwrap();
+        let back = read_objects_from(&path).unwrap();
+        assert_eq!(back, objs);
+        std::fs::remove_file(&path).ok();
+    }
+}

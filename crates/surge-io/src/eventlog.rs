@@ -1,0 +1,287 @@
+//! Event-log recording and replay.
+//!
+//! The sliding-window engine deterministically expands an object stream into
+//! `New`/`Grown`/`Expired` events, but re-running the engine costs time and
+//! couples every consumer to `surge-stream`. An event log captures the
+//! expanded stream once so detectors can be replayed — for debugging a
+//! detector discrepancy at a precise event index, or for benchmarking
+//! detectors in isolation from the engine.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   : 8 bytes = b"SURGEEV1"
+//! count   : u64
+//! records : count × 49 bytes
+//!     kind       : u8 (0 = New, 1 = Grown, 2 = Expired)
+//!     at         : u64 (transition time, ms)
+//!     id         : u64
+//!     weight     : f64
+//!     x          : f64
+//!     y          : f64
+//!     created_ms : u64
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use surge_core::{Event, EventKind, Point, SpatialObject};
+
+use crate::error::{IoError, Result};
+
+/// Magic bytes identifying the format and version.
+pub const EVENTS_MAGIC: &[u8; 8] = b"SURGEEV1";
+/// Size of one encoded event record in bytes.
+pub const EVENT_RECORD_SIZE: usize = 49;
+
+fn kind_code(kind: EventKind) -> u8 {
+    match kind {
+        EventKind::New => 0,
+        EventKind::Grown => 1,
+        EventKind::Expired => 2,
+    }
+}
+
+fn code_kind(code: u8, at: u64) -> Result<EventKind> {
+    match code {
+        0 => Ok(EventKind::New),
+        1 => Ok(EventKind::Grown),
+        2 => Ok(EventKind::Expired),
+        other => Err(IoError::Parse {
+            at,
+            message: format!("unknown event kind code {other}"),
+        }),
+    }
+}
+
+/// An incremental event-log writer.
+///
+/// Events are buffered to the underlying writer as they are appended;
+/// [`EventLogWriter::finish`] patches the record count into the header.
+/// Because patching requires seeking, the incremental writer works on files;
+/// for in-memory encoding use [`write_events`].
+#[derive(Debug)]
+pub struct EventLogWriter {
+    out: BufWriter<File>,
+    count: u64,
+}
+
+impl EventLogWriter {
+    /// Creates a log at `path`, truncating any existing file.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(EVENTS_MAGIC)?;
+        out.write_all(&0u64.to_le_bytes())?; // patched by finish()
+        Ok(EventLogWriter { out, count: 0 })
+    }
+
+    /// Appends one event.
+    pub fn append(&mut self, event: &Event) -> Result<()> {
+        write_event(&mut self.out, event)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Number of events appended so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no events have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Flushes buffered records and patches the header count.
+    pub fn finish(self) -> Result<()> {
+        use std::io::Seek;
+        let count = self.count;
+        let mut file = self.out.into_inner().map_err(|e| IoError::Io(e.into_error()))?;
+        file.seek(std::io::SeekFrom::Start(8))?;
+        file.write_all(&count.to_le_bytes())?;
+        file.sync_data()?;
+        Ok(())
+    }
+}
+
+fn write_event<W: Write>(out: &mut W, e: &Event) -> Result<()> {
+    out.write_all(&[kind_code(e.kind)])?;
+    out.write_all(&e.at.to_le_bytes())?;
+    out.write_all(&e.object.id.to_le_bytes())?;
+    out.write_all(&e.object.weight.to_bits().to_le_bytes())?;
+    out.write_all(&e.object.pos.x.to_bits().to_le_bytes())?;
+    out.write_all(&e.object.pos.y.to_bits().to_le_bytes())?;
+    out.write_all(&e.object.created.to_le_bytes())?;
+    Ok(())
+}
+
+/// Encodes a complete event slice (in-memory counterpart of
+/// [`EventLogWriter`]).
+pub fn write_events<W: Write>(out: W, events: &[Event]) -> Result<()> {
+    let mut out = BufWriter::new(out);
+    out.write_all(EVENTS_MAGIC)?;
+    out.write_all(&(events.len() as u64).to_le_bytes())?;
+    for e in events {
+        write_event(&mut out, e)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes a complete event slice to `path`.
+pub fn write_events_to(path: impl AsRef<Path>, events: &[Event]) -> Result<()> {
+    write_events(File::create(path)?, events)
+}
+
+fn u64_from(buf: &[u8]) -> u64 {
+    u64::from_le_bytes(buf.try_into().expect("8-byte slice"))
+}
+
+/// Reads an event log.
+///
+/// Validates the magic, the record count, event-kind codes, and
+/// non-decreasing transition times (the order every detector assumes).
+pub fn read_events<R: Read>(input: R) -> Result<Vec<Event>> {
+    let mut input = BufReader::new(input);
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic).map_err(|e| map_eof(e, 0, "magic"))?;
+    if &magic != EVENTS_MAGIC {
+        return Err(IoError::BadHeader {
+            expected: "SURGEEV1",
+            found: String::from_utf8_lossy(&magic).into_owned(),
+        });
+    }
+    let mut count_buf = [0u8; 8];
+    input
+        .read_exact(&mut count_buf)
+        .map_err(|e| map_eof(e, 0, "count"))?;
+    let count = u64_from(&count_buf);
+    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut rec = [0u8; EVENT_RECORD_SIZE];
+    let mut last_at = 0u64;
+    for i in 0..count {
+        input.read_exact(&mut rec).map_err(|e| map_eof(e, i, "record"))?;
+        let kind = code_kind(rec[0], i)?;
+        let at = u64_from(&rec[1..9]);
+        let id = u64_from(&rec[9..17]);
+        let weight = f64::from_bits(u64_from(&rec[17..25]));
+        let x = f64::from_bits(u64_from(&rec[25..33]));
+        let y = f64::from_bits(u64_from(&rec[33..41]));
+        let created = u64_from(&rec[41..49]);
+        if at < last_at {
+            return Err(IoError::Invariant(format!(
+                "record {i}: transition time {at} regresses below {last_at}"
+            )));
+        }
+        last_at = at;
+        let object = SpatialObject::new(id, weight, Point::new(x, y), created);
+        events.push(Event { kind, object, at });
+    }
+    Ok(events)
+}
+
+fn map_eof(e: std::io::Error, at: u64, what: &str) -> IoError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        IoError::Parse {
+            at,
+            message: format!("truncated input while reading {what}"),
+        }
+    } else {
+        IoError::Io(e)
+    }
+}
+
+/// Reads an event log from a file at `path`.
+pub fn read_events_from(path: impl AsRef<Path>) -> Result<Vec<Event>> {
+    read_events(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(id: u64, t: u64) -> SpatialObject {
+        SpatialObject::new(id, id as f64 + 0.5, Point::new(id as f64, -(id as f64)), t)
+    }
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::new_arrival(obj(0, 0)),
+            Event::new_arrival(obj(1, 50)),
+            Event::grown(obj(0, 0), 100),
+            Event::grown(obj(1, 50), 150),
+            Event::expired(obj(0, 0), 200),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let events = sample();
+        let mut buf = Vec::new();
+        write_events(&mut buf, &events).unwrap();
+        assert_eq!(buf.len(), 16 + EVENT_RECORD_SIZE * events.len());
+        assert_eq!(read_events(&buf[..]).unwrap(), events);
+    }
+
+    #[test]
+    fn incremental_writer_roundtrips() {
+        let dir = std::env::temp_dir().join("surge-io-ev-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.log");
+        let events = sample();
+        let mut w = EventLogWriter::create(&path).unwrap();
+        assert!(w.is_empty());
+        for e in &events {
+            w.append(e).unwrap();
+        }
+        assert_eq!(w.len(), events.len() as u64);
+        w.finish().unwrap();
+        assert_eq!(read_events_from(&path).unwrap(), events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let mut buf = Vec::new();
+        write_events(&mut buf, &sample()).unwrap();
+        buf[16] = 9; // corrupt first record's kind byte
+        let err = read_events(&buf[..]).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_time_regression() {
+        let events = vec![
+            Event::grown(obj(0, 0), 100),
+            Event::new_arrival(obj(1, 50)), // at = 50 < 100
+        ];
+        let mut buf = Vec::new();
+        write_events(&mut buf, &events).unwrap();
+        assert!(matches!(
+            read_events(&buf[..]),
+            Err(IoError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let err = read_events(&b"SURGEOB1\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, IoError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let mut buf = Vec::new();
+        write_events(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(matches!(read_events(&buf[..]), Err(IoError::Parse { .. })));
+    }
+
+    #[test]
+    fn empty_log_roundtrips() {
+        let mut buf = Vec::new();
+        write_events(&mut buf, &[]).unwrap();
+        assert!(read_events(&buf[..]).unwrap().is_empty());
+    }
+}

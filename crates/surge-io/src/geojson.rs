@@ -1,0 +1,181 @@
+//! GeoJSON export for detections and object snapshots.
+//!
+//! The paper's case study (§VII-G, Figs. 12–13) presents detected bursty
+//! regions on a map. This module serializes detector answers and window
+//! snapshots as a GeoJSON `FeatureCollection` so any mapping tool (kepler.gl,
+//! geojson.io, QGIS) can render them. Coordinates follow the crate-wide
+//! convention `x = longitude`, `y = latitude`.
+
+use std::fmt::Write as _;
+
+use surge_core::{Rect, RegionAnswer, SpatialObject};
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a finite float for JSON (JSON has no NaN/Infinity; those become
+/// `null`).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn polygon_coords(r: &Rect) -> String {
+    format!(
+        "[[[{x0},{y0}],[{x1},{y0}],[{x1},{y1}],[{x0},{y1}],[{x0},{y0}]]]",
+        x0 = num(r.x0),
+        y0 = num(r.y0),
+        x1 = num(r.x1),
+        y1 = num(r.y1),
+    )
+}
+
+/// A labelled detection to include in an export.
+#[derive(Debug, Clone)]
+pub struct LabelledAnswer {
+    /// The detector answer.
+    pub answer: RegionAnswer,
+    /// Free-form label (detector name, rank, timestamp, …).
+    pub label: String,
+}
+
+/// Builds a GeoJSON `FeatureCollection` string from detections and an
+/// optional object snapshot.
+///
+/// Regions become `Polygon` features with `score` and `label` properties;
+/// objects become `Point` features with `weight` and `created_ms` properties.
+pub fn feature_collection(answers: &[LabelledAnswer], objects: &[SpatialObject]) -> String {
+    let mut features = Vec::with_capacity(answers.len() + objects.len());
+    for a in answers {
+        features.push(format!(
+            concat!(
+                "{{\"type\":\"Feature\",\"geometry\":{{\"type\":\"Polygon\",",
+                "\"coordinates\":{coords}}},\"properties\":{{\"score\":{score},",
+                "\"label\":\"{label}\"}}}}"
+            ),
+            coords = polygon_coords(&a.answer.region),
+            score = num(a.answer.score),
+            label = escape(&a.label),
+        ));
+    }
+    for o in objects {
+        features.push(format!(
+            concat!(
+                "{{\"type\":\"Feature\",\"geometry\":{{\"type\":\"Point\",",
+                "\"coordinates\":[{x},{y}]}},\"properties\":{{\"id\":{id},",
+                "\"weight\":{w},\"created_ms\":{t}}}}}"
+            ),
+            x = num(o.pos.x),
+            y = num(o.pos.y),
+            id = o.id,
+            w = num(o.weight),
+            t = o.created,
+        ));
+    }
+    format!(
+        "{{\"type\":\"FeatureCollection\",\"features\":[{}]}}",
+        features.join(",")
+    )
+}
+
+/// Writes a feature collection to a file at `path`.
+pub fn write_feature_collection_to(
+    path: impl AsRef<std::path::Path>,
+    answers: &[LabelledAnswer],
+    objects: &[SpatialObject],
+) -> crate::error::Result<()> {
+    std::fs::write(path, feature_collection(answers, objects))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surge_core::Point;
+
+    fn answer(score: f64) -> RegionAnswer {
+        RegionAnswer::from_region(Rect::new(12.0, 41.0, 12.1, 41.1), score)
+    }
+
+    #[test]
+    fn collection_has_expected_shape() {
+        let answers = vec![LabelledAnswer {
+            answer: answer(3.25),
+            label: "CCS".into(),
+        }];
+        let objects = vec![SpatialObject::new(5, 2.0, Point::new(12.05, 41.05), 99)];
+        let json = feature_collection(&answers, &objects);
+        assert!(json.starts_with("{\"type\":\"FeatureCollection\""));
+        assert!(json.contains("\"Polygon\""));
+        assert!(json.contains("\"Point\""));
+        assert!(json.contains("\"score\":3.25"));
+        assert!(json.contains("\"label\":\"CCS\""));
+        assert!(json.contains("\"created_ms\":99"));
+        // Polygon ring is closed: first coordinate repeats at the end.
+        assert!(json.contains("[12,41]],[[12,41]]") || json.matches("[12,41]").count() >= 2);
+    }
+
+    #[test]
+    fn empty_collection_is_valid() {
+        let json = feature_collection(&[], &[]);
+        assert_eq!(json, "{\"type\":\"FeatureCollection\",\"features\":[]}");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let answers = vec![LabelledAnswer {
+            answer: answer(1.0),
+            label: "a\"b\\c\nd".into(),
+        }];
+        let json = feature_collection(&answers, &[]);
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let answers = vec![LabelledAnswer {
+            answer: answer(1.0),
+            label: "x\u{1}y".into(),
+        }];
+        assert!(feature_collection(&answers, &[]).contains("\\u0001"));
+    }
+
+    #[test]
+    fn nonfinite_scores_become_null() {
+        let answers = vec![LabelledAnswer {
+            answer: answer(f64::INFINITY),
+            label: "inf".into(),
+        }];
+        assert!(feature_collection(&answers, &[]).contains("\"score\":null"));
+    }
+
+    #[test]
+    fn file_export_writes_json() {
+        let dir = std::env::temp_dir().join("surge-io-geojson-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.geojson");
+        write_feature_collection_to(&path, &[], &[]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("FeatureCollection"));
+        std::fs::remove_file(&path).ok();
+    }
+}

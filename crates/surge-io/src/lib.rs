@@ -1,0 +1,38 @@
+//! # surge-io
+//!
+//! Persistence and interchange formats for the SURGE system:
+//!
+//! * [`csv`] — human-readable text codec for [`surge_core::SpatialObject`]
+//!   streams (one record per line, shortest-round-trip floats).
+//! * [`binary`] — compact fixed-record binary codec for the same streams
+//!   (40 bytes/object, seekable).
+//! * [`eventlog`] — recording and replay of the expanded
+//!   `New`/`Grown`/`Expired` event stream, for detector debugging and
+//!   engine-independent benchmarking.
+//! * [`geojson`] — GeoJSON export of detections and window snapshots for
+//!   map rendering (the paper's §VII-G case-study figures).
+//! * [`config`] — textual save/load of [`surge_core::SurgeQuery`] for
+//!   reproducible experiment configurations.
+//!
+//! All decoders validate structural invariants (headers, record counts,
+//! timestamp monotonicity, weight/coordinate sanity) and report precise
+//! locations via [`IoError`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod config;
+pub mod csv;
+pub mod error;
+pub mod eventlog;
+pub mod geojson;
+
+pub use binary::{
+    read_objects_binary, read_objects_binary_from, write_objects_binary, write_objects_binary_to,
+};
+pub use config::{query_from_str, query_to_string, read_query_from, write_query_to};
+pub use csv::{read_objects, read_objects_from, write_objects, write_objects_to};
+pub use error::{IoError, Result};
+pub use eventlog::{read_events, read_events_from, write_events, write_events_to, EventLogWriter};
+pub use geojson::{feature_collection, write_feature_collection_to, LabelledAnswer};

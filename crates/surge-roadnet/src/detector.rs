@@ -1,0 +1,621 @@
+//! Bursty network-region detectors.
+//!
+//! Two detectors mirror the paper's planar pair on the road network:
+//!
+//! * [`NetGapSurge`] — the network analog of GAP-SURGE: every fixed-length
+//!   edge segment is a candidate region with an incrementally maintained
+//!   burst score; the best segment is reported in `O(log n)` per event.
+//! * [`NetBallOracle`] — a brute-force reference that scores *network
+//!   balls* (all objects within network distance `r` of a node) by truncated
+//!   Dijkstra. It is the quality yardstick for [`NetGapSurge`]: a segment of
+//!   length `L` is contained in the ball of radius `L` around its midpoint,
+//!   so by the paper's Lemma 5 the best ball scores at least
+//!   `(1 − α) · S(best segment)`.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
+
+use surge_core::{
+    BurstParams, DetectorStats, Event, EventKind, ObjectId, Point, ScorePair, TotalF64, SCORE_EPS,
+};
+
+use crate::graph::{EdgePos, NodeId, RoadNetwork};
+use crate::path::dijkstra_from_node;
+use crate::segment::{SegmentId, Segmentation};
+use crate::snap::EdgeIndex;
+
+/// A detected bursty network region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetAnswer {
+    /// The winning segment.
+    pub segment: SegmentId,
+    /// Offset range `[start, end]` of the segment along its edge.
+    pub span: (f64, f64),
+    /// Planar embedding of the segment midpoint (for display).
+    pub midpoint: Point,
+    /// The segment's burst score.
+    pub score: f64,
+}
+
+/// Network GAP-SURGE: per-segment burst scores over the shared event stream.
+///
+/// Objects are snapped to the network on arrival; objects farther than
+/// `snap_tolerance` from any road are ignored (off-network noise). Snaps are
+/// cached by object id so the `Grown`/`Expired` events of an object reuse the
+/// `New` snap.
+///
+/// # Example
+///
+/// ```
+/// use surge_core::{BurstParams, Event, Point, SpatialObject, WindowConfig};
+/// use surge_roadnet::{grid_city, GridCityConfig, NetGapSurge};
+///
+/// let city = grid_city(&GridCityConfig::default()); // 16x16 junctions
+/// let params = BurstParams::new(0.5, WindowConfig::equal(60_000));
+/// // Candidate regions: road segments of <= 150m; snap radius 80m.
+/// let mut det = NetGapSurge::new(city, 150.0, params, 80.0);
+///
+/// // A pickup near the street between the first two junctions.
+/// let pickup = SpatialObject::new(0, 3.0, Point::new(40.0, 5.0), 0);
+/// det.on_event(&Event::new_arrival(pickup));
+///
+/// let hot = det.current().expect("one on-network object");
+/// assert!(hot.score > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct NetGapSurge {
+    net: RoadNetwork,
+    seg: Segmentation,
+    index: EdgeIndex,
+    params: BurstParams,
+    snap_tolerance: f64,
+    /// Raw weight sums per segment ordinal.
+    weights: Vec<ScorePair>,
+    /// Updatable priority queue of `(score, ordinal)`.
+    heap: BTreeSet<(TotalF64, u32)>,
+    /// Score currently registered in the heap per ordinal.
+    registered: Vec<f64>,
+    /// Object id → segment ordinal (objects being tracked).
+    placements: HashMap<ObjectId, u32>,
+    stats: DetectorStats,
+}
+
+impl NetGapSurge {
+    /// Creates a detector over `net` with segments of length at most
+    /// `segment_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no edges, or `snap_tolerance` is negative.
+    pub fn new(
+        net: RoadNetwork,
+        segment_len: f64,
+        params: BurstParams,
+        snap_tolerance: f64,
+    ) -> Self {
+        Self::build(net, segment_len, params, snap_tolerance, false)
+    }
+
+    /// Like [`NetGapSurge::new`], but with the half-phase (boundary-shifted)
+    /// segmentation — used by the multi-segmentation detector.
+    pub fn with_half_phase(
+        net: RoadNetwork,
+        segment_len: f64,
+        params: BurstParams,
+        snap_tolerance: f64,
+    ) -> Self {
+        Self::build(net, segment_len, params, snap_tolerance, true)
+    }
+
+    fn build(
+        net: RoadNetwork,
+        segment_len: f64,
+        params: BurstParams,
+        snap_tolerance: f64,
+        half_phase: bool,
+    ) -> Self {
+        assert!(
+            snap_tolerance >= 0.0,
+            "snap tolerance must be non-negative"
+        );
+        let index = EdgeIndex::build(&net).expect("network must have at least one edge");
+        let seg = if half_phase {
+            Segmentation::new_half_phase(&net, segment_len)
+        } else {
+            Segmentation::new(&net, segment_len)
+        };
+        let n = seg.segment_count() as usize;
+        NetGapSurge {
+            net,
+            seg,
+            index,
+            params,
+            snap_tolerance,
+            weights: vec![ScorePair::default(); n],
+            heap: BTreeSet::new(),
+            registered: vec![0.0; n],
+            placements: HashMap::new(),
+            stats: DetectorStats::default(),
+        }
+    }
+
+    /// The segmentation in use.
+    pub fn segmentation(&self) -> &Segmentation {
+        &self.seg
+    }
+
+    /// The network in use.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> DetectorStats {
+        self.stats
+    }
+
+    fn reheap(&mut self, ordinal: u32) {
+        let idx = ordinal as usize;
+        let old = self.registered[idx];
+        if old != 0.0 {
+            self.heap.remove(&(TotalF64(old), ordinal));
+        }
+        let score = self
+            .params
+            .score_normalized(self.weights[idx].fc, self.weights[idx].fp);
+        // Scores below SCORE_EPS are pure float residue from add/remove
+        // cycles of the same weights; treat them as "nothing here".
+        if score > SCORE_EPS {
+            self.heap.insert((TotalF64(score), ordinal));
+            self.registered[idx] = score;
+        } else {
+            self.registered[idx] = 0.0;
+        }
+    }
+
+    /// Processes one window-transition event.
+    pub fn on_event(&mut self, event: &Event) {
+        self.stats.events += 1;
+        let ordinal = match event.kind {
+            EventKind::New => {
+                self.stats.new_events += 1;
+                let snap = self.index.snap(&self.net, event.object.pos);
+                if snap.distance > self.snap_tolerance {
+                    return; // off-network object
+                }
+                let seg = self.seg.segment_of(&self.net, snap.pos);
+                let ordinal = self.seg.ordinal(seg);
+                match self.placements.entry(event.object.id) {
+                    Entry::Vacant(v) => {
+                        v.insert(ordinal);
+                    }
+                    Entry::Occupied(_) => {
+                        // Duplicate id: drop rather than corrupt bookkeeping.
+                        return;
+                    }
+                }
+                ordinal
+            }
+            EventKind::Grown => match self.placements.get(&event.object.id) {
+                Some(&o) => o,
+                None => return,
+            },
+            EventKind::Expired => match self.placements.remove(&event.object.id) {
+                Some(o) => o,
+                None => return,
+            },
+        };
+        let idx = ordinal as usize;
+        let w = event.object.weight;
+        match event.kind {
+            EventKind::New => {
+                self.weights[idx].fc += w / self.params.current_norm;
+            }
+            EventKind::Grown => {
+                self.weights[idx].fc -= w / self.params.current_norm;
+                self.weights[idx].fp += w / self.params.past_norm;
+            }
+            EventKind::Expired => {
+                self.weights[idx].fp -= w / self.params.past_norm;
+            }
+        }
+        self.reheap(ordinal);
+    }
+
+    /// The ordinal back to a [`SegmentId`]. Linear in the number of edges of
+    /// the winning edge only in pathological cases; ordinals are resolved by
+    /// binary search over the prefix-sum table.
+    fn answer_for(&self, ordinal: u32, score: f64) -> NetAnswer {
+        // Recover the SegmentId by scanning edges; the prefix-sum table in
+        // Segmentation is private to it, so ask it via binary search.
+        let seg = self.segment_from_ordinal(ordinal);
+        let span = self.seg.segment_span(&self.net, seg);
+        let midpoint = self.net.embed(self.seg.segment_midpoint(&self.net, seg));
+        NetAnswer {
+            segment: seg,
+            span,
+            midpoint,
+            score,
+        }
+    }
+
+    fn segment_from_ordinal(&self, ordinal: u32) -> SegmentId {
+        // Binary search over edges: find the edge whose ordinal range
+        // contains `ordinal`.
+        let (mut lo, mut hi) = (0u32, self.net.edge_count() as u32);
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.seg.ordinal(SegmentId {
+                edge: mid,
+                index: 0,
+            }) <= ordinal
+            {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let base = self.seg.ordinal(SegmentId {
+            edge: lo,
+            index: 0,
+        });
+        SegmentId {
+            edge: lo,
+            index: ordinal - base,
+        }
+    }
+
+    /// The current bursty network region, or `None` when no segment has a
+    /// positive score.
+    pub fn current(&self) -> Option<NetAnswer> {
+        let &(score, ordinal) = self.heap.iter().next_back()?;
+        Some(self.answer_for(ordinal, score.get()))
+    }
+
+    /// The current top-k network regions, best first (distinct segments, so
+    /// inherently non-overlapping).
+    pub fn current_topk(&self, k: usize) -> Vec<NetAnswer> {
+        self.heap
+            .iter()
+            .rev()
+            .take(k)
+            .map(|&(score, ordinal)| self.answer_for(ordinal, score.get()))
+            .collect()
+    }
+
+    /// Recomputes the best segment from the raw weight table — the oracle
+    /// used in tests to validate heap maintenance.
+    pub fn recompute_best(&self) -> Option<(u32, f64)> {
+        let mut best: Option<(u32, f64)> = None;
+        for (i, sp) in self.weights.iter().enumerate() {
+            let s = self.params.score_normalized(sp.fc, sp.fp);
+            if s > SCORE_EPS && best.map_or(true, |(_, bs)| s > bs) {
+                best = Some((i as u32, s));
+            }
+        }
+        best
+    }
+}
+
+/// A scored network ball: all tracked objects within network distance
+/// `radius` of `center`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BallAnswer {
+    /// The ball's center node.
+    pub center: NodeId,
+    /// The ball radius used.
+    pub radius: f64,
+    /// The ball's burst score.
+    pub score: f64,
+}
+
+/// Brute-force network-ball scorer (test/quality oracle; not incremental).
+#[derive(Debug)]
+pub struct NetBallOracle {
+    net: RoadNetwork,
+    index: EdgeIndex,
+    params: BurstParams,
+    snap_tolerance: f64,
+    /// Live snapped objects: id → (position, weight, in-past flag).
+    objects: HashMap<ObjectId, (EdgePos, f64, bool)>,
+}
+
+impl NetBallOracle {
+    /// Creates an oracle over `net`.
+    pub fn new(net: RoadNetwork, params: BurstParams, snap_tolerance: f64) -> Self {
+        let index = EdgeIndex::build(&net).expect("network must have at least one edge");
+        NetBallOracle {
+            net,
+            index,
+            params,
+            snap_tolerance,
+            objects: HashMap::new(),
+        }
+    }
+
+    /// Processes one window-transition event.
+    pub fn on_event(&mut self, event: &Event) {
+        match event.kind {
+            EventKind::New => {
+                let snap = self.index.snap(&self.net, event.object.pos);
+                if snap.distance <= self.snap_tolerance {
+                    self.objects
+                        .insert(event.object.id, (snap.pos, event.object.weight, false));
+                }
+            }
+            EventKind::Grown => {
+                if let Some(entry) = self.objects.get_mut(&event.object.id) {
+                    entry.2 = true;
+                }
+            }
+            EventKind::Expired => {
+                self.objects.remove(&event.object.id);
+            }
+        }
+    }
+
+    /// Number of live tracked objects.
+    pub fn live_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Scores the ball of network radius `radius` centered at `node`.
+    pub fn score_ball(&self, node: NodeId, radius: f64) -> f64 {
+        let dist = dijkstra_from_node(&self.net, node, radius);
+        let mut wc = 0.0;
+        let mut wp = 0.0;
+        for &(pos, weight, in_past) in self.objects.values() {
+            let e = self.net.edge(pos.edge);
+            let (to_a, to_b) = self.net.endpoint_distances(pos);
+            let d = (dist[e.a as usize] + to_a).min(dist[e.b as usize] + to_b);
+            if d <= radius {
+                if in_past {
+                    wp += weight;
+                } else {
+                    wc += weight;
+                }
+            }
+        }
+        self.params.score_weights(wc, wp)
+    }
+
+    /// The best ball of radius `radius` over all node centers.
+    pub fn best_ball(&self, radius: f64) -> Option<BallAnswer> {
+        let mut best: Option<BallAnswer> = None;
+        for node in 0..self.net.node_count() as NodeId {
+            let score = self.score_ball(node, radius);
+            if score > 0.0 && best.map_or(true, |b| score > b.score) {
+                best = Some(BallAnswer {
+                    center: node,
+                    radius,
+                    score,
+                });
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{grid_city, GridCityConfig};
+    use surge_core::{SpatialObject, WindowConfig};
+
+    fn city() -> RoadNetwork {
+        grid_city(&GridCityConfig {
+            nx: 6,
+            ny: 6,
+            spacing: 100.0,
+            jitter: 0.0,
+            drop_fraction: 0.0,
+            seed: 0,
+        })
+    }
+
+    fn params() -> BurstParams {
+        BurstParams::new(0.5, WindowConfig::equal(1_000))
+    }
+
+    fn ev(kind: EventKind, id: u64, x: f64, y: f64, w: f64) -> Event {
+        let o = SpatialObject::new(id, w, Point::new(x, y), 0);
+        match kind {
+            EventKind::New => Event::new_arrival(o),
+            EventKind::Grown => Event::grown(o, 0),
+            EventKind::Expired => Event::expired(o, 0),
+        }
+    }
+
+    #[test]
+    fn empty_detector_reports_nothing() {
+        let det = NetGapSurge::new(city(), 50.0, params(), 10.0);
+        assert!(det.current().is_none());
+        assert!(det.current_topk(3).is_empty());
+    }
+
+    #[test]
+    fn single_object_creates_answer() {
+        let mut det = NetGapSurge::new(city(), 50.0, params(), 10.0);
+        det.on_event(&ev(EventKind::New, 0, 150.0, 0.0, 10.0));
+        let a = det.current().expect("answer");
+        // Object snaps to the bottom row between junctions 1 and 2.
+        assert!(a.score > 0.0);
+        assert!((a.midpoint.y).abs() < 50.0);
+        assert!(a.midpoint.x > 50.0 && a.midpoint.x < 250.0);
+    }
+
+    #[test]
+    fn off_network_objects_are_ignored() {
+        let mut det = NetGapSurge::new(city(), 50.0, params(), 5.0);
+        det.on_event(&ev(EventKind::New, 0, 150.0, 48.0, 10.0)); // 48 > 5 away
+        assert!(det.current().is_none());
+        // Its grown/expired events are ignored too (no panic, no effect).
+        det.on_event(&ev(EventKind::Grown, 0, 150.0, 48.0, 10.0));
+        det.on_event(&ev(EventKind::Expired, 0, 150.0, 48.0, 10.0));
+        assert!(det.current().is_none());
+    }
+
+    #[test]
+    fn lifecycle_clears_scores() {
+        let mut det = NetGapSurge::new(city(), 50.0, params(), 10.0);
+        det.on_event(&ev(EventKind::New, 0, 150.0, 0.0, 10.0));
+        assert!(det.current().is_some());
+        det.on_event(&ev(EventKind::Grown, 0, 150.0, 0.0, 10.0));
+        // In the past window only: score is 0 (nothing current).
+        assert!(det.current().is_none());
+        det.on_event(&ev(EventKind::Expired, 0, 150.0, 0.0, 10.0));
+        assert!(det.current().is_none());
+        assert_eq!(det.recompute_best(), None);
+    }
+
+    #[test]
+    fn duplicate_new_ids_are_dropped() {
+        let mut det = NetGapSurge::new(city(), 50.0, params(), 10.0);
+        det.on_event(&ev(EventKind::New, 0, 150.0, 0.0, 10.0));
+        det.on_event(&ev(EventKind::New, 0, 350.0, 0.0, 99.0));
+        let a = det.current().unwrap();
+        // Second insert ignored: score reflects only the first object.
+        let expected = params().score_weights(10.0, 0.0);
+        assert!((a.score - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heap_matches_recompute_after_churn() {
+        let mut det = NetGapSurge::new(city(), 75.0, params(), 10.0);
+        // A deterministic churn of arrivals/transitions across the city.
+        let mut id = 0u64;
+        for round in 0..8 {
+            for i in 0..20 {
+                let x = (i * 37 % 500) as f64;
+                let y = ((i * 91 + round * 13) % 500) as f64;
+                det.on_event(&ev(EventKind::New, id, x, y, 1.0 + (i % 5) as f64));
+                if id % 3 == 0 {
+                    det.on_event(&ev(EventKind::Grown, id, x, y, 1.0 + (i % 5) as f64));
+                }
+                if id % 6 == 0 {
+                    det.on_event(&ev(EventKind::Expired, id, x, y, 1.0 + (i % 5) as f64));
+                }
+                id += 1;
+            }
+        }
+        let heap_best = det.current().map(|a| a.score).unwrap_or(0.0);
+        let table_best = det.recompute_best().map(|(_, s)| s).unwrap_or(0.0);
+        assert!(
+            (heap_best - table_best).abs() < 1e-12,
+            "heap {heap_best} vs table {table_best}"
+        );
+    }
+
+    #[test]
+    fn topk_is_sorted_and_distinct() {
+        let mut det = NetGapSurge::new(city(), 50.0, params(), 10.0);
+        for i in 0..10u64 {
+            det.on_event(&ev(
+                EventKind::New,
+                i,
+                (i * 100) as f64 % 500.0,
+                ((i / 5) * 100) as f64,
+                (i + 1) as f64,
+            ));
+        }
+        let top = det.current_topk(4);
+        assert!(!top.is_empty());
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+            assert_ne!(w[0].segment, w[1].segment);
+        }
+    }
+
+    #[test]
+    fn burst_is_localized_to_hot_street() {
+        let mut det = NetGapSurge::new(city(), 60.0, params(), 10.0);
+        // Background: one object per junction row.
+        for i in 0..6u64 {
+            det.on_event(&ev(EventKind::New, i, 10.0, (i * 100) as f64, 1.0));
+        }
+        // Burst: many objects around (300, 200).
+        for j in 0..15u64 {
+            det.on_event(&ev(
+                EventKind::New,
+                100 + j,
+                295.0 + (j % 3) as f64 * 4.0,
+                200.0,
+                2.0,
+            ));
+        }
+        let a = det.current().unwrap();
+        let d = ((a.midpoint.x - 300.0).powi(2) + (a.midpoint.y - 200.0).powi(2)).sqrt();
+        assert!(d < 80.0, "burst localized {d} away at {:?}", a.midpoint);
+    }
+
+    #[test]
+    fn ball_oracle_dominates_segments_lemma5() {
+        let params = params();
+        let net = city();
+        let seg_len = 60.0;
+        let mut det = NetGapSurge::new(net.clone(), seg_len, params, 10.0);
+        let mut oracle = NetBallOracle::new(net, params, 10.0);
+        for i in 0..60u64 {
+            let e = ev(
+                EventKind::New,
+                i,
+                (i * 83 % 500) as f64,
+                (i * 47 % 500) as f64,
+                1.0 + (i % 7) as f64,
+            );
+            det.on_event(&e);
+            oracle.on_event(&e);
+            if i % 4 == 0 {
+                let g = Event::grown(e.object, 0);
+                det.on_event(&g);
+                oracle.on_event(&g);
+            }
+        }
+        let seg_best = det.current().map(|a| a.score).unwrap_or(0.0);
+        // Any segment of length <= L fits inside a ball of radius L centered
+        // at its midpoint; Lemma 5 then bounds the ball's score from below.
+        // Ball centers are nodes, so allow radius L + L/2 to cover the
+        // distance from the midpoint to the nearest node.
+        let ball_best = oracle
+            .best_ball(seg_len * 1.5)
+            .map(|b| b.score)
+            .unwrap_or(0.0);
+        assert!(
+            ball_best >= (1.0 - params.alpha) * seg_best - 1e-12,
+            "ball {ball_best} vs segment {seg_best}"
+        );
+    }
+
+    #[test]
+    fn ball_score_grows_with_radius() {
+        let net = city();
+        // On a 100-spacing grid every point is within 50 of a road; a
+        // 60-unit tolerance keeps all probes.
+        let mut oracle = NetBallOracle::new(net, params(), 60.0);
+        for i in 0..30u64 {
+            oracle.on_event(&ev(
+                EventKind::New,
+                i,
+                (i * 67 % 500) as f64,
+                (i * 29 % 500) as f64,
+                1.0,
+            ));
+        }
+        assert_eq!(oracle.live_objects(), 30);
+        let s100 = oracle.best_ball(100.0).map(|b| b.score).unwrap_or(0.0);
+        let s400 = oracle.best_ball(400.0).map(|b| b.score).unwrap_or(0.0);
+        // With everything in the current window, score is monotone in the
+        // covered weight, which is monotone in the radius.
+        assert!(s400 >= s100);
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let mut det = NetGapSurge::new(city(), 50.0, params(), 10.0);
+        det.on_event(&ev(EventKind::New, 0, 0.0, 0.0, 1.0));
+        det.on_event(&ev(EventKind::Grown, 0, 0.0, 0.0, 1.0));
+        let s = det.stats();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.new_events, 1);
+    }
+}

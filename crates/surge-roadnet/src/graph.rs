@@ -1,0 +1,435 @@
+//! The road-network substrate: an undirected weighted graph embedded in the
+//! plane.
+//!
+//! Nodes are junctions with planar coordinates; edges are road segments with
+//! a travel length (by default the Euclidean distance between endpoints).
+//! The SURGE road-network extension detects bursty *network regions* —
+//! stretches of road, not free-floating rectangles — so every algorithm in
+//! this crate works with positions of the form "edge `e`, `offset` meters
+//! from endpoint `a`".
+
+use surge_core::Point;
+
+/// Index of a junction in a [`RoadNetwork`].
+pub type NodeId = u32;
+
+/// Index of a road segment in a [`RoadNetwork`].
+pub type EdgeId = u32;
+
+/// A junction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node {
+    /// Planar position.
+    pub pos: Point,
+}
+
+/// An undirected road segment between two junctions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Travel length (same unit as node coordinates).
+    pub length: f64,
+}
+
+/// A position on the network: `offset` along edge `edge`, measured from the
+/// edge's `a` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgePos {
+    /// The edge carrying the position.
+    pub edge: EdgeId,
+    /// Distance from the edge's `a` endpoint, in `[0, edge.length]`.
+    pub offset: f64,
+}
+
+/// An undirected planar road network.
+///
+/// Construct with [`RoadNetworkBuilder`]; the builder validates geometry and
+/// connectivity invariants so the query algorithms can assume a well-formed
+/// graph.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    /// For each node, the ids of its incident edges.
+    adjacency: Vec<Vec<EdgeId>>,
+    total_length: f64,
+}
+
+impl RoadNetwork {
+    /// Number of junctions.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of road segments.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total length of all road segments.
+    pub fn total_length(&self) -> f64 {
+        self.total_length
+    }
+
+    /// The node with the given id.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Ids of the edges incident to `node`.
+    #[inline]
+    pub fn incident_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.adjacency[node as usize]
+    }
+
+    /// The endpoint of `edge` that is not `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of `edge`.
+    #[inline]
+    pub fn other_endpoint(&self, edge: EdgeId, node: NodeId) -> NodeId {
+        let e = self.edge(edge);
+        if e.a == node {
+            e.b
+        } else {
+            assert_eq!(e.b, node, "node {node} is not an endpoint of edge {edge}");
+            e.a
+        }
+    }
+
+    /// The planar point corresponding to a network position (linear
+    /// interpolation along the edge's chord).
+    pub fn embed(&self, pos: EdgePos) -> Point {
+        let e = self.edge(pos.edge);
+        let pa = self.node(e.a).pos;
+        let pb = self.node(e.b).pos;
+        let t = if e.length > 0.0 {
+            (pos.offset / e.length).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        Point::new(pa.x + (pb.x - pa.x) * t, pa.y + (pb.y - pa.y) * t)
+    }
+
+    /// Distance from `pos` to each endpoint of its edge: `(to_a, to_b)`.
+    #[inline]
+    pub fn endpoint_distances(&self, pos: EdgePos) -> (f64, f64) {
+        let e = self.edge(pos.edge);
+        (pos.offset, e.length - pos.offset)
+    }
+
+    /// The bounding box of all node positions, or `None` for an empty graph.
+    pub fn bounding_box(&self) -> Option<surge_core::Rect> {
+        let first = self.nodes.first()?;
+        let (mut x0, mut y0, mut x1, mut y1) =
+            (first.pos.x, first.pos.y, first.pos.x, first.pos.y);
+        for n in &self.nodes {
+            x0 = x0.min(n.pos.x);
+            y0 = y0.min(n.pos.y);
+            x1 = x1.max(n.pos.x);
+            y1 = y1.max(n.pos.y);
+        }
+        Some(surge_core::Rect::new(x0, y0, x1, y1))
+    }
+}
+
+/// Errors detected while assembling a [`RoadNetwork`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node has a non-finite coordinate.
+    BadNodePosition {
+        /// Index of the offending node.
+        node: NodeId,
+    },
+    /// An edge references a node id that does not exist.
+    DanglingEndpoint {
+        /// Index of the offending edge.
+        edge: usize,
+        /// The missing node id.
+        node: NodeId,
+    },
+    /// An edge has a non-positive or non-finite length.
+    BadEdgeLength {
+        /// Index of the offending edge.
+        edge: usize,
+        /// The rejected length.
+        length: f64,
+    },
+    /// An edge connects a node to itself.
+    SelfLoop {
+        /// Index of the offending edge.
+        edge: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::BadNodePosition { node } => {
+                write!(f, "node {node} has a non-finite coordinate")
+            }
+            GraphError::DanglingEndpoint { edge, node } => {
+                write!(f, "edge {edge} references missing node {node}")
+            }
+            GraphError::BadEdgeLength { edge, length } => {
+                write!(f, "edge {edge} has invalid length {length}")
+            }
+            GraphError::SelfLoop { edge } => write!(f, "edge {edge} is a self-loop"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental builder for [`RoadNetwork`].
+#[derive(Debug, Clone, Default)]
+pub struct RoadNetworkBuilder {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl RoadNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a junction, returning its id.
+    pub fn add_node(&mut self, pos: Point) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(Node { pos });
+        id
+    }
+
+    /// Adds a road segment with the Euclidean length of its chord.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> EdgeId {
+        let length = match (
+            self.nodes.get(a as usize),
+            self.nodes.get(b as usize),
+        ) {
+            (Some(na), Some(nb)) => {
+                ((na.pos.x - nb.pos.x).powi(2) + (na.pos.y - nb.pos.y).powi(2)).sqrt()
+            }
+            // Let build() report the dangling endpoint.
+            _ => f64::NAN,
+        };
+        self.add_edge_with_length(a, b, length)
+    }
+
+    /// Adds a road segment with an explicit travel length (e.g. a curved
+    /// road longer than its chord).
+    pub fn add_edge_with_length(&mut self, a: NodeId, b: NodeId, length: f64) -> EdgeId {
+        let id = self.edges.len() as EdgeId;
+        self.edges.push(Edge { a, b, length });
+        id
+    }
+
+    /// Validates and assembles the network.
+    pub fn build(self) -> Result<RoadNetwork, GraphError> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.pos.x.is_finite() || !n.pos.y.is_finite() {
+                return Err(GraphError::BadNodePosition { node: i as NodeId });
+            }
+        }
+        let n = self.nodes.len() as u32;
+        let mut adjacency = vec![Vec::new(); self.nodes.len()];
+        let mut total_length = 0.0;
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.a >= n {
+                return Err(GraphError::DanglingEndpoint { edge: i, node: e.a });
+            }
+            if e.b >= n {
+                return Err(GraphError::DanglingEndpoint { edge: i, node: e.b });
+            }
+            if e.a == e.b {
+                return Err(GraphError::SelfLoop { edge: i });
+            }
+            if !(e.length > 0.0 && e.length.is_finite()) {
+                return Err(GraphError::BadEdgeLength {
+                    edge: i,
+                    length: e.length,
+                });
+            }
+            adjacency[e.a as usize].push(i as EdgeId);
+            adjacency[e.b as usize].push(i as EdgeId);
+            total_length += e.length;
+        }
+        Ok(RoadNetwork {
+            nodes: self.nodes,
+            edges: self.edges,
+            adjacency,
+            total_length,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(3.0, 0.0));
+        let n2 = b.add_node(Point::new(0.0, 4.0));
+        b.add_edge(n0, n1);
+        b.add_edge(n1, n2);
+        b.add_edge(n2, n0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_triangle_with_euclidean_lengths() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!((g.edge(0).length - 3.0).abs() < 1e-12);
+        assert!((g.edge(1).length - 5.0).abs() < 1e-12);
+        assert!((g.edge(2).length - 4.0).abs() < 1e-12);
+        assert!((g.total_length() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_lists_are_symmetric() {
+        let g = triangle();
+        for node in 0..g.node_count() as NodeId {
+            for &e in g.incident_edges(node) {
+                let edge = g.edge(e);
+                assert!(edge.a == node || edge.b == node);
+            }
+            assert_eq!(g.incident_edges(node).len(), 2);
+        }
+    }
+
+    #[test]
+    fn other_endpoint_works() {
+        let g = triangle();
+        assert_eq!(g.other_endpoint(0, 0), 1);
+        assert_eq!(g.other_endpoint(0, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_endpoint_rejects_non_member() {
+        let g = triangle();
+        let _ = g.other_endpoint(0, 2);
+    }
+
+    #[test]
+    fn embed_interpolates_along_edge() {
+        let g = triangle();
+        let p = g.embed(EdgePos {
+            edge: 0,
+            offset: 1.5,
+        });
+        assert!((p.x - 1.5).abs() < 1e-12);
+        assert!(p.y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_distances_sum_to_length() {
+        let g = triangle();
+        let (da, db) = g.endpoint_distances(EdgePos {
+            edge: 1,
+            offset: 2.0,
+        });
+        assert!((da - 2.0).abs() < 1e-12);
+        assert!((da + db - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_covers_nodes() {
+        let g = triangle();
+        let bb = g.bounding_box().unwrap();
+        assert_eq!((bb.x0, bb.y0, bb.x1, bb.y1), (0.0, 0.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn empty_graph_has_no_bbox() {
+        let g = RoadNetworkBuilder::new().build().unwrap();
+        assert!(g.bounding_box().is_none());
+        assert_eq!(g.total_length(), 0.0);
+    }
+
+    #[test]
+    fn rejects_dangling_endpoint() {
+        let mut b = RoadNetworkBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_edge_with_length(0, 7, 1.0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::DanglingEndpoint { edge: 0, node: 7 }
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = RoadNetworkBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_edge_with_length(0, 0, 1.0);
+        assert_eq!(b.build().unwrap_err(), GraphError::SelfLoop { edge: 0 });
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        let mut b = RoadNetworkBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(1.0, 0.0));
+        b.add_edge_with_length(0, 1, 0.0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::BadEdgeLength { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_node() {
+        let mut b = RoadNetworkBuilder::new();
+        b.add_node(Point::new(f64::NAN, 0.0));
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::BadNodePosition { node: 0 }
+        );
+    }
+
+    #[test]
+    fn dangling_edge_via_euclidean_helper_is_caught() {
+        let mut b = RoadNetworkBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_edge(0, 3); // length computes to NaN; build flags the endpoint
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::DanglingEndpoint { .. }
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphError::BadEdgeLength {
+            edge: 2,
+            length: -1.0,
+        };
+        assert!(e.to_string().contains("edge 2"));
+    }
+}

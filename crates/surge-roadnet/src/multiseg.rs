@@ -1,0 +1,278 @@
+//! Multi-segmentation network detector — the road-network analog of
+//! MGAP-SURGE.
+//!
+//! The planar MGAP-SURGE runs GAP-SURGE on four half-cell-shifted grids and
+//! reports the best of the four answers, because a burst straddling a cell
+//! boundary is split in one grid but whole in a shifted one. The network
+//! analog is one-dimensional: a rush straddling a segment boundary along an
+//! edge is split in the base segmentation but whole in a copy shifted by
+//! half a segment. [`NetMgapSurge`] maintains both and reports the better
+//! answer.
+//!
+//! The shifted segmentation moves every interior boundary by half a piece
+//! along its edge ([`crate::segment::Segmentation::new_half_phase`]), leaving
+//! two half-pieces at the edge ends. Edges shorter than `L` have a single
+//! segment in both phases — there is no interior boundary to move, matching
+//! the planar intuition that shifting cannot help once the whole candidate
+//! region fits in one cell.
+
+use surge_core::{BurstParams, DetectorStats, Event};
+
+use crate::detector::{NetAnswer, NetGapSurge};
+use crate::graph::RoadNetwork;
+
+/// Two phase-shifted copies of [`NetGapSurge`]; answers are the better of
+/// the two, so the result is never worse than the single-segmentation
+/// detector and recovers the full score of any rush that straddles a base
+/// segment boundary. (The planar Theorem-4 constant does not transfer
+/// verbatim — a network "region" crossing a junction can touch arbitrarily
+/// many segments — so result quality is validated empirically against the
+/// network-ball oracle via the Lemma-5 containment bound in the tests.)
+#[derive(Debug)]
+pub struct NetMgapSurge {
+    base: NetGapSurge,
+    shifted: NetGapSurge,
+}
+
+impl NetMgapSurge {
+    /// Creates a detector over `net` with segments of length at most
+    /// `segment_len`, in two phases offset by half a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no edges, or `snap_tolerance` is negative.
+    pub fn new(
+        net: RoadNetwork,
+        segment_len: f64,
+        params: BurstParams,
+        snap_tolerance: f64,
+    ) -> Self {
+        let base = NetGapSurge::new(net.clone(), segment_len, params, snap_tolerance);
+        let shifted = NetGapSurge::with_half_phase(net, segment_len, params, snap_tolerance);
+        NetMgapSurge { base, shifted }
+    }
+
+    /// Processes one window-transition event (feeds both phases).
+    pub fn on_event(&mut self, event: &Event) {
+        self.base.on_event(event);
+        self.shifted.on_event(event);
+    }
+
+    /// The better of the two phases' current answers.
+    pub fn current(&self) -> Option<NetAnswer> {
+        match (self.base.current(), self.shifted.current()) {
+            (Some(a), Some(b)) => Some(if b.score > a.score { b } else { a }),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Top-k across both phases, deduplicated by overlap: an answer from the
+    /// shifted phase is dropped if it overlaps a better already-selected
+    /// answer (mirrors the planar kMGAPS merge of Algorithm 7).
+    pub fn current_topk(&self, k: usize) -> Vec<NetAnswer> {
+        let mut merged: Vec<NetAnswer> = self.base.current_topk(2 * k);
+        merged.extend(self.shifted.current_topk(2 * k));
+        merged.sort_by(|a, b| b.score.total_cmp(&a.score));
+        let mut out: Vec<NetAnswer> = Vec::with_capacity(k);
+        for cand in merged {
+            let overlaps = out.iter().any(|a| {
+                a.segment.edge == cand.segment.edge
+                    && a.span.0 < cand.span.1
+                    && cand.span.0 < a.span.1
+            });
+            if !overlaps {
+                out.push(cand);
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Combined instrumentation counters (events are counted per phase).
+    pub fn stats(&self) -> DetectorStats {
+        let a = self.base.stats();
+        let b = self.shifted.stats();
+        DetectorStats {
+            events: a.events + b.events,
+            new_events: a.new_events + b.new_events,
+            searches: a.searches + b.searches,
+            events_triggering_search: a.events_triggering_search + b.events_triggering_search,
+        }
+    }
+
+    /// The base-phase detector (for inspection).
+    pub fn base(&self) -> &NetGapSurge {
+        &self.base
+    }
+
+    /// The shifted-phase detector (for inspection).
+    pub fn shifted(&self) -> &NetGapSurge {
+        &self.shifted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{grid_city, GridCityConfig};
+    use surge_core::{Point, SpatialObject, WindowConfig};
+
+    fn city() -> RoadNetwork {
+        grid_city(&GridCityConfig {
+            nx: 6,
+            ny: 6,
+            spacing: 100.0,
+            jitter: 0.0,
+            drop_fraction: 0.0,
+            seed: 0,
+        })
+    }
+
+    fn params() -> BurstParams {
+        BurstParams::new(0.5, WindowConfig::equal(1_000))
+    }
+
+    fn new_ev(id: u64, x: f64, y: f64, w: f64) -> Event {
+        Event::new_arrival(SpatialObject::new(id, w, Point::new(x, y), 0))
+    }
+
+    #[test]
+    fn empty_reports_nothing() {
+        let det = NetMgapSurge::new(city(), 60.0, params(), 20.0);
+        assert!(det.current().is_none());
+        assert!(det.current_topk(3).is_empty());
+    }
+
+    #[test]
+    fn never_worse_than_single_segmentation() {
+        // A cluster straddling the midpoint of an edge: the base
+        // segmentation (2 pieces of 50 on a 100 edge) splits it; the
+        // shifted phase holds it in one piece.
+        let mut single = NetGapSurge::new(city(), 60.0, params(), 20.0);
+        let mut multi = NetMgapSurge::new(city(), 60.0, params(), 20.0);
+        for (id, dx) in [-8.0f64, -4.0, 0.0, 4.0, 8.0].into_iter().enumerate() {
+            let e = new_ev(id as u64, 150.0 + dx, 0.0, 1.0);
+            single.on_event(&e);
+            multi.on_event(&e);
+        }
+        let s = single.current().unwrap().score;
+        let m = multi.current().unwrap().score;
+        assert!(m >= s - 1e-12, "multi {m} worse than single {s}");
+        // Here the straddle is real: the shifted phase strictly wins.
+        assert!(m > s + 1e-12, "shifted phase should capture the straddle");
+        // And the multi answer equals the full cluster's score.
+        let expected = params().score_weights(5.0, 0.0);
+        assert!((m - expected).abs() < 1e-12, "m = {m}, expected {expected}");
+    }
+
+    #[test]
+    fn matches_single_when_cluster_is_interior() {
+        // A cluster well inside one base segment: both phases see it whole.
+        let mut single = NetGapSurge::new(city(), 60.0, params(), 20.0);
+        let mut multi = NetMgapSurge::new(city(), 60.0, params(), 20.0);
+        for (id, dx) in [0.0f64, 2.0, 4.0].iter().enumerate() {
+            let e = new_ev(id as u64, 120.0 + dx, 0.0, 1.0);
+            single.on_event(&e);
+            multi.on_event(&e);
+        }
+        let s = single.current().unwrap().score;
+        let m = multi.current().unwrap().score;
+        assert!((s - m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifecycle_clears_both_phases() {
+        let mut det = NetMgapSurge::new(city(), 60.0, params(), 20.0);
+        let o = SpatialObject::new(0, 5.0, Point::new(150.0, 0.0), 0);
+        det.on_event(&Event::new_arrival(o));
+        assert!(det.current().is_some());
+        det.on_event(&Event::grown(o, 1));
+        assert!(det.current().is_none()); // only past mass remains
+        det.on_event(&Event::expired(o, 2));
+        assert!(det.current().is_none());
+    }
+
+    #[test]
+    fn topk_merge_drops_overlapping_shifted_answers() {
+        let mut det = NetMgapSurge::new(city(), 60.0, params(), 20.0);
+        // Two separated clusters on the same long street.
+        for (id, x) in [(0u64, 120.0f64), (1, 124.0), (2, 380.0), (3, 384.0)] {
+            det.on_event(&new_ev(id, x, 0.0, 1.0));
+        }
+        let top = det.current_topk(4);
+        assert!(top.len() >= 2);
+        // No pair of reported answers overlaps on the same edge.
+        for i in 0..top.len() {
+            for j in (i + 1)..top.len() {
+                let (a, b) = (&top[i], &top[j]);
+                if a.segment.edge == b.segment.edge {
+                    assert!(
+                        a.span.1 <= b.span.0 + 1e-12 || b.span.1 <= a.span.0 + 1e-12,
+                        "overlapping answers {a:?} / {b:?}"
+                    );
+                }
+            }
+        }
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-12);
+        }
+    }
+
+    #[test]
+    fn stats_sum_phases() {
+        let mut det = NetMgapSurge::new(city(), 60.0, params(), 20.0);
+        det.on_event(&new_ev(0, 10.0, 0.0, 1.0));
+        let s = det.stats();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.new_events, 2);
+    }
+
+    #[test]
+    fn ignores_offnetwork_in_both_phases() {
+        let mut det = NetMgapSurge::new(city(), 60.0, params(), 5.0);
+        det.on_event(&new_ev(0, 150.0, 48.0, 9.0));
+        assert!(det.current().is_none());
+    }
+
+    #[test]
+    fn phase_accessors_expose_internals() {
+        let mut det = NetMgapSurge::new(city(), 60.0, params(), 20.0);
+        det.on_event(&new_ev(0, 150.0, 0.0, 1.0));
+        assert!(det.base().current().is_some());
+        assert!(det.shifted().current().is_some());
+    }
+
+    /// Event churn keeps both phases' heaps consistent with recomputation.
+    #[test]
+    fn churn_keeps_phases_consistent() {
+        let mut det = NetMgapSurge::new(city(), 45.0, params(), 60.0);
+        let mut id = 0u64;
+        for round in 0..6 {
+            for i in 0..15 {
+                let x = (i * 41 + round * 17) as f64 % 500.0;
+                let y = (i * 73) as f64 % 500.0;
+                let o = SpatialObject::new(id, 1.0 + (i % 3) as f64, Point::new(x, y), 0);
+                det.on_event(&Event::new_arrival(o));
+                if id % 2 == 0 {
+                    det.on_event(&Event::grown(o, 0));
+                }
+                if id % 4 == 0 {
+                    det.on_event(&Event::expired(o, 0));
+                }
+                id += 1;
+            }
+        }
+        for phase in [det.base(), det.shifted()] {
+            let heap = phase.current().map(|a| a.score).unwrap_or(0.0);
+            let table = phase.recompute_best().map(|(_, s)| s).unwrap_or(0.0);
+            assert!((heap - table).abs() <= 1e-12 * heap.abs().max(1.0));
+        }
+        // The merged answer is the max of the phases.
+        let merged = det.current().map(|a| a.score).unwrap_or(0.0);
+        let base = det.base().current().map(|a| a.score).unwrap_or(0.0);
+        let shifted = det.shifted().current().map(|a| a.score).unwrap_or(0.0);
+        assert!((merged - base.max(shifted)).abs() <= 1e-12);
+    }
+}

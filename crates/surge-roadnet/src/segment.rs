@@ -1,0 +1,337 @@
+//! Partitioning the network into fixed-length segments.
+//!
+//! The planar GAP-SURGE algorithm imposes a grid of `a×b` cells and treats
+//! each cell as a candidate region. The network analog partitions every edge
+//! into stretches of length at most `L`; each stretch (a [`SegmentId`]) is a
+//! candidate *network region*. An edge of length `ℓ` is split into
+//! `⌈ℓ / L⌉` equal pieces, so every piece has length in `(L/2, L]` except
+//! for edges shorter than `L`, which form a single segment.
+//!
+//! A *half-phase* segmentation shifts every interior boundary by half a
+//! piece along the edge (yielding two half-pieces at the edge's ends) — the
+//! one-dimensional analog of MGAP-SURGE's half-cell-shifted grids. A cluster
+//! straddling a base boundary is interior to a shifted piece. Edges with a
+//! single piece are left unshifted: there is no interior boundary to move.
+
+use crate::graph::{EdgeId, EdgePos, RoadNetwork};
+
+/// A segment identifier: `(edge, index along the edge)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId {
+    /// The edge carrying the segment.
+    pub edge: EdgeId,
+    /// Zero-based index of the segment along the edge.
+    pub index: u32,
+}
+
+/// The fixed-length segmentation of a network.
+#[derive(Debug, Clone)]
+pub struct Segmentation {
+    /// Target segment length `L`.
+    target_len: f64,
+    /// Whether boundaries are shifted by half a piece.
+    half_phase: bool,
+    /// Per-edge piece count `n = ⌈ℓ/L⌉` (the number of *full* pieces; a
+    /// half-phase edge with `n > 1` has `n + 1` segments).
+    pieces: Vec<u32>,
+    /// Per-edge segment count.
+    counts: Vec<u32>,
+    /// Prefix sums of `counts`, for dense segment numbering.
+    offsets: Vec<u32>,
+    total: u32,
+}
+
+impl Segmentation {
+    /// Segments `net` into stretches of length at most `target_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_len` is not strictly positive and finite.
+    pub fn new(net: &RoadNetwork, target_len: f64) -> Self {
+        Self::build(net, target_len, false)
+    }
+
+    /// The half-phase (boundary-shifted) segmentation.
+    pub fn new_half_phase(net: &RoadNetwork, target_len: f64) -> Self {
+        Self::build(net, target_len, true)
+    }
+
+    fn build(net: &RoadNetwork, target_len: f64, half_phase: bool) -> Self {
+        assert!(
+            target_len > 0.0 && target_len.is_finite(),
+            "segment length must be positive and finite"
+        );
+        let mut pieces = Vec::with_capacity(net.edge_count());
+        let mut counts = Vec::with_capacity(net.edge_count());
+        let mut offsets = Vec::with_capacity(net.edge_count() + 1);
+        let mut total = 0u32;
+        for e in net.edges() {
+            offsets.push(total);
+            let n = (e.length / target_len).ceil().max(1.0) as u32;
+            let count = if half_phase && n > 1 { n + 1 } else { n };
+            pieces.push(n);
+            counts.push(count);
+            total += count;
+        }
+        offsets.push(total);
+        Segmentation {
+            target_len,
+            half_phase,
+            pieces,
+            counts,
+            offsets,
+            total,
+        }
+    }
+
+    /// The target segment length `L`.
+    pub fn target_len(&self) -> f64 {
+        self.target_len
+    }
+
+    /// Whether this is the half-phase (shifted) segmentation.
+    pub fn is_half_phase(&self) -> bool {
+        self.half_phase
+    }
+
+    /// Total number of segments.
+    pub fn segment_count(&self) -> u32 {
+        self.total
+    }
+
+    /// Number of segments on `edge`.
+    pub fn segments_on_edge(&self, edge: EdgeId) -> u32 {
+        self.counts[edge as usize]
+    }
+
+    /// Whether this edge's boundaries are actually shifted (half-phase and
+    /// more than one piece).
+    fn shifted(&self, edge: EdgeId) -> bool {
+        self.half_phase && self.pieces[edge as usize] > 1
+    }
+
+    /// The full-piece length of `edge`.
+    fn piece_len(&self, net: &RoadNetwork, edge: EdgeId) -> f64 {
+        net.edge(edge).length / self.pieces[edge as usize] as f64
+    }
+
+    /// The segment containing a network position.
+    pub fn segment_of(&self, net: &RoadNetwork, pos: EdgePos) -> SegmentId {
+        let n = self.counts[pos.edge as usize];
+        let piece = self.piece_len(net, pos.edge);
+        let mut index = if piece > 0.0 {
+            if self.shifted(pos.edge) {
+                // Boundaries at piece/2, 3·piece/2, …: segment 0 is the
+                // leading half-piece.
+                ((pos.offset + piece / 2.0) / piece).floor() as u32
+            } else {
+                (pos.offset / piece).floor() as u32
+            }
+        } else {
+            0
+        };
+        // An offset exactly at the edge's far end belongs to the last piece.
+        if index >= n {
+            index = n - 1;
+        }
+        SegmentId {
+            edge: pos.edge,
+            index,
+        }
+    }
+
+    /// Dense ordinal of a segment in `[0, segment_count)`, usable as a slice
+    /// index.
+    pub fn ordinal(&self, seg: SegmentId) -> u32 {
+        self.offsets[seg.edge as usize] + seg.index
+    }
+
+    /// The `[start, end]` offset range of a segment along its edge.
+    pub fn segment_span(&self, net: &RoadNetwork, seg: SegmentId) -> (f64, f64) {
+        let piece = self.piece_len(net, seg.edge);
+        let len = net.edge(seg.edge).length;
+        if self.shifted(seg.edge) {
+            let start = if seg.index == 0 {
+                0.0
+            } else {
+                piece / 2.0 + (seg.index - 1) as f64 * piece
+            };
+            let end = (piece / 2.0 + seg.index as f64 * piece).min(len);
+            (start, end)
+        } else {
+            (piece * seg.index as f64, piece * (seg.index + 1) as f64)
+        }
+    }
+
+    /// The actual length of a segment.
+    pub fn segment_len(&self, net: &RoadNetwork, seg: SegmentId) -> f64 {
+        let (s, e) = self.segment_span(net, seg);
+        e - s
+    }
+
+    /// The midpoint of a segment, as a network position.
+    pub fn segment_midpoint(&self, net: &RoadNetwork, seg: SegmentId) -> EdgePos {
+        let (s, e) = self.segment_span(net, seg);
+        EdgePos {
+            edge: seg.edge,
+            offset: (s + e) / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadNetworkBuilder;
+    use surge_core::Point;
+
+    fn two_edges() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(10.0, 0.0));
+        let n2 = b.add_node(Point::new(10.0, 2.5));
+        b.add_edge(n0, n1); // length 10
+        b.add_edge(n1, n2); // length 2.5
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn splits_long_edges_only() {
+        let g = two_edges();
+        let s = Segmentation::new(&g, 3.0);
+        assert_eq!(s.segments_on_edge(0), 4); // ceil(10/3)
+        assert_eq!(s.segments_on_edge(1), 1);
+        assert_eq!(s.segment_count(), 5);
+        assert!(!s.is_half_phase());
+    }
+
+    #[test]
+    fn segment_lengths_bounded_by_target() {
+        let g = two_edges();
+        for s in [Segmentation::new(&g, 3.0), Segmentation::new_half_phase(&g, 3.0)] {
+            for edge in 0..2u32 {
+                for index in 0..s.segments_on_edge(edge) {
+                    let len = s.segment_len(&g, SegmentId { edge, index });
+                    assert!(len <= 3.0 + 1e-12, "segment too long: {len}");
+                    assert!(len > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_of_maps_offsets() {
+        let g = two_edges();
+        let s = Segmentation::new(&g, 3.0);
+        // Edge 0 pieces are 2.5 long: [0,2.5), [2.5,5), [5,7.5), [7.5,10].
+        let at = |offset| s.segment_of(&g, EdgePos { edge: 0, offset }).index;
+        assert_eq!(at(0.0), 0);
+        assert_eq!(at(2.49), 0);
+        assert_eq!(at(2.5), 1);
+        assert_eq!(at(9.99), 3);
+        assert_eq!(at(10.0), 3); // far end clamps to last piece
+    }
+
+    #[test]
+    fn half_phase_shifts_interior_boundaries() {
+        let g = two_edges();
+        let s = Segmentation::new_half_phase(&g, 3.0);
+        // Edge 0: pieces of 2.5, shifted boundaries at 1.25, 3.75, 6.25,
+        // 8.75 → five segments.
+        assert_eq!(s.segments_on_edge(0), 5);
+        let at = |offset| s.segment_of(&g, EdgePos { edge: 0, offset }).index;
+        assert_eq!(at(0.0), 0);
+        assert_eq!(at(1.24), 0);
+        assert_eq!(at(1.25), 1);
+        assert_eq!(at(2.5), 1); // base boundary is now interior
+        assert_eq!(at(3.74), 1);
+        assert_eq!(at(3.75), 2);
+        assert_eq!(at(10.0), 4);
+        // Edge 1 is a single piece: unshifted.
+        assert_eq!(s.segments_on_edge(1), 1);
+    }
+
+    #[test]
+    fn half_phase_spans_tile_each_edge() {
+        let g = two_edges();
+        let s = Segmentation::new_half_phase(&g, 3.0);
+        let mut end = 0.0;
+        for index in 0..s.segments_on_edge(0) {
+            let (a, b) = s.segment_span(&g, SegmentId { edge: 0, index });
+            assert!((a - end).abs() < 1e-12, "gap at index {index}: {a} vs {end}");
+            assert!(b > a);
+            end = b;
+        }
+        assert!((end - 10.0).abs() < 1e-12);
+        // End half-pieces are half the full piece.
+        assert!((s.segment_len(&g, SegmentId { edge: 0, index: 0 }) - 1.25).abs() < 1e-12);
+        assert!((s.segment_len(&g, SegmentId { edge: 0, index: 4 }) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordinals_are_dense_and_unique() {
+        let g = two_edges();
+        for s in [Segmentation::new(&g, 3.0), Segmentation::new_half_phase(&g, 3.0)] {
+            let mut seen = vec![false; s.segment_count() as usize];
+            for edge in 0..2u32 {
+                for index in 0..s.segments_on_edge(edge) {
+                    let o = s.ordinal(SegmentId { edge, index }) as usize;
+                    assert!(!seen[o], "duplicate ordinal {o}");
+                    seen[o] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn spans_tile_each_edge() {
+        let g = two_edges();
+        let s = Segmentation::new(&g, 3.0);
+        let mut end = 0.0;
+        for index in 0..s.segments_on_edge(0) {
+            let (a, b) = s.segment_span(&g, SegmentId { edge: 0, index });
+            assert!((a - end).abs() < 1e-12);
+            assert!(b > a);
+            end = b;
+        }
+        assert!((end - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_inside_span() {
+        let g = two_edges();
+        for s in [Segmentation::new(&g, 3.0), Segmentation::new_half_phase(&g, 3.0)] {
+            for index in 0..s.segments_on_edge(0) {
+                let seg = SegmentId { edge: 0, index };
+                let (a, b) = s.segment_span(&g, seg);
+                let m = s.segment_midpoint(&g, seg);
+                assert!(m.offset > a && m.offset < b);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_of_is_consistent_with_spans_in_both_phases() {
+        let g = two_edges();
+        for s in [Segmentation::new(&g, 3.0), Segmentation::new_half_phase(&g, 3.0)] {
+            for i in 0..=100 {
+                let offset = i as f64 * 0.1;
+                let pos = EdgePos { edge: 0, offset };
+                let seg = s.segment_of(&g, pos);
+                let (a, b) = s.segment_span(&g, seg);
+                assert!(
+                    offset >= a - 1e-12 && offset <= b + 1e-12,
+                    "offset {offset} outside span [{a}, {b}] of {seg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_target_rejected() {
+        let g = two_edges();
+        let _ = Segmentation::new(&g, 0.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Snapping planar objects onto the road network.
+//!
+//! Spatial objects in the stream carry free planar coordinates (GPS fixes are
+//! never exactly on the road centerline). Algorithms over the network need
+//! each object as an [`EdgePos`]. The [`EdgeIndex`] buckets edges into a
+//! uniform grid over the network's bounding box so a snap is a local search
+//! over nearby buckets instead of a scan of all edges.
+
+use surge_core::{Point, Rect};
+
+use crate::graph::{EdgeId, EdgePos, RoadNetwork};
+
+/// Squared distance from point `p` to segment `ab`, plus the clamped
+/// projection parameter `t ∈ [0, 1]`.
+fn project_to_segment(p: Point, a: Point, b: Point) -> (f64, f64) {
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 > 0.0 {
+        (((p.x - a.x) * dx + (p.y - a.y) * dy) / len2).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let qx = a.x + dx * t;
+    let qy = a.y + dy * t;
+    let d2 = (p.x - qx).powi(2) + (p.y - qy).powi(2);
+    (d2, t)
+}
+
+/// The result of snapping a planar point onto the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snap {
+    /// The nearest network position.
+    pub pos: EdgePos,
+    /// Euclidean distance from the query point to that position.
+    pub distance: f64,
+}
+
+/// A uniform-grid spatial index over a network's edges.
+#[derive(Debug, Clone)]
+pub struct EdgeIndex {
+    bbox: Rect,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    /// Edge ids per grid bucket, row-major.
+    buckets: Vec<Vec<EdgeId>>,
+}
+
+impl EdgeIndex {
+    /// Builds an index for `net` with a target of a few edges per bucket.
+    ///
+    /// Returns `None` for an edgeless network.
+    pub fn build(net: &RoadNetwork) -> Option<Self> {
+        if net.edge_count() == 0 {
+            return None;
+        }
+        let bbox = net.bounding_box()?;
+        // Aim for roughly one bucket per edge, with sane bounds.
+        let target = (net.edge_count() as f64).sqrt().ceil() as usize;
+        let nx = target.clamp(1, 1024);
+        let ny = target.clamp(1, 1024);
+        let cell = ((bbox.width() / nx as f64).max(bbox.height() / ny as f64)).max(1e-12);
+        let nx = (bbox.width() / cell).ceil().max(1.0) as usize;
+        let ny = (bbox.height() / cell).ceil().max(1.0) as usize;
+        let mut buckets = vec![Vec::new(); nx * ny];
+        for (id, e) in net.edges().iter().enumerate() {
+            let pa = net.node(e.a).pos;
+            let pb = net.node(e.b).pos;
+            let (ix0, iy0) = clamp_cell(bbox, cell, nx, ny, pa.x.min(pb.x), pa.y.min(pb.y));
+            let (ix1, iy1) = clamp_cell(bbox, cell, nx, ny, pa.x.max(pb.x), pa.y.max(pb.y));
+            for iy in iy0..=iy1 {
+                for ix in ix0..=ix1 {
+                    buckets[iy * nx + ix].push(id as EdgeId);
+                }
+            }
+        }
+        Some(EdgeIndex {
+            bbox,
+            cell,
+            nx,
+            ny,
+            buckets,
+        })
+    }
+
+    /// Number of buckets in the index.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Snaps `p` to the nearest network position.
+    ///
+    /// Searches buckets in expanding rings around `p`'s bucket and stops as
+    /// soon as the best candidate is provably closer than any unexplored
+    /// ring. Always returns a result (falls back to scanning everything if
+    /// the rings exhaust the grid).
+    pub fn snap(&self, net: &RoadNetwork, p: Point) -> Snap {
+        let (cx, cy) = clamp_cell(self.bbox, self.cell, self.nx, self.ny, p.x, p.y);
+        let mut best: Option<(f64, EdgePos)> = None;
+        let max_ring = self.nx.max(self.ny);
+        for ring in 0..=max_ring {
+            // Any point in a bucket at Chebyshev ring `r` is at least
+            // (r-1)·cell away, so once we have a hit closer than that we can
+            // stop.
+            if let Some((d2, _)) = best {
+                let safe = (ring.saturating_sub(1)) as f64 * self.cell;
+                if d2.sqrt() < safe {
+                    break;
+                }
+            }
+            for (ix, iy) in ring_cells(cx, cy, ring, self.nx, self.ny) {
+                for &eid in &self.buckets[iy * self.nx + ix] {
+                    let e = net.edge(eid);
+                    let pa = net.node(e.a).pos;
+                    let pb = net.node(e.b).pos;
+                    let (d2, t) = project_to_segment(p, pa, pb);
+                    if best.map_or(true, |(bd2, _)| d2 < bd2) {
+                        best = Some((
+                            d2,
+                            EdgePos {
+                                edge: eid,
+                                offset: t * e.length,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        let (d2, pos) = best.expect("non-empty network always yields a snap");
+        Snap {
+            pos,
+            distance: d2.sqrt(),
+        }
+    }
+}
+
+fn clamp_cell(bbox: Rect, cell: f64, nx: usize, ny: usize, x: f64, y: f64) -> (usize, usize) {
+    let ix = ((x - bbox.x0) / cell).floor();
+    let iy = ((y - bbox.y0) / cell).floor();
+    (
+        (ix.max(0.0) as usize).min(nx - 1),
+        (iy.max(0.0) as usize).min(ny - 1),
+    )
+}
+
+/// The buckets at Chebyshev distance exactly `ring` from `(cx, cy)`, clipped
+/// to the grid.
+fn ring_cells(
+    cx: usize,
+    cy: usize,
+    ring: usize,
+    nx: usize,
+    ny: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    let (cx, cy, r) = (cx as i64, cy as i64, ring as i64);
+    let (nx, ny) = (nx as i64, ny as i64);
+    let mut cells = Vec::new();
+    if r == 0 {
+        cells.push((cx, cy));
+    } else {
+        for dx in -r..=r {
+            cells.push((cx + dx, cy - r));
+            cells.push((cx + dx, cy + r));
+        }
+        for dy in (-r + 1)..r {
+            cells.push((cx - r, cy + dy));
+            cells.push((cx + r, cy + dy));
+        }
+    }
+    cells
+        .into_iter()
+        .filter(move |&(x, y)| x >= 0 && y >= 0 && x < nx && y < ny)
+        .map(|(x, y)| (x as usize, y as usize))
+}
+
+/// Brute-force snap over all edges — the oracle used in tests.
+pub fn snap_bruteforce(net: &RoadNetwork, p: Point) -> Option<Snap> {
+    let mut best: Option<(f64, EdgePos)> = None;
+    for (id, e) in net.edges().iter().enumerate() {
+        let pa = net.node(e.a).pos;
+        let pb = net.node(e.b).pos;
+        let (d2, t) = project_to_segment(p, pa, pb);
+        if best.map_or(true, |(bd2, _)| d2 < bd2) {
+            best = Some((
+                d2,
+                EdgePos {
+                    edge: id as EdgeId,
+                    offset: t * e.length,
+                },
+            ));
+        }
+    }
+    best.map(|(d2, pos)| Snap {
+        pos,
+        distance: d2.sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{grid_city, GridCityConfig};
+    use crate::graph::RoadNetworkBuilder;
+
+    fn line_graph() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(10.0, 0.0));
+        let n2 = b.add_node(Point::new(10.0, 10.0));
+        b.add_edge(n0, n1);
+        b.add_edge(n1, n2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let (d2, t) = project_to_segment(
+            Point::new(-5.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+        );
+        assert_eq!(t, 0.0);
+        assert!((d2 - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_hits_interior() {
+        let (d2, t) = project_to_segment(
+            Point::new(3.0, 4.0),
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+        );
+        assert!((t - 0.3).abs() < 1e-12);
+        assert!((d2 - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snap_finds_nearest_edge() {
+        let g = line_graph();
+        let idx = EdgeIndex::build(&g).unwrap();
+        let s = idx.snap(&g, Point::new(5.0, 1.0));
+        assert_eq!(s.pos.edge, 0);
+        assert!((s.pos.offset - 5.0).abs() < 1e-9);
+        assert!((s.distance - 1.0).abs() < 1e-9);
+
+        let s = idx.snap(&g, Point::new(11.0, 5.0));
+        assert_eq!(s.pos.edge, 1);
+        assert!((s.pos.offset - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snap_far_outside_bbox_still_works() {
+        let g = line_graph();
+        let idx = EdgeIndex::build(&g).unwrap();
+        let s = idx.snap(&g, Point::new(-100.0, -100.0));
+        assert_eq!(s.pos.edge, 0);
+        assert_eq!(s.pos.offset, 0.0);
+    }
+
+    #[test]
+    fn empty_network_has_no_index() {
+        let g = RoadNetworkBuilder::new().build().unwrap();
+        assert!(EdgeIndex::build(&g).is_none());
+        assert!(snap_bruteforce(&g, Point::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn index_agrees_with_bruteforce_on_city() {
+        let city = grid_city(&GridCityConfig {
+            nx: 8,
+            ny: 8,
+            spacing: 100.0,
+            jitter: 0.2,
+            drop_fraction: 0.15,
+            seed: 42,
+        });
+        let idx = EdgeIndex::build(&city).unwrap();
+        // Deterministic probe lattice, including off-network points.
+        for i in 0..20 {
+            for j in 0..20 {
+                let p = Point::new(i as f64 * 45.0 - 50.0, j as f64 * 45.0 - 50.0);
+                let a = idx.snap(&city, p);
+                let b = snap_bruteforce(&city, p).unwrap();
+                assert!(
+                    (a.distance - b.distance).abs() < 1e-9,
+                    "probe {p:?}: index {} vs brute {}",
+                    a.distance,
+                    b.distance
+                );
+            }
+        }
+    }
+}

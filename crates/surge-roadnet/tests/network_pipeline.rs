@@ -1,0 +1,167 @@
+//! End-to-end road-network pipeline: synthetic city + timestamped object
+//! stream → sliding-window engine → network detectors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use surge_core::{BurstParams, Point, SpatialObject, WindowConfig};
+use surge_roadnet::{grid_city, GridCityConfig, NetBallOracle, NetGapSurge};
+use surge_stream::SlidingWindowEngine;
+
+fn city() -> surge_roadnet::RoadNetwork {
+    grid_city(&GridCityConfig {
+        nx: 10,
+        ny: 10,
+        spacing: 100.0,
+        jitter: 0.1,
+        drop_fraction: 0.1,
+        seed: 17,
+    })
+}
+
+/// A stream of objects jittered around road junctions, with a mid-stream
+/// burst concentrated near one junction.
+fn stream_with_burst(
+    n: usize,
+    burst_center: Point,
+    burst_start: u64,
+    burst_end: u64,
+    seed: u64,
+) -> Vec<SpatialObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut objects = Vec::with_capacity(n);
+    let mut t = 0u64;
+    for i in 0..n {
+        t += rng.gen_range(20..120);
+        let bursting = t >= burst_start && t < burst_end && rng.gen::<f64>() < 0.6;
+        let pos = if bursting {
+            Point::new(
+                burst_center.x + rng.gen_range(-30.0..30.0),
+                burst_center.y + rng.gen_range(-8.0..8.0),
+            )
+        } else {
+            Point::new(rng.gen_range(0.0..900.0), rng.gen_range(0.0..900.0))
+        };
+        objects.push(SpatialObject::new(i as u64, rng.gen_range(1.0..10.0), pos, t));
+    }
+    objects
+}
+
+#[test]
+fn burst_on_a_street_is_detected_and_localized() {
+    let windows = WindowConfig::equal(10_000);
+    let params = BurstParams::new(0.6, windows);
+    let burst_center = Point::new(400.0, 500.0);
+    let mut det = NetGapSurge::new(city(), 80.0, params, 80.0);
+    let mut engine = SlidingWindowEngine::new(windows);
+
+    let mut localized = 0;
+    let mut checked = 0;
+    for obj in stream_with_burst(3_000, burst_center, 60_000, 120_000, 3) {
+        let t = obj.created;
+        for ev in engine.push(obj) {
+            det.on_event(&ev);
+        }
+        // Check only while the burst is in full swing (one window deep).
+        if t > 70_000 && t < 120_000 && checked < 200 {
+            if let Some(a) = det.current() {
+                checked += 1;
+                let d = ((a.midpoint.x - burst_center.x).powi(2)
+                    + (a.midpoint.y - burst_center.y).powi(2))
+                .sqrt();
+                if d < 150.0 {
+                    localized += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 50, "too few checkpoints: {checked}");
+    assert!(
+        localized as f64 / checked as f64 > 0.8,
+        "burst localized in only {localized}/{checked} checkpoints"
+    );
+}
+
+#[test]
+fn heap_answer_matches_recompute_throughout_run() {
+    let windows = WindowConfig::equal(5_000);
+    let params = BurstParams::new(0.4, windows);
+    let mut det = NetGapSurge::new(city(), 60.0, params, 80.0);
+    let mut engine = SlidingWindowEngine::new(windows);
+    for (i, obj) in stream_with_burst(1_500, Point::new(200.0, 200.0), 30_000, 60_000, 5)
+        .into_iter()
+        .enumerate()
+    {
+        for ev in engine.push(obj) {
+            det.on_event(&ev);
+        }
+        if i % 50 == 0 {
+            let heap = det.current().map(|a| a.score).unwrap_or(0.0);
+            let table = det.recompute_best().map(|(_, s)| s).unwrap_or(0.0);
+            assert!(
+                (heap - table).abs() <= 1e-12 * heap.abs().max(1.0),
+                "step {i}: heap {heap} vs recompute {table}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ball_oracle_quality_bound_holds_at_snapshots() {
+    let windows = WindowConfig::equal(8_000);
+    let params = BurstParams::new(0.5, windows);
+    let seg_len = 70.0;
+    let net = city();
+    let mut det = NetGapSurge::new(net.clone(), seg_len, params, 80.0);
+    let mut oracle = NetBallOracle::new(net, params, 80.0);
+    let mut engine = SlidingWindowEngine::new(windows);
+    let mut snapshots = 0;
+    for (i, obj) in stream_with_burst(1_200, Point::new(600.0, 300.0), 20_000, 50_000, 9)
+        .into_iter()
+        .enumerate()
+    {
+        for ev in engine.push(obj) {
+            det.on_event(&ev);
+            oracle.on_event(&ev);
+        }
+        if i % 300 == 299 {
+            let seg_best = det.current().map(|a| a.score).unwrap_or(0.0);
+            if seg_best <= 0.0 {
+                continue;
+            }
+            // A length-L segment lies inside a ball of radius 1.5·L around
+            // the nearest junction to its midpoint; by Lemma 5 the best ball
+            // scores at least (1 − α)·S(best segment).
+            let ball_best = oracle
+                .best_ball(seg_len * 1.5)
+                .map(|b| b.score)
+                .unwrap_or(0.0);
+            assert!(
+                ball_best >= (1.0 - params.alpha) * seg_best - 1e-12,
+                "step {i}: ball {ball_best} < bound from segment {seg_best}"
+            );
+            snapshots += 1;
+        }
+    }
+    assert!(snapshots >= 3, "too few snapshots: {snapshots}");
+}
+
+#[test]
+fn detector_is_deterministic_across_runs() {
+    let windows = WindowConfig::equal(6_000);
+    let params = BurstParams::new(0.3, windows);
+    let run = || {
+        let mut det = NetGapSurge::new(city(), 50.0, params, 80.0);
+        let mut engine = SlidingWindowEngine::new(windows);
+        let mut trace = Vec::new();
+        for obj in stream_with_burst(800, Point::new(300.0, 700.0), 15_000, 40_000, 7) {
+            for ev in engine.push(obj) {
+                det.on_event(&ev);
+            }
+            if let Some(a) = det.current() {
+                trace.push((a.segment, a.score.to_bits()));
+            }
+        }
+        trace
+    };
+    assert_eq!(run(), run());
+}

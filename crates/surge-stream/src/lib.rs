@@ -1,0 +1,40 @@
+//! # surge-stream
+//!
+//! Streaming substrate for SURGE: the dual sliding-window engine that turns a
+//! raw stream of spatial objects into the `New` / `Grown` / `Expired` event
+//! stream consumed by every detector, plus seeded synthetic workload
+//! generators standing in for the paper's real-world datasets (UK and US
+//! geo-tagged tweets, Roma taxi traces).
+//!
+//! * [`window`] — [`SlidingWindowEngine`], the event generator of §IV-C.
+//! * [`generator`] — configurable spatial/temporal workload synthesis with
+//!   Gaussian hot-spots and burst injection.
+//! * [`datasets`] — presets matching Table I of the paper (object counts,
+//!   arrival rates, spatial extents).
+//! * [`text`] — geo-textual message substrate with keyword-relevance
+//!   weighting (the paper's Example 1 pipeline).
+//! * [`driver`] — replay loop feeding a source through the engine into a
+//!   detector, with per-object timing for the evaluation harness.
+//! * [`parallel`] — fan-out driver running several detectors over the same
+//!   event stream on worker threads.
+//! * [`metrics`] — log-bucketed latency histogram for tail-latency
+//!   reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod driver;
+pub mod generator;
+pub mod metrics;
+pub mod parallel;
+pub mod text;
+pub mod window;
+
+pub use datasets::{Dataset, DatasetSpec};
+pub use driver::{drive, drive_topk, RunStats};
+pub use generator::{BurstSpec, Hotspot, StreamGenerator, WorkloadConfig};
+pub use metrics::{LatencyHistogram, LatencySummary};
+pub use parallel::{drive_parallel, ParallelReport};
+pub use text::{GeoMessage, KeywordQuery, TextStreamGenerator, Topic, TopicBurst, Vocabulary};
+pub use window::SlidingWindowEngine;

@@ -1,0 +1,300 @@
+//! The dual sliding-window engine (paper §IV-C).
+//!
+//! Objects arrive in non-decreasing timestamp order. An object created at
+//! `t_c` sits in the current window until `t_c + |W_c|` (exclusive), in the
+//! past window until `t_c + |W_c| + |W_p|` (exclusive), and is then gone.
+//! Whenever the engine's clock advances, it emits the pending transitions as
+//! `Grown` / `Expired` events, interleaved in transition-time order, followed
+//! by the `New` event for the arriving object.
+
+use std::collections::VecDeque;
+
+use surge_core::{Event, SpatialObject, Timestamp, WindowConfig};
+
+/// The sliding-window engine: turns timestamp-ordered spatial objects into a
+/// window-transition event stream.
+///
+/// # Example
+///
+/// ```
+/// use surge_core::{EventKind, Point, SpatialObject, WindowConfig};
+/// use surge_stream::SlidingWindowEngine;
+///
+/// let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+/// let o1 = SpatialObject::new(0, 1.0, Point::new(0.0, 0.0), 0);
+/// let o2 = SpatialObject::new(1, 1.0, Point::new(1.0, 1.0), 150);
+///
+/// let evs = eng.push(o1);
+/// assert_eq!(evs.len(), 1); // New(o1)
+///
+/// // o2 arrives at t=150: o1 grew into the past window at t=100 first.
+/// let evs = eng.push(o2);
+/// assert_eq!(evs[0].kind, EventKind::Grown);
+/// assert_eq!(evs[1].kind, EventKind::New);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindowEngine {
+    windows: WindowConfig,
+    /// Objects currently in `W_c`, in creation-time order.
+    current: VecDeque<SpatialObject>,
+    /// Objects currently in `W_p`, in creation-time order.
+    past: VecDeque<SpatialObject>,
+    now: Timestamp,
+    last_created: Timestamp,
+    started: bool,
+}
+
+impl SlidingWindowEngine {
+    /// Creates an empty engine.
+    pub fn new(windows: WindowConfig) -> Self {
+        SlidingWindowEngine {
+            windows,
+            current: VecDeque::new(),
+            past: VecDeque::new(),
+            now: 0,
+            last_created: 0,
+            started: false,
+        }
+    }
+
+    /// The window configuration.
+    pub fn windows(&self) -> WindowConfig {
+        self.windows
+    }
+
+    /// The engine's clock (the largest timestamp observed).
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of objects currently in the current window.
+    pub fn current_len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Number of objects currently in the past window.
+    pub fn past_len(&self) -> usize {
+        self.past.len()
+    }
+
+    /// Whether the stream has become *stable* in the paper's sense: at least
+    /// one object has expired from the past window, meaning both windows have
+    /// been fully exercised. The evaluation harness starts timing here.
+    pub fn is_stable(&self) -> bool {
+        self.started
+    }
+
+    /// Ingests one object, returning the transition events it causes: any
+    /// pending `Grown`/`Expired` transitions up to the object's timestamp (in
+    /// transition-time order), then the `New` event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if objects arrive out of timestamp order.
+    pub fn push(&mut self, object: SpatialObject) -> Vec<Event> {
+        assert!(
+            object.created >= self.last_created,
+            "stream must be timestamp-ordered: got {} after {}",
+            object.created,
+            self.last_created
+        );
+        self.last_created = object.created;
+        let mut events = self.advance_to(object.created);
+        events.push(Event::new_arrival(object));
+        self.current.push_back(object);
+        events
+    }
+
+    /// Advances the clock to `t` without ingesting an object, returning the
+    /// `Grown`/`Expired` transitions that occur in `(now, t]`, in
+    /// transition-time order.
+    pub fn advance_to(&mut self, t: Timestamp) -> Vec<Event> {
+        if t < self.now {
+            return Vec::new();
+        }
+        self.now = t;
+        let mut events = Vec::new();
+        loop {
+            // Earliest pending transition: front of `current` grows at
+            // t_c + |W_c|; front of `past` expires at t_c + |W_c| + |W_p|.
+            let grow_at = self.current.front().map(|o| self.windows.grow_time(o.created));
+            let expire_at = self.past.front().map(|o| self.windows.expire_time(o.created));
+            match (grow_at, expire_at) {
+                (Some(g), Some(x)) if g <= t && g <= x => self.grow_front(&mut events, g),
+                (Some(g), None) if g <= t => self.grow_front(&mut events, g),
+                (_, Some(x)) if x <= t => self.expire_front(&mut events, x),
+                _ => break,
+            }
+        }
+        events
+    }
+
+    fn grow_front(&mut self, events: &mut Vec<Event>, at: Timestamp) {
+        let o = self.current.pop_front().expect("front checked");
+        events.push(Event::grown(o, at));
+        self.past.push_back(o);
+    }
+
+    fn expire_front(&mut self, events: &mut Vec<Event>, at: Timestamp) {
+        let o = self.past.pop_front().expect("front checked");
+        events.push(Event::expired(o, at));
+        self.started = true;
+    }
+
+    /// A snapshot of the objects currently in the current window.
+    pub fn current_objects(&self) -> impl Iterator<Item = &SpatialObject> {
+        self.current.iter()
+    }
+
+    /// A snapshot of the objects currently in the past window.
+    pub fn past_objects(&self) -> impl Iterator<Item = &SpatialObject> {
+        self.past.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surge_core::{EventKind, Point};
+
+    fn obj(id: u64, t: Timestamp) -> SpatialObject {
+        SpatialObject::new(id, 1.0, Point::new(id as f64, 0.0), t)
+    }
+
+    #[test]
+    fn new_event_emitted_immediately() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        let evs = eng.push(obj(0, 10));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::New);
+        assert_eq!(eng.current_len(), 1);
+        assert_eq!(eng.past_len(), 0);
+    }
+
+    #[test]
+    fn grown_fires_at_exact_boundary() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        eng.push(obj(0, 0));
+        // At t = 100 the object has aged out of the current window.
+        let evs = eng.advance_to(100);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::Grown);
+        assert_eq!(evs[0].at, 100);
+        assert_eq!(eng.current_len(), 0);
+        assert_eq!(eng.past_len(), 1);
+    }
+
+    #[test]
+    fn expired_fires_after_both_windows() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        eng.push(obj(0, 0));
+        let evs = eng.advance_to(250);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, EventKind::Grown);
+        assert_eq!(evs[0].at, 100);
+        assert_eq!(evs[1].kind, EventKind::Expired);
+        assert_eq!(evs[1].at, 200);
+        assert_eq!(eng.past_len(), 0);
+        assert!(eng.is_stable());
+    }
+
+    #[test]
+    fn transitions_interleave_in_time_order() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        eng.push(obj(0, 0)); // grows at 100, expires at 200
+        eng.push(obj(1, 50)); // grows at 150, expires at 250
+        eng.push(obj(2, 90)); // grows at 190, expires at 290
+        let evs = eng.advance_to(260);
+        let seq: Vec<(EventKind, u64, Timestamp)> =
+            evs.iter().map(|e| (e.kind, e.object.id, e.at)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                (EventKind::Grown, 0, 100),
+                (EventKind::Grown, 1, 150),
+                (EventKind::Grown, 2, 190),
+                (EventKind::Expired, 0, 200),
+                (EventKind::Expired, 1, 250),
+            ]
+        );
+        assert_eq!(eng.past_len(), 1); // object 2 still in past window
+    }
+
+    #[test]
+    fn large_gap_grows_and_expires_same_object_in_one_push() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        eng.push(obj(0, 0));
+        let evs = eng.push(obj(1, 10_000));
+        let kinds: Vec<EventKind> = evs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::Grown, EventKind::Expired, EventKind::New]
+        );
+        assert_eq!(eng.current_len(), 1);
+        assert_eq!(eng.past_len(), 0);
+    }
+
+    #[test]
+    fn unequal_window_lengths() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::new(100, 300));
+        eng.push(obj(0, 0));
+        let evs = eng.advance_to(399);
+        assert_eq!(evs.len(), 1); // grown at 100; expires only at 400
+        let evs = eng.advance_to(400);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::Expired);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp-ordered")]
+    fn out_of_order_rejected() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        eng.push(obj(0, 100));
+        eng.push(obj(1, 50));
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        eng.push(obj(0, 42));
+        let evs = eng.push(obj(1, 42));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(eng.current_len(), 2);
+    }
+
+    #[test]
+    fn grow_precedes_expire_on_tie() {
+        // o0 expires at 200; o1 (created 100) grows at 200. Grown is emitted
+        // first because grow_time <= expire_time takes the grow branch.
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        eng.push(obj(0, 0));
+        eng.push(obj(1, 100)); // o0 grows at this push
+        let evs = eng.advance_to(200);
+        let kinds: Vec<(EventKind, u64)> = evs.iter().map(|e| (e.kind, e.object.id)).collect();
+        assert_eq!(kinds, vec![(EventKind::Grown, 1), (EventKind::Expired, 0)]);
+    }
+
+    #[test]
+    fn window_membership_is_consistent_with_config() {
+        let cfg = WindowConfig::equal(100);
+        let mut eng = SlidingWindowEngine::new(cfg);
+        for t in [0u64, 30, 60, 90, 120, 150] {
+            eng.push(obj(t, t));
+        }
+        let now = eng.now();
+        for o in eng.current_objects() {
+            assert!(cfg.in_current(o.created, now));
+        }
+        for o in eng.past_objects() {
+            assert!(cfg.in_past(o.created, now));
+        }
+    }
+
+    #[test]
+    fn advance_backwards_is_noop() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        eng.push(obj(0, 500));
+        assert!(eng.advance_to(10).is_empty());
+        assert_eq!(eng.now(), 500);
+    }
+}

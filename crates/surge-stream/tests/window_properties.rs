@@ -1,0 +1,189 @@
+//! Property tests for the sliding-window engine: event conservation,
+//! ordering, membership consistency, and advance-granularity independence.
+
+use proptest::prelude::*;
+use surge_core::{EventKind, Point, SpatialObject, WindowConfig};
+use surge_stream::SlidingWindowEngine;
+
+/// Builds a timestamp-ordered stream from unordered raw tuples.
+fn stream_from(raw: Vec<(u64, u16)>) -> Vec<SpatialObject> {
+    let mut ts: Vec<u64> = raw.iter().map(|r| r.0).collect();
+    ts.sort_unstable();
+    raw.into_iter()
+        .zip(ts)
+        .enumerate()
+        .map(|(i, ((_, w), t))| {
+            SpatialObject::new(i as u64, w as f64, Point::new(i as f64, 0.0), t)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every object produces exactly one New event immediately; each object
+    /// produces at most one Grown and one Expired, in that order, and an
+    /// Expired is always preceded by a Grown for the same object.
+    #[test]
+    fn per_object_lifecycle_is_well_formed(
+        raw in prop::collection::vec((0u64..50_000, 1u16..100), 1..200),
+        win_cur in 1u64..5_000,
+        win_past in 1u64..5_000,
+        tail in 0u64..20_000,
+    ) {
+        let objs = stream_from(raw);
+        let mut eng = SlidingWindowEngine::new(WindowConfig::new(win_cur, win_past));
+        let mut events = Vec::new();
+        let last_t = objs.last().unwrap().created;
+        for o in objs.iter().copied() {
+            events.extend(eng.push(o));
+        }
+        events.extend(eng.advance_to(last_t + tail));
+
+        use std::collections::HashMap;
+        let mut seen: HashMap<u64, Vec<EventKind>> = HashMap::new();
+        for e in &events {
+            seen.entry(e.object.id).or_default().push(e.kind);
+        }
+        for o in &objs {
+            let kinds = &seen[&o.id];
+            prop_assert_eq!(kinds[0], EventKind::New, "object {} first event", o.id);
+            match kinds.len() {
+                1 => {}
+                2 => prop_assert_eq!(kinds[1], EventKind::Grown),
+                3 => {
+                    prop_assert_eq!(kinds[1], EventKind::Grown);
+                    prop_assert_eq!(kinds[2], EventKind::Expired);
+                }
+                n => prop_assert!(false, "object {} has {} events", o.id, n),
+            }
+        }
+    }
+
+    /// Transition events are emitted in non-decreasing `at` order.
+    #[test]
+    fn events_are_time_ordered(
+        raw in prop::collection::vec((0u64..20_000, 1u16..10), 1..150),
+        win in 1u64..3_000,
+    ) {
+        let objs = stream_from(raw);
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(win));
+        let mut last_at = 0;
+        for o in objs {
+            for e in eng.push(o) {
+                prop_assert!(e.at >= last_at, "event at {} after {}", e.at, last_at);
+                last_at = e.at;
+            }
+        }
+    }
+
+    /// Transition times are exactly `t_c + |W_c|` (Grown) and
+    /// `t_c + |W_c| + |W_p|` (Expired).
+    #[test]
+    fn transition_times_are_exact(
+        raw in prop::collection::vec((0u64..20_000, 1u16..10), 1..100),
+        win_cur in 1u64..2_000,
+        win_past in 1u64..2_000,
+    ) {
+        let objs = stream_from(raw);
+        let cfg = WindowConfig::new(win_cur, win_past);
+        let mut eng = SlidingWindowEngine::new(cfg);
+        let mut all = Vec::new();
+        let last_t = objs.last().unwrap().created;
+        for o in objs {
+            all.extend(eng.push(o));
+        }
+        all.extend(eng.advance_to(last_t.saturating_add(win_cur + win_past + 1)));
+        for e in &all {
+            match e.kind {
+                EventKind::New => prop_assert_eq!(e.at, e.object.created),
+                EventKind::Grown => prop_assert_eq!(e.at, e.object.created + win_cur),
+                EventKind::Expired => {
+                    prop_assert_eq!(e.at, e.object.created + win_cur + win_past)
+                }
+            }
+        }
+        // After advancing past everything, both windows are empty.
+        prop_assert_eq!(eng.current_len(), 0);
+        prop_assert_eq!(eng.past_len(), 0);
+    }
+
+    /// Window membership reported by the engine matches the `WindowConfig`
+    /// predicates at every step.
+    #[test]
+    fn membership_matches_config(
+        raw in prop::collection::vec((0u64..10_000, 1u16..10), 1..100),
+        win in 1u64..2_000,
+    ) {
+        let objs = stream_from(raw);
+        let cfg = WindowConfig::equal(win);
+        let mut eng = SlidingWindowEngine::new(cfg);
+        for o in objs {
+            eng.push(o);
+            let now = eng.now();
+            for c in eng.current_objects() {
+                prop_assert!(cfg.in_current(c.created, now));
+            }
+            for p in eng.past_objects() {
+                prop_assert!(cfg.in_past(p.created, now));
+            }
+        }
+    }
+
+    /// Advancing the clock in many small steps produces the same event
+    /// sequence as one big jump.
+    #[test]
+    fn advance_granularity_independence(
+        raw in prop::collection::vec((0u64..5_000, 1u16..10), 1..60),
+        win in 1u64..1_000,
+        step in 1u64..500,
+    ) {
+        let objs = stream_from(raw);
+        let cfg = WindowConfig::equal(win);
+        let horizon = objs.last().unwrap().created + 2 * win + 1;
+
+        let mut big = SlidingWindowEngine::new(cfg);
+        let mut big_events = Vec::new();
+        for o in objs.iter().copied() {
+            big_events.extend(big.push(o));
+        }
+        big_events.extend(big.advance_to(horizon));
+
+        let mut small = SlidingWindowEngine::new(cfg);
+        let mut small_events = Vec::new();
+        let mut next = 0u64;
+        for o in objs.iter().copied() {
+            while next < o.created {
+                small_events.extend(small.advance_to(next));
+                next += step;
+            }
+            small_events.extend(small.push(o));
+        }
+        while next <= horizon {
+            small_events.extend(small.advance_to(next));
+            next += step;
+        }
+        small_events.extend(small.advance_to(horizon));
+
+        prop_assert_eq!(big_events, small_events);
+    }
+
+    /// The stable flag flips exactly at the first expiry.
+    #[test]
+    fn stability_begins_at_first_expiry(
+        raw in prop::collection::vec((0u64..5_000, 1u16..10), 1..60),
+        win in 1u64..1_000,
+    ) {
+        let objs = stream_from(raw);
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(win));
+        let mut expired_seen = false;
+        for o in objs {
+            for e in eng.push(o) {
+                if e.kind == EventKind::Expired {
+                    expired_seen = true;
+                }
+            }
+            prop_assert_eq!(eng.is_stable(), expired_seen);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # surge-topk
+//!
+//! Continuous top-k bursty-region detection (paper §VI): the greedy top-k
+//! semantics of Definition 9 — region i maximizes the burst score over the
+//! objects not covered by regions 1..i−1 — implemented four ways:
+//!
+//! * [`kccs`] — exact kCCS (Algorithm 4): k chained cSPOT problems sharing
+//!   one grid, with per-level bounds/candidates and rectangle levels.
+//! * [`kgaps`] — approximate kGAPS (Algorithm 6): the k best grid cells.
+//! * [`kmgaps`] — approximate kMGAPS (Algorithm 7): top-4k cells from four
+//!   shifted grids, greedily merged to k non-overlapping cells.
+//! * [`naive`] — the brute-force greedy re-run per event, the paper's
+//!   runtime strawman and a live correctness oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kccs;
+pub mod kgaps;
+pub mod kmgaps;
+pub mod naive;
+
+pub use kccs::KCellCspot;
+pub use kgaps::KGapSurge;
+pub use kmgaps::KMgapSurge;
+pub use naive::NaiveTopK;

@@ -1,0 +1,127 @@
+//! The naive top-k detector (§VII-F): re-runs the full greedy top-k search
+//! (k global sweeps) on every event. Prohibitively expensive — the paper
+//! reports it ~100× slower than kCCS — but trivially correct, so it doubles
+//! as a runtime reference and as a live oracle.
+
+use std::collections::HashMap;
+
+use surge_core::{
+    DetectorStats, Event, EventKind, ObjectId, RegionAnswer, SpatialObject, SurgeQuery,
+    TopKDetector,
+};
+use surge_exact::snapshot_topk;
+
+/// The naive greedy top-k detector.
+#[derive(Debug)]
+pub struct NaiveTopK {
+    query: SurgeQuery,
+    k: usize,
+    current: HashMap<ObjectId, SpatialObject>,
+    past: HashMap<ObjectId, SpatialObject>,
+    stats: DetectorStats,
+}
+
+impl NaiveTopK {
+    /// Creates a naive top-k detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(query: SurgeQuery, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        NaiveTopK {
+            query,
+            k,
+            current: HashMap::new(),
+            past: HashMap::new(),
+            stats: DetectorStats::default(),
+        }
+    }
+
+    /// Objects currently resident in either window.
+    pub fn resident_objects(&self) -> usize {
+        self.current.len() + self.past.len()
+    }
+}
+
+impl TopKDetector for NaiveTopK {
+    fn on_event(&mut self, event: &Event) {
+        self.stats.events += 1;
+        if event.kind == EventKind::New {
+            self.stats.new_events += 1;
+        }
+        if !self.query.accepts(event.object.pos) {
+            return;
+        }
+        match event.kind {
+            EventKind::New => {
+                self.current.insert(event.object.id, event.object);
+            }
+            EventKind::Grown => {
+                if let Some(o) = self.current.remove(&event.object.id) {
+                    self.past.insert(event.object.id, o);
+                }
+            }
+            EventKind::Expired => {
+                self.past.remove(&event.object.id);
+            }
+        }
+    }
+
+    fn current_topk(&mut self) -> Vec<RegionAnswer> {
+        self.stats.searches += self.k as u64;
+        self.stats.events_triggering_search += 1;
+        let current: Vec<SpatialObject> = self.current.values().copied().collect();
+        let past: Vec<SpatialObject> = self.past.values().copied().collect();
+        snapshot_topk(&current, &past, &self.query, self.k)
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn stats(&self) -> DetectorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surge_core::{Point, RegionSize, WindowConfig};
+
+    fn query() -> SurgeQuery {
+        SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), WindowConfig::equal(1_000), 0.5)
+    }
+
+    fn obj(id: u64, w: f64, x: f64, y: f64, t: u64) -> SpatialObject {
+        SpatialObject::new(id, w, Point::new(x, y), t)
+    }
+
+    #[test]
+    fn tracks_window_membership() {
+        let mut d = NaiveTopK::new(query(), 2);
+        let o = obj(0, 1.0, 0.0, 0.0, 0);
+        d.on_event(&Event::new_arrival(o));
+        assert_eq!(d.resident_objects(), 1);
+        d.on_event(&Event::grown(o, 1_000));
+        assert_eq!(d.resident_objects(), 1);
+        d.on_event(&Event::expired(o, 2_000));
+        assert_eq!(d.resident_objects(), 0);
+    }
+
+    #[test]
+    fn greedy_answers() {
+        let mut d = NaiveTopK::new(query(), 2);
+        d.on_event(&Event::new_arrival(obj(0, 3.0, 0.0, 0.0, 0)));
+        d.on_event(&Event::new_arrival(obj(1, 5.0, 30.0, 30.0, 0)));
+        let top = d.current_topk();
+        assert_eq!(top.len(), 2);
+        assert!((top[0].score - 5.0 / 1_000.0).abs() < 1e-12);
+        assert!((top[1].score - 3.0 / 1_000.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! Edge cases for the top-k detectors: k exceeding available regions, k = 1
+//! equivalence, greedy-disjointness semantics, and churn.
+
+use surge_core::{
+    BurstDetector, Point, RegionSize, SpatialObject, SurgeQuery, TopKDetector, WindowConfig,
+};
+use surge_exact::CellCspot;
+use surge_stream::SlidingWindowEngine;
+use surge_topk::{KCellCspot, KGapSurge, KMgapSurge, NaiveTopK};
+
+fn query() -> SurgeQuery {
+    SurgeQuery::whole_space(RegionSize::new(2.0, 2.0), WindowConfig::equal(1_000), 0.5)
+}
+
+/// Three well-separated clusters with strictly decreasing mass.
+fn three_clusters() -> Vec<SpatialObject> {
+    let mut objs = Vec::new();
+    let mut id = 0;
+    for t in 0..12u64 {
+        for (cx, copies) in [(0.0f64, 3u64), (50.0, 2), (100.0, 1)] {
+            for _ in 0..copies {
+                objs.push(SpatialObject::new(
+                    id,
+                    1.0,
+                    Point::new(cx + (id % 3) as f64 * 0.2, 5.0),
+                    t * 50,
+                ));
+                id += 1;
+            }
+        }
+    }
+    objs
+}
+
+fn drive_k<D: TopKDetector>(det: &mut D, objs: &[SpatialObject]) {
+    let mut engine = SlidingWindowEngine::new(WindowConfig::equal(1_000));
+    for o in objs {
+        for ev in engine.push(*o) {
+            det.on_event(ev_ref(&ev));
+        }
+    }
+}
+
+// TopKDetector::on_event takes &Event; helper for readability.
+fn ev_ref(ev: &surge_core::Event) -> &surge_core::Event {
+    ev
+}
+
+#[test]
+fn k_larger_than_occupied_regions_returns_fewer() {
+    let objs = three_clusters();
+    let mut det = KCellCspot::new(query(), 9);
+    drive_k(&mut det, &objs);
+    let answers = det.current_topk();
+    assert!(answers.len() <= 9);
+    assert!(answers.len() >= 3, "three clusters → at least 3 answers");
+    for w in answers.windows(2) {
+        assert!(w[0].score >= w[1].score - 1e-12);
+    }
+}
+
+#[test]
+fn k_equals_one_matches_single_detector() {
+    let objs = three_clusters();
+    let mut single = CellCspot::new(query());
+    let mut k1 = KCellCspot::new(query(), 1);
+    let mut engine = SlidingWindowEngine::new(WindowConfig::equal(1_000));
+    for o in &objs {
+        for ev in engine.push(*o) {
+            single.on_event(&ev);
+            k1.on_event(&ev);
+        }
+        let a = single.current().map(|r| r.score).unwrap_or(0.0);
+        let b = k1.current_topk().first().map(|r| r.score).unwrap_or(0.0);
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1e-12), "{a} vs {b}");
+    }
+}
+
+#[test]
+fn greedy_ranks_clusters_by_mass() {
+    let objs = three_clusters();
+    let mut det = KCellCspot::new(query(), 3);
+    drive_k(&mut det, &objs);
+    let answers = det.current_topk();
+    assert_eq!(answers.len(), 3);
+    // Cluster order: x ≈ 0 (mass 3) > x ≈ 50 (mass 2) > x ≈ 100 (mass 1).
+    let xs: Vec<f64> = answers.iter().map(|a| a.region.center().x).collect();
+    assert!(xs[0] < 10.0, "first answer at {}", xs[0]);
+    assert!((40.0..60.0).contains(&xs[1]), "second answer at {}", xs[1]);
+    assert!(xs[2] > 90.0, "third answer at {}", xs[2]);
+}
+
+#[test]
+fn kccs_matches_naive_on_churning_stream() {
+    let q = query();
+    let mut fast = KCellCspot::new(q, 3);
+    let mut naive = NaiveTopK::new(q, 3);
+    let mut engine = SlidingWindowEngine::new(q.windows);
+    // Clusters whose ranking flips as objects age out.
+    let mut objs = Vec::new();
+    let mut id = 0;
+    for t in 0..60u64 {
+        let cx = if t < 30 { 0.0 } else { 50.0 };
+        objs.push(SpatialObject::new(id, 1.0, Point::new(cx, 0.0), t * 60));
+        id += 1;
+        if t % 2 == 0 {
+            objs.push(SpatialObject::new(id, 1.0, Point::new(25.0, 0.0), t * 60));
+            id += 1;
+        }
+    }
+    for (step, o) in objs.iter().enumerate() {
+        for ev in engine.push(*o) {
+            fast.on_event(&ev);
+            naive.on_event(&ev);
+        }
+        if step % 7 != 0 {
+            continue;
+        }
+        let f: Vec<f64> = fast.current_topk().iter().map(|a| a.score).collect();
+        let n: Vec<f64> = naive.current_topk().iter().map(|a| a.score).collect();
+        assert_eq!(f.len(), n.len(), "step {step}: {f:?} vs {n:?}");
+        for (i, (a, b)) in f.iter().zip(&n).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1e-12),
+                "step {step} rank {i}: kCCS {a} vs naive {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn approx_topk_is_sorted_and_disjoint() {
+    let objs = three_clusters();
+    let mut kg = KGapSurge::new(query(), 4);
+    let mut km = KMgapSurge::new(query(), 4);
+    drive_k(&mut kg, &objs);
+    drive_k(&mut km, &objs);
+    for answers in [kg.current_topk(), km.current_topk()] {
+        for w in answers.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-12);
+            // Reported regions must not overlap (cells are disjoint; the
+            // merged multi-grid answers are filtered for overlap).
+            let a = &w[0].region;
+            let b = &w[1].region;
+            let overlap_w = (a.x1.min(b.x1) - a.x0.max(b.x0)).max(0.0);
+            let overlap_h = (a.y1.min(b.y1) - a.y0.max(b.y0)).max(0.0);
+            assert!(
+                overlap_w * overlap_h <= 1e-12,
+                "overlapping answers {a:?} / {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_stream_yields_empty_topk() {
+    let mut det = KCellCspot::new(query(), 3);
+    assert!(det.current_topk().is_empty());
+    let mut kg = KGapSurge::new(query(), 3);
+    assert!(kg.current_topk().is_empty());
+}
+
+#[test]
+fn expired_clusters_leave_topk() {
+    let q = query();
+    let mut det = KCellCspot::new(q, 2);
+    let mut engine = SlidingWindowEngine::new(q.windows);
+    // A cluster at x = 0 early, then a cluster at x = 50 much later (after
+    // the first has fully expired).
+    for i in 0..10u64 {
+        for ev in engine.push(SpatialObject::new(i, 1.0, Point::new(0.0, 0.0), i)) {
+            det.on_event(&ev);
+        }
+    }
+    for i in 0..10u64 {
+        for ev in engine.push(SpatialObject::new(100 + i, 1.0, Point::new(50.0, 0.0), 10_000 + i)) {
+            det.on_event(&ev);
+        }
+    }
+    let answers = det.current_topk();
+    assert!(!answers.is_empty());
+    for a in &answers {
+        assert!(
+            a.region.center().x > 40.0,
+            "expired cluster still reported at {:?}",
+            a.region
+        );
+    }
+}

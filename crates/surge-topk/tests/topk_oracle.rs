@@ -1,0 +1,143 @@
+//! Top-k oracle equivalence: after every event of a random stream, kCCS must
+//! report exactly the greedy top-k of Definition 9 (same length, same scores
+//! rank by rank), as computed by the stateless snapshot oracle. The naive
+//! detector, by construction a thin wrapper over the oracle, is also checked
+//! end-to-end through the event interface.
+//!
+//! Weights are made *generic* (no two subset sums collide in practice) so the
+//! greedy argmax is unique at every rank and the oracle/detector tie-breaking
+//! cannot diverge.
+
+use proptest::prelude::*;
+
+use surge_core::{Point, RegionSize, SpatialObject, SurgeQuery, TopKDetector, WindowConfig};
+use surge_exact::snapshot_topk;
+use surge_stream::SlidingWindowEngine;
+use surge_topk::{KCellCspot, NaiveTopK};
+
+/// Generic weights: 1 + frac(i·φ)·small — subset sums are distinct with
+/// overwhelming probability, making the greedy selection unique.
+fn generic_weight(i: usize) -> f64 {
+    1.0 + ((i as f64) * 0.6180339887498949).fract() * 0.37
+}
+
+fn object_stream(max_len: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
+    prop::collection::vec((0u64..18, 0u64..18, 0u64..50), 1..max_len).prop_map(|raw| {
+        let mut t = 0u64;
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, dt))| {
+                t += dt;
+                SpatialObject::new(
+                    i as u64,
+                    generic_weight(i),
+                    Point::new(x as f64 / 10.0, y as f64 / 10.0),
+                    t,
+                )
+            })
+            .collect()
+    })
+}
+
+fn check_kccs(objects: &[SpatialObject], alpha: f64, k: usize) {
+    let query =
+        SurgeQuery::whole_space(RegionSize::new(0.5, 0.5), WindowConfig::equal(120), alpha);
+    let mut engine = SlidingWindowEngine::new(query.windows);
+    let mut det = KCellCspot::new(query, k);
+    for (step, obj) in objects.iter().enumerate() {
+        for ev in engine.push(*obj) {
+            det.on_event(&ev);
+        }
+        let current: Vec<SpatialObject> = engine.current_objects().copied().collect();
+        let past: Vec<SpatialObject> = engine.past_objects().copied().collect();
+        let want = snapshot_topk(&current, &past, &query, k);
+        let got = det.current_topk();
+        assert_eq!(
+            want.len(),
+            got.len(),
+            "step {step}: oracle {} answers vs kCCS {}\noracle: {want:?}\nkccs: {got:?}",
+            want.len(),
+            got.len()
+        );
+        for (rank, (w, g)) in want.iter().zip(got.iter()).enumerate() {
+            let scale = w.score.abs().max(1e-12);
+            assert!(
+                (w.score - g.score).abs() <= 1e-9 * scale,
+                "step {step} rank {rank}: oracle {} vs kCCS {}",
+                w.score,
+                g.score
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kccs_matches_greedy_oracle_k2(objects in object_stream(30), alpha in 0.0f64..0.95) {
+        check_kccs(&objects, alpha, 2);
+    }
+
+    #[test]
+    fn kccs_matches_greedy_oracle_k3(objects in object_stream(25), alpha in 0.0f64..0.95) {
+        check_kccs(&objects, alpha, 3);
+    }
+
+    #[test]
+    fn kccs_matches_greedy_oracle_k5(objects in object_stream(20), alpha in 0.0f64..0.95) {
+        check_kccs(&objects, alpha, 5);
+    }
+
+    #[test]
+    fn naive_matches_greedy_oracle(objects in object_stream(25), alpha in 0.0f64..0.95) {
+        let query =
+            SurgeQuery::whole_space(RegionSize::new(0.5, 0.5), WindowConfig::equal(120), alpha);
+        let mut engine = SlidingWindowEngine::new(query.windows);
+        let mut det = NaiveTopK::new(query, 3);
+        for obj in objects.iter() {
+            for ev in engine.push(*obj) {
+                det.on_event(&ev);
+            }
+            let current: Vec<SpatialObject> = engine.current_objects().copied().collect();
+            let past: Vec<SpatialObject> = engine.past_objects().copied().collect();
+            let want = snapshot_topk(&current, &past, &query, 3);
+            let got = det.current_topk();
+            prop_assert_eq!(want.len(), got.len());
+            for (w, g) in want.iter().zip(got.iter()) {
+                prop_assert!((w.score - g.score).abs() <= 1e-12);
+            }
+        }
+    }
+}
+
+#[test]
+fn kccs_k1_equals_single_region_semantics() {
+    // With k=1, kCCS must behave exactly like the single-region greedy.
+    let objects: Vec<SpatialObject> = (0..30)
+        .map(|i| {
+            SpatialObject::new(
+                i,
+                generic_weight(i as usize),
+                Point::new((i as f64 * 0.631) % 2.0, (i as f64 * 0.377) % 2.0),
+                i * 30,
+            )
+        })
+        .collect();
+    check_kccs(&objects, 0.4, 1);
+}
+
+#[test]
+fn kccs_alignment_heavy_regression() {
+    let objects: Vec<SpatialObject> = (0..24)
+        .map(|i| {
+            SpatialObject::new(
+                i,
+                generic_weight(i as usize),
+                Point::new((i % 4) as f64 * 0.5, (i % 3) as f64 * 0.5),
+                i * 35,
+            )
+        })
+        .collect();
+    check_kccs(&objects, 0.6, 3);
+}

@@ -1,0 +1,71 @@
+//! Quickstart: detect the bursty region in a tiny hand-made stream.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use surge::prelude::*;
+
+fn main() {
+    // A query: 2×2 regions, 10-second current/past windows, α = 0.6
+    // (lean toward burstiness over raw volume).
+    let query = SurgeQuery::whole_space(
+        RegionSize::new(2.0, 2.0),
+        WindowConfig::equal(10_000),
+        0.6,
+    );
+
+    // The exact detector and the sliding-window engine.
+    let mut detector = CellCspot::new(query);
+    let mut windows = SlidingWindowEngine::new(query.windows);
+
+    // A toy stream: background noise everywhere, then a sudden cluster
+    // around (50, 50) in the second half.
+    let mut stream: Vec<SpatialObject> = Vec::new();
+    let mut id = 0;
+    for t in (0..20_000u64).step_by(500) {
+        let x = (id * 37 % 100) as f64;
+        let y = (id * 61 % 100) as f64;
+        stream.push(SpatialObject::new(id, 1.0, Point::new(x, y), t));
+        id += 1;
+    }
+    for t in (12_000..20_000u64).step_by(250) {
+        let dx = (id % 3) as f64 * 0.4;
+        let dy = (id % 5) as f64 * 0.3;
+        stream.push(SpatialObject::new(id, 1.0, Point::new(50.0 + dx, 50.0 + dy), t));
+        id += 1;
+    }
+    stream.sort_by_key(|o| o.created);
+
+    // Feed the stream; print the answer whenever it changes region.
+    let mut last: Option<Rect> = None;
+    for obj in stream {
+        for event in windows.push(obj) {
+            detector.on_event(&event);
+        }
+        if let Some(ans) = detector.current() {
+            if last != Some(ans.region) {
+                println!(
+                    "t={:>6}ms  bursty region [{:.1}, {:.1}] x [{:.1}, {:.1}]  score {:.5}",
+                    obj.created,
+                    ans.region.x0,
+                    ans.region.x1,
+                    ans.region.y0,
+                    ans.region.y1,
+                    ans.score
+                );
+                last = Some(ans.region);
+            }
+        }
+    }
+
+    let final_answer = detector.current().expect("stream is non-empty");
+    println!(
+        "\nfinal bursty region is centred at ({:.1}, {:.1}) — the injected cluster",
+        final_answer.region.center().x,
+        final_answer.region.center().y
+    );
+    assert!(
+        (final_answer.region.center().x - 50.0).abs() < 3.0
+            && (final_answer.region.center().y - 50.0).abs() < 3.0,
+        "expected the cluster at (50, 50) to win"
+    );
+}

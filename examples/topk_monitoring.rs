@@ -1,0 +1,86 @@
+//! Top-k monitoring (paper §VI): track the three most bursty regions at
+//! once — a dispatcher wants a ranked list, not just the single winner — and
+//! compare the exact kCCS against the approximate kMGAPS.
+//!
+//! Run with: `cargo run --release --example topk_monitoring`
+
+use surge::prelude::*;
+
+fn main() {
+    let dataset = Dataset::Taxi;
+    let spec = dataset.spec();
+    let q = dataset.default_region();
+    let k = 3;
+
+    let query = SurgeQuery::new(
+        spec.extent,
+        RegionSize::new(q.width * 6.0, q.height * 6.0),
+        WindowConfig::equal_minutes(5),
+        0.5,
+    );
+
+    // Three simultaneous demand spikes of different strengths.
+    let spots = [
+        (Point::new(12.45, 41.95), 0.30),
+        (Point::new(12.55, 41.85), 0.20),
+        (Point::new(12.35, 42.00), 0.12),
+    ];
+    let mut workload = dataset.workload(15_000, 3);
+    for (center, intensity) in spots {
+        workload = workload.with_burst(BurstSpec {
+            center,
+            sigma: 0.006,
+            start: 1_500_000,
+            duration: 1_200_000,
+            intensity,
+        });
+    }
+    let stream = StreamGenerator::new(workload).generate();
+
+    let mut exact = KCellCspot::new(query, k);
+    let mut approx = KMgapSurge::new(query, k);
+    let mut windows = SlidingWindowEngine::new(query.windows);
+
+    let mut snapshot: Option<(u64, Vec<RegionAnswer>, Vec<RegionAnswer>)> = None;
+    for obj in stream {
+        for event in windows.push(obj) {
+            exact.on_event(&event);
+            approx.on_event(&event);
+        }
+        // Capture a ranking mid-burst.
+        if obj.created > 1_500_000 + 2 * query.windows.current_len && snapshot.is_none() {
+            snapshot = Some((obj.created, exact.current_topk(), approx.current_topk()));
+        }
+    }
+
+    let (t, top_exact, top_approx) = snapshot.expect("stream covers the burst");
+    println!("top-{k} bursty regions at t={:.0}min:\n", t as f64 / 60_000.0);
+    println!("{:<6}{:>24}{:>14}{:>26}", "rank", "kCCS region center", "score", "kMGAPS center (score)");
+    for i in 0..k {
+        let e = top_exact.get(i);
+        let a = top_approx.get(i);
+        let fmt_c = |r: &RegionAnswer| {
+            let c = r.region.center();
+            format!("({:.3}, {:.3})", c.x, c.y)
+        };
+        println!(
+            "{:<6}{:>24}{:>14}{:>26}",
+            i + 1,
+            e.map(fmt_c).unwrap_or_else(|| "-".into()),
+            e.map(|r| format!("{:.3e}", r.score)).unwrap_or_else(|| "-".into()),
+            a.map(|r| format!("{} ({:.3e})", fmt_c(r), r.score))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    // The exact ranking must be score-sorted and its top answer should sit
+    // at the strongest injected spot.
+    assert!(!top_exact.is_empty());
+    for w in top_exact.windows(2) {
+        assert!(w[0].score >= w[1].score);
+    }
+    let c = top_exact[0].region.center();
+    let d0 = ((c.x - spots[0].0.x).powi(2) + (c.y - spots[0].0.y).powi(2)).sqrt();
+    println!("\nstrongest spike localized to within {:.4}° of injection", d0);
+    assert!(d0 < 0.02, "top-1 should localize the strongest spike");
+}

@@ -1,0 +1,134 @@
+//! Asymmetric current/past window lengths.
+//!
+//! The paper assumes `|W_c| = |W_p|` "for the sake of simplicity" and claims
+//! the solutions apply unchanged when the two lengths differ (§III-A). These
+//! tests exercise that claim across the whole stack: engine transitions,
+//! score normalization, exact detectors against the snapshot oracle, and the
+//! approximation guarantee.
+
+use proptest::prelude::*;
+use surge::prelude::*;
+use surge_exact::snapshot_bursty_region;
+
+fn random_stream(n: usize, seed: u64, span_ms: u64, extent: f64) -> Vec<SpatialObject> {
+    // Small deterministic LCG so the test does not depend on rand's stream.
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut objs: Vec<SpatialObject> = (0..n)
+        .map(|i| {
+            let t = (next() * span_ms as f64) as u64;
+            SpatialObject::new(
+                i as u64,
+                1.0 + next() * 9.0,
+                Point::new(next() * extent, next() * extent),
+                t,
+            )
+        })
+        .collect();
+    objs.sort_by_key(|o| o.created);
+    objs
+}
+
+fn check_exact_against_oracle(windows: WindowConfig, seed: u64) {
+    let query = SurgeQuery::whole_space(RegionSize::new(2.0, 2.0), windows, 0.5);
+    let mut det = CellCspot::new(query);
+    let mut engine = SlidingWindowEngine::new(windows);
+    for (step, obj) in random_stream(400, seed, 6_000, 20.0).into_iter().enumerate() {
+        for ev in engine.push(obj) {
+            det.on_event(&ev);
+        }
+        if step % 17 != 0 {
+            continue;
+        }
+        let current: Vec<SpatialObject> = engine.current_objects().copied().collect();
+        let past: Vec<SpatialObject> = engine.past_objects().copied().collect();
+        let oracle = snapshot_bursty_region(&current, &past, &query)
+            .map(|a| a.score)
+            .unwrap_or(0.0);
+        let got = det.current().map(|a| a.score).unwrap_or(0.0);
+        let scale = oracle.abs().max(1e-12);
+        assert!(
+            (oracle - got).abs() <= 1e-9 * scale,
+            "step {step} ({windows:?}): oracle {oracle} vs CCS {got}"
+        );
+    }
+}
+
+#[test]
+fn ccs_matches_oracle_with_longer_past_window() {
+    check_exact_against_oracle(WindowConfig::new(500, 2_000), 1);
+}
+
+#[test]
+fn ccs_matches_oracle_with_shorter_past_window() {
+    check_exact_against_oracle(WindowConfig::new(2_000, 300), 2);
+}
+
+#[test]
+fn ccs_matches_oracle_with_extreme_ratio() {
+    check_exact_against_oracle(WindowConfig::new(100, 5_000), 3);
+}
+
+#[test]
+fn gaps_guarantee_holds_with_asymmetric_windows() {
+    let windows = WindowConfig::new(800, 3_000);
+    let query = SurgeQuery::whole_space(RegionSize::new(2.0, 2.0), windows, 0.4);
+    let ratio = query.burst_params().grid_approx_ratio();
+    let mut exact = CellCspot::new(query);
+    let mut gaps = GapSurge::new(query);
+    let mut mgaps = MgapSurge::new(query);
+    let mut engine = SlidingWindowEngine::new(windows);
+    let mut checked = 0;
+    for (step, obj) in random_stream(600, 9, 10_000, 25.0).into_iter().enumerate() {
+        for ev in engine.push(obj) {
+            exact.on_event(&ev);
+            gaps.on_event(&ev);
+            mgaps.on_event(&ev);
+        }
+        if step % 23 != 0 {
+            continue;
+        }
+        let Some(opt) = exact.current() else { continue };
+        if opt.score <= 1e-12 {
+            continue;
+        }
+        let g = gaps.current().map(|a| a.score).unwrap_or(0.0);
+        let m = mgaps.current().map(|a| a.score).unwrap_or(0.0);
+        assert!(g >= ratio * opt.score - 1e-12, "step {step}: GAPS {g}");
+        assert!(m >= g - 1e-12, "step {step}: MGAPS {m} < GAPS {g}");
+        checked += 1;
+    }
+    assert!(checked > 5, "too few checkpoints: {checked}");
+}
+
+#[test]
+fn asymmetric_normalization_shifts_burstiness() {
+    // One object in each window, equal weight. With |W_p| ≫ |W_c| the past
+    // score is diluted, so the burstiness term is positive; with
+    // |W_p| ≪ |W_c| the past dominates and the increase clamps to zero.
+    let diluted = BurstParams::new(0.5, WindowConfig::new(100, 10_000));
+    let concentrated = BurstParams::new(0.5, WindowConfig::new(10_000, 100));
+    let s_diluted = diluted.score_weights(5.0, 5.0);
+    let s_concentrated = concentrated.score_weights(5.0, 5.0);
+    // Diluted past: fc = 0.05, fp = 0.0005 -> burstiness ~ fc.
+    assert!(s_diluted > 0.5 * (5.0 / 100.0));
+    // Concentrated past: fc = 0.0005, fp = 0.05 -> burstiness term 0.
+    assert!((s_concentrated - 0.5 * (5.0 / 10_000.0)).abs() < 1e-15);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// CCS equals the oracle at sampled snapshots for random window shapes.
+    #[test]
+    fn ccs_oracle_equivalence_random_window_shapes(
+        cur in 100u64..3_000,
+        past in 100u64..3_000,
+        seed in 0u64..1_000,
+    ) {
+        check_exact_against_oracle(WindowConfig::new(cur, past), seed);
+    }
+}

@@ -1,0 +1,230 @@
+//! End-to-end integration tests spanning all crates: dataset generation →
+//! sliding windows → every detector, checked for mutual consistency.
+
+use surge::prelude::*;
+
+/// A standard mid-size pipeline on the Taxi model.
+fn taxi_pipeline(objects: usize, seed: u64) -> (SurgeQuery, Vec<SpatialObject>) {
+    let dataset = Dataset::Taxi;
+    let spec = dataset.spec();
+    let q = dataset.default_region();
+    let query = SurgeQuery::new(
+        spec.extent,
+        RegionSize::new(q.width * 4.0, q.height * 4.0),
+        WindowConfig::equal_minutes(5),
+        0.5,
+    );
+    let stream = StreamGenerator::new(dataset.workload(objects, seed)).generate();
+    (query, stream)
+}
+
+#[test]
+fn exact_detectors_agree_on_dataset_stream() {
+    let (query, stream) = taxi_pipeline(4_000, 1);
+    let mut ccs = CellCspot::new(query);
+    let mut base = BaseDetector::new(query);
+    let mut ag2 = Ag2::new(query);
+    let mut windows = SlidingWindowEngine::new(query.windows);
+    for (i, obj) in stream.into_iter().enumerate() {
+        for ev in windows.push(obj) {
+            ccs.on_event(&ev);
+            base.on_event(&ev);
+            ag2.on_event(&ev);
+        }
+        if i % 97 != 0 {
+            continue; // sample snapshots; agreement must hold at each
+        }
+        let a = ccs.current().map(|r| r.score).unwrap_or(0.0);
+        let b = base.current().map(|r| r.score).unwrap_or(0.0);
+        let c = ag2.current().map(|r| r.score).unwrap_or(0.0);
+        let scale = a.abs().max(1e-12);
+        assert!((a - b).abs() <= 1e-9 * scale, "step {i}: CCS {a} vs Base {b}");
+        assert!((a - c).abs() <= 1e-9 * scale, "step {i}: CCS {a} vs aG2 {c}");
+    }
+}
+
+#[test]
+fn approximate_detectors_respect_guarantee_on_dataset_stream() {
+    let (query, stream) = taxi_pipeline(4_000, 2);
+    let ratio = query.burst_params().grid_approx_ratio();
+    let mut ccs = CellCspot::new(query);
+    let mut gaps = GapSurge::new(query);
+    let mut mgaps = MgapSurge::new(query);
+    let mut windows = SlidingWindowEngine::new(query.windows);
+    let mut checked = 0;
+    for (i, obj) in stream.into_iter().enumerate() {
+        for ev in windows.push(obj) {
+            ccs.on_event(&ev);
+            gaps.on_event(&ev);
+            mgaps.on_event(&ev);
+        }
+        if i % 61 != 0 {
+            continue;
+        }
+        let Some(opt) = ccs.current() else { continue };
+        if opt.score <= 1e-12 {
+            continue;
+        }
+        let g = gaps.current().map(|r| r.score).unwrap_or(0.0);
+        let m = mgaps.current().map(|r| r.score).unwrap_or(0.0);
+        assert!(g >= ratio * opt.score - 1e-12, "step {i}: GAPS {g} < bound");
+        assert!(m >= g - 1e-12, "step {i}: MGAPS {m} < GAPS {g}");
+        assert!(m <= opt.score + 1e-9 * opt.score, "step {i}: MGAPS {m} > OPT");
+        checked += 1;
+    }
+    assert!(checked > 10, "expected many checkpoints, got {checked}");
+}
+
+#[test]
+fn topk_first_answer_matches_single_region_detector() {
+    let (query, stream) = taxi_pipeline(3_000, 3);
+    let mut ccs = CellCspot::new(query);
+    let mut kccs = KCellCspot::new(query, 3);
+    let mut windows = SlidingWindowEngine::new(query.windows);
+    for (i, obj) in stream.into_iter().enumerate() {
+        for ev in windows.push(obj) {
+            ccs.on_event(&ev);
+            kccs.on_event(&ev);
+        }
+        if i % 101 != 0 {
+            continue;
+        }
+        let single = ccs.current().map(|r| r.score).unwrap_or(0.0);
+        let top = kccs.current_topk();
+        let first = top.first().map(|r| r.score).unwrap_or(0.0);
+        let scale = single.abs().max(1e-12);
+        assert!(
+            (single - first).abs() <= 1e-9 * scale,
+            "step {i}: CCS {single} vs kCCS[0] {first}"
+        );
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-12);
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_under_seed() {
+    let run = || {
+        let (query, stream) = taxi_pipeline(2_000, 9);
+        let mut det = CellCspot::new(query);
+        let mut windows = SlidingWindowEngine::new(query.windows);
+        let mut trace = Vec::new();
+        for obj in stream {
+            for ev in windows.push(obj) {
+                det.on_event(&ev);
+            }
+            if let Some(a) = det.current() {
+                trace.push((a.point.x.to_bits(), a.point.y.to_bits(), a.score.to_bits()));
+            }
+        }
+        trace
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn drive_helpers_run_all_detectors() {
+    let (query, stream) = taxi_pipeline(2_000, 5);
+    let detectors: Vec<Box<dyn BurstDetector>> = vec![
+        Box::new(CellCspot::new(query)),
+        Box::new(BaseDetector::new(query)),
+        Box::new(Ag2::new(query)),
+        Box::new(GapSurge::new(query)),
+        Box::new(MgapSurge::new(query)),
+    ];
+    for mut det in detectors {
+        let mut windows = SlidingWindowEngine::new(query.windows);
+        let stats = drive(det.as_mut(), &mut windows, stream.iter().copied());
+        assert_eq!(
+            stats.objects + stats.warmup_objects,
+            2_000,
+            "{} lost objects",
+            stats.name
+        );
+        assert!(stats.detector.events > 0, "{} saw no events", stats.name);
+    }
+    let mut kdet = KCellCspot::new(query, 2);
+    let mut windows = SlidingWindowEngine::new(query.windows);
+    let stats = drive_topk(&mut kdet, &mut windows, stream.iter().copied());
+    assert_eq!(stats.objects + stats.warmup_objects, 2_000);
+}
+
+#[test]
+fn burst_injection_is_detected_end_to_end() {
+    let dataset = Dataset::Taxi;
+    let q = dataset.default_region();
+    let query = SurgeQuery::new(
+        dataset.spec().extent,
+        RegionSize::new(q.width * 4.0, q.height * 4.0),
+        WindowConfig::equal_minutes(5),
+        0.8,
+    );
+    let burst = BurstSpec {
+        center: Point::new(12.7, 42.1),
+        sigma: 0.002,
+        start: 20 * 60_000,
+        duration: 20 * 60_000,
+        intensity: 0.6,
+    };
+    let stream =
+        StreamGenerator::new(dataset.workload(15_000, 21).with_burst(burst)).generate();
+    let mut det = CellCspot::new(query);
+    let mut windows = SlidingWindowEngine::new(query.windows);
+    let mut hits = 0;
+    let mut total = 0;
+    for (i, obj) in stream.into_iter().enumerate() {
+        let t = obj.created;
+        for ev in windows.push(obj) {
+            det.on_event(&ev);
+        }
+        if i % 50 != 0 {
+            continue;
+        }
+        if t > burst.start + query.windows.current_len / 2
+            && t < burst.start + burst.duration
+        {
+            if let Some(a) = det.current() {
+                let c = a.region.center();
+                let d = ((c.x - burst.center.x).powi(2) + (c.y - burst.center.y).powi(2)).sqrt();
+                total += 1;
+                hits += (d < 4.0 * burst.sigma + 0.01) as i32;
+            }
+        }
+    }
+    assert!(total > 0);
+    assert!(
+        hits as f64 / total as f64 > 0.7,
+        "burst localized in only {hits}/{total} checkpoints"
+    );
+}
+
+#[test]
+fn area_restriction_is_honoured_end_to_end() {
+    // Restrict the query to the eastern half of Rome; detections must stay
+    // inside even though the hot-spots sit in the center.
+    let dataset = Dataset::Taxi;
+    let q = dataset.default_region();
+    let area = Rect::new(12.5, 41.6, 12.9, 42.2);
+    let query = SurgeQuery::new(
+        area,
+        RegionSize::new(q.width * 4.0, q.height * 4.0),
+        WindowConfig::equal_minutes(5),
+        0.5,
+    );
+    let stream = StreamGenerator::new(dataset.workload(3_000, 8)).generate();
+    let mut det = CellCspot::new(query);
+    let mut windows = SlidingWindowEngine::new(query.windows);
+    for obj in stream {
+        for ev in windows.push(obj) {
+            det.on_event(&ev);
+        }
+        if let Some(a) = det.current() {
+            assert!(
+                area.contains_rect(&a.region),
+                "region {:?} escapes area",
+                a.region
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The paper's Example 1 end-to-end: a geo-textual message stream
+//! ("tweets"), keyword-relevance weighting, and bursty-region detection of a
+//! topical outbreak.
+//!
+//! The textual content is the *weight source*: a Zika-like topic erupts at a
+//! specific location, the keyword query upweights messages about that topic,
+//! and the detector must find the outbreak region even though the raw
+//! message *rate* barely changes elsewhere.
+
+use surge::prelude::*;
+
+fn vocabulary() -> Vocabulary {
+    Vocabulary::new(vec![
+        Topic {
+            name: "smalltalk".into(),
+            words: ["coffee", "traffic", "weather", "lunch", "football"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        },
+        Topic {
+            name: "outbreak".into(),
+            words: ["zika", "fever", "mosquito", "clinic", "symptoms"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        },
+    ])
+}
+
+/// A Taxi-extent workload with one spatial burst that carries the outbreak
+/// topic.
+fn outbreak_stream(
+    n: usize,
+    seed: u64,
+) -> (Vec<GeoMessage>, Point, u64, u64, Vocabulary) {
+    let dataset = Dataset::Taxi;
+    let center = Point::new(12.7, 42.05);
+    let rate = dataset.spec().rate_per_hour;
+    let span_ms = (n as f64 / rate * 3.6e6) as u64;
+    let start = span_ms / 3;
+    let duration = span_ms / 3;
+    let burst = BurstSpec {
+        center,
+        sigma: 0.004,
+        start,
+        duration,
+        intensity: 0.35,
+    };
+    let vocab = vocabulary();
+    let workload = dataset.workload(n, seed).with_burst(burst);
+    let messages: Vec<GeoMessage> = TextStreamGenerator::new(
+        workload,
+        vocab.clone(),
+        0, // background chat
+        vec![TopicBurst {
+            burst_index: 0,
+            topic: 1, // outbreak
+            adoption: 0.9,
+        }],
+        6,
+    )
+    .collect();
+    (messages, center, start, start + duration, vocab)
+}
+
+#[test]
+fn keyword_weighting_detects_topical_outbreak() {
+    let (messages, center, start, end, vocab) = outbreak_stream(20_000, 11);
+    let keyword_query = KeywordQuery::new(&vocab, &["zika", "fever", "mosquito"], 50.0, 0.0);
+
+    let dataset = Dataset::Taxi;
+    let q = dataset.default_region();
+    let query = SurgeQuery::new(
+        dataset.spec().extent,
+        RegionSize::new(q.width * 8.0, q.height * 8.0),
+        WindowConfig::equal_minutes(10),
+        0.7,
+    );
+    let mut det = CellCspot::new(query);
+    let mut engine = SlidingWindowEngine::new(query.windows);
+
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    let mut relevant = 0usize;
+    for (i, msg) in messages.into_iter().enumerate() {
+        // base_weight = 0 drops irrelevant chatter entirely.
+        let Some(obj) = keyword_query.weigh(&msg) else {
+            continue;
+        };
+        relevant += 1;
+        let t = obj.created;
+        for ev in engine.push(obj) {
+            det.on_event(&ev);
+        }
+        if i % 40 != 0 {
+            continue;
+        }
+        if t > start + query.windows.current_len / 2 && t < end {
+            if let Some(a) = det.current() {
+                total += 1;
+                let c = a.region.center();
+                let d = ((c.x - center.x).powi(2) + (c.y - center.y).powi(2)).sqrt();
+                hits += (d < 0.03) as usize;
+            }
+        }
+    }
+    assert!(relevant > 100, "keyword filter kept only {relevant} messages");
+    assert!(total > 20, "too few checkpoints: {total}");
+    assert!(
+        hits as f64 / total as f64 > 0.8,
+        "outbreak localized in only {hits}/{total} checkpoints"
+    );
+}
+
+#[test]
+fn irrelevant_keywords_find_no_outbreak_signal() {
+    // Querying for smalltalk words: the outbreak region must NOT dominate,
+    // because its extra messages are topical, not smalltalk.
+    let (messages, center, start, end, vocab) = outbreak_stream(12_000, 13);
+    let keyword_query = KeywordQuery::new(&vocab, &["coffee", "lunch"], 50.0, 0.0);
+
+    let dataset = Dataset::Taxi;
+    let q = dataset.default_region();
+    let query = SurgeQuery::new(
+        dataset.spec().extent,
+        RegionSize::new(q.width * 8.0, q.height * 8.0),
+        WindowConfig::equal_minutes(10),
+        0.7,
+    );
+    let mut det = CellCspot::new(query);
+    let mut engine = SlidingWindowEngine::new(query.windows);
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (i, msg) in messages.into_iter().enumerate() {
+        let Some(obj) = keyword_query.weigh(&msg) else {
+            continue;
+        };
+        let t = obj.created;
+        for ev in engine.push(obj) {
+            det.on_event(&ev);
+        }
+        if i % 40 != 0 {
+            continue;
+        }
+        if t > start && t < end {
+            if let Some(a) = det.current() {
+                total += 1;
+                let c = a.region.center();
+                let d = ((c.x - center.x).powi(2) + (c.y - center.y).powi(2)).sqrt();
+                hits += (d < 0.03) as usize;
+            }
+        }
+    }
+    // The burst *does* add some smalltalk-weighted traffic at the site (10%
+    // non-adoption), so allow occasional hits — but it must not dominate.
+    assert!(total > 10, "too few checkpoints: {total}");
+    assert!(
+        (hits as f64) / (total as f64) < 0.5,
+        "smalltalk query spuriously locked onto the outbreak: {hits}/{total}"
+    );
+}
+
+#[test]
+fn relevance_weighting_is_proportional_to_keyword_overlap() {
+    let vocab = vocabulary();
+    let kq = KeywordQuery::new(&vocab, &["zika", "fever"], 10.0, 1.0);
+    let msg = |words: &[&str]| GeoMessage {
+        id: 0,
+        pos: Point::new(0.0, 0.0),
+        created: 0,
+        words: words
+            .iter()
+            .map(|w| vocab.word_id(w).expect("known word"))
+            .collect(),
+    };
+    let full = kq.weigh(&msg(&["zika", "fever"])).unwrap().weight;
+    let half = kq.weigh(&msg(&["zika", "coffee"])).unwrap().weight;
+    let none = kq.weigh(&msg(&["coffee", "lunch"])).unwrap().weight;
+    assert!(full > half && half > none, "{full} / {half} / {none}");
+    assert_eq!(none, 1.0); // base weight
+    assert_eq!(full, 10.0); // max weight
+}
