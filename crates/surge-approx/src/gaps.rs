@@ -66,7 +66,8 @@ impl GapSurge {
     /// grid's cell size must equal the query-region size.
     pub fn with_grid(query: SurgeQuery, grid: GridSpec) -> Self {
         assert!(
-            (grid.cell_w - query.region.width).abs() < f64::EPSILON * query.region.width.abs().max(1.0)
+            (grid.cell_w - query.region.width).abs()
+                < f64::EPSILON * query.region.width.abs().max(1.0)
                 && (grid.cell_h - query.region.height).abs()
                     < f64::EPSILON * query.region.height.abs().max(1.0),
             "GAPS grid cells must match the query-region size"

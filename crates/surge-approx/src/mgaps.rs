@@ -41,11 +41,8 @@ impl MgapSurge {
     /// the up-to-`16k` candidates, and greedily keep the best `k` pairwise
     /// non-overlapping cells.
     pub fn topk(&self, k: usize) -> Vec<RegionAnswer> {
-        let mut candidates: Vec<RegionAnswer> = self
-            .grids
-            .iter()
-            .flat_map(|g| g.topk(4 * k))
-            .collect();
+        let mut candidates: Vec<RegionAnswer> =
+            self.grids.iter().flat_map(|g| g.topk(4 * k)).collect();
         candidates.sort_by_key(|c| std::cmp::Reverse(TotalF64(c.score)));
         let mut chosen: Vec<RegionAnswer> = Vec::with_capacity(k);
         for cand in candidates {
@@ -78,7 +75,7 @@ impl BurstDetector for MgapSurge {
         let mut best: Option<RegionAnswer> = None;
         for g in &mut self.grids {
             if let Some(ans) = g.current() {
-                if best.as_ref().map_or(true, |b| ans.score > b.score) {
+                if best.as_ref().is_none_or(|b| ans.score > b.score) {
                     best = Some(ans);
                 }
             }
@@ -138,7 +135,10 @@ mod tests {
         let m = mgaps.current().unwrap().score;
         let g = gaps.current().unwrap().score;
         assert!(m >= g);
-        assert!((m - 3.0 / 1_000.0).abs() < 1e-12, "shifted grid holds all 3");
+        assert!(
+            (m - 3.0 / 1_000.0).abs() < 1e-12,
+            "shifted grid holds all 3"
+        );
     }
 
     #[test]
@@ -164,13 +164,7 @@ mod tests {
     fn topk_cells_are_non_overlapping() {
         let mut d = MgapSurge::new(query(0.0));
         // Dense cluster plus two satellites.
-        let pts = [
-            (0.4, 0.4),
-            (0.6, 0.6),
-            (0.5, 0.5),
-            (3.2, 3.2),
-            (7.8, 7.8),
-        ];
+        let pts = [(0.4, 0.4), (0.6, 0.6), (0.5, 0.5), (3.2, 3.2), (7.8, 7.8)];
         for (i, (x, y)) in pts.iter().enumerate() {
             d.on_event(&Event::new_arrival(obj(i as u64, 1.0, *x, *y, 0)));
         }

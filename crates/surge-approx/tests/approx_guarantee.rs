@@ -6,8 +6,8 @@
 
 use proptest::prelude::*;
 
-use surge_core::{BurstDetector, Point, RegionSize, SpatialObject, SurgeQuery, WindowConfig};
 use surge_approx::{GapSurge, MgapSurge};
+use surge_core::{BurstDetector, Point, RegionSize, SpatialObject, SurgeQuery, WindowConfig};
 use surge_exact::{score_of_region, snapshot_bursty_region};
 use surge_stream::SlidingWindowEngine;
 
@@ -17,11 +17,7 @@ use surge_stream::SlidingWindowEngine;
 /// data, half-open cell assignment and closed-region scoring can disagree on
 /// a measure-zero set.
 fn object_stream(max_len: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
-    prop::collection::vec(
-        (0u64..25, 0u64..25, 1u64..5, 0u64..30),
-        1..max_len,
-    )
-    .prop_map(|raw| {
+    prop::collection::vec((0u64..25, 0u64..25, 1u64..5, 0u64..30), 1..max_len).prop_map(|raw| {
         let mut t = 0u64;
         raw.into_iter()
             .enumerate()
@@ -39,11 +35,7 @@ fn object_stream(max_len: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
 }
 
 fn check_guarantee(objects: &[SpatialObject], alpha: f64, use_mgaps: bool) {
-    let query = SurgeQuery::whole_space(
-        RegionSize::new(0.5, 0.5),
-        WindowConfig::equal(100),
-        alpha,
-    );
+    let query = SurgeQuery::whole_space(RegionSize::new(0.5, 0.5), WindowConfig::equal(100), alpha);
     let params = query.burst_params();
     let ratio = params.grid_approx_ratio();
     let mut engine = SlidingWindowEngine::new(query.windows);

@@ -71,10 +71,7 @@ impl Ag2 {
         assert!(factor >= 1.0, "cell factor must be >= 1");
         Ag2 {
             params: query.burst_params(),
-            grid: GridSpec::anchored(
-                query.region.width * factor,
-                query.region.height * factor,
-            ),
+            grid: GridSpec::anchored(query.region.width * factor, query.region.height * factor),
             query,
             rects: HashMap::new(),
             cells: HashMap::new(),
@@ -158,7 +155,9 @@ impl Ag2 {
     }
 
     fn handle_grown(&mut self, id: ObjectId) {
-        let Some(e) = self.rects.get_mut(&id) else { return };
+        let Some(e) = self.rects.get_mut(&id) else {
+            return;
+        };
         let w = e.sweep.weight;
         e.sweep.kind = WindowKind::Past;
         e.ub_weight -= w; // self no longer counts toward current weight
@@ -175,7 +174,9 @@ impl Ag2 {
     }
 
     fn handle_expired(&mut self, id: ObjectId) {
-        let Some(e) = self.rects.remove(&id) else { return };
+        let Some(e) = self.rects.remove(&id) else {
+            return;
+        };
         self.ranked.remove(&(e.key, id));
         for c in &e.cells {
             if let Some(members) = self.cells.get_mut(c) {
@@ -274,7 +275,7 @@ impl BurstDetector for Ag2 {
             }
             if let Some(e) = self.rects.get(&id) {
                 if let Some((p, s)) = e.cached {
-                    if best.map_or(true, |(bs, _)| s > bs) {
+                    if best.is_none_or(|(bs, _)| s > bs) {
                         best = Some((s, p));
                     }
                 }

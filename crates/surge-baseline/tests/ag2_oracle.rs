@@ -28,8 +28,7 @@ fn object_stream(max_len: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
 }
 
 fn check(objects: &[SpatialObject], alpha: f64, factor: f64) {
-    let query =
-        SurgeQuery::whole_space(RegionSize::new(0.5, 0.5), WindowConfig::equal(100), alpha);
+    let query = SurgeQuery::whole_space(RegionSize::new(0.5, 0.5), WindowConfig::equal(100), alpha);
     let mut engine = SlidingWindowEngine::new(query.windows);
     let mut det = Ag2::with_cell_factor(query, factor);
     for (step, obj) in objects.iter().enumerate() {

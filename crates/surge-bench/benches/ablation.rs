@@ -31,7 +31,17 @@ fn bench_bound_ablation(c: &mut Criterion) {
     let windows = WindowConfig::equal_minutes(2);
     for algo in [Algo::Ccs, Algo::Bccs, Algo::Base] {
         g.bench_function(algo.name(), |b| {
-            b.iter(|| run_algo(algo, Dataset::Taxi, windows, 1.0, DEFAULT_ALPHA, OBJECTS, SEED))
+            b.iter(|| {
+                run_algo(
+                    algo,
+                    Dataset::Taxi,
+                    windows,
+                    1.0,
+                    DEFAULT_ALPHA,
+                    OBJECTS,
+                    SEED,
+                )
+            })
         });
     }
     g.finish();
@@ -85,7 +95,12 @@ fn snapshot(n: usize) -> Vec<SweepRect> {
 fn bench_sweep_variants(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_sweep");
     g.sample_size(10);
-    let area = Rect::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::INFINITY);
+    let area = Rect::new(
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::INFINITY,
+    );
     let params = BurstParams::new(0.0, WindowConfig::equal(1_000));
     for n in [200usize, 800, 2_000] {
         let rects = snapshot(n);

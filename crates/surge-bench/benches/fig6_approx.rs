@@ -20,9 +20,7 @@ fn bench_window_axis(c: &mut Criterion) {
                 BenchmarkId::new(algo.name(), format!("{minutes}min")),
                 &windows,
                 |b, &w| {
-                    b.iter(|| {
-                        run_algo(algo, Dataset::Taxi, w, 1.0, DEFAULT_ALPHA, OBJECTS, SEED)
-                    })
+                    b.iter(|| run_algo(algo, Dataset::Taxi, w, 1.0, DEFAULT_ALPHA, OBJECTS, SEED))
                 },
             );
         }
@@ -41,7 +39,15 @@ fn bench_rect_axis(c: &mut Criterion) {
                 &scale,
                 |b, &s| {
                     b.iter(|| {
-                        run_algo(algo, Dataset::Taxi, windows, s, DEFAULT_ALPHA, OBJECTS, SEED)
+                        run_algo(
+                            algo,
+                            Dataset::Taxi,
+                            windows,
+                            s,
+                            DEFAULT_ALPHA,
+                            OBJECTS,
+                            SEED,
+                        )
                     })
                 },
             );

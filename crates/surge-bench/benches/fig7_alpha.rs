@@ -23,9 +23,7 @@ fn bench_alpha(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(algo.name(), format!("a{alpha}")),
                 &alpha,
-                |b, &a| {
-                    b.iter(|| run_algo(algo, Dataset::Us, windows, 1.0, a, objects, SEED))
-                },
+                |b, &a| b.iter(|| run_algo(algo, Dataset::Us, windows, 1.0, a, objects, SEED)),
             );
         }
     }

@@ -43,12 +43,16 @@ fn bench_rates(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_rate");
     g.sample_size(10);
     for rate in [2.0f64, 6.0, 10.0] {
-        g.bench_with_input(BenchmarkId::new("CCS", format!("{rate}M")), &rate, |b, &r| {
-            b.iter(|| run(r, true))
-        });
-        g.bench_with_input(BenchmarkId::new("GAPS", format!("{rate}M")), &rate, |b, &r| {
-            b.iter(|| run(r, false))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("CCS", format!("{rate}M")),
+            &rate,
+            |b, &r| b.iter(|| run(r, true)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("GAPS", format!("{rate}M")),
+            &rate,
+            |b, &r| b.iter(|| run(r, false)),
+        );
     }
     g.finish();
 }

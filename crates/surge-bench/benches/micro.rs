@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use surge_core::{BurstParams, Rect, SpatialObject, WindowConfig, WindowKind};
-use surge_exact::{maxrs_sweep, sl_cspot, SweepRect};
+use surge_exact::{maxrs_sweep, sl_cspot, sl_cspot_naive, SweepRect};
 use surge_stream::{Dataset, SlidingWindowEngine, StreamGenerator};
 
 fn make_rects(n: usize) -> Vec<SweepRect> {
@@ -46,6 +46,32 @@ fn bench_sweep(c: &mut Criterion) {
         let rects = make_rects(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &rects, |b, r| {
             b.iter(|| sl_cspot(r, &area, &params))
+        });
+    }
+    g.finish();
+}
+
+/// The PR's headline comparison: the `O(n log n)` segment-tree sweep vs the
+/// retained `O(n²)` naive sweep on identical scenes. `surge_exp sweep-bench`
+/// emits the same comparison as `BENCH_sweep.json`.
+fn bench_sweep_segtree_vs_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    let params = BurstParams {
+        alpha: 0.5,
+        current_norm: 1.0,
+        past_norm: 1.0,
+    };
+    let area = Rect::new(0.0, 0.0, 50.0, 50.0);
+    for n in [64usize, 256, 1024, 4096] {
+        let rects = make_rects(n);
+        g.bench_with_input(BenchmarkId::new("sweep_segtree", n), &rects, |b, r| {
+            b.iter(|| sl_cspot(r, &area, &params))
+        });
+        // The naive sweep at n = 4096 touches ~(4n)² slab×interval pairs;
+        // keep scenes identical so the ratio is the speedup.
+        g.bench_with_input(BenchmarkId::new("sweep_naive", n), &rects, |b, r| {
+            b.iter(|| sl_cspot_naive(r, &area, &params))
         });
     }
     g.finish();
@@ -101,5 +127,12 @@ fn bench_generator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sweep, bench_maxrs_ablation, bench_window_engine, bench_generator);
+criterion_group!(
+    benches,
+    bench_sweep,
+    bench_sweep_segtree_vs_naive,
+    bench_maxrs_ablation,
+    bench_window_engine,
+    bench_generator
+);
 criterion_main!(benches);

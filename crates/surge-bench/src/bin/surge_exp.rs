@@ -16,6 +16,7 @@
 //!   case-study             §VII-G    burst localization
 //!   latency                extension: per-event tail-latency table
 //!   roadnet                extension: road-network segment-length sweep
+//!   sweep-bench            naive vs segment-tree sweep; writes BENCH_sweep.json
 //!   all                    everything above
 //!
 //! Options:
@@ -103,10 +104,22 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|all> \
+    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|all> \
      [--axis window|rect|k] [--objects N] [--heavy N] [--naive N] [--seed S] \
      [--datasets uk,us,taxi] [--fast] [--paper]"
         .to_string()
+}
+
+/// Runs the naive-vs-segtree sweep comparison, printing the table and
+/// writing `BENCH_sweep.json` to the working directory.
+fn run_sweep_bench(cfg: &ExpConfig) -> Result<(), String> {
+    let rows = experiments::sweep_bench(cfg);
+    print!("{}", print::sweep_bench(&rows));
+    let json = print::sweep_bench_json(&rows);
+    let path = "BENCH_sweep.json";
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# wrote {path}");
+    Ok(())
 }
 
 fn parse_axis(axis: &Option<String>, default: SweepAxis) -> Result<SweepAxis, String> {
@@ -134,7 +147,10 @@ fn run(args: &Args) -> Result<(), String> {
                 SweepAxis::Window => "Fig.5(a-c): exact runtime vs window",
                 _ => "Fig.5(d-f): exact runtime vs rect size",
             };
-            print!("{}", print::runtime(title, &experiments::fig5(ds, axis, cfg)));
+            print!(
+                "{}",
+                print::runtime(title, &experiments::fig5(ds, axis, cfg))
+            );
             eprintln!(
                 "# note: {} run on {} objects; CCS on {}",
                 Algo::EXACT_SET
@@ -154,7 +170,10 @@ fn run(args: &Args) -> Result<(), String> {
                 SweepAxis::Window => "Fig.6(a-c): approx runtime vs window",
                 _ => "Fig.6(d-f): approx runtime vs rect size",
             };
-            print!("{}", print::runtime(title, &experiments::fig6(ds, axis, cfg)));
+            print!(
+                "{}",
+                print::runtime(title, &experiments::fig6(ds, axis, cfg))
+            );
         }
         "fig7" => print!("{}", print::fig7(&experiments::fig7(cfg))),
         "table3" => print!(
@@ -185,6 +204,7 @@ fn run(args: &Args) -> Result<(), String> {
             );
         }
         "roadnet" => print!("{}", print::roadnet(&experiments::roadnet_sweep(cfg))),
+        "sweep-bench" => run_sweep_bench(cfg)?,
         "all" => {
             print!("{}", print::table1(&experiments::table1(cfg)));
             print!(
@@ -244,6 +264,7 @@ fn run(args: &Args) -> Result<(), String> {
                 print::latency(d.spec().name, &experiments::latency_table(d, cfg))
             );
             print!("{}", print::roadnet(&experiments::roadnet_sweep(cfg)));
+            run_sweep_bench(cfg)?;
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
     }

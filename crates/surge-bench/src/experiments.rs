@@ -9,7 +9,7 @@ use surge_core::{
     BurstDetector, RegionSize, SpatialObject, SurgeQuery, TopKDetector, WindowConfig, SCORE_EPS,
 };
 use surge_stream::{
-    drive, drive_topk, BurstSpec, Dataset, SlidingWindowEngine, StreamGenerator, RunStats,
+    drive, drive_topk, BurstSpec, Dataset, RunStats, SlidingWindowEngine, StreamGenerator,
 };
 
 use surge_approx::{GapSurge, MgapSurge};
@@ -154,10 +154,16 @@ pub fn window_sweep(dataset: Dataset) -> Vec<(String, WindowConfig)> {
             .iter()
             .map(|m| (format!("{m}min"), WindowConfig::equal_minutes(*m)))
             .collect(),
-        _ => [(30u64, "0.5h"), (60, "1h"), (120, "2h"), (300, "5h"), (720, "12h")]
-            .iter()
-            .map(|(m, label)| (label.to_string(), WindowConfig::equal_minutes(*m)))
-            .collect(),
+        _ => [
+            (30u64, "0.5h"),
+            (60, "1h"),
+            (120, "2h"),
+            (300, "5h"),
+            (720, "12h"),
+        ]
+        .iter()
+        .map(|(m, label)| (label.to_string(), WindowConfig::equal_minutes(*m)))
+        .collect(),
     }
 }
 
@@ -675,7 +681,8 @@ pub fn fig9(datasets: &[Dataset], axis: SweepAxis, cfg: &ExpConfig) -> Vec<TopKP
                 let windows = dataset.spec().default_windows;
                 for k in k_sweep() {
                     let query = query_for(dataset, windows, 1.0, DEFAULT_ALPHA);
-                    let heavy = objects_for(dataset, windows, cfg.heavy_objects, cfg.max_heavy_objects);
+                    let heavy =
+                        objects_for(dataset, windows, cfg.heavy_objects, cfg.max_heavy_objects);
                     let fast = objects_for(dataset, windows, cfg.objects, cfg.max_objects);
                     let mut kccs = KCellCspot::new(query, k);
                     let s = run_topk(&mut kccs, dataset, windows, heavy, cfg.seed);
@@ -709,7 +716,8 @@ pub fn fig9(datasets: &[Dataset], axis: SweepAxis, cfg: &ExpConfig) -> Vec<TopKP
             for &dataset in datasets {
                 for (label, windows) in window_sweep(dataset) {
                     let query = query_for(dataset, windows, 1.0, DEFAULT_ALPHA);
-                    let heavy = objects_for(dataset, windows, cfg.heavy_objects, cfg.max_heavy_objects);
+                    let heavy =
+                        objects_for(dataset, windows, cfg.heavy_objects, cfg.max_heavy_objects);
                     let fast = objects_for(dataset, windows, cfg.objects, cfg.max_objects);
                     let mut kccs = KCellCspot::new(query, k);
                     let s = run_topk(&mut kccs, dataset, windows, heavy, cfg.seed);
@@ -739,8 +747,7 @@ pub fn fig9(datasets: &[Dataset], axis: SweepAxis, cfg: &ExpConfig) -> Vec<TopKP
                     // small window; mirror that (first window value only).
                     if dataset == Dataset::Us && label == "0.5h" {
                         let mut naive = NaiveTopK::new(query, k);
-                        let s =
-                            run_topk(&mut naive, dataset, windows, cfg.naive_objects, cfg.seed);
+                        let s = run_topk(&mut naive, dataset, windows, cfg.naive_objects, cfg.seed);
                         out.push(TopKPoint {
                             dataset: dataset.to_string(),
                             param: label.clone(),
@@ -953,9 +960,7 @@ pub fn roadnet_sweep(cfg: &ExpConfig) -> Vec<RoadnetRow> {
                 for ev in engine.push(obj) {
                     det.on_event(&ev);
                 }
-                if (span / 3 + windows.current_len..2 * span / 3).contains(&t)
-                    && total < 500
-                {
+                if (span / 3 + windows.current_len..2 * span / 3).contains(&t) && total < 500 {
                     if let Some(a) = det.current() {
                         total += 1;
                         let d2 = (a.midpoint.x - rush.x).powi(2) + (a.midpoint.y - rush.y).powi(2);
@@ -969,6 +974,96 @@ pub fn roadnet_sweep(cfg: &ExpConfig) -> Vec<RoadnetRow> {
                 segments,
                 time_per_object_us: elapsed.as_secs_f64() * 1e6 / n as f64,
                 hit_rate: hits as f64 / total.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// One row of the sweep micro-benchmark: naive vs segment-tree SL-CSPOT on
+/// identical scenes of `n` rectangles.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepBenchRow {
+    /// Rectangles per scene.
+    pub n: usize,
+    /// Mean microseconds per naive `O(n²)` sweep.
+    pub naive_us: f64,
+    /// Mean microseconds per segment-tree `O(n log n)` sweep.
+    pub segtree_us: f64,
+    /// `naive_us / segtree_us`.
+    pub speedup: f64,
+}
+
+/// Times [`surge_exact::sl_cspot`] (segment tree) against
+/// [`surge_exact::sl_cspot_naive`] on identical deterministic scenes at
+/// n ∈ {64, 256, 1024, 4096} — the comparison behind the PR's `≥ 5×` at
+/// n = 4096 acceptance bar. Scores are cross-checked every round so a
+/// regression in either sweep fails loudly rather than benching garbage.
+pub fn sweep_bench(cfg: &ExpConfig) -> Vec<SweepBenchRow> {
+    use surge_core::{BurstParams, Rect, WindowKind};
+    use surge_exact::{sl_cspot, sl_cspot_naive, SweepRect};
+
+    let params = BurstParams {
+        alpha: DEFAULT_ALPHA,
+        current_norm: 1.0,
+        past_norm: 1.0,
+    };
+    let area = Rect::new(0.0, 0.0, 50.0, 50.0);
+    let make_rects = |n: usize, seed: u64| -> Vec<SweepRect> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        (0..n)
+            .map(|i| {
+                let x0 = next() * 10.0;
+                let y0 = next() * 10.0;
+                SweepRect {
+                    rect: Rect::new(x0, y0, x0 + 1.0, y0 + 1.0),
+                    weight: 1.0 + next(),
+                    kind: if i % 3 == 0 {
+                        WindowKind::Past
+                    } else {
+                        WindowKind::Current
+                    },
+                }
+            })
+            .collect()
+    };
+
+    [64usize, 256, 1024, 4096]
+        .iter()
+        .map(|&n| {
+            let rects = make_rects(n, cfg.seed);
+            // The quadratic sweep dominates the budget; scale repetitions so
+            // small n still averages over noise without making n=4096 crawl.
+            let reps = (16_384 / n).max(1);
+            let mut t_seg = std::time::Duration::ZERO;
+            let mut t_naive = std::time::Duration::ZERO;
+            for _ in 0..reps {
+                let t0 = std::time::Instant::now();
+                let fast = sl_cspot(&rects, &area, &params);
+                t_seg += t0.elapsed();
+                let t0 = std::time::Instant::now();
+                let naive = sl_cspot_naive(&rects, &area, &params);
+                t_naive += t0.elapsed();
+                let (f, g) = (fast.unwrap(), naive.unwrap());
+                assert!(
+                    (f.score - g.score).abs() <= 1e-9 * g.score.abs().max(1.0),
+                    "sweep mismatch at n={n}: {} vs {}",
+                    f.score,
+                    g.score
+                );
+            }
+            let naive_us = t_naive.as_secs_f64() * 1e6 / reps as f64;
+            let segtree_us = t_seg.as_secs_f64() * 1e6 / reps as f64;
+            SweepBenchRow {
+                n,
+                naive_us,
+                segtree_us,
+                speedup: naive_us / segtree_us,
             }
         })
         .collect()
@@ -1044,7 +1139,10 @@ mod tests {
         assert!(rows.iter().any(|r| r.checkpoints > 0));
         for r in rows.iter().filter(|r| r.checkpoints > 0) {
             assert!((0.0..=1.0 + 1e-9).contains(&r.gaps_ratio));
-            assert!(r.mgaps_ratio >= r.gaps_ratio - 0.05, "MGAPS should be ~>= GAPS");
+            assert!(
+                r.mgaps_ratio >= r.gaps_ratio - 0.05,
+                "MGAPS should be ~>= GAPS"
+            );
         }
     }
 

@@ -28,6 +28,6 @@ pub mod experiments;
 pub mod print;
 
 pub use experiments::{
-    case_study, fig5, fig6, fig7, fig8, fig9, table1, table2, table3, table4, Algo, ExpConfig,
-    SweepAxis,
+    case_study, fig5, fig6, fig7, fig8, fig9, sweep_bench, table1, table2, table3, table4, Algo,
+    ExpConfig, SweepAxis, SweepBenchRow,
 };

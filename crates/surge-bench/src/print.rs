@@ -222,9 +222,67 @@ pub fn roadnet(rows: &[crate::experiments::RoadnetRow]) -> String {
     out
 }
 
+/// Sweep micro-benchmark: naive vs segment-tree SL-CSPOT.
+pub fn sweep_bench(rows: &[crate::experiments::SweepBenchRow]) -> String {
+    let mut out = format!(
+        "\n== SL-CSPOT sweep: naive O(n²) vs segment-tree O(n log n) ==\n{:<8} {:>14} {:>14} {:>10}\n",
+        "n", "naive (us)", "segtree (us)", "speedup"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>14.1} {:>14.1} {:>9.1}x\n",
+            r.n, r.naive_us, r.segtree_us, r.speedup
+        ));
+    }
+    out
+}
+
+/// The sweep micro-benchmark as a `BENCH_sweep.json` document (hand-rolled:
+/// the offline build has no serde).
+pub fn sweep_bench_json(rows: &[crate::experiments::SweepBenchRow]) -> String {
+    let mut out = String::from(
+        "{\n  \"benchmark\": \"sl_cspot_sweep\",\n  \"unit\": \"us_per_sweep\",\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"naive_us\": {:.3}, \"segtree_us\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.n,
+            r.naive_us,
+            r.segtree_us,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sweep_bench_json_is_wellformed() {
+        let rows = vec![
+            crate::experiments::SweepBenchRow {
+                n: 64,
+                naive_us: 100.0,
+                segtree_us: 20.0,
+                speedup: 5.0,
+            },
+            crate::experiments::SweepBenchRow {
+                n: 256,
+                naive_us: 1000.0,
+                segtree_us: 100.0,
+                speedup: 10.0,
+            },
+        ];
+        let json = sweep_bench_json(&rows);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"n\":").count(), 2);
+        assert_eq!(json.matches(',').count(), 9); // 2 header + 3 per row + 1 between rows
+        assert!(sweep_bench(&rows).contains("5.0x"));
+    }
 
     #[test]
     fn latency_table_renders() {

@@ -53,6 +53,45 @@ pub trait BurstDetector {
     }
 }
 
+/// A [`BurstDetector`] whose per-cell maintenance is *incremental*: events
+/// only mark the touched cells dirty, and the expensive per-cell searches
+/// can be snapshotted as pure jobs, executed out-of-band (in particular on
+/// worker threads — see `surge-stream`'s parallel dirty-cell sweeper) and
+/// installed back.
+///
+/// The contract mirrors `snapshot → compute → install`:
+///
+/// 1. [`snapshot_dirty_jobs`](Self::snapshot_dirty_jobs) captures every
+///    stale cell as self-contained data, in deterministic order;
+/// 2. [`run_job`](Self::run_job) computes one job's outcome **without
+///    mutating the detector** (it must be safe to call from many threads —
+///    implementations are `Sync` reads of immutable parameters);
+/// 3. [`install_outcomes`](Self::install_outcomes) writes the outcomes back,
+///    after which [`BurstDetector::current`] finds every cell fresh and the
+///    answer without further searching.
+///
+/// No events may be processed between the snapshot and the install, and the
+/// sequence must produce state identical to letting `current()` run the
+/// searches itself — parallelism may only change wall-clock time.
+pub trait IncrementalDetector: BurstDetector {
+    /// A self-contained unit of deferred per-cell work (shared read-only
+    /// with worker threads during the sweep).
+    type Job: Send + Sync;
+    /// The outcome of one job.
+    type Outcome: Send;
+
+    /// Captures every dirty cell as a pure job, in deterministic order.
+    fn snapshot_dirty_jobs(&self) -> Vec<Self::Job>;
+
+    /// Computes one job's outcome. Must not observe or mutate any state that
+    /// [`BurstDetector::on_event`] changes.
+    fn run_job(&self, job: &Self::Job) -> Self::Outcome;
+
+    /// Installs outcomes produced by [`run_job`](Self::run_job) for the jobs
+    /// of the most recent snapshot.
+    fn install_outcomes(&mut self, outcomes: Vec<Self::Outcome>);
+}
+
 /// A continuous top-k bursty-region detector (paper §VI).
 pub trait TopKDetector {
     /// Processes one window-transition event.

@@ -89,19 +89,29 @@ impl GridSpec {
     /// yields at most four cells (Lemma 1); edge-aligned rectangles can touch
     /// up to nine.
     pub fn cells_overlapping(&self, r: &Rect) -> Vec<CellId> {
+        self.cells_overlapping_iter(r).collect()
+    }
+
+    /// The inclusive column/row bounds of the cells whose closed extent
+    /// intersects the closed rectangle `r`: `((i0, i1), (j0, j1))`.
+    #[inline]
+    pub fn cell_bounds(&self, r: &Rect) -> ((i64, i64), (i64, i64)) {
         // Cell i spans [i·w, (i+1)·w]; it intersects [x0, x1] iff
         // i ≥ x0/w − 1 and i ≤ x1/w (in grid-relative coordinates).
         let i0 = ((r.x0 - self.origin_x) / self.cell_w - 1.0).ceil() as i64;
         let i1 = ((r.x1 - self.origin_x) / self.cell_w).floor() as i64;
         let j0 = ((r.y0 - self.origin_y) / self.cell_h - 1.0).ceil() as i64;
         let j1 = ((r.y1 - self.origin_y) / self.cell_h).floor() as i64;
-        let mut out = Vec::with_capacity(((i1 - i0 + 1) * (j1 - j0 + 1)) as usize);
-        for i in i0..=i1 {
-            for j in j0..=j1 {
-                out.push((i, j));
-            }
-        }
-        out
+        ((i0, i1), (j0, j1))
+    }
+
+    /// Allocation-free variant of [`cells_overlapping`](Self::cells_overlapping)
+    /// for hot per-event loops: yields the same cells in the same
+    /// column-major order without building a `Vec`.
+    #[inline]
+    pub fn cells_overlapping_iter(&self, r: &Rect) -> impl Iterator<Item = CellId> {
+        let ((i0, i1), (j0, j1)) = self.cell_bounds(r);
+        (i0..=i1).flat_map(move |i| (j0..=j1).map(move |j| (i, j)))
     }
 }
 
@@ -164,9 +174,9 @@ mod tests {
         // p must be assigned to that cell.
         let g = GridSpec::with_origin(0.5, -0.25, 1.25, 0.75);
         let rects = [
-            Rect::new(0.5, 0.5, 1.75, 1.25),    // edges on grid lines
-            Rect::new(0.6, 0.4, 1.1, 0.9),      // generic position
-            Rect::new(-1.0, -1.0, 4.0, 3.0),    // large
+            Rect::new(0.5, 0.5, 1.75, 1.25), // edges on grid lines
+            Rect::new(0.6, 0.4, 1.1, 0.9),   // generic position
+            Rect::new(-1.0, -1.0, 4.0, 3.0), // large
         ];
         for r in &rects {
             let cells = g.cells_overlapping(r);
@@ -179,7 +189,10 @@ mod tests {
                     for dj in -1..=1i64 {
                         let c = (owner.0 + di, owner.1 + dj);
                         if g.cell_rect(c).contains(p) {
-                            assert!(cells.contains(&c), "rect {r:?} misses cell {c:?} for point {p:?}");
+                            assert!(
+                                cells.contains(&c),
+                                "rect {r:?} misses cell {c:?} for point {p:?}"
+                            );
                         }
                     }
                 }
@@ -195,6 +208,29 @@ mod tests {
         assert_eq!(gs[2].origin_y, 2.0);
         assert_eq!(gs[3].origin_x, 1.0);
         assert_eq!(gs[3].origin_y, 2.0);
+    }
+
+    #[test]
+    fn iter_variant_matches_vec_variant() {
+        let grids = [
+            GridSpec::anchored(2.0, 3.0),
+            GridSpec::with_origin(0.5, -0.25, 1.25, 0.75),
+        ];
+        let rects = [
+            Rect::new(0.7, 0.4, 2.7, 3.4),
+            Rect::new(2.0, 3.0, 4.0, 6.0), // edge-aligned
+            Rect::new(-1.0, -1.0, 4.0, 3.0),
+            Rect::new(1.0, 1.0, 1.0, 1.0), // degenerate point
+        ];
+        for g in &grids {
+            for r in &rects {
+                let vec = g.cells_overlapping(r);
+                let iter: Vec<CellId> = g.cells_overlapping_iter(r).collect();
+                assert_eq!(vec, iter, "grid {g:?} rect {r:?}");
+                let ((i0, i1), (j0, j1)) = g.cell_bounds(r);
+                assert_eq!(vec.len() as i64, (i1 - i0 + 1) * (j1 - j0 + 1));
+            }
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod reduction;
 pub mod score;
 pub mod time;
 
-pub use detector::{BurstDetector, DetectorStats, TopKDetector};
+pub use detector::{BurstDetector, DetectorStats, IncrementalDetector, TopKDetector};
 pub use event::{Event, EventKind};
 pub use geom::{Point, Rect};
 pub use grid::{CellId, GridSpec};

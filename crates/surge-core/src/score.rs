@@ -157,9 +157,11 @@ mod tests {
         // Lemma 5: S(r2) >= (1-alpha) S(r1) for r1 ⊆ r2. With containment,
         // fc2 >= fc1 and fp2 >= fp1; check the inequality over a small sweep.
         for alpha in [0.1, 0.5, 0.9] {
-            for &(fc1, fp1, extra_c, extra_p) in
-                &[(1.0, 0.5, 0.5, 2.0), (2.0, 0.0, 0.0, 3.0), (0.0, 1.0, 1.0, 0.0)]
-            {
+            for &(fc1, fp1, extra_c, extra_p) in &[
+                (1.0, 0.5, 0.5, 2.0),
+                (2.0, 0.0, 0.0, 3.0),
+                (0.0, 1.0, 1.0, 0.0),
+            ] {
                 let s1 = burst_score(fc1, fp1, alpha);
                 let s2 = burst_score(fc1 + extra_c, fp1 + extra_p, alpha);
                 assert!(

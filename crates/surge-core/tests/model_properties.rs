@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use surge_core::{
-    burst_score, object_to_rect, region_for_point, BurstParams, GridSpec, Point, Rect,
-    RegionSize, SpatialObject, WindowConfig,
+    burst_score, object_to_rect, region_for_point, BurstParams, GridSpec, Point, Rect, RegionSize,
+    SpatialObject, WindowConfig,
 };
 
 fn arb_point() -> impl Strategy<Value = Point> {

@@ -6,6 +6,16 @@
 //! best cell candidate, kept in a score-ordered set. This makes `current()`
 //! O(1) but every event pays the full sweep cost, which is what the paper's
 //! Figure 5 shows CCS avoiding.
+//!
+//! [`BaseDetector::with_pruning`] additionally offers an incumbent-pruned
+//! variant: each cell caches its current-weight sum (the Definition-7
+//! static bound, which dominates the burst score of every point in the
+//! cell), touched cells are merely marked stale under that bound, and the
+//! best-first loop in `current()` re-sweeps a stale cell only while its
+//! bound still beats every fresh candidate. Answers are identical to the
+//! eager variant; dominated cells simply never pay for a sweep. The default
+//! [`BaseDetector::new`] keeps the paper's eager semantics so the ablation
+//! numbers stay comparable.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -22,26 +32,46 @@ struct BaseCell {
     /// Best point found by the last search (None until searched or when the
     /// cell's domain is empty).
     best: Option<(Point, f64)>,
-    /// Key under which this cell sits in the score-ordered set.
+    /// Key under which this cell sits in the score-ordered set: the exact
+    /// candidate score when fresh, the static upper bound when stale.
     score_key: TotalF64,
     domain: Option<Rect>,
+    /// Sum of current-window weights in `rects` — the unnormalized static
+    /// bound (Definition 7): `score ≤ fc ≤ us_weight / |W_c|` everywhere in
+    /// the cell.
+    us_weight: f64,
+    /// Pruned mode only: contents changed since `best` was computed.
+    stale: bool,
 }
 
-/// The Base detector: exhaustive per-event cell searches, no pruning.
+/// The Base detector: exhaustive per-event cell searches, no pruning — or,
+/// via [`BaseDetector::with_pruning`], lazy incumbent-pruned searches.
 #[derive(Debug)]
 pub struct BaseDetector {
     query: SurgeQuery,
     params: BurstParams,
     grid: GridSpec,
     cells: HashMap<CellId, BaseCell>,
-    /// Cells ordered by current candidate score.
+    /// Cells ordered by `score_key`; the maximum is the back.
     ranked: BTreeSet<(TotalF64, CellId)>,
     stats: DetectorStats,
+    pruned: bool,
 }
 
 impl BaseDetector {
-    /// Creates a Base detector for `query`.
+    /// Creates a Base detector for `query` (eager per-event searches, the
+    /// paper's ablation semantics).
     pub fn new(query: SurgeQuery) -> Self {
+        Self::build(query, false)
+    }
+
+    /// Creates a Base detector that defers cell sweeps until the cell's
+    /// static bound beats the incumbent answer. Same answers, fewer sweeps.
+    pub fn with_pruning(query: SurgeQuery) -> Self {
+        Self::build(query, true)
+    }
+
+    fn build(query: SurgeQuery, pruned: bool) -> Self {
         BaseDetector {
             params: query.burst_params(),
             grid: GridSpec::anchored(query.region.width, query.region.height),
@@ -49,6 +79,7 @@ impl BaseDetector {
             cells: HashMap::new(),
             ranked: BTreeSet::new(),
             stats: DetectorStats::default(),
+            pruned,
         }
     }
 
@@ -74,6 +105,7 @@ impl BaseDetector {
                     sl_cspot(&rects, &domain, &params).map(|r| (r.point, r.score))
                 });
                 cell.best = best;
+                cell.stale = false;
                 let new_key = TotalF64(best.map_or(f64::NEG_INFINITY, |(_, s)| s));
                 cell.score_key = new_key;
                 (old_key, Some(new_key))
@@ -88,6 +120,37 @@ impl BaseDetector {
                 self.ranked.remove(&(old_key, id));
                 self.ranked.insert((new_key, id));
             }
+        }
+    }
+
+    /// Pruned mode: re-key an affected cell under its static bound and mark
+    /// it stale; drained cells are dropped outright.
+    fn mark_stale(&mut self, id: CellId) {
+        let Some(cell) = self.cells.get_mut(&id) else {
+            return;
+        };
+        let old_key = cell.score_key;
+        if cell.rects.is_empty() {
+            self.ranked.remove(&(old_key, id));
+            self.cells.remove(&id);
+            return;
+        }
+        cell.stale = true;
+        // Keys of stale cells must stay upper bounds of their true maximum
+        // burst score; the static bound is one (Definition 7). Infeasible
+        // cells can never answer and sink to the bottom.
+        let bound = if cell.domain.is_some() {
+            cell.us_weight / self.params.current_norm
+        } else {
+            f64::NEG_INFINITY
+        };
+        let new_key = TotalF64(bound);
+        if new_key != old_key {
+            cell.score_key = new_key;
+            self.ranked.remove(&(old_key, id));
+            self.ranked.insert((new_key, id));
+        } else if !self.ranked.contains(&(new_key, id)) {
+            self.ranked.insert((new_key, id));
         }
     }
 }
@@ -115,6 +178,8 @@ impl BurstDetector for BaseDetector {
                 best: None,
                 score_key: TotalF64(f64::NEG_INFINITY),
                 domain,
+                us_weight: 0.0,
+                stale: false,
             });
             match event.kind {
                 EventKind::New => {
@@ -126,40 +191,72 @@ impl BurstDetector for BaseDetector {
                             kind: WindowKind::Current,
                         },
                     );
+                    cell.us_weight += event.object.weight;
                 }
                 EventKind::Grown => {
                     if let Some(r) = cell.rects.get_mut(&event.object.id) {
                         r.kind = WindowKind::Past;
+                        cell.us_weight -= event.object.weight;
                     }
                 }
                 EventKind::Expired => {
-                    cell.rects.remove(&event.object.id);
+                    if let Some(r) = cell.rects.remove(&event.object.id) {
+                        if r.kind == WindowKind::Current {
+                            cell.us_weight -= r.weight;
+                        }
+                    }
                 }
             }
             touched = true;
         }
-        for id in affected {
-            if self.cells.contains_key(&id) {
-                self.research_cell(id);
+        if self.pruned {
+            for id in affected {
+                self.mark_stale(id);
             }
-        }
-        if touched {
-            self.stats.events_triggering_search += 1;
+        } else {
+            for id in affected {
+                if self.cells.contains_key(&id) {
+                    self.research_cell(id);
+                }
+            }
+            if touched {
+                self.stats.events_triggering_search += 1;
+            }
         }
     }
 
     fn current(&mut self) -> Option<RegionAnswer> {
-        let (key, id) = self.ranked.iter().next_back().copied()?;
-        if key.get() == f64::NEG_INFINITY {
-            return None;
+        let searches_before = self.stats.searches;
+        let answer = loop {
+            let Some((key, id)) = self.ranked.iter().next_back().copied() else {
+                break None;
+            };
+            if key.get() == f64::NEG_INFINITY {
+                break None;
+            }
+            let cell = self.cells.get(&id)?;
+            if cell.stale {
+                // Best-first: the top key is an upper bound on every cell,
+                // so sweeping the top stale cell either produces the true
+                // answer or sinks it below a fresh incumbent.
+                self.research_cell(id);
+                continue;
+            }
+            let (point, score) = cell.best?;
+            break Some(RegionAnswer::from_point(point, self.query.region, score));
+        };
+        if self.pruned && self.stats.searches > searches_before {
+            self.stats.events_triggering_search += 1;
         }
-        let cell = self.cells.get(&id)?;
-        let (point, score) = cell.best?;
-        Some(RegionAnswer::from_point(point, self.query.region, score))
+        answer
     }
 
     fn name(&self) -> &'static str {
-        "Base"
+        if self.pruned {
+            "Base+prune"
+        } else {
+            "Base"
+        }
     }
 
     fn stats(&self) -> DetectorStats {
@@ -210,5 +307,99 @@ mod tests {
         d.on_event(&Event::expired(o, 2_000));
         assert!(d.current().is_none());
         assert_eq!(d.cell_count(), 0);
+    }
+
+    #[test]
+    fn pruned_variant_matches_eager_answers() {
+        let mut eager = BaseDetector::new(query(0.5));
+        let mut pruned = BaseDetector::with_pruning(query(0.5));
+        let objs = [
+            obj(0, 3.0, 1.0, 1.0, 0),
+            obj(1, 2.0, 1.3, 1.2, 100),
+            obj(2, 5.0, 8.0, 8.0, 200),
+            obj(3, 1.0, 1.1, 0.9, 300),
+            obj(4, 4.0, 8.2, 8.1, 400),
+        ];
+        for (i, o) in objs.iter().enumerate() {
+            eager.on_event(&Event::new_arrival(*o));
+            pruned.on_event(&Event::new_arrival(*o));
+            if i == 2 {
+                eager.on_event(&Event::grown(objs[0], 1_000));
+                pruned.on_event(&Event::grown(objs[0], 1_000));
+            }
+            let a = eager.current().map(|r| r.score);
+            let b = pruned.current().map(|r| r.score);
+            match (a, b) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-12, "step {i}: {x} vs {y}"),
+                (None, None) => {}
+                other => panic!("step {i}: {other:?}"),
+            }
+        }
+        // Expire everything through both: answers must stay aligned.
+        for o in &objs {
+            eager.on_event(&Event::grown(*o, 1_000));
+            pruned.on_event(&Event::grown(*o, 1_000));
+        }
+        for o in &objs {
+            eager.on_event(&Event::expired(*o, 2_000));
+            pruned.on_event(&Event::expired(*o, 2_000));
+        }
+        assert!(eager.current().is_none());
+        assert!(pruned.current().is_none());
+    }
+
+    #[test]
+    fn pruning_skips_dominated_cells() {
+        let mut d = BaseDetector::with_pruning(query(0.0));
+        // Establish a strong incumbent.
+        for i in 0..5 {
+            d.on_event(&Event::new_arrival(obj(
+                i,
+                10.0,
+                1.0 + 0.01 * i as f64,
+                1.0,
+                0,
+            )));
+        }
+        let _ = d.current();
+        let after_setup = d.stats().searches;
+        // Weak far-away objects: bound 1/1000 each, incumbent 50/1000 —
+        // their cells must never be swept.
+        for i in 5..25 {
+            d.on_event(&Event::new_arrival(obj(
+                i,
+                1.0,
+                100.0 + i as f64 * 5.0,
+                100.0,
+                10,
+            )));
+            let _ = d.current();
+        }
+        assert_eq!(
+            d.stats().searches,
+            after_setup,
+            "dominated cells were swept"
+        );
+        // And an eager Base on the same stream sweeps every touched cell.
+        let mut eager = BaseDetector::new(query(0.0));
+        for i in 0..5 {
+            eager.on_event(&Event::new_arrival(obj(
+                i,
+                10.0,
+                1.0 + 0.01 * i as f64,
+                1.0,
+                0,
+            )));
+        }
+        for i in 5..25 {
+            eager.on_event(&Event::new_arrival(obj(
+                i,
+                1.0,
+                100.0 + i as f64 * 5.0,
+                100.0,
+                10,
+            )));
+        }
+        assert!(eager.stats().searches > d.stats().searches);
     }
 }

@@ -18,10 +18,46 @@ use std::collections::{BTreeSet, HashMap};
 
 use surge_core::{
     object_to_rect, BurstDetector, BurstParams, CellId, DetectorStats, Event, EventKind, GridSpec,
-    ObjectId, Point, Rect, RegionAnswer, SurgeQuery, TotalF64, WindowKind,
+    IncrementalDetector, ObjectId, Point, Rect, RegionAnswer, SurgeQuery, TotalF64, WindowKind,
 };
 
-use crate::sweep::{sl_cspot, SweepRect};
+use crate::sweep::{sl_cspot, SweepRect, SweepResult};
+
+/// A snapshot of one stale ("dirty") cell, self-contained enough to be swept
+/// out-of-band — e.g. on a worker thread — with [`sl_cspot`].
+///
+/// Produced by [`CellCspot::snapshot_dirty`]; the matching outcomes are fed
+/// back through [`CellCspot::install_search_results`].
+#[derive(Debug, Clone)]
+pub struct DirtyCellJob {
+    /// The cell this job belongs to.
+    pub id: CellId,
+    /// The cell's rectangles in deterministic (object-id) order.
+    pub rects: Vec<SweepRect>,
+    /// The cell's feasible point domain.
+    pub domain: Rect,
+}
+
+/// The sweep outcome for one [`DirtyCellJob`].
+#[derive(Debug, Clone, Copy)]
+pub struct DirtyCellResult {
+    /// The cell the result belongs to.
+    pub id: CellId,
+    /// `sl_cspot` over the job's rects and domain (`None` when no rectangle
+    /// intersects the domain).
+    pub outcome: Option<SweepResult>,
+}
+
+impl DirtyCellJob {
+    /// Runs the sweep for this job. Pure: no detector state is touched, so
+    /// any number of jobs can run concurrently.
+    pub fn run(&self, params: &BurstParams) -> DirtyCellResult {
+        DirtyCellResult {
+            id: self.id,
+            outcome: sl_cspot(&self.rects, &self.domain, params),
+        }
+    }
+}
 
 /// Which upper bound the detector maintains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +108,16 @@ struct Cell {
     heap_key: TotalF64,
     /// Intersection of the cell extent with the query's point domain.
     domain: Option<Rect>,
+}
+
+impl Cell {
+    /// The cell's rectangles in deterministic (object-id) order: hash-map
+    /// order varies between runs and would let score ties break differently.
+    fn sorted_rects(&self) -> Vec<SweepRect> {
+        let mut ids: Vec<ObjectId> = self.rects.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter().map(|i| self.rects[i]).collect()
+    }
 }
 
 /// The upper bound `U(c)` in burst-score units (Definition 8).
@@ -193,8 +239,7 @@ impl CellCspot {
                         // Lemma 4 (New): the candidate survives iff the new
                         // rectangle covers it and its pre-update increase
                         // term is strictly positive.
-                        let increasing =
-                            c.wc / params.current_norm - c.wp / params.past_norm > 0.0;
+                        let increasing = c.wc / params.current_norm - c.wp / params.past_norm > 0.0;
                         if covers(c) && increasing {
                             c.wc += w;
                         } else {
@@ -279,18 +324,27 @@ impl CellCspot {
     /// Searches one cell with SL-CSPOT, refreshing its candidate and dynamic
     /// bound, and returns the candidate score (or `None` if infeasible).
     fn search_cell(&mut self, id: CellId) -> Option<f64> {
+        let params = self.params;
+        let outcome = {
+            let cell = self.cells.get(&id)?;
+            let domain = cell.domain?;
+            let rects = cell.sorted_rects();
+            sl_cspot(&rects, &domain, &params)
+        };
+        self.install_result(id, outcome)
+    }
+
+    /// Writes one sweep outcome into a cell: candidate, dynamic bound and
+    /// queue position — exactly the bookkeeping `search_cell` performs after
+    /// its sweep. Returns the candidate score (or `None` if infeasible).
+    fn install_result(&mut self, id: CellId, outcome: Option<SweepResult>) -> Option<f64> {
         self.stats.searches += 1;
         let params = self.params;
         let mode = self.mode;
         let (old_key, new_key, score) = {
             let cell = self.cells.get_mut(&id)?;
             let domain = cell.domain?;
-            // Deterministic sweep input: hash-map order varies between runs
-            // and would let score ties break differently.
-            let mut ids: Vec<ObjectId> = cell.rects.keys().copied().collect();
-            ids.sort_unstable();
-            let rects: Vec<SweepRect> = ids.iter().map(|i| cell.rects[i]).collect();
-            let (cand, score) = match sl_cspot(&rects, &domain, &params) {
+            let (cand, score) = match outcome {
                 Some(res) => (
                     Candidate {
                         point: res.point,
@@ -324,6 +378,78 @@ impl CellCspot {
         }
         Some(score)
     }
+
+    /// The burst-score parameters this detector sweeps with.
+    pub fn burst_params(&self) -> BurstParams {
+        self.params
+    }
+
+    /// Number of cells whose candidate is currently stale (searched lazily
+    /// on the next [`BurstDetector::current`] call, or eagerly via
+    /// [`Self::snapshot_dirty`]).
+    pub fn dirty_cell_count(&self) -> usize {
+        self.cells
+            .values()
+            .filter(|c| matches!(c.cand, CandState::Stale))
+            .count()
+    }
+
+    /// Snapshots every stale feasible cell as a self-contained
+    /// [`DirtyCellJob`], in deterministic (cell-id) order.
+    ///
+    /// The jobs are pure data: sweep them anywhere — in particular on worker
+    /// threads via `surge-stream`'s parallel dirty-cell sweeper — and feed
+    /// the outcomes back with [`Self::install_search_results`]. No events
+    /// may be applied between snapshot and install, otherwise the results
+    /// are silently out of date.
+    pub fn snapshot_dirty(&self) -> Vec<DirtyCellJob> {
+        let mut ids: Vec<CellId> = self
+            .cells
+            .iter()
+            .filter(|(_, c)| matches!(c.cand, CandState::Stale) && c.domain.is_some())
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|id| {
+                let cell = &self.cells[&id];
+                DirtyCellJob {
+                    id,
+                    rects: cell.sorted_rects(),
+                    domain: cell.domain.expect("filtered to feasible"),
+                }
+            })
+            .collect()
+    }
+
+    /// Installs externally computed sweep outcomes (see
+    /// [`Self::snapshot_dirty`]). Results for cells that have vanished in
+    /// the meantime are ignored; each installed result counts as one search
+    /// in [`DetectorStats`], exactly as if `search_cell` had run it.
+    pub fn install_search_results(&mut self, results: impl IntoIterator<Item = DirtyCellResult>) {
+        for r in results {
+            if self.cells.contains_key(&r.id) {
+                let _ = self.install_result(r.id, r.outcome);
+            }
+        }
+    }
+}
+
+impl IncrementalDetector for CellCspot {
+    type Job = DirtyCellJob;
+    type Outcome = DirtyCellResult;
+
+    fn snapshot_dirty_jobs(&self) -> Vec<DirtyCellJob> {
+        self.snapshot_dirty()
+    }
+
+    fn run_job(&self, job: &DirtyCellJob) -> DirtyCellResult {
+        job.run(&self.params)
+    }
+
+    fn install_outcomes(&mut self, outcomes: Vec<DirtyCellResult>) {
+        self.install_search_results(outcomes);
+    }
 }
 
 impl BurstDetector for CellCspot {
@@ -341,7 +467,9 @@ impl BurstDetector for CellCspot {
             weight: g.weight,
             kind: WindowKind::Current,
         };
-        for id in self.grid.cells_overlapping(&g.rect) {
+        // Allocation-free cell enumeration: this runs for every event.
+        let grid = self.grid;
+        for id in grid.cells_overlapping_iter(&g.rect) {
             self.apply_to_cell(id, event, &sweep);
         }
     }
@@ -372,17 +500,15 @@ impl BurstDetector for CellCspot {
             match state {
                 Some(CandState::Valid(c)) => {
                     let s = self.candidate_score(&c);
-                    if best.map_or(true, |(bs, _)| s > bs) {
+                    if best.is_none_or(|(bs, _)| s > bs) {
                         best = Some((s, c));
                     }
                     cursor = Some((key, id));
                 }
                 Some(CandState::Stale) => {
                     if let Some(s) = self.search_cell(id) {
-                        if let Some(CandState::Valid(c)) =
-                            self.cells.get(&id).map(|c| c.cand)
-                        {
-                            if best.map_or(true, |(bs, _)| s > bs) {
+                        if let Some(CandState::Valid(c)) = self.cells.get(&id).map(|c| c.cand) {
+                            if best.is_none_or(|(bs, _)| s > bs) {
                                 best = Some((s, c));
                             }
                         }
@@ -581,14 +707,26 @@ mod tests {
         let mut d = CellCspot::new(query(0.0));
         // Establish a strong region.
         for i in 0..10 {
-            d.on_event(&Event::new_arrival(obj(i, 10.0, 1.0 + 0.01 * i as f64, 1.0, 0)));
+            d.on_event(&Event::new_arrival(obj(
+                i,
+                10.0,
+                1.0 + 0.01 * i as f64,
+                1.0,
+                0,
+            )));
         }
         let _ = d.current();
         let searches_after_setup = d.stats().searches;
         // Weak far-away objects: their cells' bounds (1/1000 each) never beat
         // the current best (100/1000), so no search should trigger.
         for i in 10..30 {
-            d.on_event(&Event::new_arrival(obj(i, 1.0, 100.0 + i as f64 * 5.0, 100.0, 10)));
+            d.on_event(&Event::new_arrival(obj(
+                i,
+                1.0,
+                100.0 + i as f64 * 5.0,
+                100.0,
+                10,
+            )));
             let _ = d.current();
         }
         assert_eq!(

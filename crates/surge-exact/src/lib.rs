@@ -3,14 +3,20 @@
 //! Exact solutions to the SURGE problem:
 //!
 //! * [`sweep`] — SL-CSPOT (Algorithm 1), the sweep-line bursty-point search
-//!   on a snapshot of rectangle objects.
+//!   on a snapshot of rectangle objects: the production `O(n log n)`
+//!   segment-tree sweep [`sl_cspot`] plus the retained `O(n²)` reference
+//!   [`sl_cspot_naive`].
+//! * [`segtree`] — the lazily-propagated max segment trees behind the sweep,
+//!   including the two-linear-form decomposition that makes range-add max
+//!   exact for the non-monotone burst score.
 //! * [`cell`] — Cell-CSPOT (Algorithm 2), the continuous exact detector with
 //!   lazy cell updates, static + dynamic upper bounds and candidate-point
-//!   maintenance; also provides the B-CCS (static-bound-only) ablation.
+//!   maintenance; also provides the B-CCS (static-bound-only) ablation and
+//!   the dirty-cell snapshot API used by the parallel stream driver.
 //! * [`base`] — the Base ablation that searches every affected cell on every
-//!   event (no bounds).
-//! * [`maxrs`] — an `O(n log n)` segment-tree sweep for the α = 0 special
-//!   case (classic MaxRS), kept as a documented optimization/ablation.
+//!   event (no bounds), with an opt-in incumbent-pruned variant.
+//! * [`maxrs`] — the α = 0 specialization (classic MaxRS) on the shared
+//!   segment tree, kept as a documented optimization/ablation.
 //! * [`oracle`] — stateless snapshot oracles (global sweep, greedy top-k,
 //!   region scoring) used for testing and the approximation-ratio
 //!   experiments.
@@ -22,10 +28,12 @@ pub mod base;
 pub mod cell;
 pub mod maxrs;
 pub mod oracle;
+pub mod segtree;
 pub mod sweep;
 
 pub use base::BaseDetector;
-pub use cell::{BoundMode, CellCspot};
+pub use cell::{BoundMode, CellCspot, DirtyCellJob, DirtyCellResult};
 pub use maxrs::maxrs_sweep;
 pub use oracle::{score_of_region, snapshot_bursty_region, snapshot_rects, snapshot_topk};
-pub use sweep::{score_at_point, sl_cspot, SweepRect, SweepResult};
+pub use segtree::{BurstSegTree, MaxAddTree};
+pub use sweep::{score_at_point, sl_cspot, sl_cspot_naive, SweepRect, SweepResult};

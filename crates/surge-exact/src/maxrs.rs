@@ -4,8 +4,9 @@
 //! classic **maximizing range sum** objective (Nandy & Bhattacharya 1995;
 //! Choi et al. 2012): past-window rectangles contribute nothing and the
 //! score is a pure sum of covered current weights. Sums are decomposable, so
-//! the interval maximum can be maintained by a segment tree with lazy range
-//! adds, giving an `O(n log n)` sweep instead of [`sl_cspot`](crate::sweep::sl_cspot)'s `O(n²)`.
+//! the interval maximum can be maintained by the shared lazy segment tree
+//! ([`crate::segtree::MaxAddTree`]) over a single linear form, skipping the
+//! general sweep's second tree and midpoint machinery.
 //!
 //! This module exists as a documented optimization/ablation: detectors stay
 //! on the general sweep (correct for every α), while the
@@ -14,84 +15,8 @@
 
 use surge_core::{BurstParams, Point, Rect, WindowKind};
 
+use crate::segtree::MaxAddTree;
 use crate::sweep::{SweepRect, SweepResult};
-
-/// Max-segment-tree with lazy range addition over `n` leaf positions.
-#[derive(Debug)]
-struct MaxAddTree {
-    n: usize,
-    /// max over the subtree, *including* pending adds at this node.
-    max: Vec<f64>,
-    /// pending addition to the whole subtree.
-    lazy: Vec<f64>,
-    /// leaf index (within the original positions) attaining the max.
-    arg: Vec<usize>,
-}
-
-impl MaxAddTree {
-    fn new(n: usize) -> Self {
-        let size = 4 * n.max(1);
-        MaxAddTree {
-            n,
-            max: vec![0.0; size],
-            lazy: vec![0.0; size],
-            arg: Self::init_args(n),
-        }
-    }
-
-    fn init_args(n: usize) -> Vec<usize> {
-        let size = 4 * n.max(1);
-        let mut arg = vec![0usize; size];
-        if n > 0 {
-            Self::build(&mut arg, 1, 0, n - 1);
-        }
-        arg
-    }
-
-    fn build(arg: &mut [usize], node: usize, lo: usize, hi: usize) {
-        if lo == hi {
-            arg[node] = lo;
-            return;
-        }
-        let mid = (lo + hi) / 2;
-        Self::build(arg, node * 2, lo, mid);
-        Self::build(arg, node * 2 + 1, mid + 1, hi);
-        arg[node] = arg[node * 2];
-    }
-
-    /// Adds `v` to every position in `[l, r]`.
-    fn add(&mut self, l: usize, r: usize, v: f64) {
-        debug_assert!(l <= r && r < self.n);
-        self.add_rec(1, 0, self.n - 1, l, r, v);
-    }
-
-    fn add_rec(&mut self, node: usize, lo: usize, hi: usize, l: usize, r: usize, v: f64) {
-        if r < lo || hi < l {
-            return;
-        }
-        if l <= lo && hi <= r {
-            self.max[node] += v;
-            self.lazy[node] += v;
-            return;
-        }
-        let mid = (lo + hi) / 2;
-        self.add_rec(node * 2, lo, mid, l, r, v);
-        self.add_rec(node * 2 + 1, mid + 1, hi, l, r, v);
-        let (left, right) = (node * 2, node * 2 + 1);
-        if self.max[left] >= self.max[right] {
-            self.max[node] = self.max[left] + self.lazy[node];
-            self.arg[node] = self.arg[left];
-        } else {
-            self.max[node] = self.max[right] + self.lazy[node];
-            self.arg[node] = self.arg[right];
-        }
-    }
-
-    /// The global maximum and a position attaining it.
-    fn top(&self) -> (f64, usize) {
-        (self.max[1], self.arg[1])
-    }
-}
 
 /// Finds a point maximizing the current-window weight sum (the α = 0 burst
 /// score) among `rects` clipped to `area`. Past-window rectangles are
@@ -117,9 +42,11 @@ pub fn maxrs_sweep(rects: &[SweepRect], area: &Rect, params: &BurstParams) -> Op
     // never beat the richer edge coordinates, so midpoints are unnecessary).
     let mut xs: Vec<f64> = clipped.iter().flat_map(|r| [r.x0, r.x1]).collect();
     xs.sort_by(f64::total_cmp);
-    xs.dedup();
+    // Dedup under total order so -0.0 stays findable by the binary search.
+    xs.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
     let x_index = |v: f64| -> usize {
-        xs.binary_search_by(|p| p.total_cmp(&v)).expect("edge indexed")
+        xs.binary_search_by(|p| p.total_cmp(&v))
+            .expect("edge indexed")
     };
 
     // Sweep top-down over y edges; rectangle i is active for y ∈ [y0, y1].
@@ -148,7 +75,7 @@ pub fn maxrs_sweep(rects: &[SweepRect], area: &Rect, params: &BurstParams) -> Op
             next_exit += 1;
         }
         let (m, xi) = tree.top();
-        if best.map_or(true, |(b, _)| m > b) {
+        if best.is_none_or(|(b, _)| m > b) {
             best = Some((m, Point::new(xs[xi], y)));
         }
     }
@@ -285,7 +212,15 @@ mod tests {
     #[test]
     fn segment_tree_handles_many_disjoint_ranges() {
         let rects: Vec<SweepRect> = (0..50)
-            .map(|i| cur(i as f64 * 3.0, 0.0, i as f64 * 3.0 + 1.0, 1.0, 1.0 + (i % 7) as f64))
+            .map(|i| {
+                cur(
+                    i as f64 * 3.0,
+                    0.0,
+                    i as f64 * 3.0 + 1.0,
+                    1.0,
+                    1.0 + (i % 7) as f64,
+                )
+            })
             .collect();
         let r = maxrs_sweep(&rects, &AREA, &params()).unwrap();
         assert_eq!(r.score, 7.0); // the heaviest singleton

@@ -6,7 +6,7 @@ use surge_core::{
     WindowKind,
 };
 
-use crate::sweep::{sl_cspot, score_at_point, SweepRect};
+use crate::sweep::{score_at_point, sl_cspot, SweepRect};
 
 /// Converts window snapshots into tagged sweep rectangles for a query size,
 /// filtering by the preferred area.
@@ -134,7 +134,11 @@ mod tests {
 
     #[test]
     fn oracle_finds_cluster() {
-        let current = [obj(0, 1.0, 0.0, 0.0), obj(1, 1.0, 0.3, 0.3), obj(2, 1.0, 9.0, 9.0)];
+        let current = [
+            obj(0, 1.0, 0.0, 0.0),
+            obj(1, 1.0, 0.3, 0.3),
+            obj(2, 1.0, 9.0, 9.0),
+        ];
         let ans = snapshot_bursty_region(&current, &[], &query(0.5)).unwrap();
         assert!((ans.score - 2.0 / 1_000.0).abs() < 1e-12);
         assert!(ans.region.contains(Point::new(0.0, 0.0)));
@@ -176,7 +180,14 @@ mod tests {
     #[test]
     fn topk_scores_are_non_increasing() {
         let current: Vec<SpatialObject> = (0..20)
-            .map(|i| obj(i, 1.0 + (i % 3) as f64, (i as f64 * 0.37) % 7.0, (i as f64 * 0.61) % 7.0))
+            .map(|i| {
+                obj(
+                    i,
+                    1.0 + (i % 3) as f64,
+                    (i as f64 * 0.37) % 7.0,
+                    (i as f64 * 0.61) % 7.0,
+                )
+            })
             .collect();
         let top = snapshot_topk(&current, &[], &query(0.3), 5);
         for w in top.windows(2) {

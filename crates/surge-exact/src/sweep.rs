@@ -3,25 +3,28 @@
 //! Given a set of rectangle objects tagged with their window (current or
 //! past), find a point in a search area with the maximum burst score.
 //!
-//! The classic MaxRS sweep only needs to evaluate interval scores when the
-//! sweep line sits on a rectangle's top edge, because coverage is monotone:
-//! more rectangles can only help. The burst score is **not** monotone — a
-//! past-window rectangle *lowers* the score of the points it covers — so the
-//! maximum can be attained strictly inside a slab or interval that a past
-//! rectangle merely touches. This implementation therefore evaluates both
-//! every edge coordinate **and** every open slab/interval midpoint, which
-//! covers every distinct coverage pattern:
+//! The burst score is **not** monotone — a past-window rectangle *lowers*
+//! the score of the points it covers — so the maximum can be attained
+//! strictly inside a slab or interval that a past rectangle merely touches.
+//! Along each axis the covering set of a point changes only at edge
+//! coordinates, and between two consecutive edge coordinates it is constant,
+//! so it suffices to examine every edge coordinate **and** one
+//! representative (the midpoint) of every open interval between neighbours.
 //!
-//! * Along each axis, the coverage of a point changes only at edge
-//!   coordinates; between two consecutive edge coordinates the covering set
-//!   is constant, so the midpoint represents the whole open interval.
-//! * Points exactly on an edge coordinate have their own (closed-rectangle)
-//!   covering set and are evaluated directly.
+//! Two implementations share that evaluation grid:
 //!
-//! The cost is `O(n_y · n_x)` with `n_y, n_x ≤ 4n + O(1)` — the same `O(n²)`
-//! bound as the paper's Algorithm 1.
+//! * [`sl_cspot`] — the production sweep. It decomposes the burst score into
+//!   a pointwise max of two linear forms and maintains each with a
+//!   lazily-propagated max segment tree over the x-leaves
+//!   ([`crate::segtree`]), applying every rectangle as one `O(log n)` range
+//!   add/remove per y-event: `O(n log n)` total, exact for every `α`.
+//! * [`sl_cspot_naive`] — the paper's direct `O(n²)` midpoint enumeration,
+//!   retained as the differential-testing reference and for the
+//!   `sweep_naive` micro-benchmarks.
 
 use surge_core::{BurstParams, Point, Rect, TotalF64, WindowKind};
+
+use crate::segtree::BurstSegTree;
 
 /// A rectangle participating in a sweep, tagged with its window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,7 +54,10 @@ pub struct SweepResult {
 /// coordinate plus the midpoint of every open interval between neighbours.
 fn eval_positions(mut edges: Vec<f64>) -> Vec<f64> {
     edges.sort_by(f64::total_cmp);
-    edges.dedup();
+    // Dedup under the same total order the index lookups use: `dedup()`'s
+    // `==` would merge -0.0 with +0.0, leaving an edge that the later
+    // `binary_search_by(total_cmp)` could no longer find.
+    edges.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
     if edges.is_empty() {
         return edges;
     }
@@ -71,14 +77,8 @@ fn eval_positions(mut edges: Vec<f64>) -> Vec<f64> {
     out
 }
 
-/// Finds a point with the maximum burst score among `rects`, restricted to
-/// the closed `area`. Returns `None` iff no rectangle intersects `area`
-/// (every point then scores 0 and no point is distinguished).
-///
-/// `area` may be empty in one dimension (a segment) but must satisfy
-/// `x0 ≤ x1`, `y0 ≤ y1`.
-pub fn sl_cspot(rects: &[SweepRect], area: &Rect, params: &BurstParams) -> Option<SweepResult> {
-    // Clip to the search area; drop rectangles that miss it.
+/// Clips `rects` to `area`, dropping the ones that miss it.
+fn clip_rects(rects: &[SweepRect], area: &Rect) -> Vec<SweepRect> {
     let mut clipped: Vec<SweepRect> = Vec::with_capacity(rects.len());
     for r in rects {
         if let Some(c) = r.rect.intersection(area) {
@@ -89,6 +89,103 @@ pub fn sl_cspot(rects: &[SweepRect], area: &Rect, params: &BurstParams) -> Optio
             });
         }
     }
+    clipped
+}
+
+/// Finds a point with the maximum burst score among `rects`, restricted to
+/// the closed `area`. Returns `None` iff no rectangle intersects `area`
+/// (every point then scores 0 and no point is distinguished).
+///
+/// `area` may be empty in one dimension (a segment) but must satisfy
+/// `x0 ≤ x1`, `y0 ≤ y1`.
+///
+/// Runs in `O(n log n)` via the two-form segment-tree sweep (see
+/// [`crate::segtree`] for why range-add max handles the non-monotone burst
+/// score exactly). The returned score and window sums are re-evaluated
+/// exhaustively at the winning point, so they are exact regardless of any
+/// floating-point drift the incremental tree accumulates.
+pub fn sl_cspot(rects: &[SweepRect], area: &Rect, params: &BurstParams) -> Option<SweepResult> {
+    let clipped = clip_rects(rects, area);
+    if clipped.is_empty() {
+        return None;
+    }
+
+    // X axis: the tree's leaves, one per distinct coverage pattern (edges
+    // and open-interval midpoints). Rectangle i covers the inclusive leaf
+    // range [index(x0_i), index(x1_i)]: exactly the leaves whose position
+    // lies inside the closed rectangle.
+    let xs = eval_positions(
+        clipped
+            .iter()
+            .flat_map(|r| [r.rect.x0, r.rect.x1])
+            .collect(),
+    );
+    let x_index = |v: f64| -> usize {
+        xs.binary_search_by(|p| p.total_cmp(&v))
+            .expect("rect edge must be an evaluation position")
+    };
+    let ranges: Vec<(usize, usize)> = clipped
+        .iter()
+        .map(|r| (x_index(r.rect.x0), x_index(r.rect.x1)))
+        .collect();
+
+    // Y axis: evaluation heights, descending; a rectangle is active at
+    // height y iff y0 ≤ y ≤ y1 (closed extents).
+    let mut ys = eval_positions(
+        clipped
+            .iter()
+            .flat_map(|r| [r.rect.y0, r.rect.y1])
+            .collect(),
+    );
+    ys.reverse();
+    let mut enter: Vec<usize> = (0..clipped.len()).collect();
+    enter.sort_by(|&a, &b| clipped[b].rect.y1.total_cmp(&clipped[a].rect.y1));
+    let mut exit: Vec<usize> = (0..clipped.len()).collect();
+    exit.sort_by(|&a, &b| clipped[b].rect.y0.total_cmp(&clipped[a].rect.y0));
+
+    let mut tree = BurstSegTree::new(xs.len(), params);
+    let mut next_enter = 0usize;
+    let mut next_exit = 0usize;
+    let mut best: Option<(TotalF64, usize, f64)> = None;
+
+    for &y in &ys {
+        while next_enter < enter.len() && clipped[enter[next_enter]].rect.y1 >= y {
+            let i = enter[next_enter];
+            let (lo, hi) = ranges[i];
+            tree.apply(lo, hi, clipped[i].weight, clipped[i].kind, 1.0);
+            next_enter += 1;
+        }
+        while next_exit < exit.len() && clipped[exit[next_exit]].rect.y0 > y {
+            let i = exit[next_exit];
+            let (lo, hi) = ranges[i];
+            tree.apply(lo, hi, clipped[i].weight, clipped[i].kind, -1.0);
+            next_exit += 1;
+        }
+        let (m, leaf) = tree.top();
+        let key = TotalF64(m);
+        if best.is_none_or(|(b, _, _)| key > b) {
+            best = Some((key, leaf, y));
+        }
+    }
+
+    let (_, leaf, y) = best?;
+    let point = Point::new(xs[leaf], y);
+    // Exact re-evaluation at the winning point: the incremental tree sums
+    // carry rounding from interleaved adds/removes; the coverage pattern it
+    // identified is what matters, the score is recomputed from scratch.
+    Some(score_at_point(&clipped, point, params))
+}
+
+/// The paper's direct `O(n²)` sweep: evaluates the burst score at every
+/// slab×interval evaluation position. Retained as the reference
+/// implementation for differential tests and benchmarks; production call
+/// sites use the `O(n log n)` [`sl_cspot`].
+pub fn sl_cspot_naive(
+    rects: &[SweepRect],
+    area: &Rect,
+    params: &BurstParams,
+) -> Option<SweepResult> {
+    let clipped = clip_rects(rects, area);
     if clipped.is_empty() {
         return None;
     }
@@ -163,7 +260,7 @@ pub fn sl_cspot(rects: &[SweepRect], area: &Rect, params: &BurstParams) -> Optio
         for (i, &x) in xs.iter().enumerate() {
             let score = params.score_weights(acc_wc[i], acc_wp[i]);
             let key = TotalF64(score);
-            if best.map_or(true, |(b, _, _, _)| key > b) {
+            if best.is_none_or(|(b, _, _, _)| key > b) {
                 best = Some((key, Point::new(x, y), acc_wc[i], acc_wp[i]));
             }
         }
@@ -269,12 +366,14 @@ mod tests {
     #[test]
     fn empty_input_returns_none() {
         assert_eq!(sl_cspot(&[], &AREA, &params(0.5)), None);
+        assert_eq!(sl_cspot_naive(&[], &AREA, &params(0.5)), None);
     }
 
     #[test]
     fn rect_outside_area_returns_none() {
         let r = cur(200.0, 200.0, 201.0, 201.0, 1.0);
         assert_eq!(sl_cspot(&[r], &AREA, &params(0.5)), None);
+        assert_eq!(sl_cspot_naive(&[r], &AREA, &params(0.5)), None);
     }
 
     #[test]
@@ -319,7 +418,11 @@ mod tests {
         let res = sl_cspot(&[c, p], &AREA, &params(0.5)).unwrap();
         // In the right half: fc=2, fp=0 -> S = 2. In the left: S = 1.
         assert!((res.score - 2.0).abs() < 1e-12);
-        assert!(res.point.x > 2.0, "point {:?} should avoid past rect", res.point);
+        assert!(
+            res.point.x > 2.0,
+            "point {:?} should avoid past rect",
+            res.point
+        );
     }
 
     #[test]
@@ -405,7 +508,9 @@ mod tests {
         // Deterministic pseudo-random scenes (LCG) across several alphas.
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / ((1u64 << 31) as f64) // [0, 4)
         };
         for scene in 0..30 {
@@ -440,8 +545,31 @@ mod tests {
                 // The returned point's score must equal the reported score.
                 let check = score_at_point(&rects, got.point, &p);
                 assert!((check.score - got.score).abs() < 1e-9);
+                // And the naive reference agrees.
+                let naive = sl_cspot_naive(&rects, &AREA, &p).unwrap();
+                assert!((naive.score - got.score).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn negative_zero_edges_do_not_panic() {
+        // -0.0 and +0.0 are equal under `==` but distinct under `total_cmp`;
+        // a dedup/search mismatch used to panic the index lookup.
+        let rects = [
+            cur(-0.0, -0.0, 1.0, 1.0, 1.0),
+            cur(0.0, 0.0, 2.0, 1.0, 2.0),
+            past(-0.0, 0.0, 1.0, 2.0, 1.0),
+        ];
+        for alpha in [0.0, 0.5] {
+            let p = params(alpha);
+            let fast = sl_cspot(&rects, &AREA, &p).unwrap();
+            let naive = sl_cspot_naive(&rects, &AREA, &p).unwrap();
+            assert!((fast.score - naive.score).abs() < 1e-12);
+        }
+        let p = params(0.0);
+        let m = crate::maxrs::maxrs_sweep(&rects, &AREA, &p).unwrap();
+        assert!((m.score - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! objects, grid-line alignment, zero weights, ties, bulk expiry, and empty
 //! domains. Each case is checked against the stateless snapshot oracle.
 
-use surge_core::{
-    BurstDetector, Point, Rect, RegionSize, SpatialObject, SurgeQuery, WindowConfig,
-};
+use surge_core::{BurstDetector, Point, Rect, RegionSize, SpatialObject, SurgeQuery, WindowConfig};
 use surge_exact::{snapshot_bursty_region, BaseDetector, BoundMode, CellCspot};
 use surge_stream::SlidingWindowEngine;
 
@@ -99,7 +97,10 @@ fn zero_weight_objects_are_neutral() {
     };
     let a = run(&with_zeros);
     let b = run(&without);
-    assert!((a - b).abs() <= 1e-12, "zero weights changed score: {a} vs {b}");
+    assert!(
+        (a - b).abs() <= 1e-12,
+        "zero weights changed score: {a} vs {b}"
+    );
 }
 
 #[test]
@@ -121,7 +122,12 @@ fn score_ties_are_resolved_consistently() {
     let mut objs = Vec::new();
     for i in 0..20u64 {
         objs.push(SpatialObject::new(2 * i, 1.0, Point::new(1.0, 1.0), i * 30));
-        objs.push(SpatialObject::new(2 * i + 1, 1.0, Point::new(50.0, 50.0), i * 30));
+        objs.push(SpatialObject::new(
+            2 * i + 1,
+            1.0,
+            Point::new(50.0, 50.0),
+            i * 30,
+        ));
     }
     assert_all_exact_match(query(0.5), &objs);
 }
@@ -143,7 +149,12 @@ fn alpha_zero_reduces_to_maxrs_semantics() {
     // cluster arrives in the current window: same current mass, nonzero past
     // mass. α = 0 must score it identically.
     for i in 0..10u64 {
-        for ev in engine.push(SpatialObject::new(100 + i, 1.0, Point::new(3.0, 3.0), 1_200 + i)) {
+        for ev in engine.push(SpatialObject::new(
+            100 + i,
+            1.0,
+            Point::new(3.0, 3.0),
+            1_200 + i,
+        )) {
             det.on_event(&ev);
         }
     }
@@ -168,7 +179,10 @@ fn area_narrower_than_region_yields_no_answer() {
     for ev in engine.push(SpatialObject::new(0, 5.0, Point::new(0.5, 0.5), 0)) {
         det.on_event(&ev);
     }
-    assert!(det.current().is_none(), "no query-sized region fits in the area");
+    assert!(
+        det.current().is_none(),
+        "no query-sized region fits in the area"
+    );
 }
 
 #[test]

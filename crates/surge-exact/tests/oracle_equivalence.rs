@@ -9,9 +9,7 @@
 
 use proptest::prelude::*;
 
-use surge_core::{
-    BurstDetector, Point, Rect, RegionSize, SpatialObject, SurgeQuery, WindowConfig,
-};
+use surge_core::{BurstDetector, Point, Rect, RegionSize, SpatialObject, SurgeQuery, WindowConfig};
 use surge_exact::{snapshot_bursty_region, BaseDetector, BoundMode, CellCspot};
 use surge_stream::SlidingWindowEngine;
 
@@ -73,10 +71,10 @@ fn check_against_oracle(
 fn object_stream(max_len: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
     prop::collection::vec(
         (
-            0u64..20,    // x in [0, 2.0) after scaling
-            0u64..20,    // y
-            1u64..5,     // weight
-            0u64..40,    // inter-arrival (ms)
+            0u64..20, // x in [0, 2.0) after scaling
+            0u64..20, // y
+            1u64..5,  // weight
+            0u64..40, // inter-arrival (ms)
         ),
         1..max_len,
     )
@@ -86,7 +84,12 @@ fn object_stream(max_len: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
             .enumerate()
             .map(|(i, (x, y, w, dt))| {
                 t += dt;
-                SpatialObject::new(i as u64, w as f64, Point::new(x as f64 / 10.0, y as f64 / 10.0), t)
+                SpatialObject::new(
+                    i as u64,
+                    w as f64,
+                    Point::new(x as f64 / 10.0, y as f64 / 10.0),
+                    t,
+                )
             })
             .collect()
     })

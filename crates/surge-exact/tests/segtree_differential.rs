@@ -1,0 +1,217 @@
+//! Differential tests: the production `O(n log n)` segment-tree sweep
+//! against the retained naive `O(n²)` midpoint-enumeration sweep, over
+//! randomized rectangle sets — current + past mixes, degenerate and
+//! edge-aligned rectangles, varying α and window normalizers.
+//!
+//! The two sweeps must agree on the *score* exactly up to floating-point
+//! accumulation (≤ 1e-9 relative here), and each returned point must attain
+//! its reported score under exhaustive re-scoring.
+
+use proptest::prelude::*;
+use surge_core::{BurstParams, Point, Rect, WindowKind};
+use surge_exact::{score_at_point, sl_cspot, sl_cspot_naive, SweepRect};
+
+const AREA: Rect = Rect {
+    x0: -50.0,
+    y0: -50.0,
+    x1: 50.0,
+    y1: 50.0,
+};
+
+/// Raw tuples → rectangles on a coarse lattice: snapping coordinates to
+/// multiples of 0.25 makes shared edges, corner touches and exact overlaps
+/// common instead of measure-zero.
+fn build_rects(raw: Vec<(u32, u32, u32, u32, u32, bool)>) -> Vec<SweepRect> {
+    raw.into_iter()
+        .map(|(x, y, w, h, wt, past)| {
+            let x0 = x as f64 * 0.25 - 5.0;
+            let y0 = y as f64 * 0.25 - 5.0;
+            // w = 0 / h = 0 produce degenerate (segment / point) rects.
+            let x1 = x0 + w as f64 * 0.25;
+            let y1 = y0 + h as f64 * 0.25;
+            SweepRect {
+                rect: Rect::new(x0, y0, x1, y1),
+                weight: 1.0 + wt as f64,
+                kind: if past {
+                    WindowKind::Past
+                } else {
+                    WindowKind::Current
+                },
+            }
+        })
+        .collect()
+}
+
+fn arb_scene(max_len: usize) -> impl Strategy<Value = Vec<SweepRect>> {
+    prop::collection::vec(
+        (
+            0u32..40,
+            0u32..40,
+            0u32..12,
+            0u32..12,
+            0u32..4,
+            any::<bool>(),
+        ),
+        1..max_len,
+    )
+    .prop_map(build_rects)
+}
+
+fn check_equivalence(rects: &[SweepRect], params: &BurstParams) {
+    let fast = sl_cspot(rects, &AREA, params);
+    let naive = sl_cspot_naive(rects, &AREA, params);
+    match (fast, naive) {
+        (Some(f), Some(n)) => {
+            assert!(
+                (f.score - n.score).abs() <= 1e-9 * n.score.abs().max(1.0),
+                "segtree {} vs naive {}",
+                f.score,
+                n.score
+            );
+            // Both returned points must attain their reported scores.
+            let fr = score_at_point(rects, f.point, params);
+            assert!((fr.score - f.score).abs() <= 1e-9 * f.score.abs().max(1.0));
+            let nr = score_at_point(rects, n.point, params);
+            assert!((nr.score - n.score).abs() <= 1e-9 * n.score.abs().max(1.0));
+        }
+        (None, None) => {}
+        other => panic!("sweep disagreement on Some/None: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Snapped random scenes across the α sweep used by the paper.
+    #[test]
+    fn segtree_matches_naive_on_lattice_scenes(
+        rects in arb_scene(24),
+        alpha_pct in 0u32..100,
+    ) {
+        let params = BurstParams {
+            alpha: alpha_pct as f64 / 100.0,
+            current_norm: 1.0,
+            past_norm: 1.0,
+        };
+        check_equivalence(&rects, &params);
+    }
+
+    /// Asymmetric window normalizers exercise the `−α·w/|W_p|` scaling of
+    /// past rectangles in the tree.
+    #[test]
+    fn segtree_matches_naive_with_asymmetric_norms(
+        rects in arb_scene(16),
+        alpha_pct in 0u32..100,
+        cur_norm in 1u32..2_000,
+        past_norm in 1u32..2_000,
+    ) {
+        let params = BurstParams {
+            alpha: alpha_pct as f64 / 100.0,
+            current_norm: cur_norm as f64,
+            past_norm: past_norm as f64,
+        };
+        check_equivalence(&rects, &params);
+    }
+
+    /// Scenes clipped by a small search area (cell-domain shape): clipping
+    /// produces edge-aligned and degenerate rectangles by construction.
+    #[test]
+    fn segtree_matches_naive_under_tight_clipping(
+        rects in arb_scene(16),
+        alpha_pct in 0u32..100,
+        ax in 0u32..20,
+        ay in 0u32..20,
+    ) {
+        let params = BurstParams {
+            alpha: alpha_pct as f64 / 100.0,
+            current_norm: 1.0,
+            past_norm: 1.0,
+        };
+        let x0 = ax as f64 * 0.25 - 3.0;
+        let y0 = ay as f64 * 0.25 - 3.0;
+        let area = Rect::new(x0, y0, x0 + 1.5, y0 + 1.5);
+        let fast = sl_cspot(&rects, &area, &params);
+        let naive = sl_cspot_naive(&rects, &area, &params);
+        match (fast, naive) {
+            (Some(f), Some(n)) => {
+                prop_assert!(
+                    (f.score - n.score).abs() <= 1e-9 * n.score.abs().max(1.0),
+                    "segtree {} vs naive {}", f.score, n.score
+                );
+                prop_assert!(area.contains(f.point));
+            }
+            (None, None) => {}
+            other => panic!("sweep disagreement on Some/None: {other:?}"),
+        }
+    }
+}
+
+/// Deterministic worst-case-ish scenes the lattice generator rarely hits.
+#[test]
+fn segtree_matches_naive_on_adversarial_scenes() {
+    let params = |alpha: f64| BurstParams {
+        alpha,
+        current_norm: 1.0,
+        past_norm: 1.0,
+    };
+
+    // All rectangles identical (maximum tie pressure).
+    let same: Vec<SweepRect> = (0..12)
+        .map(|i| SweepRect {
+            rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+            weight: 1.0 + (i % 3) as f64,
+            kind: if i % 2 == 0 {
+                WindowKind::Past
+            } else {
+                WindowKind::Current
+            },
+        })
+        .collect();
+    check_equivalence(&same, &params(0.5));
+
+    // A column of horizontally-stacked slivers sharing edges.
+    let slivers: Vec<SweepRect> = (0..20)
+        .map(|i| SweepRect {
+            rect: Rect::new(i as f64, 0.0, (i + 1) as f64, 10.0),
+            weight: 1.0 + (i % 5) as f64,
+            kind: if i % 3 == 0 {
+                WindowKind::Past
+            } else {
+                WindowKind::Current
+            },
+        })
+        .collect();
+    check_equivalence(&slivers, &params(0.9));
+
+    // Point/segment degenerate rectangles stabbing a big one.
+    let degenerate = vec![
+        SweepRect {
+            rect: Rect::new(0.0, 0.0, 4.0, 4.0),
+            weight: 2.0,
+            kind: WindowKind::Current,
+        },
+        SweepRect {
+            rect: Rect::new(2.0, 2.0, 2.0, 2.0), // point
+            weight: 5.0,
+            kind: WindowKind::Current,
+        },
+        SweepRect {
+            rect: Rect::new(1.0, 3.0, 3.0, 3.0), // horizontal segment
+            weight: 3.0,
+            kind: WindowKind::Past,
+        },
+        SweepRect {
+            rect: Rect::new(3.0, 1.0, 3.0, 3.5), // vertical segment
+            weight: 4.0,
+            kind: WindowKind::Current,
+        },
+    ];
+    for a in [0.0, 0.3, 0.7, 0.99] {
+        check_equivalence(&degenerate, &params(a));
+    }
+
+    // The sweep must find the point-rect pile: fc = 2 + 5 at (2, 2).
+    let res = sl_cspot(&degenerate, &AREA, &params(0.0)).unwrap();
+    assert_eq!(res.point, Point::new(2.0, 2.0));
+    assert_eq!(res.wc, 7.0);
+}

@@ -52,12 +52,7 @@ pub fn write_objects_binary_to(path: impl AsRef<Path>, objects: &[SpatialObject]
     write_objects_binary(File::create(path)?, objects)
 }
 
-fn read_exact_or(
-    input: &mut impl Read,
-    buf: &mut [u8],
-    at: u64,
-    what: &str,
-) -> Result<()> {
+fn read_exact_or(input: &mut impl Read, buf: &mut [u8], at: u64, what: &str) -> Result<()> {
     input.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             IoError::Parse {

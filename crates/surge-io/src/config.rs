@@ -44,11 +44,7 @@ pub fn query_to_string(q: &SurgeQuery) -> String {
          window_current_ms = {}\n\
          window_past_ms = {}\n\
          alpha = {}\n",
-        q.region.width,
-        q.region.height,
-        q.windows.current_len,
-        q.windows.past_len,
-        q.alpha,
+        q.region.width, q.region.height, q.windows.current_len, q.windows.past_len, q.alpha,
     )
 }
 
@@ -219,11 +215,8 @@ mod tests {
 
     #[test]
     fn roundtrip_unbounded_query() {
-        let q = SurgeQuery::whole_space(
-            RegionSize::new(1.5, 2.5),
-            WindowConfig::equal(60_000),
-            0.25,
-        );
+        let q =
+            SurgeQuery::whole_space(RegionSize::new(1.5, 2.5), WindowConfig::equal(60_000), 0.25);
         let back = query_from_str(&query_to_string(&q)).unwrap();
         assert_eq!(back, q);
     }
@@ -284,10 +277,7 @@ mod tests {
             "{QUERY_HEADER}\narea = unbounded\nregion = 1 1\n\
              window_current_ms = 1\nwindow_past_ms = 1\nalpha = 1.0\n"
         );
-        assert!(matches!(
-            query_from_str(&text),
-            Err(IoError::Invariant(_))
-        ));
+        assert!(matches!(query_from_str(&text), Err(IoError::Invariant(_))));
     }
 
     #[test]
@@ -296,10 +286,7 @@ mod tests {
             "{QUERY_HEADER}\narea = 5 5 1 1\nregion = 1 1\n\
              window_current_ms = 1\nwindow_past_ms = 1\nalpha = 0.5\n"
         );
-        assert!(matches!(
-            query_from_str(&text),
-            Err(IoError::Invariant(_))
-        ));
+        assert!(matches!(query_from_str(&text), Err(IoError::Invariant(_))));
     }
 
     #[test]
@@ -308,10 +295,7 @@ mod tests {
             "{QUERY_HEADER}\narea = unbounded\nregion = 1 1\n\
              window_current_ms = 0\nwindow_past_ms = 1\nalpha = 0.5\n"
         );
-        assert!(matches!(
-            query_from_str(&text),
-            Err(IoError::Invariant(_))
-        ));
+        assert!(matches!(query_from_str(&text), Err(IoError::Invariant(_))));
     }
 
     #[test]

@@ -51,7 +51,11 @@ pub fn write_objects<'a, W: Write>(
     writeln!(out, "{OBJECTS_HEADER}")?;
     writeln!(out, "{OBJECTS_COLUMNS}")?;
     for o in objects {
-        writeln!(out, "{},{},{},{},{}", o.id, o.weight, o.pos.x, o.pos.y, o.created)?;
+        writeln!(
+            out,
+            "{},{},{},{},{}",
+            o.id, o.weight, o.pos.x, o.pos.y, o.created
+        )?;
     }
     out.flush()?;
     Ok(())

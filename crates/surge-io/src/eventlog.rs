@@ -97,7 +97,10 @@ impl EventLogWriter {
     pub fn finish(self) -> Result<()> {
         use std::io::Seek;
         let count = self.count;
-        let mut file = self.out.into_inner().map_err(|e| IoError::Io(e.into_error()))?;
+        let mut file = self
+            .out
+            .into_inner()
+            .map_err(|e| IoError::Io(e.into_error()))?;
         file.seek(std::io::SeekFrom::Start(8))?;
         file.write_all(&count.to_le_bytes())?;
         file.sync_data()?;
@@ -145,7 +148,9 @@ fn u64_from(buf: &[u8]) -> u64 {
 pub fn read_events<R: Read>(input: R) -> Result<Vec<Event>> {
     let mut input = BufReader::new(input);
     let mut magic = [0u8; 8];
-    input.read_exact(&mut magic).map_err(|e| map_eof(e, 0, "magic"))?;
+    input
+        .read_exact(&mut magic)
+        .map_err(|e| map_eof(e, 0, "magic"))?;
     if &magic != EVENTS_MAGIC {
         return Err(IoError::BadHeader {
             expected: "SURGEEV1",
@@ -161,7 +166,9 @@ pub fn read_events<R: Read>(input: R) -> Result<Vec<Event>> {
     let mut rec = [0u8; EVENT_RECORD_SIZE];
     let mut last_at = 0u64;
     for i in 0..count {
-        input.read_exact(&mut rec).map_err(|e| map_eof(e, i, "record"))?;
+        input
+            .read_exact(&mut rec)
+            .map_err(|e| map_eof(e, i, "record"))?;
         let kind = code_kind(rec[0], i)?;
         let at = u64_from(&rec[1..9]);
         let id = u64_from(&rec[9..17]);
@@ -258,10 +265,7 @@ mod tests {
         ];
         let mut buf = Vec::new();
         write_events(&mut buf, &events).unwrap();
-        assert!(matches!(
-            read_events(&buf[..]),
-            Err(IoError::Invariant(_))
-        ));
+        assert!(matches!(read_events(&buf[..]), Err(IoError::Invariant(_))));
     }
 
     #[test]

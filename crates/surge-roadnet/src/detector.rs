@@ -114,10 +114,7 @@ impl NetGapSurge {
         snap_tolerance: f64,
         half_phase: bool,
     ) -> Self {
-        assert!(
-            snap_tolerance >= 0.0,
-            "snap tolerance must be non-negative"
-        );
+        assert!(snap_tolerance >= 0.0, "snap tolerance must be non-negative");
         let index = EdgeIndex::build(&net).expect("network must have at least one edge");
         let seg = if half_phase {
             Segmentation::new_half_phase(&net, segment_len)
@@ -255,10 +252,7 @@ impl NetGapSurge {
                 hi = mid;
             }
         }
-        let base = self.seg.ordinal(SegmentId {
-            edge: lo,
-            index: 0,
-        });
+        let base = self.seg.ordinal(SegmentId { edge: lo, index: 0 });
         SegmentId {
             edge: lo,
             index: ordinal - base,
@@ -289,7 +283,7 @@ impl NetGapSurge {
         let mut best: Option<(u32, f64)> = None;
         for (i, sp) in self.weights.iter().enumerate() {
             let s = self.params.score_normalized(sp.fc, sp.fp);
-            if s > SCORE_EPS && best.map_or(true, |(_, bs)| s > bs) {
+            if s > SCORE_EPS && best.is_none_or(|(_, bs)| s > bs) {
                 best = Some((i as u32, s));
             }
         }
@@ -384,7 +378,7 @@ impl NetBallOracle {
         let mut best: Option<BallAnswer> = None;
         for node in 0..self.net.node_count() as NodeId {
             let score = self.score_ball(node, radius);
-            if score > 0.0 && best.map_or(true, |b| score > b.score) {
+            if score > 0.0 && best.is_none_or(|b| score > b.score) {
                 best = Some(BallAnswer {
                     center: node,
                     radius,
@@ -489,10 +483,10 @@ mod tests {
                 let x = (i * 37 % 500) as f64;
                 let y = ((i * 91 + round * 13) % 500) as f64;
                 det.on_event(&ev(EventKind::New, id, x, y, 1.0 + (i % 5) as f64));
-                if id % 3 == 0 {
+                if id.is_multiple_of(3) {
                     det.on_event(&ev(EventKind::Grown, id, x, y, 1.0 + (i % 5) as f64));
                 }
-                if id % 6 == 0 {
+                if id.is_multiple_of(6) {
                     det.on_event(&ev(EventKind::Expired, id, x, y, 1.0 + (i % 5) as f64));
                 }
                 id += 1;

@@ -153,11 +153,7 @@ mod tests {
             seed: 2,
             ..Default::default()
         });
-        let same = a
-            .nodes()
-            .iter()
-            .zip(b.nodes())
-            .all(|(x, y)| x.pos == y.pos);
+        let same = a.nodes().iter().zip(b.nodes()).all(|(x, y)| x.pos == y.pos);
         assert!(!same);
     }
 

@@ -142,8 +142,7 @@ impl RoadNetwork {
     /// The bounding box of all node positions, or `None` for an empty graph.
     pub fn bounding_box(&self) -> Option<surge_core::Rect> {
         let first = self.nodes.first()?;
-        let (mut x0, mut y0, mut x1, mut y1) =
-            (first.pos.x, first.pos.y, first.pos.x, first.pos.y);
+        let (mut x0, mut y0, mut x1, mut y1) = (first.pos.x, first.pos.y, first.pos.x, first.pos.y);
         for n in &self.nodes {
             x0 = x0.min(n.pos.x);
             y0 = y0.min(n.pos.y);
@@ -224,10 +223,7 @@ impl RoadNetworkBuilder {
 
     /// Adds a road segment with the Euclidean length of its chord.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> EdgeId {
-        let length = match (
-            self.nodes.get(a as usize),
-            self.nodes.get(b as usize),
-        ) {
+        let length = match (self.nodes.get(a as usize), self.nodes.get(b as usize)) {
             (Some(na), Some(nb)) => {
                 ((na.pos.x - nb.pos.x).powi(2) + (na.pos.y - nb.pos.y).powi(2)).sqrt()
             }

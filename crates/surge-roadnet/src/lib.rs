@@ -33,16 +33,16 @@
 
 pub mod detector;
 pub mod generator;
-pub mod multiseg;
 pub mod graph;
+pub mod multiseg;
 pub mod path;
 pub mod segment;
 pub mod snap;
 
 pub use detector::{BallAnswer, NetAnswer, NetBallOracle, NetGapSurge};
-pub use multiseg::NetMgapSurge;
 pub use generator::{grid_city, GridCityConfig};
 pub use graph::{Edge, EdgeId, EdgePos, GraphError, Node, NodeId, RoadNetwork, RoadNetworkBuilder};
+pub use multiseg::NetMgapSurge;
 pub use path::{dijkstra_from_node, dijkstra_from_pos, network_distance};
 pub use segment::{SegmentId, Segmentation};
 pub use snap::{snap_bruteforce, EdgeIndex, Snap};

@@ -255,10 +255,10 @@ mod tests {
                 let y = (i * 73) as f64 % 500.0;
                 let o = SpatialObject::new(id, 1.0 + (i % 3) as f64, Point::new(x, y), 0);
                 det.on_event(&Event::new_arrival(o));
-                if id % 2 == 0 {
+                if id.is_multiple_of(2) {
                     det.on_event(&Event::grown(o, 0));
                 }
-                if id % 4 == 0 {
+                if id.is_multiple_of(4) {
                     det.on_event(&Event::expired(o, 0));
                 }
                 id += 1;

@@ -208,7 +208,10 @@ mod tests {
     #[test]
     fn segment_lengths_bounded_by_target() {
         let g = two_edges();
-        for s in [Segmentation::new(&g, 3.0), Segmentation::new_half_phase(&g, 3.0)] {
+        for s in [
+            Segmentation::new(&g, 3.0),
+            Segmentation::new_half_phase(&g, 3.0),
+        ] {
             for edge in 0..2u32 {
                 for index in 0..s.segments_on_edge(edge) {
                     let len = s.segment_len(&g, SegmentId { edge, index });
@@ -258,7 +261,10 @@ mod tests {
         let mut end = 0.0;
         for index in 0..s.segments_on_edge(0) {
             let (a, b) = s.segment_span(&g, SegmentId { edge: 0, index });
-            assert!((a - end).abs() < 1e-12, "gap at index {index}: {a} vs {end}");
+            assert!(
+                (a - end).abs() < 1e-12,
+                "gap at index {index}: {a} vs {end}"
+            );
             assert!(b > a);
             end = b;
         }
@@ -271,7 +277,10 @@ mod tests {
     #[test]
     fn ordinals_are_dense_and_unique() {
         let g = two_edges();
-        for s in [Segmentation::new(&g, 3.0), Segmentation::new_half_phase(&g, 3.0)] {
+        for s in [
+            Segmentation::new(&g, 3.0),
+            Segmentation::new_half_phase(&g, 3.0),
+        ] {
             let mut seen = vec![false; s.segment_count() as usize];
             for edge in 0..2u32 {
                 for index in 0..s.segments_on_edge(edge) {
@@ -301,7 +310,10 @@ mod tests {
     #[test]
     fn midpoint_is_inside_span() {
         let g = two_edges();
-        for s in [Segmentation::new(&g, 3.0), Segmentation::new_half_phase(&g, 3.0)] {
+        for s in [
+            Segmentation::new(&g, 3.0),
+            Segmentation::new_half_phase(&g, 3.0),
+        ] {
             for index in 0..s.segments_on_edge(0) {
                 let seg = SegmentId { edge: 0, index };
                 let (a, b) = s.segment_span(&g, seg);
@@ -314,7 +326,10 @@ mod tests {
     #[test]
     fn segment_of_is_consistent_with_spans_in_both_phases() {
         let g = two_edges();
-        for s in [Segmentation::new(&g, 3.0), Segmentation::new_half_phase(&g, 3.0)] {
+        for s in [
+            Segmentation::new(&g, 3.0),
+            Segmentation::new_half_phase(&g, 3.0),
+        ] {
             for i in 0..=100 {
                 let offset = i as f64 * 0.1;
                 let pos = EdgePos { edge: 0, offset };

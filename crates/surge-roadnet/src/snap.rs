@@ -115,7 +115,7 @@ impl EdgeIndex {
                     let pa = net.node(e.a).pos;
                     let pb = net.node(e.b).pos;
                     let (d2, t) = project_to_segment(p, pa, pb);
-                    if best.map_or(true, |(bd2, _)| d2 < bd2) {
+                    if best.is_none_or(|(bd2, _)| d2 < bd2) {
                         best = Some((
                             d2,
                             EdgePos {
@@ -181,7 +181,7 @@ pub fn snap_bruteforce(net: &RoadNetwork, p: Point) -> Option<Snap> {
         let pa = net.node(e.a).pos;
         let pb = net.node(e.b).pos;
         let (d2, t) = project_to_segment(p, pa, pb);
-        if best.map_or(true, |(bd2, _)| d2 < bd2) {
+        if best.is_none_or(|(bd2, _)| d2 < bd2) {
             best = Some((
                 d2,
                 EdgePos {

@@ -41,7 +41,12 @@ fn stream_with_burst(
         } else {
             Point::new(rng.gen_range(0.0..900.0), rng.gen_range(0.0..900.0))
         };
-        objects.push(SpatialObject::new(i as u64, rng.gen_range(1.0..10.0), pos, t));
+        objects.push(SpatialObject::new(
+            i as u64,
+            rng.gen_range(1.0..10.0),
+            pos,
+            t,
+        ));
     }
     objects
 }

@@ -97,12 +97,12 @@ impl Dataset {
                 n_objects: 1_000_000,
                 default_windows: WindowConfig::equal_hours(1),
                 hotspots: with_cores(vec![
-                    Hotspot::new(Point::new(-74.0, 40.7), 0.6, 5.0),   // New York
-                    Hotspot::new(Point::new(-118.2, 34.1), 0.6, 4.0),  // Los Angeles
-                    Hotspot::new(Point::new(-87.6, 41.9), 0.5, 2.5),   // Chicago
-                    Hotspot::new(Point::new(-95.4, 29.8), 0.5, 2.0),   // Houston
-                    Hotspot::new(Point::new(-80.2, 25.8), 0.4, 2.0),   // Miami
-                    Hotspot::new(Point::new(-122.4, 37.8), 0.4, 2.0),  // San Francisco
+                    Hotspot::new(Point::new(-74.0, 40.7), 0.6, 5.0), // New York
+                    Hotspot::new(Point::new(-118.2, 34.1), 0.6, 4.0), // Los Angeles
+                    Hotspot::new(Point::new(-87.6, 41.9), 0.5, 2.5), // Chicago
+                    Hotspot::new(Point::new(-95.4, 29.8), 0.5, 2.0), // Houston
+                    Hotspot::new(Point::new(-80.2, 25.8), 0.4, 2.0), // Miami
+                    Hotspot::new(Point::new(-122.4, 37.8), 0.4, 2.0), // San Francisco
                 ]),
                 uniform_fraction: 0.40,
             },

@@ -7,9 +7,9 @@
 
 use std::time::{Duration as WallDuration, Instant};
 
-use surge_core::{BurstDetector, DetectorStats, SpatialObject, TopKDetector};
+use surge_core::{BurstDetector, DetectorStats, RegionSize, SpatialObject, TopKDetector};
 
-use crate::window::SlidingWindowEngine;
+use crate::window::{DirtyCellTracker, SlidingWindowEngine};
 
 /// Outcome of a replay run.
 #[derive(Debug, Clone)]
@@ -135,6 +135,141 @@ pub fn drive<D: BurstDetector + ?Sized>(
     }
 }
 
+/// Outcome of a slide-batched replay run ([`drive_slides`]).
+#[derive(Debug, Clone)]
+pub struct SlideRunStats {
+    /// Objects processed.
+    pub objects: u64,
+    /// Window-transition events processed.
+    pub events: u64,
+    /// Slides executed (each ends with one `current()` refresh).
+    pub slides: u64,
+    /// Total distinct dirty cells across all slides (deduplicated within a
+    /// slide, not across slides).
+    pub dirty_cells: u64,
+    /// Largest single-slide dirty-cell count.
+    pub max_dirty_per_slide: u64,
+    /// Wall-clock time spent processing (events + refreshes).
+    pub elapsed: WallDuration,
+    /// Detector counters at the end of the run.
+    pub detector: DetectorStats,
+    /// Detector name.
+    pub name: &'static str,
+}
+
+impl SlideRunStats {
+    /// Mean dirty cells per slide — the incremental-maintenance footprint a
+    /// wholesale per-slide recomputation would replace with "all cells".
+    pub fn dirty_per_slide(&self) -> f64 {
+        if self.slides == 0 {
+            0.0
+        } else {
+            self.dirty_cells as f64 / self.slides as f64
+        }
+    }
+}
+
+/// Replays `source` into `detector` in *slides* of `slide_objects` arrivals,
+/// refreshing the continuous answer once per slide instead of once per
+/// object, and accounting the per-slide maintenance in **dirty cells** (the
+/// distinct grid cells the slide's events touch, deduplicated).
+///
+/// This is the sequential face of incremental maintenance: detectors like
+/// CCS already do per-cell bookkeeping per event and defer searches to
+/// `current()`; batching the refresh means each dirty cell is searched at
+/// most once per slide no matter how many events hit it. The reported
+/// answer at each slide boundary is identical to calling `current()` at the
+/// same stream position under the per-object driver. For the parallel
+/// variant see `drive_incremental` in the [`crate::parallel`] module.
+pub fn drive_slides<D: BurstDetector + ?Sized>(
+    detector: &mut D,
+    engine: &mut SlidingWindowEngine,
+    region: RegionSize,
+    source: impl Iterator<Item = SpatialObject>,
+    slide_objects: usize,
+) -> SlideRunStats {
+    struct Ctx<'a, D: ?Sized> {
+        detector: &'a mut D,
+        tracker: DirtyCellTracker,
+        events: u64,
+        slides: u64,
+        dirty_cells: u64,
+        max_dirty: u64,
+    }
+    let t0 = Instant::now();
+    let mut ctx = Ctx {
+        detector,
+        tracker: DirtyCellTracker::new(region),
+        events: 0,
+        slides: 0,
+        dirty_cells: 0,
+        max_dirty: 0,
+    };
+
+    let objects = slide_loop(
+        engine,
+        source,
+        slide_objects,
+        &mut ctx,
+        |c, ev| {
+            c.tracker.note(ev);
+            c.detector.on_event(ev);
+            c.events += 1;
+        },
+        |c| {
+            let dirty = c.tracker.drain().len() as u64;
+            c.dirty_cells += dirty;
+            c.max_dirty = c.max_dirty.max(dirty);
+            c.slides += 1;
+            let _ = c.detector.current();
+        },
+    );
+
+    SlideRunStats {
+        objects,
+        events: ctx.events,
+        slides: ctx.slides,
+        dirty_cells: ctx.dirty_cells,
+        max_dirty_per_slide: ctx.max_dirty,
+        elapsed: t0.elapsed(),
+        detector: ctx.detector.stats(),
+        name: ctx.detector.name(),
+    }
+}
+
+/// The shared slide-batching loop behind [`drive_slides`] and the parallel
+/// `drive_incremental`: feeds each object's events to `on_event` and calls
+/// `flush` at every slide boundary, including the trailing partial slide.
+/// Returns the number of objects processed. `ctx` threads the caller's
+/// mutable state (typically the detector) into both callbacks.
+pub(crate) fn slide_loop<C: ?Sized>(
+    engine: &mut SlidingWindowEngine,
+    source: impl Iterator<Item = SpatialObject>,
+    slide_objects: usize,
+    ctx: &mut C,
+    mut on_event: impl FnMut(&mut C, &surge_core::Event),
+    mut flush: impl FnMut(&mut C),
+) -> u64 {
+    assert!(slide_objects > 0, "slide must contain at least one object");
+    let mut objects = 0u64;
+    let mut in_slide = 0usize;
+    for obj in source {
+        for ev in engine.push(obj) {
+            on_event(ctx, &ev);
+        }
+        objects += 1;
+        in_slide += 1;
+        if in_slide >= slide_objects {
+            flush(ctx);
+            in_slide = 0;
+        }
+    }
+    if in_slide > 0 {
+        flush(ctx);
+    }
+    objects
+}
+
 /// Replays `source` through `engine` into a top-k detector.
 pub fn drive_topk<D: TopKDetector + ?Sized>(
     detector: &mut D,
@@ -245,7 +380,10 @@ mod tests {
         assert_eq!(det.news, 50);
         // every object eventually grows/expires except those still resident
         assert_eq!(det.growns as usize, 50 - eng.current_len());
-        assert_eq!(det.expireds as usize, 50 - eng.current_len() - eng.past_len());
+        assert_eq!(
+            det.expireds as usize,
+            50 - eng.current_len() - eng.past_len()
+        );
         assert_eq!(det.currents, 50);
         assert_eq!(stats.objects + stats.warmup_objects, 50);
     }

@@ -254,7 +254,9 @@ impl Iterator for StreamGenerator {
         let ts = (self.clock_ms.round() as Timestamp).max(self.last_ts);
         self.last_ts = ts;
         let pos = self.sample_position(ts);
-        let weight = self.rng.gen_range(self.cfg.weight_min..=self.cfg.weight_max);
+        let weight = self
+            .rng
+            .gen_range(self.cfg.weight_min..=self.cfg.weight_max);
         let obj = SpatialObject::new(self.next_id, weight, pos, ts);
         self.next_id += 1;
         self.emitted += 1;
@@ -377,10 +379,10 @@ mod tests {
         };
         let cfg = WorkloadConfig::uniform(extent(), 20_000, 10_000.0, 17).with_burst(burst);
         let objs = StreamGenerator::new(cfg).generate();
-        let in_burst_region = |o: &&SpatialObject| {
-            (o.pos.x - 9.0).abs() < 0.5 && (o.pos.y - 9.0).abs() < 0.5
-        };
-        let during: Vec<&SpatialObject> = objs.iter().filter(|o| burst.active_at(o.created)).collect();
+        let in_burst_region =
+            |o: &&SpatialObject| (o.pos.x - 9.0).abs() < 0.5 && (o.pos.y - 9.0).abs() < 0.5;
+        let during: Vec<&SpatialObject> =
+            objs.iter().filter(|o| burst.active_at(o.created)).collect();
         let hits_during = during.iter().filter(|o| in_burst_region(o)).count();
         assert!(!during.is_empty());
         assert!(

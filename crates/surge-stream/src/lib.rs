@@ -13,10 +13,12 @@
 //!   arrival rates, spatial extents).
 //! * [`text`] — geo-textual message substrate with keyword-relevance
 //!   weighting (the paper's Example 1 pipeline).
-//! * [`driver`] — replay loop feeding a source through the engine into a
-//!   detector, with per-object timing for the evaluation harness.
-//! * [`parallel`] — fan-out driver running several detectors over the same
-//!   event stream on worker threads.
+//! * [`driver`] — replay loops feeding a source through the engine into a
+//!   detector: per-object timing for the evaluation harness, plus the
+//!   slide-batched [`drive_slides`] with dirty-cell accounting.
+//! * [`parallel`] — fan-out drivers: several detectors over the same event
+//!   stream on worker threads, and per-slide dirty-cell sweep fan-out for
+//!   incremental detectors ([`drive_incremental`]).
 //! * [`metrics`] — log-bucketed latency histogram for tail-latency
 //!   reporting.
 
@@ -32,9 +34,11 @@ pub mod text;
 pub mod window;
 
 pub use datasets::{Dataset, DatasetSpec};
-pub use driver::{drive, drive_topk, RunStats};
+pub use driver::{drive, drive_slides, drive_topk, RunStats, SlideRunStats};
 pub use generator::{BurstSpec, Hotspot, StreamGenerator, WorkloadConfig};
 pub use metrics::{LatencyHistogram, LatencySummary};
-pub use parallel::{drive_parallel, ParallelReport};
+pub use parallel::{
+    drive_incremental, drive_parallel, sweep_parallel, IncrementalReport, ParallelReport,
+};
 pub use text::{GeoMessage, KeywordQuery, TextStreamGenerator, Topic, TopicBurst, Vocabulary};
-pub use window::SlidingWindowEngine;
+pub use window::{DirtyCellTracker, SlidingWindowEngine};

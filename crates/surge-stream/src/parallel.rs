@@ -1,21 +1,31 @@
-//! Parallel fan-out driver.
+//! Parallel execution: detector fan-out and dirty-cell sweep fan-out.
 //!
-//! Comparing detectors (the core of the paper's evaluation) means feeding the
-//! *same* event stream to several of them. Running them sequentially repeats
-//! the window-engine work and serializes wall-clock time; this module expands
-//! the stream once and fans the events out to one worker thread per detector
-//! over bounded channels.
+//! Two independent parallelism axes live here:
 //!
-//! Every detector sees the identical, totally-ordered event sequence, so
-//! results are bit-for-bit the same as a sequential run — parallelism only
-//! changes wall-clock time. Back-pressure from the bounded channels keeps the
-//! expansion from racing ahead of slow detectors unboundedly.
+//! * [`drive_parallel`] — comparing detectors (the core of the paper's
+//!   evaluation) means feeding the *same* event stream to several of them.
+//!   The stream is expanded once and fanned out to one worker thread per
+//!   detector over bounded channels.
+//! * [`sweep_parallel`] / [`drive_incremental`] — *within* one exact
+//!   detector, a window slide leaves a set of dirty cells whose SL-CSPOT
+//!   searches are pure, independent jobs
+//!   ([`IncrementalDetector`]). These fan out across a scoped
+//!   thread pool (std `thread::scope`; the build environment has no rayon,
+//!   and the work-chunked scoped loop below is what `par_iter` would
+//!   compile to for this shape anyway).
+//!
+//! In both cases results are bit-for-bit identical to a sequential run —
+//! parallelism only changes wall-clock time.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 
-use surge_core::{BurstDetector, DetectorStats, Event, RegionAnswer, SpatialObject, WindowConfig};
+use surge_core::{
+    BurstDetector, DetectorStats, Event, IncrementalDetector, RegionAnswer, SpatialObject,
+    WindowConfig,
+};
 
 use crate::metrics::{LatencyHistogram, LatencySummary};
 use crate::window::SlidingWindowEngine;
@@ -47,10 +57,7 @@ impl ParallelReport {
     }
 }
 
-fn worker(
-    mut detector: Box<dyn BurstDetector + Send>,
-    rx: Receiver<Vec<Event>>,
-) -> ParallelReport {
+fn worker(mut detector: Box<dyn BurstDetector + Send>, rx: Receiver<Vec<Event>>) -> ParallelReport {
     let mut latency = LatencyHistogram::new();
     let mut events = 0u64;
     for batch in rx.iter() {
@@ -123,6 +130,125 @@ pub fn drive_parallel(
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     })
+}
+
+/// Runs `f` over every job on up to `threads` scoped worker threads and
+/// returns the outcomes **in job order**.
+///
+/// Jobs are claimed one at a time from a shared atomic cursor (dynamic
+/// scheduling), so skewed per-job costs — some cells hold far more
+/// rectangles than others — still balance. `f` must be pure with respect to
+/// shared state; outcome order is restored by index, so results are
+/// identical to the sequential `jobs.iter().map(f)`.
+pub fn sweep_parallel<J, R, F>(jobs: &[J], threads: usize, f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs.len());
+    slots.resize_with(jobs.len(), || None);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    out.push((i, f(&jobs[i])));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job produces an outcome"))
+        .collect()
+}
+
+/// Per-slide counters of an incremental run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IncrementalReport {
+    /// Objects processed.
+    pub objects: u64,
+    /// Window-transition events processed.
+    pub events: u64,
+    /// Slides executed (snapshot → parallel sweep → install → answer).
+    pub slides: u64,
+    /// Dirty-cell jobs swept across all slides.
+    pub jobs: u64,
+    /// Largest single-slide job count.
+    pub max_jobs_per_slide: u64,
+    /// Detector counters at the end of the run.
+    pub stats: DetectorStats,
+}
+
+/// Drives `source` into an [`IncrementalDetector`], refreshing the
+/// continuous answer once per *slide* of `slide_objects` arrivals and
+/// fanning each slide's dirty-cell searches across `threads` workers.
+///
+/// Instead of letting `current()` search stale cells lazily one-by-one, each
+/// slide boundary snapshots every dirty cell (accumulated over the whole
+/// slide — deduplicated by the detector, so a cell touched by many events is
+/// swept once), executes the pure sweep jobs in parallel, installs the
+/// outcomes and *then* reads the answer, which finds every cell fresh. The
+/// answer after each slide is identical to the sequential driver's answer at
+/// the same stream position.
+pub fn drive_incremental<D>(
+    detector: &mut D,
+    windows: WindowConfig,
+    source: impl Iterator<Item = SpatialObject>,
+    slide_objects: usize,
+    threads: usize,
+) -> IncrementalReport
+where
+    D: IncrementalDetector + Sync,
+{
+    let mut engine = SlidingWindowEngine::new(windows);
+    let mut report = IncrementalReport::default();
+
+    let mut ctx = (detector, &mut report);
+    let objects = crate::driver::slide_loop(
+        &mut engine,
+        source,
+        slide_objects,
+        &mut ctx,
+        |(detector, report), ev| {
+            detector.on_event(ev);
+            report.events += 1;
+        },
+        |(detector, report)| {
+            let jobs = detector.snapshot_dirty_jobs();
+            report.slides += 1;
+            report.jobs += jobs.len() as u64;
+            report.max_jobs_per_slide = report.max_jobs_per_slide.max(jobs.len() as u64);
+            let det: &D = detector;
+            let outcomes = sweep_parallel(&jobs, threads, |j| det.run_job(j));
+            detector.install_outcomes(outcomes);
+            let _ = detector.current();
+        },
+    );
+
+    let stats = ctx.0.stats();
+    report.objects = objects;
+    report.stats = stats;
+    report
 }
 
 #[cfg(test)]
@@ -237,6 +363,119 @@ mod tests {
     #[should_panic(expected = "at least one detector")]
     fn empty_detector_list_rejected() {
         let _ = drive_parallel(vec![], WindowConfig::equal(100), stream(1).into_iter());
+    }
+
+    #[test]
+    fn sweep_parallel_preserves_job_order() {
+        let jobs: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = sweep_parallel(&jobs, threads, |j| j * j);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_parallel_handles_empty_and_single() {
+        let empty: Vec<u64> = vec![];
+        assert!(sweep_parallel(&empty, 4, |j| *j).is_empty());
+        assert_eq!(sweep_parallel(&[7u64], 4, |j| *j + 1), vec![8]);
+    }
+
+    /// Toy incremental detector: per-cell sums with deferred "search" jobs.
+    struct ToyIncremental {
+        current: f64,
+        dirty: bool,
+        refreshed: u64,
+        seen: u64,
+    }
+
+    impl BurstDetector for ToyIncremental {
+        fn on_event(&mut self, event: &Event) {
+            self.seen += 1;
+            if event.kind == EventKind::New {
+                self.current += event.object.weight;
+            }
+            self.dirty = true;
+        }
+        fn current(&mut self) -> Option<RegionAnswer> {
+            Some(RegionAnswer::from_point(
+                Point::new(0.0, 0.0),
+                surge_core::RegionSize::new(1.0, 1.0),
+                self.current,
+            ))
+        }
+        fn name(&self) -> &'static str {
+            "toy-incremental"
+        }
+        fn stats(&self) -> DetectorStats {
+            DetectorStats {
+                events: self.seen,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl IncrementalDetector for ToyIncremental {
+        type Job = f64;
+        type Outcome = f64;
+        fn snapshot_dirty_jobs(&self) -> Vec<f64> {
+            if self.dirty {
+                vec![self.current]
+            } else {
+                Vec::new()
+            }
+        }
+        fn run_job(&self, job: &f64) -> f64 {
+            *job * 2.0
+        }
+        fn install_outcomes(&mut self, outcomes: Vec<f64>) {
+            self.refreshed += outcomes.len() as u64;
+            self.dirty = false;
+        }
+    }
+
+    #[test]
+    fn drive_incremental_flushes_each_slide() {
+        let mut det = ToyIncremental {
+            current: 0.0,
+            dirty: false,
+            refreshed: 0,
+            seen: 0,
+        };
+        let report = drive_incremental(
+            &mut det,
+            WindowConfig::equal(1_000),
+            stream(100).into_iter(),
+            10,
+            4,
+        );
+        assert_eq!(report.objects, 100);
+        assert_eq!(report.slides, 10);
+        assert_eq!(report.jobs, 10); // one dirty job per slide
+        assert_eq!(det.refreshed, 10);
+        assert!(!det.dirty);
+        assert!(report.events >= 100);
+        assert_eq!(report.stats.events, report.events);
+    }
+
+    #[test]
+    fn drive_incremental_partial_last_slide() {
+        let mut det = ToyIncremental {
+            current: 0.0,
+            dirty: false,
+            refreshed: 0,
+            seen: 0,
+        };
+        let report = drive_incremental(
+            &mut det,
+            WindowConfig::equal(1_000),
+            stream(25).into_iter(),
+            10,
+            2,
+        );
+        assert_eq!(report.slides, 3); // 10 + 10 + 5
+        assert_eq!(report.max_jobs_per_slide, 1);
     }
 
     #[test]

@@ -74,9 +74,11 @@ impl Vocabulary {
         Vocabulary::new(vec![
             Topic {
                 name: "chatter".into(),
-                words: ["coffee", "monday", "traffic", "lol", "weather", "lunch", "game"]
-                    .map(String::from)
-                    .to_vec(),
+                words: [
+                    "coffee", "monday", "traffic", "lol", "weather", "lunch", "game",
+                ]
+                .map(String::from)
+                .to_vec(),
             },
             Topic {
                 name: "outbreak".into(),
@@ -95,7 +97,10 @@ impl Vocabulary {
 
     /// Looks up a word's id.
     pub fn word_id(&self, word: &str) -> Option<WordId> {
-        self.words.iter().position(|w| w == word).map(|i| i as WordId)
+        self.words
+            .iter()
+            .position(|w| w == word)
+            .map(|i| i as WordId)
     }
 
     /// Looks up a topic's index by name.
@@ -464,11 +469,8 @@ mod tests {
             4,
         );
         let kq = KeywordQuery::new(&v, &["zika", "fever", "mosquito"], 100.0, 0.0);
-        let query = SurgeQuery::whole_space(
-            RegionSize::new(1.0, 1.0),
-            WindowConfig::equal(60_000),
-            0.5,
-        );
+        let query =
+            SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), WindowConfig::equal(60_000), 0.5);
         let mut det = surge_exact_stub::CellCspotStub::new();
         // Use the real detector via the oracle-free path: feed weighted
         // objects through the window engine and check the final answer sits
@@ -557,7 +559,7 @@ mod tests {
                         }
                     }
                     let score = params.score_weights(wc, wp);
-                    if best.as_ref().map_or(true, |b| score > b.score) {
+                    if best.as_ref().is_none_or(|b| score > b.score) {
                         best = Some(RegionAnswer::from_point(p, self.query.region, score));
                     }
                 }

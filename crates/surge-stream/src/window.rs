@@ -7,9 +7,11 @@
 //! `Grown` / `Expired` events, interleaved in transition-time order, followed
 //! by the `New` event for the arriving object.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
-use surge_core::{Event, SpatialObject, Timestamp, WindowConfig};
+use surge_core::{
+    object_to_rect, CellId, Event, GridSpec, RegionSize, SpatialObject, Timestamp, WindowConfig,
+};
 
 /// The sliding-window engine: turns timestamp-ordered spatial objects into a
 /// window-transition event stream.
@@ -117,8 +119,14 @@ impl SlidingWindowEngine {
         loop {
             // Earliest pending transition: front of `current` grows at
             // t_c + |W_c|; front of `past` expires at t_c + |W_c| + |W_p|.
-            let grow_at = self.current.front().map(|o| self.windows.grow_time(o.created));
-            let expire_at = self.past.front().map(|o| self.windows.expire_time(o.created));
+            let grow_at = self
+                .current
+                .front()
+                .map(|o| self.windows.grow_time(o.created));
+            let expire_at = self
+                .past
+                .front()
+                .map(|o| self.windows.expire_time(o.created));
             match (grow_at, expire_at) {
                 (Some(g), Some(x)) if g <= t && g <= x => self.grow_front(&mut events, g),
                 (Some(g), None) if g <= t => self.grow_front(&mut events, g),
@@ -149,6 +157,62 @@ impl SlidingWindowEngine {
     /// A snapshot of the objects currently in the past window.
     pub fn past_objects(&self) -> impl Iterator<Item = &SpatialObject> {
         self.past.iter()
+    }
+}
+
+/// Tracks which grid cells a batch of window-transition events touches
+/// ("dirty" cells), so a slide's maintenance cost can be attributed to the
+/// affected cells instead of a wholesale re-computation.
+///
+/// Events are mapped through the SURGE→cSPOT reduction: an object's event
+/// dirties exactly the cells its reduced rectangle overlaps — the same cells
+/// the exact detectors update. Deduplication is automatic: a cell touched by
+/// many events in one slide is reported once.
+#[derive(Debug, Clone)]
+pub struct DirtyCellTracker {
+    grid: GridSpec,
+    region: RegionSize,
+    dirty: BTreeSet<CellId>,
+    /// Total events observed since the last [`drain`](Self::drain).
+    events: u64,
+}
+
+impl DirtyCellTracker {
+    /// A tracker for the query-sized grid anchored at the origin (the grid
+    /// every exact detector uses for a `region`-sized query).
+    pub fn new(region: RegionSize) -> Self {
+        DirtyCellTracker {
+            grid: GridSpec::anchored(region.width, region.height),
+            region,
+            dirty: BTreeSet::new(),
+            events: 0,
+        }
+    }
+
+    /// Marks the cells affected by `event` dirty.
+    pub fn note(&mut self, event: &Event) {
+        self.events += 1;
+        let g = object_to_rect(&event.object, self.region);
+        for id in self.grid.cells_overlapping_iter(&g.rect) {
+            self.dirty.insert(id);
+        }
+    }
+
+    /// Number of distinct dirty cells accumulated so far.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Events observed since the last drain.
+    pub fn event_count(&self) -> u64 {
+        self.events
+    }
+
+    /// Returns the accumulated dirty cells in ascending id order and resets
+    /// the tracker for the next slide.
+    pub fn drain(&mut self) -> Vec<CellId> {
+        self.events = 0;
+        std::mem::take(&mut self.dirty).into_iter().collect()
     }
 }
 
@@ -296,5 +360,50 @@ mod tests {
         eng.push(obj(0, 500));
         assert!(eng.advance_to(10).is_empty());
         assert_eq!(eng.now(), 500);
+    }
+}
+
+#[cfg(test)]
+mod dirty_tests {
+    use super::*;
+    use surge_core::{Point, RegionSize};
+
+    fn ev(id: u64, x: f64, y: f64, t: Timestamp) -> Event {
+        Event::new_arrival(SpatialObject::new(id, 1.0, Point::new(x, y), t))
+    }
+
+    #[test]
+    fn dedupes_cells_within_a_slide() {
+        let mut tr = DirtyCellTracker::new(RegionSize::new(1.0, 1.0));
+        // Two objects in the same unit cell: same reduced-rect cell set.
+        tr.note(&ev(0, 0.5, 0.5, 0));
+        tr.note(&ev(1, 0.5, 0.5, 1));
+        assert_eq!(tr.event_count(), 2);
+        let cells = tr.drain();
+        // A generic-position query rect overlaps 4 cells (Lemma 1).
+        assert_eq!(cells.len(), 4);
+        assert_eq!(tr.dirty_count(), 0);
+        assert_eq!(tr.event_count(), 0);
+    }
+
+    #[test]
+    fn distant_objects_dirty_disjoint_cells() {
+        let mut tr = DirtyCellTracker::new(RegionSize::new(1.0, 1.0));
+        tr.note(&ev(0, 0.5, 0.5, 0));
+        let near = tr.dirty_count();
+        tr.note(&ev(1, 50.5, 50.5, 1));
+        assert_eq!(tr.dirty_count(), near * 2);
+    }
+
+    #[test]
+    fn drain_is_sorted_and_resets() {
+        let mut tr = DirtyCellTracker::new(RegionSize::new(1.0, 1.0));
+        tr.note(&ev(0, 10.5, 0.5, 0));
+        tr.note(&ev(1, -10.5, 0.5, 1));
+        let cells = tr.drain();
+        let mut sorted = cells.clone();
+        sorted.sort_unstable();
+        assert_eq!(cells, sorted);
+        assert!(tr.drain().is_empty());
     }
 }

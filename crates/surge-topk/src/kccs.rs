@@ -118,7 +118,9 @@ impl KCellCspot {
     }
 
     fn refresh_key(&mut self, id: CellId, level: usize) {
-        let Some(cell) = self.cells.get(&id) else { return };
+        let Some(cell) = self.cells.get(&id) else {
+            return;
+        };
         let new_key = self.key_for(cell, level);
         let old_key = cell.keys[level];
         if new_key != old_key || !self.queues[level].contains(&(new_key, id)) {
@@ -234,7 +236,9 @@ impl KCellCspot {
     /// cells for the affected level range.
     fn set_level(&mut self, rid: ObjectId, new_lvl: usize) {
         let (old_lvl, w, kind, cells) = {
-            let Some(r) = self.rects.get_mut(&rid) else { return };
+            let Some(r) = self.rects.get_mut(&rid) else {
+                return;
+            };
             let old = r.lvl;
             if old == new_lvl {
                 return;
@@ -264,9 +268,8 @@ impl KCellCspot {
                                 cell.ud[j] += w / params.current_norm;
                             }
                             if let KState::Valid(c) = &mut cell.cand[j] {
-                                let increasing = c.wc / params.current_norm
-                                    - c.wp / params.past_norm
-                                    > 0.0;
+                                let increasing =
+                                    c.wc / params.current_norm - c.wp / params.past_norm > 0.0;
                                 if rect.contains(c.point) && increasing {
                                     c.wc += w;
                                 } else {
@@ -297,9 +300,8 @@ impl KCellCspot {
                                 cell.ud[j] += params.alpha * w / params.past_norm;
                             }
                             if let KState::Valid(c) = &mut cell.cand[j] {
-                                let increasing = c.wc / params.current_norm
-                                    - c.wp / params.past_norm
-                                    > 0.0;
+                                let increasing =
+                                    c.wc / params.current_norm - c.wp / params.past_norm > 0.0;
                                 if rect.contains(c.point) && increasing {
                                     c.wp -= w;
                                 } else {
@@ -382,7 +384,10 @@ impl KCellCspot {
                 Some(KState::Valid(c)) => {
                     let s = self.params.score_weights(c.wc, c.wp);
                     if s > floor {
-                        best = Some(Bursty { point: c.point, score: s });
+                        best = Some(Bursty {
+                            point: c.point,
+                            score: s,
+                        });
                     }
                     cursor = Some((key, id));
                 }
@@ -433,12 +438,13 @@ impl KCellCspot {
             // Rule 1 (line 15): rectangles pinned at this level by the OLD
             // point that no longer cover the NEW point become fully visible.
             if let Some(old) = pold {
-                let moved = pnew.map_or(true, |n| {
-                    !(n.point.x == old.point.x && n.point.y == old.point.y)
-                });
+                let moved =
+                    pnew.is_none_or(|n| !(n.point.x == old.point.x && n.point.y == old.point.y));
                 if moved || pnew.is_none() {
                     for rid in self.covering(old.point) {
-                        let Some(r) = self.rects.get(&rid) else { continue };
+                        let Some(r) = self.rects.get(&rid) else {
+                            continue;
+                        };
                         if r.lvl == i + 1 {
                             let still = pnew.is_some_and(|n| r.sweep.rect.contains(n.point));
                             if !still {
@@ -452,7 +458,9 @@ impl KCellCspot {
             // visible to this problem get pinned here.
             if let Some(new) = pnew {
                 for rid in self.covering(new.point) {
-                    let Some(r) = self.rects.get(&rid) else { continue };
+                    let Some(r) = self.rects.get(&rid) else {
+                        continue;
+                    };
                     if r.lvl > i + 1 {
                         self.set_level(rid, i + 1);
                     }

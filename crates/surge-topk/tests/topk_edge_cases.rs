@@ -173,7 +173,12 @@ fn expired_clusters_leave_topk() {
         }
     }
     for i in 0..10u64 {
-        for ev in engine.push(SpatialObject::new(100 + i, 1.0, Point::new(50.0, 0.0), 10_000 + i)) {
+        for ev in engine.push(SpatialObject::new(
+            100 + i,
+            1.0,
+            Point::new(50.0, 0.0),
+            10_000 + i,
+        )) {
             det.on_event(&ev);
         }
     }

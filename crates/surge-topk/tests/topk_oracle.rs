@@ -40,8 +40,7 @@ fn object_stream(max_len: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
 }
 
 fn check_kccs(objects: &[SpatialObject], alpha: f64, k: usize) {
-    let query =
-        SurgeQuery::whole_space(RegionSize::new(0.5, 0.5), WindowConfig::equal(120), alpha);
+    let query = SurgeQuery::whole_space(RegionSize::new(0.5, 0.5), WindowConfig::equal(120), alpha);
     let mut engine = SlidingWindowEngine::new(query.windows);
     let mut det = KCellCspot::new(query, k);
     for (step, obj) in objects.iter().enumerate() {

@@ -41,8 +41,8 @@ fn main() {
         .map(|o| {
             let dx = o.pos.x - outbreak_center.x;
             let dy = o.pos.y - outbreak_center.y;
-            let symptomatic = burst.active_at(o.created)
-                && (dx * dx + dy * dy).sqrt() < 4.0 * burst.sigma;
+            let symptomatic =
+                burst.active_at(o.created) && (dx * dx + dy * dy).sqrt() < 4.0 * burst.sigma;
             let weight = if symptomatic {
                 80.0 + (o.id % 21) as f64
             } else {
@@ -64,7 +64,9 @@ fn main() {
         if i % 500 != 0 {
             continue;
         }
-        let Some(ans) = detector.current() else { continue };
+        let Some(ans) = detector.current() else {
+            continue;
+        };
         peak_score = peak_score.max(ans.score);
         let c = ans.region.center();
         let near = ((c.x - outbreak_center.x).powi(2) + (c.y - outbreak_center.y).powi(2)).sqrt()

@@ -7,11 +7,8 @@ use surge::prelude::*;
 fn main() {
     // A query: 2×2 regions, 10-second current/past windows, α = 0.6
     // (lean toward burstiness over raw volume).
-    let query = SurgeQuery::whole_space(
-        RegionSize::new(2.0, 2.0),
-        WindowConfig::equal(10_000),
-        0.6,
-    );
+    let query =
+        SurgeQuery::whole_space(RegionSize::new(2.0, 2.0), WindowConfig::equal(10_000), 0.6);
 
     // The exact detector and the sliding-window engine.
     let mut detector = CellCspot::new(query);
@@ -30,7 +27,12 @@ fn main() {
     for t in (12_000..20_000u64).step_by(250) {
         let dx = (id % 3) as f64 * 0.4;
         let dy = (id % 5) as f64 * 0.3;
-        stream.push(SpatialObject::new(id, 1.0, Point::new(50.0 + dx, 50.0 + dy), t));
+        stream.push(SpatialObject::new(
+            id,
+            1.0,
+            Point::new(50.0 + dx, 50.0 + dy),
+            t,
+        ));
         id += 1;
     }
     stream.sort_by_key(|o| o.created);

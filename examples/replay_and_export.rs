@@ -68,7 +68,10 @@ fn main() {
     }
     let replay = replayed.current().expect("replay answer");
     assert_eq!(replay.score.to_bits(), live.score.to_bits());
-    println!("replayed answer matches live run bit-for-bit (score {:.6})", live.score);
+    println!(
+        "replayed answer matches live run bit-for-bit (score {:.6})",
+        live.score
+    );
 
     // 5. Export the detection as GeoJSON for any map viewer.
     let geojson_path = dir.join("detections.geojson");

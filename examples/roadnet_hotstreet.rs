@@ -43,7 +43,7 @@ fn main() {
     while t < 360_000 {
         t += 137;
         let in_rush_window = (120_000..240_000).contains(&t);
-        let rushing = in_rush_window && id % 2 == 0;
+        let rushing = in_rush_window && id.is_multiple_of(2);
         let pos = if rushing {
             Point::new(
                 rush_center.x + ((id * 29) % 60) as f64 - 30.0,

@@ -54,8 +54,14 @@ fn main() {
     }
 
     let (t, top_exact, top_approx) = snapshot.expect("stream covers the burst");
-    println!("top-{k} bursty regions at t={:.0}min:\n", t as f64 / 60_000.0);
-    println!("{:<6}{:>24}{:>14}{:>26}", "rank", "kCCS region center", "score", "kMGAPS center (score)");
+    println!(
+        "top-{k} bursty regions at t={:.0}min:\n",
+        t as f64 / 60_000.0
+    );
+    println!(
+        "{:<6}{:>24}{:>14}{:>26}",
+        "rank", "kCCS region center", "score", "kMGAPS center (score)"
+    );
     for i in 0..k {
         let e = top_exact.get(i);
         let a = top_approx.get(i);
@@ -67,7 +73,8 @@ fn main() {
             "{:<6}{:>24}{:>14}{:>26}",
             i + 1,
             e.map(fmt_c).unwrap_or_else(|| "-".into()),
-            e.map(|r| format!("{:.3e}", r.score)).unwrap_or_else(|| "-".into()),
+            e.map(|r| format!("{:.3e}", r.score))
+                .unwrap_or_else(|| "-".into()),
             a.map(|r| format!("{} ({:.3e})", fmt_c(r), r.score))
                 .unwrap_or_else(|| "-".into()),
         );
@@ -81,6 +88,9 @@ fn main() {
     }
     let c = top_exact[0].region.center();
     let d0 = ((c.x - spots[0].0.x).powi(2) + (c.y - spots[0].0.y).powi(2)).sqrt();
-    println!("\nstrongest spike localized to within {:.4}° of injection", d0);
+    println!(
+        "\nstrongest spike localized to within {:.4}° of injection",
+        d0
+    );
     assert!(d0 < 0.02, "top-1 should localize the strongest spike");
 }

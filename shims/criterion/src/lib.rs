@@ -1,0 +1,250 @@
+//! Offline shim for the `criterion` benchmarking crate.
+//!
+//! Implements the API surface the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!` — with a simple but honest
+//! measurement loop: each benchmark is warmed up, then timed over enough
+//! iterations to fill a fixed measurement budget, and the per-iteration
+//! mean/min are printed. No statistical analysis, plots or comparison with
+//! saved baselines.
+//!
+//! Bench binaries must set `harness = false` (they do), so `cargo bench`
+//! runs these `main`s directly; under `cargo test` the benches only
+//! smoke-run one iteration per benchmark to stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    group: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group (kept for API parity; the
+    /// shim uses it to scale its measurement budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.group, id.label);
+        run_one(&label, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks `f` under a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.group, name);
+        run_one(&label, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    pub last_mean_ns: f64,
+    /// Minimum nanoseconds per iteration of the last `iter` call.
+    pub last_min_ns: f64,
+    budget: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up doubles as calibration for the iteration count.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = self.budget.unwrap_or(Duration::from_millis(300));
+        let runs = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut min = f64::INFINITY;
+        let mut total = Duration::ZERO;
+        let mut done = 0u64;
+        while done < runs {
+            let t = Instant::now();
+            black_box(f());
+            let dt = t.elapsed();
+            total += dt;
+            min = min.min(dt.as_nanos() as f64);
+            done += 1;
+            if total > budget * 2 {
+                break;
+            }
+        }
+        self.last_mean_ns = total.as_nanos() as f64 / done as f64;
+        self.last_min_ns = min;
+    }
+}
+
+fn run_one(
+    label: &str,
+    _sample_size: usize,
+    measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let budget = if smoke_test_mode() {
+        Duration::ZERO // calibration run only: one timed iteration
+    } else {
+        measurement_time
+    };
+    let mut b = Bencher {
+        budget: Some(budget),
+        ..Default::default()
+    };
+    f(&mut b);
+    println!(
+        "  {label}: mean {:.1} ns/iter, min {:.1} ns/iter",
+        b.last_mean_ns, b.last_min_ns
+    );
+}
+
+/// Under `cargo test` the bench binaries are compiled and run with
+/// `--test` appended; treat that as a smoke run.
+fn smoke_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_measures() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_stats() {
+        let mut b = Bencher::default();
+        b.iter(|| std::thread::sleep(std::time::Duration::from_micros(10)));
+        assert!(b.last_mean_ns >= 10_000.0 * 0.5);
+        assert!(b.last_min_ns <= b.last_mean_ns * 1.01);
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline shim for `crossbeam-channel`.
+//!
+//! The workspace only uses bounded MPSC channels (`bounded`, `Sender::send`,
+//! `Receiver::iter`), which `std::sync::mpsc`'s rendezvous-capable
+//! `sync_channel` covers exactly, so this shim is a thin re-export. The
+//! semantics the callers rely on hold: `send` blocks when the channel is
+//! full (back-pressure) and `iter` drains until every sender is dropped.
+
+pub use std::sync::mpsc::Receiver;
+
+/// Bounded blocking sender (crossbeam's `Sender` for a bounded channel).
+pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+/// Creates a bounded channel with capacity `cap`.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::sync_channel(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bounded;
+
+    #[test]
+    fn roundtrip_and_close() {
+        let (tx, rx) = bounded::<u32>(4);
+        let tx2 = tx.clone();
+        std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        std::thread::spawn(move || {
+            for i in 10..20 {
+                tx2.send(i).unwrap();
+            }
+        });
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+}

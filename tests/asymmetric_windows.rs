@@ -14,7 +14,9 @@ fn random_stream(n: usize, seed: u64, span_ms: u64, extent: f64) -> Vec<SpatialO
     // Small deterministic LCG so the test does not depend on rand's stream.
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     let mut objs: Vec<SpatialObject> = (0..n)
@@ -36,7 +38,10 @@ fn check_exact_against_oracle(windows: WindowConfig, seed: u64) {
     let query = SurgeQuery::whole_space(RegionSize::new(2.0, 2.0), windows, 0.5);
     let mut det = CellCspot::new(query);
     let mut engine = SlidingWindowEngine::new(windows);
-    for (step, obj) in random_stream(400, seed, 6_000, 20.0).into_iter().enumerate() {
+    for (step, obj) in random_stream(400, seed, 6_000, 20.0)
+        .into_iter()
+        .enumerate()
+    {
         for ev in engine.push(obj) {
             det.on_event(&ev);
         }

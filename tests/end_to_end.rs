@@ -38,8 +38,14 @@ fn exact_detectors_agree_on_dataset_stream() {
         let b = base.current().map(|r| r.score).unwrap_or(0.0);
         let c = ag2.current().map(|r| r.score).unwrap_or(0.0);
         let scale = a.abs().max(1e-12);
-        assert!((a - b).abs() <= 1e-9 * scale, "step {i}: CCS {a} vs Base {b}");
-        assert!((a - c).abs() <= 1e-9 * scale, "step {i}: CCS {a} vs aG2 {c}");
+        assert!(
+            (a - b).abs() <= 1e-9 * scale,
+            "step {i}: CCS {a} vs Base {b}"
+        );
+        assert!(
+            (a - c).abs() <= 1e-9 * scale,
+            "step {i}: CCS {a} vs aG2 {c}"
+        );
     }
 }
 
@@ -69,7 +75,10 @@ fn approximate_detectors_respect_guarantee_on_dataset_stream() {
         let m = mgaps.current().map(|r| r.score).unwrap_or(0.0);
         assert!(g >= ratio * opt.score - 1e-12, "step {i}: GAPS {g} < bound");
         assert!(m >= g - 1e-12, "step {i}: MGAPS {m} < GAPS {g}");
-        assert!(m <= opt.score + 1e-9 * opt.score, "step {i}: MGAPS {m} > OPT");
+        assert!(
+            m <= opt.score + 1e-9 * opt.score,
+            "step {i}: MGAPS {m} > OPT"
+        );
         checked += 1;
     }
     assert!(checked > 10, "expected many checkpoints, got {checked}");
@@ -167,8 +176,7 @@ fn burst_injection_is_detected_end_to_end() {
         duration: 20 * 60_000,
         intensity: 0.6,
     };
-    let stream =
-        StreamGenerator::new(dataset.workload(15_000, 21).with_burst(burst)).generate();
+    let stream = StreamGenerator::new(dataset.workload(15_000, 21).with_burst(burst)).generate();
     let mut det = CellCspot::new(query);
     let mut windows = SlidingWindowEngine::new(query.windows);
     let mut hits = 0;
@@ -181,9 +189,7 @@ fn burst_injection_is_detected_end_to_end() {
         if i % 50 != 0 {
             continue;
         }
-        if t > burst.start + query.windows.current_len / 2
-            && t < burst.start + burst.duration
-        {
+        if t > burst.start + query.windows.current_len / 2 && t < burst.start + burst.duration {
             if let Some(a) = det.current() {
                 let c = a.region.center();
                 let d = ((c.x - burst.center.x).powi(2) + (c.y - burst.center.y).powi(2)).sqrt();

@@ -30,10 +30,7 @@ fn vocabulary() -> Vocabulary {
 
 /// A Taxi-extent workload with one spatial burst that carries the outbreak
 /// topic.
-fn outbreak_stream(
-    n: usize,
-    seed: u64,
-) -> (Vec<GeoMessage>, Point, u64, u64, Vocabulary) {
+fn outbreak_stream(n: usize, seed: u64) -> (Vec<GeoMessage>, Point, u64, u64, Vocabulary) {
     let dataset = Dataset::Taxi;
     let center = Point::new(12.7, 42.05);
     let rate = dataset.spec().rate_per_hour;
@@ -105,7 +102,10 @@ fn keyword_weighting_detects_topical_outbreak() {
             }
         }
     }
-    assert!(relevant > 100, "keyword filter kept only {relevant} messages");
+    assert!(
+        relevant > 100,
+        "keyword filter kept only {relevant} messages"
+    );
     assert!(total > 20, "too few checkpoints: {total}");
     assert!(
         hits as f64 / total as f64 > 0.8,

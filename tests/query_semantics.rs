@@ -10,12 +10,22 @@ fn small_stream() -> Vec<SpatialObject> {
     // steady: arrivals throughout [0, 4000] — 25 per window (wc = 50), the
     // same weight sitting in the past window (fp = fc, zero burstiness).
     for t in (0..4_000).step_by(40) {
-        out.push(SpatialObject::new(id, 2.0, Point::new(1.0 + (id % 3) as f64 * 0.1, 1.0), t));
+        out.push(SpatialObject::new(
+            id,
+            2.0,
+            Point::new(1.0 + (id % 3) as f64 * 0.1, 1.0),
+            t,
+        ));
         id += 1;
     }
     // burst: arrivals only in [3000, 4000]
     for t in (3_000..4_000).step_by(50) {
-        out.push(SpatialObject::new(id, 2.0, Point::new(8.0 + (id % 2) as f64 * 0.1, 8.0), t));
+        out.push(SpatialObject::new(
+            id,
+            2.0,
+            Point::new(8.0 + (id % 2) as f64 * 0.1, 8.0),
+            t,
+        ));
         id += 1;
     }
     out.sort_by_key(|o| o.created);
@@ -37,16 +47,10 @@ fn alpha_steers_every_detector_between_volume_and_burstiness() {
     let stream = small_stream();
     // At the end: the steady cluster has high fc AND high fp; the burst has
     // moderate fc and zero fp. Low α favours volume, high α the clean burst.
-    let query_low = SurgeQuery::whole_space(
-        RegionSize::new(1.0, 1.0),
-        WindowConfig::equal(1_000),
-        0.0,
-    );
-    let query_high = SurgeQuery::whole_space(
-        RegionSize::new(1.0, 1.0),
-        WindowConfig::equal(1_000),
-        0.9,
-    );
+    let query_low =
+        SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), WindowConfig::equal(1_000), 0.0);
+    let query_high =
+        SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), WindowConfig::equal(1_000), 0.9);
     for (make, name) in [
         (
             (|q: SurgeQuery| Box::new(CellCspot::new(q)) as Box<dyn BurstDetector>)
@@ -122,11 +126,8 @@ fn unequal_windows_are_supported_by_all_detectors() {
 #[test]
 fn answers_are_well_formed() {
     let stream = small_stream();
-    let query = SurgeQuery::whole_space(
-        RegionSize::new(1.5, 0.75),
-        WindowConfig::equal(1_000),
-        0.3,
-    );
+    let query =
+        SurgeQuery::whole_space(RegionSize::new(1.5, 0.75), WindowConfig::equal(1_000), 0.3);
     let detectors: Vec<Box<dyn BurstDetector>> = vec![
         Box::new(CellCspot::new(query)),
         Box::new(BaseDetector::new(query)),
@@ -140,18 +141,16 @@ fn answers_are_well_formed() {
         assert!(ans.score >= 0.0);
         assert!((ans.region.width() - 1.5).abs() < 1e-9, "{}", det.name());
         assert!((ans.region.height() - 0.75).abs() < 1e-9, "{}", det.name());
-        assert!(ans.region.contains(ans.point) || ans.point == Point::new(ans.region.x1, ans.region.y1));
+        assert!(
+            ans.region.contains(ans.point) || ans.point == Point::new(ans.region.x1, ans.region.y1)
+        );
     }
 }
 
 #[test]
 fn all_topk_detectors_return_sorted_disjoint_objects_answers() {
     let stream = small_stream();
-    let query = SurgeQuery::whole_space(
-        RegionSize::new(1.0, 1.0),
-        WindowConfig::equal(1_000),
-        0.5,
-    );
+    let query = SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), WindowConfig::equal(1_000), 0.5);
     let mut kccs = KCellCspot::new(query, 3);
     let mut kgaps = KGapSurge::new(query, 3);
     let mut kmgaps = KMgapSurge::new(query, 3);
