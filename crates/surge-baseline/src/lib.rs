@@ -103,7 +103,9 @@ impl Ag2 {
     }
 
     fn handle_new(&mut self, id: ObjectId, sweep: SweepRect) {
-        let cells = self.grid.cells_overlapping(&sweep.rect);
+        // Stored in the entry afterwards, so collect the (allocation-free)
+        // overlap iterator once.
+        let cells: Vec<CellId> = self.grid.cells_overlapping_iter(&sweep.rect).collect();
         // Candidate neighbours: all members of the overlapped coarse cells.
         let mut neighbours: HashSet<ObjectId> = HashSet::new();
         for c in &cells {

@@ -16,7 +16,10 @@
 //!   case-study             §VII-G    burst localization
 //!   latency                extension: per-event tail-latency table
 //!   roadnet                extension: road-network segment-length sweep
-//!   sweep-bench            naive vs segment-tree sweep; writes BENCH_sweep.json
+//!   sweep-bench            naive vs segment-tree sweep + flat vs recursive
+//!                          segment tree; writes BENCH_sweep.json
+//!   shard-bench            sharded ingest vs sequential driver; writes
+//!                          BENCH_shard.json
 //!   all                    everything above
 //!
 //! Options:
@@ -104,7 +107,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|all> \
+    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|all> \
      [--axis window|rect|k] [--objects N] [--heavy N] [--naive N] [--seed S] \
      [--datasets uk,us,taxi] [--fast] [--paper]"
         .to_string()
@@ -117,6 +120,18 @@ fn run_sweep_bench(cfg: &ExpConfig) -> Result<(), String> {
     print!("{}", print::sweep_bench(&rows));
     let json = print::sweep_bench_json(&rows);
     let path = "BENCH_sweep.json";
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# wrote {path}");
+    Ok(())
+}
+
+/// Runs the shard-scaling experiment, printing the table and writing
+/// `BENCH_shard.json` to the working directory.
+fn run_shard_bench(cfg: &ExpConfig) -> Result<(), String> {
+    let rows = experiments::shard_bench(cfg);
+    print!("{}", print::shard_bench(&rows));
+    let json = print::shard_bench_json(&rows);
+    let path = "BENCH_shard.json";
     std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("# wrote {path}");
     Ok(())
@@ -205,6 +220,7 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "roadnet" => print!("{}", print::roadnet(&experiments::roadnet_sweep(cfg))),
         "sweep-bench" => run_sweep_bench(cfg)?,
+        "shard-bench" => run_shard_bench(cfg)?,
         "all" => {
             print!("{}", print::table1(&experiments::table1(cfg)));
             print!(
@@ -265,6 +281,7 @@ fn run(args: &Args) -> Result<(), String> {
             );
             print!("{}", print::roadnet(&experiments::roadnet_sweep(cfg)));
             run_sweep_bench(cfg)?;
+            run_shard_bench(cfg)?;
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
     }

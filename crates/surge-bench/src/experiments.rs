@@ -980,10 +980,11 @@ pub fn roadnet_sweep(cfg: &ExpConfig) -> Vec<RoadnetRow> {
 }
 
 /// One row of the sweep micro-benchmark: naive vs segment-tree SL-CSPOT on
-/// identical scenes of `n` rectangles.
+/// identical scenes of `n` rectangles, plus the flat-vs-recursive segment
+/// tree comparison at the same `n`.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepBenchRow {
-    /// Rectangles per scene.
+    /// Rectangles per scene (and leaves per tree in the tree columns).
     pub n: usize,
     /// Mean microseconds per naive `O(n²)` sweep.
     pub naive_us: f64,
@@ -991,13 +992,72 @@ pub struct SweepBenchRow {
     pub segtree_us: f64,
     /// `naive_us / segtree_us`.
     pub speedup: f64,
+    /// Mean microseconds per flat-tree interval-add workload.
+    pub tree_flat_us: f64,
+    /// Mean microseconds for the same workload on the recursive baseline.
+    pub tree_recursive_us: f64,
+    /// `tree_recursive_us / tree_flat_us`.
+    pub tree_speedup: f64,
+}
+
+/// Times one deterministic interval-add workload (3n adds + a `top()` each)
+/// on the flat iterative tree vs the retained recursive baseline at `n`
+/// leaves, cross-checking results every round.
+fn tree_bench(n: usize, seed: u64, reps: usize) -> (f64, f64) {
+    use surge_exact::{MaxAddTree, RecursiveMaxAddTree};
+
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let ops: Vec<(usize, usize, f64)> = (0..3 * n)
+        .map(|_| {
+            let a = next() as usize % n;
+            let b = next() as usize % n;
+            let v = (next() % 41) as f64 - 20.0;
+            (a.min(b), a.max(b), v)
+        })
+        .collect();
+
+    let mut t_flat = std::time::Duration::ZERO;
+    let mut t_rec = std::time::Duration::ZERO;
+    let mut acc_flat = 0.0f64;
+    let mut acc_rec = 0.0f64;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let mut flat = MaxAddTree::new(n);
+        for &(l, r, v) in &ops {
+            flat.add(l, r, v);
+            acc_flat += flat.top().0;
+        }
+        t_flat += t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let mut rec = RecursiveMaxAddTree::new(n);
+        for &(l, r, v) in &ops {
+            rec.add(l, r, v);
+            acc_rec += rec.top().0;
+        }
+        t_rec += t0.elapsed();
+    }
+    assert!(
+        acc_flat.to_bits() == acc_rec.to_bits(),
+        "tree mismatch at n={n}: {acc_flat} vs {acc_rec}"
+    );
+    (
+        t_flat.as_secs_f64() * 1e6 / reps as f64,
+        t_rec.as_secs_f64() * 1e6 / reps as f64,
+    )
 }
 
 /// Times [`surge_exact::sl_cspot`] (segment tree) against
 /// [`surge_exact::sl_cspot_naive`] on identical deterministic scenes at
-/// n ∈ {64, 256, 1024, 4096} — the comparison behind the PR's `≥ 5×` at
-/// n = 4096 acceptance bar. Scores are cross-checked every round so a
-/// regression in either sweep fails loudly rather than benching garbage.
+/// n ∈ {64, 256, 1024, 4096} — the comparison behind the PR-1 `≥ 5×` at
+/// n = 4096 acceptance bar — and the flat vs recursive tree workload at the
+/// same sizes. Scores are cross-checked every round so a regression in
+/// either implementation fails loudly rather than benching garbage.
 pub fn sweep_bench(cfg: &ExpConfig) -> Vec<SweepBenchRow> {
     use surge_core::{BurstParams, Rect, WindowKind};
     use surge_exact::{sl_cspot, sl_cspot_naive, SweepRect};
@@ -1059,14 +1119,177 @@ pub fn sweep_bench(cfg: &ExpConfig) -> Vec<SweepBenchRow> {
             }
             let naive_us = t_naive.as_secs_f64() * 1e6 / reps as f64;
             let segtree_us = t_seg.as_secs_f64() * 1e6 / reps as f64;
+            let (tree_flat_us, tree_recursive_us) = tree_bench(n, cfg.seed, reps.min(64));
             SweepBenchRow {
                 n,
                 naive_us,
                 segtree_us,
                 speedup: naive_us / segtree_us,
+                tree_flat_us,
+                tree_recursive_us,
+                tree_speedup: tree_recursive_us / tree_flat_us,
             }
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shard-scaling experiment
+// ---------------------------------------------------------------------------
+
+/// One row of the shard-scaling experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardBenchRow {
+    /// Workload label: `"uniform"` (evenly loaded cells — the scaling case)
+    /// or `"taxi"` (hot-spot skew — the single-hot-cell ceiling).
+    pub workload: &'static str,
+    /// Shard (and worker-thread) count; 0 marks the sequential
+    /// `drive_incremental` baseline row.
+    pub shards: usize,
+    /// Objects driven through the pipeline.
+    pub objects: u64,
+    /// Window-transition events processed.
+    pub events: u64,
+    /// Dirty-cell sweeps across the whole run.
+    pub sweeps: u64,
+    /// Wall-clock milliseconds for the run.
+    pub elapsed_ms: f64,
+    /// Throughput in objects per second.
+    pub objects_per_sec: f64,
+    /// Baseline elapsed / this row's elapsed. On a single-core host this
+    /// hovers near 1 (modulo the arena win of in-place shard sweeps over
+    /// job snapshotting); `max_shard_sweeps` is the hardware-independent
+    /// scaling signal.
+    pub speedup: f64,
+    /// Largest per-shard sweep count — the sweep critical path. Scaling
+    /// shows up as this dropping toward `sweeps / shards` while total
+    /// `sweeps` stays constant.
+    pub max_shard_sweeps: u64,
+}
+
+/// An evenly-loaded stream: pseudo-random positions over a wide area so the
+/// resident rectangles spread across hundreds of similarly-sized cells —
+/// the workload where shard scaling is visible. (Hot-spot workloads like
+/// Taxi concentrate most sweep time in a few cells; a *single* cell's sweep
+/// is serial by design, which caps shard scaling — the bench reports both.)
+fn uniform_stream(objects: usize, seed: u64) -> Vec<SpatialObject> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / ((1u64 << 31) as f64)
+    };
+    (0..objects)
+        .map(|i| {
+            SpatialObject::new(
+                i as u64,
+                1.0 + (i % 4) as f64,
+                surge_core::Point::new(next() * 7.5, next() * 7.5),
+                (i as u64) * 3,
+            )
+        })
+        .collect()
+}
+
+/// Runs the sharded driver at shard counts {1, 2, 4, 8} against the
+/// sequential incremental driver, asserting per-slide answers are
+/// **bit-identical** across every configuration before reporting timings
+/// (`surge_exp shard-bench` → `BENCH_shard.json`). Two workloads: a
+/// uniform stream (even per-cell load — the scaling case) and the Taxi
+/// stream (hot-spot skew — the single-hot-cell ceiling).
+pub fn shard_bench(cfg: &ExpConfig) -> Vec<ShardBenchRow> {
+    use surge_exact::{BoundMode, CellCspot};
+    use surge_stream::{drive_incremental, drive_sharded};
+
+    let slide = 256;
+    let mut rows = Vec::new();
+
+    let taxi_windows = Dataset::Taxi.spec().default_windows;
+    let taxi_objects = objects_for(Dataset::Taxi, taxi_windows, cfg.objects, cfg.max_objects);
+    let uniform_windows = WindowConfig::equal(60_000);
+    let workloads: [(&'static str, WindowConfig, SurgeQuery, Vec<SpatialObject>); 2] = [
+        (
+            "uniform",
+            uniform_windows,
+            SurgeQuery::whole_space(RegionSize::new(0.3, 0.3), uniform_windows, DEFAULT_ALPHA),
+            uniform_stream(cfg.objects.clamp(4_000, 200_000), cfg.seed),
+        ),
+        (
+            "taxi",
+            taxi_windows,
+            query_for(Dataset::Taxi, taxi_windows, 1.0, DEFAULT_ALPHA),
+            stream_for(Dataset::Taxi, taxi_objects, cfg.seed),
+        ),
+    ];
+
+    for (workload, windows, query, stream) in workloads {
+        // Sequential baseline: unsharded detector, single-threaded driver.
+        let mut seq = CellCspot::with_shards(query, BoundMode::Combined, 1);
+        let t0 = std::time::Instant::now();
+        let seq_report = drive_incremental(&mut seq, windows, stream.iter().copied(), slide, 1);
+        let seq_elapsed = t0.elapsed();
+
+        rows.push(ShardBenchRow {
+            workload,
+            shards: 0,
+            objects: seq_report.objects,
+            events: seq_report.events,
+            sweeps: seq_report.jobs,
+            elapsed_ms: seq_elapsed.as_secs_f64() * 1e3,
+            objects_per_sec: seq_report.objects as f64 / seq_elapsed.as_secs_f64().max(1e-9),
+            speedup: 1.0,
+            max_shard_sweeps: seq_report.jobs,
+        });
+
+        for shards in [1usize, 2, 4, 8] {
+            let mut det = CellCspot::with_shards(query, BoundMode::Combined, shards);
+            let t0 = std::time::Instant::now();
+            let report = drive_sharded(&mut det, windows, stream.iter().copied(), slide);
+            let elapsed = t0.elapsed();
+
+            // Benchmarks must not time a divergent pipeline: every slide
+            // answer must be bit-identical to the sequential baseline.
+            assert_eq!(report.answers.len(), seq_report.answers.len());
+            for (i, (a, b)) in report
+                .answers
+                .iter()
+                .zip(seq_report.answers.iter())
+                .enumerate()
+            {
+                match (a, b) {
+                    (Some(x), Some(y)) => assert_eq!(
+                        x.score.to_bits(),
+                        y.score.to_bits(),
+                        "shard-bench divergence at {workload}, shards={shards}, slide {i}"
+                    ),
+                    (None, None) => {}
+                    other => panic!(
+                        "shard-bench divergence at {workload}, shards={shards}, slide {i}: {other:?}"
+                    ),
+                }
+            }
+            assert_eq!(report.sweeps, seq_report.jobs, "sweep count diverged");
+
+            rows.push(ShardBenchRow {
+                workload,
+                shards,
+                objects: report.objects,
+                events: report.events,
+                sweeps: report.sweeps,
+                elapsed_ms: elapsed.as_secs_f64() * 1e3,
+                objects_per_sec: report.objects as f64 / elapsed.as_secs_f64().max(1e-9),
+                speedup: seq_elapsed.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+                max_shard_sweeps: report
+                    .shard_stats
+                    .iter()
+                    .map(|s| s.sweeps)
+                    .max()
+                    .unwrap_or(0),
+            });
+        }
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -1192,6 +1415,55 @@ mod tests {
             rows.iter().any(|r| r.hit_rate > 0.6),
             "no segment length localizes the rush: {rows:?}"
         );
+    }
+
+    #[test]
+    fn sweep_bench_rows_cross_check() {
+        // One tiny size is enough for the test suite; correctness of the
+        // timed implementations is asserted inside the runner itself.
+        let mut cfg = tiny();
+        cfg.seed = 11;
+        let rows = sweep_bench(&cfg);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.naive_us > 0.0 && r.segtree_us > 0.0);
+            assert!(r.tree_flat_us > 0.0 && r.tree_recursive_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn shard_bench_reports_baseline_and_shard_rows() {
+        let rows = shard_bench(&tiny());
+        // Two workloads x (baseline + shards {1, 2, 4, 8}); the runner
+        // itself asserts bit-identical answers before timing anything.
+        assert_eq!(rows.len(), 10);
+        for chunk in rows.chunks(5) {
+            assert_eq!(chunk[0].shards, 0);
+            assert_eq!(chunk[0].speedup, 1.0);
+            for w in chunk.windows(2) {
+                assert_eq!(w[0].workload, w[1].workload);
+                assert_eq!(w[0].objects, w[1].objects);
+                assert_eq!(w[0].events, w[1].events);
+                assert_eq!(w[0].sweeps, w[1].sweeps);
+            }
+            for r in &chunk[1..] {
+                assert_eq!(r.shards.count_ones(), 1);
+                assert!(r.objects_per_sec > 0.0);
+                assert!(r.max_shard_sweeps <= r.sweeps);
+                // The critical path must shrink with sharding (allowing some
+                // hash-imbalance headroom over the ideal sweeps/shards).
+                if r.shards >= 4 && r.sweeps > 100 {
+                    assert!(
+                        r.max_shard_sweeps < r.sweeps,
+                        "{}x{} did not distribute sweeps",
+                        r.workload,
+                        r.shards
+                    );
+                }
+            }
+        }
+        assert_eq!(rows[0].workload, "uniform");
+        assert_eq!(rows[5].workload, "taxi");
     }
 
     #[test]

@@ -225,13 +225,19 @@ pub fn roadnet(rows: &[crate::experiments::RoadnetRow]) -> String {
 /// Sweep micro-benchmark: naive vs segment-tree SL-CSPOT.
 pub fn sweep_bench(rows: &[crate::experiments::SweepBenchRow]) -> String {
     let mut out = format!(
-        "\n== SL-CSPOT sweep: naive O(n²) vs segment-tree O(n log n) ==\n{:<8} {:>14} {:>14} {:>10}\n",
-        "n", "naive (us)", "segtree (us)", "speedup"
+        "\n== SL-CSPOT sweep: naive O(n²) vs segment-tree O(n log n); flat vs recursive tree ==\n{:<8} {:>14} {:>14} {:>10} {:>12} {:>12} {:>10}\n",
+        "n", "naive (us)", "segtree (us)", "speedup", "flat (us)", "recur (us)", "tree spd"
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<8} {:>14.1} {:>14.1} {:>9.1}x\n",
-            r.n, r.naive_us, r.segtree_us, r.speedup
+            "{:<8} {:>14.1} {:>14.1} {:>9.1}x {:>12.1} {:>12.1} {:>9.2}x\n",
+            r.n,
+            r.naive_us,
+            r.segtree_us,
+            r.speedup,
+            r.tree_flat_us,
+            r.tree_recursive_us,
+            r.tree_speedup
         ));
     }
     out
@@ -245,16 +251,113 @@ pub fn sweep_bench_json(rows: &[crate::experiments::SweepBenchRow]) -> String {
     );
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"n\": {}, \"naive_us\": {:.3}, \"segtree_us\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"n\": {}, \"naive_us\": {:.3}, \"segtree_us\": {:.3}, \"speedup\": {:.3}, \"tree_flat_us\": {:.3}, \"tree_recursive_us\": {:.3}, \"tree_speedup\": {:.3}}}{}\n",
             r.n,
             r.naive_us,
             r.segtree_us,
+            r.speedup,
+            r.tree_flat_us,
+            r.tree_recursive_us,
+            r.tree_speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The shard-scaling experiment as a console table. The `shards = 0` row is
+/// the sequential `drive_incremental` baseline.
+pub fn shard_bench(rows: &[crate::experiments::ShardBenchRow]) -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = format!(
+        "\n== Sharded ingest: drive_sharded vs sequential drive_incremental ({cpus} cpu) ==\n{:<10} {:<12} {:>10} {:>8} {:>10} {:>12} {:>12} {:>9}\n",
+        "workload", "config", "objects", "sweeps", "max-shard", "elapsed(ms)", "obj/s", "speedup"
+    );
+    for r in rows {
+        let label = if r.shards == 0 {
+            "seq-1t".to_string()
+        } else {
+            format!("shards={}", r.shards)
+        };
+        out.push_str(&format!(
+            "{:<10} {:<12} {:>10} {:>8} {:>10} {:>12.1} {:>12.0} {:>8.2}x\n",
+            r.workload,
+            label,
+            r.objects,
+            r.sweeps,
+            r.max_shard_sweeps,
+            r.elapsed_ms,
+            r.objects_per_sec,
+            r.speedup
+        ));
+    }
+    out
+}
+
+/// The shard-scaling experiment as a `BENCH_shard.json` document
+/// (hand-rolled: the offline build has no serde).
+pub fn shard_bench_json(rows: &[crate::experiments::ShardBenchRow]) -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out =
+        format!("{{\n  \"benchmark\": \"sharded_ingest\",\n  \"cpus\": {cpus},\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"shards\": {}, \"objects\": {}, \"events\": {}, \"sweeps\": {}, \"max_shard_sweeps\": {}, \"elapsed_ms\": {:.3}, \"objects_per_sec\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            r.workload,
+            r.shards,
+            r.objects,
+            r.events,
+            r.sweeps,
+            r.max_shard_sweeps,
+            r.elapsed_ms,
+            r.objects_per_sec,
             r.speedup,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+
+    #[test]
+    fn shard_bench_json_is_wellformed() {
+        let rows = vec![
+            crate::experiments::ShardBenchRow {
+                workload: "uniform",
+                shards: 0,
+                objects: 1000,
+                events: 2500,
+                sweeps: 40,
+                elapsed_ms: 12.0,
+                objects_per_sec: 83_333.0,
+                speedup: 1.0,
+                max_shard_sweeps: 40,
+            },
+            crate::experiments::ShardBenchRow {
+                workload: "uniform",
+                shards: 4,
+                objects: 1000,
+                events: 2500,
+                sweeps: 40,
+                elapsed_ms: 6.0,
+                objects_per_sec: 166_666.0,
+                speedup: 2.0,
+                max_shard_sweeps: 12,
+            },
+        ];
+        let json = shard_bench_json(&rows);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"shards\":").count(), 2);
+        let table = shard_bench(&rows);
+        assert!(table.contains("seq-1t"));
+        assert!(table.contains("shards=4"));
+        assert!(table.contains("2.00x"));
+    }
 }
 
 #[cfg(test)]
@@ -269,19 +372,27 @@ mod tests {
                 naive_us: 100.0,
                 segtree_us: 20.0,
                 speedup: 5.0,
+                tree_flat_us: 10.0,
+                tree_recursive_us: 15.0,
+                tree_speedup: 1.5,
             },
             crate::experiments::SweepBenchRow {
                 n: 256,
                 naive_us: 1000.0,
                 segtree_us: 100.0,
                 speedup: 10.0,
+                tree_flat_us: 40.0,
+                tree_recursive_us: 80.0,
+                tree_speedup: 2.0,
             },
         ];
         let json = sweep_bench_json(&rows);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"n\":").count(), 2);
-        assert_eq!(json.matches(',').count(), 9); // 2 header + 3 per row + 1 between rows
+        assert_eq!(json.matches("\"tree_speedup\":").count(), 2);
+        assert_eq!(json.matches(',').count(), 15); // 2 header + 6 per row + 1 between rows
         assert!(sweep_bench(&rows).contains("5.0x"));
+        assert!(sweep_bench(&rows).contains("1.50x"));
     }
 
     #[test]

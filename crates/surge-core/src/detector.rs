@@ -1,7 +1,10 @@
 //! Detector traits implemented by every SURGE algorithm.
 
 use crate::event::Event;
-use crate::query::RegionAnswer;
+use crate::geom::Point;
+use crate::grid::CellId;
+use crate::ordered::TotalF64;
+use crate::query::{RegionAnswer, RegionSize};
 
 /// Counters exposed by detectors for the paper's instrumentation (Table II
 /// reports the fraction of rectangle events that trigger a cell search).
@@ -79,6 +82,9 @@ pub trait IncrementalDetector: BurstDetector {
     type Job: Send + Sync;
     /// The outcome of one job.
     type Outcome: Send;
+    /// Per-worker scratch space reused across jobs (e.g. a sweep arena).
+    /// Detectors without reusable buffers use `()`.
+    type Scratch: Default + Send;
 
     /// Captures every dirty cell as a pure job, in deterministic order.
     fn snapshot_dirty_jobs(&self) -> Vec<Self::Job>;
@@ -87,9 +93,146 @@ pub trait IncrementalDetector: BurstDetector {
     /// [`BurstDetector::on_event`] changes.
     fn run_job(&self, job: &Self::Job) -> Self::Outcome;
 
+    /// [`run_job`](Self::run_job) over per-worker scratch space: identical
+    /// outcome, but a worker thread running many jobs reuses one
+    /// [`Scratch`](Self::Scratch) instead of allocating per job.
+    fn run_job_with(&self, scratch: &mut Self::Scratch, job: &Self::Job) -> Self::Outcome {
+        let _ = scratch;
+        self.run_job(job)
+    }
+
     /// Installs outcomes produced by [`run_job`](Self::run_job) for the jobs
     /// of the most recent snapshot.
+    ///
+    /// Outcomes are per-cell and commute across cells, so per-shard batches
+    /// (see [`snapshot_dirty_jobs_shard`](Self::snapshot_dirty_jobs_shard))
+    /// may be installed in any order and produce identical state.
     fn install_outcomes(&mut self, outcomes: Vec<Self::Outcome>);
+
+    /// Number of cell shards this detector partitions its state into.
+    /// Unsharded detectors report 1.
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// Captures the dirty cells of one shard as pure jobs, in deterministic
+    /// order. Concatenating over all shards yields exactly the jobs of
+    /// [`snapshot_dirty_jobs`](Self::snapshot_dirty_jobs) (possibly
+    /// reordered across shards — never within one).
+    fn snapshot_dirty_jobs_shard(&self, shard: usize) -> Vec<Self::Job> {
+        if shard == 0 {
+            self.snapshot_dirty_jobs()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// The best candidate one shard reports at a flush boundary, carrying the
+/// tie-break keys needed to merge shard answers into *exactly* the answer
+/// the unsharded detector's own scan would produce.
+///
+/// The sequential best-first scan visits cells in descending
+/// `(bound, cell)` order and replaces its incumbent only on strictly greater
+/// score, so the global winner is the maximum under the lexicographic
+/// `(score, bound, cell)` order — which is [`merge_key`](Self::merge_key).
+/// Shard answers merged by `merge_key` are therefore bit-identical to the
+/// sequential answer, independent of shard count and thread scheduling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardAnswer {
+    /// The bursty point of the winning cell's candidate.
+    pub point: Point,
+    /// The candidate's burst score.
+    pub score: f64,
+    /// The queue key (upper bound) of the winning cell — sequential
+    /// tie-break 1.
+    pub bound: f64,
+    /// The winning cell — sequential tie-break 2.
+    pub cell: CellId,
+}
+
+impl ShardAnswer {
+    /// Total-order key for merging shard answers: maximize score, then
+    /// bound, then cell id.
+    #[inline]
+    pub fn merge_key(&self) -> (TotalF64, TotalF64, CellId) {
+        (TotalF64(self.score), TotalF64(self.bound), self.cell)
+    }
+
+    /// Converts the winning point into the continuous-query answer.
+    #[inline]
+    pub fn answer(&self, region: RegionSize) -> RegionAnswer {
+        RegionAnswer::from_point(self.point, region, self.score)
+    }
+}
+
+/// Counters a [`ShardWorker`] accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardWorkerStats {
+    /// Cell updates this shard applied (an event touching k cells of the
+    /// shard counts k).
+    pub cell_touches: u64,
+    /// SL-CSPOT sweeps this shard ran across all flushes.
+    pub sweeps: u64,
+}
+
+/// Aggregate counters of one sharded run, folded back into the detector's
+/// [`DetectorStats`] by [`ShardedIngest::absorb_shard_run`] (shard workers
+/// cannot touch the shared stats while they hold the shard borrows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardRunStats {
+    /// Events broadcast to the shard workers.
+    pub events: u64,
+    /// `New` events among them.
+    pub new_events: u64,
+    /// Total sweeps across all shards and flushes.
+    pub searches: u64,
+}
+
+/// One shard's exclusive ingest handle: applies the event stream to its own
+/// cells, sweeps its own dirty cells at flush boundaries, and reports its
+/// local best. Obtained from [`ShardedIngest::ingest_workers`]; the handles
+/// borrow the detector's shards disjointly, so each can live on its own
+/// thread for the duration of a run.
+pub trait ShardWorker {
+    /// Applies one event to the cells of this shard (cells owned by other
+    /// shards are skipped). Every worker must see every event, in stream
+    /// order.
+    fn on_event(&mut self, event: &Event);
+
+    /// Sweeps this shard's dirty cells and returns the shard's best
+    /// candidate (`None` when the shard holds no scoring cell). After a
+    /// flush every cell in the shard is fresh.
+    fn flush(&mut self) -> Option<ShardAnswer>;
+
+    /// This worker's lifetime counters.
+    fn stats(&self) -> ShardWorkerStats;
+}
+
+/// A detector whose ingest can fan out across per-shard workers.
+///
+/// The contract extends [`IncrementalDetector`]'s snapshot→compute→install
+/// discipline to the *whole pipeline*: workers partition the cell state by
+/// [`crate::store::shard_of_cell`], every worker observes the full event
+/// stream in order (applying only its own cells), and flush answers merged
+/// by [`ShardAnswer::merge_key`] are bit-identical to the sequential
+/// detector's answer at the same stream position.
+pub trait ShardedIngest: BurstDetector {
+    /// The per-shard handle type (borrows the detector mutably).
+    type Worker<'a>: ShardWorker + Send
+    where
+        Self: 'a;
+
+    /// Splits the detector into one ingest worker per shard.
+    fn ingest_workers(&mut self) -> Vec<Self::Worker<'_>>;
+
+    /// Folds a completed sharded run's counters back into
+    /// [`BurstDetector::stats`].
+    fn absorb_shard_run(&mut self, run: ShardRunStats);
+
+    /// The query-region size (needed to turn merged [`ShardAnswer`]s into
+    /// [`RegionAnswer`]s while the workers still borrow the detector).
+    fn region_size(&self) -> RegionSize;
 }
 
 /// A continuous top-k bursty-region detector (paper §VI).

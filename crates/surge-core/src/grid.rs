@@ -78,20 +78,6 @@ impl GridSpec {
         Rect::new(x0, y0, x0 + self.cell_w, y0 + self.cell_h)
     }
 
-    /// All cells whose **closed** extent intersects the closed rectangle `r`
-    /// (shared boundary counts).
-    ///
-    /// The exact detectors rely on this invariant: for any point `p` inside a
-    /// cell's closed extent, *every* rectangle covering `p` intersects that
-    /// cell's closed extent and is therefore in the cell's rectangle list —
-    /// cell-local sweeps compute true burst scores even for points on cell
-    /// boundaries. For a query-sized rectangle in generic position this
-    /// yields at most four cells (Lemma 1); edge-aligned rectangles can touch
-    /// up to nine.
-    pub fn cells_overlapping(&self, r: &Rect) -> Vec<CellId> {
-        self.cells_overlapping_iter(r).collect()
-    }
-
     /// The inclusive column/row bounds of the cells whose closed extent
     /// intersects the closed rectangle `r`: `((i0, i1), (j0, j1))`.
     #[inline]
@@ -105,9 +91,16 @@ impl GridSpec {
         ((i0, i1), (j0, j1))
     }
 
-    /// Allocation-free variant of [`cells_overlapping`](Self::cells_overlapping)
-    /// for hot per-event loops: yields the same cells in the same
-    /// column-major order without building a `Vec`.
+    /// All cells whose **closed** extent intersects the closed rectangle `r`
+    /// (shared boundary counts), in column-major order, without allocating.
+    ///
+    /// The exact detectors rely on this invariant: for any point `p` inside a
+    /// cell's closed extent, *every* rectangle covering `p` intersects that
+    /// cell's closed extent and is therefore in the cell's rectangle list —
+    /// cell-local sweeps compute true burst scores even for points on cell
+    /// boundaries. For a query-sized rectangle in generic position this
+    /// yields at most four cells (Lemma 1); edge-aligned rectangles can touch
+    /// up to nine.
     #[inline]
     pub fn cells_overlapping_iter(&self, r: &Rect) -> impl Iterator<Item = CellId> {
         let ((i0, i1), (j0, j1)) = self.cell_bounds(r);
@@ -148,7 +141,7 @@ mod tests {
         let g = GridSpec::anchored(2.0, 3.0);
         // A 2x3 rect in generic position (corners strictly inside cells).
         let r = Rect::from_corner_size(Point::new(0.7, 0.4), 2.0, 3.0);
-        let cells = g.cells_overlapping(&r);
+        let cells: Vec<CellId> = g.cells_overlapping_iter(&r).collect();
         assert_eq!(cells.len(), 4);
     }
 
@@ -159,7 +152,7 @@ mod tests {
         // boundary-touching neighbours, so boundary points are scored with
         // their full covering set in every cell that can see them.
         let r = Rect::new(2.0, 3.0, 4.0, 6.0);
-        let cells = g.cells_overlapping(&r);
+        let cells: Vec<CellId> = g.cells_overlapping_iter(&r).collect();
         assert_eq!(cells.len(), 9);
         for i in 0..=2 {
             for j in 0..=2 {
@@ -179,7 +172,7 @@ mod tests {
             Rect::new(-1.0, -1.0, 4.0, 3.0), // large
         ];
         for r in &rects {
-            let cells = g.cells_overlapping(r);
+            let cells: Vec<CellId> = g.cells_overlapping_iter(r).collect();
             // sample points of r, including all corners
             for &(fx, fy) in &[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0), (0.5, 0.5)] {
                 let p = Point::new(r.x0 + fx * r.width(), r.y0 + fy * r.height());
@@ -211,7 +204,7 @@ mod tests {
     }
 
     #[test]
-    fn iter_variant_matches_vec_variant() {
+    fn iter_matches_cell_bounds_and_is_column_major() {
         let grids = [
             GridSpec::anchored(2.0, 3.0),
             GridSpec::with_origin(0.5, -0.25, 1.25, 0.75),
@@ -224,11 +217,13 @@ mod tests {
         ];
         for g in &grids {
             for r in &rects {
-                let vec = g.cells_overlapping(r);
                 let iter: Vec<CellId> = g.cells_overlapping_iter(r).collect();
-                assert_eq!(vec, iter, "grid {g:?} rect {r:?}");
                 let ((i0, i1), (j0, j1)) = g.cell_bounds(r);
-                assert_eq!(vec.len() as i64, (i1 - i0 + 1) * (j1 - j0 + 1));
+                let expect: Vec<CellId> = (i0..=i1)
+                    .flat_map(|i| (j0..=j1).map(move |j| (i, j)))
+                    .collect();
+                assert_eq!(iter, expect, "grid {g:?} rect {r:?}");
+                assert_eq!(iter.len() as i64, (i1 - i0 + 1) * (j1 - j0 + 1));
             }
         }
     }
@@ -237,7 +232,7 @@ mod tests {
     fn overlap_cells_cover_every_contained_point() {
         let g = GridSpec::with_origin(0.25, -0.5, 1.5, 1.0);
         let r = Rect::new(-1.0, -1.0, 2.0, 2.0);
-        let cells = g.cells_overlapping(&r);
+        let cells: Vec<CellId> = g.cells_overlapping_iter(&r).collect();
         // sample points inside r must be inside one of the returned cells
         for &(px, py) in &[(-1.0, -1.0), (0.0, 0.0), (1.99, 1.99), (2.0, 2.0)] {
             let c = g.cell_of(Point::new(px, py));

@@ -14,6 +14,8 @@
 //!   drive every detector.
 //! * [`query`] — the continuous query descriptor `q = ⟨A, a×b, |W|⟩`.
 //! * [`grid`] — the cell grid used by the exact and approximate solutions.
+//! * [`store`] — sharded per-cell storage (spatial-hash sharding by cell id)
+//!   behind the parallel-ingest pipeline.
 //! * [`reduction`] — the SURGE→cSPOT mapping (Theorem 1 of the paper).
 //! * [`detector`] — the [`BurstDetector`] / [`TopKDetector`] traits every
 //!   algorithm implements.
@@ -35,9 +37,13 @@ pub mod ordered;
 pub mod query;
 pub mod reduction;
 pub mod score;
+pub mod store;
 pub mod time;
 
-pub use detector::{BurstDetector, DetectorStats, IncrementalDetector, TopKDetector};
+pub use detector::{
+    BurstDetector, DetectorStats, IncrementalDetector, ShardAnswer, ShardRunStats, ShardWorker,
+    ShardWorkerStats, ShardedIngest, TopKDetector,
+};
 pub use event::{Event, EventKind};
 pub use geom::{Point, Rect};
 pub use grid::{CellId, GridSpec};
@@ -46,4 +52,5 @@ pub use ordered::TotalF64;
 pub use query::{RegionAnswer, RegionSize, SurgeQuery};
 pub use reduction::{object_to_rect, region_for_point};
 pub use score::{burst_score, BurstParams, ScorePair, SCORE_EPS};
+pub use store::{shard_of_cell, CellStore, ShardedCellStore};
 pub use time::{Duration, Timestamp, WindowConfig};

@@ -43,7 +43,7 @@ proptest! {
     ) {
         let grid = GridSpec::with_origin(grid_origin.0, grid_origin.1, size.width, size.height);
         let r = Rect::from_corner_size(corner, size.width, size.height);
-        let cells = grid.cells_overlapping(&r);
+        let cells: Vec<surge_core::CellId> = grid.cells_overlapping_iter(&r).collect();
         prop_assert!(!cells.is_empty());
         prop_assert!(cells.len() <= 9, "query rect overlapped {} cells", cells.len());
         // In generic position (no edge exactly on a grid line) it is <= 4.
@@ -66,7 +66,7 @@ proptest! {
         frac in (0.0..=1.0f64, 0.0..=1.0f64),
     ) {
         let r = Rect::from_corner_size(corner, dims.0, dims.1);
-        let cells = grid.cells_overlapping(&r);
+        let cells: Vec<surge_core::CellId> = grid.cells_overlapping_iter(&r).collect();
         let p = Point::new(r.x0 + frac.0 * r.width(), r.y0 + frac.1 * r.height());
         let owner = grid.cell_of(p);
         prop_assert!(cells.contains(&owner), "cell {owner:?} of {p:?} missing");

@@ -20,11 +20,12 @@
 use std::collections::{BTreeSet, HashMap};
 
 use surge_core::{
-    object_to_rect, BurstDetector, BurstParams, CellId, DetectorStats, Event, EventKind, GridSpec,
-    ObjectId, Point, Rect, RegionAnswer, SurgeQuery, TotalF64, WindowKind,
+    object_to_rect, BurstDetector, BurstParams, CellId, CellStore, DetectorStats, Event, EventKind,
+    GridSpec, ObjectId, Point, Rect, RegionAnswer, ShardedCellStore, SurgeQuery, TotalF64,
+    WindowKind,
 };
 
-use crate::sweep::{sl_cspot, SweepRect};
+use crate::sweep::{sl_cspot_with, SweepArena, SweepRect};
 
 #[derive(Debug)]
 struct BaseCell {
@@ -51,11 +52,13 @@ pub struct BaseDetector {
     query: SurgeQuery,
     params: BurstParams,
     grid: GridSpec,
-    cells: HashMap<CellId, BaseCell>,
+    cells: ShardedCellStore<BaseCell>,
     /// Cells ordered by `score_key`; the maximum is the back.
     ranked: BTreeSet<(TotalF64, CellId)>,
     stats: DetectorStats,
     pruned: bool,
+    /// Scratch reused across every cell sweep.
+    arena: SweepArena,
 }
 
 impl BaseDetector {
@@ -76,10 +79,11 @@ impl BaseDetector {
             params: query.burst_params(),
             grid: GridSpec::anchored(query.region.width, query.region.height),
             query,
-            cells: HashMap::new(),
+            cells: ShardedCellStore::new(crate::cell::DEFAULT_SHARDS),
             ranked: BTreeSet::new(),
             stats: DetectorStats::default(),
             pruned,
+            arena: SweepArena::new(),
         }
     }
 
@@ -91,19 +95,30 @@ impl BaseDetector {
     fn research_cell(&mut self, id: CellId) {
         self.stats.searches += 1;
         let params = self.params;
+        // Sweep first (immutable borrow of the store + the arena), then
+        // write the outcome back.
+        let sweep_input = self.cells.get(id).and_then(|cell| {
+            if cell.rects.is_empty() {
+                return None;
+            }
+            cell.domain.map(|domain| {
+                // Deterministic sweep input (ties break by order).
+                let mut ids: Vec<ObjectId> = cell.rects.keys().copied().collect();
+                ids.sort_unstable();
+                let rects: Vec<SweepRect> = ids.iter().map(|i| cell.rects[i]).collect();
+                (rects, domain)
+            })
+        });
+        let swept = sweep_input.map(|(rects, domain)| {
+            sl_cspot_with(&mut self.arena, &rects, &domain, &params).map(|r| (r.point, r.score))
+        });
         let (old_key, disposition) = {
-            let cell = self.cells.get_mut(&id).expect("cell exists");
+            let cell = self.cells.get_mut(id).expect("cell exists");
             let old_key = cell.score_key;
             if cell.rects.is_empty() {
                 (old_key, None)
             } else {
-                let best = cell.domain.and_then(|domain| {
-                    // Deterministic sweep input (ties break by order).
-                    let mut ids: Vec<ObjectId> = cell.rects.keys().copied().collect();
-                    ids.sort_unstable();
-                    let rects: Vec<SweepRect> = ids.iter().map(|i| cell.rects[i]).collect();
-                    sl_cspot(&rects, &domain, &params).map(|r| (r.point, r.score))
-                });
+                let best = swept.flatten();
                 cell.best = best;
                 cell.stale = false;
                 let new_key = TotalF64(best.map_or(f64::NEG_INFINITY, |(_, s)| s));
@@ -114,7 +129,7 @@ impl BaseDetector {
         match disposition {
             None => {
                 self.ranked.remove(&(old_key, id));
-                self.cells.remove(&id);
+                self.cells.remove(id);
             }
             Some(new_key) => {
                 self.ranked.remove(&(old_key, id));
@@ -126,13 +141,13 @@ impl BaseDetector {
     /// Pruned mode: re-key an affected cell under its static bound and mark
     /// it stale; drained cells are dropped outright.
     fn mark_stale(&mut self, id: CellId) {
-        let Some(cell) = self.cells.get_mut(&id) else {
+        let Some(cell) = self.cells.get_mut(id) else {
             return;
         };
         let old_key = cell.score_key;
         if cell.rects.is_empty() {
             self.ranked.remove(&(old_key, id));
-            self.cells.remove(&id);
+            self.cells.remove(id);
             return;
         }
         cell.stale = true;
@@ -165,15 +180,17 @@ impl BurstDetector for BaseDetector {
             return;
         }
         let g = object_to_rect(&event.object, self.query.region);
-        let affected = self.grid.cells_overlapping(&g.rect);
+        // Allocation-free cell enumeration; the grid is `Copy` so the
+        // iterator can be re-run for the research/mark pass below.
+        let grid = self.grid;
         let mut touched = false;
-        for id in &affected {
-            let cell_rect = self.grid.cell_rect(*id);
+        for id in grid.cells_overlapping_iter(&g.rect) {
+            let cell_rect = grid.cell_rect(id);
             let domain = self
                 .query
                 .point_domain()
                 .and_then(|d| d.intersection(&cell_rect));
-            let cell = self.cells.entry(*id).or_insert_with(|| BaseCell {
+            let cell = self.cells.get_or_insert_with(id, || BaseCell {
                 rects: HashMap::new(),
                 best: None,
                 score_key: TotalF64(f64::NEG_INFINITY),
@@ -210,12 +227,12 @@ impl BurstDetector for BaseDetector {
             touched = true;
         }
         if self.pruned {
-            for id in affected {
+            for id in grid.cells_overlapping_iter(&g.rect) {
                 self.mark_stale(id);
             }
         } else {
-            for id in affected {
-                if self.cells.contains_key(&id) {
+            for id in grid.cells_overlapping_iter(&g.rect) {
+                if self.cells.contains(id) {
                     self.research_cell(id);
                 }
             }
@@ -234,7 +251,7 @@ impl BurstDetector for BaseDetector {
             if key.get() == f64::NEG_INFINITY {
                 break None;
             }
-            let cell = self.cells.get(&id)?;
+            let cell = self.cells.get(id)?;
             if cell.stale {
                 // Best-first: the top key is an upper bound on every cell,
                 // so sweeping the top stale cell either produces the true

@@ -1,4 +1,4 @@
-//! Cell-CSPOT: the exact continuous solution (Algorithm 2).
+//! Cell-CSPOT: the exact continuous solution (Algorithm 2), sharded.
 //!
 //! A grid of query-sized cells partitions the space. Each cell keeps the
 //! rectangle objects overlapping it, a burst-score **upper bound**, and a
@@ -6,9 +6,22 @@
 //! event touches at most a constant number of cells (Lemma 1); it updates
 //! their bounds in O(1) and (in)validates their candidates via Lemma 4. The
 //! answer is obtained lazily: cells are visited in descending bound order and
-//! only searched (with [`sl_cspot`]) when their candidate is stale and their
-//! bound still beats the best score found — most events trigger no search at
-//! all (Table II).
+//! only searched (with [`crate::sweep::sl_cspot`]) when their candidate is
+//! stale and their bound still beats the best score found — most events
+//! trigger no search at all (Table II).
+//!
+//! # Sharding
+//!
+//! All per-cell state lives in a [`ShardedCellStore`], partitioned by the
+//! spatial hash [`surge_core::shard_of_cell`], with one bound-ordered queue
+//! per shard. Cells are independent — an event's updates to different cells
+//! commute — so the shards can ingest concurrently:
+//! [`CellCspot::ingest_workers`] splits the detector into per-shard
+//! [`CellShardWorker`]s that each own one shard's map and queue exclusively
+//! (`surge-stream`'s `drive_sharded` puts each on its own thread). The
+//! sequential [`BurstDetector::on_event`] routes through the exact same
+//! per-cell code, so shard count and thread count change wall-clock time
+//! only: detector state, answers and stats are bit-identical.
 //!
 //! Two bound modes reproduce the paper's ablation:
 //! * [`BoundMode::Combined`] — `U(c) = min(U_s(c), U_d(c))` (the CCS method);
@@ -17,14 +30,20 @@
 use std::collections::{BTreeSet, HashMap};
 
 use surge_core::{
-    object_to_rect, BurstDetector, BurstParams, CellId, DetectorStats, Event, EventKind, GridSpec,
-    IncrementalDetector, ObjectId, Point, Rect, RegionAnswer, SurgeQuery, TotalF64, WindowKind,
+    object_to_rect, shard_of_cell, BurstDetector, BurstParams, CellId, DetectorStats, Event,
+    EventKind, GridSpec, IncrementalDetector, ObjectId, Point, Rect, RegionAnswer, RegionSize,
+    ShardAnswer, ShardRunStats, ShardWorker, ShardWorkerStats, ShardedCellStore, ShardedIngest,
+    SurgeQuery, TotalF64, WindowKind,
 };
 
-use crate::sweep::{sl_cspot, SweepRect, SweepResult};
+use crate::sweep::{sl_cspot_with, SweepArena, SweepRect, SweepResult};
+
+/// Default shard count for the cell store (power of two; purely structural —
+/// any value yields identical answers).
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// A snapshot of one stale ("dirty") cell, self-contained enough to be swept
-/// out-of-band — e.g. on a worker thread — with [`sl_cspot`].
+/// out-of-band — e.g. on a worker thread — with [`crate::sweep::sl_cspot`].
 ///
 /// Produced by [`CellCspot::snapshot_dirty`]; the matching outcomes are fed
 /// back through [`CellCspot::install_search_results`].
@@ -52,9 +71,15 @@ impl DirtyCellJob {
     /// Runs the sweep for this job. Pure: no detector state is touched, so
     /// any number of jobs can run concurrently.
     pub fn run(&self, params: &BurstParams) -> DirtyCellResult {
+        self.run_with(&mut SweepArena::new(), params)
+    }
+
+    /// [`run`](Self::run) over caller-owned scratch space — worker threads
+    /// keep one [`SweepArena`] each and sweep allocation-free.
+    pub fn run_with(&self, arena: &mut SweepArena, params: &BurstParams) -> DirtyCellResult {
         DirtyCellResult {
             id: self.id,
-            outcome: sl_cspot(&self.rects, &self.domain, params),
+            outcome: sl_cspot_with(arena, &self.rects, &self.domain, params),
         }
     }
 }
@@ -104,7 +129,7 @@ struct Cell {
     /// Dynamic upper bound in score units (Eqn. 3); ∞ until first searched.
     ud: f64,
     cand: CandState,
-    /// The key under which this cell currently sits in the priority set.
+    /// The key under which this cell currently sits in its shard queue.
     heap_key: TotalF64,
     /// Intersection of the cell extent with the query's point domain.
     domain: Option<Rect>,
@@ -120,6 +145,20 @@ impl Cell {
     }
 }
 
+/// The immutable per-query context every shard shares: all `Copy`, handed to
+/// each worker by value so the shard borrows stay disjoint.
+#[derive(Debug, Clone, Copy)]
+struct ShardCtx {
+    query: SurgeQuery,
+    params: BurstParams,
+    grid: GridSpec,
+    mode: BoundMode,
+}
+
+/// One shard's mutable state: its slice of the cell universe plus the
+/// bound-ordered queue over exactly those cells (max at the back).
+type ShardQueue = BTreeSet<(TotalF64, CellId)>;
+
 /// The upper bound `U(c)` in burst-score units (Definition 8).
 fn cell_bound_key(cell: &Cell, params: &BurstParams, mode: BoundMode) -> TotalF64 {
     let us = cell.us_weight / params.current_norm;
@@ -128,6 +167,273 @@ fn cell_bound_key(cell: &Cell, params: &BurstParams, mode: BoundMode) -> TotalF6
         BoundMode::StaticOnly => us,
     };
     TotalF64(u)
+}
+
+/// The event prologue shared by the sequential detector and the shard
+/// workers: area filter plus the SURGE→cSPOT reduction. `None` when the
+/// object falls outside the preferred area. Keeping this in one place is
+/// part of the bit-identity contract — both ingest paths must derive the
+/// identical rectangle from an event.
+fn event_sweep_rect(ctx: &ShardCtx, ev: &Event) -> Option<SweepRect> {
+    if !ctx.query.accepts(ev.object.pos) {
+        return None;
+    }
+    let g = object_to_rect(&ev.object, ctx.query.region);
+    Some(SweepRect {
+        rect: g.rect,
+        weight: g.weight,
+        kind: WindowKind::Current,
+    })
+}
+
+/// Applies one event to one cell: rect bookkeeping, bound updates
+/// (Definition 7 / Eqn. 3) and Lemma-4 candidate maintenance. Free function
+/// over one shard's state so the sequential detector and the parallel shard
+/// workers run the *same* code.
+fn apply_event_to_cell(
+    cells: &mut HashMap<CellId, Cell>,
+    queue: &mut ShardQueue,
+    ctx: &ShardCtx,
+    id: CellId,
+    ev: &Event,
+    g: &SweepRect,
+) {
+    let params = ctx.params;
+    let mode = ctx.mode;
+    let cell_rect = ctx.grid.cell_rect(id);
+    let domain = ctx
+        .query
+        .point_domain()
+        .and_then(|d| d.intersection(&cell_rect));
+    let w = ev.object.weight;
+
+    let (old_key, disposition) = {
+        let cell = cells.entry(id).or_insert_with(|| Cell {
+            rects: HashMap::new(),
+            us_weight: 0.0,
+            ud: f64::INFINITY,
+            cand: if domain.is_none() {
+                CandState::Infeasible
+            } else {
+                CandState::Stale
+            },
+            heap_key: TotalF64(f64::NEG_INFINITY),
+            domain,
+        });
+        let covers = |cand: &Candidate| g.rect.contains(cand.point);
+
+        match ev.kind {
+            EventKind::New => {
+                cell.rects.insert(
+                    ev.object.id,
+                    SweepRect {
+                        rect: g.rect,
+                        weight: w,
+                        kind: WindowKind::Current,
+                    },
+                );
+                cell.us_weight += w;
+                if cell.ud.is_finite() {
+                    cell.ud += w / params.current_norm;
+                }
+                if let CandState::Valid(c) = &mut cell.cand {
+                    // Lemma 4 (New): the candidate survives iff the new
+                    // rectangle covers it and its pre-update increase
+                    // term is strictly positive.
+                    let increasing = c.wc / params.current_norm - c.wp / params.past_norm > 0.0;
+                    if covers(c) && increasing {
+                        c.wc += w;
+                    } else {
+                        cell.cand = CandState::Stale;
+                    }
+                }
+            }
+            EventKind::Grown => {
+                let present = if let Some(r) = cell.rects.get_mut(&ev.object.id) {
+                    r.kind = WindowKind::Past;
+                    true
+                } else {
+                    false
+                };
+                if present {
+                    cell.us_weight -= w;
+                    // Eqn. 3: dynamic bound unchanged on Grown.
+                    if let CandState::Valid(c) = &cell.cand {
+                        // Lemma 4 (Grown): survives iff NOT covered.
+                        if covers(c) {
+                            cell.cand = CandState::Stale;
+                        }
+                    }
+                }
+            }
+            EventKind::Expired => {
+                if cell.rects.remove(&ev.object.id).is_some() {
+                    if cell.ud.is_finite() {
+                        cell.ud += params.alpha * w / params.past_norm;
+                    }
+                    if let CandState::Valid(c) = &mut cell.cand {
+                        // Lemma 4 (Expired): survives iff covered and the
+                        // pre-update increase term is strictly positive.
+                        let increasing = c.wc / params.current_norm - c.wp / params.past_norm > 0.0;
+                        if covers(c) && increasing {
+                            c.wp -= w;
+                        } else {
+                            cell.cand = CandState::Stale;
+                        }
+                    }
+                }
+            }
+        }
+
+        // B-CCS: any touch stales the candidate (see BoundMode docs).
+        if mode == BoundMode::StaticOnly {
+            if let CandState::Valid(_) = cell.cand {
+                cell.cand = CandState::Stale;
+            }
+        }
+
+        let old_key = cell.heap_key;
+        if cell.rects.is_empty() {
+            (old_key, None)
+        } else {
+            let new_key = if matches!(cell.cand, CandState::Infeasible) {
+                TotalF64(f64::NEG_INFINITY)
+            } else {
+                cell_bound_key(cell, &params, mode)
+            };
+            cell.heap_key = new_key;
+            (old_key, Some(new_key))
+        }
+    };
+
+    match disposition {
+        None => {
+            // Drop drained cells entirely; they contribute score ≤ 0.
+            queue.remove(&(old_key, id));
+            cells.remove(&id);
+        }
+        Some(new_key) => {
+            if new_key != old_key || !queue.contains(&(new_key, id)) {
+                queue.remove(&(old_key, id));
+                queue.insert((new_key, id));
+            }
+        }
+    }
+}
+
+/// Writes one sweep outcome into a cell: candidate, dynamic bound and queue
+/// position. Returns the candidate score (or `None` if the cell is missing
+/// or infeasible). The caller accounts the search in [`DetectorStats`].
+fn install_result_into(
+    cells: &mut HashMap<CellId, Cell>,
+    queue: &mut ShardQueue,
+    ctx: &ShardCtx,
+    id: CellId,
+    outcome: Option<SweepResult>,
+) -> Option<f64> {
+    let params = ctx.params;
+    let mode = ctx.mode;
+    let (old_key, new_key, score) = {
+        let cell = cells.get_mut(&id)?;
+        let domain = cell.domain?;
+        let (cand, score) = match outcome {
+            Some(res) => (
+                Candidate {
+                    point: res.point,
+                    wc: res.wc,
+                    wp: res.wp,
+                },
+                res.score,
+            ),
+            None => (
+                // No rectangle intersects the feasible domain: no point
+                // in this cell scores above zero; record an "empty" valid
+                // candidate at the domain corner.
+                Candidate {
+                    point: Point::new(domain.x1, domain.y1),
+                    wc: 0.0,
+                    wp: 0.0,
+                },
+                0.0,
+            ),
+        };
+        cell.cand = CandState::Valid(cand);
+        cell.ud = score;
+        let old_key = cell.heap_key;
+        let new_key = cell_bound_key(cell, &params, mode);
+        cell.heap_key = new_key;
+        (old_key, new_key, score)
+    };
+    if new_key != old_key {
+        queue.remove(&(old_key, id));
+        queue.insert((new_key, id));
+    }
+    Some(score)
+}
+
+/// Sweeps one cell in place (arena-backed) and returns the outcome to
+/// install, or `None` when the cell is missing or infeasible.
+fn sweep_cell(
+    cells: &HashMap<CellId, Cell>,
+    ctx: &ShardCtx,
+    arena: &mut SweepArena,
+    id: CellId,
+) -> Option<Option<SweepResult>> {
+    let (rects, domain) = {
+        let cell = cells.get(&id)?;
+        let domain = cell.domain?;
+        (cell.sorted_rects(), domain)
+    };
+    Some(sl_cspot_with(arena, &rects, &domain, &ctx.params))
+}
+
+/// The dirty (stale, feasible) cells of one shard, in ascending id order.
+fn dirty_ids(cells: &HashMap<CellId, Cell>) -> Vec<CellId> {
+    let mut ids: Vec<CellId> = cells
+        .iter()
+        .filter(|(_, c)| matches!(c.cand, CandState::Stale) && c.domain.is_some())
+        .map(|(id, _)| *id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// One shard's best fresh candidate under the sequential scan order: the
+/// maximum of `(score, bound-key, cell)`. Requires every feasible cell in
+/// the shard to be fresh (flush guarantees it).
+fn shard_best(
+    cells: &HashMap<CellId, Cell>,
+    queue: &ShardQueue,
+    ctx: &ShardCtx,
+) -> Option<ShardAnswer> {
+    let mut best: Option<ShardAnswer> = None;
+    for &(key, id) in queue.iter().rev() {
+        if key.get() == f64::NEG_INFINITY {
+            break;
+        }
+        if let Some(b) = best {
+            if key.get() <= b.score {
+                break;
+            }
+        }
+        if let Some(CandState::Valid(c)) = cells.get(&id).map(|c| c.cand) {
+            let s = ctx.params.score_weights(c.wc, c.wp);
+            if best.is_none_or(|b| s > b.score) {
+                best = Some(ShardAnswer {
+                    point: c.point,
+                    score: s,
+                    bound: key.get(),
+                    cell: id,
+                });
+            }
+        } else {
+            debug_assert!(
+                !matches!(cells.get(&id).map(|c| c.cand), Some(CandState::Stale)),
+                "shard_best on a shard with stale cells"
+            );
+        }
+    }
+    best
 }
 
 /// The exact continuous bursty-region detector.
@@ -146,21 +452,21 @@ fn cell_bound_key(cell: &Cell, params: &BurstParams, mode: BoundMode) -> TotalF6
 /// ```
 #[derive(Debug)]
 pub struct CellCspot {
-    query: SurgeQuery,
-    params: BurstParams,
-    grid: GridSpec,
-    mode: BoundMode,
-    cells: HashMap<CellId, Cell>,
-    /// Cells ordered by upper bound; max is the back.
-    queue: BTreeSet<(TotalF64, CellId)>,
+    ctx: ShardCtx,
+    store: ShardedCellStore<Cell>,
+    /// One bound-ordered queue per shard (max at the back), parallel to the
+    /// store's shards.
+    queues: Vec<ShardQueue>,
     stats: DetectorStats,
     /// Searches performed before the previous `current()` call, used to
     /// attribute searches to event batches for the trigger ratio.
     searches_at_last_current: u64,
+    /// Scratch for this detector's own (sequential) sweeps.
+    arena: SweepArena,
 }
 
 impl CellCspot {
-    /// Creates a CCS detector (combined bounds).
+    /// Creates a CCS detector (combined bounds, default shard count).
     pub fn new(query: SurgeQuery) -> Self {
         Self::with_mode(query, BoundMode::Combined)
     }
@@ -168,230 +474,95 @@ impl CellCspot {
     /// Creates a detector with an explicit bound mode (B-CCS uses
     /// [`BoundMode::StaticOnly`]).
     pub fn with_mode(query: SurgeQuery, mode: BoundMode) -> Self {
+        Self::with_shards(query, mode, DEFAULT_SHARDS)
+    }
+
+    /// Creates a detector with an explicit shard count (rounded up to a
+    /// power of two). Sharding is structural: any count produces identical
+    /// answers and stats; it bounds only how far ingest can fan out.
+    pub fn with_shards(query: SurgeQuery, mode: BoundMode, shards: usize) -> Self {
+        let store: ShardedCellStore<Cell> = ShardedCellStore::new(shards);
+        let n = store.shard_count();
         CellCspot {
-            params: query.burst_params(),
-            grid: GridSpec::anchored(query.region.width, query.region.height),
-            query,
-            mode,
-            cells: HashMap::new(),
-            queue: BTreeSet::new(),
+            ctx: ShardCtx {
+                params: query.burst_params(),
+                grid: GridSpec::anchored(query.region.width, query.region.height),
+                query,
+                mode,
+            },
+            store,
+            queues: (0..n).map(|_| BTreeSet::new()).collect(),
             stats: DetectorStats::default(),
             searches_at_last_current: 0,
+            arena: SweepArena::new(),
         }
     }
 
     /// The query this detector answers.
     pub fn query(&self) -> &SurgeQuery {
-        &self.query
+        &self.ctx.query
     }
 
     /// Number of non-empty cells currently tracked.
     pub fn cell_count(&self) -> usize {
-        self.cells.len()
+        use surge_core::CellStore;
+        self.store.len()
+    }
+
+    /// Number of shards the cell store is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.store.shard_count()
     }
 
     fn candidate_score(&self, c: &Candidate) -> f64 {
-        self.params.score_weights(c.wc, c.wp)
-    }
-
-    /// Applies one event to one cell: rect bookkeeping, bound updates
-    /// (Definition 7 / Eqn. 3) and Lemma-4 candidate maintenance.
-    fn apply_to_cell(&mut self, id: CellId, ev: &Event, g: &SweepRect) {
-        let params = self.params;
-        let mode = self.mode;
-        let cell_rect = self.grid.cell_rect(id);
-        let domain = self
-            .query
-            .point_domain()
-            .and_then(|d| d.intersection(&cell_rect));
-        let w = ev.object.weight;
-
-        let (old_key, disposition) = {
-            let cell = self.cells.entry(id).or_insert_with(|| Cell {
-                rects: HashMap::new(),
-                us_weight: 0.0,
-                ud: f64::INFINITY,
-                cand: if domain.is_none() {
-                    CandState::Infeasible
-                } else {
-                    CandState::Stale
-                },
-                heap_key: TotalF64(f64::NEG_INFINITY),
-                domain,
-            });
-            let covers = |cand: &Candidate| g.rect.contains(cand.point);
-
-            match ev.kind {
-                EventKind::New => {
-                    cell.rects.insert(
-                        ev.object.id,
-                        SweepRect {
-                            rect: g.rect,
-                            weight: w,
-                            kind: WindowKind::Current,
-                        },
-                    );
-                    cell.us_weight += w;
-                    if cell.ud.is_finite() {
-                        cell.ud += w / params.current_norm;
-                    }
-                    if let CandState::Valid(c) = &mut cell.cand {
-                        // Lemma 4 (New): the candidate survives iff the new
-                        // rectangle covers it and its pre-update increase
-                        // term is strictly positive.
-                        let increasing = c.wc / params.current_norm - c.wp / params.past_norm > 0.0;
-                        if covers(c) && increasing {
-                            c.wc += w;
-                        } else {
-                            cell.cand = CandState::Stale;
-                        }
-                    }
-                }
-                EventKind::Grown => {
-                    let present = if let Some(r) = cell.rects.get_mut(&ev.object.id) {
-                        r.kind = WindowKind::Past;
-                        true
-                    } else {
-                        false
-                    };
-                    if present {
-                        cell.us_weight -= w;
-                        // Eqn. 3: dynamic bound unchanged on Grown.
-                        if let CandState::Valid(c) = &cell.cand {
-                            // Lemma 4 (Grown): survives iff NOT covered.
-                            if covers(c) {
-                                cell.cand = CandState::Stale;
-                            }
-                        }
-                    }
-                }
-                EventKind::Expired => {
-                    if cell.rects.remove(&ev.object.id).is_some() {
-                        if cell.ud.is_finite() {
-                            cell.ud += params.alpha * w / params.past_norm;
-                        }
-                        if let CandState::Valid(c) = &mut cell.cand {
-                            // Lemma 4 (Expired): survives iff covered and the
-                            // pre-update increase term is strictly positive.
-                            let increasing =
-                                c.wc / params.current_norm - c.wp / params.past_norm > 0.0;
-                            if covers(c) && increasing {
-                                c.wp -= w;
-                            } else {
-                                cell.cand = CandState::Stale;
-                            }
-                        }
-                    }
-                }
-            }
-
-            // B-CCS: any touch stales the candidate (see BoundMode docs).
-            if mode == BoundMode::StaticOnly {
-                if let CandState::Valid(_) = cell.cand {
-                    cell.cand = CandState::Stale;
-                }
-            }
-
-            let old_key = cell.heap_key;
-            if cell.rects.is_empty() {
-                (old_key, None)
-            } else {
-                let new_key = if matches!(cell.cand, CandState::Infeasible) {
-                    TotalF64(f64::NEG_INFINITY)
-                } else {
-                    cell_bound_key(cell, &params, mode)
-                };
-                cell.heap_key = new_key;
-                (old_key, Some(new_key))
-            }
-        };
-
-        match disposition {
-            None => {
-                // Drop drained cells entirely; they contribute score ≤ 0.
-                self.queue.remove(&(old_key, id));
-                self.cells.remove(&id);
-            }
-            Some(new_key) => {
-                if new_key != old_key || !self.queue.contains(&(new_key, id)) {
-                    self.queue.remove(&(old_key, id));
-                    self.queue.insert((new_key, id));
-                }
-            }
-        }
+        self.ctx.params.score_weights(c.wc, c.wp)
     }
 
     /// Searches one cell with SL-CSPOT, refreshing its candidate and dynamic
     /// bound, and returns the candidate score (or `None` if infeasible).
     fn search_cell(&mut self, id: CellId) -> Option<f64> {
-        let params = self.params;
-        let outcome = {
-            let cell = self.cells.get(&id)?;
-            let domain = cell.domain?;
-            let rects = cell.sorted_rects();
-            sl_cspot(&rects, &domain, &params)
-        };
-        self.install_result(id, outcome)
-    }
-
-    /// Writes one sweep outcome into a cell: candidate, dynamic bound and
-    /// queue position — exactly the bookkeeping `search_cell` performs after
-    /// its sweep. Returns the candidate score (or `None` if infeasible).
-    fn install_result(&mut self, id: CellId, outcome: Option<SweepResult>) -> Option<f64> {
         self.stats.searches += 1;
-        let params = self.params;
-        let mode = self.mode;
-        let (old_key, new_key, score) = {
-            let cell = self.cells.get_mut(&id)?;
-            let domain = cell.domain?;
-            let (cand, score) = match outcome {
-                Some(res) => (
-                    Candidate {
-                        point: res.point,
-                        wc: res.wc,
-                        wp: res.wp,
-                    },
-                    res.score,
-                ),
-                None => (
-                    // No rectangle intersects the feasible domain: no point
-                    // in this cell scores above zero; record an "empty" valid
-                    // candidate at the domain corner.
-                    Candidate {
-                        point: Point::new(domain.x1, domain.y1),
-                        wc: 0.0,
-                        wp: 0.0,
-                    },
-                    0.0,
-                ),
-            };
-            cell.cand = CandState::Valid(cand);
-            cell.ud = score;
-            let old_key = cell.heap_key;
-            let new_key = cell_bound_key(cell, &params, mode);
-            cell.heap_key = new_key;
-            (old_key, new_key, score)
-        };
-        if new_key != old_key {
-            self.queue.remove(&(old_key, id));
-            self.queue.insert((new_key, id));
-        }
-        Some(score)
+        let s = self.store.shard_of(id);
+        let ctx = self.ctx;
+        let outcome = sweep_cell(self.store.shard(s), &ctx, &mut self.arena, id)?;
+        install_result_into(
+            self.store.shard_mut(s),
+            &mut self.queues[s],
+            &ctx,
+            id,
+            outcome,
+        )
     }
 
     /// The burst-score parameters this detector sweeps with.
     pub fn burst_params(&self) -> BurstParams {
-        self.params
+        self.ctx.params
     }
 
     /// Number of cells whose candidate is currently stale (searched lazily
     /// on the next [`BurstDetector::current`] call, or eagerly via
     /// [`Self::snapshot_dirty`]).
     pub fn dirty_cell_count(&self) -> usize {
-        self.cells
-            .values()
+        self.store
+            .shards()
+            .iter()
+            .flat_map(|m| m.values())
             .filter(|c| matches!(c.cand, CandState::Stale))
             .count()
+    }
+
+    fn jobs_for_ids(&self, shard: usize, ids: Vec<CellId>) -> Vec<DirtyCellJob> {
+        let cells = self.store.shard(shard);
+        ids.into_iter()
+            .map(|id| {
+                let cell = &cells[&id];
+                DirtyCellJob {
+                    id,
+                    rects: cell.sorted_rects(),
+                    domain: cell.domain.expect("filtered to feasible"),
+                }
+            })
+            .collect()
     }
 
     /// Snapshots every stale feasible cell as a self-contained
@@ -403,52 +574,162 @@ impl CellCspot {
     /// may be applied between snapshot and install, otherwise the results
     /// are silently out of date.
     pub fn snapshot_dirty(&self) -> Vec<DirtyCellJob> {
-        let mut ids: Vec<CellId> = self
-            .cells
-            .iter()
-            .filter(|(_, c)| matches!(c.cand, CandState::Stale) && c.domain.is_some())
-            .map(|(id, _)| *id)
+        let mut jobs: Vec<DirtyCellJob> = (0..self.store.shard_count())
+            .flat_map(|s| self.snapshot_dirty_shard(s))
             .collect();
-        ids.sort_unstable();
-        ids.into_iter()
-            .map(|id| {
-                let cell = &self.cells[&id];
-                DirtyCellJob {
-                    id,
-                    rects: cell.sorted_rects(),
-                    domain: cell.domain.expect("filtered to feasible"),
-                }
-            })
-            .collect()
+        jobs.sort_unstable_by_key(|j| j.id);
+        jobs
+    }
+
+    /// The [`Self::snapshot_dirty`] slice of one shard, in deterministic
+    /// (cell-id) order within the shard.
+    pub fn snapshot_dirty_shard(&self, shard: usize) -> Vec<DirtyCellJob> {
+        self.jobs_for_ids(shard, dirty_ids(self.store.shard(shard)))
     }
 
     /// Installs externally computed sweep outcomes (see
     /// [`Self::snapshot_dirty`]). Results for cells that have vanished in
     /// the meantime are ignored; each installed result counts as one search
     /// in [`DetectorStats`], exactly as if `search_cell` had run it.
+    /// Per-shard batches may be installed in any order.
     pub fn install_search_results(&mut self, results: impl IntoIterator<Item = DirtyCellResult>) {
+        let ctx = self.ctx;
         for r in results {
-            if self.cells.contains_key(&r.id) {
-                let _ = self.install_result(r.id, r.outcome);
+            let s = self.store.shard_of(r.id);
+            if self.store.shard(s).contains_key(&r.id) {
+                self.stats.searches += 1;
+                let _ = install_result_into(
+                    self.store.shard_mut(s),
+                    &mut self.queues[s],
+                    &ctx,
+                    r.id,
+                    r.outcome,
+                );
             }
         }
+    }
+
+    /// The queue entry strictly below `cursor` in the global descending
+    /// `(bound, cell)` order, merged across the shard queues.
+    fn next_entry_below(&self, cursor: Option<(TotalF64, CellId)>) -> Option<(TotalF64, CellId)> {
+        self.queues
+            .iter()
+            .filter_map(|q| match cursor {
+                None => q.iter().next_back(),
+                Some(c) => q.range(..c).next_back(),
+            })
+            .max()
+            .copied()
     }
 }
 
 impl IncrementalDetector for CellCspot {
     type Job = DirtyCellJob;
     type Outcome = DirtyCellResult;
+    type Scratch = SweepArena;
 
     fn snapshot_dirty_jobs(&self) -> Vec<DirtyCellJob> {
         self.snapshot_dirty()
     }
 
     fn run_job(&self, job: &DirtyCellJob) -> DirtyCellResult {
-        job.run(&self.params)
+        job.run(&self.ctx.params)
+    }
+
+    fn run_job_with(&self, arena: &mut SweepArena, job: &DirtyCellJob) -> DirtyCellResult {
+        job.run_with(arena, &self.ctx.params)
     }
 
     fn install_outcomes(&mut self, outcomes: Vec<DirtyCellResult>) {
         self.install_search_results(outcomes);
+    }
+
+    fn shard_count(&self) -> usize {
+        self.store.shard_count()
+    }
+
+    fn snapshot_dirty_jobs_shard(&self, shard: usize) -> Vec<DirtyCellJob> {
+        self.snapshot_dirty_shard(shard)
+    }
+}
+
+/// One shard's exclusive ingest handle (see [`ShardedIngest`]): owns the
+/// shard's cell map and queue for the lifetime of a sharded run, applies
+/// the event stream to its own cells, sweeps its dirty cells at flush
+/// boundaries with a private [`SweepArena`], and reports the shard-local
+/// best candidate.
+#[derive(Debug)]
+pub struct CellShardWorker<'a> {
+    shard: usize,
+    shard_count: usize,
+    ctx: ShardCtx,
+    cells: &'a mut HashMap<CellId, Cell>,
+    queue: &'a mut ShardQueue,
+    arena: SweepArena,
+    stats: ShardWorkerStats,
+}
+
+impl ShardWorker for CellShardWorker<'_> {
+    fn on_event(&mut self, event: &Event) {
+        let Some(sweep) = event_sweep_rect(&self.ctx, event) else {
+            return;
+        };
+        let grid = self.ctx.grid;
+        for id in grid.cells_overlapping_iter(&sweep.rect) {
+            if shard_of_cell(id, self.shard_count) == self.shard {
+                apply_event_to_cell(self.cells, self.queue, &self.ctx, id, event, &sweep);
+                self.stats.cell_touches += 1;
+            }
+        }
+    }
+
+    fn flush(&mut self) -> Option<ShardAnswer> {
+        for id in dirty_ids(self.cells) {
+            let outcome = sweep_cell(self.cells, &self.ctx, &mut self.arena, id)
+                .expect("dirty cell is present and feasible");
+            install_result_into(self.cells, self.queue, &self.ctx, id, outcome);
+            self.stats.sweeps += 1;
+        }
+        shard_best(self.cells, self.queue, &self.ctx)
+    }
+
+    fn stats(&self) -> ShardWorkerStats {
+        self.stats
+    }
+}
+
+impl ShardedIngest for CellCspot {
+    type Worker<'a> = CellShardWorker<'a>;
+
+    fn ingest_workers(&mut self) -> Vec<CellShardWorker<'_>> {
+        let ctx = self.ctx;
+        let shard_count = self.store.shard_count();
+        self.store
+            .shards_mut()
+            .iter_mut()
+            .zip(self.queues.iter_mut())
+            .enumerate()
+            .map(|(shard, (cells, queue))| CellShardWorker {
+                shard,
+                shard_count,
+                ctx,
+                cells,
+                queue,
+                arena: SweepArena::new(),
+                stats: ShardWorkerStats::default(),
+            })
+            .collect()
+    }
+
+    fn absorb_shard_run(&mut self, run: ShardRunStats) {
+        self.stats.events += run.events;
+        self.stats.new_events += run.new_events;
+        self.stats.searches += run.searches;
+        self.searches_at_last_current = self.stats.searches;
+    }
+
+    fn region_size(&self) -> RegionSize {
+        self.ctx.query.region
     }
 }
 
@@ -458,36 +739,33 @@ impl BurstDetector for CellCspot {
         if event.kind == EventKind::New {
             self.stats.new_events += 1;
         }
-        if !self.query.accepts(event.object.pos) {
+        let Some(sweep) = event_sweep_rect(&self.ctx, event) else {
             return;
-        }
-        let g = object_to_rect(&event.object, self.query.region);
-        let sweep = SweepRect {
-            rect: g.rect,
-            weight: g.weight,
-            kind: WindowKind::Current,
         };
         // Allocation-free cell enumeration: this runs for every event.
-        let grid = self.grid;
-        for id in grid.cells_overlapping_iter(&g.rect) {
-            self.apply_to_cell(id, event, &sweep);
+        let ctx = self.ctx;
+        for id in ctx.grid.cells_overlapping_iter(&sweep.rect) {
+            let s = self.store.shard_of(id);
+            apply_event_to_cell(
+                self.store.shard_mut(s),
+                &mut self.queues[s],
+                &ctx,
+                id,
+                event,
+                &sweep,
+            );
         }
     }
 
     fn current(&mut self) -> Option<RegionAnswer> {
         let searches_before = self.stats.searches;
         let mut best: Option<(f64, Candidate)> = None;
-        // Descending scan over the bound-ordered queue. Searching a cell can
-        // only *lower* its key, so restarting the cursor after each search
-        // terminates; with combined bounds the top valid cell is optimal
-        // immediately.
+        // Descending scan over the merged bound-ordered shard queues.
+        // Searching a cell can only *lower* its key, so restarting the
+        // cursor after each search terminates; with combined bounds the top
+        // valid cell is optimal immediately.
         let mut cursor: Option<(TotalF64, CellId)> = None;
-        loop {
-            let entry = match cursor {
-                None => self.queue.iter().next_back().copied(),
-                Some(c) => self.queue.range(..c).next_back().copied(),
-            };
-            let Some((key, id)) = entry else { break };
+        while let Some((key, id)) = self.next_entry_below(cursor) {
             if let Some((bs, _)) = best {
                 if key.get() <= bs {
                     break;
@@ -496,7 +774,11 @@ impl BurstDetector for CellCspot {
             if key.get() == f64::NEG_INFINITY {
                 break;
             }
-            let state = self.cells.get(&id).map(|c| c.cand);
+            let state = self
+                .store
+                .shard(self.store.shard_of(id))
+                .get(&id)
+                .map(|c| c.cand);
             match state {
                 Some(CandState::Valid(c)) => {
                     let s = self.candidate_score(&c);
@@ -507,7 +789,10 @@ impl BurstDetector for CellCspot {
                 }
                 Some(CandState::Stale) => {
                     if let Some(s) = self.search_cell(id) {
-                        if let Some(CandState::Valid(c)) = self.cells.get(&id).map(|c| c.cand) {
+                        let shard = self.store.shard_of(id);
+                        if let Some(CandState::Valid(c)) =
+                            self.store.shard(shard).get(&id).map(|c| c.cand)
+                        {
                             if best.is_none_or(|(bs, _)| s > bs) {
                                 best = Some((s, c));
                             }
@@ -525,11 +810,11 @@ impl BurstDetector for CellCspot {
             self.stats.events_triggering_search += 1;
         }
         self.searches_at_last_current = self.stats.searches;
-        best.map(|(s, c)| RegionAnswer::from_point(c.point, self.query.region, s))
+        best.map(|(s, c)| RegionAnswer::from_point(c.point, self.ctx.query.region, s))
     }
 
     fn name(&self) -> &'static str {
-        match self.mode {
+        match self.ctx.mode {
             BoundMode::Combined => "CCS",
             BoundMode::StaticOnly => "B-CCS",
         }
@@ -746,5 +1031,131 @@ mod tests {
         assert_eq!(st.new_events, 1);
         assert!(st.searches >= 1);
         assert_eq!(st.events_triggering_search, 1);
+    }
+
+    #[test]
+    fn shard_count_is_structural_only() {
+        // Same stream through 1-, 4- and 64-shard detectors: answers, cell
+        // counts and stats must be bit-identical.
+        let streams: Vec<SpatialObject> = (0..200)
+            .map(|i| {
+                obj(
+                    i,
+                    1.0 + (i % 5) as f64,
+                    (i % 13) as f64 * 0.7,
+                    (i % 11) as f64 * 0.9,
+                    i * 10,
+                )
+            })
+            .collect();
+        let mut detectors: Vec<CellCspot> = [1usize, 4, 64]
+            .iter()
+            .map(|&s| CellCspot::with_shards(query(0.5), BoundMode::Combined, s))
+            .collect();
+        for (i, o) in streams.iter().enumerate() {
+            let mut answers = Vec::new();
+            for d in &mut detectors {
+                d.on_event(&Event::new_arrival(*o));
+                if i % 2 == 0 {
+                    d.on_event(&Event::grown(streams[i / 2], (i as u64 + 1) * 10));
+                }
+                answers.push(d.current());
+            }
+            for w in answers.windows(2) {
+                match (w[0], w[1]) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.score.to_bits(), b.score.to_bits(), "step {i}");
+                        assert_eq!(a.point.x.to_bits(), b.point.x.to_bits(), "step {i}");
+                        assert_eq!(a.point.y.to_bits(), b.point.y.to_bits(), "step {i}");
+                    }
+                    (None, None) => {}
+                    other => panic!("step {i}: {other:?}"),
+                }
+            }
+        }
+        let s0 = detectors[0].stats();
+        for d in &detectors[1..] {
+            assert_eq!(d.stats(), s0);
+            assert_eq!(d.cell_count(), detectors[0].cell_count());
+        }
+    }
+
+    #[test]
+    fn shard_workers_match_sequential_ingest() {
+        // Feeding every worker the full event stream must leave the
+        // detector in exactly the state sequential on_event produces.
+        let events: Vec<Event> = (0..120)
+            .flat_map(|i| {
+                let o = obj(
+                    i,
+                    1.0 + (i % 3) as f64,
+                    (i % 9) as f64,
+                    (i % 7) as f64,
+                    i * 5,
+                );
+                let mut evs = vec![Event::new_arrival(o)];
+                if i % 3 == 0 && i >= 30 {
+                    evs.push(Event::grown(
+                        obj(
+                            i - 30,
+                            1.0 + ((i - 30) % 3) as f64,
+                            ((i - 30) % 9) as f64,
+                            ((i - 30) % 7) as f64,
+                            (i - 30) * 5,
+                        ),
+                        i * 5,
+                    ));
+                }
+                evs
+            })
+            .collect();
+
+        let mut seq = CellCspot::with_shards(query(0.5), BoundMode::Combined, 4);
+        for ev in &events {
+            seq.on_event(ev);
+        }
+        // The flush contract compares against the *all-fresh* sequential
+        // state (snapshot → install → current), the exact cadence the
+        // sharded driver runs at.
+        let jobs = seq.snapshot_dirty_jobs();
+        let outcomes: Vec<_> = jobs.iter().map(|j| seq.run_job(j)).collect();
+        seq.install_outcomes(outcomes);
+        let want = seq.current();
+
+        let mut par = CellCspot::with_shards(query(0.5), BoundMode::Combined, 4);
+        let region = par.region_size();
+        let (best, sweeps) = {
+            let mut workers = par.ingest_workers();
+            for ev in &events {
+                for w in &mut workers {
+                    w.on_event(ev);
+                }
+            }
+            let best = workers
+                .iter_mut()
+                .filter_map(|w| w.flush())
+                .max_by_key(|a| a.merge_key());
+            let sweeps: u64 = workers.iter().map(|w| w.stats().sweeps).sum();
+            (best, sweeps)
+        };
+        par.absorb_shard_run(ShardRunStats {
+            events: events.len() as u64,
+            new_events: events.iter().filter(|e| e.kind == EventKind::New).count() as u64,
+            searches: sweeps,
+        });
+        let got = best.map(|b| b.answer(region));
+
+        match (want, got) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.point.x.to_bits(), b.point.x.to_bits());
+                assert_eq!(a.point.y.to_bits(), b.point.y.to_bits());
+            }
+            (None, None) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(par.dirty_cell_count(), 0);
+        assert_eq!(par.stats().events, seq.stats().events);
+        assert_eq!(par.cell_count(), seq.cell_count());
     }
 }

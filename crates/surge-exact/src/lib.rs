@@ -6,13 +6,15 @@
 //!   on a snapshot of rectangle objects: the production `O(n log n)`
 //!   segment-tree sweep [`sl_cspot`] plus the retained `O(n²)` reference
 //!   [`sl_cspot_naive`].
-//! * [`segtree`] — the lazily-propagated max segment trees behind the sweep,
-//!   including the two-linear-form decomposition that makes range-add max
-//!   exact for the non-monotone burst score.
+//! * [`segtree`] — the flat, arena-friendly lazy max segment trees behind
+//!   the sweep (plus the retained recursive reference tree), including the
+//!   two-linear-form decomposition that makes range-add max exact for the
+//!   non-monotone burst score.
 //! * [`cell`] — Cell-CSPOT (Algorithm 2), the continuous exact detector with
 //!   lazy cell updates, static + dynamic upper bounds and candidate-point
-//!   maintenance; also provides the B-CCS (static-bound-only) ablation and
-//!   the dirty-cell snapshot API used by the parallel stream driver.
+//!   maintenance over a sharded cell store; also provides the B-CCS
+//!   (static-bound-only) ablation, the dirty-cell snapshot API and the
+//!   per-shard ingest workers used by the parallel stream drivers.
 //! * [`base`] — the Base ablation that searches every affected cell on every
 //!   event (no bounds), with an opt-in incumbent-pruned variant.
 //! * [`maxrs`] — the α = 0 specialization (classic MaxRS) on the shared
@@ -32,8 +34,12 @@ pub mod segtree;
 pub mod sweep;
 
 pub use base::BaseDetector;
-pub use cell::{BoundMode, CellCspot, DirtyCellJob, DirtyCellResult};
+pub use cell::{
+    BoundMode, CellCspot, CellShardWorker, DirtyCellJob, DirtyCellResult, DEFAULT_SHARDS,
+};
 pub use maxrs::maxrs_sweep;
 pub use oracle::{score_of_region, snapshot_bursty_region, snapshot_rects, snapshot_topk};
-pub use segtree::{BurstSegTree, MaxAddTree};
-pub use sweep::{score_at_point, sl_cspot, sl_cspot_naive, SweepRect, SweepResult};
+pub use segtree::{BurstSegTree, MaxAddTree, RecursiveMaxAddTree};
+pub use sweep::{
+    score_at_point, sl_cspot, sl_cspot_naive, sl_cspot_with, SweepArena, SweepRect, SweepResult,
+};

@@ -43,19 +43,167 @@
 //! enters and leaves the tree exactly once at `O(log n)` per update:
 //! `O(n log n)` per sweep versus the naive midpoint enumeration's `O(n²)`.
 //!
-//! [`MaxAddTree`] is the generic single-form tree (also used by the α = 0
-//! MaxRS fast path in [`crate::maxrs`]); [`BurstSegTree`] bundles the two
-//! forms behind window-kind-aware updates.
+//! # Flat layout
+//!
+//! [`MaxAddTree`] is a **flat iterative** tree: nodes live in one
+//! power-of-two-aligned array (`node 1` is the root, node `i`'s children are
+//! `2i`/`2i+1`, leaf `j` sits at `m + j`), updates walk the two boundary
+//! leaves bottom-up, and no recursion happens anywhere. Profiling the PR-1
+//! recursive tree showed the recursive `add` at ~40 % of sweep time at small
+//! `n` — call overhead and the pointer-chasing `(lo, hi)` midpoint recursion
+//! dominate when the tree is shallow. The flat walk touches the same
+//! `O(log n)` nodes with plain index arithmetic over three contiguous
+//! arrays, and [`MaxAddTree::reset`] re-initializes in place so a
+//! [`crate::sweep::SweepArena`] can reuse one allocation across every sweep
+//! of a cell's lifetime.
+//!
+//! The previous recursive implementation survives as
+//! [`RecursiveMaxAddTree`] — the differential-testing reference and the
+//! baseline the `surge_exp sweep-bench` flat-vs-recursive micro-benchmark
+//! measures against. Both trees break argmax ties leftmost, so on scenes
+//! with exact arithmetic (integer-valued adds) they agree bit-for-bit,
+//! argmax included.
+//!
+//! [`BurstSegTree`] bundles two trees behind window-kind-aware updates; the
+//! α = 0 MaxRS fast path in [`crate::maxrs`] uses a single [`MaxAddTree`].
 
 use surge_core::{BurstParams, WindowKind};
 
-/// Max-segment-tree with lazy range addition over `n` leaf positions.
+/// Flat max-segment-tree with lazy range addition over `n` leaf positions.
 ///
 /// Supports `add(l, r, v)` — add `v` to every leaf in `[l, r]` — and
-/// [`top`](MaxAddTree::top), the global maximum with an attaining leaf, both
-/// in `O(log n)`. All leaves start at `0.0`.
+/// [`top`](MaxAddTree::top), the global maximum with an attaining leaf
+/// (leftmost on ties), in `O(log n)` and `O(1)` respectively. All leaves
+/// start at `0.0`. [`reset`](MaxAddTree::reset) re-initializes in place for
+/// allocation reuse.
 #[derive(Debug, Clone)]
 pub struct MaxAddTree {
+    /// Logical leaf count (as constructed; `n = 0` behaves like `n = 1`).
+    n: usize,
+    /// Power-of-two leaf span; leaf `j` is node `m + j`.
+    m: usize,
+    /// `max[i]` = max over node `i`'s subtree *including* pending adds at
+    /// `i` (but not above it). Padding leaves `[n, m)` hold `−∞`.
+    max: Vec<f64>,
+    /// Pending addition to the whole subtree of node `i`.
+    add: Vec<f64>,
+    /// Leaf index attaining `max[i]` within node `i`'s subtree.
+    arg: Vec<usize>,
+}
+
+impl MaxAddTree {
+    /// A tree over `n` leaves, all at `0.0`.
+    pub fn new(n: usize) -> Self {
+        let mut t = MaxAddTree {
+            n: 0,
+            m: 1,
+            max: Vec::new(),
+            add: Vec::new(),
+            arg: Vec::new(),
+        };
+        t.reset(n);
+        t
+    }
+
+    /// Re-initializes the tree over `n` zero leaves, reusing the existing
+    /// allocation whenever it is large enough.
+    pub fn reset(&mut self, n: usize) {
+        let leaves = n.max(1);
+        let m = leaves.next_power_of_two();
+        self.n = n;
+        self.m = m;
+        let size = 2 * m;
+        self.max.clear();
+        self.max.resize(size, 0.0);
+        self.add.clear();
+        self.add.resize(size, 0.0);
+        self.arg.clear();
+        self.arg.resize(size, 0);
+        // Leaves: real ones at 0.0, padding at −∞ so it can never win.
+        for j in leaves..m {
+            self.max[m + j] = f64::NEG_INFINITY;
+        }
+        for (j, a) in self.arg[m..].iter_mut().enumerate() {
+            *a = j;
+        }
+        // Internal nodes bottom-up; left child wins ties (leftmost bias).
+        for i in (1..m).rev() {
+            let (l, r) = (2 * i, 2 * i + 1);
+            if self.max[l] >= self.max[r] {
+                self.max[i] = self.max[l];
+                self.arg[i] = self.arg[l];
+            } else {
+                self.max[i] = self.max[r];
+                self.arg[i] = self.arg[r];
+            }
+        }
+    }
+
+    /// Number of leaves the tree was built over.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tree has zero logical leaves.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds `v` to every position in `[l, r]` (inclusive).
+    pub fn add(&mut self, l: usize, r: usize, v: f64) {
+        debug_assert!(l <= r && r < self.n.max(1));
+        let mut lo = l + self.m;
+        let mut hi = r + self.m + 1; // half-open [lo, hi)
+        let (lseed, rseed) = (lo, hi - 1);
+        while lo < hi {
+            if lo & 1 == 1 {
+                self.max[lo] += v;
+                self.add[lo] += v;
+                lo += 1;
+            }
+            if hi & 1 == 1 {
+                hi -= 1;
+                self.max[hi] += v;
+                self.add[hi] += v;
+            }
+            lo >>= 1;
+            hi >>= 1;
+        }
+        // Re-establish `max[i] = max(children) + add[i]` on the two boundary
+        // root paths; every changed node hangs off one of them.
+        self.pull_up(lseed >> 1);
+        self.pull_up(rseed >> 1);
+    }
+
+    #[inline]
+    fn pull_up(&mut self, mut node: usize) {
+        while node >= 1 {
+            let (l, r) = (2 * node, 2 * node + 1);
+            if self.max[l] >= self.max[r] {
+                self.max[node] = self.max[l] + self.add[node];
+                self.arg[node] = self.arg[l];
+            } else {
+                self.max[node] = self.max[r] + self.add[node];
+                self.arg[node] = self.arg[r];
+            }
+            node >>= 1;
+        }
+    }
+
+    /// The global maximum and a leaf attaining it (leftmost-biased on ties).
+    #[inline]
+    pub fn top(&self) -> (f64, usize) {
+        (self.max[1], self.arg[1])
+    }
+}
+
+/// The PR-1 recursive lazy max-tree, retained verbatim as the
+/// differential-testing reference and micro-benchmark baseline for the flat
+/// [`MaxAddTree`]. Production sweeps use the flat tree.
+#[derive(Debug, Clone)]
+pub struct RecursiveMaxAddTree {
     n: usize,
     /// Max over the subtree, *including* pending adds at this node.
     max: Vec<f64>,
@@ -65,11 +213,11 @@ pub struct MaxAddTree {
     arg: Vec<usize>,
 }
 
-impl MaxAddTree {
+impl RecursiveMaxAddTree {
     /// A tree over `n` leaves, all at `0.0`.
     pub fn new(n: usize) -> Self {
         let size = 4 * n.max(1);
-        MaxAddTree {
+        RecursiveMaxAddTree {
             n,
             max: vec![0.0; size],
             lazy: vec![0.0; size],
@@ -160,6 +308,17 @@ impl BurstSegTree {
         }
     }
 
+    /// Re-initializes over `n` leaves and fresh parameters, reusing both
+    /// trees' allocations (the arena path: one `BurstSegTree` serves every
+    /// sweep of a detector or shard worker).
+    pub fn reset(&mut self, n: usize, params: &BurstParams) {
+        self.diff.reset(n);
+        self.sig.reset(n);
+        self.cur_diff = 1.0 / params.current_norm;
+        self.cur_sig = (1.0 - params.alpha) / params.current_norm;
+        self.past_diff = -params.alpha / params.past_norm;
+    }
+
     /// Applies a rectangle of `weight` and window `kind` entering
     /// (`sign = 1.0`) or leaving (`sign = -1.0`) the sweep front over leaf
     /// range `[l, r]`.
@@ -229,6 +388,67 @@ mod tests {
         assert_eq!(t.top().0, 4.0);
     }
 
+    #[test]
+    fn all_negative_leaves_beat_padding() {
+        // Non-power-of-two leaf count: the padding leaves hold −∞ and must
+        // never surface even when every real leaf goes negative.
+        let mut t = MaxAddTree::new(5);
+        t.add(0, 4, -3.0);
+        t.add(2, 2, 1.0);
+        assert_eq!(t.top(), (-2.0, 2));
+        t.add(2, 2, -1.0);
+        let (m, a) = t.top();
+        assert_eq!(m, -3.0);
+        assert!(a < 5, "padding leaf leaked: {a}");
+    }
+
+    #[test]
+    fn reset_reuses_allocation_and_clears_state() {
+        let mut t = MaxAddTree::new(16);
+        t.add(3, 12, 9.0);
+        t.reset(16);
+        assert_eq!(t.top(), (0.0, 0));
+        t.add(5, 5, 1.0);
+        assert_eq!(t.top(), (1.0, 5));
+        // Shrinking and regrowing keeps leaves clean.
+        t.reset(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.top(), (0.0, 0));
+        t.reset(31);
+        assert_eq!(t.top(), (0.0, 0));
+        t.add(30, 30, 2.0);
+        assert_eq!(t.top(), (2.0, 30));
+    }
+
+    #[test]
+    fn flat_matches_recursive_exactly_on_integer_scenes() {
+        // Deterministic integer-valued interval adds: arithmetic is exact,
+        // so flat and recursive trees must agree bitwise, argmax included.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for n in [1usize, 2, 3, 7, 8, 17, 64, 100] {
+            let mut flat = MaxAddTree::new(n);
+            let mut rec = RecursiveMaxAddTree::new(n);
+            for _ in 0..200 {
+                let a = (next() as usize) % n;
+                let b = (next() as usize) % n;
+                let (l, r) = (a.min(b), a.max(b));
+                let v = (next() % 21) as f64 - 10.0;
+                flat.add(l, r, v);
+                rec.add(l, r, v);
+                let (fm, fa) = flat.top();
+                let (rm, ra) = rec.top();
+                assert_eq!(fm.to_bits(), rm.to_bits(), "n={n} max mismatch");
+                assert_eq!(fa, ra, "n={n} argmax mismatch");
+            }
+        }
+    }
+
     fn params(alpha: f64) -> BurstParams {
         BurstParams {
             alpha,
@@ -278,5 +498,22 @@ mod tests {
         let (m, _) = t.top();
         // S = 0.5·max(1 − 0.5, 0) + 0.5·1 = 0.75
         assert!((m - 0.75).abs() < 1e-12, "got {m}");
+    }
+
+    #[test]
+    fn burst_tree_reset_swaps_parameters() {
+        let mut t = BurstSegTree::new(4, &params(0.5));
+        t.apply(0, 3, 2.0, WindowKind::Current, 1.0);
+        t.reset(
+            2,
+            &BurstParams {
+                alpha: 0.0,
+                current_norm: 2.0,
+                past_norm: 1.0,
+            },
+        );
+        t.apply(0, 1, 2.0, WindowKind::Current, 1.0); // fc = 1
+        let (m, _) = t.top();
+        assert!((m - 1.0).abs() < 1e-12, "got {m}");
     }
 }

@@ -26,6 +26,56 @@ use surge_core::{BurstParams, Point, Rect, TotalF64, WindowKind};
 
 use crate::segtree::BurstSegTree;
 
+/// Reusable scratch space for [`sl_cspot_with`]: every buffer the sweep
+/// needs — clipped rectangles, evaluation coordinates, per-rectangle leaf
+/// ranges, enter/exit orders, and the two-form segment tree itself — lives
+/// here and is recycled across sweeps, so a long-lived owner (a detector, or
+/// one shard worker) allocates once and sweeps forever.
+///
+/// [`sl_cspot`] is the convenience wrapper that builds a fresh arena per
+/// call; hot paths (dirty-cell sweeps, per-event searches) hold one arena
+/// per thread of execution.
+#[derive(Debug)]
+pub struct SweepArena {
+    clipped: Vec<SweepRect>,
+    edges: Vec<f64>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ranges: Vec<(usize, usize)>,
+    enter: Vec<usize>,
+    exit: Vec<usize>,
+    tree: BurstSegTree,
+}
+
+impl SweepArena {
+    /// An empty arena; buffers grow to the largest sweep they serve.
+    pub fn new() -> Self {
+        SweepArena {
+            clipped: Vec::new(),
+            edges: Vec::new(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            ranges: Vec::new(),
+            enter: Vec::new(),
+            exit: Vec::new(),
+            tree: BurstSegTree::new(
+                0,
+                &BurstParams {
+                    alpha: 0.0,
+                    current_norm: 1.0,
+                    past_norm: 1.0,
+                },
+            ),
+        }
+    }
+}
+
+impl Default for SweepArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A rectangle participating in a sweep, tagged with its window.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepRect {
@@ -50,18 +100,18 @@ pub struct SweepResult {
     pub wp: f64,
 }
 
-/// Builds the evaluation coordinates for one axis: every distinct edge
-/// coordinate plus the midpoint of every open interval between neighbours.
-fn eval_positions(mut edges: Vec<f64>) -> Vec<f64> {
+/// Builds the evaluation coordinates for one axis into `out`: every distinct
+/// edge coordinate plus the midpoint of every open interval between
+/// neighbours. `edges` is caller-filled scratch; both vectors come from the
+/// arena.
+fn eval_positions_into(edges: &mut Vec<f64>, out: &mut Vec<f64>) {
     edges.sort_by(f64::total_cmp);
     // Dedup under the same total order the index lookups use: `dedup()`'s
     // `==` would merge -0.0 with +0.0, leaving an edge that the later
     // `binary_search_by(total_cmp)` could no longer find.
     edges.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
-    if edges.is_empty() {
-        return edges;
-    }
-    let mut out = Vec::with_capacity(edges.len() * 2 - 1);
+    out.clear();
+    out.reserve(edges.len().saturating_mul(2).saturating_sub(1));
     for (i, &e) in edges.iter().enumerate() {
         if i > 0 {
             let prev = edges[i - 1];
@@ -74,6 +124,13 @@ fn eval_positions(mut edges: Vec<f64>) -> Vec<f64> {
         }
         out.push(e);
     }
+}
+
+/// Builds the evaluation coordinates for one axis (allocating variant, used
+/// by the naive reference sweep).
+fn eval_positions(mut edges: Vec<f64>) -> Vec<f64> {
+    let mut out = Vec::new();
+    eval_positions_into(&mut edges, &mut out);
     out
 }
 
@@ -105,7 +162,35 @@ fn clip_rects(rects: &[SweepRect], area: &Rect) -> Vec<SweepRect> {
 /// exhaustively at the winning point, so they are exact regardless of any
 /// floating-point drift the incremental tree accumulates.
 pub fn sl_cspot(rects: &[SweepRect], area: &Rect, params: &BurstParams) -> Option<SweepResult> {
-    let clipped = clip_rects(rects, area);
+    sl_cspot_with(&mut SweepArena::new(), rects, area, params)
+}
+
+/// [`sl_cspot`] over caller-owned scratch space: identical results, zero
+/// steady-state allocation. Detectors and shard workers keep one
+/// [`SweepArena`] per thread of execution and route every sweep through it.
+pub fn sl_cspot_with(
+    arena: &mut SweepArena,
+    rects: &[SweepRect],
+    area: &Rect,
+    params: &BurstParams,
+) -> Option<SweepResult> {
+    let SweepArena {
+        clipped,
+        edges,
+        xs,
+        ys,
+        ranges,
+        enter,
+        exit,
+        tree,
+    } = arena;
+
+    clipped.clear();
+    for r in rects {
+        if let Some(c) = r.rect.intersection(area) {
+            clipped.push(SweepRect { rect: c, ..*r });
+        }
+    }
     if clipped.is_empty() {
         return None;
     }
@@ -114,41 +199,39 @@ pub fn sl_cspot(rects: &[SweepRect], area: &Rect, params: &BurstParams) -> Optio
     // and open-interval midpoints). Rectangle i covers the inclusive leaf
     // range [index(x0_i), index(x1_i)]: exactly the leaves whose position
     // lies inside the closed rectangle.
-    let xs = eval_positions(
-        clipped
-            .iter()
-            .flat_map(|r| [r.rect.x0, r.rect.x1])
-            .collect(),
-    );
-    let x_index = |v: f64| -> usize {
+    edges.clear();
+    edges.extend(clipped.iter().flat_map(|r| [r.rect.x0, r.rect.x1]));
+    eval_positions_into(edges, xs);
+    let x_index = |xs: &[f64], v: f64| -> usize {
         xs.binary_search_by(|p| p.total_cmp(&v))
             .expect("rect edge must be an evaluation position")
     };
-    let ranges: Vec<(usize, usize)> = clipped
-        .iter()
-        .map(|r| (x_index(r.rect.x0), x_index(r.rect.x1)))
-        .collect();
+    ranges.clear();
+    ranges.extend(
+        clipped
+            .iter()
+            .map(|r| (x_index(xs, r.rect.x0), x_index(xs, r.rect.x1))),
+    );
 
     // Y axis: evaluation heights, descending; a rectangle is active at
     // height y iff y0 ≤ y ≤ y1 (closed extents).
-    let mut ys = eval_positions(
-        clipped
-            .iter()
-            .flat_map(|r| [r.rect.y0, r.rect.y1])
-            .collect(),
-    );
+    edges.clear();
+    edges.extend(clipped.iter().flat_map(|r| [r.rect.y0, r.rect.y1]));
+    eval_positions_into(edges, ys);
     ys.reverse();
-    let mut enter: Vec<usize> = (0..clipped.len()).collect();
+    enter.clear();
+    enter.extend(0..clipped.len());
     enter.sort_by(|&a, &b| clipped[b].rect.y1.total_cmp(&clipped[a].rect.y1));
-    let mut exit: Vec<usize> = (0..clipped.len()).collect();
+    exit.clear();
+    exit.extend(0..clipped.len());
     exit.sort_by(|&a, &b| clipped[b].rect.y0.total_cmp(&clipped[a].rect.y0));
 
-    let mut tree = BurstSegTree::new(xs.len(), params);
+    tree.reset(xs.len(), params);
     let mut next_enter = 0usize;
     let mut next_exit = 0usize;
     let mut best: Option<(TotalF64, usize, f64)> = None;
 
-    for &y in &ys {
+    for &y in ys.iter() {
         while next_enter < enter.len() && clipped[enter[next_enter]].rect.y1 >= y {
             let i = enter[next_enter];
             let (lo, hi) = ranges[i];
@@ -173,7 +256,7 @@ pub fn sl_cspot(rects: &[SweepRect], area: &Rect, params: &BurstParams) -> Optio
     // Exact re-evaluation at the winning point: the incremental tree sums
     // carry rounding from interleaved adds/removes; the coverage pattern it
     // identified is what matters, the score is recomputed from scratch.
-    Some(score_at_point(&clipped, point, params))
+    Some(score_at_point(clipped, point, params))
 }
 
 /// The paper's direct `O(n²)` sweep: evaluates the burst score at every

@@ -215,3 +215,107 @@ fn segtree_matches_naive_on_adversarial_scenes() {
     assert_eq!(res.point, Point::new(2.0, 2.0));
     assert_eq!(res.wc, 7.0);
 }
+
+// ---------------------------------------------------------------------------
+// Flat vs recursive segment tree
+// ---------------------------------------------------------------------------
+
+use surge_exact::{sl_cspot_with, MaxAddTree, RecursiveMaxAddTree, SweepArena};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Random interval-add scenes with integer values: arithmetic is exact,
+    /// so the flat production tree and the recursive reference must agree
+    /// bit-for-bit after every operation — max *and* argmax (both trees
+    /// break ties leftmost, independent of tree shape).
+    #[test]
+    fn flat_tree_matches_recursive_on_random_interval_adds(
+        n in 1usize..130,
+        ops in prop::collection::vec((0u32..1_000, 0u32..1_000, -12i32..13), 1..200),
+    ) {
+        let mut flat = MaxAddTree::new(n);
+        let mut rec = RecursiveMaxAddTree::new(n);
+        for (a, b, v) in ops {
+            let (a, b) = (a as usize % n, b as usize % n);
+            let (l, r) = (a.min(b), a.max(b));
+            flat.add(l, r, v as f64);
+            rec.add(l, r, v as f64);
+            let (fm, fa) = flat.top();
+            let (rm, ra) = rec.top();
+            prop_assert_eq!(fm.to_bits(), rm.to_bits(), "n {} max {} vs {}", n, fm, rm);
+            prop_assert_eq!(fa, ra, "n {} argmax", n);
+        }
+    }
+
+    /// Signed-zero adds: `-0.0` and `+0.0` interleaved with ±1 values. The
+    /// trees may legitimately differ in the *sign* of a zero (their internal
+    /// sums associate differently), so compare under `==` — what matters is
+    /// that the max value and the leftmost-tie argmax agree.
+    #[test]
+    fn flat_tree_matches_recursive_with_negative_zero_adds(
+        n in 1usize..40,
+        ops in prop::collection::vec((0u32..100, 0u32..100, 0u32..4), 1..120),
+    ) {
+        let values = [-0.0f64, 0.0, 1.0, -1.0];
+        let mut flat = MaxAddTree::new(n);
+        let mut rec = RecursiveMaxAddTree::new(n);
+        for (a, b, vi) in ops {
+            let (a, b) = (a as usize % n, b as usize % n);
+            let (l, r) = (a.min(b), a.max(b));
+            let v = values[vi as usize];
+            flat.add(l, r, v);
+            rec.add(l, r, v);
+            let (fm, fa) = flat.top();
+            let (rm, ra) = rec.top();
+            prop_assert!(fm == rm, "n {} max {} vs {}", n, fm, rm);
+            prop_assert_eq!(fa, ra, "n {} argmax", n);
+        }
+    }
+
+    /// A reused arena must be invisible: sweeping a *sequence* of unrelated
+    /// scenes through one `SweepArena` yields bitwise the results of fresh
+    /// per-scene sweeps — including scenes with `-0.0` edges, which stress
+    /// the total-order dedup of the recycled coordinate buffers.
+    #[test]
+    fn arena_reuse_is_bitwise_invisible(
+        scenes in prop::collection::vec(arb_scene(14), 1..6),
+        alpha_pct in 0u32..100,
+        flip_zero in any::<bool>(),
+    ) {
+        let params = BurstParams {
+            alpha: alpha_pct as f64 / 100.0,
+            current_norm: 1.0,
+            past_norm: 1.0,
+        };
+        let signed_zero = |v: f64| if flip_zero && v == 0.0 { -0.0 } else { v };
+        let mut arena = SweepArena::new();
+        for scene in scenes {
+            let scene: Vec<SweepRect> = scene
+                .into_iter()
+                .map(|r| SweepRect {
+                    rect: Rect::new(
+                        signed_zero(r.rect.x0),
+                        signed_zero(r.rect.y0),
+                        signed_zero(r.rect.x1),
+                        signed_zero(r.rect.y1),
+                    ),
+                    ..r
+                })
+                .collect();
+            let reused = sl_cspot_with(&mut arena, &scene, &AREA, &params);
+            let fresh = sl_cspot(&scene, &AREA, &params);
+            match (reused, fresh) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+                    prop_assert_eq!(a.point.x.to_bits(), b.point.x.to_bits());
+                    prop_assert_eq!(a.point.y.to_bits(), b.point.y.to_bits());
+                    prop_assert_eq!(a.wc.to_bits(), b.wc.to_bits());
+                    prop_assert_eq!(a.wp.to_bits(), b.wp.to_bits());
+                }
+                (None, None) => {}
+                other => panic!("arena reuse changed Some/None: {other:?}"),
+            }
+        }
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`parallel`] — fan-out drivers: several detectors over the same event
 //!   stream on worker threads, and per-slide dirty-cell sweep fan-out for
 //!   incremental detectors ([`drive_incremental`]).
+//! * [`sharded`] — the sharded driver ([`drive_sharded`]): per-shard ingest
+//!   workers over broadcast event channels, parallelizing `on_event` itself
+//!   with answers bit-identical to the sequential drivers.
 //! * [`metrics`] — log-bucketed latency histogram for tail-latency
 //!   reporting.
 
@@ -30,6 +33,7 @@ pub mod driver;
 pub mod generator;
 pub mod metrics;
 pub mod parallel;
+pub mod sharded;
 pub mod text;
 pub mod window;
 
@@ -40,5 +44,6 @@ pub use metrics::{LatencyHistogram, LatencySummary};
 pub use parallel::{
     drive_incremental, drive_parallel, sweep_parallel, IncrementalReport, ParallelReport,
 };
+pub use sharded::{drive_sharded, ShardedReport};
 pub use text::{GeoMessage, KeywordQuery, TextStreamGenerator, Topic, TopicBurst, Vocabulary};
 pub use window::{DirtyCellTracker, SlidingWindowEngine};

@@ -146,9 +146,28 @@ where
     R: Send,
     F: Fn(&J) -> R + Sync,
 {
+    sweep_parallel_with(jobs, threads, || (), |(), j| f(j))
+}
+
+/// [`sweep_parallel`] with per-worker scratch state: each worker thread
+/// builds one `S` via `init` and threads it through every job it claims —
+/// the hook the sweep-arena reuse rides on
+/// (`IncrementalDetector::Scratch`).
+pub fn sweep_parallel_with<J, R, S, F>(
+    jobs: &[J],
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: F,
+) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&mut S, &J) -> R + Sync,
+{
     let threads = threads.max(1).min(jobs.len().max(1));
     if threads <= 1 || jobs.len() <= 1 {
-        return jobs.iter().map(f).collect();
+        let mut state = init();
+        return jobs.iter().map(|j| f(&mut state, j)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs.len());
@@ -158,14 +177,16 @@ where
         for _ in 0..threads {
             let cursor = &cursor;
             let f = &f;
+            let init = &init;
             handles.push(scope.spawn(move || {
+                let mut state = init();
                 let mut out: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
                     }
-                    out.push((i, f(&jobs[i])));
+                    out.push((i, f(&mut state, &jobs[i])));
                 }
                 out
             }));
@@ -183,7 +204,7 @@ where
 }
 
 /// Per-slide counters of an incremental run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct IncrementalReport {
     /// Objects processed.
     pub objects: u64,
@@ -195,6 +216,9 @@ pub struct IncrementalReport {
     pub jobs: u64,
     /// Largest single-slide job count.
     pub max_jobs_per_slide: u64,
+    /// The answer at every slide boundary, in slide order (the comparison
+    /// target for the sharded driver's bit-identity tests).
+    pub answers: Vec<Option<RegionAnswer>>,
     /// Detector counters at the end of the run.
     pub stats: DetectorStats,
 }
@@ -234,14 +258,25 @@ where
             report.events += 1;
         },
         |(detector, report)| {
-            let jobs = detector.snapshot_dirty_jobs();
+            // Snapshot shard by shard (deterministic: shard index, then cell
+            // id): outcomes are per-cell and commute, so the concatenated
+            // install produces the same state as a global snapshot while
+            // exercising the per-shard API the sharded driver builds on.
+            let jobs: Vec<D::Job> = (0..detector.shard_count())
+                .flat_map(|s| detector.snapshot_dirty_jobs_shard(s))
+                .collect();
             report.slides += 1;
             report.jobs += jobs.len() as u64;
             report.max_jobs_per_slide = report.max_jobs_per_slide.max(jobs.len() as u64);
             let det: &D = detector;
-            let outcomes = sweep_parallel(&jobs, threads, |j| det.run_job(j));
+            // Per-worker scratch (the detector's sweep arena) is built once
+            // per worker thread and reused across every job it claims.
+            let outcomes =
+                sweep_parallel_with(&jobs, threads, D::Scratch::default, |scratch, j| {
+                    det.run_job_with(scratch, j)
+                });
             detector.install_outcomes(outcomes);
-            let _ = detector.current();
+            report.answers.push(detector.current());
         },
     );
 
@@ -419,6 +454,7 @@ mod tests {
     impl IncrementalDetector for ToyIncremental {
         type Job = f64;
         type Outcome = f64;
+        type Scratch = ();
         fn snapshot_dirty_jobs(&self) -> Vec<f64> {
             if self.dirty {
                 vec![self.current]

@@ -1,0 +1,310 @@
+//! The sharded driver: parallel ingest *and* parallel dirty-cell sweeps.
+//!
+//! [`crate::parallel::drive_incremental`] parallelizes the per-slide sweeps
+//! but still applies every event on the calling thread — at high arrival
+//! rates the single-threaded `on_event` bookkeeping becomes the bottleneck
+//! (ROADMAP: "NUMA-aware sharding of the cell map itself so `on_event` also
+//! parallelizes"). [`drive_sharded`] removes it: the detector splits into
+//! per-shard ingest workers ([`ShardedIngest`]), each pinned to its own
+//! thread with exclusive ownership of one shard's cells. The driver expands
+//! the object stream once and **broadcasts** event batches to every worker
+//! over the crossbeam-channel shim; each worker applies only the cells its
+//! shard owns (an event touches ≤ 4 cells — Lemma 1 — so the per-worker
+//! filter is cheap), keeping per-cell event order identical to a sequential
+//! run.
+//!
+//! At each slide boundary the driver sends a flush marker: every worker
+//! sweeps its own dirty cells in place (arena-backed, no job shipping) and
+//! answers with its shard-local best. Merging the shard answers by
+//! [`ShardAnswer::merge_key`] reproduces the sequential detector's
+//! best-first scan exactly, so the reported answers are **bit-identical** to
+//! [`drive_incremental`] at the same slide cadence, for every shard count
+//! and any thread interleaving — sharding changes wall-clock time only.
+
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+use surge_core::{
+    Event, EventKind, RegionAnswer, ShardAnswer, ShardRunStats, ShardWorker, ShardWorkerStats,
+    ShardedIngest, SpatialObject, WindowConfig,
+};
+
+use crate::window::SlidingWindowEngine;
+
+/// Events are broadcast to shard workers in fixed-size batches to amortize
+/// channel overhead (same batching as the detector fan-out driver).
+const BATCH: usize = 256;
+
+/// What the driver sends each shard worker.
+enum ShardMsg {
+    /// A batch of events, in stream order, shared (not deep-copied) across
+    /// the workers. Every worker receives every batch.
+    Batch(Arc<[Event]>),
+    /// Slide boundary: sweep your dirty cells and report your local best.
+    Flush,
+}
+
+/// Outcome of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// Objects processed.
+    pub objects: u64,
+    /// Window-transition events broadcast.
+    pub events: u64,
+    /// Slides executed (each ends with one merged answer).
+    pub slides: u64,
+    /// Total dirty-cell sweeps across all shards and slides.
+    pub sweeps: u64,
+    /// Per-shard lifetime counters, indexed by shard.
+    pub shard_stats: Vec<ShardWorkerStats>,
+    /// The merged answer at every slide boundary, in slide order —
+    /// bit-identical to `drive_incremental`'s per-slide answers.
+    pub answers: Vec<Option<RegionAnswer>>,
+    /// The last slide's answer.
+    pub final_answer: Option<RegionAnswer>,
+}
+
+fn shard_worker_loop<W: ShardWorker>(
+    mut worker: W,
+    rx: Receiver<ShardMsg>,
+    tx: Sender<Option<ShardAnswer>>,
+) -> ShardWorkerStats {
+    for msg in rx.iter() {
+        match msg {
+            ShardMsg::Batch(events) => {
+                for ev in events.iter() {
+                    worker.on_event(ev);
+                }
+            }
+            ShardMsg::Flush => {
+                tx.send(worker.flush()).expect("driver alive");
+            }
+        }
+    }
+    worker.stats()
+}
+
+/// Drives `source` into a [`ShardedIngest`] detector with one worker thread
+/// per shard, refreshing the merged continuous answer once per
+/// `slide_objects` arrivals.
+///
+/// Ingest and dirty-cell sweeps both run on the shard workers; the calling
+/// thread only expands objects into events and merges flush answers. The
+/// per-slide answers (and the detector's final state and stats) are
+/// bit-identical to [`crate::parallel::drive_incremental`] at the same slide
+/// size — see the module docs for why.
+///
+/// # Panics
+///
+/// Panics if `slide_objects` is 0, or propagates a worker panic.
+pub fn drive_sharded<D: ShardedIngest>(
+    detector: &mut D,
+    windows: WindowConfig,
+    source: impl Iterator<Item = SpatialObject>,
+    slide_objects: usize,
+) -> ShardedReport {
+    assert!(slide_objects > 0, "slide must contain at least one object");
+    let region = detector.region_size();
+    let mut engine = SlidingWindowEngine::new(windows);
+    let mut run = ShardRunStats::default();
+    let mut objects = 0u64;
+    let mut slides = 0u64;
+    let mut answers: Vec<Option<RegionAnswer>> = Vec::new();
+
+    let shard_stats = thread::scope(|scope| {
+        let workers = detector.ingest_workers();
+        let n = workers.len();
+        let mut txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(n);
+        let mut result_rxs: Vec<Receiver<Option<ShardAnswer>>> = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for worker in workers {
+            let (tx, rx) = bounded::<ShardMsg>(16);
+            let (rtx, rrx) = bounded::<Option<ShardAnswer>>(1);
+            txs.push(tx);
+            result_rxs.push(rrx);
+            handles.push(scope.spawn(move || shard_worker_loop(worker, rx, rtx)));
+        }
+
+        let broadcast = |batch: &mut Vec<Event>| {
+            if !batch.is_empty() {
+                // One shared allocation per batch; each worker holds an Arc,
+                // not a deep copy of the events.
+                let shared: Arc<[Event]> = std::mem::take(batch).into();
+                for tx in &txs {
+                    tx.send(ShardMsg::Batch(Arc::clone(&shared)))
+                        .expect("worker alive");
+                }
+            }
+        };
+        let flush = |batch: &mut Vec<Event>| -> Option<RegionAnswer> {
+            broadcast(batch);
+            for tx in &txs {
+                tx.send(ShardMsg::Flush).expect("worker alive");
+            }
+            // Deterministic merge: the shard bests are keyed by
+            // (score, bound, cell), a total order independent of thread
+            // timing and shard count.
+            result_rxs
+                .iter()
+                .filter_map(|rx| rx.recv().expect("worker alive"))
+                .max_by_key(ShardAnswer::merge_key)
+                .map(|b| b.answer(region))
+        };
+
+        let mut batch: Vec<Event> = Vec::with_capacity(BATCH);
+        let mut in_slide = 0usize;
+        for obj in source {
+            for ev in engine.push(obj) {
+                run.events += 1;
+                if ev.kind == EventKind::New {
+                    run.new_events += 1;
+                }
+                batch.push(ev);
+                if batch.len() >= BATCH {
+                    broadcast(&mut batch);
+                }
+            }
+            objects += 1;
+            in_slide += 1;
+            if in_slide >= slide_objects {
+                answers.push(flush(&mut batch));
+                slides += 1;
+                in_slide = 0;
+            }
+        }
+        if in_slide > 0 {
+            answers.push(flush(&mut batch));
+            slides += 1;
+        }
+        drop(txs); // close channels: workers drain and finish
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect::<Vec<ShardWorkerStats>>()
+    });
+
+    run.searches = shard_stats.iter().map(|s| s.sweeps).sum();
+    detector.absorb_shard_run(run);
+
+    ShardedReport {
+        objects,
+        events: run.events,
+        slides,
+        sweeps: run.searches,
+        shard_stats,
+        final_answer: answers.last().cloned().flatten(),
+        answers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surge_core::{BurstDetector, Point, RegionSize, SurgeQuery};
+    use surge_exact::{BoundMode, CellCspot};
+
+    use crate::parallel::drive_incremental;
+
+    fn query(alpha: f64) -> SurgeQuery {
+        SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), WindowConfig::equal(400), alpha)
+    }
+
+    fn stream(n: usize) -> Vec<SpatialObject> {
+        let mut state = 0xFEED_FACE_CAFE_BEEFu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        (0..n)
+            .map(|i| {
+                let cluster = i % 4;
+                SpatialObject::new(
+                    i as u64,
+                    1.0 + (i % 5) as f64,
+                    Point::new(cluster as f64 * 2.5 + next(), cluster as f64 * 1.5 + next()),
+                    (i as u64) * 6,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_answers_bit_match_incremental_driver() {
+        for alpha in [0.0, 0.5, 0.9] {
+            let objs = stream(1_200);
+
+            let mut seq = CellCspot::with_shards(query(alpha), BoundMode::Combined, 1);
+            let seq_report = drive_incremental(
+                &mut seq,
+                WindowConfig::equal(400),
+                objs.iter().copied(),
+                64,
+                1,
+            );
+
+            for shards in [1usize, 2, 8] {
+                let mut par = CellCspot::with_shards(query(alpha), BoundMode::Combined, shards);
+                let report =
+                    drive_sharded(&mut par, WindowConfig::equal(400), objs.iter().copied(), 64);
+                assert_eq!(report.objects, objs.len() as u64);
+                assert_eq!(report.slides, seq_report.slides);
+                assert_eq!(report.answers.len(), seq_report.answers.len());
+                for (i, (a, b)) in report
+                    .answers
+                    .iter()
+                    .zip(seq_report.answers.iter())
+                    .enumerate()
+                {
+                    match (a, b) {
+                        (Some(x), Some(y)) => {
+                            assert_eq!(
+                                x.score.to_bits(),
+                                y.score.to_bits(),
+                                "alpha {alpha} shards {shards} slide {i}"
+                            );
+                            assert_eq!(x.point.x.to_bits(), y.point.x.to_bits());
+                            assert_eq!(x.point.y.to_bits(), y.point.y.to_bits());
+                            assert_eq!(x.region, y.region);
+                        }
+                        (None, None) => {}
+                        other => panic!("alpha {alpha} shards {shards} slide {i}: {other:?}"),
+                    }
+                }
+                // Same sweeps, same events, same final detector footprint.
+                assert_eq!(report.sweeps, seq_report.jobs);
+                assert_eq!(par.stats().events, seq.stats().events);
+                assert_eq!(par.stats().searches, seq.stats().searches);
+                assert_eq!(par.cell_count(), seq.cell_count());
+                assert_eq!(par.dirty_cell_count(), 0);
+                assert_eq!(report.shard_stats.len(), par.shard_count());
+                let touches: u64 = report.shard_stats.iter().map(|s| s.cell_touches).sum();
+                assert!(touches > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_flushes_nothing() {
+        let mut d = CellCspot::new(query(0.5));
+        let report = drive_sharded(&mut d, WindowConfig::equal(400), std::iter::empty(), 32);
+        assert_eq!(report.objects, 0);
+        assert_eq!(report.slides, 0);
+        assert!(report.answers.is_empty());
+        assert!(report.final_answer.is_none());
+    }
+
+    #[test]
+    fn partial_last_slide_is_flushed() {
+        let objs = stream(70);
+        let mut d = CellCspot::new(query(0.5));
+        let report = drive_sharded(&mut d, WindowConfig::equal(400), objs.into_iter(), 32);
+        assert_eq!(report.slides, 3); // 32 + 32 + 6
+        assert_eq!(report.answers.len(), 3);
+        assert!(report.final_answer.is_some());
+    }
+}

@@ -489,7 +489,7 @@ impl TopKDetector for KCellCspot {
                     weight: g.weight,
                     kind: WindowKind::Current,
                 };
-                let cells = self.grid.cells_overlapping(&g.rect);
+                let cells: Vec<CellId> = self.grid.cells_overlapping_iter(&g.rect).collect();
                 self.rects.insert(
                     event.object.id,
                     KRect {

@@ -74,11 +74,13 @@ pub mod prelude {
     pub use surge_approx::{GapSurge, MgapSurge};
     pub use surge_baseline::Ag2;
     pub use surge_core::{
-        burst_score, BurstDetector, BurstParams, Event, EventKind, IncrementalDetector, Point,
-        Rect, RegionAnswer, RegionSize, SpatialObject, SurgeQuery, TopKDetector, WindowConfig,
-        WindowKind,
+        burst_score, shard_of_cell, BurstDetector, BurstParams, Event, EventKind,
+        IncrementalDetector, Point, Rect, RegionAnswer, RegionSize, ShardedIngest, SpatialObject,
+        SurgeQuery, TopKDetector, WindowConfig, WindowKind,
     };
-    pub use surge_exact::{snapshot_bursty_region, snapshot_topk, BaseDetector, CellCspot};
+    pub use surge_exact::{
+        snapshot_bursty_region, snapshot_topk, BaseDetector, BoundMode, CellCspot,
+    };
     pub use surge_io::{
         read_events_from, read_objects_from, write_events_to, write_objects_to, LabelledAnswer,
     };
@@ -86,10 +88,10 @@ pub mod prelude {
         grid_city, GridCityConfig, NetBallOracle, NetGapSurge, NetMgapSurge, RoadNetwork,
     };
     pub use surge_stream::{
-        drive, drive_incremental, drive_parallel, drive_slides, drive_topk, sweep_parallel,
-        BurstSpec, Dataset, DirtyCellTracker, GeoMessage, Hotspot, KeywordQuery, LatencyHistogram,
-        SlidingWindowEngine, StreamGenerator, TextStreamGenerator, Topic, TopicBurst, Vocabulary,
-        WorkloadConfig,
+        drive, drive_incremental, drive_parallel, drive_sharded, drive_slides, drive_topk,
+        sweep_parallel, BurstSpec, Dataset, DirtyCellTracker, GeoMessage, Hotspot, KeywordQuery,
+        LatencyHistogram, ShardedReport, SlidingWindowEngine, StreamGenerator, TextStreamGenerator,
+        Topic, TopicBurst, Vocabulary, WorkloadConfig,
     };
     pub use surge_topk::{KCellCspot, KGapSurge, KMgapSurge, NaiveTopK};
 }
