@@ -20,6 +20,8 @@
 //!                          segment tree; writes BENCH_sweep.json
 //!   shard-bench            sharded ingest vs sequential driver; writes
 //!                          BENCH_shard.json
+//!   window-bench           window-lane expansion vs monolithic engine;
+//!                          writes BENCH_window.json
 //!   all                    everything above
 //!
 //! Options:
@@ -107,7 +109,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|all> \
+    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|window-bench|all> \
      [--axis window|rect|k] [--objects N] [--heavy N] [--naive N] [--seed S] \
      [--datasets uk,us,taxi] [--fast] [--paper]"
         .to_string()
@@ -132,6 +134,18 @@ fn run_shard_bench(cfg: &ExpConfig) -> Result<(), String> {
     print!("{}", print::shard_bench(&rows));
     let json = print::shard_bench_json(&rows);
     let path = "BENCH_shard.json";
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# wrote {path}");
+    Ok(())
+}
+
+/// Runs the window-lane scaling experiment, printing the table and writing
+/// `BENCH_window.json` to the working directory.
+fn run_window_bench(cfg: &ExpConfig) -> Result<(), String> {
+    let rows = experiments::window_bench(cfg);
+    print!("{}", print::window_bench(&rows));
+    let json = print::window_bench_json(&rows);
+    let path = "BENCH_window.json";
     std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("# wrote {path}");
     Ok(())
@@ -221,6 +235,7 @@ fn run(args: &Args) -> Result<(), String> {
         "roadnet" => print!("{}", print::roadnet(&experiments::roadnet_sweep(cfg))),
         "sweep-bench" => run_sweep_bench(cfg)?,
         "shard-bench" => run_shard_bench(cfg)?,
+        "window-bench" => run_window_bench(cfg)?,
         "all" => {
             print!("{}", print::table1(&experiments::table1(cfg)));
             print!(
@@ -282,6 +297,7 @@ fn run(args: &Args) -> Result<(), String> {
             print!("{}", print::roadnet(&experiments::roadnet_sweep(cfg)));
             run_sweep_bench(cfg)?;
             run_shard_bench(cfg)?;
+            run_window_bench(cfg)?;
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
     }

@@ -40,10 +40,14 @@ impl WindowConfig {
     }
 
     /// Distinct current/past window lengths.
+    ///
+    /// `past_len` may be 0: objects then expire the instant they grow (the
+    /// past window is always empty — grow and expire transitions coincide,
+    /// and the engine emits the `Grown` before the `Expired`). The current
+    /// window length must be positive (scores normalize by it).
     #[inline]
     pub fn new(current_len: Duration, past_len: Duration) -> Self {
         assert!(current_len > 0, "current window length must be positive");
-        assert!(past_len > 0, "past window length must be positive");
         WindowConfig {
             current_len,
             past_len,
@@ -100,9 +104,17 @@ impl WindowConfig {
     }
 
     /// The normalizing divisor for past-window scores, in milliseconds.
+    ///
+    /// A zero-length past window normalizes by 1 ms: the window is always
+    /// empty, so the past weight sum is 0 and the score stays 0 instead of
+    /// becoming `0/0`.
     #[inline]
     pub fn past_norm(&self) -> f64 {
-        self.past_len as f64
+        if self.past_len == 0 {
+            1.0
+        } else {
+            self.past_len as f64
+        }
     }
 }
 
@@ -155,5 +167,23 @@ mod tests {
         let w = WindowConfig::new(500, 2_000);
         assert_eq!(w.current_norm(), 500.0);
         assert_eq!(w.past_norm(), 2_000.0);
+    }
+
+    #[test]
+    fn zero_length_past_window_is_allowed() {
+        let w = WindowConfig::new(100, 0);
+        assert_eq!(w.grow_time(1_000), w.expire_time(1_000));
+        // The past window is empty at every instant...
+        for now in [1_000u64, 1_099, 1_100, 1_200] {
+            assert!(!w.in_past(1_000, now));
+        }
+        // ...and scores normalize by 1 ms instead of dividing by zero.
+        assert_eq!(w.past_norm(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "current window length must be positive")]
+    fn zero_current_window_rejected() {
+        let _ = WindowConfig::new(0, 100);
     }
 }

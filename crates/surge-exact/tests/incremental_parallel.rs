@@ -62,7 +62,12 @@ fn parallel_dirty_sweeps_match_sequential_answers() {
                 64,
                 threads,
             );
-            let got = par.current().map(|a| a.score);
+            // The last pre-drain flush sits exactly at stream end — it must
+            // match the lazy sequential answer there. (The driver then
+            // drains the tail windows, so the detector's *final* state sees
+            // them empty.)
+            assert!(report.answers.len() >= 2);
+            let got = report.answers[report.answers.len() - 2].map(|a| a.score);
             match (want, got) {
                 (Some(w), Some(g)) => assert!(
                     (w - g).abs() < 1e-12,
@@ -74,9 +79,26 @@ fn parallel_dirty_sweeps_match_sequential_answers() {
             assert_eq!(report.objects, objs.len() as u64);
             assert!(report.slides >= (objs.len() / 64) as u64);
             assert!(report.jobs > 0, "clustered stream must dirty cells");
-            // After the final flush every cell is fresh: the answer above
-            // triggered no extra search.
+            // After the terminal flush every cell is fresh: reading the
+            // answer triggers no extra search.
             assert_eq!(par.dirty_cell_count(), 0);
+            // Post-drain the windows are empty, so the drained sequential
+            // reference agrees bit-for-bit with the driver's final answer.
+            let mut drained = CellCspot::new(query(alpha));
+            let mut eng = SlidingWindowEngine::new(WindowConfig::equal(500));
+            for obj in objs.iter().copied() {
+                for ev in eng.push(obj) {
+                    drained.on_event(&ev);
+                }
+            }
+            for ev in eng.finish() {
+                drained.on_event(&ev);
+            }
+            assert_eq!(
+                drained.current().map(|a| a.score.to_bits()),
+                report.answers.last().unwrap().map(|a| a.score.to_bits()),
+                "alpha {alpha} threads {threads}: post-drain divergence"
+            );
         }
     }
 }

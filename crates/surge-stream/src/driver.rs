@@ -9,7 +9,7 @@ use std::time::{Duration as WallDuration, Instant};
 
 use surge_core::{BurstDetector, DetectorStats, RegionSize, SpatialObject, TopKDetector};
 
-use crate::window::{DirtyCellTracker, SlidingWindowEngine};
+use crate::window::{DirtyCellTracker, EventBatch, SlidingWindowEngine};
 
 /// Outcome of a replay run.
 #[derive(Debug, Clone)]
@@ -84,6 +84,14 @@ impl RunStats {
 /// After every object's events, the detector's `current()` answer is
 /// refreshed (the problem is *continuous* detection), and that refresh is
 /// included in the timed cost.
+///
+/// When the source is exhausted the engine is [`finished`]
+/// (`SlidingWindowEngine::finish`): the tail windows' pending
+/// `Grown`/`Expired` transitions are delivered to the detector and the
+/// answer refreshed once more, so the detector ends the run with empty
+/// windows instead of over-counting the residents of the truncated stream.
+///
+/// [`finished`]: SlidingWindowEngine::finish
 pub fn drive<D: BurstDetector + ?Sized>(
     detector: &mut D,
     engine: &mut SlidingWindowEngine,
@@ -98,21 +106,23 @@ pub fn drive<D: BurstDetector + ?Sized>(
     let mut span_end = 0u64;
     let mut full_start: Option<u64> = None;
     let mut full_end = 0u64;
+    let mut batch = EventBatch::new();
 
     for obj in source {
         let stable = engine.is_stable();
         full_start.get_or_insert(obj.created);
         full_end = obj.created;
         let t0 = Instant::now();
-        let evs = engine.push(obj);
-        for ev in &evs {
+        batch.clear();
+        engine.push_into(obj, &mut batch);
+        for ev in batch.iter() {
             detector.on_event(ev);
         }
         let _ = detector.current();
         let dt = t0.elapsed();
         if stable {
             elapsed += dt;
-            events += evs.len() as u64;
+            events += batch.len() as u64;
             objects += 1;
             span_start.get_or_insert(obj.created);
             span_end = obj.created;
@@ -120,6 +130,23 @@ pub fn drive<D: BurstDetector + ?Sized>(
             warmup_elapsed += dt;
             warmup_objects += 1;
         }
+    }
+
+    // Terminal drain: deliver the tail windows' transitions and refresh.
+    let was_stable = engine.is_stable();
+    let t0 = Instant::now();
+    batch.clear();
+    engine.finish_into(&mut batch);
+    for ev in batch.iter() {
+        detector.on_event(ev);
+    }
+    let _ = detector.current();
+    let dt = t0.elapsed();
+    if was_stable {
+        elapsed += dt;
+        events += batch.len() as u64;
+    } else {
+        warmup_elapsed += dt;
     }
 
     RunStats {
@@ -179,8 +206,11 @@ impl SlideRunStats {
 /// `current()`; batching the refresh means each dirty cell is searched at
 /// most once per slide no matter how many events hit it. The reported
 /// answer at each slide boundary is identical to calling `current()` at the
-/// same stream position under the per-object driver. For the parallel
-/// variant see `drive_incremental` in the [`crate::parallel`] module.
+/// same stream position under the per-object driver. After the last slide
+/// the engine tail is drained and one terminal flush runs (the `slides`
+/// counter includes it), so the run ends with empty windows. For the
+/// parallel variant see `drive_incremental` in the [`crate::parallel`]
+/// module.
 pub fn drive_slides<D: BurstDetector + ?Sized>(
     detector: &mut D,
     engine: &mut SlidingWindowEngine,
@@ -240,8 +270,12 @@ pub fn drive_slides<D: BurstDetector + ?Sized>(
 /// The shared slide-batching loop behind [`drive_slides`] and the parallel
 /// `drive_incremental`: feeds each object's events to `on_event` and calls
 /// `flush` at every slide boundary, including the trailing partial slide.
-/// Returns the number of objects processed. `ctx` threads the caller's
-/// mutable state (typically the detector) into both callbacks.
+/// After the source is exhausted the engine's tail is drained
+/// ([`SlidingWindowEngine::finish`]) and one terminal flush runs, so the
+/// final answer reflects empty windows — the answer sequence is therefore
+/// `[slide answers..., terminal answer]`. Returns the number of objects
+/// processed. `ctx` threads the caller's mutable state (typically the
+/// detector) into both callbacks.
 pub(crate) fn slide_loop<C: ?Sized>(
     engine: &mut SlidingWindowEngine,
     source: impl Iterator<Item = SpatialObject>,
@@ -253,9 +287,12 @@ pub(crate) fn slide_loop<C: ?Sized>(
     assert!(slide_objects > 0, "slide must contain at least one object");
     let mut objects = 0u64;
     let mut in_slide = 0usize;
+    let mut batch = EventBatch::new();
     for obj in source {
-        for ev in engine.push(obj) {
-            on_event(ctx, &ev);
+        batch.clear();
+        engine.push_into(obj, &mut batch);
+        for ev in batch.iter() {
+            on_event(ctx, ev);
         }
         objects += 1;
         in_slide += 1;
@@ -267,6 +304,14 @@ pub(crate) fn slide_loop<C: ?Sized>(
     if in_slide > 0 {
         flush(ctx);
     }
+    // Terminal drain + flush: without it, pending tail transitions are never
+    // emitted and the last answer over-counts the truncated windows.
+    batch.clear();
+    engine.finish_into(&mut batch);
+    for ev in batch.iter() {
+        on_event(ctx, ev);
+    }
+    flush(ctx);
     objects
 }
 
@@ -378,13 +423,14 @@ mod tests {
         let objs = stream(50, 10);
         let stats = drive(&mut det, &mut eng, objs.into_iter());
         assert_eq!(det.news, 50);
-        // every object eventually grows/expires except those still resident
-        assert_eq!(det.growns as usize, 50 - eng.current_len());
-        assert_eq!(
-            det.expireds as usize,
-            50 - eng.current_len() - eng.past_len()
-        );
-        assert_eq!(det.currents, 50);
+        // The terminal drain empties both windows, so every object completed
+        // its full lifecycle through the detector.
+        assert_eq!(eng.current_len(), 0);
+        assert_eq!(eng.past_len(), 0);
+        assert_eq!(det.growns, 50);
+        assert_eq!(det.expireds, 50);
+        // One refresh per object plus the terminal one.
+        assert_eq!(det.currents, 51);
         assert_eq!(stats.objects + stats.warmup_objects, 50);
     }
 
@@ -428,6 +474,30 @@ mod tests {
         assert_eq!(stats.time_per_object_full_us(), 0.0);
         assert_eq!(stats.seconds_per_stream_hour(), 0.0);
         assert_eq!(stats.seconds_per_stream_hour_full(), 0.0);
+    }
+
+    #[test]
+    fn drive_slides_drains_tail_and_flushes_terminally() {
+        let mut det = Counter::new();
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        // 25 objects, slide 10: flushes at 10, 20, 25, plus the terminal one.
+        let stats = drive_slides(
+            &mut det,
+            &mut eng,
+            RegionSize::new(1.0, 1.0),
+            stream(25, 10).into_iter(),
+            10,
+        );
+        assert_eq!(stats.objects, 25);
+        assert_eq!(stats.slides, 4);
+        assert_eq!(det.currents, 4);
+        // Post-stream window emptiness: the drain emitted every pending
+        // transition, so each object's full lifecycle reached the detector.
+        assert_eq!(eng.current_len(), 0);
+        assert_eq!(eng.past_len(), 0);
+        assert_eq!(det.growns, 25);
+        assert_eq!(det.expireds, 25);
+        assert_eq!(stats.events, 75);
     }
 
     #[test]

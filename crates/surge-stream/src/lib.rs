@@ -16,12 +16,16 @@
 //! * [`driver`] — replay loops feeding a source through the engine into a
 //!   detector: per-object timing for the evaluation harness, plus the
 //!   slide-batched [`drive_slides`] with dirty-cell accounting.
+//! * [`lanes`] — sharded window **lanes**: the window engine partitioned by
+//!   the cell-store spatial hash ([`ShardedWindowEngine`], [`WindowLane`]),
+//!   re-merged bit-identically by the canonical event order key.
 //! * [`parallel`] — fan-out drivers: several detectors over the same event
 //!   stream on worker threads, and per-slide dirty-cell sweep fan-out for
 //!   incremental detectors ([`drive_incremental`]).
-//! * [`sharded`] — the sharded driver ([`drive_sharded`]): per-shard ingest
-//!   workers over broadcast event channels, parallelizing `on_event` itself
-//!   with answers bit-identical to the sequential drivers.
+//! * [`sharded`] — the sharded driver ([`drive_sharded`]): per-shard
+//!   workers expand their own window lanes from broadcast object batches,
+//!   exchange lane events peer-to-peer, ingest and sweep — with answers
+//!   bit-identical to the sequential drivers.
 //! * [`metrics`] — log-bucketed latency histogram for tail-latency
 //!   reporting.
 
@@ -31,6 +35,7 @@
 pub mod datasets;
 pub mod driver;
 pub mod generator;
+pub mod lanes;
 pub mod metrics;
 pub mod parallel;
 pub mod sharded;
@@ -40,10 +45,11 @@ pub mod window;
 pub use datasets::{Dataset, DatasetSpec};
 pub use driver::{drive, drive_slides, drive_topk, RunStats, SlideRunStats};
 pub use generator::{BurstSpec, Hotspot, StreamGenerator, WorkloadConfig};
+pub use lanes::{LaneMerger, LaneStats, ShardedWindowEngine, WindowLane};
 pub use metrics::{LatencyHistogram, LatencySummary};
 pub use parallel::{
     drive_incremental, drive_parallel, sweep_parallel, IncrementalReport, ParallelReport,
 };
 pub use sharded::{drive_sharded, ShardedReport};
 pub use text::{GeoMessage, KeywordQuery, TextStreamGenerator, Topic, TopicBurst, Vocabulary};
-pub use window::{DirtyCellTracker, SlidingWindowEngine};
+pub use window::{DirtyCellTracker, EventBatch, SlidingWindowEngine};

@@ -1,47 +1,59 @@
-//! The sharded driver: parallel ingest *and* parallel dirty-cell sweeps.
+//! The sharded driver: parallel event expansion, ingest *and* dirty-cell
+//! sweeps.
 //!
 //! [`crate::parallel::drive_incremental`] parallelizes the per-slide sweeps
-//! but still applies every event on the calling thread — at high arrival
-//! rates the single-threaded `on_event` bookkeeping becomes the bottleneck
-//! (ROADMAP: "NUMA-aware sharding of the cell map itself so `on_event` also
-//! parallelizes"). [`drive_sharded`] removes it: the detector splits into
-//! per-shard ingest workers ([`ShardedIngest`]), each pinned to its own
-//! thread with exclusive ownership of one shard's cells. The driver expands
-//! the object stream once and **broadcasts** event batches to every worker
-//! over the crossbeam-channel shim; each worker applies only the cells its
-//! shard owns (an event touches ≤ 4 cells — Lemma 1 — so the per-worker
-//! filter is cheap), keeping per-cell event order identical to a sequential
-//! run.
+//! but still expands and applies every event on the calling thread. The
+//! PR-2 generation of [`drive_sharded`] moved *application* to per-shard
+//! ingest workers ([`ShardedIngest`]) yet kept the single
+//! `SlidingWindowEngine` on the driver — window-engine partitioning was the
+//! residual serial stage. This generation removes it with **window lanes**
+//! ([`crate::lanes`]): the driver broadcasts raw *object* batches, and each
+//! shard worker owns one [`WindowLane`] — the dual sliding window of the
+//! objects homed to its shard (`shard_of_cell` of the reduced rectangle's
+//! anchor cell). Workers expand their own `Grown`/`Expired` transitions,
+//! exchange the per-lane event batches peer-to-peer, and re-merge them by
+//! the canonical key [`Event::order_key`] — `(transition_time, kind_rank,
+//! object_id)` — before applying events to their own cells. The merged
+//! sequence every worker applies is **bit-identical** to the monolithic
+//! engine's emission (see the lane-module docs for the argument), so
+//! per-cell event order is exactly the sequential drivers' — lane count and
+//! thread interleaving change wall-clock time only.
 //!
 //! At each slide boundary the driver sends a flush marker: every worker
 //! sweeps its own dirty cells in place (arena-backed, no job shipping) and
 //! answers with its shard-local best. Merging the shard answers by
 //! [`ShardAnswer::merge_key`] reproduces the sequential detector's
-//! best-first scan exactly, so the reported answers are **bit-identical** to
-//! [`drive_incremental`] at the same slide cadence, for every shard count
-//! and any thread interleaving — sharding changes wall-clock time only.
+//! best-first scan exactly, so the reported answers are bit-identical to
+//! [`drive_incremental`](crate::parallel::drive_incremental) at the same
+//! slide cadence — including the terminal drain flush both drivers end
+//! with (`SlidingWindowEngine::finish` semantics).
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 
 use surge_core::{
-    Event, EventKind, RegionAnswer, ShardAnswer, ShardRunStats, ShardWorker, ShardWorkerStats,
-    ShardedIngest, SpatialObject, WindowConfig,
+    Event, RegionAnswer, ShardAnswer, ShardRunStats, ShardWorker, ShardWorkerStats, ShardedIngest,
+    SpatialObject, WindowConfig,
 };
 
-use crate::window::SlidingWindowEngine;
+use crate::lanes::{LaneMerger, LaneStats, WindowLane};
+use crate::window::EventBatch;
 
-/// Events are broadcast to shard workers in fixed-size batches to amortize
-/// channel overhead (same batching as the detector fan-out driver).
+/// Objects are broadcast to shard workers in fixed-size batches to amortize
+/// channel overhead (each batch is one expansion/exchange round).
 const BATCH: usize = 256;
 
 /// What the driver sends each shard worker.
-enum ShardMsg {
-    /// A batch of events, in stream order, shared (not deep-copied) across
-    /// the workers. Every worker receives every batch.
-    Batch(Arc<[Event]>),
+enum LaneMsg {
+    /// A batch of raw arrivals, in stream order, shared (not deep-copied)
+    /// across the workers. Every worker receives every batch and expands
+    /// its own lane's events from it.
+    Objects(Arc<[SpatialObject]>),
+    /// End of stream: drain the lane tails and exchange the drained events.
+    Drain,
     /// Slide boundary: sweep your dirty cells and report your local best.
     Flush,
 }
@@ -51,50 +63,125 @@ enum ShardMsg {
 pub struct ShardedReport {
     /// Objects processed.
     pub objects: u64,
-    /// Window-transition events broadcast.
+    /// Window-transition events expanded across all lanes.
     pub events: u64,
-    /// Slides executed (each ends with one merged answer).
+    /// Flushes executed (each yields one merged answer): the stream slides
+    /// plus the terminal drain flush.
     pub slides: u64,
-    /// Total dirty-cell sweeps across all shards and slides.
+    /// Total dirty-cell sweeps across all shards and flushes.
     pub sweeps: u64,
     /// Per-shard lifetime counters, indexed by shard.
     pub shard_stats: Vec<ShardWorkerStats>,
-    /// The merged answer at every slide boundary, in slide order —
+    /// Per-lane window-expansion counters, indexed by lane (= shard).
+    pub lane_stats: Vec<LaneStats>,
+    /// The merged answer at every flush boundary, in flush order —
     /// bit-identical to `drive_incremental`'s per-slide answers.
     pub answers: Vec<Option<RegionAnswer>>,
-    /// The last slide's answer.
+    /// The last flush's answer (after the terminal drain: `None` unless the
+    /// detector reports something for empty windows).
     pub final_answer: Option<RegionAnswer>,
+}
+
+impl ShardedReport {
+    /// The window-expansion critical path: the largest per-lane transition
+    /// count. Total transitions are invariant under lane count; near-linear
+    /// scaling shows up as this dropping toward `transitions / lanes`.
+    pub fn max_lane_transitions(&self) -> u64 {
+        self.lane_stats
+            .iter()
+            .map(|s| s.transitions)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A lane batch in flight between shard workers: `(lane, events)`.
+type LaneBatch = (usize, Arc<[Event]>);
+
+/// Per-worker state for the expand → exchange → merge → apply round.
+struct LaneExchange {
+    lane: usize,
+    /// Senders to every *other* worker's inbox, in lane order.
+    peers: Vec<Sender<LaneBatch>>,
+    inbox: Receiver<LaneBatch>,
+    /// Received-but-not-yet-consumed batches, per lane (a fast peer can be
+    /// a round ahead; per-sender FIFO keeps each queue in round order).
+    pending: Vec<VecDeque<Arc<[Event]>>>,
+    merger: LaneMerger,
+    /// Reused assembly of the round's lane batches, in lane order.
+    round: Vec<Arc<[Event]>>,
+}
+
+impl LaneExchange {
+    /// Shares this worker's expanded lane events with every peer, waits for
+    /// the round's batch from every other lane, and applies the merged
+    /// canonical sequence to `worker`.
+    fn exchange_apply<W: ShardWorker>(&mut self, expanded: &EventBatch, worker: &mut W) {
+        let own: Arc<[Event]> = Arc::from(expanded.as_slice());
+        for tx in &self.peers {
+            tx.send((self.lane, Arc::clone(&own))).expect("peer alive");
+        }
+        let lanes = self.pending.len();
+        self.round.clear();
+        for lane in 0..lanes {
+            if lane == self.lane {
+                self.round.push(Arc::clone(&own));
+                continue;
+            }
+            while self.pending[lane].is_empty() {
+                let (from, batch) = self.inbox.recv().expect("peer alive");
+                self.pending[from].push_back(batch);
+            }
+            self.round
+                .push(self.pending[lane].pop_front().expect("checked"));
+        }
+        self.merger.merge(&self.round, |ev| worker.on_event(ev));
+    }
 }
 
 fn shard_worker_loop<W: ShardWorker>(
     mut worker: W,
-    rx: Receiver<ShardMsg>,
+    mut lane: WindowLane,
+    mut exchange: LaneExchange,
+    rx: Receiver<LaneMsg>,
     tx: Sender<Option<ShardAnswer>>,
-) -> ShardWorkerStats {
+) -> (ShardWorkerStats, LaneStats) {
+    let mut expanded = EventBatch::new();
     for msg in rx.iter() {
         match msg {
-            ShardMsg::Batch(events) => {
-                for ev in events.iter() {
-                    worker.on_event(ev);
+            LaneMsg::Objects(objects) => {
+                expanded.clear();
+                for obj in objects.iter() {
+                    lane.observe_into(obj, &mut expanded);
                 }
+                exchange.exchange_apply(&expanded, &mut worker);
             }
-            ShardMsg::Flush => {
+            LaneMsg::Drain => {
+                expanded.clear();
+                lane.finish_into(&mut expanded);
+                exchange.exchange_apply(&expanded, &mut worker);
+            }
+            LaneMsg::Flush => {
                 tx.send(worker.flush()).expect("driver alive");
             }
         }
     }
-    worker.stats()
+    (worker.stats(), lane.stats())
 }
 
 /// Drives `source` into a [`ShardedIngest`] detector with one worker thread
 /// per shard, refreshing the merged continuous answer once per
-/// `slide_objects` arrivals.
+/// `slide_objects` arrivals (plus the terminal drain flush).
 ///
-/// Ingest and dirty-cell sweeps both run on the shard workers; the calling
-/// thread only expands objects into events and merges flush answers. The
-/// per-slide answers (and the detector's final state and stats) are
-/// bit-identical to [`crate::parallel::drive_incremental`] at the same slide
-/// size — see the module docs for why.
+/// Event expansion, ingest and dirty-cell sweeps all run on the shard
+/// workers: the calling thread only broadcasts raw object batches and
+/// merges flush answers. Each worker expands its own window lane and the
+/// workers exchange lane batches peer-to-peer, re-merging them by
+/// [`Event::order_key`] so every worker applies the exact sequential event
+/// order. The per-flush answers (and the detector's final state and stats)
+/// are bit-identical to
+/// [`crate::parallel::drive_incremental`] at the same slide size — see the
+/// module docs for why.
 ///
 /// # Panics
 ///
@@ -107,41 +194,72 @@ pub fn drive_sharded<D: ShardedIngest>(
 ) -> ShardedReport {
     assert!(slide_objects > 0, "slide must contain at least one object");
     let region = detector.region_size();
-    let mut engine = SlidingWindowEngine::new(windows);
     let mut run = ShardRunStats::default();
     let mut objects = 0u64;
     let mut slides = 0u64;
     let mut answers: Vec<Option<RegionAnswer>> = Vec::new();
 
-    let shard_stats = thread::scope(|scope| {
+    let (shard_stats, lane_stats) = thread::scope(|scope| {
         let workers = detector.ingest_workers();
         let n = workers.len();
-        let mut txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(n);
+
+        // Mesh plumbing: one inbox per worker; every worker holds a sender
+        // to each peer's inbox. Capacity 2n holds the worst transient (a
+        // fast peer can run one round ahead of a slow worker, so up to
+        // 2(n-1) undelivered batches can target one inbox). A full inbox
+        // only backpressures, it cannot deadlock: a worker finishes all its
+        // round-k sends before starting round k+1, so the batches a blocked
+        // receiver is waiting on have already been delivered or are at the
+        // front of a peer's (FIFO) send — no cyclic wait.
+        let mut mesh_txs: Vec<Sender<LaneBatch>> = Vec::with_capacity(n);
+        let mut mesh_rxs: Vec<Receiver<LaneBatch>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<LaneBatch>((2 * n).max(4));
+            mesh_txs.push(tx);
+            mesh_rxs.push(rx);
+        }
+
+        let mut txs: Vec<Sender<LaneMsg>> = Vec::with_capacity(n);
         let mut result_rxs: Vec<Receiver<Option<ShardAnswer>>> = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
-        for worker in workers {
-            let (tx, rx) = bounded::<ShardMsg>(16);
+        for (idx, (worker, inbox)) in workers.into_iter().zip(mesh_rxs).enumerate() {
+            let (tx, rx) = bounded::<LaneMsg>(16);
             let (rtx, rrx) = bounded::<Option<ShardAnswer>>(1);
             txs.push(tx);
             result_rxs.push(rrx);
-            handles.push(scope.spawn(move || shard_worker_loop(worker, rx, rtx)));
+            let lane = WindowLane::new(windows, region, idx, n);
+            let exchange = LaneExchange {
+                lane: idx,
+                peers: mesh_txs
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| *p != idx)
+                    .map(|(_, tx)| tx.clone())
+                    .collect(),
+                inbox,
+                pending: (0..n).map(|_| VecDeque::new()).collect(),
+                merger: LaneMerger::new(),
+                round: Vec::with_capacity(n),
+            };
+            handles.push(scope.spawn(move || shard_worker_loop(worker, lane, exchange, rx, rtx)));
         }
+        drop(mesh_txs); // workers hold the only senders now
 
-        let broadcast = |batch: &mut Vec<Event>| {
+        let broadcast = |batch: &mut Vec<SpatialObject>| {
             if !batch.is_empty() {
                 // One shared allocation per batch; each worker holds an Arc,
-                // not a deep copy of the events.
-                let shared: Arc<[Event]> = std::mem::take(batch).into();
+                // not a deep copy of the objects.
+                let shared: Arc<[SpatialObject]> = std::mem::take(batch).into();
                 for tx in &txs {
-                    tx.send(ShardMsg::Batch(Arc::clone(&shared)))
+                    tx.send(LaneMsg::Objects(Arc::clone(&shared)))
                         .expect("worker alive");
                 }
             }
         };
-        let flush = |batch: &mut Vec<Event>| -> Option<RegionAnswer> {
+        let flush = |batch: &mut Vec<SpatialObject>| -> Option<RegionAnswer> {
             broadcast(batch);
             for tx in &txs {
-                tx.send(ShardMsg::Flush).expect("worker alive");
+                tx.send(LaneMsg::Flush).expect("worker alive");
             }
             // Deterministic merge: the shard bests are keyed by
             // (score, bound, cell), a total order independent of thread
@@ -153,18 +271,12 @@ pub fn drive_sharded<D: ShardedIngest>(
                 .map(|b| b.answer(region))
         };
 
-        let mut batch: Vec<Event> = Vec::with_capacity(BATCH);
+        let mut batch: Vec<SpatialObject> = Vec::with_capacity(BATCH);
         let mut in_slide = 0usize;
         for obj in source {
-            for ev in engine.push(obj) {
-                run.events += 1;
-                if ev.kind == EventKind::New {
-                    run.new_events += 1;
-                }
-                batch.push(ev);
-                if batch.len() >= BATCH {
-                    broadcast(&mut batch);
-                }
+            batch.push(obj);
+            if batch.len() >= BATCH {
+                broadcast(&mut batch);
             }
             objects += 1;
             in_slide += 1;
@@ -178,14 +290,30 @@ pub fn drive_sharded<D: ShardedIngest>(
             answers.push(flush(&mut batch));
             slides += 1;
         }
+        // Terminal drain + flush, mirroring the sequential slide loop. Any
+        // buffered objects must reach the workers before the lanes drain
+        // (a Drain advances the lane clocks to the horizon, after which
+        // pushing an older arrival would panic).
+        broadcast(&mut batch);
+        for tx in &txs {
+            tx.send(LaneMsg::Drain).expect("worker alive");
+        }
+        answers.push(flush(&mut batch));
+        slides += 1;
         drop(txs); // close channels: workers drain and finish
 
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect::<Vec<ShardWorkerStats>>()
+        let mut shard_stats = Vec::with_capacity(handles.len());
+        let mut lane_stats = Vec::with_capacity(handles.len());
+        for h in handles {
+            let (s, l) = h.join().expect("shard worker panicked");
+            shard_stats.push(s);
+            lane_stats.push(l);
+        }
+        (shard_stats, lane_stats)
     });
 
+    run.events = lane_stats.iter().map(LaneStats::events).sum();
+    run.new_events = lane_stats.iter().map(|s| s.arrivals).sum();
     run.searches = shard_stats.iter().map(|s| s.sweeps).sum();
     detector.absorb_shard_run(run);
 
@@ -195,6 +323,7 @@ pub fn drive_sharded<D: ShardedIngest>(
         slides,
         sweeps: run.searches,
         shard_stats,
+        lane_stats,
         final_answer: answers.last().cloned().flatten(),
         answers,
     }
@@ -253,6 +382,7 @@ mod tests {
                     drive_sharded(&mut par, WindowConfig::equal(400), objs.iter().copied(), 64);
                 assert_eq!(report.objects, objs.len() as u64);
                 assert_eq!(report.slides, seq_report.slides);
+                assert_eq!(report.events, seq_report.events);
                 assert_eq!(report.answers.len(), seq_report.answers.len());
                 for (i, (a, b)) in report
                     .answers
@@ -284,27 +414,43 @@ mod tests {
                 assert_eq!(report.shard_stats.len(), par.shard_count());
                 let touches: u64 = report.shard_stats.iter().map(|s| s.cell_touches).sum();
                 assert!(touches > 0);
+                // The lanes partition the whole stream: every arrival has
+                // exactly one home lane, and the expansion critical path
+                // shrinks as lanes are added.
+                assert_eq!(report.lane_stats.len(), shards);
+                let arrivals: u64 = report.lane_stats.iter().map(|s| s.arrivals).sum();
+                assert_eq!(arrivals, report.objects);
+                if shards > 1 {
+                    let total: u64 = report.lane_stats.iter().map(|s| s.transitions).sum();
+                    assert!(report.max_lane_transitions() < total);
+                }
             }
         }
     }
 
     #[test]
-    fn empty_stream_flushes_nothing() {
+    fn empty_stream_yields_only_the_terminal_flush() {
         let mut d = CellCspot::new(query(0.5));
         let report = drive_sharded(&mut d, WindowConfig::equal(400), std::iter::empty(), 32);
         assert_eq!(report.objects, 0);
-        assert_eq!(report.slides, 0);
-        assert!(report.answers.is_empty());
+        assert_eq!(report.slides, 1);
+        assert_eq!(report.answers.len(), 1);
         assert!(report.final_answer.is_none());
+        assert_eq!(report.events, 0);
     }
 
     #[test]
-    fn partial_last_slide_is_flushed() {
+    fn partial_last_slide_and_drain_are_flushed() {
         let objs = stream(70);
         let mut d = CellCspot::new(query(0.5));
         let report = drive_sharded(&mut d, WindowConfig::equal(400), objs.into_iter(), 32);
-        assert_eq!(report.slides, 3); // 32 + 32 + 6
-        assert_eq!(report.answers.len(), 3);
-        assert!(report.final_answer.is_some());
+        assert_eq!(report.slides, 4); // 32 + 32 + 6, then the drain
+        assert_eq!(report.answers.len(), 4);
+        // The last pre-drain answer sees the resident windows; the terminal
+        // one sees them drained.
+        assert!(report.answers[2].is_some());
+        assert!(report.final_answer.is_none());
+        // Every object completed its lifecycle: 3 events each.
+        assert_eq!(report.events, 3 * 70);
     }
 }

@@ -13,6 +13,100 @@ use surge_core::{
     object_to_rect, CellId, Event, GridSpec, RegionSize, SpatialObject, Timestamp, WindowConfig,
 };
 
+/// A reusable buffer of window-transition events.
+///
+/// The engines' `*_into` entry points ([`SlidingWindowEngine::push_into`],
+/// [`SlidingWindowEngine::advance_into`],
+/// [`SlidingWindowEngine::finish_into`] and their sharded counterparts)
+/// append into an `EventBatch` instead of allocating a fresh `Vec<Event>`
+/// per push — a driver clears and reuses one batch for the whole stream, so
+/// steady-state event expansion allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct EventBatch {
+    events: Vec<Event>,
+}
+
+impl EventBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        EventBatch::default()
+    }
+
+    /// An empty batch with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventBatch {
+            events: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Empties the batch, keeping its allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Number of buffered events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the batch holds no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The buffered events, in emission order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterates the buffered events in emission order.
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Appends one event.
+    #[inline]
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Appends a slice of events.
+    #[inline]
+    pub fn extend_from_slice(&mut self, events: &[Event]) {
+        self.events.extend_from_slice(events);
+    }
+
+    pub(crate) fn vec_mut(&mut self) -> &mut Vec<Event> {
+        &mut self.events
+    }
+}
+
+impl std::ops::Deref for EventBatch {
+    type Target = [Event];
+    fn deref(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+impl AsRef<[Event]> for EventBatch {
+    fn as_ref(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+impl<'a> IntoIterator for &'a EventBatch {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
 /// The sliding-window engine: turns timestamp-ordered spatial objects into a
 /// window-transition event stream.
 ///
@@ -90,32 +184,67 @@ impl SlidingWindowEngine {
     /// pending `Grown`/`Expired` transitions up to the object's timestamp (in
     /// transition-time order), then the `New` event.
     ///
+    /// Allocates a fresh `Vec` per call; hot paths should prefer
+    /// [`push_into`](Self::push_into) with a reused [`EventBatch`].
+    ///
     /// # Panics
     ///
-    /// Panics if objects arrive out of timestamp order.
+    /// Panics if the object predates an already-observed timestamp — either
+    /// an earlier arrival (`last_created`) or the engine clock (`now`, which
+    /// [`advance_to`](Self::advance_to) can move past the last arrival).
+    /// Without the clock check, an object older than `now` would emit its
+    /// `New` *after* transitions that logically postdate it.
     pub fn push(&mut self, object: SpatialObject) -> Vec<Event> {
+        let mut events = Vec::new();
+        self.push_raw(object, &mut events);
+        events
+    }
+
+    /// [`push`](Self::push) into a reused buffer: appends the caused events
+    /// to `out` without allocating. Same panics as `push`.
+    ///
+    /// The engine's emission follows the canonical order
+    /// [`Event::order_key`] — `(transition_time, kind_rank, object_id)` —
+    /// provided equal-timestamp arrivals carry increasing object ids (the
+    /// natural contract when ids are assigned on arrival). The window-lane
+    /// decomposition ([`crate::lanes`]) relies on exactly that invariant.
+    pub fn push_into(&mut self, object: SpatialObject, out: &mut EventBatch) {
+        self.push_raw(object, out.vec_mut());
+    }
+
+    fn push_raw(&mut self, object: SpatialObject, out: &mut Vec<Event>) {
+        let floor = self.last_created.max(self.now);
         assert!(
-            object.created >= self.last_created,
-            "stream must be timestamp-ordered: got {} after {}",
+            object.created >= floor,
+            "stream must be timestamp-ordered: got {} after the engine observed {}",
             object.created,
-            self.last_created
+            floor
         );
         self.last_created = object.created;
-        let mut events = self.advance_to(object.created);
-        events.push(Event::new_arrival(object));
+        self.advance_raw(object.created, out);
+        out.push(Event::new_arrival(object));
         self.current.push_back(object);
-        events
     }
 
     /// Advances the clock to `t` without ingesting an object, returning the
     /// `Grown`/`Expired` transitions that occur in `(now, t]`, in
     /// transition-time order.
     pub fn advance_to(&mut self, t: Timestamp) -> Vec<Event> {
+        let mut events = Vec::new();
+        self.advance_raw(t, &mut events);
+        events
+    }
+
+    /// [`advance_to`](Self::advance_to) into a reused buffer.
+    pub fn advance_into(&mut self, t: Timestamp, out: &mut EventBatch) {
+        self.advance_raw(t, out.vec_mut());
+    }
+
+    fn advance_raw(&mut self, t: Timestamp, events: &mut Vec<Event>) {
         if t < self.now {
-            return Vec::new();
+            return;
         }
         self.now = t;
-        let mut events = Vec::new();
         loop {
             // Earliest pending transition: front of `current` grows at
             // t_c + |W_c|; front of `past` expires at t_c + |W_c| + |W_p|.
@@ -128,13 +257,46 @@ impl SlidingWindowEngine {
                 .front()
                 .map(|o| self.windows.expire_time(o.created));
             match (grow_at, expire_at) {
-                (Some(g), Some(x)) if g <= t && g <= x => self.grow_front(&mut events, g),
-                (Some(g), None) if g <= t => self.grow_front(&mut events, g),
-                (_, Some(x)) if x <= t => self.expire_front(&mut events, x),
+                (Some(g), Some(x)) if g <= t && g <= x => self.grow_front(events, g),
+                (Some(g), None) if g <= t => self.grow_front(events, g),
+                (_, Some(x)) if x <= t => self.expire_front(events, x),
                 _ => break,
             }
         }
+    }
+
+    /// Drains the stream tail: emits every pending `Grown`/`Expired`
+    /// transition up to the horizon (the instant the youngest resident
+    /// object expires), leaving both windows empty.
+    ///
+    /// Streams end at their last arrival, so without this the tail windows'
+    /// transitions are never emitted and a final-slide answer still counts
+    /// every resident object. The replay drivers call `finish` after the
+    /// source is exhausted; the engine clock advances to the horizon, so
+    /// pushing an object older than it panics afterwards.
+    pub fn finish(&mut self) -> Vec<Event> {
+        let mut events = Vec::new();
+        self.finish_raw(&mut events);
         events
+    }
+
+    /// [`finish`](Self::finish) into a reused buffer.
+    pub fn finish_into(&mut self, out: &mut EventBatch) {
+        self.finish_raw(out.vec_mut());
+    }
+
+    fn finish_raw(&mut self, events: &mut Vec<Event>) {
+        // The youngest resident object (back of `current`, else back of
+        // `past`) expires last; advancing to its expiry drains everything.
+        let horizon = self
+            .current
+            .back()
+            .or_else(|| self.past.back())
+            .map(|o| self.windows.expire_time(o.created));
+        if let Some(h) = horizon {
+            self.advance_raw(h, events);
+        }
+        debug_assert!(self.current.is_empty() && self.past.is_empty());
     }
 
     fn grow_front(&mut self, events: &mut Vec<Event>, at: Timestamp) {
@@ -360,6 +522,115 @@ mod tests {
         eng.push(obj(0, 500));
         assert!(eng.advance_to(10).is_empty());
         assert_eq!(eng.now(), 500);
+    }
+
+    /// Regression: `push` used to check only `last_created`, so after
+    /// `advance_to(t)` a caller could push an object older than the engine
+    /// clock — its `New` would be emitted after transitions that logically
+    /// postdate it.
+    #[test]
+    #[should_panic(expected = "timestamp-ordered")]
+    fn push_older_than_clock_rejected() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        eng.push(obj(0, 10));
+        eng.advance_to(1_000); // emits Grown@110 and Expired@210
+        eng.push(obj(1, 500)); // 500 < now=1000: must panic, not emit New@500
+    }
+
+    #[test]
+    fn push_at_exact_clock_is_allowed() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        eng.advance_to(300);
+        let evs = eng.push(obj(0, 300));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::New);
+    }
+
+    #[test]
+    fn finish_drains_both_windows_in_canonical_order() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        eng.push(obj(0, 0)); // grows 100, expires 200
+        eng.push(obj(1, 50)); // grows 150, expires 250
+        eng.push(obj(2, 120)); // grows 220, expires 320 (emits Grown(0)@100)
+        let evs = eng.finish();
+        let seq: Vec<(EventKind, u64, Timestamp)> =
+            evs.iter().map(|e| (e.kind, e.object.id, e.at)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                (EventKind::Grown, 1, 150),
+                (EventKind::Expired, 0, 200),
+                (EventKind::Grown, 2, 220),
+                (EventKind::Expired, 1, 250),
+                (EventKind::Expired, 2, 320),
+            ]
+        );
+        assert_eq!(eng.current_len(), 0);
+        assert_eq!(eng.past_len(), 0);
+        assert_eq!(eng.now(), 320);
+        assert!(eng.finish().is_empty(), "finish is idempotent");
+    }
+
+    #[test]
+    fn finish_on_empty_engine_is_a_noop() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        assert!(eng.finish().is_empty());
+        assert_eq!(eng.now(), 0);
+    }
+
+    #[test]
+    fn finish_matches_advance_to_horizon() {
+        let mut a = SlidingWindowEngine::new(WindowConfig::new(70, 30));
+        let mut b = SlidingWindowEngine::new(WindowConfig::new(70, 30));
+        for t in [0u64, 10, 10, 55, 90] {
+            a.push(obj(t * 7, t));
+            b.push(obj(t * 7, t));
+        }
+        assert_eq!(a.finish(), b.advance_to(90 + 70 + 30));
+    }
+
+    #[test]
+    fn push_into_reuses_one_buffer() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        let mut batch = EventBatch::with_capacity(8);
+        eng.push_into(obj(0, 0), &mut batch);
+        assert_eq!(batch.len(), 1);
+        batch.clear();
+        eng.push_into(obj(1, 250), &mut batch);
+        let kinds: Vec<EventKind> = batch.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::Grown, EventKind::Expired, EventKind::New]
+        );
+        // Vec-returning and batch APIs expand identically.
+        let mut eng2 = SlidingWindowEngine::new(WindowConfig::equal(100));
+        let mut all = Vec::new();
+        for o in [obj(0, 0), obj(1, 250)] {
+            all.extend(eng2.push(o));
+        }
+        let mut eng3 = SlidingWindowEngine::new(WindowConfig::equal(100));
+        let mut batched = EventBatch::new();
+        for o in [obj(0, 0), obj(1, 250)] {
+            eng3.push_into(o, &mut batched);
+        }
+        assert_eq!(all, batched.as_slice());
+        batched.clear();
+        eng3.finish_into(&mut batched);
+        assert_eq!(eng2.finish(), batched.as_slice());
+    }
+
+    #[test]
+    fn zero_length_past_window_grows_then_expires_in_one_step() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::new(100, 0));
+        eng.push(obj(0, 0));
+        let evs = eng.advance_to(100);
+        let seq: Vec<(EventKind, Timestamp)> = evs.iter().map(|e| (e.kind, e.at)).collect();
+        assert_eq!(
+            seq,
+            vec![(EventKind::Grown, 100), (EventKind::Expired, 100)]
+        );
+        assert_eq!(eng.past_len(), 0);
+        assert!(eng.is_stable());
     }
 }
 

@@ -1,0 +1,221 @@
+//! Differential property tests for the window-lane decomposition: the
+//! merged output of [`ShardedWindowEngine`] must be **bitwise identical** —
+//! kind, transition time, object id, weight and position bits, per event,
+//! in order — to the monolithic [`SlidingWindowEngine`], for every lane
+//! count, over streams where the nasty cases are common rather than
+//! measure-zero: duplicate timestamps (several arrivals per tick),
+//! grow/expire ties across lanes (coarse timestamp lattice ⇒ colliding
+//! transition times), and zero-length past windows (grow and expire
+//! coincide).
+
+use proptest::prelude::*;
+use surge_core::{Event, Point, RegionSize, SpatialObject, WindowConfig};
+use surge_stream::{EventBatch, ShardedWindowEngine, SlidingWindowEngine};
+
+/// Raw tuples → a stream with *duplicate timestamps* (every `per_tick`
+/// arrivals share one tick) on a coarse spatial lattice, ids in arrival
+/// order.
+fn build_stream(raw: Vec<(u32, u32, u32)>, per_tick: u64, tick: u64) -> Vec<SpatialObject> {
+    raw.into_iter()
+        .enumerate()
+        .map(|(i, (x, y, w))| {
+            SpatialObject::new(
+                i as u64,
+                1.0 + (w % 4) as f64,
+                Point::new(x as f64 * 0.5, y as f64 * 0.5),
+                (i as u64 / per_tick.max(1)) * tick,
+            )
+        })
+        .collect()
+}
+
+fn expand_monolithic(
+    objs: &[SpatialObject],
+    windows: WindowConfig,
+    advance_between: Option<u64>,
+) -> Vec<Event> {
+    let mut eng = SlidingWindowEngine::new(windows);
+    let mut out = EventBatch::new();
+    for o in objs {
+        if let Some(gap) = advance_between {
+            eng.advance_into(o.created.saturating_sub(gap), &mut out);
+        }
+        eng.push_into(*o, &mut out);
+    }
+    eng.finish_into(&mut out);
+    out.as_slice().to_vec()
+}
+
+fn expand_lanes(
+    objs: &[SpatialObject],
+    windows: WindowConfig,
+    lanes: usize,
+    advance_between: Option<u64>,
+) -> (Vec<Event>, ShardedWindowEngine) {
+    let mut eng = ShardedWindowEngine::new(windows, RegionSize::new(1.0, 1.0), lanes);
+    let mut out = EventBatch::new();
+    for o in objs {
+        if let Some(gap) = advance_between {
+            eng.advance_into(o.created.saturating_sub(gap), &mut out);
+        }
+        eng.push_into(*o, &mut out);
+    }
+    eng.finish_into(&mut out);
+    (out.as_slice().to_vec(), eng)
+}
+
+fn assert_bitwise_identical(lanes: usize, a: &[Event], b: &[Event]) {
+    assert_eq!(a.len(), b.len(), "lanes {lanes}: stream length diverged");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.kind, y.kind, "lanes {lanes} event {i}");
+        assert_eq!(x.at, y.at, "lanes {lanes} event {i}");
+        assert_eq!(x.object.id, y.object.id, "lanes {lanes} event {i}");
+        assert_eq!(
+            x.object.created, y.object.created,
+            "lanes {lanes} event {i}"
+        );
+        assert_eq!(
+            x.object.weight.to_bits(),
+            y.object.weight.to_bits(),
+            "lanes {lanes} event {i}"
+        );
+        assert_eq!(
+            x.object.pos.x.to_bits(),
+            y.object.pos.x.to_bits(),
+            "lanes {lanes} event {i}"
+        );
+        assert_eq!(
+            x.object.pos.y.to_bits(),
+            y.object.pos.y.to_bits(),
+            "lanes {lanes} event {i}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lane-merged output is bitwise identical to the monolithic engine for
+    /// every lane count, under duplicate timestamps and transition-time
+    /// collisions across lanes.
+    #[test]
+    fn lane_merge_bit_matches_monolithic(
+        raw in prop::collection::vec((0u32..20, 0u32..14, 0u32..8), 8..220),
+        per_tick in 1u64..5,
+        tick in 1u64..90,
+        win_cur in 1u64..400,
+        win_past in 0u64..400,
+    ) {
+        let objs = build_stream(raw, per_tick, tick);
+        let windows = WindowConfig::new(win_cur, win_past);
+        let mono = expand_monolithic(&objs, windows, None);
+        for lanes in [1usize, 2, 4, 8] {
+            let (merged, eng) = expand_lanes(&objs, windows, lanes, None);
+            assert_bitwise_identical(lanes, &merged, &mono);
+            // Conservation: lanes partition arrivals, transitions sum to the
+            // monolithic total, and all windows end empty.
+            prop_assert_eq!(eng.total_events(), mono.len() as u64);
+            prop_assert_eq!(
+                eng.lane_stats().iter().map(|s| s.arrivals).sum::<u64>(),
+                objs.len() as u64
+            );
+            prop_assert_eq!(eng.current_len(), 0);
+            prop_assert_eq!(eng.past_len(), 0);
+        }
+    }
+
+    /// Interleaving explicit clock advances between pushes (the granularity
+    /// a driver might use) does not break the lane identity.
+    #[test]
+    fn lane_merge_survives_interleaved_advances(
+        raw in prop::collection::vec((0u32..16, 0u32..10, 0u32..8), 8..120),
+        per_tick in 1u64..4,
+        tick in 1u64..60,
+        win in 1u64..250,
+        gap in 0u64..40,
+    ) {
+        let objs = build_stream(raw, per_tick, tick);
+        let windows = WindowConfig::equal(win);
+        let mono = expand_monolithic(&objs, windows, Some(gap));
+        for lanes in [2usize, 8] {
+            let (merged, _) = expand_lanes(&objs, windows, lanes, Some(gap));
+            assert_bitwise_identical(lanes, &merged, &mono);
+        }
+    }
+
+    /// The merged stream is totally ordered by the canonical key — the
+    /// invariant the sharded driver's k-way merge relies on — except for
+    /// the one documented wrinkle: with a zero-length current window an
+    /// object's own Grown may trail its New at the same instant. With
+    /// positive window lengths the emitted order is key-sorted outright.
+    #[test]
+    fn merged_stream_is_key_sorted(
+        raw in prop::collection::vec((0u32..16, 0u32..10, 0u32..8), 8..120),
+        per_tick in 1u64..4,
+        win_cur in 1u64..200,
+        win_past in 0u64..200,
+    ) {
+        let objs = build_stream(raw, per_tick, 30);
+        let windows = WindowConfig::new(win_cur, win_past);
+        let (merged, _) = expand_lanes(&objs, windows, 4, None);
+        for pair in merged.windows(2) {
+            prop_assert!(
+                pair[0].order_key() <= pair[1].order_key(),
+                "out of canonical order: {:?} then {:?}",
+                pair[0].order_key(),
+                pair[1].order_key()
+            );
+        }
+    }
+}
+
+/// Deterministic cross-lane tie scenario: grow and expire transitions of
+/// objects homed to different lanes collide at one instant, with a
+/// same-instant arrival on top.
+#[test]
+fn cross_lane_tie_storm_matches() {
+    // o0 expires at 200; o1, o2 (different cells ⇒ very likely different
+    // lanes) grow at 200; o3 arrives at 200.
+    let objs = vec![
+        SpatialObject::new(0, 1.0, Point::new(0.25, 0.25), 0),
+        SpatialObject::new(1, 2.0, Point::new(30.25, 0.25), 100),
+        SpatialObject::new(2, 3.0, Point::new(60.25, 0.25), 100),
+        SpatialObject::new(3, 4.0, Point::new(90.25, 0.25), 200),
+    ];
+    let windows = WindowConfig::equal(100);
+    let mono = expand_monolithic(&objs, windows, None);
+    for lanes in [1usize, 2, 4, 8, 16] {
+        let (merged, _) = expand_lanes(&objs, windows, lanes, None);
+        assert_bitwise_identical(lanes, &merged, &mono);
+    }
+    // Sanity: the tie really happens, in canonical kind order.
+    let at200: Vec<u8> = mono
+        .iter()
+        .filter(|e| e.at == 200)
+        .map(|e| e.kind.rank())
+        .collect();
+    assert_eq!(at200, vec![0, 0, 1, 2]); // Grown, Grown, Expired, New
+}
+
+/// Zero-length past window: every grow is immediately followed by its
+/// expire; lanes must reproduce the monolithic interleaving exactly.
+#[test]
+fn zero_length_past_window_tie_matches() {
+    let objs: Vec<SpatialObject> = (0..40)
+        .map(|i| {
+            SpatialObject::new(
+                i,
+                1.0,
+                Point::new((i % 7) as f64 * 4.5, (i % 3) as f64 * 4.5),
+                (i / 4) * 25,
+            )
+        })
+        .collect();
+    let windows = WindowConfig::new(50, 0);
+    let mono = expand_monolithic(&objs, windows, None);
+    assert!(mono.iter().any(|e| e.kind.rank() == 1), "expiries happen");
+    for lanes in [2usize, 4, 8] {
+        let (merged, _) = expand_lanes(&objs, windows, lanes, None);
+        assert_bitwise_identical(lanes, &merged, &mono);
+    }
+}

@@ -168,6 +168,30 @@ proptest! {
         prop_assert_eq!(big_events, small_events);
     }
 
+    /// `finish` drains exactly the events a large-enough `advance_to`
+    /// would, leaves both windows empty, and is idempotent.
+    #[test]
+    fn finish_equals_advance_past_horizon(
+        raw in prop::collection::vec((0u64..5_000, 1u16..10), 1..60),
+        win_cur in 1u64..1_000,
+        win_past in 0u64..1_000,
+    ) {
+        let objs = stream_from(raw);
+        let cfg = WindowConfig::new(win_cur, win_past);
+        let horizon = objs.last().unwrap().created + win_cur + win_past;
+
+        let mut a = SlidingWindowEngine::new(cfg);
+        let mut b = SlidingWindowEngine::new(cfg);
+        for o in objs.iter().copied() {
+            a.push(o);
+            b.push(o);
+        }
+        prop_assert_eq!(a.finish(), b.advance_to(horizon));
+        prop_assert_eq!(a.current_len(), 0);
+        prop_assert_eq!(a.past_len(), 0);
+        prop_assert!(a.finish().is_empty());
+    }
+
     /// The stable flag flips exactly at the first expiry.
     #[test]
     fn stability_begins_at_first_expiry(

@@ -89,9 +89,10 @@ pub mod prelude {
     };
     pub use surge_stream::{
         drive, drive_incremental, drive_parallel, drive_sharded, drive_slides, drive_topk,
-        sweep_parallel, BurstSpec, Dataset, DirtyCellTracker, GeoMessage, Hotspot, KeywordQuery,
-        LatencyHistogram, ShardedReport, SlidingWindowEngine, StreamGenerator, TextStreamGenerator,
-        Topic, TopicBurst, Vocabulary, WorkloadConfig,
+        sweep_parallel, BurstSpec, Dataset, DirtyCellTracker, EventBatch, GeoMessage, Hotspot,
+        KeywordQuery, LatencyHistogram, ShardedReport, ShardedWindowEngine, SlidingWindowEngine,
+        StreamGenerator, TextStreamGenerator, Topic, TopicBurst, Vocabulary, WindowLane,
+        WorkloadConfig,
     };
     pub use surge_topk::{KCellCspot, KGapSurge, KMgapSurge, NaiveTopK};
 }
