@@ -16,8 +16,9 @@
 //!   case-study             §VII-G    burst localization
 //!   latency                extension: per-event tail-latency table
 //!   roadnet                extension: road-network segment-length sweep
-//!   sweep-bench            naive vs segment-tree sweep + flat vs recursive
-//!                          segment tree; writes BENCH_sweep.json
+//!   sweep-bench            naive vs segment-tree sweep, flat vs recursive
+//!                          segment tree, persistent vs rebuild cell
+//!                          sweeps; writes BENCH_sweep.json
 //!   shard-bench            sharded ingest vs sequential driver; writes
 //!                          BENCH_shard.json
 //!   window-bench           window-lane expansion vs monolithic engine;
@@ -32,6 +33,10 @@
 //!   --datasets D    comma list of uk,us,taxi              [default all]
 //!   --fast          smoke-scale preset
 //!   --paper         paper-scale preset (1M objects; slow)
+//!   --persistent M  cell-sweep mode for the exact detectors: on (default,
+//!                   persistent cross-sweep state) or off (rebuild per
+//!                   search — the pre-persistence cost profile; answers
+//!                   are bit-identical either way)
 //! ```
 
 use std::process::ExitCode;
@@ -95,8 +100,31 @@ fn parse_args() -> Result<Args, String> {
                     })
                     .collect::<Result<Vec<_>, _>>()?;
             }
-            "--fast" => cfg = ExpConfig::fast(),
-            "--paper" => cfg = ExpConfig::paper(),
+            // The scale presets replace every scale knob but must not
+            // silently undo a `--persistent` toggle given in any order:
+            // sweep mode changes *what* is measured, not how much.
+            "--fast" => {
+                let sweep_mode = cfg.sweep_mode;
+                cfg = ExpConfig::fast();
+                cfg.sweep_mode = sweep_mode;
+            }
+            "--paper" => {
+                let sweep_mode = cfg.sweep_mode;
+                cfg = ExpConfig::paper();
+                cfg.sweep_mode = sweep_mode;
+            }
+            "--persistent" => {
+                cfg.sweep_mode = match args
+                    .next()
+                    .ok_or("--persistent needs on|off")?
+                    .to_lowercase()
+                    .as_str()
+                {
+                    "on" => surge_exact::SweepMode::Persistent,
+                    "off" => surge_exact::SweepMode::Rebuild,
+                    other => return Err(format!("--persistent: expected on|off, got {other}")),
+                }
+            }
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
     }
@@ -111,16 +139,19 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|window-bench|all> \
      [--axis window|rect|k] [--objects N] [--heavy N] [--naive N] [--seed S] \
-     [--datasets uk,us,taxi] [--fast] [--paper]"
+     [--datasets uk,us,taxi] [--fast] [--paper] [--persistent on|off]"
         .to_string()
 }
 
-/// Runs the naive-vs-segtree sweep comparison, printing the table and
-/// writing `BENCH_sweep.json` to the working directory.
+/// Runs the naive-vs-segtree sweep comparison plus the persistent-vs-
+/// rebuild cell-sweep comparison, printing both tables and writing
+/// `BENCH_sweep.json` to the working directory.
 fn run_sweep_bench(cfg: &ExpConfig) -> Result<(), String> {
     let rows = experiments::sweep_bench(cfg);
     print!("{}", print::sweep_bench(&rows));
-    let json = print::sweep_bench_json(&rows);
+    let prows = experiments::persistent_bench(cfg);
+    print!("{}", print::persistent_bench(&prows));
+    let json = print::sweep_bench_json(&rows, &prows);
     let path = "BENCH_sweep.json";
     std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("# wrote {path}");

@@ -14,7 +14,7 @@ use surge_stream::{
 
 use surge_approx::{GapSurge, MgapSurge};
 use surge_baseline::Ag2;
-use surge_exact::{BaseDetector, BoundMode, CellCspot};
+use surge_exact::{BaseDetector, BoundMode, CellCspot, SweepMode, DEFAULT_SHARDS};
 use surge_topk::{KCellCspot, KGapSurge, KMgapSurge, NaiveTopK};
 
 /// The single-region algorithms the harness can run.
@@ -52,11 +52,31 @@ impl Algo {
     /// The two approximate curves of Fig. 6.
     pub const APPROX_SET: [Algo; 2] = [Algo::Gaps, Algo::Mgaps];
 
-    /// Builds a fresh detector for `query`.
+    /// Builds a fresh detector for `query` (persistent cross-sweep state —
+    /// the production configuration).
     pub fn build(&self, query: SurgeQuery) -> Box<dyn BurstDetector> {
+        self.build_with(query, SweepMode::Persistent)
+    }
+
+    /// Builds a fresh detector with an explicit per-cell sweep mode. The
+    /// mode only affects the exact cell detectors (CCS / B-CCS); answers
+    /// are bit-identical either way — [`SweepMode::Rebuild`] exists so the
+    /// harness can time the pre-persistence cost profile
+    /// (`surge-exp --persistent off`).
+    pub fn build_with(&self, query: SurgeQuery, sweep_mode: SweepMode) -> Box<dyn BurstDetector> {
         match self {
-            Algo::Ccs => Box::new(CellCspot::new(query)),
-            Algo::Bccs => Box::new(CellCspot::with_mode(query, BoundMode::StaticOnly)),
+            Algo::Ccs => Box::new(CellCspot::with_sweep_mode(
+                query,
+                BoundMode::Combined,
+                sweep_mode,
+                DEFAULT_SHARDS,
+            )),
+            Algo::Bccs => Box::new(CellCspot::with_sweep_mode(
+                query,
+                BoundMode::StaticOnly,
+                sweep_mode,
+                DEFAULT_SHARDS,
+            )),
             Algo::Base => Box::new(BaseDetector::new(query)),
             Algo::Ag2 => Box::new(Ag2::new(query)),
             Algo::Gaps => Box::new(GapSurge::new(query)),
@@ -91,6 +111,10 @@ pub struct ExpConfig {
     pub max_objects: usize,
     /// Same cap for the heavy ablations/baselines.
     pub max_heavy_objects: usize,
+    /// Per-cell sweep mode for the exact cell detectors (`surge-exp
+    /// --persistent on|off`). Answers are bit-identical in both modes;
+    /// `Rebuild` times the pre-persistence cost profile.
+    pub sweep_mode: SweepMode,
 }
 
 impl Default for ExpConfig {
@@ -103,6 +127,7 @@ impl Default for ExpConfig {
             quality_stride: 50,
             max_objects: 450_000,
             max_heavy_objects: 30_000,
+            sweep_mode: SweepMode::Persistent,
         }
     }
 }
@@ -119,6 +144,7 @@ impl ExpConfig {
             quality_stride: 25,
             max_objects: 40_000,
             max_heavy_objects: 8_000,
+            sweep_mode: SweepMode::Persistent,
         }
     }
 
@@ -132,6 +158,7 @@ impl ExpConfig {
             quality_stride: 1_000,
             max_objects: 2_000_000,
             max_heavy_objects: 500_000,
+            sweep_mode: SweepMode::Persistent,
         }
     }
 }
@@ -224,8 +251,33 @@ pub fn run_algo(
     objects: usize,
     seed: u64,
 ) -> RunStats {
+    run_algo_with_mode(
+        algo,
+        dataset,
+        windows,
+        rect_scale,
+        alpha,
+        objects,
+        seed,
+        SweepMode::Persistent,
+    )
+}
+
+/// [`run_algo`] with an explicit per-cell sweep mode (the `--persistent`
+/// toggle; only the exact cell detectors are affected).
+#[allow(clippy::too_many_arguments)]
+pub fn run_algo_with_mode(
+    algo: Algo,
+    dataset: Dataset,
+    windows: WindowConfig,
+    rect_scale: f64,
+    alpha: f64,
+    objects: usize,
+    seed: u64,
+    sweep_mode: SweepMode,
+) -> RunStats {
     let query = query_for(dataset, windows, rect_scale, alpha);
-    let mut detector = algo.build(query);
+    let mut detector = algo.build_with(query, sweep_mode);
     let mut engine = SlidingWindowEngine::new(windows);
     let stream = stream_for(dataset, objects, seed);
     drive(detector.as_mut(), &mut engine, stream.into_iter())
@@ -326,7 +378,7 @@ fn runtime_sweep(
                     (cfg.objects, cfg.max_objects)
                 };
                 let objects = objects_for(dataset, windows, measure, cap);
-                let stats = run_algo(
+                let stats = run_algo_with_mode(
                     algo,
                     dataset,
                     windows,
@@ -334,6 +386,7 @@ fn runtime_sweep(
                     DEFAULT_ALPHA,
                     objects,
                     cfg.seed,
+                    cfg.sweep_mode,
                 );
                 let (t, stable) = if stats.objects > 0 {
                     (stats.time_per_object_us(), true)
@@ -390,7 +443,7 @@ pub fn table2(datasets: &[Dataset], cfg: &ExpConfig) -> Vec<Table2Row> {
     for &dataset in datasets {
         for (label, windows) in window_sweep(dataset) {
             let objects = objects_for(dataset, windows, cfg.heavy_objects, cfg.max_heavy_objects);
-            let ccs = run_algo(
+            let ccs = run_algo_with_mode(
                 Algo::Ccs,
                 dataset,
                 windows,
@@ -398,8 +451,9 @@ pub fn table2(datasets: &[Dataset], cfg: &ExpConfig) -> Vec<Table2Row> {
                 DEFAULT_ALPHA,
                 objects,
                 cfg.seed,
+                cfg.sweep_mode,
             );
-            let bccs = run_algo(
+            let bccs = run_algo_with_mode(
                 Algo::Bccs,
                 dataset,
                 windows,
@@ -407,6 +461,7 @@ pub fn table2(datasets: &[Dataset], cfg: &ExpConfig) -> Vec<Table2Row> {
                 DEFAULT_ALPHA,
                 objects,
                 cfg.seed,
+                cfg.sweep_mode,
             );
             out.push(Table2Row {
                 dataset: dataset.to_string(),
@@ -448,7 +503,16 @@ pub fn fig7(cfg: &ExpConfig) -> Vec<AlphaPoint> {
                 (cfg.objects, cfg.max_objects)
             };
             let objects = objects_for(dataset, windows, measure, cap);
-            let stats = run_algo(algo, dataset, windows, 1.0, alpha, objects, cfg.seed);
+            let stats = run_algo_with_mode(
+                algo,
+                dataset,
+                windows,
+                1.0,
+                alpha,
+                objects,
+                cfg.seed,
+                cfg.sweep_mode,
+            );
             let t = if stats.objects > 0 {
                 stats.time_per_object_us()
             } else {
@@ -617,7 +681,7 @@ pub fn fig8(datasets: &[Dataset], cfg: &ExpConfig) -> Vec<ScalePoint> {
                 let workload = dataset
                     .workload(objects, cfg.seed)
                     .stretched_to_rate(rate * 1e6);
-                let mut det = algo.build(query);
+                let mut det = algo.build_with(query, cfg.sweep_mode);
                 let mut engine = SlidingWindowEngine::new(windows);
                 let stream = StreamGenerator::new(workload).generate();
                 let stats = drive(det.as_mut(), &mut engine, stream.into_iter());
@@ -872,8 +936,18 @@ pub fn latency_table(dataset: Dataset, cfg: &ExpConfig) -> Vec<LatencyRow> {
     let objects = objects_for(dataset, windows, cfg.heavy_objects, cfg.max_heavy_objects);
     let stream = stream_for(dataset, objects, cfg.seed);
     let detectors: Vec<Box<dyn BurstDetector + Send>> = vec![
-        Box::new(CellCspot::new(query)),
-        Box::new(CellCspot::with_mode(query, BoundMode::StaticOnly)),
+        Box::new(CellCspot::with_sweep_mode(
+            query,
+            BoundMode::Combined,
+            cfg.sweep_mode,
+            DEFAULT_SHARDS,
+        )),
+        Box::new(CellCspot::with_sweep_mode(
+            query,
+            BoundMode::StaticOnly,
+            cfg.sweep_mode,
+            DEFAULT_SHARDS,
+        )),
         Box::new(BaseDetector::new(query)),
         Box::new(Ag2::new(query)),
         Box::new(GapSurge::new(query)),
@@ -1134,6 +1208,123 @@ pub fn sweep_bench(cfg: &ExpConfig) -> Vec<SweepBenchRow> {
 }
 
 // ---------------------------------------------------------------------------
+// Persistent vs rebuild cell sweeps
+// ---------------------------------------------------------------------------
+
+/// One row of the persistent-vs-rebuild cell-sweep experiment: the same
+/// incremental workload driven through a `CellCspot` whose per-cell sweeps
+/// either reuse persistent cross-sweep state or rebuild from the rectangle
+/// set on every search.
+#[derive(Debug, Clone, Copy)]
+pub struct PersistentBenchRow {
+    /// Workload label (`"uniform"` or `"taxi"`).
+    pub workload: &'static str,
+    /// `"persistent"` or `"rebuild"`.
+    pub mode: &'static str,
+    /// Objects driven through the pipeline.
+    pub objects: u64,
+    /// Cell searches executed (identical across modes by construction).
+    pub searches: u64,
+    /// Incremental edits applied to persistent structures (0 in rebuild
+    /// mode).
+    pub churn_ops: u64,
+    /// Evaluation positions written by full rebuilds — the
+    /// hardware-independent work metric: rebuild mode pays this on *every*
+    /// search, the persistent mode only on threshold crossings.
+    pub rebuilt_leaves: u64,
+    /// Full rebuilds executed.
+    pub full_rebuilds: u64,
+    /// Wall-clock milliseconds for the run (informative only on a 1-CPU
+    /// container).
+    pub elapsed_ms: f64,
+    /// Rebuild-mode elapsed / this row's elapsed.
+    pub speedup: f64,
+}
+
+/// Runs the persistent-vs-rebuild comparison on the incremental workloads
+/// (`surge_exp sweep-bench` → the `persistent` section of
+/// `BENCH_sweep.json`), asserting per-slide **bit-identity** between the
+/// two modes before reporting any numbers — benchmarks must not time a
+/// divergent pipeline.
+pub fn persistent_bench(cfg: &ExpConfig) -> Vec<PersistentBenchRow> {
+    use surge_stream::drive_incremental;
+
+    let slide = 256;
+    let taxi_windows = Dataset::Taxi.spec().default_windows;
+    let taxi_objects = objects_for(Dataset::Taxi, taxi_windows, cfg.objects, cfg.max_objects);
+    let uniform_windows = WindowConfig::equal(60_000);
+    let workloads: [(&'static str, WindowConfig, SurgeQuery, Vec<SpatialObject>); 2] = [
+        (
+            "uniform",
+            uniform_windows,
+            SurgeQuery::whole_space(RegionSize::new(0.3, 0.3), uniform_windows, DEFAULT_ALPHA),
+            uniform_stream(cfg.objects.clamp(4_000, 200_000), cfg.seed),
+        ),
+        (
+            "taxi",
+            taxi_windows,
+            query_for(Dataset::Taxi, taxi_windows, 1.0, DEFAULT_ALPHA),
+            stream_for(Dataset::Taxi, taxi_objects, cfg.seed),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (workload, windows, query, stream) in workloads {
+        let mut reports = Vec::new();
+        for (mode, sweep_mode) in [
+            ("rebuild", SweepMode::Rebuild),
+            ("persistent", SweepMode::Persistent),
+        ] {
+            let mut det = CellCspot::with_sweep_mode(query, BoundMode::Combined, sweep_mode, 1);
+            let t0 = std::time::Instant::now();
+            let report = drive_incremental(&mut det, windows, stream.iter().copied(), slide, 1);
+            let elapsed = t0.elapsed();
+            reports.push((mode, report, elapsed, det.sweep_stats()));
+        }
+        let (rebuild_report, rebuild_elapsed) = (&reports[0].1, reports[0].2);
+
+        // Bit-identity gate: every slide answer must match across modes.
+        let persistent_report = &reports[1].1;
+        assert_eq!(
+            persistent_report.answers.len(),
+            rebuild_report.answers.len()
+        );
+        for (i, (a, b)) in persistent_report
+            .answers
+            .iter()
+            .zip(rebuild_report.answers.iter())
+            .enumerate()
+        {
+            match (a, b) {
+                (Some(x), Some(y)) => assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "persistent-bench divergence at {workload}, slide {i}"
+                ),
+                (None, None) => {}
+                other => panic!("persistent-bench divergence at {workload}, slide {i}: {other:?}"),
+            }
+        }
+        assert_eq!(persistent_report.jobs, rebuild_report.jobs);
+
+        for (mode, report, elapsed, sweep) in &reports {
+            rows.push(PersistentBenchRow {
+                workload,
+                mode,
+                objects: report.objects,
+                searches: sweep.searches,
+                churn_ops: sweep.churn_ops,
+                rebuilt_leaves: sweep.rebuilt_leaves,
+                full_rebuilds: sweep.full_rebuilds,
+                elapsed_ms: elapsed.as_secs_f64() * 1e3,
+                speedup: rebuild_elapsed.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // Shard-scaling experiment
 // ---------------------------------------------------------------------------
 
@@ -1172,24 +1363,11 @@ pub struct ShardBenchRow {
 /// the workload where shard scaling is visible. (Hot-spot workloads like
 /// Taxi concentrate most sweep time in a few cells; a *single* cell's sweep
 /// is serial by design, which caps shard scaling — the bench reports both.)
+/// The canonical generator lives in `surge-testkit` so the soak and
+/// differential tests exercise byte-for-byte the same streams the
+/// `BENCH_*.json` numbers report.
 fn uniform_stream(objects: usize, seed: u64) -> Vec<SpatialObject> {
-    let mut state = seed | 1;
-    let mut next = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        ((state >> 33) as f64) / ((1u64 << 31) as f64)
-    };
-    (0..objects)
-        .map(|i| {
-            SpatialObject::new(
-                i as u64,
-                1.0 + (i % 4) as f64,
-                surge_core::Point::new(next() * 7.5, next() * 7.5),
-                (i as u64) * 3,
-            )
-        })
-        .collect()
+    surge_testkit::uniform_stream(objects, seed)
 }
 
 /// Runs the sharded driver at shard counts {1, 2, 4, 8} against the
@@ -1494,6 +1672,7 @@ mod tests {
             quality_stride: 20,
             max_objects: 5_000,
             max_heavy_objects: 2_000,
+            sweep_mode: SweepMode::Persistent,
         }
     }
 
@@ -1617,6 +1796,34 @@ mod tests {
         for r in &rows {
             assert!(r.naive_us > 0.0 && r.segtree_us > 0.0);
             assert!(r.tree_flat_us > 0.0 && r.tree_recursive_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn persistent_bench_reports_both_modes_and_less_rebuild_work() {
+        let rows = persistent_bench(&tiny());
+        // Two workloads x {rebuild, persistent}; bit-identity is asserted
+        // inside the runner before any row is emitted.
+        assert_eq!(rows.len(), 4);
+        for chunk in rows.chunks(2) {
+            let (rebuild, persistent) = (&chunk[0], &chunk[1]);
+            assert_eq!(rebuild.mode, "rebuild");
+            assert_eq!(persistent.mode, "persistent");
+            assert_eq!(rebuild.workload, persistent.workload);
+            assert_eq!(rebuild.objects, persistent.objects);
+            // Same searches, different maintenance profile: the rebuild
+            // path re-sorts on every search, the persistent path only on
+            // threshold crossings.
+            assert_eq!(rebuild.searches, persistent.searches);
+            assert_eq!(rebuild.churn_ops, 0);
+            assert_eq!(rebuild.full_rebuilds, rebuild.searches);
+            assert!(
+                persistent.rebuilt_leaves < rebuild.rebuilt_leaves,
+                "{}: persistent rebuilt {} leaves vs rebuild {}",
+                rebuild.workload,
+                persistent.rebuilt_leaves,
+                rebuild.rebuilt_leaves
+            );
         }
     }
 

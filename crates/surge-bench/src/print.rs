@@ -243,9 +243,37 @@ pub fn sweep_bench(rows: &[crate::experiments::SweepBenchRow]) -> String {
     out
 }
 
-/// The sweep micro-benchmark as a `BENCH_sweep.json` document (hand-rolled:
-/// the offline build has no serde).
-pub fn sweep_bench_json(rows: &[crate::experiments::SweepBenchRow]) -> String {
+/// The persistent-vs-rebuild cell-sweep experiment as a console table.
+/// `rebuilt_leaves` is the hardware-independent work metric; wall-clock is
+/// informative only on a 1-CPU container.
+pub fn persistent_bench(rows: &[crate::experiments::PersistentBenchRow]) -> String {
+    let mut out = format!(
+        "\n== Cell sweeps: persistent cross-sweep state vs rebuild-per-search ==\n{:<10} {:<12} {:>9} {:>10} {:>13} {:>10} {:>12} {:>9}\n",
+        "workload", "mode", "searches", "churn", "rebuilt-lvs", "rebuilds", "elapsed(ms)", "speedup"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:<12} {:>9} {:>10} {:>13} {:>10} {:>12.1} {:>8.2}x\n",
+            r.workload,
+            r.mode,
+            r.searches,
+            r.churn_ops,
+            r.rebuilt_leaves,
+            r.full_rebuilds,
+            r.elapsed_ms,
+            r.speedup
+        ));
+    }
+    out
+}
+
+/// The sweep micro-benchmark plus the persistent-vs-rebuild comparison as a
+/// `BENCH_sweep.json` document (hand-rolled: the offline build has no
+/// serde).
+pub fn sweep_bench_json(
+    rows: &[crate::experiments::SweepBenchRow],
+    persistent: &[crate::experiments::PersistentBenchRow],
+) -> String {
     let mut out = String::from(
         "{\n  \"benchmark\": \"sl_cspot_sweep\",\n  \"unit\": \"us_per_sweep\",\n  \"rows\": [\n",
     );
@@ -260,6 +288,22 @@ pub fn sweep_bench_json(rows: &[crate::experiments::SweepBenchRow]) -> String {
             r.tree_recursive_us,
             r.tree_speedup,
             if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"persistent\": [\n");
+    for (i, r) in persistent.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"objects\": {}, \"searches\": {}, \"churn_ops\": {}, \"rebuilt_leaves\": {}, \"full_rebuilds\": {}, \"elapsed_ms\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            r.workload,
+            r.mode,
+            r.objects,
+            r.searches,
+            r.churn_ops,
+            r.rebuilt_leaves,
+            r.full_rebuilds,
+            r.elapsed_ms,
+            r.speedup,
+            if i + 1 < persistent.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -490,13 +534,42 @@ mod tests {
                 tree_speedup: 2.0,
             },
         ];
-        let json = sweep_bench_json(&rows);
+        let prows = vec![
+            crate::experiments::PersistentBenchRow {
+                workload: "uniform",
+                mode: "rebuild",
+                objects: 600,
+                searches: 40,
+                churn_ops: 0,
+                rebuilt_leaves: 4_000,
+                full_rebuilds: 40,
+                elapsed_ms: 12.0,
+                speedup: 1.0,
+            },
+            crate::experiments::PersistentBenchRow {
+                workload: "uniform",
+                mode: "persistent",
+                objects: 600,
+                searches: 40,
+                churn_ops: 900,
+                rebuilt_leaves: 300,
+                full_rebuilds: 3,
+                elapsed_ms: 8.0,
+                speedup: 1.5,
+            },
+        ];
+        let json = sweep_bench_json(&rows, &prows);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"n\":").count(), 2);
         assert_eq!(json.matches("\"tree_speedup\":").count(), 2);
-        assert_eq!(json.matches(',').count(), 15); // 2 header + 6 per row + 1 between rows
+        assert_eq!(json.matches("\"rebuilt_leaves\":").count(), 2);
+        assert_eq!(json.matches("\"mode\": \"persistent\"").count(), 1);
         assert!(sweep_bench(&rows).contains("5.0x"));
         assert!(sweep_bench(&rows).contains("1.50x"));
+        let table = persistent_bench(&prows);
+        assert!(table.contains("persistent"));
+        assert!(table.contains("rebuild"));
+        assert!(table.contains("4000"));
     }
 
     #[test]

@@ -126,6 +126,36 @@ pub trait IncrementalDetector: BurstDetector {
             Vec::new()
         }
     }
+
+    /// Sweeps every dirty cell **in place**, fanning out across up to
+    /// `threads` workers, and returns the number of cells swept. After it
+    /// returns, [`BurstDetector::current`] finds every cell fresh.
+    ///
+    /// Detectors with *persistent* per-cell sweep state override this: the
+    /// snapshot→compute→install path of [`snapshot_dirty_jobs`]
+    /// (which clones each dirty cell's rectangles into a pure job and
+    /// rebuilds the sweep from them) stays available as the
+    /// rebuild-per-search reference, but the hot path mutates the
+    /// persistent state where it lives — per-cell work is independent, so
+    /// results must be identical to the job path bit for bit, for any
+    /// `threads`.
+    ///
+    /// The default implementation routes through the job API sequentially
+    /// (`threads` is a hint; honoring it is optional).
+    ///
+    /// [`snapshot_dirty_jobs`]: Self::snapshot_dirty_jobs
+    fn sweep_dirty(&mut self, threads: usize) -> u64 {
+        let _ = threads;
+        let jobs = self.snapshot_dirty_jobs();
+        let n = jobs.len() as u64;
+        let mut scratch = Self::Scratch::default();
+        let outcomes = jobs
+            .iter()
+            .map(|j| self.run_job_with(&mut scratch, j))
+            .collect();
+        self.install_outcomes(outcomes);
+        n
+    }
 }
 
 /// The best candidate one shard reports at a flush boundary, carrying the

@@ -17,19 +17,22 @@
 //! [`BaseDetector::new`] keeps the paper's eager semantics so the ablation
 //! numbers stay comparable.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use surge_core::{
     object_to_rect, BurstDetector, BurstParams, CellId, CellStore, DetectorStats, Event, EventKind,
-    GridSpec, ObjectId, Point, Rect, RegionAnswer, ShardedCellStore, SurgeQuery, TotalF64,
-    WindowKind,
+    GridSpec, Point, Rect, RegionAnswer, ShardedCellStore, SurgeQuery, TotalF64, WindowKind,
 };
 
-use crate::sweep::{sl_cspot_with, SweepArena, SweepRect};
+use crate::psweep::{PersistentCellSweep, SweepMode, SweepPool};
 
 #[derive(Debug)]
 struct BaseCell {
-    rects: HashMap<ObjectId, SweepRect>,
+    /// Persistent cross-sweep state: the cell's rectangles plus the
+    /// maintained SL-CSPOT coordinate maps and orders ([`crate::psweep`]).
+    /// Base searches every touched cell per event, so reusing the sweep
+    /// inputs across those searches matters even more here than in CCS.
+    sweep: PersistentCellSweep,
     /// Best point found by the last search (None until searched or when the
     /// cell's domain is empty).
     best: Option<(Point, f64)>,
@@ -37,9 +40,9 @@ struct BaseCell {
     /// candidate score when fresh, the static upper bound when stale.
     score_key: TotalF64,
     domain: Option<Rect>,
-    /// Sum of current-window weights in `rects` — the unnormalized static
-    /// bound (Definition 7): `score ≤ fc ≤ us_weight / |W_c|` everywhere in
-    /// the cell.
+    /// Sum of current-window weights — the unnormalized static bound
+    /// (Definition 7): `score ≤ fc ≤ us_weight / |W_c|` everywhere in the
+    /// cell.
     us_weight: f64,
     /// Pruned mode only: contents changed since `best` was computed.
     stale: bool,
@@ -57,8 +60,9 @@ pub struct BaseDetector {
     ranked: BTreeSet<(TotalF64, CellId)>,
     stats: DetectorStats,
     pruned: bool,
-    /// Scratch reused across every cell sweep.
-    arena: SweepArena,
+    /// Free list for retired cells' persistent sweep state (Base ingests
+    /// sequentially, so one pool serves every shard).
+    pool: SweepPool,
 }
 
 impl BaseDetector {
@@ -83,7 +87,7 @@ impl BaseDetector {
             ranked: BTreeSet::new(),
             stats: DetectorStats::default(),
             pruned,
-            arena: SweepArena::new(),
+            pool: SweepPool::new(),
         }
     }
 
@@ -94,31 +98,19 @@ impl BaseDetector {
 
     fn research_cell(&mut self, id: CellId) {
         self.stats.searches += 1;
-        let params = self.params;
-        // Sweep first (immutable borrow of the store + the arena), then
-        // write the outcome back.
-        let sweep_input = self.cells.get(id).and_then(|cell| {
-            if cell.rects.is_empty() {
-                return None;
-            }
-            cell.domain.map(|domain| {
-                // Deterministic sweep input (ties break by order).
-                let mut ids: Vec<ObjectId> = cell.rects.keys().copied().collect();
-                ids.sort_unstable();
-                let rects: Vec<SweepRect> = ids.iter().map(|i| cell.rects[i]).collect();
-                (rects, domain)
-            })
-        });
-        let swept = sweep_input.map(|(rects, domain)| {
-            sl_cspot_with(&mut self.arena, &rects, &domain, &params).map(|r| (r.point, r.score))
-        });
         let (old_key, disposition) = {
             let cell = self.cells.get_mut(id).expect("cell exists");
             let old_key = cell.score_key;
-            if cell.rects.is_empty() {
+            if cell.sweep.is_empty() {
                 (old_key, None)
             } else {
-                let best = swept.flatten();
+                // In-place persistent sweep: the cell's coordinate maps and
+                // orders are already current (events maintained them).
+                let best = if cell.domain.is_some() {
+                    cell.sweep.search().map(|r| (r.point, r.score))
+                } else {
+                    None
+                };
                 cell.best = best;
                 cell.stale = false;
                 let new_key = TotalF64(best.map_or(f64::NEG_INFINITY, |(_, s)| s));
@@ -129,7 +121,9 @@ impl BaseDetector {
         match disposition {
             None => {
                 self.ranked.remove(&(old_key, id));
-                self.cells.remove(id);
+                if let Some(cell) = self.cells.remove(id) {
+                    self.pool.retire(cell.sweep);
+                }
             }
             Some(new_key) => {
                 self.ranked.remove(&(old_key, id));
@@ -145,9 +139,11 @@ impl BaseDetector {
             return;
         };
         let old_key = cell.score_key;
-        if cell.rects.is_empty() {
+        if cell.sweep.is_empty() {
             self.ranked.remove(&(old_key, id));
-            self.cells.remove(id);
+            if let Some(cell) = self.cells.remove(id) {
+                self.pool.retire(cell.sweep);
+            }
             return;
         }
         cell.stale = true;
@@ -183,6 +179,7 @@ impl BurstDetector for BaseDetector {
         // Allocation-free cell enumeration; the grid is `Copy` so the
         // iterator can be re-run for the research/mark pass below.
         let grid = self.grid;
+        let params = self.params;
         let mut touched = false;
         for id in grid.cells_overlapping_iter(&g.rect) {
             let cell_rect = grid.cell_rect(id);
@@ -190,8 +187,9 @@ impl BurstDetector for BaseDetector {
                 .query
                 .point_domain()
                 .and_then(|d| d.intersection(&cell_rect));
+            let pool = &mut self.pool;
             let cell = self.cells.get_or_insert_with(id, || BaseCell {
-                rects: HashMap::new(),
+                sweep: pool.take(domain, params, SweepMode::Persistent),
                 best: None,
                 score_key: TotalF64(f64::NEG_INFINITY),
                 domain,
@@ -200,24 +198,17 @@ impl BurstDetector for BaseDetector {
             });
             match event.kind {
                 EventKind::New => {
-                    cell.rects.insert(
-                        event.object.id,
-                        SweepRect {
-                            rect: g.rect,
-                            weight: event.object.weight,
-                            kind: WindowKind::Current,
-                        },
-                    );
+                    cell.sweep
+                        .insert(event.object.id, g.rect, event.object.weight);
                     cell.us_weight += event.object.weight;
                 }
                 EventKind::Grown => {
-                    if let Some(r) = cell.rects.get_mut(&event.object.id) {
-                        r.kind = WindowKind::Past;
+                    if cell.sweep.grow(event.object.id) {
                         cell.us_weight -= event.object.weight;
                     }
                 }
                 EventKind::Expired => {
-                    if let Some(r) = cell.rects.remove(&event.object.id) {
+                    if let Some(r) = cell.sweep.remove(event.object.id) {
                         if r.kind == WindowKind::Current {
                             cell.us_weight -= r.weight;
                         }

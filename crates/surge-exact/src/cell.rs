@@ -31,12 +31,13 @@ use std::collections::{BTreeSet, HashMap};
 
 use surge_core::{
     object_to_rect, shard_of_cell, BurstDetector, BurstParams, CellId, DetectorStats, Event,
-    EventKind, GridSpec, IncrementalDetector, ObjectId, Point, Rect, RegionAnswer, RegionSize,
-    ShardAnswer, ShardRunStats, ShardWorker, ShardWorkerStats, ShardedCellStore, ShardedIngest,
-    SurgeQuery, TotalF64, WindowKind,
+    EventKind, GridSpec, IncrementalDetector, Point, Rect, RegionAnswer, RegionSize, ShardAnswer,
+    ShardRunStats, ShardWorker, ShardWorkerStats, ShardedCellStore, ShardedIngest, SurgeQuery,
+    TotalF64, WindowKind,
 };
 
-use crate::sweep::{sl_cspot_with, SweepArena, SweepRect, SweepResult};
+use crate::psweep::{PersistentCellSweep, SweepMode, SweepPool, SweepStats};
+use crate::sweep::{sl_cspot_rebuild, SweepArena, SweepRect, SweepResult};
 
 /// Default shard count for the cell store (power of two; purely structural —
 /// any value yields identical answers).
@@ -75,11 +76,14 @@ impl DirtyCellJob {
     }
 
     /// [`run`](Self::run) over caller-owned scratch space — worker threads
-    /// keep one [`SweepArena`] each and sweep allocation-free.
+    /// keep one [`SweepArena`] each and sweep allocation-free. Jobs always
+    /// rebuild the sweep from their rectangle snapshot
+    /// ([`sl_cspot_rebuild`]): they are the differential reference for the
+    /// in-place persistent path, bit-identical by construction.
     pub fn run_with(&self, arena: &mut SweepArena, params: &BurstParams) -> DirtyCellResult {
         DirtyCellResult {
             id: self.id,
-            outcome: sl_cspot_with(arena, &self.rects, &self.domain, params),
+            outcome: sl_cspot_rebuild(arena, &self.rects, &self.domain, params),
         }
     }
 }
@@ -120,11 +124,14 @@ enum CandState {
 
 #[derive(Debug)]
 struct Cell {
-    /// Rectangle objects whose closed extent intersects this cell's closed
-    /// extent, keyed by object id.
-    rects: HashMap<ObjectId, SweepRect>,
-    /// Sum of weights of current-window rectangles in `rects` (unnormalized
-    /// static bound, Definition 7).
+    /// The persistent cross-sweep state: the cell's rectangle objects in
+    /// id order *plus* the incrementally maintained event-coordinate map,
+    /// enter/exit orders and segment trees of its SL-CSPOT sweep (see
+    /// [`crate::psweep`]). Transitions update it in place; searches reuse
+    /// it instead of rebuilding from the rectangle set.
+    sweep: PersistentCellSweep,
+    /// Sum of weights of current-window rectangles (unnormalized static
+    /// bound, Definition 7).
     us_weight: f64,
     /// Dynamic upper bound in score units (Eqn. 3); ∞ until first searched.
     ud: f64,
@@ -135,16 +142,6 @@ struct Cell {
     domain: Option<Rect>,
 }
 
-impl Cell {
-    /// The cell's rectangles in deterministic (object-id) order: hash-map
-    /// order varies between runs and would let score ties break differently.
-    fn sorted_rects(&self) -> Vec<SweepRect> {
-        let mut ids: Vec<ObjectId> = self.rects.keys().copied().collect();
-        ids.sort_unstable();
-        ids.iter().map(|i| self.rects[i]).collect()
-    }
-}
-
 /// The immutable per-query context every shard shares: all `Copy`, handed to
 /// each worker by value so the shard borrows stay disjoint.
 #[derive(Debug, Clone, Copy)]
@@ -153,6 +150,7 @@ struct ShardCtx {
     params: BurstParams,
     grid: GridSpec,
     mode: BoundMode,
+    sweep_mode: SweepMode,
 }
 
 /// One shard's mutable state: its slice of the cell universe plus the
@@ -186,13 +184,16 @@ fn event_sweep_rect(ctx: &ShardCtx, ev: &Event) -> Option<SweepRect> {
     })
 }
 
-/// Applies one event to one cell: rect bookkeeping, bound updates
-/// (Definition 7 / Eqn. 3) and Lemma-4 candidate maintenance. Free function
-/// over one shard's state so the sequential detector and the parallel shard
-/// workers run the *same* code.
+/// Applies one event to one cell: rect bookkeeping (routed through the
+/// cell's [`PersistentCellSweep`], which keeps the sweep's coordinate maps
+/// and orders current as a side effect), bound updates (Definition 7 /
+/// Eqn. 3) and Lemma-4 candidate maintenance. Free function over one
+/// shard's state so the sequential detector and the parallel shard workers
+/// run the *same* code.
 fn apply_event_to_cell(
     cells: &mut HashMap<CellId, Cell>,
     queue: &mut ShardQueue,
+    pool: &mut SweepPool,
     ctx: &ShardCtx,
     id: CellId,
     ev: &Event,
@@ -209,7 +210,7 @@ fn apply_event_to_cell(
 
     let (old_key, disposition) = {
         let cell = cells.entry(id).or_insert_with(|| Cell {
-            rects: HashMap::new(),
+            sweep: pool.take(domain, params, ctx.sweep_mode),
             us_weight: 0.0,
             ud: f64::INFINITY,
             cand: if domain.is_none() {
@@ -224,14 +225,7 @@ fn apply_event_to_cell(
 
         match ev.kind {
             EventKind::New => {
-                cell.rects.insert(
-                    ev.object.id,
-                    SweepRect {
-                        rect: g.rect,
-                        weight: w,
-                        kind: WindowKind::Current,
-                    },
-                );
+                cell.sweep.insert(ev.object.id, g.rect, w);
                 cell.us_weight += w;
                 if cell.ud.is_finite() {
                     cell.ud += w / params.current_norm;
@@ -249,12 +243,7 @@ fn apply_event_to_cell(
                 }
             }
             EventKind::Grown => {
-                let present = if let Some(r) = cell.rects.get_mut(&ev.object.id) {
-                    r.kind = WindowKind::Past;
-                    true
-                } else {
-                    false
-                };
+                let present = cell.sweep.grow(ev.object.id);
                 if present {
                     cell.us_weight -= w;
                     // Eqn. 3: dynamic bound unchanged on Grown.
@@ -267,7 +256,7 @@ fn apply_event_to_cell(
                 }
             }
             EventKind::Expired => {
-                if cell.rects.remove(&ev.object.id).is_some() {
+                if cell.sweep.remove(ev.object.id).is_some() {
                     if cell.ud.is_finite() {
                         cell.ud += params.alpha * w / params.past_norm;
                     }
@@ -293,7 +282,7 @@ fn apply_event_to_cell(
         }
 
         let old_key = cell.heap_key;
-        if cell.rects.is_empty() {
+        if cell.sweep.is_empty() {
             (old_key, None)
         } else {
             let new_key = if matches!(cell.cand, CandState::Infeasible) {
@@ -308,9 +297,13 @@ fn apply_event_to_cell(
 
     match disposition {
         None => {
-            // Drop drained cells entirely; they contribute score ≤ 0.
+            // Drop drained cells entirely; they contribute score ≤ 0. The
+            // persistent sweep state returns to the shard pool (counters
+            // included), ready for the next cell born in this shard.
             queue.remove(&(old_key, id));
-            cells.remove(&id);
+            if let Some(cell) = cells.remove(&id) {
+                pool.retire(cell.sweep);
+            }
         }
         Some(new_key) => {
             if new_key != old_key || !queue.contains(&(new_key, id)) {
@@ -371,20 +364,15 @@ fn install_result_into(
     Some(score)
 }
 
-/// Sweeps one cell in place (arena-backed) and returns the outcome to
-/// install, or `None` when the cell is missing or infeasible.
-fn sweep_cell(
-    cells: &HashMap<CellId, Cell>,
-    ctx: &ShardCtx,
-    arena: &mut SweepArena,
-    id: CellId,
-) -> Option<Option<SweepResult>> {
-    let (rects, domain) = {
-        let cell = cells.get(&id)?;
-        let domain = cell.domain?;
-        (cell.sorted_rects(), domain)
-    };
-    Some(sl_cspot_with(arena, &rects, &domain, &ctx.params))
+/// Sweeps one cell in place via its persistent cross-sweep state and
+/// returns the outcome to install, or `None` when the cell is missing or
+/// infeasible. In [`SweepMode::Rebuild`] the persistent state re-sorts
+/// everything per search, reproducing the pre-persistence cost profile with
+/// bit-identical results.
+fn sweep_cell(cells: &mut HashMap<CellId, Cell>, id: CellId) -> Option<Option<SweepResult>> {
+    let cell = cells.get_mut(&id)?;
+    cell.domain?;
+    Some(cell.sweep.search())
 }
 
 /// The dirty (stale, feasible) cells of one shard, in ascending id order.
@@ -396,6 +384,22 @@ fn dirty_ids(cells: &HashMap<CellId, Cell>) -> Vec<CellId> {
         .collect();
     ids.sort_unstable();
     ids
+}
+
+/// Sweeps every dirty cell of one shard in place (persistent state) and
+/// installs the outcomes. Returns the number of cells swept.
+fn sweep_shard_dirty(
+    cells: &mut HashMap<CellId, Cell>,
+    queue: &mut ShardQueue,
+    ctx: &ShardCtx,
+) -> u64 {
+    let mut swept = 0u64;
+    for id in dirty_ids(cells) {
+        let outcome = sweep_cell(cells, id).expect("dirty cell is present and feasible");
+        install_result_into(cells, queue, ctx, id, outcome);
+        swept += 1;
+    }
+    swept
 }
 
 /// One shard's best fresh candidate under the sequential scan order: the
@@ -457,16 +461,18 @@ pub struct CellCspot {
     /// One bound-ordered queue per shard (max at the back), parallel to the
     /// store's shards.
     queues: Vec<ShardQueue>,
+    /// One persistent-sweep free list per shard: drained cells retire their
+    /// sweep state (allocations + counters) here, new cells draw from it.
+    pools: Vec<SweepPool>,
     stats: DetectorStats,
     /// Searches performed before the previous `current()` call, used to
     /// attribute searches to event batches for the trigger ratio.
     searches_at_last_current: u64,
-    /// Scratch for this detector's own (sequential) sweeps.
-    arena: SweepArena,
 }
 
 impl CellCspot {
-    /// Creates a CCS detector (combined bounds, default shard count).
+    /// Creates a CCS detector (combined bounds, default shard count,
+    /// persistent cross-sweep state).
     pub fn new(query: SurgeQuery) -> Self {
         Self::with_mode(query, BoundMode::Combined)
     }
@@ -481,6 +487,20 @@ impl CellCspot {
     /// power of two). Sharding is structural: any count produces identical
     /// answers and stats; it bounds only how far ingest can fan out.
     pub fn with_shards(query: SurgeQuery, mode: BoundMode, shards: usize) -> Self {
+        Self::with_sweep_mode(query, mode, SweepMode::Persistent, shards)
+    }
+
+    /// Creates a detector with an explicit per-cell sweep mode.
+    /// [`SweepMode::Rebuild`] re-sorts every cell's sweep inputs on every
+    /// search (the pre-persistence behaviour) — retained for differential
+    /// testing and the `sweep-bench` baseline; answers are bit-identical in
+    /// both modes.
+    pub fn with_sweep_mode(
+        query: SurgeQuery,
+        mode: BoundMode,
+        sweep_mode: SweepMode,
+        shards: usize,
+    ) -> Self {
         let store: ShardedCellStore<Cell> = ShardedCellStore::new(shards);
         let n = store.shard_count();
         CellCspot {
@@ -489,13 +509,32 @@ impl CellCspot {
                 grid: GridSpec::anchored(query.region.width, query.region.height),
                 query,
                 mode,
+                sweep_mode,
             },
             store,
             queues: (0..n).map(|_| BTreeSet::new()).collect(),
+            pools: (0..n).map(|_| SweepPool::new()).collect(),
             stats: DetectorStats::default(),
             searches_at_last_current: 0,
-            arena: SweepArena::new(),
         }
+    }
+
+    /// Aggregated persistent-sweep counters: every live cell's plus every
+    /// retired cell's (pooled per shard). The differential between
+    /// [`SweepMode::Persistent`] and [`SweepMode::Rebuild`] runs shows up
+    /// here as `rebuilt_leaves` dropping from ~leaves-per-search to
+    /// threshold-crossings only.
+    pub fn sweep_stats(&self) -> SweepStats {
+        let mut total = SweepStats::default();
+        for pool in &self.pools {
+            total.absorb(&pool.retired_stats());
+        }
+        for shard in self.store.shards() {
+            for cell in shard.values() {
+                total.absorb(&cell.sweep.stats());
+            }
+        }
+        total
     }
 
     /// The query this detector answers.
@@ -518,13 +557,14 @@ impl CellCspot {
         self.ctx.params.score_weights(c.wc, c.wp)
     }
 
-    /// Searches one cell with SL-CSPOT, refreshing its candidate and dynamic
-    /// bound, and returns the candidate score (or `None` if infeasible).
+    /// Searches one cell with SL-CSPOT (via its persistent cross-sweep
+    /// state), refreshing its candidate and dynamic bound, and returns the
+    /// candidate score (or `None` if infeasible).
     fn search_cell(&mut self, id: CellId) -> Option<f64> {
         self.stats.searches += 1;
         let s = self.store.shard_of(id);
         let ctx = self.ctx;
-        let outcome = sweep_cell(self.store.shard(s), &ctx, &mut self.arena, id)?;
+        let outcome = sweep_cell(self.store.shard_mut(s), id)?;
         install_result_into(
             self.store.shard_mut(s),
             &mut self.queues[s],
@@ -558,7 +598,7 @@ impl CellCspot {
                 let cell = &cells[&id];
                 DirtyCellJob {
                     id,
-                    rects: cell.sorted_rects(),
+                    rects: cell.sweep.full_rects(),
                     domain: cell.domain.expect("filtered to feasible"),
                 }
             })
@@ -651,6 +691,56 @@ impl IncrementalDetector for CellCspot {
     fn snapshot_dirty_jobs_shard(&self, shard: usize) -> Vec<DirtyCellJob> {
         self.snapshot_dirty_shard(shard)
     }
+
+    /// In-place dirty sweeps over the persistent per-cell state, fanned out
+    /// one scoped worker per shard chunk. Cells are independent and each
+    /// shard's `(cells, queue)` pair is owned exclusively by one worker, so
+    /// results and stats are bit-identical to the sequential job path for
+    /// any thread count.
+    ///
+    /// Parallelism is bounded by the shard count (a shard's queue is
+    /// mutated during install, so a shard cannot be split across workers
+    /// in place) — `threads > shard_count` adds nothing here, where the
+    /// old job-shipping path could fan single cells wider. Construct the
+    /// detector with at least as many shards as sweep threads
+    /// ([`CellCspot::with_shards`]; the default is
+    /// [`DEFAULT_SHARDS`] = 8) to keep wide hosts saturated.
+    fn sweep_dirty(&mut self, threads: usize) -> u64 {
+        let ctx = self.ctx;
+        let mut work: Vec<(&mut HashMap<CellId, Cell>, &mut ShardQueue)> = self
+            .store
+            .shards_mut()
+            .iter_mut()
+            .zip(self.queues.iter_mut())
+            .collect();
+        let threads = threads.clamp(1, work.len().max(1));
+        let swept: u64 = if threads <= 1 {
+            work.iter_mut()
+                .map(|(cells, queue)| sweep_shard_dirty(cells, queue, &ctx))
+                .sum()
+        } else {
+            let chunk = work.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = work
+                    .chunks_mut(chunk)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter_mut()
+                                .map(|(cells, queue)| sweep_shard_dirty(cells, queue, &ctx))
+                                .sum::<u64>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard sweep worker panicked"))
+                    .sum()
+            })
+        };
+        self.stats.searches += swept;
+        swept
+    }
 }
 
 /// One shard's exclusive ingest handle (see [`ShardedIngest`]): owns the
@@ -665,7 +755,7 @@ pub struct CellShardWorker<'a> {
     ctx: ShardCtx,
     cells: &'a mut HashMap<CellId, Cell>,
     queue: &'a mut ShardQueue,
-    arena: SweepArena,
+    pool: &'a mut SweepPool,
     stats: ShardWorkerStats,
 }
 
@@ -677,19 +767,16 @@ impl ShardWorker for CellShardWorker<'_> {
         let grid = self.ctx.grid;
         for id in grid.cells_overlapping_iter(&sweep.rect) {
             if shard_of_cell(id, self.shard_count) == self.shard {
-                apply_event_to_cell(self.cells, self.queue, &self.ctx, id, event, &sweep);
+                apply_event_to_cell(
+                    self.cells, self.queue, self.pool, &self.ctx, id, event, &sweep,
+                );
                 self.stats.cell_touches += 1;
             }
         }
     }
 
     fn flush(&mut self) -> Option<ShardAnswer> {
-        for id in dirty_ids(self.cells) {
-            let outcome = sweep_cell(self.cells, &self.ctx, &mut self.arena, id)
-                .expect("dirty cell is present and feasible");
-            install_result_into(self.cells, self.queue, &self.ctx, id, outcome);
-            self.stats.sweeps += 1;
-        }
+        self.stats.sweeps += sweep_shard_dirty(self.cells, self.queue, &self.ctx);
         shard_best(self.cells, self.queue, &self.ctx)
     }
 
@@ -707,15 +794,15 @@ impl ShardedIngest for CellCspot {
         self.store
             .shards_mut()
             .iter_mut()
-            .zip(self.queues.iter_mut())
+            .zip(self.queues.iter_mut().zip(self.pools.iter_mut()))
             .enumerate()
-            .map(|(shard, (cells, queue))| CellShardWorker {
+            .map(|(shard, (cells, (queue, pool)))| CellShardWorker {
                 shard,
                 shard_count,
                 ctx,
                 cells,
                 queue,
-                arena: SweepArena::new(),
+                pool,
                 stats: ShardWorkerStats::default(),
             })
             .collect()
@@ -749,6 +836,7 @@ impl BurstDetector for CellCspot {
             apply_event_to_cell(
                 self.store.shard_mut(s),
                 &mut self.queues[s],
+                &mut self.pools[s],
                 &ctx,
                 id,
                 event,

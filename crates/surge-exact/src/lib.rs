@@ -30,6 +30,7 @@ pub mod base;
 pub mod cell;
 pub mod maxrs;
 pub mod oracle;
+pub mod psweep;
 pub mod segtree;
 pub mod sweep;
 
@@ -39,7 +40,9 @@ pub use cell::{
 };
 pub use maxrs::maxrs_sweep;
 pub use oracle::{score_of_region, snapshot_bursty_region, snapshot_rects, snapshot_topk};
+pub use psweep::{PersistentCellSweep, SweepMode, SweepPool, SweepStats, MIN_CHURN_BUDGET};
 pub use segtree::{BurstSegTree, MaxAddTree, RecursiveMaxAddTree};
 pub use sweep::{
-    score_at_point, sl_cspot, sl_cspot_naive, sl_cspot_with, SweepArena, SweepRect, SweepResult,
+    score_at_point, sl_cspot, sl_cspot_naive, sl_cspot_rebuild, sl_cspot_with, SweepArena,
+    SweepRect, SweepResult,
 };

@@ -89,6 +89,16 @@ pub struct MaxAddTree {
     add: Vec<f64>,
     /// Leaf index attaining `max[i]` within node `i`'s subtree.
     arg: Vec<usize>,
+    /// Whether every real leaf is `0.0` with no pending adds anywhere —
+    /// i.e. the state is exactly `reset(n)`. Structural leaf edits
+    /// ([`insert_leaf`](Self::insert_leaf) / [`remove_leaf`](Self::remove_leaf))
+    /// have an `O(log n)` fast path on pristine trees.
+    pristine: bool,
+    /// Incremental leaf edits taken since construction.
+    leaf_churn: u64,
+    /// Leaves written by full rebuilds (the fallback when an incremental
+    /// edit cannot run in place).
+    rebuilt_leaves: u64,
 }
 
 impl MaxAddTree {
@@ -100,6 +110,9 @@ impl MaxAddTree {
             max: Vec::new(),
             add: Vec::new(),
             arg: Vec::new(),
+            pristine: true,
+            leaf_churn: 0,
+            rebuilt_leaves: 0,
         };
         t.reset(n);
         t
@@ -137,6 +150,124 @@ impl MaxAddTree {
                 self.arg[i] = self.arg[r];
             }
         }
+        self.pristine = true;
+    }
+
+    /// Whether the tree is in the exact `reset(n)` state (all real leaves
+    /// `0.0`, no pending adds). Pristine trees take the `O(log n)` fast path
+    /// in [`insert_leaf`](Self::insert_leaf) / [`remove_leaf`](Self::remove_leaf).
+    #[inline]
+    pub fn is_pristine(&self) -> bool {
+        self.pristine
+    }
+
+    /// Whether this tree's flat layout equals the one `reset(n)` would build
+    /// (same power-of-two leaf span). Range adds associate their partial sums
+    /// along the node decomposition, so two trees agree *bitwise* only when
+    /// their layouts match; callers that need bit-identity with a freshly
+    /// built tree must check this before taking the incremental path.
+    #[inline]
+    pub fn layout_matches(&self, n: usize) -> bool {
+        self.m == n.max(1).next_power_of_two()
+    }
+
+    /// Incremental leaf edits taken so far.
+    #[inline]
+    pub fn leaf_churn(&self) -> u64 {
+        self.leaf_churn
+    }
+
+    /// Leaves written by fallback rebuilds of [`insert_leaf`](Self::insert_leaf)
+    /// / [`remove_leaf`](Self::remove_leaf).
+    #[inline]
+    pub fn rebuilt_leaves(&self) -> u64 {
+        self.rebuilt_leaves
+    }
+
+    /// The materialized value of every real leaf (pending ancestor adds
+    /// pushed in). `O(n log n)`; used by the structural-edit fallback and by
+    /// differential tests.
+    pub fn leaf_values(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|j| {
+                let mut v = self.max[self.m + j];
+                let mut node = (self.m + j) >> 1;
+                while node >= 1 {
+                    v += self.add[node];
+                    node >>= 1;
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Rebuilds the tree so that its real leaves hold exactly `values`.
+    fn build_from(&mut self, values: &[f64]) {
+        self.rebuilt_leaves += values.len() as u64;
+        self.reset(values.len());
+        for (j, &v) in values.iter().enumerate() {
+            if v != 0.0 {
+                self.add(j, j, v);
+            }
+        }
+    }
+
+    /// Inserts a `0.0` leaf at index `at`, shifting later leaves right.
+    ///
+    /// On a *pristine* tree whose capacity allows it this is a pure
+    /// structural edit: every real leaf is zero, so inserting a zero leaf
+    /// anywhere is equivalent to appending one — `O(log n)`, and the
+    /// resulting state is bitwise the `reset(n + 1)` state whenever the
+    /// power-of-two layout is unchanged. Otherwise (loaded tree, or the
+    /// layout must grow) the tree falls back to a counted full rebuild —
+    /// value-preserving in-place repair would have to push every pending add
+    /// through the shifted subtrees, which *is* a rebuild.
+    pub fn insert_leaf(&mut self, at: usize) {
+        assert!(at <= self.n, "insert_leaf out of bounds: {at} > {}", self.n);
+        self.leaf_churn += 1;
+        if self.pristine {
+            if self.n < self.m {
+                let j = self.n;
+                self.max[self.m + j] = 0.0;
+                self.n += 1;
+                self.pull_up((self.m + j) >> 1);
+                self.pristine = true;
+            } else {
+                let n = self.n + 1;
+                self.rebuilt_leaves += n as u64;
+                self.reset(n);
+            }
+            return;
+        }
+        let mut vals = self.leaf_values();
+        vals.insert(at, 0.0);
+        self.build_from(&vals);
+    }
+
+    /// Removes the leaf at index `at`, shifting later leaves left. The
+    /// pristine fast path mirrors [`insert_leaf`](Self::insert_leaf); as a
+    /// rebuild-threshold fallback, a pristine tree that has shrunk below a
+    /// quarter of its leaf span is compacted with a full (counted) rebuild.
+    pub fn remove_leaf(&mut self, at: usize) {
+        assert!(at < self.n, "remove_leaf out of bounds: {at} >= {}", self.n);
+        self.leaf_churn += 1;
+        if self.pristine {
+            if self.n == 1 || (self.n - 1) * 4 < self.m {
+                let n = self.n - 1;
+                self.rebuilt_leaves += n as u64;
+                self.reset(n);
+            } else {
+                let j = self.n - 1;
+                self.max[self.m + j] = f64::NEG_INFINITY;
+                self.n -= 1;
+                self.pull_up((self.m + j) >> 1);
+                self.pristine = true;
+            }
+            return;
+        }
+        let mut vals = self.leaf_values();
+        vals.remove(at);
+        self.build_from(&vals);
     }
 
     /// Number of leaves the tree was built over.
@@ -154,6 +285,7 @@ impl MaxAddTree {
     /// Adds `v` to every position in `[l, r]` (inclusive).
     pub fn add(&mut self, l: usize, r: usize, v: f64) {
         debug_assert!(l <= r && r < self.n.max(1));
+        self.pristine = false;
         let mut lo = l + self.m;
         let mut hi = r + self.m + 1; // half-open [lo, hi)
         let (lseed, rseed) = (lo, hi - 1);
@@ -317,6 +449,71 @@ impl BurstSegTree {
         self.cur_diff = 1.0 / params.current_norm;
         self.cur_sig = (1.0 - params.alpha) / params.current_norm;
         self.past_diff = -params.alpha / params.past_norm;
+    }
+
+    /// Re-zeroes both trees in place, keeping their current leaf counts and
+    /// layouts (and the score parameters). After this the trees are pristine,
+    /// so the next [`sync_len`](Self::sync_len) can repair size drift with
+    /// incremental leaf edits instead of full resets.
+    pub fn clear_values(&mut self) {
+        if !self.diff.is_pristine() {
+            let n = self.diff.len();
+            self.diff.reset(n);
+        }
+        if !self.sig.is_pristine() {
+            let n = self.sig.len();
+            self.sig.reset(n);
+        }
+    }
+
+    /// Number of leaves both trees currently span.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.diff.len()
+    }
+
+    /// Whether the trees span zero leaves.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.diff.is_empty()
+    }
+
+    /// Brings both (pristine) trees to exactly `n` leaves, preferring
+    /// incremental [`MaxAddTree::insert_leaf`] / [`MaxAddTree::remove_leaf`]
+    /// edits when the power-of-two layout is unchanged — the resulting state
+    /// is bitwise identical to `reset(n, params)`, which is what bit-exact
+    /// persistent-vs-rebuild sweeps require — and falling back to a full
+    /// reset when the layout must change (or the trees are not pristine).
+    pub fn sync_len(&mut self, n: usize, params: &BurstParams) {
+        self.cur_diff = 1.0 / params.current_norm;
+        self.cur_sig = (1.0 - params.alpha) / params.current_norm;
+        self.past_diff = -params.alpha / params.past_norm;
+        let incremental = self.diff.is_pristine()
+            && self.sig.is_pristine()
+            && self.diff.layout_matches(n)
+            && self.sig.layout_matches(n)
+            && self.sig.len() == self.diff.len();
+        if !incremental {
+            self.diff.reset(n);
+            self.sig.reset(n);
+            return;
+        }
+        while self.diff.len() < n {
+            let at = self.diff.len();
+            self.diff.insert_leaf(at);
+            self.sig.insert_leaf(at);
+        }
+        while self.diff.len() > n {
+            let at = self.diff.len() - 1;
+            self.diff.remove_leaf(at);
+            self.sig.remove_leaf(at);
+        }
+    }
+
+    /// Incremental leaf edits both trees have taken.
+    #[inline]
+    pub fn leaf_churn(&self) -> u64 {
+        self.diff.leaf_churn() + self.sig.leaf_churn()
     }
 
     /// Applies a rectangle of `weight` and window `kind` entering

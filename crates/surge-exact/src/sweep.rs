@@ -213,12 +213,12 @@ pub fn sl_cspot_with(
             .map(|r| (x_index(xs, r.rect.x0), x_index(xs, r.rect.x1))),
     );
 
-    // Y axis: evaluation heights, descending; a rectangle is active at
-    // height y iff y0 ≤ y ≤ y1 (closed extents).
+    // Y axis: evaluation heights (ascending; the core iterates them top
+    // down); a rectangle is active at height y iff y0 ≤ y ≤ y1 (closed
+    // extents).
     edges.clear();
     edges.extend(clipped.iter().flat_map(|r| [r.rect.y0, r.rect.y1]));
     eval_positions_into(edges, ys);
-    ys.reverse();
     enter.clear();
     enter.extend(0..clipped.len());
     enter.sort_by(|&a, &b| clipped[b].rect.y1.total_cmp(&clipped[a].rect.y1));
@@ -227,11 +227,42 @@ pub fn sl_cspot_with(
     exit.sort_by(|&a, &b| clipped[b].rect.y0.total_cmp(&clipped[a].rect.y0));
 
     tree.reset(xs.len(), params);
+    sweep_core(clipped, xs, ys, ranges, enter, exit, tree, params)
+}
+
+/// The sweep loop shared by the rebuild-per-search path ([`sl_cspot_with`])
+/// and the persistent cross-sweep path
+/// ([`crate::psweep::PersistentCellSweep`]): both build the identical inputs
+/// and route through this one function, so their results are bit-identical
+/// by construction.
+///
+/// Inputs:
+/// * `clipped` — the rectangles already clipped to the search area, in a
+///   deterministic order (range adds and the final exact re-scoring follow
+///   this order, so it is part of the bit-identity contract);
+/// * `xs` — the x evaluation positions (ascending, edges + midpoints);
+/// * `ys` — the y evaluation positions (ascending; iterated descending);
+/// * `ranges[i]` — the inclusive leaf range rectangle `i` covers;
+/// * `enter` / `exit` — indices into `clipped` sorted by top edge / bottom
+///   edge descending, ties by index ascending;
+/// * `tree` — already reset/synced to `xs.len()` leaves with all-zero state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep_core(
+    clipped: &[SweepRect],
+    xs: &[f64],
+    ys: &[f64],
+    ranges: &[(usize, usize)],
+    enter: &[usize],
+    exit: &[usize],
+    tree: &mut BurstSegTree,
+    params: &BurstParams,
+) -> Option<SweepResult> {
+    debug_assert_eq!(tree.len(), xs.len());
     let mut next_enter = 0usize;
     let mut next_exit = 0usize;
     let mut best: Option<(TotalF64, usize, f64)> = None;
 
-    for &y in ys.iter() {
+    for &y in ys.iter().rev() {
         while next_enter < enter.len() && clipped[enter[next_enter]].rect.y1 >= y {
             let i = enter[next_enter];
             let (lo, hi) = ranges[i];
@@ -257,6 +288,23 @@ pub fn sl_cspot_with(
     // carry rounding from interleaved adds/removes; the coverage pattern it
     // identified is what matters, the score is recomputed from scratch.
     Some(score_at_point(clipped, point, params))
+}
+
+/// The explicit rebuild-per-search reference: clips, sorts and indexes the
+/// scene from scratch on every call, exactly as every sweep did before the
+/// persistent cross-sweep path existed. It is the differential-testing
+/// anchor for [`crate::psweep::PersistentCellSweep`] (and what
+/// [`crate::SweepMode::Rebuild`] routes detector searches through).
+/// Identical to [`sl_cspot_with`] — the alias exists so call sites that
+/// *mean* "rebuild everything" say so.
+#[inline]
+pub fn sl_cspot_rebuild(
+    arena: &mut SweepArena,
+    rects: &[SweepRect],
+    area: &Rect,
+    params: &BurstParams,
+) -> Option<SweepResult> {
+    sl_cspot_with(arena, rects, area, params)
 }
 
 /// The paper's direct `O(n²)` sweep: evaluates the burst score at every

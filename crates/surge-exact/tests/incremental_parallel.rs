@@ -9,6 +9,7 @@ use surge_core::{
 };
 use surge_exact::CellCspot;
 use surge_stream::{drive_incremental, SlidingWindowEngine};
+use surge_testkit::clustered_stream;
 
 fn query(alpha: f64) -> SurgeQuery {
     SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), WindowConfig::equal(500), alpha)
@@ -16,26 +17,7 @@ fn query(alpha: f64) -> SurgeQuery {
 
 /// A clustered deterministic stream that keeps several cells contending.
 fn stream(n: usize) -> Vec<SpatialObject> {
-    let mut state = 0xA5A5_5A5A_1234_5678u64;
-    let mut next = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        ((state >> 33) as f64) / ((1u64 << 31) as f64)
-    };
-    (0..n)
-        .map(|i| {
-            let cluster = i % 5;
-            let cx = cluster as f64 * 3.0;
-            let cy = cluster as f64 * 2.0;
-            SpatialObject::new(
-                i as u64,
-                1.0 + (i % 4) as f64,
-                Point::new(cx + next(), cy + next()),
-                (i as u64) * 7,
-            )
-        })
-        .collect()
+    clustered_stream(n, 5, 7, 0xA5A5_5A5A_1234_5678)
 }
 
 #[test]

@@ -67,32 +67,9 @@ fn check_against_oracle(
 
 /// Strategy: a stream of objects with integer-ish coordinates/weights to keep
 /// float error negligible, clustered enough to create overlapping rectangles
-/// and window churn.
+/// and window churn (the shared [`surge_testkit::timed_stream`] shape).
 fn object_stream(max_len: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
-    prop::collection::vec(
-        (
-            0u64..20, // x in [0, 2.0) after scaling
-            0u64..20, // y
-            1u64..5,  // weight
-            0u64..40, // inter-arrival (ms)
-        ),
-        1..max_len,
-    )
-    .prop_map(|raw| {
-        let mut t = 0u64;
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (x, y, w, dt))| {
-                t += dt;
-                SpatialObject::new(
-                    i as u64,
-                    w as f64,
-                    Point::new(x as f64 / 10.0, y as f64 / 10.0),
-                    t,
-                )
-            })
-            .collect()
-    })
+    surge_testkit::arb_timed_stream(max_len)
 }
 
 fn small_query(alpha: f64) -> SurgeQuery {

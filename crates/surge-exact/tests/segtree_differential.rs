@@ -10,6 +10,7 @@
 use proptest::prelude::*;
 use surge_core::{BurstParams, Point, Rect, WindowKind};
 use surge_exact::{score_at_point, sl_cspot, sl_cspot_naive, SweepRect};
+use surge_testkit::arb_scene;
 
 const AREA: Rect = Rect {
     x0: -50.0,
@@ -17,45 +18,6 @@ const AREA: Rect = Rect {
     x1: 50.0,
     y1: 50.0,
 };
-
-/// Raw tuples → rectangles on a coarse lattice: snapping coordinates to
-/// multiples of 0.25 makes shared edges, corner touches and exact overlaps
-/// common instead of measure-zero.
-fn build_rects(raw: Vec<(u32, u32, u32, u32, u32, bool)>) -> Vec<SweepRect> {
-    raw.into_iter()
-        .map(|(x, y, w, h, wt, past)| {
-            let x0 = x as f64 * 0.25 - 5.0;
-            let y0 = y as f64 * 0.25 - 5.0;
-            // w = 0 / h = 0 produce degenerate (segment / point) rects.
-            let x1 = x0 + w as f64 * 0.25;
-            let y1 = y0 + h as f64 * 0.25;
-            SweepRect {
-                rect: Rect::new(x0, y0, x1, y1),
-                weight: 1.0 + wt as f64,
-                kind: if past {
-                    WindowKind::Past
-                } else {
-                    WindowKind::Current
-                },
-            }
-        })
-        .collect()
-}
-
-fn arb_scene(max_len: usize) -> impl Strategy<Value = Vec<SweepRect>> {
-    prop::collection::vec(
-        (
-            0u32..40,
-            0u32..40,
-            0u32..12,
-            0u32..12,
-            0u32..4,
-            any::<bool>(),
-        ),
-        1..max_len,
-    )
-    .prop_map(build_rects)
-}
 
 fn check_equivalence(rects: &[SweepRect], params: &BurstParams) {
     let fast = sl_cspot(rects, &AREA, params);
@@ -220,7 +182,100 @@ fn segtree_matches_naive_on_adversarial_scenes() {
 // Flat vs recursive segment tree
 // ---------------------------------------------------------------------------
 
-use surge_exact::{sl_cspot_with, MaxAddTree, RecursiveMaxAddTree, SweepArena};
+use surge_exact::{sl_cspot_with, BurstSegTree, MaxAddTree, RecursiveMaxAddTree, SweepArena};
+
+// ---------------------------------------------------------------------------
+// Incremental leaf edits (the persistent-sweep tree API)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `insert_leaf` / `remove_leaf` interleaved with integer range adds
+    /// against a plain `Vec<f64>` model: leaf values, the max and the
+    /// leftmost-tie argmax must agree exactly after every operation —
+    /// covering both the pristine O(log n) fast path and the loaded-tree
+    /// rebuild fallback.
+    #[test]
+    fn leaf_edits_match_vec_model(
+        ops in prop::collection::vec((0u32..4, 0u32..1_000, 0u32..1_000, -9i32..10), 1..120),
+    ) {
+        let mut model: Vec<f64> = Vec::new();
+        let mut tree = MaxAddTree::new(0);
+        for (kind, a, b, v) in ops {
+            match kind {
+                0 => {
+                    let at = a as usize % (model.len() + 1);
+                    model.insert(at, 0.0);
+                    tree.insert_leaf(at);
+                }
+                1 if !model.is_empty() => {
+                    let at = a as usize % model.len();
+                    model.remove(at);
+                    tree.remove_leaf(at);
+                }
+                _ if !model.is_empty() => {
+                    let (a, b) = (a as usize % model.len(), b as usize % model.len());
+                    let (l, r) = (a.min(b), a.max(b));
+                    for x in &mut model[l..=r] {
+                        *x += v as f64;
+                    }
+                    tree.add(l, r, v as f64);
+                }
+                _ => {}
+            }
+            prop_assert_eq!(tree.len(), model.len());
+            prop_assert_eq!(tree.leaf_values(), model.clone());
+            if !model.is_empty() {
+                let (want_arg, want_max) = model
+                    .iter()
+                    .enumerate()
+                    .fold((0usize, f64::NEG_INFINITY), |(am, m), (i, &x)| {
+                        if x > m { (i, x) } else { (am, m) }
+                    });
+                let (got_max, got_arg) = tree.top();
+                prop_assert_eq!(got_max.to_bits(), want_max.to_bits());
+                prop_assert_eq!(got_arg, want_arg, "argmax");
+            }
+        }
+    }
+
+    /// The persistent path's tree maintenance — `clear_values` followed by
+    /// incremental `sync_len` — must leave a `BurstSegTree` bitwise
+    /// identical to a freshly `reset` one: the same apply sequence then
+    /// yields the same max/argmax bit for bit. (Bit-identity of the whole
+    /// persistent sweep reduces to this plus identical inputs.)
+    #[test]
+    fn clear_and_sync_is_bitwise_reset(
+        n0 in 1usize..40,
+        n1 in 1usize..40,
+        applies in prop::collection::vec((0u32..1_000, 0u32..1_000, 1u32..5, any::<bool>()), 1..40),
+        alpha_pct in 0u32..100,
+    ) {
+        let params = BurstParams {
+            alpha: alpha_pct as f64 / 100.0,
+            current_norm: 1.0,
+            past_norm: 1.0,
+        };
+        // Dirty a tree at n0 leaves, then clear + sync to n1.
+        let mut synced = BurstSegTree::new(n0, &params);
+        synced.apply(0, n0 - 1, 2.0, surge_core::WindowKind::Current, 1.0);
+        synced.clear_values();
+        synced.sync_len(n1, &params);
+        let mut fresh = BurstSegTree::new(n1, &params);
+        for (a, b, w, past) in applies {
+            let (a, b) = (a as usize % n1, b as usize % n1);
+            let (l, r) = (a.min(b), a.max(b));
+            let kind = if past { WindowKind::Past } else { WindowKind::Current };
+            synced.apply(l, r, w as f64, kind, 1.0);
+            fresh.apply(l, r, w as f64, kind, 1.0);
+            let (sm, sa) = synced.top();
+            let (fm, fa) = fresh.top();
+            prop_assert_eq!(sm.to_bits(), fm.to_bits(), "max mismatch at n1={}", n1);
+            prop_assert_eq!(sa, fa, "argmax mismatch");
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]

@@ -8,11 +8,15 @@
 //!   detector over bounded channels.
 //! * [`sweep_parallel`] / [`drive_incremental`] — *within* one exact
 //!   detector, a window slide leaves a set of dirty cells whose SL-CSPOT
-//!   searches are pure, independent jobs
-//!   ([`IncrementalDetector`]). These fan out across a scoped
-//!   thread pool (std `thread::scope`; the build environment has no rayon,
-//!   and the work-chunked scoped loop below is what `par_iter` would
-//!   compile to for this shape anyway).
+//!   searches are independent per-cell work ([`IncrementalDetector`]).
+//!   `drive_incremental` sweeps them **in place** via
+//!   [`IncrementalDetector::sweep_dirty`]: detectors with persistent
+//!   per-cell sweep state fan one scoped worker per shard chunk over their
+//!   own `(cells, queue)` pairs, mutating the persistent structures where
+//!   they live instead of cloning rectangles into throwaway jobs. The
+//!   job-based snapshot→compute→install API (and [`sweep_parallel`], the
+//!   generic scoped-pool runner it rode on) remains the differential
+//!   reference and the default `sweep_dirty` implementation.
 //!
 //! In both cases results are bit-for-bit identical to a sequential run —
 //! parallelism only changes wall-clock time.
@@ -236,14 +240,17 @@ pub struct IncrementalReport {
 /// fanning each slide's dirty-cell searches across `threads` workers.
 ///
 /// Instead of letting `current()` search stale cells lazily one-by-one, each
-/// slide boundary snapshots every dirty cell (accumulated over the whole
-/// slide — deduplicated by the detector, so a cell touched by many events is
-/// swept once), executes the pure sweep jobs in parallel, installs the
-/// outcomes and *then* reads the answer, which finds every cell fresh. The
-/// answer after each slide is identical to the sequential driver's answer at
-/// the same stream position. After the last slide the engine tail is
-/// drained and one terminal flush runs (counted in `slides`/`answers`), so
-/// the detector ends the run with empty windows.
+/// slide boundary sweeps every dirty cell **in place** via
+/// [`IncrementalDetector::sweep_dirty`] — detectors with persistent
+/// per-cell sweep state (`CellCspot`) apply the slide's accumulated churn
+/// to that state instead of re-extracting and re-sorting each cell's
+/// rectangles into throwaway jobs — and *then* reads the answer, which
+/// finds every cell fresh. (The job-based snapshot→compute→install API
+/// remains the differential reference; `sweep_dirty`'s default routes
+/// through it.) The answer after each slide is identical to the sequential
+/// driver's answer at the same stream position. After the last slide the
+/// engine tail is drained and one terminal flush runs (counted in
+/// `slides`/`answers`), so the detector ends the run with empty windows.
 pub fn drive_incremental<D>(
     detector: &mut D,
     windows: WindowConfig,
@@ -252,7 +259,7 @@ pub fn drive_incremental<D>(
     threads: usize,
 ) -> IncrementalReport
 where
-    D: IncrementalDetector + Sync,
+    D: IncrementalDetector,
 {
     let mut engine = SlidingWindowEngine::new(windows);
     let mut report = IncrementalReport::default();
@@ -268,24 +275,10 @@ where
             report.events += 1;
         },
         |(detector, report)| {
-            // Snapshot shard by shard (deterministic: shard index, then cell
-            // id): outcomes are per-cell and commute, so the concatenated
-            // install produces the same state as a global snapshot while
-            // exercising the per-shard API the sharded driver builds on.
-            let jobs: Vec<D::Job> = (0..detector.shard_count())
-                .flat_map(|s| detector.snapshot_dirty_jobs_shard(s))
-                .collect();
+            let swept = detector.sweep_dirty(threads);
             report.slides += 1;
-            report.jobs += jobs.len() as u64;
-            report.max_jobs_per_slide = report.max_jobs_per_slide.max(jobs.len() as u64);
-            let det: &D = detector;
-            // Per-worker scratch (the detector's sweep arena) is built once
-            // per worker thread and reused across every job it claims.
-            let outcomes =
-                sweep_parallel_with(&jobs, threads, D::Scratch::default, |scratch, j| {
-                    det.run_job_with(scratch, j)
-                });
-            detector.install_outcomes(outcomes);
+            report.jobs += swept;
+            report.max_jobs_per_slide = report.max_jobs_per_slide.max(swept);
             report.answers.push(detector.current());
         },
     );

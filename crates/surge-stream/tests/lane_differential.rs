@@ -11,23 +11,7 @@
 use proptest::prelude::*;
 use surge_core::{Event, Point, RegionSize, SpatialObject, WindowConfig};
 use surge_stream::{EventBatch, ShardedWindowEngine, SlidingWindowEngine};
-
-/// Raw tuples → a stream with *duplicate timestamps* (every `per_tick`
-/// arrivals share one tick) on a coarse spatial lattice, ids in arrival
-/// order.
-fn build_stream(raw: Vec<(u32, u32, u32)>, per_tick: u64, tick: u64) -> Vec<SpatialObject> {
-    raw.into_iter()
-        .enumerate()
-        .map(|(i, (x, y, w))| {
-            SpatialObject::new(
-                i as u64,
-                1.0 + (w % 4) as f64,
-                Point::new(x as f64 * 0.5, y as f64 * 0.5),
-                (i as u64 / per_tick.max(1)) * tick,
-            )
-        })
-        .collect()
-}
+use surge_testkit::ticked_stream as build_stream;
 
 fn expand_monolithic(
     objs: &[SpatialObject],

@@ -10,33 +10,13 @@
 //! common rather than measure-zero.
 
 use proptest::prelude::*;
-use surge_core::{BurstDetector, Point, RegionSize, SpatialObject, SurgeQuery, WindowConfig};
+use surge_core::{BurstDetector, RegionSize, SurgeQuery, WindowConfig};
 use surge_exact::{BoundMode, CellCspot};
 use surge_stream::{drive_incremental, drive_sharded};
+use surge_testkit::arb_lattice_stream as arb_stream;
 
 fn query(alpha: f64) -> SurgeQuery {
     SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), WindowConfig::equal(300), alpha)
-}
-
-/// Raw tuples → a lattice stream: snapped positions and small integer
-/// weights make exact ties common; timestamps strictly increase so window
-/// transitions are deterministic.
-fn build_stream(raw: Vec<(u32, u32, u32, u32)>) -> Vec<SpatialObject> {
-    raw.into_iter()
-        .enumerate()
-        .map(|(i, (x, y, w, dt))| {
-            SpatialObject::new(
-                i as u64,
-                1.0 + (w % 4) as f64,
-                Point::new(x as f64 * 0.5, y as f64 * 0.5),
-                (i as u64) * 5 + (dt % 5) as u64,
-            )
-        })
-        .collect()
-}
-
-fn arb_stream(max_len: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
-    prop::collection::vec((0u32..16, 0u32..12, 0u32..8, 0u32..8), 8..max_len).prop_map(build_stream)
 }
 
 proptest! {

@@ -2,21 +2,9 @@
 //! ordering, membership consistency, and advance-granularity independence.
 
 use proptest::prelude::*;
-use surge_core::{EventKind, Point, SpatialObject, WindowConfig};
+use surge_core::{EventKind, WindowConfig};
 use surge_stream::SlidingWindowEngine;
-
-/// Builds a timestamp-ordered stream from unordered raw tuples.
-fn stream_from(raw: Vec<(u64, u16)>) -> Vec<SpatialObject> {
-    let mut ts: Vec<u64> = raw.iter().map(|r| r.0).collect();
-    ts.sort_unstable();
-    raw.into_iter()
-        .zip(ts)
-        .enumerate()
-        .map(|(i, ((_, w), t))| {
-            SpatialObject::new(i as u64, w as f64, Point::new(i as f64, 0.0), t)
-        })
-        .collect()
-}
+use surge_testkit::ordered_stream as stream_from;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

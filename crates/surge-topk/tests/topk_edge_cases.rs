@@ -152,6 +152,135 @@ fn approx_topk_is_sorted_and_disjoint() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// finish()-path edge cases (the PR-3 terminal-drain contract)
+// ---------------------------------------------------------------------------
+
+/// After the engine's `finish()` drains the tail windows, every object has
+/// completed its lifecycle: the top-k must be empty — for the exact
+/// detector, the naive strawman, and the approximations alike. (These
+/// detectors predate the drain contract; without delivering the drained
+/// events they would keep reporting the truncated windows' residents.)
+#[test]
+fn finish_drain_empties_topk() {
+    let objs = three_clusters();
+    let mut kccs = KCellCspot::new(query(), 3);
+    let mut naive = NaiveTopK::new(query(), 3);
+    let mut kg = KGapSurge::new(query(), 3);
+    let mut km = KMgapSurge::new(query(), 3);
+    let mut engine = SlidingWindowEngine::new(WindowConfig::equal(1_000));
+    for o in &objs {
+        for ev in engine.push(*o) {
+            kccs.on_event(&ev);
+            naive.on_event(&ev);
+            kg.on_event(&ev);
+            km.on_event(&ev);
+        }
+    }
+    assert!(!kccs.current_topk().is_empty(), "pre-drain sanity");
+    for ev in engine.finish() {
+        kccs.on_event(&ev);
+        naive.on_event(&ev);
+        kg.on_event(&ev);
+        km.on_event(&ev);
+    }
+    assert_eq!(engine.current_len() + engine.past_len(), 0);
+    for (name, answers) in [
+        ("kCCS", kccs.current_topk()),
+        ("Naive", naive.current_topk()),
+        ("kGAPS", kg.current_topk()),
+        ("kMGAPS", km.current_topk()),
+    ] {
+        assert!(
+            answers.iter().all(|a| a.score.abs() <= 1e-12),
+            "{name} still scores after full drain: {answers:?}"
+        );
+    }
+}
+
+/// Empty tail window: with a zero-length past window every grow is chased
+/// by its expire at the same instant, so the drain's Grown/Expired pairs
+/// collapse. The top-k must stay well-formed at every step and empty after
+/// the drain.
+#[test]
+fn zero_length_past_window_drain_is_clean() {
+    let q = SurgeQuery::whole_space(RegionSize::new(2.0, 2.0), WindowConfig::new(1_000, 0), 0.5);
+    let mut det = KCellCspot::new(q, 4);
+    let mut engine = SlidingWindowEngine::new(WindowConfig::new(1_000, 0));
+    for o in three_clusters() {
+        for ev in engine.push(o) {
+            det.on_event(&ev);
+        }
+        let answers = det.current_topk();
+        for w in answers.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-12, "unsorted: {answers:?}");
+        }
+    }
+    for ev in engine.finish() {
+        det.on_event(&ev);
+    }
+    assert!(
+        det.current_topk().iter().all(|a| a.score.abs() <= 1e-12),
+        "zero-length past window left residue"
+    );
+}
+
+/// k larger than the survivors of a partial drain: advance past the first
+/// cluster wave's expiry, leaving fewer occupied regions than k. The
+/// detector must report at most the surviving regions — never pad with
+/// expired ones — and keep them sorted.
+#[test]
+fn k_exceeds_survivors_after_partial_drain() {
+    let q = query();
+    let mut det = KCellCspot::new(q, 9);
+    let mut engine = SlidingWindowEngine::new(q.windows);
+    // Wave 1: three clusters early. Wave 2: one cluster much later.
+    let mut objs = Vec::new();
+    let mut id = 0u64;
+    for t in 0..6u64 {
+        for cx in [0.0f64, 50.0, 100.0] {
+            objs.push(SpatialObject::new(id, 1.0, Point::new(cx, 5.0), t * 10));
+            id += 1;
+        }
+    }
+    for t in 0..4u64 {
+        objs.push(SpatialObject::new(
+            id,
+            1.0,
+            Point::new(200.0, 5.0),
+            10_000 + t * 10,
+        ));
+        id += 1;
+    }
+    for o in &objs {
+        for ev in engine.push(*o) {
+            det.on_event(&ev);
+        }
+    }
+    // The second wave's arrival advanced the clock past wave 1's expiry:
+    // only the x = 200 cluster survives.
+    let answers: Vec<_> = det
+        .current_topk()
+        .into_iter()
+        .filter(|a| a.score > 1e-12)
+        .collect();
+    assert!(
+        !answers.is_empty() && answers.len() <= 2,
+        "expected only the surviving cluster's region(s), got {answers:?}"
+    );
+    for a in &answers {
+        assert!(
+            a.region.center().x > 190.0,
+            "expired cluster reported: {a:?}"
+        );
+    }
+    // Drain the tail: k still exceeds survivors (now zero).
+    for ev in engine.finish() {
+        det.on_event(&ev);
+    }
+    assert!(det.current_topk().iter().all(|a| a.score.abs() <= 1e-12));
+}
+
 #[test]
 fn empty_stream_yields_empty_topk() {
     let mut det = KCellCspot::new(query(), 3);
