@@ -23,6 +23,9 @@
 //!                          BENCH_shard.json
 //!   window-bench           window-lane expansion vs monolithic engine;
 //!                          writes BENCH_window.json
+//!   checkpoint-bench       checkpointed driver vs in-memory driver +
+//!                          recovery vs replay-from-zero (bit-identity
+//!                          asserted first); writes BENCH_checkpoint.json
 //!   all                    everything above
 //!
 //! Options:
@@ -137,7 +140,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|window-bench|all> \
+    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|window-bench|checkpoint-bench|all> \
      [--axis window|rect|k] [--objects N] [--heavy N] [--naive N] [--seed S] \
      [--datasets uk,us,taxi] [--fast] [--paper] [--persistent on|off]"
         .to_string()
@@ -177,6 +180,18 @@ fn run_window_bench(cfg: &ExpConfig) -> Result<(), String> {
     print!("{}", print::window_bench(&rows));
     let json = print::window_bench_json(&rows);
     let path = "BENCH_window.json";
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# wrote {path}");
+    Ok(())
+}
+
+/// Runs the checkpoint/recovery experiment, printing the table and writing
+/// `BENCH_checkpoint.json` to the working directory.
+fn run_checkpoint_bench(cfg: &ExpConfig) -> Result<(), String> {
+    let rows = experiments::checkpoint_bench(cfg);
+    print!("{}", print::checkpoint_bench(&rows));
+    let json = print::checkpoint_bench_json(&rows);
+    let path = "BENCH_checkpoint.json";
     std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("# wrote {path}");
     Ok(())
@@ -267,6 +282,7 @@ fn run(args: &Args) -> Result<(), String> {
         "sweep-bench" => run_sweep_bench(cfg)?,
         "shard-bench" => run_shard_bench(cfg)?,
         "window-bench" => run_window_bench(cfg)?,
+        "checkpoint-bench" => run_checkpoint_bench(cfg)?,
         "all" => {
             print!("{}", print::table1(&experiments::table1(cfg)));
             print!(
@@ -329,6 +345,7 @@ fn run(args: &Args) -> Result<(), String> {
             run_sweep_bench(cfg)?;
             run_shard_bench(cfg)?;
             run_window_bench(cfg)?;
+            run_checkpoint_bench(cfg)?;
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
     }

@@ -1659,6 +1659,186 @@ pub fn window_bench(cfg: &ExpConfig) -> Vec<WindowBenchRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint & recovery experiment
+// ---------------------------------------------------------------------------
+
+/// One row of the checkpoint/recovery experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointBenchRow {
+    /// Workload label: `"uniform"` or `"taxi"`.
+    pub workload: &'static str,
+    /// Objects driven through the pipeline.
+    pub objects: u64,
+    /// Flushes executed.
+    pub slides: u64,
+    /// Wall-clock ms for the in-memory `drive_incremental` baseline (no
+    /// durability at all).
+    pub baseline_ms: f64,
+    /// Wall-clock ms for the checkpointed run (WAL + periodic snapshots).
+    pub checkpointed_ms: f64,
+    /// Durability overhead: `checkpointed_ms / baseline_ms`.
+    pub overhead: f64,
+    /// Snapshots written.
+    pub snapshots: u64,
+    /// Median snapshot stall in microseconds.
+    pub stall_p50_us: f64,
+    /// p99 snapshot stall in microseconds.
+    pub stall_p99_us: f64,
+    /// Worst snapshot stall in microseconds.
+    pub stall_max_us: f64,
+    /// Objects appended to the WAL.
+    pub wal_appends: u64,
+    /// Wall-clock ms to recover after a crash at end-of-stream: load the
+    /// newest snapshot, rebuild, replay the WAL tail, terminal drain.
+    pub recovery_ms: f64,
+    /// Objects the recovery replayed from the WAL tail.
+    pub replayed: u64,
+    /// Wall-clock ms to reach the same state by re-ingesting the whole
+    /// stream from t = 0 (what a restart costs without checkpoints).
+    pub replay_from_zero_ms: f64,
+    /// `replay_from_zero_ms / recovery_ms`.
+    pub recovery_speedup: f64,
+}
+
+/// Runs the checkpointing driver against the in-memory incremental driver
+/// on the uniform and taxi workloads, asserting recovery **bit-identity**
+/// before timing anything (`surge_exp checkpoint-bench` →
+/// `BENCH_checkpoint.json`): snapshot cost (stall percentiles), WAL append
+/// overhead, and recovery time vs. replay-from-zero.
+pub fn checkpoint_bench(cfg: &ExpConfig) -> Vec<CheckpointBenchRow> {
+    use surge_checkpoint::{
+        recover, run_checkpointed, CheckpointConfig, CheckpointPolicy, DetectorSpec, Tail,
+    };
+    use surge_exact::{BoundMode, CellCspot};
+    use surge_stream::drive_incremental;
+
+    let slide = 256;
+    let mut rows = Vec::new();
+
+    let taxi_windows = Dataset::Taxi.spec().default_windows;
+    let taxi_objects = objects_for(Dataset::Taxi, taxi_windows, cfg.objects, cfg.max_objects);
+    let uniform_windows = WindowConfig::equal(60_000);
+    let workloads: [(&'static str, WindowConfig, SurgeQuery, Vec<SpatialObject>); 2] = [
+        (
+            "uniform",
+            uniform_windows,
+            SurgeQuery::whole_space(RegionSize::new(0.3, 0.3), uniform_windows, DEFAULT_ALPHA),
+            surge_testkit::uniform_stream(cfg.objects.clamp(4_000, 200_000), cfg.seed),
+        ),
+        (
+            "taxi",
+            taxi_windows,
+            query_for(Dataset::Taxi, taxi_windows, 1.0, DEFAULT_ALPHA),
+            stream_for(Dataset::Taxi, taxi_objects, cfg.seed),
+        ),
+    ];
+
+    for (workload, windows, query, stream) in workloads {
+        let spec = DetectorSpec::Cell {
+            bound: BoundMode::Combined,
+            sweep: cfg.sweep_mode,
+            shards: DEFAULT_SHARDS,
+        };
+        let config = CheckpointConfig {
+            query,
+            windows,
+            spec,
+            slide_objects: slide,
+            threads: 1,
+            policy: CheckpointPolicy {
+                snapshot_every_slides: 8,
+                wal_segment_objects: 8_192,
+                keep_snapshots: 2,
+            },
+        };
+        let base = std::env::temp_dir().join(format!(
+            "surge-ckpt-bench-{workload}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+
+        // In-memory baseline (no durability).
+        let mut det =
+            CellCspot::with_sweep_mode(query, BoundMode::Combined, cfg.sweep_mode, DEFAULT_SHARDS);
+        let t0 = std::time::Instant::now();
+        let baseline = drive_incremental(&mut det, windows, stream.iter().copied(), slide, 1);
+        let baseline_elapsed = t0.elapsed();
+
+        // Checkpointed run.
+        let full_dir = base.join("full");
+        let t0 = std::time::Instant::now();
+        let full = run_checkpointed(&config, &full_dir, stream.iter().copied(), Tail::Finish)
+            .expect("checkpointed run");
+        let checkpointed_elapsed = t0.elapsed();
+
+        // Benchmarks must not time a divergent pipeline: the checkpointed
+        // answers must be bit-identical to the in-memory driver's.
+        let got = full.single_answers();
+        assert_eq!(got.len(), baseline.answers.len(), "{workload}");
+        for (i, (a, b)) in got.iter().zip(baseline.answers.iter()).enumerate() {
+            match (a, b) {
+                (Some(x), Some(y)) => assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "checkpoint-bench divergence at {workload}, slide {i}"
+                ),
+                (None, None) => {}
+                other => panic!("checkpoint-bench divergence at {workload}, slide {i}: {other:?}"),
+            }
+        }
+
+        // Crash at end-of-stream, then recover: snapshot restore + WAL
+        // tail replay + terminal drain, bit-identity asserted.
+        let crash_dir = base.join("crash");
+        run_checkpointed(&config, &crash_dir, stream.iter().copied(), Tail::Crash)
+            .expect("crashed run");
+        let t0 = std::time::Instant::now();
+        let resumed =
+            recover(&config, &crash_dir, stream.iter().copied(), Tail::Finish).expect("recovery");
+        let recovery_elapsed = t0.elapsed();
+        assert_eq!(resumed.answers.len(), full.answers.len(), "{workload}");
+        for (i, (a, b)) in resumed.answers.iter().zip(full.answers.iter()).enumerate() {
+            assert_eq!(a.len(), b.len(), "{workload} flush {i}");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "recovery divergence at {workload}, flush {i}"
+                );
+            }
+        }
+
+        // Replay-from-zero: what the restart costs without checkpoints.
+        let mut det =
+            CellCspot::with_sweep_mode(query, BoundMode::Combined, cfg.sweep_mode, DEFAULT_SHARDS);
+        let t0 = std::time::Instant::now();
+        let _ = drive_incremental(&mut det, windows, stream.iter().copied(), slide, 1);
+        let replay_elapsed = t0.elapsed();
+
+        rows.push(CheckpointBenchRow {
+            workload,
+            objects: full.objects,
+            slides: full.slides,
+            baseline_ms: baseline_elapsed.as_secs_f64() * 1e3,
+            checkpointed_ms: checkpointed_elapsed.as_secs_f64() * 1e3,
+            overhead: checkpointed_elapsed.as_secs_f64() / baseline_elapsed.as_secs_f64().max(1e-9),
+            snapshots: full.snapshots_written,
+            stall_p50_us: full.pause.p50_us,
+            stall_p99_us: full.pause.p99_us,
+            stall_max_us: full.pause.max_us,
+            wal_appends: full.wal_appends,
+            recovery_ms: recovery_elapsed.as_secs_f64() * 1e3,
+            replayed: resumed.replayed_from_wal,
+            replay_from_zero_ms: replay_elapsed.as_secs_f64() * 1e3,
+            recovery_speedup: replay_elapsed.as_secs_f64()
+                / recovery_elapsed.as_secs_f64().max(1e-9),
+        });
+        std::fs::remove_dir_all(&base).ok();
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -427,6 +427,112 @@ pub fn window_bench_json(rows: &[crate::experiments::WindowBenchRow]) -> String 
     out
 }
 
+/// The checkpoint/recovery experiment as a console table: durability
+/// overhead, snapshot-stall percentiles (p50/p99/max) and recovery time
+/// against replay-from-zero.
+pub fn checkpoint_bench(rows: &[crate::experiments::CheckpointBenchRow]) -> String {
+    let mut out = format!(
+        "\n== Checkpoint & recovery: WAL + snapshots vs in-memory, recovery vs replay-from-zero ==\n{:<10} {:>8} {:>8} {:>9} {:>9} {:>9} {:>6} {:>9} {:>9} {:>9} {:>10} {:>10} {:>9}\n",
+        "workload",
+        "objects",
+        "slides",
+        "base(ms)",
+        "ckpt(ms)",
+        "overhead",
+        "snaps",
+        "p50(us)",
+        "p99(us)",
+        "max(us)",
+        "recov(ms)",
+        "replay(ms)",
+        "speedup"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>8} {:>9.1} {:>9.1} {:>8.2}x {:>6} {:>9.0} {:>9.0} {:>9.0} {:>10.1} {:>10.1} {:>8.2}x\n",
+            r.workload,
+            r.objects,
+            r.slides,
+            r.baseline_ms,
+            r.checkpointed_ms,
+            r.overhead,
+            r.snapshots,
+            r.stall_p50_us,
+            r.stall_p99_us,
+            r.stall_max_us,
+            r.recovery_ms,
+            r.replay_from_zero_ms,
+            r.recovery_speedup
+        ));
+    }
+    out
+}
+
+/// The checkpoint/recovery experiment as a `BENCH_checkpoint.json` document
+/// (hand-rolled: the offline build has no serde).
+pub fn checkpoint_bench_json(rows: &[crate::experiments::CheckpointBenchRow]) -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"checkpoint_recovery\",\n  \"cpus\": {cpus},\n  \"rows\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"objects\": {}, \"slides\": {}, \"baseline_ms\": {:.3}, \"checkpointed_ms\": {:.3}, \"overhead\": {:.3}, \"snapshots\": {}, \"stall_p50_us\": {:.1}, \"stall_p99_us\": {:.1}, \"stall_max_us\": {:.1}, \"wal_appends\": {}, \"recovery_ms\": {:.3}, \"replayed_from_wal\": {}, \"replay_from_zero_ms\": {:.3}, \"recovery_speedup\": {:.3}}}{}\n",
+            r.workload,
+            r.objects,
+            r.slides,
+            r.baseline_ms,
+            r.checkpointed_ms,
+            r.overhead,
+            r.snapshots,
+            r.stall_p50_us,
+            r.stall_p99_us,
+            r.stall_max_us,
+            r.wal_appends,
+            r.recovery_ms,
+            r.replayed,
+            r.replay_from_zero_ms,
+            r.recovery_speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_bench_json_is_wellformed() {
+        let rows = vec![crate::experiments::CheckpointBenchRow {
+            workload: "uniform",
+            objects: 1000,
+            slides: 5,
+            baseline_ms: 10.0,
+            checkpointed_ms: 12.0,
+            overhead: 1.2,
+            snapshots: 2,
+            stall_p50_us: 800.0,
+            stall_p99_us: 1200.0,
+            stall_max_us: 1500.0,
+            wal_appends: 1000,
+            recovery_ms: 3.0,
+            replayed: 200,
+            replay_from_zero_ms: 10.0,
+            recovery_speedup: 3.3,
+        }];
+        let json = checkpoint_bench_json(&rows);
+        assert!(json.contains("\"benchmark\": \"checkpoint_recovery\""));
+        assert!(json.contains("\"stall_p99_us\": 1200.0"));
+        assert!(!json.contains("},\n  ]"));
+        let table = checkpoint_bench(&rows);
+        assert!(table.contains("uniform"));
+        assert!(table.contains("p99"));
+    }
+}
+
 #[cfg(test)]
 mod window_tests {
     use super::*;

@@ -1,0 +1,554 @@
+//! The checkpointing driver and the recovery entry point.
+//!
+//! [`run_checkpointed`] is the durable face of the slide-batched drivers:
+//! it appends every arrival to the WAL *before* the window engine sees it,
+//! flushes the detector once per slide (exactly `drive_incremental`'s
+//! cadence, so answers are bit-comparable), and every
+//! [`CheckpointPolicy::snapshot_every_slides`] slides writes an atomic
+//! logical snapshot and garbage-collects covered WAL segments.
+//!
+//! [`recover`] is the other half: it loads the newest valid snapshot
+//! (skipping corrupt ones), rebuilds the engine and detector from logical
+//! state, replays the WAL tail through the identical loop, then continues
+//! with the live source — producing the answer sequence the uninterrupted
+//! run would have produced, **bit for bit** (proptested in
+//! `tests/crash_recovery.rs` across cut points, shard counts and sweep
+//! modes).
+//!
+//! Snapshot pauses are recorded in a
+//! [`surge_stream::LatencyHistogram`]; the report surfaces the
+//! p50/p99/max snapshot-stall columns the benches print.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use surge_core::{
+    BurstDetector, CheckpointableDetector, DetectorState, DetectorStats, IncrementalDetector,
+    RegionAnswer, RestoreError, SpatialObject, SurgeQuery, TopKDetector, WindowConfig,
+};
+use surge_exact::{BaseDetector, CellCspot};
+use surge_io::IoError;
+use surge_stream::{EventBatch, LatencyHistogram, LatencySummary, SlidingWindowEngine};
+use surge_topk::KCellCspot;
+
+use crate::state::{CheckpointMeta, CheckpointState, DetectorSpec};
+use crate::store::CheckpointDir;
+use crate::wal::{Wal, WalWriter};
+
+/// When to snapshot and how the WAL is segmented and retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Write a snapshot every N slides (0 disables snapshots; recovery then
+    /// replays the whole WAL).
+    pub snapshot_every_slides: u64,
+    /// Rotate WAL segments every N objects.
+    pub wal_segment_objects: u64,
+    /// Keep the newest N snapshots (minimum 1); WAL segments fully covered
+    /// by the oldest retained snapshot are deleted.
+    pub keep_snapshots: usize,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            snapshot_every_slides: 8,
+            wal_segment_objects: 4096,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+/// A checkpointed run's configuration: what to detect and at what cadence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointConfig {
+    /// The continuous query.
+    pub query: SurgeQuery,
+    /// The window configuration the engine runs (usually `query.windows`).
+    pub windows: WindowConfig,
+    /// Which detector to drive.
+    pub spec: DetectorSpec,
+    /// Arrivals per slide.
+    pub slide_objects: usize,
+    /// Sweep worker threads per flush.
+    pub threads: usize,
+    /// Durability policy.
+    pub policy: CheckpointPolicy,
+}
+
+/// How a run ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tail {
+    /// Drain the window tails and run the terminal flush (the normal
+    /// end-of-stream contract shared with every replay driver).
+    Finish,
+    /// Stop dead after the last object — no drain, no flush, WAL synced.
+    /// This simulates a crash for the recovery tests; a real crash differs
+    /// only in possibly losing the unsynced WAL tail, which recovery
+    /// re-reads from the source instead.
+    Crash,
+}
+
+/// Errors from the checkpoint subsystem.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// A persistence failure (WAL or snapshot I/O, corrupt file).
+    Io(IoError),
+    /// A logical-state restore was rejected.
+    Restore(RestoreError),
+    /// The run configuration contradicts the on-disk state.
+    Config(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Restore(e) => write!(f, "{e}"),
+            CheckpointError::Config(msg) => write!(f, "checkpoint config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<IoError> for CheckpointError {
+    fn from(e: IoError) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<RestoreError> for CheckpointError {
+    fn from(e: RestoreError) -> Self {
+        CheckpointError::Restore(e)
+    }
+}
+
+/// The outcome of a checkpointed run (or of a recovery + resume).
+#[derive(Debug, Clone)]
+pub struct CheckpointReport {
+    /// Objects processed in total (replayed WAL tail included).
+    pub objects: u64,
+    /// Flushes executed in total.
+    pub slides: u64,
+    /// Window-transition events processed (from the resume point onward
+    /// for a recovered run).
+    pub events: u64,
+    /// The answer at every flush, in flush order: 0/1 entries per flush
+    /// for single-region detectors, up to k for top-k. For a recovered run
+    /// this includes the answers restored from the snapshot, so the full
+    /// sequence is comparable to an uninterrupted run's.
+    pub answers: Vec<Vec<RegionAnswer>>,
+    /// Snapshots written during this run.
+    pub snapshots_written: u64,
+    /// Objects appended to the WAL during this run.
+    pub wal_appends: u64,
+    /// Snapshot-stall latencies (capture + encode + atomic write).
+    pub pause: LatencySummary,
+    /// For a recovered run: the object index execution resumed from (the
+    /// snapshot's position). `None` for a fresh run.
+    pub resumed_at: Option<u64>,
+    /// Objects replayed from the WAL tail during recovery.
+    pub replayed_from_wal: u64,
+    /// Bytes truncated off a torn WAL tail during recovery.
+    pub wal_truncated_bytes: u64,
+    /// Final detector counters.
+    pub stats: DetectorStats,
+}
+
+impl CheckpointReport {
+    /// The answers as the single-region drivers report them — convenience
+    /// for comparing against `drive_incremental`.
+    pub fn single_answers(&self) -> Vec<Option<RegionAnswer>> {
+        self.answers
+            .iter()
+            .map(|flush| flush.first().copied())
+            .collect()
+    }
+}
+
+/// The detector behind a checkpointed run: one variant per
+/// [`DetectorSpec`], so the driver loop is a single implementation.
+enum Det {
+    Cell(CellCspot),
+    Base(BaseDetector),
+    TopK(KCellCspot),
+}
+
+impl Det {
+    fn build(spec: &DetectorSpec, query: SurgeQuery) -> Det {
+        match *spec {
+            DetectorSpec::Cell {
+                bound,
+                sweep,
+                shards,
+            } => Det::Cell(CellCspot::with_sweep_mode(query, bound, sweep, shards)),
+            DetectorSpec::Base { pruned } => Det::Base(if pruned {
+                BaseDetector::with_pruning(query)
+            } else {
+                BaseDetector::new(query)
+            }),
+            DetectorSpec::TopK { k } => Det::TopK(KCellCspot::new(query, k)),
+        }
+    }
+
+    fn on_event(&mut self, ev: &surge_core::Event) {
+        match self {
+            Det::Cell(d) => d.on_event(ev),
+            Det::Base(d) => BurstDetector::on_event(d, ev),
+            Det::TopK(d) => TopKDetector::on_event(d, ev),
+        }
+    }
+
+    /// The per-slide flush, matching each detector family's canonical
+    /// cadence: CCS sweeps its dirty cells in place and then reads the
+    /// all-fresh answer (bit-identical to `drive_incremental`), Base and
+    /// top-k answer directly.
+    fn flush(&mut self, threads: usize) -> Vec<RegionAnswer> {
+        match self {
+            Det::Cell(d) => {
+                d.sweep_dirty(threads);
+                d.current().into_iter().collect()
+            }
+            Det::Base(d) => d.current().into_iter().collect(),
+            Det::TopK(d) => d.current_topk(),
+        }
+    }
+
+    fn capture(&self) -> DetectorState {
+        match self {
+            Det::Cell(d) => d.capture_state(),
+            Det::Base(d) => d.capture_state(),
+            Det::TopK(d) => d.capture_state(),
+        }
+    }
+
+    fn restore(&mut self, state: &DetectorState) -> Result<(), RestoreError> {
+        match self {
+            Det::Cell(d) => d.restore_state(state),
+            Det::Base(d) => d.restore_state(state),
+            Det::TopK(d) => d.restore_state(state),
+        }
+    }
+
+    fn stats(&self) -> DetectorStats {
+        match self {
+            Det::Cell(d) => d.stats(),
+            Det::Base(d) => BurstDetector::stats(d),
+            Det::TopK(d) => TopKDetector::stats(d),
+        }
+    }
+}
+
+/// The run loop shared by fresh runs and recovery.
+struct Runner {
+    cfg: CheckpointConfig,
+    dir: CheckpointDir,
+    detector: Det,
+    engine: SlidingWindowEngine,
+    wal: WalWriter,
+    batch: EventBatch,
+    answers: Vec<Vec<RegionAnswer>>,
+    objects: u64,
+    slides: u64,
+    events: u64,
+    in_slide: usize,
+    snapshot_seq: u64,
+    snapshots_written: u64,
+    wal_appends: u64,
+    pause: LatencyHistogram,
+}
+
+impl Runner {
+    fn apply_events(&mut self) {
+        for ev in self.batch.iter() {
+            self.detector.on_event(ev);
+        }
+        self.events += self.batch.len() as u64;
+    }
+
+    /// One flush: sweep + answer, then maybe a snapshot. The WAL is synced
+    /// at every flush (group commit — see the `wal` module docs).
+    fn flush(&mut self) -> Result<(), CheckpointError> {
+        self.wal.sync()?;
+        let flush_answers = self.detector.flush(self.cfg.threads);
+        self.answers.push(flush_answers);
+        self.slides += 1;
+        let every = self.cfg.policy.snapshot_every_slides;
+        if every > 0 && self.slides.is_multiple_of(every) {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Captures, encodes and atomically writes one snapshot, retiring old
+    /// snapshots and covered WAL segments per policy. The wall-clock cost
+    /// — the stream stall a synchronous checkpoint causes — lands in the
+    /// pause histogram.
+    fn snapshot(&mut self) -> Result<(), CheckpointError> {
+        let t0 = Instant::now();
+        self.snapshot_seq += 1;
+        let state = CheckpointState {
+            meta: CheckpointMeta {
+                objects_ingested: self.objects,
+                slides_done: self.slides,
+                slide_objects: self.cfg.slide_objects as u64,
+                threads: self.cfg.threads as u64,
+                snapshot_seq: self.snapshot_seq,
+            },
+            spec: self.cfg.spec,
+            query: self.cfg.query,
+            engine: self.engine.checkpoint(),
+            detector: self.detector.capture(),
+            answers: self.answers.clone(),
+        };
+        self.dir.write_snapshot(&state)?;
+        self.snapshots_written += 1;
+        let retained_floor = self.dir.retire_snapshots(self.cfg.policy.keep_snapshots)?;
+        self.wal.gc(retained_floor.unwrap_or(0))?;
+        self.pause.record(t0.elapsed());
+        Ok(())
+    }
+
+    fn ingest(&mut self, obj: SpatialObject, durable: bool) -> Result<(), CheckpointError> {
+        // Validate *before* the WAL append: an out-of-order arrival must be
+        // rejected as bad input, not made durable — a poisoned log would
+        // make every future recovery fail. (The engine clock is the push
+        // floor: `push` asserts `created >= max(last_created, now)` and
+        // `now` always dominates.)
+        if obj.created < self.engine.now() {
+            return Err(CheckpointError::Config(format!(
+                "stream must be timestamp-ordered: object {} at {} predates the engine clock {}",
+                obj.id,
+                obj.created,
+                self.engine.now()
+            )));
+        }
+        if durable {
+            self.wal.append(&obj)?;
+            self.wal_appends += 1;
+        }
+        self.batch.clear();
+        self.engine.push_into(obj, &mut self.batch);
+        self.apply_events();
+        self.objects += 1;
+        self.in_slide += 1;
+        if self.in_slide >= self.cfg.slide_objects {
+            self.in_slide = 0;
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn run(
+        mut self,
+        source: impl Iterator<Item = SpatialObject>,
+        tail: Tail,
+        resumed_at: Option<u64>,
+        replayed_from_wal: u64,
+        wal_truncated_bytes: u64,
+    ) -> Result<CheckpointReport, CheckpointError> {
+        for obj in source {
+            self.ingest(obj, true)?;
+        }
+        match tail {
+            Tail::Crash => {
+                self.wal.sync()?;
+            }
+            Tail::Finish => {
+                if self.in_slide > 0 {
+                    self.flush()?;
+                }
+                self.batch.clear();
+                self.engine.finish_into(&mut self.batch);
+                self.apply_events();
+                self.flush()?;
+            }
+        }
+        Ok(CheckpointReport {
+            objects: self.objects,
+            slides: self.slides,
+            events: self.events,
+            answers: self.answers,
+            snapshots_written: self.snapshots_written,
+            wal_appends: self.wal_appends,
+            pause: self.pause.summary(),
+            resumed_at,
+            replayed_from_wal,
+            wal_truncated_bytes,
+            stats: self.detector.stats(),
+        })
+    }
+}
+
+/// Validates that `slide_objects` is usable.
+fn check_cfg(cfg: &CheckpointConfig) -> Result<(), CheckpointError> {
+    if cfg.slide_objects == 0 {
+        return Err(CheckpointError::Config(
+            "slide_objects must be positive".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Drives `source` through a fresh checkpointed run in `dir`.
+///
+/// `dir` must be empty of checkpoint state (use [`recover`] to resume an
+/// existing one). Every arrival is WAL-appended before processing; the
+/// detector flushes once per `cfg.slide_objects` arrivals, snapshots land
+/// every [`CheckpointPolicy::snapshot_every_slides`] slides, and
+/// [`Tail::Finish`] ends with the standard drain + terminal flush.
+pub fn run_checkpointed(
+    cfg: &CheckpointConfig,
+    dir: impl Into<PathBuf>,
+    source: impl Iterator<Item = SpatialObject>,
+    tail: Tail,
+) -> Result<CheckpointReport, CheckpointError> {
+    check_cfg(cfg)?;
+    let dir = CheckpointDir::create(dir)?;
+    let has_wal = std::fs::read_dir(dir.wal_dir())
+        .map(|mut d| d.next().is_some())
+        .unwrap_or(false);
+    if dir.latest_snapshot()?.is_some() || has_wal {
+        return Err(CheckpointError::Config(
+            "directory already holds checkpoint state; use recover() to resume".into(),
+        ));
+    }
+    let wal = WalWriter::open(dir.wal_dir(), 0, cfg.policy.wal_segment_objects)?;
+    let runner = Runner {
+        cfg: *cfg,
+        dir,
+        detector: Det::build(&cfg.spec, cfg.query),
+        engine: SlidingWindowEngine::new(cfg.windows),
+        wal,
+        batch: EventBatch::new(),
+        answers: Vec::new(),
+        objects: 0,
+        slides: 0,
+        events: 0,
+        in_slide: 0,
+        snapshot_seq: 0,
+        snapshots_written: 0,
+        wal_appends: 0,
+        pause: LatencyHistogram::new(),
+    };
+    runner.run(source, tail, None, 0, 0)
+}
+
+/// Recovers a checkpointed run from `dir` and resumes it over `source`.
+///
+/// `source` is the **full** replayable stream (the same iterator a fresh
+/// run would get): recovery skips the prefix already covered by durable
+/// state — snapshot plus WAL tail — and processes the rest, so a torn WAL
+/// tail costs replay work, never correctness. The sequence
+/// `restored answers + replayed answers + live answers` is bit-identical
+/// to the uninterrupted run's.
+///
+/// When no valid snapshot exists (crash before the first snapshot, or
+/// every snapshot corrupt) the run restarts from logical zero, still
+/// honoring the WAL tail. Corrupt snapshots are skipped newest-first;
+/// `cfg` must match the on-disk spec when a snapshot is found.
+pub fn recover(
+    cfg: &CheckpointConfig,
+    dir: impl Into<PathBuf>,
+    source: impl Iterator<Item = SpatialObject>,
+    tail: Tail,
+) -> Result<CheckpointReport, CheckpointError> {
+    check_cfg(cfg)?;
+    let dir = CheckpointDir::create(dir)?;
+    let snapshot = dir.latest_snapshot()?;
+    let wal_rec = Wal::recover(dir.wal_dir())?;
+
+    let mut detector = Det::build(&cfg.spec, cfg.query);
+    let mut engine = SlidingWindowEngine::new(cfg.windows);
+    let mut answers = Vec::new();
+    let mut objects = 0u64;
+    let mut slides = 0u64;
+    let mut snapshot_seq = 0u64;
+    let mut resumed_at = None;
+
+    if let Some((_, state)) = snapshot {
+        if state.spec != cfg.spec {
+            return Err(CheckpointError::Config(format!(
+                "snapshot spec {:?} does not match configured spec {:?}",
+                state.spec, cfg.spec
+            )));
+        }
+        if state.query != cfg.query {
+            return Err(CheckpointError::Config(
+                "snapshot query does not match the configured query".into(),
+            ));
+        }
+        if state.meta.slide_objects != cfg.slide_objects as u64 {
+            return Err(CheckpointError::Config(format!(
+                "snapshot slide size {} does not match configured {}",
+                state.meta.slide_objects, cfg.slide_objects
+            )));
+        }
+        if state.engine.windows != cfg.windows {
+            return Err(CheckpointError::Config(format!(
+                "snapshot window config {:?} does not match configured {:?}",
+                state.engine.windows, cfg.windows
+            )));
+        }
+        detector.restore(&state.detector)?;
+        engine = SlidingWindowEngine::from_state(&state.engine)?;
+        answers = state.answers;
+        objects = state.meta.objects_ingested;
+        slides = state.meta.slides_done;
+        snapshot_seq = state.meta.snapshot_seq;
+        resumed_at = Some(state.meta.objects_ingested);
+    }
+
+    // The WAL tail: durable records the snapshot does not cover.
+    if wal_rec.start_index > objects && !wal_rec.objects.is_empty() {
+        return Err(CheckpointError::Config(format!(
+            "WAL starts at index {} but the snapshot covers only {} objects",
+            wal_rec.start_index, objects
+        )));
+    }
+    let skip = (objects - wal_rec.start_index.min(objects)) as usize;
+    let tail_objects: Vec<SpatialObject> = wal_rec.objects.into_iter().skip(skip).collect();
+    let replayed = tail_objects.len() as u64;
+
+    // Resume appends in a fresh segment after everything durable.
+    let wal = WalWriter::open(
+        dir.wal_dir(),
+        objects + replayed,
+        cfg.policy.wal_segment_objects,
+    )?;
+
+    let mut runner = Runner {
+        cfg: *cfg,
+        dir,
+        detector,
+        engine,
+        wal,
+        batch: EventBatch::new(),
+        answers,
+        objects,
+        slides,
+        events: 0,
+        // Snapshots normally land at slide boundaries, but a terminal
+        // flush can snapshot mid-slide; the slide phase is derivable
+        // either way.
+        in_slide: (objects % cfg.slide_objects as u64) as usize,
+        snapshot_seq,
+        snapshots_written: 0,
+        wal_appends: 0,
+        pause: LatencyHistogram::new(),
+    };
+
+    // Replay the WAL tail through the identical loop (not re-appended).
+    for obj in tail_objects {
+        runner.ingest(obj, false)?;
+    }
+    // Skip the source prefix the durable state already covers, then go live.
+    let covered = runner.objects;
+    runner.run(
+        source.skip(covered as usize),
+        tail,
+        resumed_at,
+        replayed,
+        wal_rec.truncated_bytes,
+    )
+}

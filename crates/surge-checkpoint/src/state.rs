@@ -1,0 +1,577 @@
+//! The checkpoint state model and its snapshot-section codec.
+//!
+//! A [`CheckpointState`] is everything a process needs to resume a
+//! checkpointed run **bit-identically**: the run configuration
+//! ([`DetectorSpec`] + query + cadence), the window-engine residency
+//! ([`surge_core::EngineState`]), the detector's logical state
+//! ([`surge_core::DetectorState`]), and the per-slide answers produced so
+//! far. It serializes into the `surge-io` snapshot container
+//! ([`surge_io::Snapshot`]): one length-prefixed section per concern, CRC
+//! footer, atomic write-then-rename.
+//!
+//! The codec is hand-rolled little-endian framing (the offline build has no
+//! serde); floats travel as IEEE-754 bits so a decode→encode cycle is
+//! byte-identical — `tests/snapshot_format.rs` proptests that, plus precise
+//! [`IoError`]s for every truncation and corruption.
+
+use surge_core::{
+    CandidateState, CellState, DetectorState, DetectorStats, EngineState, Point, Rect, RectState,
+    RegionAnswer, SpatialObject, SurgeQuery, WindowConfig, WindowKind,
+};
+use surge_exact::{BoundMode, SweepMode};
+use surge_io::{IoError, PayloadReader, PayloadWriter, Snapshot};
+
+/// Section tags of the checkpoint snapshot format.
+pub mod tags {
+    /// Run cadence and WAL position.
+    pub const META: u32 = 1;
+    /// Query + detector construction parameters.
+    pub const SPEC: u32 = 2;
+    /// Window-engine residency and clocks.
+    pub const ENGINE: u32 = 3;
+    /// Detector logical state.
+    pub const DETECTOR: u32 = 4;
+    /// Per-slide answers produced so far.
+    pub const ANSWERS: u32 = 5;
+}
+
+/// Which detector a checkpointed run drives, with its construction
+/// parameters — enough to rebuild an empty twin at recovery time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorSpec {
+    /// [`surge_exact::CellCspot`] (CCS / B-CCS).
+    Cell {
+        /// Bound mode (Combined = CCS, StaticOnly = B-CCS).
+        bound: BoundMode,
+        /// Per-cell sweep mode.
+        sweep: SweepMode,
+        /// Cell-store shard count.
+        shards: usize,
+    },
+    /// [`surge_exact::BaseDetector`].
+    Base {
+        /// Whether the incumbent-pruned variant is used.
+        pruned: bool,
+    },
+    /// [`surge_topk::KCellCspot`] (continuous top-k).
+    TopK {
+        /// The configured k.
+        k: usize,
+    },
+}
+
+/// Run cadence and durability bookkeeping carried in every snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Objects ingested when the snapshot was taken — also the global index
+    /// of the first WAL record the snapshot does **not** cover.
+    pub objects_ingested: u64,
+    /// Slides flushed when the snapshot was taken.
+    pub slides_done: u64,
+    /// Arrivals per slide.
+    pub slide_objects: u64,
+    /// Sweep worker threads per flush.
+    pub threads: u64,
+    /// Monotonic snapshot sequence number.
+    pub snapshot_seq: u64,
+}
+
+/// The complete logical state of a checkpointed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState {
+    /// Cadence + WAL position.
+    pub meta: CheckpointMeta,
+    /// Detector construction parameters.
+    pub spec: DetectorSpec,
+    /// The continuous query.
+    pub query: SurgeQuery,
+    /// Window-engine residency (includes the engine's `WindowConfig`).
+    pub engine: EngineState,
+    /// Detector logical state.
+    pub detector: DetectorState,
+    /// Per-slide answers so far (one `Vec` per flush: 0/1 entries for
+    /// single-region detectors, up to k for top-k).
+    pub answers: Vec<Vec<RegionAnswer>>,
+}
+
+fn inv(msg: impl std::fmt::Display) -> IoError {
+    IoError::Invariant(msg.to_string())
+}
+
+// --- scalar helpers -------------------------------------------------------
+
+fn put_rect(w: &mut PayloadWriter, r: &Rect) {
+    w.f64(r.x0);
+    w.f64(r.y0);
+    w.f64(r.x1);
+    w.f64(r.y1);
+}
+
+fn get_rect(r: &mut PayloadReader<'_>, what: &str) -> Result<Rect, IoError> {
+    let x0 = r.f64(what)?;
+    let y0 = r.f64(what)?;
+    let x1 = r.f64(what)?;
+    let y1 = r.f64(what)?;
+    if x1 < x0 || y1 < y0 || x0.is_nan() || y0.is_nan() || x1.is_nan() || y1.is_nan() {
+        return Err(inv(format!("{what}: malformed rectangle")));
+    }
+    Ok(Rect { x0, y0, x1, y1 })
+}
+
+fn put_object(w: &mut PayloadWriter, o: &SpatialObject) {
+    w.u64(o.id);
+    w.f64(o.weight);
+    w.f64(o.pos.x);
+    w.f64(o.pos.y);
+    w.u64(o.created);
+}
+
+fn get_object(r: &mut PayloadReader<'_>, what: &str) -> Result<SpatialObject, IoError> {
+    let id = r.u64(what)?;
+    let weight = r.f64(what)?;
+    let x = r.f64(what)?;
+    let y = r.f64(what)?;
+    let created = r.u64(what)?;
+    if !(weight >= 0.0 && weight.is_finite() && x.is_finite() && y.is_finite()) {
+        return Err(inv(format!("{what}: malformed object {id}")));
+    }
+    Ok(SpatialObject::new(id, weight, Point::new(x, y), created))
+}
+
+fn put_windows(w: &mut PayloadWriter, cfg: &WindowConfig) {
+    w.u64(cfg.current_len);
+    w.u64(cfg.past_len);
+}
+
+fn get_windows(r: &mut PayloadReader<'_>, what: &str) -> Result<WindowConfig, IoError> {
+    let current = r.u64(what)?;
+    let past = r.u64(what)?;
+    if current == 0 {
+        return Err(inv(format!(
+            "{what}: current window length must be positive"
+        )));
+    }
+    Ok(WindowConfig::new(current, past))
+}
+
+fn kind_code(kind: WindowKind) -> u8 {
+    match kind {
+        WindowKind::Current => 0,
+        WindowKind::Past => 1,
+    }
+}
+
+fn code_kind(code: u8) -> Result<WindowKind, IoError> {
+    match code {
+        0 => Ok(WindowKind::Current),
+        1 => Ok(WindowKind::Past),
+        other => Err(inv(format!("unknown window-kind code {other}"))),
+    }
+}
+
+// --- sections -------------------------------------------------------------
+
+fn encode_meta(m: &CheckpointMeta) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u64(m.objects_ingested);
+    w.u64(m.slides_done);
+    w.u64(m.slide_objects);
+    w.u64(m.threads);
+    w.u64(m.snapshot_seq);
+    w.finish()
+}
+
+fn decode_meta(buf: &[u8]) -> Result<CheckpointMeta, IoError> {
+    let mut r = PayloadReader::new(buf);
+    let m = CheckpointMeta {
+        objects_ingested: r.u64("meta.objects_ingested")?,
+        slides_done: r.u64("meta.slides_done")?,
+        slide_objects: r.u64("meta.slide_objects")?,
+        threads: r.u64("meta.threads")?,
+        snapshot_seq: r.u64("meta.snapshot_seq")?,
+    };
+    if m.slide_objects == 0 {
+        return Err(inv("meta: slide_objects must be positive"));
+    }
+    r.expect_exhausted("meta")?;
+    Ok(m)
+}
+
+fn encode_spec(query: &SurgeQuery, spec: &DetectorSpec) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    put_rect(&mut w, &query.area);
+    w.f64(query.region.width);
+    w.f64(query.region.height);
+    put_windows(&mut w, &query.windows);
+    w.f64(query.alpha);
+    match spec {
+        DetectorSpec::Cell {
+            bound,
+            sweep,
+            shards,
+        } => {
+            w.u8(0);
+            w.u8(match bound {
+                BoundMode::Combined => 0,
+                BoundMode::StaticOnly => 1,
+            });
+            w.u8(match sweep {
+                SweepMode::Persistent => 0,
+                SweepMode::Rebuild => 1,
+            });
+            w.u64(*shards as u64);
+        }
+        DetectorSpec::Base { pruned } => {
+            w.u8(1);
+            w.u8(u8::from(*pruned));
+        }
+        DetectorSpec::TopK { k } => {
+            w.u8(2);
+            w.u64(*k as u64);
+        }
+    }
+    w.finish()
+}
+
+fn decode_spec(buf: &[u8]) -> Result<(SurgeQuery, DetectorSpec), IoError> {
+    let mut r = PayloadReader::new(buf);
+    let area = get_rect(&mut r, "spec.area")?;
+    let width = r.f64("spec.region.width")?;
+    let height = r.f64("spec.region.height")?;
+    if !(width > 0.0 && width.is_finite() && height > 0.0 && height.is_finite()) {
+        return Err(inv("spec: region extents must be positive and finite"));
+    }
+    let windows = get_windows(&mut r, "spec.windows")?;
+    let alpha = r.f64("spec.alpha")?;
+    if !(0.0..1.0).contains(&alpha) {
+        return Err(inv(format!("spec: alpha {alpha} outside [0, 1)")));
+    }
+    let query = SurgeQuery::new(
+        area,
+        surge_core::RegionSize::new(width, height),
+        windows,
+        alpha,
+    );
+    let spec = match r.u8("spec.kind")? {
+        0 => DetectorSpec::Cell {
+            bound: match r.u8("spec.bound")? {
+                0 => BoundMode::Combined,
+                1 => BoundMode::StaticOnly,
+                other => return Err(inv(format!("unknown bound-mode code {other}"))),
+            },
+            sweep: match r.u8("spec.sweep")? {
+                0 => SweepMode::Persistent,
+                1 => SweepMode::Rebuild,
+                other => return Err(inv(format!("unknown sweep-mode code {other}"))),
+            },
+            shards: r.u64("spec.shards")? as usize,
+        },
+        1 => DetectorSpec::Base {
+            pruned: r.u8("spec.pruned")? != 0,
+        },
+        2 => DetectorSpec::TopK {
+            k: {
+                let k = r.u64("spec.k")? as usize;
+                if k == 0 {
+                    return Err(inv("spec: k must be positive"));
+                }
+                k
+            },
+        },
+        other => return Err(inv(format!("unknown detector-spec code {other}"))),
+    };
+    r.expect_exhausted("spec")?;
+    Ok((query, spec))
+}
+
+fn encode_engine(e: &EngineState) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    put_windows(&mut w, &e.windows);
+    w.u64(e.now);
+    w.u64(e.last_created);
+    w.u8(u8::from(e.started));
+    match e.last_arrival {
+        Some((t, id)) => {
+            w.u8(1);
+            w.u64(t);
+            w.u64(id);
+        }
+        None => w.u8(0),
+    }
+    for objs in [&e.current, &e.past] {
+        w.u64(objs.len() as u64);
+        for o in objs {
+            put_object(&mut w, o);
+        }
+    }
+    w.finish()
+}
+
+fn decode_engine(buf: &[u8]) -> Result<EngineState, IoError> {
+    let mut r = PayloadReader::new(buf);
+    let windows = get_windows(&mut r, "engine.windows")?;
+    let now = r.u64("engine.now")?;
+    let last_created = r.u64("engine.last_created")?;
+    let started = r.u8("engine.started")? != 0;
+    let last_arrival = match r.u8("engine.last_arrival")? {
+        0 => None,
+        1 => Some((
+            r.u64("engine.last_arrival.t")?,
+            r.u64("engine.last_arrival.id")?,
+        )),
+        other => return Err(inv(format!("bad last_arrival flag {other}"))),
+    };
+    let mut lists = Vec::with_capacity(2);
+    for what in ["engine.current", "engine.past"] {
+        let n = r.u64(what)?;
+        let mut objs = Vec::with_capacity(n.min(1 << 24) as usize);
+        for _ in 0..n {
+            objs.push(get_object(&mut r, what)?);
+        }
+        lists.push(objs);
+    }
+    let past = lists.pop().expect("two lists");
+    let current = lists.pop().expect("two lists");
+    r.expect_exhausted("engine")?;
+    Ok(EngineState {
+        windows,
+        now,
+        last_created,
+        started,
+        last_arrival,
+        current,
+        past,
+    })
+}
+
+fn put_rect_state(w: &mut PayloadWriter, r: &RectState) {
+    w.u64(r.id);
+    put_rect(w, &r.rect);
+    w.f64(r.weight);
+    w.u8(kind_code(r.kind));
+    w.u32(r.level);
+}
+
+fn get_rect_state(r: &mut PayloadReader<'_>, what: &str) -> Result<RectState, IoError> {
+    Ok(RectState {
+        id: r.u64(what)?,
+        rect: get_rect(r, what)?,
+        weight: r.f64(what)?,
+        kind: code_kind(r.u8(what)?)?,
+        level: r.u32(what)?,
+    })
+}
+
+fn put_cand(w: &mut PayloadWriter, c: &CandidateState) {
+    match c {
+        CandidateState::Stale => w.u8(0),
+        CandidateState::Valid { point, wc, wp } => {
+            w.u8(1);
+            w.f64(point.x);
+            w.f64(point.y);
+            w.f64(*wc);
+            w.f64(*wp);
+        }
+        CandidateState::Infeasible => w.u8(2),
+        CandidateState::Absent => w.u8(3),
+    }
+}
+
+fn get_cand(r: &mut PayloadReader<'_>, what: &str) -> Result<CandidateState, IoError> {
+    match r.u8(what)? {
+        0 => Ok(CandidateState::Stale),
+        1 => Ok(CandidateState::Valid {
+            point: Point::new(r.f64(what)?, r.f64(what)?),
+            wc: r.f64(what)?,
+            wp: r.f64(what)?,
+        }),
+        2 => Ok(CandidateState::Infeasible),
+        3 => Ok(CandidateState::Absent),
+        other => Err(inv(format!("{what}: unknown candidate code {other}"))),
+    }
+}
+
+fn encode_detector(d: &DetectorState) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.str(&d.name);
+    w.u32(d.levels);
+    w.u64(d.stats.events);
+    w.u64(d.stats.new_events);
+    w.u64(d.stats.searches);
+    w.u64(d.stats.events_triggering_search);
+    w.u64(d.rects.len() as u64);
+    for r in &d.rects {
+        put_rect_state(&mut w, r);
+    }
+    w.u64(d.cells.len() as u64);
+    for c in &d.cells {
+        w.i64(c.id.0);
+        w.i64(c.id.1);
+        w.u64(c.rects.len() as u64);
+        for r in &c.rects {
+            put_rect_state(&mut w, r);
+        }
+        for floats in [&c.us, &c.ud] {
+            w.u64(floats.len() as u64);
+            for &f in floats.iter() {
+                w.f64(f);
+            }
+        }
+        w.u64(c.cand.len() as u64);
+        for cand in &c.cand {
+            put_cand(&mut w, cand);
+        }
+    }
+    w.u64(d.incumbents.len() as u64);
+    for inc in &d.incumbents {
+        match inc {
+            Some((p, s)) => {
+                w.u8(1);
+                w.f64(p.x);
+                w.f64(p.y);
+                w.f64(*s);
+            }
+            None => w.u8(0),
+        }
+    }
+    w.finish()
+}
+
+fn decode_detector(buf: &[u8]) -> Result<DetectorState, IoError> {
+    let mut r = PayloadReader::new(buf);
+    let name = r.str("detector.name")?;
+    let levels = r.u32("detector.levels")?;
+    let stats = DetectorStats {
+        events: r.u64("detector.stats")?,
+        new_events: r.u64("detector.stats")?,
+        searches: r.u64("detector.stats")?,
+        events_triggering_search: r.u64("detector.stats")?,
+    };
+    let n_rects = r.u64("detector.rects")?;
+    let mut rects = Vec::with_capacity(n_rects.min(1 << 24) as usize);
+    for _ in 0..n_rects {
+        rects.push(get_rect_state(&mut r, "detector.rect")?);
+    }
+    let n_cells = r.u64("detector.cells")?;
+    let mut cells = Vec::with_capacity(n_cells.min(1 << 24) as usize);
+    for _ in 0..n_cells {
+        let id = (r.i64("cell.id")?, r.i64("cell.id")?);
+        let n = r.u64("cell.rects")?;
+        let mut cr = Vec::with_capacity(n.min(1 << 24) as usize);
+        for _ in 0..n {
+            cr.push(get_rect_state(&mut r, "cell.rect")?);
+        }
+        let mut floats = Vec::with_capacity(2);
+        for what in ["cell.us", "cell.ud"] {
+            let n = r.u64(what)?;
+            let mut v = Vec::with_capacity(n.min(1 << 20) as usize);
+            for _ in 0..n {
+                v.push(r.f64(what)?);
+            }
+            floats.push(v);
+        }
+        let ud = floats.pop().expect("two");
+        let us = floats.pop().expect("two");
+        let n = r.u64("cell.cand")?;
+        let mut cand = Vec::with_capacity(n.min(1 << 20) as usize);
+        for _ in 0..n {
+            cand.push(get_cand(&mut r, "cell.cand")?);
+        }
+        cells.push(CellState {
+            id,
+            rects: cr,
+            us,
+            ud,
+            cand,
+        });
+    }
+    let n_inc = r.u64("detector.incumbents")?;
+    let mut incumbents = Vec::with_capacity(n_inc.min(1 << 20) as usize);
+    for _ in 0..n_inc {
+        incumbents.push(match r.u8("incumbent")? {
+            0 => None,
+            1 => Some((
+                Point::new(r.f64("incumbent")?, r.f64("incumbent")?),
+                r.f64("incumbent")?,
+            )),
+            other => return Err(inv(format!("bad incumbent flag {other}"))),
+        });
+    }
+    r.expect_exhausted("detector")?;
+    Ok(DetectorState {
+        name,
+        levels,
+        cells,
+        rects,
+        incumbents,
+        stats,
+    })
+}
+
+fn encode_answers(answers: &[Vec<RegionAnswer>]) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u64(answers.len() as u64);
+    for flush in answers {
+        w.u64(flush.len() as u64);
+        for a in flush {
+            w.f64(a.point.x);
+            w.f64(a.point.y);
+            w.f64(a.score);
+        }
+    }
+    w.finish()
+}
+
+fn decode_answers(buf: &[u8], query: &SurgeQuery) -> Result<Vec<Vec<RegionAnswer>>, IoError> {
+    let mut r = PayloadReader::new(buf);
+    let n = r.u64("answers")?;
+    let mut answers = Vec::with_capacity(n.min(1 << 24) as usize);
+    for _ in 0..n {
+        let m = r.u64("answers.flush")?;
+        let mut flush = Vec::with_capacity(m.min(1 << 16) as usize);
+        for _ in 0..m {
+            let p = Point::new(r.f64("answer")?, r.f64("answer")?);
+            let score = r.f64("answer")?;
+            // Every driver reports `RegionAnswer::from_point` answers, so
+            // the region reconstructs bit-exactly from the point.
+            flush.push(RegionAnswer::from_point(p, query.region, score));
+        }
+        answers.push(flush);
+    }
+    r.expect_exhausted("answers")?;
+    Ok(answers)
+}
+
+impl CheckpointState {
+    /// Serializes into the snapshot section container.
+    pub fn to_snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.push_section(tags::META, encode_meta(&self.meta));
+        s.push_section(tags::SPEC, encode_spec(&self.query, &self.spec));
+        s.push_section(tags::ENGINE, encode_engine(&self.engine));
+        s.push_section(tags::DETECTOR, encode_detector(&self.detector));
+        s.push_section(tags::ANSWERS, encode_answers(&self.answers));
+        s
+    }
+
+    /// Decodes from a snapshot container, validating every section.
+    pub fn from_snapshot(snap: &Snapshot) -> Result<Self, IoError> {
+        let section = |tag: u32, name: &str| {
+            snap.section(tag)
+                .ok_or_else(|| inv(format!("snapshot is missing the {name} section")))
+        };
+        let meta = decode_meta(section(tags::META, "META")?)?;
+        let (query, spec) = decode_spec(section(tags::SPEC, "SPEC")?)?;
+        let engine = decode_engine(section(tags::ENGINE, "ENGINE")?)?;
+        let detector = decode_detector(section(tags::DETECTOR, "DETECTOR")?)?;
+        let answers = decode_answers(section(tags::ANSWERS, "ANSWERS")?, &query)?;
+        Ok(CheckpointState {
+            meta,
+            spec,
+            query,
+            engine,
+            detector,
+            answers,
+        })
+    }
+}

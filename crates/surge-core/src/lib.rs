@@ -19,6 +19,10 @@
 //! * [`reduction`] — the SURGE→cSPOT mapping (Theorem 1 of the paper).
 //! * [`detector`] — the [`BurstDetector`] / [`TopKDetector`] traits every
 //!   algorithm implements.
+//! * [`checkpoint`] — the logical state model behind durable snapshots:
+//!   [`EngineState`] for the window engines and the
+//!   [`CheckpointableDetector`] capture/restore contract for detectors
+//!   (serialized by `surge-io`/`surge-checkpoint`).
 //!
 //! Downstream crates (`surge-exact`, `surge-approx`, `surge-baseline`,
 //! `surge-topk`) implement the paper's algorithms on top of this model, and
@@ -28,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod detector;
 pub mod event;
 pub mod geom;
@@ -40,6 +45,10 @@ pub mod score;
 pub mod store;
 pub mod time;
 
+pub use checkpoint::{
+    CandidateState, CellState, CheckpointableDetector, DetectorState, EngineState, RectState,
+    RestoreError,
+};
 pub use detector::{
     BurstDetector, DetectorStats, IncrementalDetector, ShardAnswer, ShardRunStats, ShardWorker,
     ShardWorkerStats, ShardedIngest, TopKDetector,

@@ -20,8 +20,9 @@
 use std::collections::BTreeSet;
 
 use surge_core::{
-    object_to_rect, BurstDetector, BurstParams, CellId, CellStore, DetectorStats, Event, EventKind,
-    GridSpec, Point, Rect, RegionAnswer, ShardedCellStore, SurgeQuery, TotalF64, WindowKind,
+    object_to_rect, BurstDetector, BurstParams, CandidateState, CellId, CellState, CellStore,
+    CheckpointableDetector, DetectorState, DetectorStats, Event, EventKind, GridSpec, Point, Rect,
+    RectState, RegionAnswer, RestoreError, ShardedCellStore, SurgeQuery, TotalF64, WindowKind,
 };
 
 use crate::psweep::{PersistentCellSweep, SweepMode, SweepPool};
@@ -166,6 +167,149 @@ impl BaseDetector {
     }
 }
 
+/// Checkpoint capture/restore. Base has no dynamic bounds, so the logical
+/// per-cell state is the rectangle set, the static-bound accumulator, and
+/// the cached best point: `cand[0]` encodes `(stale, best)` — `Stale` for
+/// stale cells, `Valid { point, wc: score, wp: 0 }` for a fresh candidate,
+/// `Absent` for a fresh "nothing in domain" outcome, `Infeasible` for
+/// domain-less cells. Score keys are derived, exactly as the live paths
+/// derive them.
+impl CheckpointableDetector for BaseDetector {
+    fn capture_state(&self) -> DetectorState {
+        let mut cells: Vec<CellState> = Vec::with_capacity(self.cell_count());
+        self.cells.for_each(|id, cell| {
+            let cand = if cell.stale {
+                CandidateState::Stale
+            } else if cell.domain.is_none() {
+                CandidateState::Infeasible
+            } else {
+                match cell.best {
+                    Some((point, score)) => CandidateState::Valid {
+                        point,
+                        wc: score,
+                        wp: 0.0,
+                    },
+                    None => CandidateState::Absent,
+                }
+            };
+            cells.push(CellState {
+                id,
+                rects: cell
+                    .sweep
+                    .entries()
+                    .map(|(oid, r)| RectState {
+                        id: oid,
+                        rect: r.rect,
+                        weight: r.weight,
+                        kind: r.kind,
+                        level: 0,
+                    })
+                    .collect(),
+                us: vec![cell.us_weight],
+                ud: Vec::new(),
+                cand: vec![cand],
+            });
+        });
+        cells.sort_unstable_by_key(|c| c.id);
+        DetectorState {
+            name: self.name().to_string(),
+            levels: 1,
+            cells,
+            rects: Vec::new(),
+            incumbents: Vec::new(),
+            stats: self.stats,
+        }
+    }
+
+    fn restore_state(&mut self, state: &DetectorState) -> Result<(), RestoreError> {
+        if self.cell_count() != 0 {
+            return Err(RestoreError::new(
+                "restore target must be a freshly constructed detector",
+            ));
+        }
+        if state.levels != 1 {
+            return Err(RestoreError::new(format!(
+                "Base state has 1 level, snapshot has {}",
+                state.levels
+            )));
+        }
+        if state.name != self.name() {
+            return Err(RestoreError::new(format!(
+                "snapshot captured a {:?} detector, restoring into {:?}",
+                state.name,
+                self.name()
+            )));
+        }
+        for cp in &state.cells {
+            let (Some(&us), Some(&cand)) = (cp.us.first(), cp.cand.first()) else {
+                return Err(RestoreError::new(format!(
+                    "cell {:?} is missing level-0 state",
+                    cp.id
+                )));
+            };
+            let cell_rect = self.grid.cell_rect(cp.id);
+            let domain = self
+                .query
+                .point_domain()
+                .and_then(|d| d.intersection(&cell_rect));
+            let mut sweep =
+                self.pool
+                    .take(domain, self.params, crate::psweep::SweepMode::Persistent);
+            for r in &cp.rects {
+                sweep.insert(r.id, r.rect, r.weight);
+                if r.kind == WindowKind::Past {
+                    sweep.grow(r.id);
+                }
+            }
+            if sweep.is_empty() {
+                return Err(RestoreError::new(format!(
+                    "cell {:?} has no rectangles (empty cells are dropped, never captured)",
+                    cp.id
+                )));
+            }
+            let (best, stale) = match cand {
+                CandidateState::Stale => (None, true),
+                CandidateState::Infeasible => {
+                    if domain.is_some() {
+                        return Err(RestoreError::new(format!(
+                            "cell {:?}: snapshot says infeasible, query domain disagrees",
+                            cp.id
+                        )));
+                    }
+                    (None, false)
+                }
+                CandidateState::Absent => (None, false),
+                CandidateState::Valid { point, wc, .. } => (Some((point, wc)), false),
+            };
+            // Derive the score key exactly as the live paths do: static
+            // bound for stale cells, candidate score for fresh ones.
+            let key = if stale {
+                if domain.is_some() {
+                    TotalF64(us / self.params.current_norm)
+                } else {
+                    TotalF64(f64::NEG_INFINITY)
+                }
+            } else {
+                TotalF64(best.map_or(f64::NEG_INFINITY, |(_, s)| s))
+            };
+            if self.cells.contains(cp.id) {
+                return Err(RestoreError::new(format!("duplicate cell {:?}", cp.id)));
+            }
+            self.cells.get_or_insert_with(cp.id, || BaseCell {
+                sweep,
+                best,
+                score_key: key,
+                domain,
+                us_weight: us,
+                stale,
+            });
+            self.ranked.insert((key, cp.id));
+        }
+        self.stats = state.stats;
+        Ok(())
+    }
+}
+
 impl BurstDetector for BaseDetector {
     fn on_event(&mut self, event: &Event) {
         self.stats.events += 1;
@@ -283,6 +427,93 @@ mod tests {
 
     fn obj(id: u64, w: f64, x: f64, y: f64, t: u64) -> SpatialObject {
         SpatialObject::new(id, w, Point::new(x, y), t)
+    }
+
+    #[test]
+    fn capture_restore_resumes_bit_identically() {
+        let events: Vec<Event> = (0..90u64)
+            .flat_map(|i| {
+                let o = obj(
+                    i,
+                    1.0 + (i % 3) as f64,
+                    (i % 7) as f64,
+                    (i % 5) as f64,
+                    i * 9,
+                );
+                let mut evs = vec![Event::new_arrival(o)];
+                if i >= 30 && i % 3 == 0 {
+                    let p = i - 30;
+                    let old = obj(
+                        p,
+                        1.0 + (p % 3) as f64,
+                        (p % 7) as f64,
+                        (p % 5) as f64,
+                        p * 9,
+                    );
+                    evs.push(Event::grown(old, i * 9));
+                }
+                if i >= 60 && i % 3 == 0 {
+                    let p = i - 60;
+                    let old = obj(
+                        p,
+                        1.0 + (p % 3) as f64,
+                        (p % 7) as f64,
+                        (p % 5) as f64,
+                        p * 9,
+                    );
+                    evs.push(Event::expired(old, i * 9));
+                }
+                evs
+            })
+            .collect();
+        for pruned in [false, true] {
+            let build = |q| {
+                if pruned {
+                    BaseDetector::with_pruning(q)
+                } else {
+                    BaseDetector::new(q)
+                }
+            };
+            for cut in [0usize, 40, events.len()] {
+                let mut live = build(query(0.5));
+                for ev in &events[..cut] {
+                    live.on_event(ev);
+                }
+                let state = live.capture_state();
+                let mut resumed = build(query(0.5));
+                resumed.restore_state(&state).unwrap();
+                assert_eq!(resumed.capture_state(), state, "capture is stable");
+                for (i, ev) in events[cut..].iter().enumerate() {
+                    live.on_event(ev);
+                    resumed.on_event(ev);
+                    let (a, b) = (live.current(), resumed.current());
+                    match (a, b) {
+                        (Some(x), Some(y)) => {
+                            assert_eq!(
+                                x.score.to_bits(),
+                                y.score.to_bits(),
+                                "pruned {pruned} cut {cut} ev {i}"
+                            );
+                            assert_eq!(x.point.x.to_bits(), y.point.x.to_bits());
+                            assert_eq!(x.point.y.to_bits(), y.point.y.to_bits());
+                        }
+                        (None, None) => {}
+                        other => panic!("pruned {pruned} cut {cut} ev {i}: {other:?}"),
+                    }
+                }
+                assert_eq!(resumed.stats(), live.stats());
+                assert_eq!(resumed.cell_count(), live.cell_count());
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_variant() {
+        let mut eager = BaseDetector::new(query(0.5));
+        eager.on_event(&Event::new_arrival(obj(0, 1.0, 0.0, 0.0, 0)));
+        let state = eager.capture_state();
+        let mut pruned = BaseDetector::with_pruning(query(0.5));
+        assert!(pruned.restore_state(&state).is_err());
     }
 
     #[test]

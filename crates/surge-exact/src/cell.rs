@@ -30,10 +30,11 @@
 use std::collections::{BTreeSet, HashMap};
 
 use surge_core::{
-    object_to_rect, shard_of_cell, BurstDetector, BurstParams, CellId, DetectorStats, Event,
-    EventKind, GridSpec, IncrementalDetector, Point, Rect, RegionAnswer, RegionSize, ShardAnswer,
-    ShardRunStats, ShardWorker, ShardWorkerStats, ShardedCellStore, ShardedIngest, SurgeQuery,
-    TotalF64, WindowKind,
+    object_to_rect, shard_of_cell, BurstDetector, BurstParams, CandidateState, CellId, CellState,
+    CheckpointableDetector, DetectorState, DetectorStats, Event, EventKind, GridSpec,
+    IncrementalDetector, Point, Rect, RectState, RegionAnswer, RegionSize, RestoreError,
+    ShardAnswer, ShardRunStats, ShardWorker, ShardWorkerStats, ShardedCellStore, ShardedIngest,
+    SurgeQuery, TotalF64, WindowKind,
 };
 
 use crate::psweep::{PersistentCellSweep, SweepMode, SweepPool, SweepStats};
@@ -663,6 +664,150 @@ impl CellCspot {
     }
 }
 
+/// Checkpoint capture/restore (see `surge_core::checkpoint`): the logical
+/// per-cell state is the rectangle set plus the floating-point accumulators
+/// whose bits depend on event history (`us_weight`, `ud`, Lemma-4 candidate
+/// sums). Everything derived — persistent sweep structures, shard queues,
+/// heap keys — is rebuilt deterministically on restore, so a restored
+/// detector's answers, and the searches behind them, continue the
+/// uninterrupted run bit for bit.
+impl CheckpointableDetector for CellCspot {
+    fn capture_state(&self) -> DetectorState {
+        let mut cells: Vec<CellState> = Vec::with_capacity(self.cell_count());
+        for shard in self.store.shards() {
+            for (&id, cell) in shard {
+                cells.push(CellState {
+                    id,
+                    rects: cell
+                        .sweep
+                        .entries()
+                        .map(|(oid, r)| RectState {
+                            id: oid,
+                            rect: r.rect,
+                            weight: r.weight,
+                            kind: r.kind,
+                            level: 0,
+                        })
+                        .collect(),
+                    us: vec![cell.us_weight],
+                    ud: vec![cell.ud],
+                    cand: vec![match cell.cand {
+                        CandState::Stale => CandidateState::Stale,
+                        CandState::Infeasible => CandidateState::Infeasible,
+                        CandState::Valid(c) => CandidateState::Valid {
+                            point: c.point,
+                            wc: c.wc,
+                            wp: c.wp,
+                        },
+                    }],
+                });
+            }
+        }
+        cells.sort_unstable_by_key(|c| c.id);
+        DetectorState {
+            name: self.name().to_string(),
+            levels: 1,
+            cells,
+            rects: Vec::new(),
+            incumbents: Vec::new(),
+            stats: self.stats,
+        }
+    }
+
+    fn restore_state(&mut self, state: &DetectorState) -> Result<(), RestoreError> {
+        if self.cell_count() != 0 {
+            return Err(RestoreError::new(
+                "restore target must be a freshly constructed detector",
+            ));
+        }
+        if state.levels != 1 {
+            return Err(RestoreError::new(format!(
+                "CellCspot state has 1 level, snapshot has {}",
+                state.levels
+            )));
+        }
+        if state.name != self.name() {
+            return Err(RestoreError::new(format!(
+                "snapshot captured a {:?} detector, restoring into {:?}",
+                state.name,
+                self.name()
+            )));
+        }
+        let ctx = self.ctx;
+        for cp in &state.cells {
+            let (Some(&us), Some(&ud), Some(&cand)) =
+                (cp.us.first(), cp.ud.first(), cp.cand.first())
+            else {
+                return Err(RestoreError::new(format!(
+                    "cell {:?} is missing level-0 state",
+                    cp.id
+                )));
+            };
+            if cp.rects.is_empty() {
+                return Err(RestoreError::new(format!(
+                    "cell {:?} has no rectangles (empty cells are dropped, never captured)",
+                    cp.id
+                )));
+            }
+            let s = self.store.shard_of(cp.id);
+            let cell_rect = ctx.grid.cell_rect(cp.id);
+            let domain = ctx
+                .query
+                .point_domain()
+                .and_then(|d| d.intersection(&cell_rect));
+            let mut sweep = self.pools[s].take(domain, ctx.params, ctx.sweep_mode);
+            for r in &cp.rects {
+                sweep.insert(r.id, r.rect, r.weight);
+                if r.kind == WindowKind::Past {
+                    sweep.grow(r.id);
+                }
+            }
+            let cand = match cand {
+                CandidateState::Stale => CandState::Stale,
+                CandidateState::Infeasible => CandState::Infeasible,
+                CandidateState::Valid { point, wc, wp } => {
+                    CandState::Valid(Candidate { point, wc, wp })
+                }
+                CandidateState::Absent => {
+                    return Err(RestoreError::new(
+                        "CellCspot never records Absent candidates",
+                    ))
+                }
+            };
+            if matches!(cand, CandState::Infeasible) != domain.is_none() {
+                return Err(RestoreError::new(format!(
+                    "cell {:?}: candidate feasibility disagrees with the query domain",
+                    cp.id
+                )));
+            }
+            let mut cell = Cell {
+                sweep,
+                us_weight: us,
+                ud,
+                cand,
+                heap_key: TotalF64(f64::NEG_INFINITY),
+                domain,
+            };
+            // The live invariant: infeasible cells sink; feasible ones sit
+            // under their bound key. Derived, not captured — the key is a
+            // pure function of the captured accumulators.
+            let key = if matches!(cell.cand, CandState::Infeasible) {
+                TotalF64(f64::NEG_INFINITY)
+            } else {
+                cell_bound_key(&cell, &ctx.params, ctx.mode)
+            };
+            cell.heap_key = key;
+            if self.store.shard_mut(s).insert(cp.id, cell).is_some() {
+                return Err(RestoreError::new(format!("duplicate cell {:?}", cp.id)));
+            }
+            self.queues[s].insert((key, cp.id));
+        }
+        self.stats = state.stats;
+        self.searches_at_last_current = state.stats.searches;
+        Ok(())
+    }
+}
+
 impl IncrementalDetector for CellCspot {
     type Job = DirtyCellJob;
     type Outcome = DirtyCellResult;
@@ -1166,6 +1311,109 @@ mod tests {
             assert_eq!(d.stats(), s0);
             assert_eq!(d.cell_count(), detectors[0].cell_count());
         }
+    }
+
+    #[test]
+    fn capture_restore_resumes_bit_identically() {
+        use surge_core::CheckpointableDetector;
+        let events: Vec<Event> = (0..160u64)
+            .flat_map(|i| {
+                let o = obj(
+                    i,
+                    1.0 + (i % 4) as f64,
+                    (i % 9) as f64,
+                    (i % 6) as f64,
+                    i * 7,
+                );
+                let mut evs = vec![Event::new_arrival(o)];
+                if i >= 40 && i % 2 == 0 {
+                    let p = i - 40;
+                    let old = obj(
+                        p,
+                        1.0 + (p % 4) as f64,
+                        (p % 9) as f64,
+                        (p % 6) as f64,
+                        p * 7,
+                    );
+                    evs.push(Event::grown(old, i * 7));
+                }
+                if i >= 80 && i % 4 == 0 {
+                    let p = i - 80;
+                    let old = obj(
+                        p,
+                        1.0 + (p % 4) as f64,
+                        (p % 9) as f64,
+                        (p % 6) as f64,
+                        p * 7,
+                    );
+                    evs.push(Event::expired(old, i * 7));
+                }
+                evs
+            })
+            .collect();
+
+        for (mode, sweep_mode) in [
+            (BoundMode::Combined, SweepMode::Persistent),
+            (BoundMode::Combined, SweepMode::Rebuild),
+            (BoundMode::StaticOnly, SweepMode::Persistent),
+        ] {
+            for cut in [0usize, 1, 57, 120, events.len()] {
+                let mut live = CellCspot::with_sweep_mode(query(0.5), mode, sweep_mode, 4);
+                for ev in &events[..cut] {
+                    live.on_event(ev);
+                    let _ = live.current();
+                }
+                let state = live.capture_state();
+                let mut resumed = CellCspot::with_sweep_mode(query(0.5), mode, sweep_mode, 4);
+                resumed.restore_state(&state).unwrap();
+                assert_eq!(resumed.capture_state(), state, "capture is stable");
+
+                for (i, ev) in events[cut..].iter().enumerate() {
+                    live.on_event(ev);
+                    resumed.on_event(ev);
+                    let (a, b) = (live.current(), resumed.current());
+                    match (a, b) {
+                        (Some(x), Some(y)) => {
+                            assert_eq!(x.score.to_bits(), y.score.to_bits(), "cut {cut} ev {i}");
+                            assert_eq!(x.point.x.to_bits(), y.point.x.to_bits());
+                            assert_eq!(x.point.y.to_bits(), y.point.y.to_bits());
+                        }
+                        (None, None) => {}
+                        other => panic!("cut {cut} ev {i}: {other:?}"),
+                    }
+                }
+                // The restored run continues the uninterrupted counters: the
+                // same cells were searched at the same points.
+                assert_eq!(resumed.stats(), live.stats(), "cut {cut}");
+                assert_eq!(resumed.cell_count(), live.cell_count());
+                assert_eq!(resumed.dirty_cell_count(), live.dirty_cell_count());
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_targets() {
+        use surge_core::CheckpointableDetector;
+        let mut d = CellCspot::new(query(0.5));
+        d.on_event(&Event::new_arrival(obj(0, 1.0, 0.0, 0.0, 0)));
+        let state = d.capture_state();
+
+        // Non-empty target.
+        assert!(d.restore_state(&state).is_err());
+        // Wrong detector name.
+        let mut bccs = CellCspot::with_mode(query(0.5), BoundMode::StaticOnly);
+        assert!(bccs.restore_state(&state).is_err());
+        // Corrupted level count.
+        let mut bad = state.clone();
+        bad.levels = 2;
+        let mut fresh = CellCspot::new(query(0.5));
+        assert!(fresh.restore_state(&bad).is_err());
+        // Duplicate cell entries.
+        let mut bad = state.clone();
+        let dup = bad.cells[0].clone();
+        bad.cells.push(dup);
+        let mut fresh = CellCspot::new(query(0.5));
+        assert!(fresh.restore_state(&bad).is_err());
     }
 
     #[test]

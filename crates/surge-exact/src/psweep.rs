@@ -264,6 +264,16 @@ impl PersistentCellSweep {
         self.entries.iter().map(|e| e.rect).collect()
     }
 
+    /// The resident rectangles with their object ids, in ascending id order
+    /// — the logical state a checkpoint captures. Re-inserting these into a
+    /// fresh sweep (via [`insert`](Self::insert) then
+    /// [`grow`](Self::grow) for past-window entries) reproduces a state
+    /// whose searches are bit-identical to this one's: every derived
+    /// structure is defined by a total order over exactly this set.
+    pub fn entries(&self) -> impl Iterator<Item = (ObjectId, SweepRect)> + '_ {
+        self.entries.iter().map(|e| (e.id, e.rect))
+    }
+
     /// Whether the incrementally maintained structures are live (false once
     /// the threshold tripped or in [`SweepMode::Rebuild`]).
     #[inline]

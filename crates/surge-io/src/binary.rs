@@ -31,17 +31,47 @@ pub const OBJECTS_MAGIC: &[u8; 8] = b"SURGEOB1";
 /// Size of one encoded record in bytes.
 pub const RECORD_SIZE: usize = 40;
 
+/// Encodes one object as the fixed 40-byte record (id, weight bits, x bits,
+/// y bits, created). Shared with the checkpoint WAL, which frames exactly
+/// this record with a per-record CRC.
+pub fn encode_record(o: &SpatialObject) -> [u8; RECORD_SIZE] {
+    let mut rec = [0u8; RECORD_SIZE];
+    rec[0..8].copy_from_slice(&o.id.to_le_bytes());
+    rec[8..16].copy_from_slice(&o.weight.to_bits().to_le_bytes());
+    rec[16..24].copy_from_slice(&o.pos.x.to_bits().to_le_bytes());
+    rec[24..32].copy_from_slice(&o.pos.y.to_bits().to_le_bytes());
+    rec[32..40].copy_from_slice(&o.created.to_le_bytes());
+    rec
+}
+
+/// Decodes one 40-byte record, validating weight/coordinate sanity. `at` is
+/// the record index reported in errors.
+pub fn decode_record(rec: &[u8; RECORD_SIZE], at: u64) -> Result<SpatialObject> {
+    let id = u64_from(&rec[0..8]);
+    let weight = f64::from_bits(u64_from(&rec[8..16]));
+    let x = f64::from_bits(u64_from(&rec[16..24]));
+    let y = f64::from_bits(u64_from(&rec[24..32]));
+    let created = u64_from(&rec[32..40]);
+    if !(weight >= 0.0 && weight.is_finite()) {
+        return Err(IoError::Invariant(format!(
+            "record {at}: weight must be finite and non-negative, got {weight}"
+        )));
+    }
+    if !x.is_finite() || !y.is_finite() {
+        return Err(IoError::Invariant(format!(
+            "record {at}: coordinates must be finite"
+        )));
+    }
+    Ok(SpatialObject::new(id, weight, Point::new(x, y), created))
+}
+
 /// Writes objects in the binary format.
 pub fn write_objects_binary<W: Write>(out: W, objects: &[SpatialObject]) -> Result<()> {
     let mut out = BufWriter::new(out);
     out.write_all(OBJECTS_MAGIC)?;
     out.write_all(&(objects.len() as u64).to_le_bytes())?;
     for o in objects {
-        out.write_all(&o.id.to_le_bytes())?;
-        out.write_all(&o.weight.to_bits().to_le_bytes())?;
-        out.write_all(&o.pos.x.to_bits().to_le_bytes())?;
-        out.write_all(&o.pos.y.to_bits().to_le_bytes())?;
-        out.write_all(&o.created.to_le_bytes())?;
+        out.write_all(&encode_record(o))?;
     }
     out.flush()?;
     Ok(())
@@ -92,28 +122,15 @@ pub fn read_objects_binary<R: Read>(input: R) -> Result<Vec<SpatialObject>> {
     let mut last_created = 0u64;
     for i in 0..count {
         read_exact_or(&mut input, &mut rec, i, "record")?;
-        let id = u64_from(&rec[0..8]);
-        let weight = f64::from_bits(u64_from(&rec[8..16]));
-        let x = f64::from_bits(u64_from(&rec[16..24]));
-        let y = f64::from_bits(u64_from(&rec[24..32]));
-        let created = u64_from(&rec[32..40]);
-        if !(weight >= 0.0 && weight.is_finite()) {
+        let o = decode_record(&rec, i)?;
+        if o.created < last_created {
             return Err(IoError::Invariant(format!(
-                "record {i}: weight must be finite and non-negative, got {weight}"
+                "record {i}: created {} regresses below {last_created}",
+                o.created
             )));
         }
-        if !x.is_finite() || !y.is_finite() {
-            return Err(IoError::Invariant(format!(
-                "record {i}: coordinates must be finite"
-            )));
-        }
-        if created < last_created {
-            return Err(IoError::Invariant(format!(
-                "record {i}: created {created} regresses below {last_created}"
-            )));
-        }
-        last_created = created;
-        objects.push(SpatialObject::new(id, weight, Point::new(x, y), created));
+        last_created = o.created;
+        objects.push(o);
     }
     // Trailing garbage means the file was not produced by this writer.
     let mut probe = [0u8; 1];

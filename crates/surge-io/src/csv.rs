@@ -7,12 +7,21 @@
 //! id,weight,x,y,created_ms
 //! 0,42.5,12.4823,41.8901,0
 //! 1,7,12.5010,41.9002,118
+//! # surge-objects-end 2
 //! ```
 //!
 //! Floats are written with Rust's shortest round-trip formatting, so a
 //! write→read cycle reproduces every object bit-for-bit. Records must be in
 //! non-decreasing `created_ms` order — the order the sliding-window engine
 //! requires — and the reader enforces this.
+//!
+//! The trailing `# surge-objects-end N` footer makes truncation detectable:
+//! a text format with no record count would otherwise accept any prefix
+//! that happens to end at a line boundary as a complete (shorter) stream.
+//! The reader requires the footer and validates its count, so every
+//! truncation of a well-formed file yields a precise [`IoError`] — the same
+//! no-silent-short-read contract the binary formats and the checkpoint WAL
+//! honor.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -26,6 +35,8 @@ use crate::error::{IoError, Result};
 pub const OBJECTS_HEADER: &str = "# surge-objects v1";
 /// Column-name line written after the header.
 pub const OBJECTS_COLUMNS: &str = "id,weight,x,y,created_ms";
+/// Prefix of the mandatory footer line; the record count follows it.
+pub const OBJECTS_FOOTER_PREFIX: &str = "# surge-objects-end ";
 
 /// Writes a stream of spatial objects in CSV form.
 ///
@@ -50,13 +61,16 @@ pub fn write_objects<'a, W: Write>(
 ) -> Result<()> {
     writeln!(out, "{OBJECTS_HEADER}")?;
     writeln!(out, "{OBJECTS_COLUMNS}")?;
+    let mut count = 0u64;
     for o in objects {
         writeln!(
             out,
             "{},{},{},{},{}",
             o.id, o.weight, o.pos.x, o.pos.y, o.created
         )?;
+        count += 1;
     }
+    writeln!(out, "{OBJECTS_FOOTER_PREFIX}{count}")?;
     out.flush()?;
     Ok(())
 }
@@ -114,10 +128,27 @@ pub fn read_objects<R: Read>(input: R) -> Result<Vec<SpatialObject>> {
     let mut objects = Vec::new();
     let mut line_no = 2u64;
     let mut last_created = 0u64;
+    let mut footer: Option<u64> = None;
     let mut handle = |line: String, line_no: u64, objects: &mut Vec<SpatialObject>| -> Result<()> {
         let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix(OBJECTS_FOOTER_PREFIX) {
+            if footer.is_some() {
+                return Err(IoError::Parse {
+                    at: line_no,
+                    message: "duplicate end-of-stream footer".into(),
+                });
+            }
+            footer = Some(parse_u64(rest.trim(), "footer count", line_no)?);
+            return Ok(());
+        }
         if trimmed.is_empty() || trimmed.starts_with('#') {
             return Ok(());
+        }
+        if footer.is_some() {
+            return Err(IoError::Parse {
+                at: line_no,
+                message: "record after the end-of-stream footer".into(),
+            });
         }
         let mut fields = trimmed.split(',');
         let mut next = |name: &str| {
@@ -164,7 +195,19 @@ pub fn read_objects<R: Read>(input: R) -> Result<Vec<SpatialObject>> {
         line_no += 1;
         handle(line?, line_no, &mut objects)?;
     }
-    Ok(objects)
+    // No footer means the file was cut off: a text stream with no record
+    // count would otherwise accept any line-boundary prefix as complete.
+    match footer {
+        None => Err(IoError::Parse {
+            at: line_no,
+            message: "truncated input: missing end-of-stream footer".into(),
+        }),
+        Some(declared) if declared != objects.len() as u64 => Err(IoError::Invariant(format!(
+            "footer declares {declared} records, found {}",
+            objects.len()
+        ))),
+        Some(_) => Ok(objects),
+    }
 }
 
 /// Reads objects from a file at `path`.
@@ -230,7 +273,7 @@ mod tests {
 
     #[test]
     fn tolerates_missing_column_line() {
-        let text = format!("{OBJECTS_HEADER}\n5,1.5,2,3,77\n");
+        let text = format!("{OBJECTS_HEADER}\n5,1.5,2,3,77\n{OBJECTS_FOOTER_PREFIX}1\n");
         let objs = read_objects(text.as_bytes()).unwrap();
         assert_eq!(objs.len(), 1);
         assert_eq!(objs[0].id, 5);
@@ -239,8 +282,52 @@ mod tests {
 
     #[test]
     fn skips_comments_and_blank_lines() {
-        let text = format!("{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n\n# note\n1,1,0,0,5\n");
+        let text = format!(
+            "{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n\n# note\n1,1,0,0,5\n{OBJECTS_FOOTER_PREFIX}1\n"
+        );
         assert_eq!(read_objects(text.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_missing_footer_as_truncation() {
+        let text = format!("{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n1,1,0,0,5\n");
+        let err = read_objects(text.as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { message, .. } => assert!(message.contains("footer"), "{message}"),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_footer_count_mismatch() {
+        let text =
+            format!("{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n1,1,0,0,5\n{OBJECTS_FOOTER_PREFIX}2\n");
+        assert!(matches!(
+            read_objects(text.as_bytes()),
+            Err(IoError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_records_after_footer() {
+        let text = format!(
+            "{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n1,1,0,0,5\n{OBJECTS_FOOTER_PREFIX}1\n2,1,0,0,6\n"
+        );
+        assert!(matches!(
+            read_objects(text.as_bytes()),
+            Err(IoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_footer() {
+        let text = format!(
+            "{OBJECTS_HEADER}\n{OBJECTS_COLUMNS}\n{OBJECTS_FOOTER_PREFIX}0\n{OBJECTS_FOOTER_PREFIX}0\n"
+        );
+        assert!(matches!(
+            read_objects(text.as_bytes()),
+            Err(IoError::Parse { .. })
+        ));
     }
 
     #[test]

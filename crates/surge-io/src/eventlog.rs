@@ -185,7 +185,14 @@ pub fn read_events<R: Read>(input: R) -> Result<Vec<Event>> {
         let object = SpatialObject::new(id, weight, Point::new(x, y), created);
         events.push(Event { kind, object, at });
     }
-    Ok(events)
+    // Trailing garbage means the file was not produced by this writer.
+    let mut probe = [0u8; 1];
+    match input.read(&mut probe)? {
+        0 => Ok(events),
+        _ => Err(IoError::Invariant(format!(
+            "trailing bytes after {count} declared records"
+        ))),
+    }
 }
 
 fn map_eof(e: std::io::Error, at: u64, what: &str) -> IoError {

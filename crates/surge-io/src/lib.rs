@@ -13,26 +13,42 @@
 //!   map rendering (the paper's §VII-G case-study figures).
 //! * [`config`] — textual save/load of [`surge_core::SurgeQuery`] for
 //!   reproducible experiment configurations.
+//! * [`checksum`] — table-driven CRC-32 shared by the durable formats.
+//! * [`snapshot`] — the checksummed, versioned section container behind
+//!   checkpoint snapshots (length-prefixed sections, CRC footer, atomic
+//!   write-then-rename) plus the CRC-framed record codec the checkpoint
+//!   WAL builds on.
 //!
 //! All decoders validate structural invariants (headers, record counts,
 //! timestamp monotonicity, weight/coordinate sanity) and report precise
-//! locations via [`IoError`].
+//! locations via [`IoError`]. Truncation is always an error, never a
+//! silently shorter result: the binary formats frame with counts, the CSV
+//! format carries a mandatory end-of-stream footer, and the snapshot/WAL
+//! formats checksum every byte.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod checksum;
 pub mod config;
 pub mod csv;
 pub mod error;
 pub mod eventlog;
 pub mod geojson;
+pub mod snapshot;
 
 pub use binary::{
-    read_objects_binary, read_objects_binary_from, write_objects_binary, write_objects_binary_to,
+    decode_record, encode_record, read_objects_binary, read_objects_binary_from,
+    write_objects_binary, write_objects_binary_to, RECORD_SIZE,
 };
+pub use checksum::{crc32, Crc32};
 pub use config::{query_from_str, query_to_string, read_query_from, write_query_to};
 pub use csv::{read_objects, read_objects_from, write_objects, write_objects_to};
 pub use error::{IoError, Result};
 pub use eventlog::{read_events, read_events_from, write_events, write_events_to, EventLogWriter};
 pub use geojson::{feature_collection, write_feature_collection_to, LabelledAnswer};
+pub use snapshot::{
+    frame_record, read_framed_record, read_snapshot_from, write_snapshot_atomic, FramedRecord,
+    PayloadReader, PayloadWriter, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};

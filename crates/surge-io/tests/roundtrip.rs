@@ -1,4 +1,11 @@
 //! Cross-format round-trip properties and engine→log→replay equivalence.
+//!
+//! Streams come from `surge-testkit` — the workspace's one canonical
+//! generator set (collision-heavy lattices, duplicate timestamps, arbitrary
+//! time axes) — so codec tests chew on exactly the stream shapes every
+//! other differential suite uses. Codec-specific extremes (subnormals,
+//! `u64::MAX`, negative zero) that the testkit's detector-oriented
+//! generators deliberately avoid are covered by targeted cases below.
 
 use proptest::prelude::*;
 use surge_core::{Point, SpatialObject};
@@ -7,56 +14,39 @@ use surge_io::{
     write_objects_binary,
 };
 use surge_stream::SlidingWindowEngine;
+use surge_testkit::{arb_lattice_stream, arb_timed_stream, ordered_stream};
 
-fn arb_object(max_t: u64) -> impl Strategy<Value = (u64, f64, f64, f64, u64)> {
-    (
-        any::<u64>(),
-        0.0..1e9f64,
-        -1e6..1e6f64,
-        -1e6..1e6f64,
-        0..max_t,
-    )
-}
-
-fn build_stream(raw: Vec<(u64, f64, f64, f64, u64)>) -> Vec<SpatialObject> {
-    let mut ts: Vec<u64> = raw.iter().map(|r| r.4).collect();
-    ts.sort_unstable();
-    raw.into_iter()
-        .zip(ts)
-        .map(|((id, w, x, y, _), t)| SpatialObject::new(id, w, Point::new(x, y), t))
-        .collect()
+fn assert_objects_bitwise(a: &[SpatialObject], b: &[SpatialObject]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+        assert_eq!(x.pos.x.to_bits(), y.pos.x.to_bits());
+        assert_eq!(x.pos.y.to_bits(), y.pos.y.to_bits());
+        assert_eq!(x.created, y.created);
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn csv_roundtrip_bit_exact(raw in prop::collection::vec(arb_object(1 << 40), 0..80)) {
-        let objs = build_stream(raw);
+    fn csv_roundtrip_bit_exact(objs in arb_timed_stream(80)) {
         let mut buf = Vec::new();
         write_objects(&mut buf, &objs).unwrap();
-        let back = read_objects(&buf[..]).unwrap();
-        prop_assert_eq!(back.len(), objs.len());
-        for (a, b) in back.iter().zip(&objs) {
-            prop_assert_eq!(a.id, b.id);
-            prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits());
-            prop_assert_eq!(a.pos.x.to_bits(), b.pos.x.to_bits());
-            prop_assert_eq!(a.pos.y.to_bits(), b.pos.y.to_bits());
-            prop_assert_eq!(a.created, b.created);
-        }
+        assert_objects_bitwise(&read_objects(&buf[..]).unwrap(), &objs);
     }
 
     #[test]
-    fn binary_roundtrip_bit_exact(raw in prop::collection::vec(arb_object(u64::MAX / 2), 0..80)) {
-        let objs = build_stream(raw);
+    fn binary_roundtrip_bit_exact(raw in prop::collection::vec((0u64..1 << 40, 0u16..500), 0..80)) {
+        let objs = ordered_stream(raw);
         let mut buf = Vec::new();
         write_objects_binary(&mut buf, &objs).unwrap();
         prop_assert_eq!(read_objects_binary(&buf[..]).unwrap(), objs);
     }
 
     #[test]
-    fn csv_and_binary_agree(raw in prop::collection::vec(arb_object(1 << 30), 0..40)) {
-        let objs = build_stream(raw);
+    fn csv_and_binary_agree(objs in arb_lattice_stream(40)) {
         let mut c = Vec::new();
         write_objects(&mut c, &objs).unwrap();
         let mut b = Vec::new();
@@ -65,8 +55,7 @@ proptest! {
     }
 
     #[test]
-    fn eventlog_roundtrip_via_engine(raw in prop::collection::vec(arb_object(5_000), 1..60)) {
-        let objs = build_stream(raw);
+    fn eventlog_roundtrip_via_engine(objs in arb_timed_stream(60)) {
         let mut engine = SlidingWindowEngine::new(surge_core::WindowConfig::equal(500));
         let mut events = Vec::new();
         for o in objs {
@@ -76,6 +65,28 @@ proptest! {
         write_events(&mut buf, &events).unwrap();
         prop_assert_eq!(read_events(&buf[..]).unwrap(), events);
     }
+}
+
+/// Extreme values the detector-oriented testkit generators never produce:
+/// the codecs must still round-trip them bit-exactly.
+#[test]
+fn extreme_values_roundtrip_bit_exact() {
+    let objs = vec![
+        SpatialObject::new(0, 0.0, Point::new(-0.0, 0.0), 0),
+        SpatialObject::new(
+            u64::MAX,
+            f64::MIN_POSITIVE,
+            Point::new(-1e300, 1e-300),
+            u64::MAX / 2,
+        ),
+        SpatialObject::new(7, 1e9, Point::new(1e6, -1e6), u64::MAX),
+    ];
+    let mut csv = Vec::new();
+    write_objects(&mut csv, &objs).unwrap();
+    assert_objects_bitwise(&read_objects(&csv[..]).unwrap(), &objs);
+    let mut bin = Vec::new();
+    write_objects_binary(&mut bin, &objs).unwrap();
+    assert_objects_bitwise(&read_objects_binary(&bin[..]).unwrap(), &objs);
 }
 
 /// A recorded event log replayed into a detector must produce the same final

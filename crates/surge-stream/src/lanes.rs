@@ -35,7 +35,10 @@
 //!   object stream and exchange lane batches peer-to-peer, so event
 //!   expansion itself runs shard-parallel instead of on the driver thread.
 
-use surge_core::{Event, LaneRouter, ObjectId, RegionSize, SpatialObject, Timestamp, WindowConfig};
+use surge_core::{
+    EngineState, Event, LaneRouter, ObjectId, RegionSize, RestoreError, SpatialObject, Timestamp,
+    WindowConfig,
+};
 
 use crate::window::{EventBatch, SlidingWindowEngine};
 
@@ -91,6 +94,48 @@ impl WindowLane {
             stats: LaneStats::default(),
             last_arrival: None,
         }
+    }
+
+    /// Rebuilds the lane of a `lane_count`-way decomposition from a
+    /// **monolithic** engine's captured state: the lane adopts the objects
+    /// homed to it and the global clock, so the restored lane set merges
+    /// back into exactly the event stream the monolithic engine would have
+    /// emitted (the lane-decomposition contract, unchanged by a restore).
+    ///
+    /// The per-lane `started` flag is set from the global one — lane-level
+    /// stability is not recoverable from monolithic state, and nothing
+    /// downstream observes it except the aggregated
+    /// [`ShardedWindowEngine::is_stable`]. Lane counters restart at zero.
+    pub fn from_state(
+        state: &EngineState,
+        region: RegionSize,
+        lane: usize,
+        lane_count: usize,
+    ) -> Result<Self, RestoreError> {
+        let router = LaneRouter::new(region, lane_count);
+        if lane >= router.lane_count() {
+            return Err(RestoreError::new(format!(
+                "lane {lane} out of range for {} lanes",
+                router.lane_count()
+            )));
+        }
+        let mine = |o: &&SpatialObject| router.lane_of(o) == lane;
+        let lane_state = EngineState {
+            windows: state.windows,
+            now: state.now,
+            last_created: state.last_created,
+            started: state.started,
+            last_arrival: state.last_arrival,
+            current: state.current.iter().filter(mine).copied().collect(),
+            past: state.past.iter().filter(mine).copied().collect(),
+        };
+        Ok(WindowLane {
+            router,
+            lane,
+            engine: SlidingWindowEngine::from_state(&lane_state)?,
+            stats: LaneStats::default(),
+            last_arrival: state.last_arrival,
+        })
     }
 
     /// This lane's index.
@@ -238,6 +283,29 @@ impl ShardedWindowEngine {
             scratch: (0..n).map(|_| EventBatch::new()).collect(),
             merger: LaneMerger::new(),
         }
+    }
+
+    /// Rebuilds a sharded engine from a **monolithic** engine's captured
+    /// state ([`SlidingWindowEngine::checkpoint`]): each lane adopts the
+    /// objects homed to it (see [`WindowLane::from_state`]). The restored
+    /// engine's merged emission is bit-identical to what the restored
+    /// monolithic engine would emit — lane count remains purely structural
+    /// across a checkpoint/restore cycle.
+    pub fn from_state(
+        state: &EngineState,
+        region: RegionSize,
+        lane_count: usize,
+    ) -> Result<Self, RestoreError> {
+        let n = LaneRouter::new(region, lane_count).lane_count();
+        let lanes = (0..n)
+            .map(|l| WindowLane::from_state(state, region, l, n))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedWindowEngine {
+            windows: state.windows,
+            lanes,
+            scratch: (0..n).map(|_| EventBatch::new()).collect(),
+            merger: LaneMerger::new(),
+        })
     }
 
     /// The window configuration.
@@ -491,6 +559,44 @@ mod tests {
                 .map(|s| s.transitions)
                 .sum::<u64>()
         );
+    }
+
+    #[test]
+    fn restored_lanes_resume_bit_identical_to_restored_monolith() {
+        let objs: Vec<_> = (0..80)
+            .map(|i| obj(i, (i % 11) as f64 * 1.9, (i / 2) * 35))
+            .collect();
+        let windows = WindowConfig::new(170, 60);
+        let (head, tail) = objs.split_at(33);
+
+        // Run the head through a monolithic engine, checkpoint it.
+        let mut mono = SlidingWindowEngine::new(windows);
+        let mut sink = EventBatch::new();
+        for o in head {
+            mono.push_into(*o, &mut sink);
+        }
+        let state = mono.checkpoint();
+
+        // Resume the monolithic engine and every lane count from the same
+        // state; the suffix emissions must be bit-identical.
+        let mut reference = SlidingWindowEngine::from_state(&state).unwrap();
+        let mut ref_out = EventBatch::new();
+        for o in tail {
+            reference.push_into(*o, &mut ref_out);
+        }
+        reference.finish_into(&mut ref_out);
+
+        for lanes in [1usize, 2, 8] {
+            let mut eng = ShardedWindowEngine::from_state(&state, region(), lanes).unwrap();
+            assert_eq!(eng.current_len(), state.current.len());
+            assert_eq!(eng.past_len(), state.past.len());
+            let mut out = EventBatch::new();
+            for o in tail {
+                eng.push_into(*o, &mut out);
+            }
+            eng.finish_into(&mut out);
+            assert_streams_identical(out.as_slice(), ref_out.as_slice());
+        }
     }
 
     #[test]

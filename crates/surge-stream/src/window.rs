@@ -10,7 +10,8 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use surge_core::{
-    object_to_rect, CellId, Event, GridSpec, RegionSize, SpatialObject, Timestamp, WindowConfig,
+    object_to_rect, CellId, EngineState, Event, GridSpec, ObjectId, RegionSize, RestoreError,
+    SpatialObject, Timestamp, WindowConfig,
 };
 
 /// A reusable buffer of window-transition events.
@@ -138,6 +139,10 @@ pub struct SlidingWindowEngine {
     now: Timestamp,
     last_created: Timestamp,
     started: bool,
+    /// The most recent arrival's `(timestamp, id)`, carried into
+    /// checkpoints so a restored lane decomposition can keep enforcing the
+    /// equal-timestamp increasing-id contract.
+    last_arrival: Option<(Timestamp, ObjectId)>,
 }
 
 impl SlidingWindowEngine {
@@ -150,7 +155,75 @@ impl SlidingWindowEngine {
             now: 0,
             last_created: 0,
             started: false,
+            last_arrival: None,
         }
+    }
+
+    /// Captures the engine's logical state for a checkpoint: resident
+    /// objects (oldest first) plus the clock fields. A restored engine
+    /// ([`SlidingWindowEngine::from_state`]) emits exactly the transition
+    /// sequence this one would have emitted uninterrupted.
+    pub fn checkpoint(&self) -> EngineState {
+        EngineState {
+            windows: self.windows,
+            now: self.now,
+            last_created: self.last_created,
+            started: self.started,
+            last_arrival: self.last_arrival,
+            current: self.current.iter().copied().collect(),
+            past: self.past.iter().copied().collect(),
+        }
+    }
+
+    /// Rebuilds an engine from a captured [`EngineState`].
+    ///
+    /// Validates the residency invariants (creation-ordered windows, no
+    /// object past its transition deadline at `state.now`) so a corrupted
+    /// snapshot fails loudly instead of emitting an impossible event
+    /// sequence.
+    pub fn from_state(state: &EngineState) -> Result<Self, RestoreError> {
+        let w = state.windows;
+        for (name, objs) in [("current", &state.current), ("past", &state.past)] {
+            for pair in objs.windows(2) {
+                if pair[0].created > pair[1].created {
+                    return Err(RestoreError::new(format!(
+                        "{name} window not in creation order: {} after {}",
+                        pair[1].created, pair[0].created
+                    )));
+                }
+            }
+        }
+        for o in &state.current {
+            if !w.in_current(o.created, state.now) {
+                return Err(RestoreError::new(format!(
+                    "object {} (created {}) is not in the current window at now={}",
+                    o.id, o.created, state.now
+                )));
+            }
+        }
+        for o in &state.past {
+            if !w.in_past(o.created, state.now) {
+                return Err(RestoreError::new(format!(
+                    "object {} (created {}) is not in the past window at now={}",
+                    o.id, o.created, state.now
+                )));
+            }
+        }
+        if state.last_created > state.now {
+            return Err(RestoreError::new(format!(
+                "last_created {} exceeds clock {}",
+                state.last_created, state.now
+            )));
+        }
+        Ok(SlidingWindowEngine {
+            windows: w,
+            current: state.current.iter().copied().collect(),
+            past: state.past.iter().copied().collect(),
+            now: state.now,
+            last_created: state.last_created,
+            started: state.started,
+            last_arrival: state.last_arrival,
+        })
     }
 
     /// The window configuration.
@@ -221,6 +294,7 @@ impl SlidingWindowEngine {
             floor
         );
         self.last_created = object.created;
+        self.last_arrival = Some((object.created, object.id));
         self.advance_raw(object.created, out);
         out.push(Event::new_arrival(object));
         self.current.push_back(object);
@@ -617,6 +691,47 @@ mod tests {
         batched.clear();
         eng3.finish_into(&mut batched);
         assert_eq!(eng2.finish(), batched.as_slice());
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let objs: Vec<SpatialObject> = (0..40u64).map(|i| obj(i, i * 13)).collect();
+        let (head, tail) = objs.split_at(17);
+
+        let mut live = SlidingWindowEngine::new(WindowConfig::new(70, 30));
+        for o in head {
+            live.push(*o);
+        }
+        let state = live.checkpoint();
+        let mut resumed = SlidingWindowEngine::from_state(&state).unwrap();
+        assert_eq!(resumed.checkpoint(), state, "capture is stable");
+        assert_eq!(resumed.now(), live.now());
+        assert_eq!(resumed.current_len(), live.current_len());
+        assert_eq!(resumed.past_len(), live.past_len());
+        assert_eq!(resumed.is_stable(), live.is_stable());
+
+        for o in tail {
+            assert_eq!(live.push(*o), resumed.push(*o));
+        }
+        assert_eq!(live.finish(), resumed.finish());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_residency() {
+        let mut eng = SlidingWindowEngine::new(WindowConfig::equal(100));
+        eng.push(obj(0, 0));
+        eng.push(obj(1, 50));
+        let mut state = eng.checkpoint();
+        state.now = 10_000; // every resident object is long expired
+        assert!(SlidingWindowEngine::from_state(&state).is_err());
+
+        let mut state = eng.checkpoint();
+        state.current.swap(0, 1); // creation order broken
+        assert!(SlidingWindowEngine::from_state(&state).is_err());
+
+        let mut state = eng.checkpoint();
+        state.last_created = state.now + 1;
+        assert!(SlidingWindowEngine::from_state(&state).is_err());
     }
 
     #[test]

@@ -22,8 +22,9 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use surge_core::{
-    object_to_rect, BurstParams, CellId, DetectorStats, Event, EventKind, GridSpec, ObjectId,
-    Point, Rect, RegionAnswer, SurgeQuery, TopKDetector, TotalF64, WindowKind,
+    object_to_rect, BurstParams, CandidateState, CellId, CellState, CheckpointableDetector,
+    DetectorState, DetectorStats, Event, EventKind, GridSpec, ObjectId, Point, Rect, RectState,
+    RegionAnswer, RestoreError, SurgeQuery, TopKDetector, TotalF64, WindowKind,
 };
 use surge_exact::{sl_cspot, SweepRect};
 
@@ -471,6 +472,194 @@ impl KCellCspot {
     }
 }
 
+/// Checkpoint capture/restore. The top-k logical state is the **global**
+/// rectangle set with visibility levels ([`DetectorState::rects`]), the
+/// per-cell per-level accumulators and candidates, and the current bursty
+/// incumbents. Cell membership and queue keys are derived on restore (the
+/// cells a rectangle touches are a pure function of the grid; keys are pure
+/// functions of the captured bounds), so a restored detector's greedy
+/// re-selection continues the uninterrupted run bit for bit.
+impl CheckpointableDetector for KCellCspot {
+    fn capture_state(&self) -> DetectorState {
+        let mut rects: Vec<RectState> = self
+            .rects
+            .iter()
+            .map(|(&id, r)| RectState {
+                id,
+                rect: r.sweep.rect,
+                weight: r.sweep.weight,
+                kind: r.sweep.kind,
+                level: r.lvl as u32,
+            })
+            .collect();
+        rects.sort_unstable_by_key(|r| r.id);
+        let mut cells: Vec<CellState> = self
+            .cells
+            .iter()
+            .map(|(&id, cell)| CellState {
+                id,
+                rects: Vec::new(),
+                us: cell.us.clone(),
+                ud: cell.ud.clone(),
+                cand: cell
+                    .cand
+                    .iter()
+                    .map(|c| match c {
+                        KState::Stale => CandidateState::Stale,
+                        KState::Infeasible => CandidateState::Infeasible,
+                        KState::Valid(c) => CandidateState::Valid {
+                            point: c.point,
+                            wc: c.wc,
+                            wp: c.wp,
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        cells.sort_unstable_by_key(|c| c.id);
+        DetectorState {
+            name: self.name().to_string(),
+            levels: self.k as u32,
+            cells,
+            rects,
+            incumbents: self
+                .bursty
+                .iter()
+                .map(|b| b.map(|b| (b.point, b.score)))
+                .collect(),
+            stats: self.stats,
+        }
+    }
+
+    fn restore_state(&mut self, state: &DetectorState) -> Result<(), RestoreError> {
+        if !self.cells.is_empty() || !self.rects.is_empty() {
+            return Err(RestoreError::new(
+                "restore target must be a freshly constructed detector",
+            ));
+        }
+        if state.levels as usize != self.k {
+            return Err(RestoreError::new(format!(
+                "snapshot has k={}, detector has k={}",
+                state.levels, self.k
+            )));
+        }
+        if state.name != self.name() {
+            return Err(RestoreError::new(format!(
+                "snapshot captured a {:?} detector, restoring into {:?}",
+                state.name,
+                self.name()
+            )));
+        }
+        if state.incumbents.len() != self.k {
+            return Err(RestoreError::new(format!(
+                "snapshot has {} incumbents, expected {}",
+                state.incumbents.len(),
+                self.k
+            )));
+        }
+        let k = self.k;
+        for cp in &state.cells {
+            if cp.us.len() != k || cp.ud.len() != k || cp.cand.len() != k {
+                return Err(RestoreError::new(format!(
+                    "cell {:?}: per-level vectors must have length k={k}",
+                    cp.id
+                )));
+            }
+            let cell_rect = self.grid.cell_rect(cp.id);
+            let domain = self
+                .query
+                .point_domain()
+                .and_then(|d| d.intersection(&cell_rect));
+            let cand = cp
+                .cand
+                .iter()
+                .map(|c| match *c {
+                    CandidateState::Stale => Ok(KState::Stale),
+                    CandidateState::Infeasible => Ok(KState::Infeasible),
+                    CandidateState::Valid { point, wc, wp } => {
+                        Ok(KState::Valid(KCand { point, wc, wp }))
+                    }
+                    CandidateState::Absent => {
+                        Err(RestoreError::new("kCCS never records Absent candidates"))
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let inserted = self.cells.insert(
+                cp.id,
+                KCell {
+                    members: HashSet::new(),
+                    us: cp.us.clone(),
+                    ud: cp.ud.clone(),
+                    cand,
+                    keys: vec![TotalF64(f64::NEG_INFINITY); k],
+                    domain,
+                },
+            );
+            if inserted.is_some() {
+                return Err(RestoreError::new(format!("duplicate cell {:?}", cp.id)));
+            }
+        }
+        // Rebuild the global rectangle set and derive cell membership from
+        // the grid — every cell a live rectangle touches must exist in the
+        // snapshot (a memberless cell would have been dropped).
+        for r in &state.rects {
+            let lvl = r.level as usize;
+            if lvl == 0 || lvl > k {
+                return Err(RestoreError::new(format!(
+                    "rect {}: level {lvl} outside 1..={k}",
+                    r.id
+                )));
+            }
+            let cells: Vec<CellId> = self.grid.cells_overlapping_iter(&r.rect).collect();
+            for cid in &cells {
+                let cell = self.cells.get_mut(cid).ok_or_else(|| {
+                    RestoreError::new(format!(
+                        "rect {} touches cell {cid:?} missing from the snapshot",
+                        r.id
+                    ))
+                })?;
+                cell.members.insert(r.id);
+            }
+            let dup = self.rects.insert(
+                r.id,
+                KRect {
+                    sweep: SweepRect {
+                        rect: r.rect,
+                        weight: r.weight,
+                        kind: r.kind,
+                    },
+                    lvl,
+                    cells,
+                },
+            );
+            if dup.is_some() {
+                return Err(RestoreError::new(format!("duplicate rect {}", r.id)));
+            }
+        }
+        for cell in self.cells.values() {
+            if cell.members.is_empty() {
+                return Err(RestoreError::new(
+                    "snapshot contains a cell no rectangle touches",
+                ));
+            }
+        }
+        // Derive the queue keys — pure functions of the restored bounds.
+        let ids: Vec<CellId> = self.cells.keys().copied().collect();
+        for id in ids {
+            for level in 0..k {
+                self.refresh_key(id, level);
+            }
+        }
+        self.bursty = state
+            .incumbents
+            .iter()
+            .map(|b| b.map(|(point, score)| Bursty { point, score }))
+            .collect();
+        self.stats = state.stats;
+        Ok(())
+    }
+}
+
 impl TopKDetector for KCellCspot {
     fn on_event(&mut self, event: &Event) {
         self.stats.events += 1;
@@ -563,6 +752,83 @@ mod tests {
 
     fn obj(id: u64, w: f64, x: f64, y: f64, t: u64) -> SpatialObject {
         SpatialObject::new(id, w, Point::new(x, y), t)
+    }
+
+    #[test]
+    fn capture_restore_resumes_bit_identically() {
+        let events: Vec<Event> = (0..70u64)
+            .flat_map(|i| {
+                let o = obj(
+                    i,
+                    1.0 + (i % 5) as f64,
+                    (i as f64 * 3.7) % 20.0,
+                    (i as f64 * 5.3) % 20.0,
+                    i * 11,
+                );
+                let mut evs = vec![Event::new_arrival(o)];
+                if i >= 25 && i % 2 == 0 {
+                    let p = i - 25;
+                    let old = obj(
+                        p,
+                        1.0 + (p % 5) as f64,
+                        (p as f64 * 3.7) % 20.0,
+                        (p as f64 * 5.3) % 20.0,
+                        p * 11,
+                    );
+                    evs.push(Event::grown(old, i * 11));
+                }
+                if i >= 50 && i % 2 == 0 {
+                    let p = i - 50;
+                    let old = obj(
+                        p,
+                        1.0 + (p % 5) as f64,
+                        (p as f64 * 3.7) % 20.0,
+                        (p as f64 * 5.3) % 20.0,
+                        p * 11,
+                    );
+                    evs.push(Event::expired(old, i * 11));
+                }
+                evs
+            })
+            .collect();
+        for k in [1usize, 3] {
+            for cut in [0usize, 31, events.len()] {
+                let mut live = KCellCspot::new(query(0.4), k);
+                for ev in &events[..cut] {
+                    live.on_event(ev);
+                }
+                let state = live.capture_state();
+                let mut resumed = KCellCspot::new(query(0.4), k);
+                resumed.restore_state(&state).unwrap();
+                assert_eq!(resumed.capture_state(), state, "capture is stable");
+                for (i, ev) in events[cut..].iter().enumerate() {
+                    live.on_event(ev);
+                    resumed.on_event(ev);
+                    let (a, b) = (live.current_topk(), resumed.current_topk());
+                    assert_eq!(a.len(), b.len(), "k {k} cut {cut} ev {i}");
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(
+                            x.score.to_bits(),
+                            y.score.to_bits(),
+                            "k {k} cut {cut} ev {i}"
+                        );
+                        assert_eq!(x.point.x.to_bits(), y.point.x.to_bits());
+                        assert_eq!(x.point.y.to_bits(), y.point.y.to_bits());
+                    }
+                }
+                assert_eq!(resumed.stats(), live.stats());
+                assert_eq!(resumed.cell_count(), live.cell_count());
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_k_mismatch() {
+        let mut d = KCellCspot::new(query(0.5), 2);
+        d.on_event(&Event::new_arrival(obj(0, 1.0, 0.0, 0.0, 0)));
+        let state = d.capture_state();
+        let mut wrong = KCellCspot::new(query(0.5), 3);
+        assert!(wrong.restore_state(&state).is_err());
     }
 
     #[test]

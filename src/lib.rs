@@ -49,7 +49,9 @@
 //! * [`baseline`] — the adapted aG2 competitor.
 //! * [`topk`] — kCCS, kGAPS, kMGAPS and the naive greedy top-k.
 //! * [`io`] — CSV/binary stream codecs, event-log recording/replay, GeoJSON
-//!   export of detections.
+//!   export of detections, and the checksummed snapshot container.
+//! * [`checkpoint`] — durable state: periodic logical snapshots + a
+//!   segmented WAL, with crash recovery that resumes bit-identically.
 //! * [`roadnet`] — the road-network extension (the paper's stated future
 //!   work): graph substrate, synthetic cities, and network detectors.
 //!
@@ -62,6 +64,7 @@
 
 pub use surge_approx as approx;
 pub use surge_baseline as baseline;
+pub use surge_checkpoint as checkpoint;
 pub use surge_core as core;
 pub use surge_exact as exact;
 pub use surge_io as io;
@@ -73,6 +76,9 @@ pub use surge_topk as topk;
 pub mod prelude {
     pub use surge_approx::{GapSurge, MgapSurge};
     pub use surge_baseline::Ag2;
+    pub use surge_checkpoint::{
+        recover, run_checkpointed, CheckpointConfig, CheckpointPolicy, DetectorSpec,
+    };
     pub use surge_core::{
         burst_score, shard_of_cell, BurstDetector, BurstParams, Event, EventKind,
         IncrementalDetector, Point, Rect, RegionAnswer, RegionSize, ShardedIngest, SpatialObject,
