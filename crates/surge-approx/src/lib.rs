@@ -7,6 +7,12 @@
 //!   regions, score-ordered heap.
 //! * [`mgaps`] — MGAP-SURGE (Algorithm 5): four half-cell-shifted GAP-SURGE
 //!   instances; reports the best of the four.
+//!
+//! Both detectors implement the full production surface: sequential
+//! [`surge_core::BurstDetector`], sharded ingest, the (trivially empty)
+//! incremental-sweep contract, and bit-identical checkpoint capture/restore
+//! — so they can stand in for the exact detector anywhere in the pipeline,
+//! including under the overload autopilot in `surge-stream`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,5 +20,5 @@
 pub mod gaps;
 pub mod mgaps;
 
-pub use gaps::GapSurge;
-pub use mgaps::MgapSurge;
+pub use gaps::{GapShardWorker, GapSurge};
+pub use mgaps::{MgapShardWorker, MgapSurge};

@@ -4,18 +4,28 @@
 //! true bursty region. MGAP-SURGE runs four GAP-SURGE instances on grids
 //! shifted by half a cell in x and/or y and reports the best of the four
 //! answers, which markedly improves empirical quality (Table IV) while
-//! keeping the same O(log n) update cost and the same `1−α/4` worst-case
+//! keeping the same O(log n) update cost and the same `(1−α)/4` worst-case
 //! guarantee (Theorem 4).
+//!
+//! Like [`GapSurge`], the detector participates in the sharded-ingest and
+//! checkpoint pipelines. Each [`MgapShardWorker`] owns shard *s* of all four
+//! grids; ties between grids are broken toward the lower-numbered grid on
+//! every path (the worker encodes the grid's priority in the
+//! [`ShardAnswer`] `bound` field so the merged maximum picks the same
+//! winner the sequential scan does, bit for bit).
 
 use surge_core::{
-    BurstDetector, DetectorStats, Event, GridSpec, Rect, RegionAnswer, SurgeQuery, TotalF64,
+    BurstDetector, CheckpointableDetector, DetectorState, DetectorStats, Event, EventKind,
+    GridSpec, IncrementalDetector, Rect, RegionAnswer, RegionSize, RestoreError, ShardAnswer,
+    ShardRunStats, ShardWorker, ShardWorkerStats, ShardedIngest, SurgeQuery, TotalF64,
 };
 
-use crate::gaps::GapSurge;
+use crate::gaps::{GapShardWorker, GapSurge};
 
 /// The multi-grid approximate detector (MGAPS).
 #[derive(Debug)]
 pub struct MgapSurge {
+    query: SurgeQuery,
     grids: [GapSurge; 4],
     stats_events: u64,
     stats_new: u64,
@@ -24,9 +34,17 @@ pub struct MgapSurge {
 impl MgapSurge {
     /// Creates the four shifted GAPS instances for `query`.
     pub fn new(query: SurgeQuery) -> Self {
+        Self::with_shards(query, 1)
+    }
+
+    /// Creates the four shifted GAPS instances, each with `shards` cell
+    /// shards (a power of two). Shard count is structural only: answers are
+    /// bit-identical for every shard count.
+    pub fn with_shards(query: SurgeQuery, shards: usize) -> Self {
         let specs = GridSpec::mgap_grids(query.region.width, query.region.height);
         MgapSurge {
-            grids: specs.map(|g| GapSurge::with_grid(query, g)),
+            query,
+            grids: specs.map(|g| GapSurge::with_grid_shards(query, g, shards)),
             stats_events: 0,
             stats_new: 0,
         }
@@ -35,6 +53,11 @@ impl MgapSurge {
     /// Access to the four underlying grids (in the paper's Grid 1–4 order).
     pub fn instances(&self) -> &[GapSurge; 4] {
         &self.grids
+    }
+
+    /// Number of non-empty cells across all four grids.
+    pub fn cell_count(&self) -> usize {
+        self.grids.iter().map(|g| g.cell_count()).sum()
     }
 
     /// Top-k per Algorithm 7: take the top `4k` cells from each grid, merge
@@ -63,7 +86,7 @@ impl MgapSurge {
 impl BurstDetector for MgapSurge {
     fn on_event(&mut self, event: &Event) {
         self.stats_events += 1;
-        if event.kind == surge_core::EventKind::New {
+        if event.kind == EventKind::New {
             self.stats_new += 1;
         }
         for g in &mut self.grids {
@@ -75,7 +98,13 @@ impl BurstDetector for MgapSurge {
         let mut best: Option<RegionAnswer> = None;
         for g in &mut self.grids {
             if let Some(ans) = g.current() {
-                if best.as_ref().is_none_or(|b| ans.score > b.score) {
+                // Strict > with a total order: on equal score bits the
+                // earlier grid wins, matching the merged shard answers'
+                // grid-priority bound.
+                if best
+                    .as_ref()
+                    .is_none_or(|b| TotalF64(ans.score) > TotalF64(b.score))
+                {
                     best = Some(ans);
                 }
             }
@@ -94,6 +123,158 @@ impl BurstDetector for MgapSurge {
             searches: 0,
             events_triggering_search: 0,
         }
+    }
+}
+
+/// MGAPS under the incremental driver: as with GAPS, every cell is kept
+/// fresh by the events themselves, so the job surface is empty.
+impl IncrementalDetector for MgapSurge {
+    type Job = ();
+    type Outcome = ();
+    type Scratch = ();
+
+    fn snapshot_dirty_jobs(&self) -> Vec<()> {
+        Vec::new()
+    }
+
+    fn run_job(&self, _job: &()) {}
+
+    fn install_outcomes(&mut self, _outcomes: Vec<()>) {}
+
+    fn shard_count(&self) -> usize {
+        IncrementalDetector::shard_count(&self.grids[0])
+    }
+
+    fn sweep_dirty(&mut self, _threads: usize) -> u64 {
+        0
+    }
+}
+
+/// Shard *s* of all four grids under one ingest handle. Flush reports the
+/// best of the four shard-local bests; `bound` carries the grid priority
+/// (grid 0 → 3.0 … grid 3 → 0.0) so the cross-shard `(score, bound, cell)`
+/// maximum breaks score ties toward the lower-numbered grid — exactly the
+/// sequential [`MgapSurge::current`] tie-break.
+#[derive(Debug)]
+pub struct MgapShardWorker<'a> {
+    inner: [GapShardWorker<'a>; 4],
+}
+
+impl ShardWorker for MgapShardWorker<'_> {
+    fn on_event(&mut self, event: &Event) {
+        for w in &mut self.inner {
+            w.on_event(event);
+        }
+    }
+
+    fn flush(&mut self) -> Option<ShardAnswer> {
+        let mut best: Option<ShardAnswer> = None;
+        for (gi, w) in self.inner.iter_mut().enumerate() {
+            if let Some(a) = w.flush() {
+                let prioritized = ShardAnswer {
+                    bound: (3 - gi) as f64,
+                    ..a
+                };
+                if best
+                    .as_ref()
+                    .is_none_or(|b| prioritized.merge_key() > b.merge_key())
+                {
+                    best = Some(prioritized);
+                }
+            }
+        }
+        best
+    }
+
+    fn stats(&self) -> ShardWorkerStats {
+        let mut out = ShardWorkerStats::default();
+        for w in &self.inner {
+            let s = w.stats();
+            out.cell_touches += s.cell_touches;
+            out.sweeps += s.sweeps;
+        }
+        out
+    }
+}
+
+impl ShardedIngest for MgapSurge {
+    type Worker<'a> = MgapShardWorker<'a>;
+
+    fn ingest_workers(&mut self) -> Vec<MgapShardWorker<'_>> {
+        let mut per_grid: Vec<_> = self
+            .grids
+            .iter_mut()
+            .map(|g| g.ingest_workers().into_iter())
+            .collect();
+        let shard_count = per_grid[0].len();
+        (0..shard_count)
+            .map(|_| MgapShardWorker {
+                inner: std::array::from_fn(|gi| {
+                    per_grid[gi].next().expect("grids share a shard count")
+                }),
+            })
+            .collect()
+    }
+
+    fn absorb_shard_run(&mut self, run: ShardRunStats) {
+        self.stats_events += run.events;
+        self.stats_new += run.new_events;
+    }
+
+    fn region_size(&self) -> RegionSize {
+        self.query.region
+    }
+}
+
+impl CheckpointableDetector for MgapSurge {
+    fn capture_state(&self) -> DetectorState {
+        let mut grid_cells = Vec::with_capacity(self.cell_count());
+        for (gi, g) in self.grids.iter().enumerate() {
+            crate::gaps::capture_grid_cells(&mut grid_cells, gi as u32, g.shards());
+        }
+        DetectorState {
+            name: self.name().to_string(),
+            levels: 4,
+            cells: Vec::new(),
+            rects: Vec::new(),
+            incumbents: Vec::new(),
+            grid_cells,
+            controller: None,
+            stats: self.stats(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &DetectorState) -> Result<(), RestoreError> {
+        if self.cell_count() != 0 {
+            return Err(RestoreError::new(
+                "restore requires a freshly constructed MGAPS detector",
+            ));
+        }
+        if state.name != self.name() {
+            return Err(RestoreError::new(format!(
+                "detector name mismatch: snapshot has {:?}, restoring into {:?}",
+                state.name,
+                self.name()
+            )));
+        }
+        let mut at = 0usize;
+        for gi in 0..4u32 {
+            let start = at;
+            while at < state.grid_cells.len() && state.grid_cells[at].grid == gi {
+                at += 1;
+            }
+            let g = &mut self.grids[gi as usize];
+            let params = *g.params();
+            crate::gaps::restore_grid_cells(g.shards_mut(), &params, &state.grid_cells[start..at])?;
+        }
+        if at != state.grid_cells.len() {
+            return Err(RestoreError::new(format!(
+                "grid index out of order or beyond 3 at cell {at}"
+            )));
+        }
+        self.stats_events = state.stats.events;
+        self.stats_new = state.stats.new_events;
+        Ok(())
     }
 }
 
@@ -158,6 +339,7 @@ mod tests {
         d.on_event(&Event::grown(o, 1_000));
         d.on_event(&Event::expired(o, 2_000));
         assert!(d.current().is_none());
+        assert_eq!(d.cell_count(), 0);
     }
 
     #[test]
@@ -184,5 +366,48 @@ mod tests {
         for w in top.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
+    }
+
+    /// Equal-score ties across grids resolve to the same grid on the
+    /// sequential path and through the grid-priority bound.
+    #[test]
+    fn score_ties_prefer_lower_grid() {
+        let mut d = MgapSurge::new(query(0.0));
+        // One object: all four grids score its cell identically, so
+        // current() must report grid 0's (anchored) cell.
+        d.on_event(&Event::new_arrival(obj(0, 2.0, 0.2, 0.2, 0)));
+        let ans = d.current().unwrap();
+        assert_eq!(ans.region.x0, 0.0);
+        assert_eq!(ans.region.y0, 0.0);
+    }
+
+    /// Capture → restore into a fresh detector → identical answers and
+    /// identical re-capture, across shard counts.
+    #[test]
+    fn checkpoint_roundtrip_is_bit_identical() {
+        let q = query(0.6);
+        let mut d = MgapSurge::with_shards(q, 2);
+        let mut t = 0;
+        for i in 0..96u64 {
+            t += i % 4;
+            d.on_event(&Event::new_arrival(obj(
+                i,
+                1.0 + (i % 5) as f64,
+                (i % 13) as f64 * 0.45,
+                (i % 7) as f64 * 0.45,
+                t,
+            )));
+        }
+        let state = d.capture_state();
+        assert!(state.grid_cells.iter().any(|c| c.grid == 3));
+        let mut restored = MgapSurge::with_shards(q, 4);
+        restored.restore_state(&state).unwrap();
+        assert_eq!(restored.capture_state(), state);
+        let (a, b) = (d.current().unwrap(), restored.current().unwrap());
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+        assert_eq!(a.point.x.to_bits(), b.point.x.to_bits());
+        assert_eq!(a.point.y.to_bits(), b.point.y.to_bits());
+        assert_eq!(d.stats(), restored.stats());
+        assert!(restored.restore_state(&state).is_err());
     }
 }

@@ -25,7 +25,12 @@
 //!                          writes BENCH_window.json
 //!   checkpoint-bench       checkpointed driver vs in-memory driver +
 //!                          recovery vs replay-from-zero (bit-identity
-//!                          asserted first); writes BENCH_checkpoint.json
+//!                          asserted first), one row per WAL fsync
+//!                          policy; writes BENCH_checkpoint.json
+//!   degrade-bench          flash-crowd overload: exact-only vs the
+//!                          degradation autopilot (SLO, bound, and
+//!                          return-to-exact contracts asserted); writes
+//!                          BENCH_degrade.json
 //!   all                    everything above
 //!
 //! Options:
@@ -140,7 +145,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|window-bench|checkpoint-bench|all> \
+    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|window-bench|checkpoint-bench|degrade-bench|all> \
      [--axis window|rect|k] [--objects N] [--heavy N] [--naive N] [--seed S] \
      [--datasets uk,us,taxi] [--fast] [--paper] [--persistent on|off]"
         .to_string()
@@ -192,6 +197,20 @@ fn run_checkpoint_bench(cfg: &ExpConfig) -> Result<(), String> {
     print!("{}", print::checkpoint_bench(&rows));
     let json = print::checkpoint_bench_json(&rows);
     let path = "BENCH_checkpoint.json";
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# wrote {path}");
+    Ok(())
+}
+
+/// Runs the overload-degradation experiment (flash crowd, exact-only vs
+/// autopilot), printing the table and writing `BENCH_degrade.json` to the
+/// working directory. The SLO/bound/recovery contract assertions run
+/// inside the experiment itself, so a successful exit is the smoke check.
+fn run_degrade_bench(cfg: &ExpConfig) -> Result<(), String> {
+    let rows = experiments::degrade_bench(cfg);
+    print!("{}", print::degrade_bench(&rows));
+    let json = print::degrade_bench_json(&rows);
+    let path = "BENCH_degrade.json";
     std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("# wrote {path}");
     Ok(())
@@ -283,6 +302,7 @@ fn run(args: &Args) -> Result<(), String> {
         "shard-bench" => run_shard_bench(cfg)?,
         "window-bench" => run_window_bench(cfg)?,
         "checkpoint-bench" => run_checkpoint_bench(cfg)?,
+        "degrade-bench" => run_degrade_bench(cfg)?,
         "all" => {
             print!("{}", print::table1(&experiments::table1(cfg)));
             print!(
@@ -346,6 +366,7 @@ fn run(args: &Args) -> Result<(), String> {
             run_shard_bench(cfg)?;
             run_window_bench(cfg)?;
             run_checkpoint_bench(cfg)?;
+            run_degrade_bench(cfg)?;
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
     }

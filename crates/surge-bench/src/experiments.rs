@@ -1668,6 +1668,8 @@ pub fn window_bench(cfg: &ExpConfig) -> Vec<WindowBenchRow> {
 pub struct CheckpointBenchRow {
     /// Workload label: `"uniform"` or `"taxi"`.
     pub workload: &'static str,
+    /// WAL fsync policy label ([`surge_checkpoint::SyncPolicy::name`]).
+    pub sync: &'static str,
     /// Objects driven through the pipeline.
     pub objects: u64,
     /// Flushes executed.
@@ -1705,10 +1707,13 @@ pub struct CheckpointBenchRow {
 /// on the uniform and taxi workloads, asserting recovery **bit-identity**
 /// before timing anything (`surge_exp checkpoint-bench` →
 /// `BENCH_checkpoint.json`): snapshot cost (stall percentiles), WAL append
-/// overhead, and recovery time vs. replay-from-zero.
+/// overhead, and recovery time vs. replay-from-zero — one row per
+/// [`surge_checkpoint::SyncPolicy`] tier, quantifying what each durability
+/// step costs.
 pub fn checkpoint_bench(cfg: &ExpConfig) -> Vec<CheckpointBenchRow> {
     use surge_checkpoint::{
-        recover, run_checkpointed, CheckpointConfig, CheckpointPolicy, DetectorSpec, Tail,
+        recover, run_checkpointed, CheckpointConfig, CheckpointPolicy, DetectorSpec, SyncPolicy,
+        Tail,
     };
     use surge_exact::{BoundMode, CellCspot};
     use surge_stream::drive_incremental;
@@ -1740,74 +1745,18 @@ pub fn checkpoint_bench(cfg: &ExpConfig) -> Vec<CheckpointBenchRow> {
             sweep: cfg.sweep_mode,
             shards: DEFAULT_SHARDS,
         };
-        let config = CheckpointConfig {
-            query,
-            windows,
-            spec,
-            slide_objects: slide,
-            threads: 1,
-            policy: CheckpointPolicy {
-                snapshot_every_slides: 8,
-                wal_segment_objects: 8_192,
-                keep_snapshots: 2,
-            },
-        };
         let base = std::env::temp_dir().join(format!(
             "surge-ckpt-bench-{workload}-{}",
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&base);
 
-        // In-memory baseline (no durability).
+        // In-memory baseline (no durability) — shared by every sync tier.
         let mut det =
             CellCspot::with_sweep_mode(query, BoundMode::Combined, cfg.sweep_mode, DEFAULT_SHARDS);
         let t0 = std::time::Instant::now();
         let baseline = drive_incremental(&mut det, windows, stream.iter().copied(), slide, 1);
         let baseline_elapsed = t0.elapsed();
-
-        // Checkpointed run.
-        let full_dir = base.join("full");
-        let t0 = std::time::Instant::now();
-        let full = run_checkpointed(&config, &full_dir, stream.iter().copied(), Tail::Finish)
-            .expect("checkpointed run");
-        let checkpointed_elapsed = t0.elapsed();
-
-        // Benchmarks must not time a divergent pipeline: the checkpointed
-        // answers must be bit-identical to the in-memory driver's.
-        let got = full.single_answers();
-        assert_eq!(got.len(), baseline.answers.len(), "{workload}");
-        for (i, (a, b)) in got.iter().zip(baseline.answers.iter()).enumerate() {
-            match (a, b) {
-                (Some(x), Some(y)) => assert_eq!(
-                    x.score.to_bits(),
-                    y.score.to_bits(),
-                    "checkpoint-bench divergence at {workload}, slide {i}"
-                ),
-                (None, None) => {}
-                other => panic!("checkpoint-bench divergence at {workload}, slide {i}: {other:?}"),
-            }
-        }
-
-        // Crash at end-of-stream, then recover: snapshot restore + WAL
-        // tail replay + terminal drain, bit-identity asserted.
-        let crash_dir = base.join("crash");
-        run_checkpointed(&config, &crash_dir, stream.iter().copied(), Tail::Crash)
-            .expect("crashed run");
-        let t0 = std::time::Instant::now();
-        let resumed =
-            recover(&config, &crash_dir, stream.iter().copied(), Tail::Finish).expect("recovery");
-        let recovery_elapsed = t0.elapsed();
-        assert_eq!(resumed.answers.len(), full.answers.len(), "{workload}");
-        for (i, (a, b)) in resumed.answers.iter().zip(full.answers.iter()).enumerate() {
-            assert_eq!(a.len(), b.len(), "{workload} flush {i}");
-            for (x, y) in a.iter().zip(b) {
-                assert_eq!(
-                    x.score.to_bits(),
-                    y.score.to_bits(),
-                    "recovery divergence at {workload}, flush {i}"
-                );
-            }
-        }
 
         // Replay-from-zero: what the restart costs without checkpoints.
         let mut det =
@@ -1816,27 +1765,310 @@ pub fn checkpoint_bench(cfg: &ExpConfig) -> Vec<CheckpointBenchRow> {
         let _ = drive_incremental(&mut det, windows, stream.iter().copied(), slide, 1);
         let replay_elapsed = t0.elapsed();
 
-        rows.push(CheckpointBenchRow {
-            workload,
-            objects: full.objects,
-            slides: full.slides,
-            baseline_ms: baseline_elapsed.as_secs_f64() * 1e3,
-            checkpointed_ms: checkpointed_elapsed.as_secs_f64() * 1e3,
-            overhead: checkpointed_elapsed.as_secs_f64() / baseline_elapsed.as_secs_f64().max(1e-9),
-            snapshots: full.snapshots_written,
-            stall_p50_us: full.pause.p50_us,
-            stall_p99_us: full.pause.p99_us,
-            stall_max_us: full.pause.max_us,
-            wal_appends: full.wal_appends,
-            recovery_ms: recovery_elapsed.as_secs_f64() * 1e3,
-            replayed: resumed.replayed_from_wal,
-            replay_from_zero_ms: replay_elapsed.as_secs_f64() * 1e3,
-            recovery_speedup: replay_elapsed.as_secs_f64()
-                / recovery_elapsed.as_secs_f64().max(1e-9),
-        });
+        for sync in [
+            SyncPolicy::OsFlush,
+            SyncPolicy::FsyncPerSnapshot,
+            SyncPolicy::FsyncPerSlide,
+        ] {
+            let config = CheckpointConfig {
+                query,
+                windows,
+                spec,
+                slide_objects: slide,
+                threads: 1,
+                policy: CheckpointPolicy {
+                    snapshot_every_slides: 8,
+                    wal_segment_objects: 8_192,
+                    keep_snapshots: 2,
+                    sync,
+                },
+            };
+
+            // Checkpointed run.
+            let full_dir = base.join(format!("full-{}", sync.name().replace('/', "-")));
+            let t0 = std::time::Instant::now();
+            let full = run_checkpointed(&config, &full_dir, stream.iter().copied(), Tail::Finish)
+                .expect("checkpointed run");
+            let checkpointed_elapsed = t0.elapsed();
+
+            // Benchmarks must not time a divergent pipeline: the
+            // checkpointed answers must be bit-identical to the in-memory
+            // driver's, at every durability tier.
+            let got = full.single_answers();
+            assert_eq!(got.len(), baseline.answers.len(), "{workload}");
+            for (i, (a, b)) in got.iter().zip(baseline.answers.iter()).enumerate() {
+                match (a, b) {
+                    (Some(x), Some(y)) => assert_eq!(
+                        x.score.to_bits(),
+                        y.score.to_bits(),
+                        "checkpoint-bench divergence at {workload}, slide {i}"
+                    ),
+                    (None, None) => {}
+                    other => {
+                        panic!("checkpoint-bench divergence at {workload}, slide {i}: {other:?}")
+                    }
+                }
+            }
+
+            // Crash at end-of-stream, then recover: snapshot restore + WAL
+            // tail replay + terminal drain, bit-identity asserted.
+            let crash_dir = base.join(format!("crash-{}", sync.name().replace('/', "-")));
+            run_checkpointed(&config, &crash_dir, stream.iter().copied(), Tail::Crash)
+                .expect("crashed run");
+            let t0 = std::time::Instant::now();
+            let resumed = recover(&config, &crash_dir, stream.iter().copied(), Tail::Finish)
+                .expect("recovery");
+            let recovery_elapsed = t0.elapsed();
+            assert_eq!(resumed.answers.len(), full.answers.len(), "{workload}");
+            for (i, (a, b)) in resumed.answers.iter().zip(full.answers.iter()).enumerate() {
+                assert_eq!(a.len(), b.len(), "{workload} flush {i}");
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(
+                        x.score.to_bits(),
+                        y.score.to_bits(),
+                        "recovery divergence at {workload}, flush {i}"
+                    );
+                }
+            }
+
+            rows.push(CheckpointBenchRow {
+                workload,
+                sync: sync.name(),
+                objects: full.objects,
+                slides: full.slides,
+                baseline_ms: baseline_elapsed.as_secs_f64() * 1e3,
+                checkpointed_ms: checkpointed_elapsed.as_secs_f64() * 1e3,
+                overhead: checkpointed_elapsed.as_secs_f64()
+                    / baseline_elapsed.as_secs_f64().max(1e-9),
+                snapshots: full.snapshots_written,
+                stall_p50_us: full.pause.p50_us,
+                stall_p99_us: full.pause.p99_us,
+                stall_max_us: full.pause.max_us,
+                wal_appends: full.wal_appends,
+                recovery_ms: recovery_elapsed.as_secs_f64() * 1e3,
+                replayed: resumed.replayed_from_wal,
+                replay_from_zero_ms: replay_elapsed.as_secs_f64() * 1e3,
+                recovery_speedup: replay_elapsed.as_secs_f64()
+                    / recovery_elapsed.as_secs_f64().max(1e-9),
+            });
+        }
         std::fs::remove_dir_all(&base).ok();
     }
     rows
+}
+
+// ---------------------------------------------------------------------------
+// Overload-degradation (autopilot) experiment
+// ---------------------------------------------------------------------------
+
+/// One row of the overload-degradation experiment: one run of the flash-
+/// crowd stream, either pinned to the exact tier or under the autopilot.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradeBenchRow {
+    /// `"exact-only"` or `"autopilot"`.
+    pub mode: &'static str,
+    /// Objects driven through the pipeline.
+    pub objects: u64,
+    /// Slides executed (including the terminal flush).
+    pub slides: u64,
+    /// The per-slide latency SLO in microseconds, derived from the
+    /// exact-only run (geometric mean of its p50 and p99).
+    pub slo_budget_us: u64,
+    /// Median slide latency in microseconds.
+    pub p50_us: f64,
+    /// p99 slide latency in microseconds.
+    pub p99_us: f64,
+    /// Worst slide latency in microseconds.
+    pub max_us: f64,
+    /// Whether the run's p99 stayed within the SLO budget.
+    pub within_slo: bool,
+    /// Non-empty answers produced per tier (exact, MGAPS, GAPS).
+    pub answers_in_tier: [u64; 3],
+    /// Slides served per tier (exact, MGAPS, GAPS).
+    pub slides_in_tier: [u64; 3],
+    /// Wall-clock milliseconds spent per tier (exact, MGAPS, GAPS).
+    pub time_in_tier_ms: [f64; 3],
+    /// Tier transitions performed.
+    pub transitions: u64,
+    /// The tier active when the run ended.
+    pub final_tier: &'static str,
+    /// Answers compared offline against the exact per-slide optimum.
+    pub answers_checked: u64,
+    /// Answers whose score fell below their stamped
+    /// `error_bound × OPT` guarantee (must be 0).
+    pub bound_violations: u64,
+}
+
+/// Runs the flash-crowd overload scenario twice (`surge_exp degrade-bench`
+/// → `BENCH_degrade.json`): once pinned to the exact tier to measure the
+/// blowout and derive a per-slide latency SLO that the crowd demonstrably
+/// breaks, then once under the [`surge_stream::AutopilotDetector`] with
+/// that SLO plus a deterministic residency ceiling.
+///
+/// Three contract assertions run inline before any row is reported:
+///
+/// 1. every autopilot answer satisfies its stamped quality bound against
+///    the exact per-slide optimum replayed offline (`score ≥ error_bound ×
+///    OPT`, Theorems 3–4),
+/// 2. the autopilot's slide-latency p99 stays within the SLO the
+///    exact-only run exceeds, and
+/// 3. the controller walks back to the exact tier once the crowd passes.
+pub fn degrade_bench(cfg: &ExpConfig) -> Vec<DegradeBenchRow> {
+    use surge_core::RegionAnswer;
+    use surge_stream::{
+        drive_autopilot, AnswerQuality, AutopilotDetector, AutopilotReport, SloPolicy, Tier,
+    };
+
+    // Stream shape: quiet half, flash crowd for a quarter, quiet tail.
+    // Background arrivals advance 5 ms, crowd arrivals 1 ms, so the
+    // 2 500 ms window holds ~500 residents when quiet and up to ~2 500
+    // while the crowd passes — a deterministic 5× overload on top of the
+    // wall-clock pressure the dense cluster puts on the exact sweep.
+    let n = (cfg.objects * 3).clamp(12_000, 120_000);
+    let crowd_start = n / 2;
+    let crowd_len = n / 4;
+    let slide = (n / 400).max(1);
+    let stream = surge_testkit::flash_crowd_stream(n, crowd_start, crowd_len, 5, 1, cfg.seed);
+    let windows = WindowConfig::equal(2_500);
+    let query = SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), windows, DEFAULT_ALPHA);
+
+    // Exact-only baseline: the autopilot with every signal disabled stays
+    // pinned to the exact tier but shares the slide loop, so latencies and
+    // per-slide answers are directly comparable.
+    let mut exact = AutopilotDetector::new(query, SloPolicy::disabled());
+    let mut engine = SlidingWindowEngine::new(windows);
+    let exact_report = drive_autopilot(&mut exact, &mut engine, stream.iter().copied(), slide);
+    let exact_latency = exact_report.latency_summary();
+
+    // Derive the SLO between the quiet-phase typical slide (p50) and the
+    // crowd-phase tail (p99): the exact-only run must exceed it, a healthy
+    // detector must clear it.
+    let budget_us = (exact_latency.p50_us.max(1.0) * exact_latency.p99_us.max(1.0))
+        .sqrt()
+        .ceil() as u64;
+    assert!(
+        exact_latency.p99_us > budget_us as f64,
+        "the flash crowd must push the exact-only p99 ({:.0}us) over the derived \
+         SLO ({budget_us}us); the crowd phase did not overload the exact tier",
+        exact_latency.p99_us
+    );
+
+    // Degrade on the *first* over-SLO slide: while the crowd ramps, slide
+    // latency hovers around the budget, so a 2-streak would keep resetting
+    // and let over-budget slides pile into the p99 before tripping. The
+    // long cooldown + upgrade streak matter on the way back: a degraded
+    // tier masks the latency signal, so until the crowd's residency climbs
+    // past the drain point the controller would otherwise probe-upgrade
+    // into the crowd and eat an over-budget exact slide per probe. The
+    // residency ceiling (900; the quiet phase sits at ~500) is the
+    // deterministic backstop, and its 70% drain point (630) re-arms the
+    // upgrade path once the crowd has expired from the window.
+    let policy = SloPolicy {
+        slide_latency_budget_us: budget_us,
+        max_residents: 900,
+        degrade_after: 1,
+        upgrade_after: 6,
+        cooldown_slides: 8,
+        drain_percent: 70,
+    };
+    let mut auto = AutopilotDetector::new(query, policy);
+    let mut engine = SlidingWindowEngine::new(windows);
+    let auto_report = drive_autopilot(&mut auto, &mut engine, stream.iter().copied(), slide);
+    let auto_latency = auto_report.latency_summary();
+
+    // Wall-clock contract assertions below can only be diagnosed with the
+    // per-tier latency split; `DEGRADE_DEBUG=1` dumps it before they run.
+    if std::env::var("DEGRADE_DEBUG").is_ok() {
+        eprintln!("exact  : {exact_latency}");
+        eprintln!("auto   : {auto_latency}");
+        for (i, h) in auto_report.tier_latency.iter().enumerate() {
+            eprintln!("tier {i}: {}", h.summary());
+        }
+        eprintln!(
+            "slides_in_tier={:?} transitions={} final={:?} budget={budget_us}",
+            auto_report.slides_in_tier, auto_report.transitions, auto_report.final_tier
+        );
+    }
+    assert!(
+        auto_latency.p99_us <= budget_us as f64,
+        "autopilot p99 ({:.0}us) must stay within the SLO ({budget_us}us) the \
+         exact-only run exceeds",
+        auto_latency.p99_us
+    );
+    assert_eq!(
+        auto_report.final_tier,
+        Tier::Exact,
+        "the controller must walk back to the exact tier after the crowd passes"
+    );
+    assert!(
+        auto_report.transitions >= 2,
+        "the crowd must force at least one degrade + one recovery transition"
+    );
+
+    // Offline bound verification: every autopilot answer against the exact
+    // per-slide optimum from the baseline run (same slide partitioning).
+    // The epsilon absorbs summation-order float drift between the grid
+    // accumulators and the exact sweep.
+    let mut answers_checked = 0u64;
+    let mut bound_violations = 0u64;
+    for ((ans, quality), (opt, _)) in auto_report.answers.iter().zip(exact_report.answers.iter()) {
+        let Some(opt) = opt else { continue };
+        if opt.score <= SCORE_EPS {
+            continue;
+        }
+        answers_checked += 1;
+        let floor = quality.error_bound * opt.score - (1e-9 + opt.score.abs() * 1e-6);
+        match ans {
+            None => bound_violations += 1,
+            Some(a) if a.score < floor => bound_violations += 1,
+            Some(_) => {}
+        }
+    }
+    assert_eq!(
+        bound_violations, 0,
+        "every stamped error bound must hold offline ({bound_violations}/{answers_checked} \
+         answers below error_bound x OPT)"
+    );
+
+    fn answers_in_tier(answers: &[(Option<RegionAnswer>, AnswerQuality)]) -> [u64; 3] {
+        let mut counts = [0u64; 3];
+        for (ans, quality) in answers {
+            if ans.is_some() {
+                counts[quality.tier.index()] += 1;
+            }
+        }
+        counts
+    }
+    fn time_in_tier_ms(report: &AutopilotReport) -> [f64; 3] {
+        std::array::from_fn(|i| {
+            let h = &report.tier_latency[i];
+            h.mean_ns() * h.count() as f64 / 1e6
+        })
+    }
+    let row = |mode: &'static str, report: &AutopilotReport, checked: u64, violations: u64| {
+        let latency = report.latency_summary();
+        DegradeBenchRow {
+            mode,
+            objects: report.objects,
+            slides: report.slides,
+            slo_budget_us: budget_us,
+            p50_us: latency.p50_us,
+            p99_us: latency.p99_us,
+            max_us: latency.max_us,
+            within_slo: latency.p99_us <= budget_us as f64,
+            answers_in_tier: answers_in_tier(&report.answers),
+            slides_in_tier: report.slides_in_tier,
+            time_in_tier_ms: time_in_tier_ms(report),
+            transitions: report.transitions,
+            final_tier: report.final_tier.name(),
+            answers_checked: checked,
+            bound_violations: violations,
+        }
+    };
+    vec![
+        row("exact-only", &exact_report, 0, 0),
+        row("autopilot", &auto_report, answers_checked, bound_violations),
+    ]
 }
 
 #[cfg(test)]

@@ -22,20 +22,56 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use surge_approx::{GapSurge, MgapSurge};
 use surge_core::{
     BurstDetector, CheckpointableDetector, DetectorState, DetectorStats, IncrementalDetector,
     RegionAnswer, RestoreError, SpatialObject, SurgeQuery, TopKDetector, WindowConfig,
 };
 use surge_exact::{BaseDetector, CellCspot};
-use surge_io::IoError;
-use surge_stream::{EventBatch, LatencyHistogram, LatencySummary, SlidingWindowEngine};
+use surge_io::{BlobStore, FsStore, IoError};
+use surge_stream::{
+    AutopilotDetector, EventBatch, LatencyHistogram, LatencySummary, SlidingWindowEngine,
+};
 use surge_topk::KCellCspot;
 
 use crate::state::{CheckpointMeta, CheckpointState, DetectorSpec};
 use crate::store::CheckpointDir;
 use crate::wal::{Wal, WalWriter};
 
-/// When to snapshot and how the WAL is segmented and retained.
+/// How aggressively the WAL is forced to stable storage.
+///
+/// Every tier syncs to the OS at each slide boundary (group commit), so a
+/// process kill never loses a flushed slide. The tiers differ in what a
+/// **power loss** can cost — and in write latency, which
+/// `checkpoint-bench` quantifies per policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// OS flush only. A power loss can drop the OS-buffered WAL tail;
+    /// recovery re-reads that stretch from the source, so it costs replay
+    /// work, never correctness. The default.
+    #[default]
+    OsFlush,
+    /// Additionally `fdatasync` the WAL before each snapshot: the records
+    /// between two snapshots are on stable storage before the newer
+    /// snapshot becomes the recovery anchor.
+    FsyncPerSnapshot,
+    /// `fdatasync` at every slide: each flushed slide survives power loss.
+    /// The strongest — and slowest — tier.
+    FsyncPerSlide,
+}
+
+impl SyncPolicy {
+    /// Short name for bench tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncPolicy::OsFlush => "os-flush",
+            SyncPolicy::FsyncPerSnapshot => "fsync/snapshot",
+            SyncPolicy::FsyncPerSlide => "fsync/slide",
+        }
+    }
+}
+
+/// When to snapshot and how the WAL is segmented, retained and synced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointPolicy {
     /// Write a snapshot every N slides (0 disables snapshots; recovery then
@@ -46,6 +82,8 @@ pub struct CheckpointPolicy {
     /// Keep the newest N snapshots (minimum 1); WAL segments fully covered
     /// by the oldest retained snapshot are deleted.
     pub keep_snapshots: usize,
+    /// WAL durability tier.
+    pub sync: SyncPolicy,
 }
 
 impl Default for CheckpointPolicy {
@@ -54,6 +92,7 @@ impl Default for CheckpointPolicy {
             snapshot_every_slides: 8,
             wal_segment_objects: 4096,
             keep_snapshots: 2,
+            sync: SyncPolicy::OsFlush,
         }
     }
 }
@@ -151,6 +190,9 @@ pub struct CheckpointReport {
     pub replayed_from_wal: u64,
     /// Bytes truncated off a torn WAL tail during recovery.
     pub wal_truncated_bytes: u64,
+    /// For an autopilot run: the tier index the controller ended in
+    /// (0 = exact, 1 = MGAPS, 2 = GAPS). `None` for every other detector.
+    pub final_tier: Option<u8>,
     /// Final detector counters.
     pub stats: DetectorStats,
 }
@@ -172,6 +214,9 @@ enum Det {
     Cell(CellCspot),
     Base(BaseDetector),
     TopK(KCellCspot),
+    Gaps(GapSurge),
+    Mgaps(Box<MgapSurge>),
+    Autopilot(Box<AutopilotDetector>),
 }
 
 impl Det {
@@ -188,6 +233,13 @@ impl Det {
                 BaseDetector::new(query)
             }),
             DetectorSpec::TopK { k } => Det::TopK(KCellCspot::new(query, k)),
+            DetectorSpec::Gaps { shards } => Det::Gaps(GapSurge::with_shards(query, shards)),
+            DetectorSpec::Mgaps { shards } => {
+                Det::Mgaps(Box::new(MgapSurge::with_shards(query, shards)))
+            }
+            DetectorSpec::Autopilot { shards, policy } => Det::Autopilot(Box::new(
+                AutopilotDetector::with_shards(query, policy, shards),
+            )),
         }
     }
 
@@ -196,13 +248,16 @@ impl Det {
             Det::Cell(d) => d.on_event(ev),
             Det::Base(d) => BurstDetector::on_event(d, ev),
             Det::TopK(d) => TopKDetector::on_event(d, ev),
+            Det::Gaps(d) => BurstDetector::on_event(d, ev),
+            Det::Mgaps(d) => BurstDetector::on_event(d.as_mut(), ev),
+            Det::Autopilot(d) => BurstDetector::on_event(d.as_mut(), ev),
         }
     }
 
     /// The per-slide flush, matching each detector family's canonical
     /// cadence: CCS sweeps its dirty cells in place and then reads the
-    /// all-fresh answer (bit-identical to `drive_incremental`), Base and
-    /// top-k answer directly.
+    /// all-fresh answer (bit-identical to `drive_incremental`), Base,
+    /// top-k and the grid detectors answer directly.
     fn flush(&mut self, threads: usize) -> Vec<RegionAnswer> {
         match self {
             Det::Cell(d) => {
@@ -211,6 +266,9 @@ impl Det {
             }
             Det::Base(d) => d.current().into_iter().collect(),
             Det::TopK(d) => d.current_topk(),
+            Det::Gaps(d) => d.current().into_iter().collect(),
+            Det::Mgaps(d) => d.current().into_iter().collect(),
+            Det::Autopilot(d) => d.current().into_iter().collect(),
         }
     }
 
@@ -219,6 +277,9 @@ impl Det {
             Det::Cell(d) => d.capture_state(),
             Det::Base(d) => d.capture_state(),
             Det::TopK(d) => d.capture_state(),
+            Det::Gaps(d) => d.capture_state(),
+            Det::Mgaps(d) => d.capture_state(),
+            Det::Autopilot(d) => d.capture_state(),
         }
     }
 
@@ -227,6 +288,9 @@ impl Det {
             Det::Cell(d) => d.restore_state(state),
             Det::Base(d) => d.restore_state(state),
             Det::TopK(d) => d.restore_state(state),
+            Det::Gaps(d) => d.restore_state(state),
+            Det::Mgaps(d) => d.restore_state(state),
+            Det::Autopilot(d) => d.restore_state(state),
         }
     }
 
@@ -235,6 +299,9 @@ impl Det {
             Det::Cell(d) => d.stats(),
             Det::Base(d) => BurstDetector::stats(d),
             Det::TopK(d) => TopKDetector::stats(d),
+            Det::Gaps(d) => BurstDetector::stats(d),
+            Det::Mgaps(d) => BurstDetector::stats(d.as_ref()),
+            Det::Autopilot(d) => BurstDetector::stats(d.as_ref()),
         }
     }
 }
@@ -256,6 +323,9 @@ struct Runner {
     snapshots_written: u64,
     wal_appends: u64,
     pause: LatencyHistogram,
+    /// When the current slide started (last flush end) — feeds the
+    /// autopilot's slide-latency signal.
+    slide_t0: Instant,
 }
 
 impl Runner {
@@ -267,12 +337,26 @@ impl Runner {
     }
 
     /// One flush: sweep + answer, then maybe a snapshot. The WAL is synced
-    /// at every flush (group commit — see the `wal` module docs).
+    /// at every flush per the [`SyncPolicy`] (group commit — see the `wal`
+    /// module docs).
     fn flush(&mut self) -> Result<(), CheckpointError> {
-        self.wal.sync()?;
+        match self.cfg.policy.sync {
+            SyncPolicy::FsyncPerSlide => self.wal.sync_durable()?,
+            SyncPolicy::OsFlush | SyncPolicy::FsyncPerSnapshot => self.wal.sync()?,
+        }
         let flush_answers = self.detector.flush(self.cfg.threads);
         self.answers.push(flush_answers);
         self.slides += 1;
+        // The autopilot observes its SLO signals at the same point
+        // `drive_autopilot` does: after the slide's answer is taken, before
+        // the snapshot — so a snapshot captures the post-transition tier
+        // and replay reproduces the same transition sequence.
+        if let Det::Autopilot(d) = &mut self.detector {
+            let dt = self.slide_t0.elapsed();
+            let latency_us = (dt.as_nanos() / 1_000).min(u64::MAX as u128) as u64;
+            d.note_slide(latency_us, &self.engine);
+        }
+        self.slide_t0 = Instant::now();
         let every = self.cfg.policy.snapshot_every_slides;
         if every > 0 && self.slides.is_multiple_of(every) {
             self.snapshot()?;
@@ -286,6 +370,12 @@ impl Runner {
     /// pause histogram.
     fn snapshot(&mut self) -> Result<(), CheckpointError> {
         let t0 = Instant::now();
+        // Under FsyncPerSnapshot, the WAL records this snapshot does not
+        // cover must be on stable storage before the snapshot becomes the
+        // recovery anchor (and before gc drops their predecessors).
+        if self.cfg.policy.sync == SyncPolicy::FsyncPerSnapshot {
+            self.wal.sync_durable()?;
+        }
         self.snapshot_seq += 1;
         let state = CheckpointState {
             meta: CheckpointMeta {
@@ -364,6 +454,10 @@ impl Runner {
                 self.flush()?;
             }
         }
+        let final_tier = match &self.detector {
+            Det::Autopilot(d) => Some(d.tier().index() as u8),
+            _ => None,
+        };
         Ok(CheckpointReport {
             objects: self.objects,
             slides: self.slides,
@@ -375,6 +469,7 @@ impl Runner {
             resumed_at,
             replayed_from_wal,
             wal_truncated_bytes,
+            final_tier,
             stats: self.detector.stats(),
         })
     }
@@ -403,6 +498,20 @@ pub fn run_checkpointed(
     source: impl Iterator<Item = SpatialObject>,
     tail: Tail,
 ) -> Result<CheckpointReport, CheckpointError> {
+    run_checkpointed_with_store(cfg, dir, source, tail, Box::new(FsStore))
+}
+
+/// [`run_checkpointed`] with an explicit WAL segment-file store — the
+/// fault-injection hook: hand it a [`surge_io::FailingStore`] and every
+/// I/O-failure point must surface as [`CheckpointError::Io`], leaving a
+/// WAL that still recovers to a clean prefix.
+pub fn run_checkpointed_with_store(
+    cfg: &CheckpointConfig,
+    dir: impl Into<PathBuf>,
+    source: impl Iterator<Item = SpatialObject>,
+    tail: Tail,
+    store: Box<dyn BlobStore>,
+) -> Result<CheckpointReport, CheckpointError> {
     check_cfg(cfg)?;
     let dir = CheckpointDir::create(dir)?;
     let has_wal = std::fs::read_dir(dir.wal_dir())
@@ -413,7 +522,7 @@ pub fn run_checkpointed(
             "directory already holds checkpoint state; use recover() to resume".into(),
         ));
     }
-    let wal = WalWriter::open(dir.wal_dir(), 0, cfg.policy.wal_segment_objects)?;
+    let wal = WalWriter::open_with_store(dir.wal_dir(), 0, cfg.policy.wal_segment_objects, store)?;
     let runner = Runner {
         cfg: *cfg,
         dir,
@@ -430,6 +539,7 @@ pub fn run_checkpointed(
         snapshots_written: 0,
         wal_appends: 0,
         pause: LatencyHistogram::new(),
+        slide_t0: Instant::now(),
     };
     runner.run(source, tail, None, 0, 0)
 }
@@ -536,6 +646,7 @@ pub fn recover(
         snapshots_written: 0,
         wal_appends: 0,
         pause: LatencyHistogram::new(),
+        slide_t0: Instant::now(),
     };
 
     // Replay the WAL tail through the identical loop (not re-appended).

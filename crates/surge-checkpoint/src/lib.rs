@@ -55,8 +55,8 @@ pub mod store;
 pub mod wal;
 
 pub use driver::{
-    recover, run_checkpointed, CheckpointConfig, CheckpointError, CheckpointPolicy,
-    CheckpointReport, Tail,
+    recover, run_checkpointed, run_checkpointed_with_store, CheckpointConfig, CheckpointError,
+    CheckpointPolicy, CheckpointReport, SyncPolicy, Tail,
 };
 pub use state::{CheckpointMeta, CheckpointState, DetectorSpec};
 pub use store::CheckpointDir;

@@ -15,11 +15,13 @@
 //! [`IoError`]s for every truncation and corruption.
 
 use surge_core::{
-    CandidateState, CellState, DetectorState, DetectorStats, EngineState, Point, Rect, RectState,
-    RegionAnswer, SpatialObject, SurgeQuery, WindowConfig, WindowKind,
+    CandidateState, CellState, ControllerState, DetectorState, DetectorStats, EngineState,
+    GridCellState, Point, Rect, RectState, RegionAnswer, SpatialObject, SurgeQuery, WindowConfig,
+    WindowKind,
 };
 use surge_exact::{BoundMode, SweepMode};
 use surge_io::{IoError, PayloadReader, PayloadWriter, Snapshot};
+use surge_stream::SloPolicy;
 
 /// Section tags of the checkpoint snapshot format.
 pub mod tags {
@@ -57,6 +59,24 @@ pub enum DetectorSpec {
     TopK {
         /// The configured k.
         k: usize,
+    },
+    /// [`surge_approx::GapSurge`] (GAP-SURGE).
+    Gaps {
+        /// Ingest shard count (power of two).
+        shards: usize,
+    },
+    /// [`surge_approx::MgapSurge`] (MGAP-SURGE).
+    Mgaps {
+        /// Ingest shard count per grid (power of two).
+        shards: usize,
+    },
+    /// [`surge_stream::AutopilotDetector`] — the overload autopilot over
+    /// the exact ⇄ MGAPS ⇄ GAPS tier lattice.
+    Autopilot {
+        /// Ingest shard count handed to each tier detector.
+        shards: usize,
+        /// The degradation SLO.
+        policy: SloPolicy,
     },
 }
 
@@ -229,6 +249,24 @@ fn encode_spec(query: &SurgeQuery, spec: &DetectorSpec) -> Vec<u8> {
             w.u8(2);
             w.u64(*k as u64);
         }
+        DetectorSpec::Gaps { shards } => {
+            w.u8(3);
+            w.u64(*shards as u64);
+        }
+        DetectorSpec::Mgaps { shards } => {
+            w.u8(4);
+            w.u64(*shards as u64);
+        }
+        DetectorSpec::Autopilot { shards, policy } => {
+            w.u8(5);
+            w.u64(*shards as u64);
+            w.u64(policy.slide_latency_budget_us);
+            w.u64(policy.max_residents);
+            w.u32(policy.degrade_after);
+            w.u32(policy.upgrade_after);
+            w.u32(policy.cooldown_slides);
+            w.u32(policy.drain_percent);
+        }
     }
     w.finish()
 }
@@ -278,6 +316,33 @@ fn decode_spec(buf: &[u8]) -> Result<(SurgeQuery, DetectorSpec), IoError> {
                 k
             },
         },
+        3 => DetectorSpec::Gaps {
+            shards: r.u64("spec.shards")? as usize,
+        },
+        4 => DetectorSpec::Mgaps {
+            shards: r.u64("spec.shards")? as usize,
+        },
+        5 => {
+            let shards = r.u64("spec.shards")? as usize;
+            let policy = SloPolicy {
+                slide_latency_budget_us: r.u64("spec.policy.latency")?,
+                max_residents: r.u64("spec.policy.residents")?,
+                degrade_after: r.u32("spec.policy.degrade_after")?,
+                upgrade_after: r.u32("spec.policy.upgrade_after")?,
+                cooldown_slides: r.u32("spec.policy.cooldown")?,
+                drain_percent: r.u32("spec.policy.drain")?,
+            };
+            if policy.drain_percent > 100 {
+                return Err(inv(format!(
+                    "spec: drain_percent {} above 100",
+                    policy.drain_percent
+                )));
+            }
+            if policy.degrade_after == 0 || policy.upgrade_after == 0 {
+                return Err(inv("spec: degrade/upgrade streaks must be positive"));
+            }
+            DetectorSpec::Autopilot { shards, policy }
+        }
         other => return Err(inv(format!("unknown detector-spec code {other}"))),
     };
     r.expect_exhausted("spec")?;
@@ -434,6 +499,33 @@ fn encode_detector(d: &DetectorState) -> Vec<u8> {
             None => w.u8(0),
         }
     }
+    w.u64(d.grid_cells.len() as u64);
+    for g in &d.grid_cells {
+        w.u32(g.grid);
+        w.i64(g.id.0);
+        w.i64(g.id.1);
+        w.f64(g.wc);
+        w.f64(g.wp);
+        w.u32(g.count);
+    }
+    match &d.controller {
+        Some(c) => {
+            w.u8(1);
+            w.u8(c.tier);
+            w.u32(c.over);
+            w.u32(c.under);
+            w.u32(c.cooldown);
+            w.u64(c.transitions);
+            for &s in &c.slides_in_tier {
+                w.u64(s);
+            }
+            w.u64(c.base_stats.events);
+            w.u64(c.base_stats.new_events);
+            w.u64(c.base_stats.searches);
+            w.u64(c.base_stats.events_triggering_search);
+        }
+        None => w.u8(0),
+    }
     w.finish()
 }
 
@@ -497,6 +589,61 @@ fn decode_detector(buf: &[u8]) -> Result<DetectorState, IoError> {
             other => return Err(inv(format!("bad incumbent flag {other}"))),
         });
     }
+    let n_grid = r.u64("detector.grid_cells")?;
+    let mut grid_cells = Vec::with_capacity(n_grid.min(1 << 24) as usize);
+    for _ in 0..n_grid {
+        let grid = r.u32("grid_cell.grid")?;
+        let id = (r.i64("grid_cell.id")?, r.i64("grid_cell.id")?);
+        let wc = r.f64("grid_cell.wc")?;
+        let wp = r.f64("grid_cell.wp")?;
+        let count = r.u32("grid_cell.count")?;
+        if !(wc.is_finite() && wp.is_finite()) {
+            return Err(inv(format!("grid cell {id:?}: non-finite weights")));
+        }
+        if count == 0 {
+            return Err(inv(format!("grid cell {id:?}: zero resident count")));
+        }
+        grid_cells.push(GridCellState {
+            grid,
+            id,
+            wc,
+            wp,
+            count,
+        });
+    }
+    let controller = match r.u8("detector.controller")? {
+        0 => None,
+        1 => {
+            let tier = r.u8("controller.tier")?;
+            if tier > 2 {
+                return Err(inv(format!("controller: unknown tier code {tier}")));
+            }
+            let over = r.u32("controller.over")?;
+            let under = r.u32("controller.under")?;
+            let cooldown = r.u32("controller.cooldown")?;
+            let transitions = r.u64("controller.transitions")?;
+            let mut slides_in_tier = [0u64; 3];
+            for s in &mut slides_in_tier {
+                *s = r.u64("controller.slides_in_tier")?;
+            }
+            let base_stats = DetectorStats {
+                events: r.u64("controller.base_stats")?,
+                new_events: r.u64("controller.base_stats")?,
+                searches: r.u64("controller.base_stats")?,
+                events_triggering_search: r.u64("controller.base_stats")?,
+            };
+            Some(ControllerState {
+                tier,
+                over,
+                under,
+                cooldown,
+                transitions,
+                slides_in_tier,
+                base_stats,
+            })
+        }
+        other => return Err(inv(format!("bad controller flag {other}"))),
+    };
     r.expect_exhausted("detector")?;
     Ok(DetectorState {
         name,
@@ -504,6 +651,8 @@ fn decode_detector(buf: &[u8]) -> Result<DetectorState, IoError> {
         cells,
         rects,
         incumbents,
+        grid_cells,
+        controller,
         stats,
     })
 }

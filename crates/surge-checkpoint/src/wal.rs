@@ -38,20 +38,27 @@
 //!
 //! # Durability
 //!
-//! [`WalWriter::append`] buffers; [`WalWriter::sync`] flushes to the OS.
-//! The checkpointing driver syncs at every slide boundary (group commit),
-//! so a hard kill loses at most the current slide's tail — and because
-//! recovery resumes the *source* stream from the last durable record, a
-//! lost tail costs replay work, never correctness.
+//! [`WalWriter::append`] buffers; [`WalWriter::sync`] flushes to the OS and
+//! [`WalWriter::sync_durable`] additionally forces the bytes to stable
+//! storage (`fdatasync`). The checkpointing driver syncs at every slide
+//! boundary (group commit) per its [`SyncPolicy`](crate::SyncPolicy), so a
+//! hard kill loses at most the current slide's tail — and because recovery
+//! resumes the *source* stream from the last durable record, a lost tail
+//! costs replay work, never correctness.
+//!
+//! Segment files are created through a [`surge_io::BlobStore`], so tests
+//! can substitute [`surge_io::FailingStore`] and probe every I/O-failure
+//! point; production uses [`surge_io::FsStore`].
 
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 use surge_core::SpatialObject;
 use surge_io::{
-    decode_record, encode_record, frame_record, read_framed_record, FramedRecord, IoError, Result,
-    RECORD_SIZE,
+    decode_record, encode_record, frame_record, read_framed_record, BlobFile, BlobStore,
+    FramedRecord, FsStore, IoError, Result, RECORD_SIZE,
 };
 
 /// Magic bytes identifying a WAL segment.
@@ -90,11 +97,11 @@ fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
 
 /// The write half of the log: appends framed records, rotating segments
 /// every `segment_objects` appends.
-#[derive(Debug)]
 pub struct WalWriter {
     dir: PathBuf,
     segment_objects: u64,
-    file: Option<BufWriter<File>>,
+    store: Box<dyn BlobStore>,
+    file: Option<BufWriter<Box<dyn BlobFile>>>,
     /// Records in the active segment.
     in_segment: u64,
     /// Global index of the next record to append.
@@ -103,17 +110,41 @@ pub struct WalWriter {
     segments_opened: u64,
 }
 
+impl fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalWriter")
+            .field("dir", &self.dir)
+            .field("segment_objects", &self.segment_objects)
+            .field("in_segment", &self.in_segment)
+            .field("next_index", &self.next_index)
+            .field("segments_opened", &self.segments_opened)
+            .finish_non_exhaustive()
+    }
+}
+
 impl WalWriter {
     /// Opens a writer that appends starting at global index `next_index`
     /// (0 for a fresh run; the recovered count after a restart). The first
     /// append opens a new segment — recovery always seals the old tail, so
     /// a writer never extends a file it did not create.
     pub fn open(dir: impl Into<PathBuf>, next_index: u64, segment_objects: u64) -> Result<Self> {
+        Self::open_with_store(dir, next_index, segment_objects, Box::new(FsStore))
+    }
+
+    /// [`WalWriter::open`] with an explicit segment-file store — the hook
+    /// fault-injection tests use to make any write or sync fail.
+    pub fn open_with_store(
+        dir: impl Into<PathBuf>,
+        next_index: u64,
+        segment_objects: u64,
+        store: Box<dyn BlobStore>,
+    ) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(WalWriter {
             dir,
             segment_objects: segment_objects.max(1),
+            store,
             file: None,
             in_segment: 0,
             next_index,
@@ -141,11 +172,7 @@ impl WalWriter {
         // colliding file can only be a torn tail recovery truncated down
         // to (at most) its header. Guarding against *accidental* reuse of
         // a live log is the driver's job (it refuses dirs with state).
-        let file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
+        let file = self.store.create(&path)?;
         let mut out = BufWriter::new(file);
         out.write_all(WAL_MAGIC)?;
         out.write_all(&self.next_index.to_le_bytes())?;
@@ -176,6 +203,17 @@ impl WalWriter {
     pub fn sync(&mut self) -> Result<()> {
         if let Some(f) = self.file.as_mut() {
             f.flush()?;
+        }
+        Ok(())
+    }
+
+    /// [`WalWriter::sync`] plus `fdatasync`: the bytes survive power loss,
+    /// not just a process kill. Used by the stricter
+    /// [`SyncPolicy`](crate::SyncPolicy) tiers.
+    pub fn sync_durable(&mut self) -> Result<()> {
+        if let Some(f) = self.file.as_mut() {
+            f.flush()?;
+            f.get_mut().sync_data()?;
         }
         Ok(())
     }
@@ -478,6 +516,49 @@ mod tests {
         }
         std::fs::remove_file(segment_path(&dir, 2)).unwrap();
         assert!(matches!(Wal::recover(&dir), Err(IoError::Invariant(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_durable_persists_the_tail() {
+        let dir = temp_dir("durable");
+        let mut w = WalWriter::open(&dir, 0, 8).unwrap();
+        for i in 0..3 {
+            w.append(&obj(i, i * 10)).unwrap();
+        }
+        w.sync_durable().unwrap();
+        let rec = Wal::recover(&dir).unwrap();
+        assert_eq!(rec.objects.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_write_failure_surfaces_and_log_stays_recoverable() {
+        use surge_io::{FailingStore, FaultPlan};
+        let dir = temp_dir("inject");
+        let store = FailingStore::new(FaultPlan::new().fail_after_writes(6));
+        let mut w = WalWriter::open_with_store(&dir, 0, 2, Box::new(store)).unwrap();
+        let mut failed = false;
+        for i in 0..40 {
+            // Appends buffer, so the injected failure may surface at a
+            // roll or at sync — either way it must be IoError::Io.
+            let r = w.append(&obj(i, i * 10)).and_then(|_| w.sync());
+            match r {
+                Ok(()) => {}
+                Err(IoError::Io(_)) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error kind: {e:?}"),
+            }
+        }
+        assert!(failed, "fault plan must trigger");
+        drop(w);
+        // Whatever made it to disk recovers as a clean prefix.
+        let rec = Wal::recover(&dir).unwrap();
+        for (i, o) in rec.objects.iter().enumerate() {
+            assert_eq!(o.id, rec.start_index + i as u64);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use proptest::prelude::*;
 use surge_checkpoint::{
     recover, run_checkpointed, CheckpointConfig, CheckpointPolicy, CheckpointReport, DetectorSpec,
-    Tail,
+    SyncPolicy, Tail,
 };
 use surge_core::{RegionAnswer, RegionSize, SpatialObject, SurgeQuery, WindowConfig};
 use surge_exact::{BoundMode, CellCspot, SweepMode};
@@ -44,6 +44,7 @@ fn cfg(spec: DetectorSpec, windows: WindowConfig) -> CheckpointConfig {
             snapshot_every_slides: 2,
             wal_segment_objects: 23,
             keep_snapshots: 2,
+            sync: SyncPolicy::OsFlush,
         },
     }
 }
@@ -395,6 +396,7 @@ fn wal_and_snapshot_gc_respect_retention() {
         snapshot_every_slides: 2,
         wal_segment_objects: 16,
         keep_snapshots: 2,
+        sync: SyncPolicy::OsFlush,
     };
     let dir = fresh_dir("gc");
     let report = run_checkpointed(&config, &dir, stream.iter().copied(), Tail::Finish).unwrap();

@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use surge_checkpoint::{
-    run_checkpointed, CheckpointConfig, CheckpointPolicy, CheckpointState, DetectorSpec, Tail,
+    run_checkpointed, CheckpointConfig, CheckpointPolicy, CheckpointState, DetectorSpec,
+    SyncPolicy, Tail,
 };
 use surge_core::{RegionSize, SurgeQuery, WindowConfig};
 use surge_exact::{BoundMode, SweepMode};
@@ -39,6 +40,7 @@ fn real_snapshot_bytes(stream: &[surge_core::SpatialObject], tag: &str) -> Vec<u
             snapshot_every_slides: 1,
             wal_segment_objects: 64,
             keep_snapshots: 1,
+            sync: SyncPolicy::OsFlush,
         },
     };
     let dir = fresh_dir(tag);

@@ -123,6 +123,48 @@ pub struct CellState {
     pub cand: Vec<CandidateState>,
 }
 
+/// The logical state of one counting-grid cell of an approximate detector
+/// (GAPS keeps one grid, MGAPS four half-shifted ones). The weight sums are
+/// floating-point accumulations over the event history, so — exactly like
+/// [`CandidateState::Valid`] — they are captured bit-for-bit; the derived
+/// rank key is a pure function of `(wc, wp)` and is recomputed on restore.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridCellState {
+    /// Which grid instance owns the cell (0 for GAPS; 0..4 for MGAPS).
+    pub grid: u32,
+    /// The cell's grid coordinates.
+    pub id: CellId,
+    /// Current-window weight sum (raw, unnormalized), bit-for-bit.
+    pub wc: f64,
+    /// Past-window weight sum (raw, unnormalized), bit-for-bit.
+    pub wp: f64,
+    /// Resident current-window object count (cells vanish at 0).
+    pub count: u32,
+}
+
+/// The logical state of the overload autopilot's degradation controller:
+/// the active tier plus the hysteresis counters, so a crash mid-degradation
+/// restores the controller exactly where it was (same tier, same pending
+/// escalation/drain progress).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerState {
+    /// The active tier (0 = exact, 1 = MGAPS, 2 = GAPS).
+    pub tier: u8,
+    /// Consecutive over-SLO slides observed so far.
+    pub over: u32,
+    /// Consecutive drained slides observed so far.
+    pub under: u32,
+    /// Slides remaining before another transition is allowed.
+    pub cooldown: u32,
+    /// Total tier transitions performed.
+    pub transitions: u64,
+    /// Slides spent in each tier (exact, MGAPS, GAPS).
+    pub slides_in_tier: [u64; 3],
+    /// Detector counters accumulated by tiers that were since torn down
+    /// (the active tier's live counters are added on top).
+    pub base_stats: DetectorStats,
+}
+
 /// The logical state of a detector: everything needed to rebuild it so that
 /// its future answers (and the searches behind them) are bit-identical to
 /// the uninterrupted run.
@@ -143,6 +185,11 @@ pub struct DetectorState {
     /// with their scores. Single-region detectors leave this empty (their
     /// incumbent is derived from cell candidates on the next scan).
     pub incumbents: Vec<Option<(Point, f64)>>,
+    /// Counting-grid cells (approximate detectors only; empty for exact
+    /// detectors), in ascending `(grid, id)` order.
+    pub grid_cells: Vec<GridCellState>,
+    /// Degradation-controller state (autopilot detectors only).
+    pub controller: Option<ControllerState>,
     /// Instrumentation counters, restored so post-recovery stats continue
     /// the uninterrupted sequence.
     pub stats: DetectorStats,

@@ -46,8 +46,8 @@ pub mod store;
 pub mod time;
 
 pub use checkpoint::{
-    CandidateState, CellState, CheckpointableDetector, DetectorState, EngineState, RectState,
-    RestoreError,
+    CandidateState, CellState, CheckpointableDetector, ControllerState, DetectorState, EngineState,
+    GridCellState, RectState, RestoreError,
 };
 pub use detector::{
     BurstDetector, DetectorStats, IncrementalDetector, ShardAnswer, ShardRunStats, ShardWorker,

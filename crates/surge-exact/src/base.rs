@@ -217,6 +217,8 @@ impl CheckpointableDetector for BaseDetector {
             cells,
             rects: Vec::new(),
             incumbents: Vec::new(),
+            grid_cells: Vec::new(),
+            controller: None,
             stats: self.stats,
         }
     }

@@ -710,6 +710,8 @@ impl CheckpointableDetector for CellCspot {
             cells,
             rects: Vec::new(),
             incumbents: Vec::new(),
+            grid_cells: Vec::new(),
+            controller: None,
             stats: self.stats,
         }
     }

@@ -1,0 +1,231 @@
+//! Pluggable segment-file stores, including a fault-injection wrapper.
+//!
+//! The WAL writer in `surge-checkpoint` creates and appends to segment
+//! files through the [`BlobStore`] trait instead of touching `std::fs`
+//! directly. Production uses [`FsStore`] (plain buffered files);
+//! crash-safety tests use [`FailingStore`], which delegates to an inner
+//! store but injects an `io::Error` after a configured number of writes or
+//! on a configured sync — letting a proptest walk the *entire* space of
+//! I/O-failure points and assert that the checkpoint driver surfaces a
+//! precise [`crate::IoError`] (never a panic) and that the WAL left behind
+//! still recovers to a clean prefix.
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One writable segment file produced by a [`BlobStore`].
+pub trait BlobFile: Write + Send {
+    /// Forces written bytes to stable storage (`fdatasync`); a plain
+    /// OS-level flush happens through [`Write::flush`].
+    fn sync_data(&mut self) -> io::Result<()>;
+}
+
+/// Creates segment files. The store owns any shared fault state, so one
+/// store handed to a WAL writer governs every segment it opens.
+pub trait BlobStore: Send {
+    /// Creates (truncating) the file at `path` for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn BlobFile>>;
+}
+
+/// The production store: real files.
+#[derive(Debug, Clone, Default)]
+pub struct FsStore;
+
+impl BlobFile for std::fs::File {
+    fn sync_data(&mut self) -> io::Result<()> {
+        std::fs::File::sync_data(self)
+    }
+}
+
+impl BlobStore for FsStore {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn BlobFile>> {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(file))
+    }
+}
+
+/// Shared fault counters: how many operations remain before the injected
+/// failure. Cloning shares the counters, so a test can keep a handle while
+/// the store is moved into the writer.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Fails every write once this many `write` calls have succeeded
+    /// (`u64::MAX` = never).
+    fail_after_writes: Arc<AtomicU64>,
+    /// Fails the Nth `sync_data` call, 1-based (`0` = never).
+    fail_on_sync: Arc<AtomicU64>,
+    writes: Arc<AtomicU64>,
+    syncs: Arc<AtomicU64>,
+}
+
+impl FaultPlan {
+    /// A plan that never fails (until reconfigured).
+    pub fn new() -> Self {
+        FaultPlan {
+            fail_after_writes: Arc::new(AtomicU64::new(u64::MAX)),
+            fail_on_sync: Arc::new(AtomicU64::new(0)),
+            writes: Arc::new(AtomicU64::new(0)),
+            syncs: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Fails every `write` after `n` successful ones.
+    pub fn fail_after_writes(self, n: u64) -> Self {
+        self.fail_after_writes.store(n, Ordering::SeqCst);
+        self
+    }
+
+    /// Fails the `n`th `sync_data` call (1-based).
+    pub fn fail_on_sync(self, n: u64) -> Self {
+        self.fail_on_sync.store(n, Ordering::SeqCst);
+        self
+    }
+
+    /// Successful `write` calls observed so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::SeqCst)
+    }
+
+    /// `sync_data` calls observed so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::SeqCst)
+    }
+
+    fn check_write(&self) -> io::Result<()> {
+        if self.writes.load(Ordering::SeqCst) >= self.fail_after_writes.load(Ordering::SeqCst) {
+            return Err(io::Error::other("injected write failure"));
+        }
+        self.writes.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn check_sync(&self) -> io::Result<()> {
+        let nth = self.syncs.fetch_add(1, Ordering::SeqCst) + 1;
+        let target = self.fail_on_sync.load(Ordering::SeqCst);
+        if target != 0 && nth >= target {
+            return Err(io::Error::other("injected sync failure"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A [`BlobStore`] that injects failures per a shared [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FailingStore {
+    plan: FaultPlan,
+}
+
+impl FailingStore {
+    /// Wraps the filesystem store with the given plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FailingStore { plan }
+    }
+}
+
+struct FailingFile {
+    inner: Box<dyn BlobFile>,
+    plan: FaultPlan,
+}
+
+impl Write for FailingFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.plan.check_write()?;
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl BlobFile for FailingFile {
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.plan.check_sync()?;
+        self.inner.sync_data()
+    }
+}
+
+impl BlobStore for FailingStore {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn BlobFile>> {
+        // Creation itself also consumes a write credit: a crash can land
+        // between open and first byte, and the tests want that point too.
+        self.plan.check_write()?;
+        let inner = FsStore.create(path)?;
+        Ok(Box::new(FailingFile {
+            inner,
+            plan: self.plan.clone(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("surge-fault-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn fs_store_writes_and_syncs() {
+        let p = temp_path("fs");
+        let mut f = FsStore.create(&p).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.flush().unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&p).unwrap(), b"hello");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn failing_store_fails_after_n_writes() {
+        let p = temp_path("writes");
+        let plan = FaultPlan::new().fail_after_writes(3);
+        let store = FailingStore::new(plan.clone());
+        // Credit 1: create. Credits 2-3: two writes. Then failure.
+        let mut f = store.create(&p).unwrap();
+        f.write_all(b"a").unwrap();
+        f.write_all(b"b").unwrap();
+        assert!(f.write_all(b"c").is_err());
+        assert!(f.write_all(b"d").is_err(), "failure is sticky");
+        assert_eq!(plan.writes(), 3);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn failing_store_fails_on_nth_sync() {
+        let p = temp_path("syncs");
+        let store = FailingStore::new(FaultPlan::new().fail_on_sync(2));
+        let mut f = store.create(&p).unwrap();
+        f.write_all(b"x").unwrap();
+        f.flush().unwrap();
+        f.sync_data().unwrap();
+        assert!(f.sync_data().is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn unconfigured_plan_never_fails() {
+        let p = temp_path("never");
+        let store = FailingStore::new(FaultPlan::new());
+        let mut f = store.create(&p).unwrap();
+        for _ in 0..1000 {
+            f.write_all(b"y").unwrap();
+        }
+        f.sync_data().unwrap();
+        std::fs::remove_file(&p).ok();
+    }
+}

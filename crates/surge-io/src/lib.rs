@@ -14,6 +14,9 @@
 //! * [`config`] — textual save/load of [`surge_core::SurgeQuery`] for
 //!   reproducible experiment configurations.
 //! * [`checksum`] — table-driven CRC-32 shared by the durable formats.
+//! * [`fault`] — pluggable segment-file stores ([`FsStore`]) plus a
+//!   fault-injection wrapper ([`FailingStore`]) that fails after N writes
+//!   or on the Nth sync, for crash-safety proptests.
 //! * [`snapshot`] — the checksummed, versioned section container behind
 //!   checkpoint snapshots (length-prefixed sections, CRC footer, atomic
 //!   write-then-rename) plus the CRC-framed record codec the checkpoint
@@ -35,6 +38,7 @@ pub mod config;
 pub mod csv;
 pub mod error;
 pub mod eventlog;
+pub mod fault;
 pub mod geojson;
 pub mod snapshot;
 
@@ -47,6 +51,7 @@ pub use config::{query_from_str, query_to_string, read_query_from, write_query_t
 pub use csv::{read_objects, read_objects_from, write_objects, write_objects_to};
 pub use error::{IoError, Result};
 pub use eventlog::{read_events, read_events_from, write_events, write_events_to, EventLogWriter};
+pub use fault::{BlobFile, BlobStore, FailingStore, FaultPlan, FsStore};
 pub use geojson::{feature_collection, write_feature_collection_to, LabelledAnswer};
 pub use snapshot::{
     frame_record, read_framed_record, read_snapshot_from, write_snapshot_atomic, FramedRecord,

@@ -28,10 +28,16 @@
 //!   bit-identical to the sequential drivers.
 //! * [`metrics`] — log-bucketed latency histogram for tail-latency
 //!   reporting.
+//! * [`autopilot`] — the overload autopilot: a [`DegradationController`]
+//!   walks the detector across the exact ⇄ MGAPS ⇄ GAPS tier lattice under
+//!   a latency/residency SLO with hysteresis, warm hand-offs from the live
+//!   windows, and per-answer [`AnswerQuality`] stamps
+//!   ([`drive_autopilot`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autopilot;
 pub mod datasets;
 pub mod driver;
 pub mod generator;
@@ -42,6 +48,10 @@ pub mod sharded;
 pub mod text;
 pub mod window;
 
+pub use autopilot::{
+    drive_autopilot, AnswerQuality, AutopilotDetector, AutopilotReport, DegradationController,
+    SloPolicy, Tier,
+};
 pub use datasets::{Dataset, DatasetSpec};
 pub use driver::{drive, drive_slides, drive_topk, RunStats, SlideRunStats};
 pub use generator::{BurstSpec, Hotspot, StreamGenerator, WorkloadConfig};

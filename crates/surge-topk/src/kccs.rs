@@ -527,6 +527,8 @@ impl CheckpointableDetector for KCellCspot {
                 .iter()
                 .map(|b| b.map(|b| (b.point, b.score)))
                 .collect(),
+            grid_cells: Vec::new(),
+            controller: None,
             stats: self.stats,
         }
     }

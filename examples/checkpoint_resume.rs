@@ -20,7 +20,7 @@
 //! Run with `cargo run --release --example checkpoint_resume`.
 
 use surge::checkpoint::{
-    recover, run_checkpointed, CheckpointConfig, CheckpointPolicy, DetectorSpec, Tail,
+    recover, run_checkpointed, CheckpointConfig, CheckpointPolicy, DetectorSpec, SyncPolicy, Tail,
 };
 use surge::exact::{BoundMode, SweepMode};
 use surge::prelude::*;
@@ -65,6 +65,7 @@ fn main() {
             snapshot_every_slides: 8,
             wal_segment_objects: 4_096,
             keep_snapshots: 2,
+            sync: SyncPolicy::OsFlush,
         },
     };
     let objs = stream(20_000);

@@ -77,7 +77,7 @@ pub mod prelude {
     pub use surge_approx::{GapSurge, MgapSurge};
     pub use surge_baseline::Ag2;
     pub use surge_checkpoint::{
-        recover, run_checkpointed, CheckpointConfig, CheckpointPolicy, DetectorSpec,
+        recover, run_checkpointed, CheckpointConfig, CheckpointPolicy, DetectorSpec, SyncPolicy,
     };
     pub use surge_core::{
         burst_score, shard_of_cell, BurstDetector, BurstParams, Event, EventKind,
@@ -94,11 +94,11 @@ pub mod prelude {
         grid_city, GridCityConfig, NetBallOracle, NetGapSurge, NetMgapSurge, RoadNetwork,
     };
     pub use surge_stream::{
-        drive, drive_incremental, drive_parallel, drive_sharded, drive_slides, drive_topk,
-        sweep_parallel, BurstSpec, Dataset, DirtyCellTracker, EventBatch, GeoMessage, Hotspot,
-        KeywordQuery, LatencyHistogram, ShardedReport, ShardedWindowEngine, SlidingWindowEngine,
-        StreamGenerator, TextStreamGenerator, Topic, TopicBurst, Vocabulary, WindowLane,
-        WorkloadConfig,
+        drive, drive_autopilot, drive_incremental, drive_parallel, drive_sharded, drive_slides,
+        drive_topk, sweep_parallel, AnswerQuality, AutopilotDetector, AutopilotReport, BurstSpec,
+        Dataset, DirtyCellTracker, EventBatch, GeoMessage, Hotspot, KeywordQuery, LatencyHistogram,
+        ShardedReport, ShardedWindowEngine, SlidingWindowEngine, SloPolicy, StreamGenerator,
+        TextStreamGenerator, Tier, Topic, TopicBurst, Vocabulary, WindowLane, WorkloadConfig,
     };
     pub use surge_topk::{KCellCspot, KGapSurge, KMgapSurge, NaiveTopK};
 }
