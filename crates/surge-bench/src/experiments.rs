@@ -1072,6 +1072,14 @@ pub struct SweepBenchRow {
     pub tree_recursive_us: f64,
     /// `tree_recursive_us / tree_flat_us`.
     pub tree_speedup: f64,
+    /// Mean microseconds per fused SoA-lane burst-tree workload
+    /// (clear + sync + 3n applies with a `top()` each).
+    pub burst_fused_us: f64,
+    /// Mean microseconds for the same workload on the split two-tree
+    /// layout.
+    pub burst_split_us: f64,
+    /// `burst_split_us / burst_fused_us`.
+    pub burst_speedup: f64,
 }
 
 /// Times one deterministic interval-add workload (3n adds + a `top()` each)
@@ -1123,6 +1131,76 @@ fn tree_bench(n: usize, seed: u64, reps: usize) -> (f64, f64) {
     (
         t_flat.as_secs_f64() * 1e6 / reps as f64,
         t_rec.as_secs_f64() * 1e6 / reps as f64,
+    )
+}
+
+/// Times the persistent sweep's burst-tree workload — `clear_values` +
+/// `sync_len` then `3n` signed burst applies with a `top()` each — on the
+/// fused SoA-lane tree vs the split two-tree layout, cross-checking the
+/// accumulated maxima bit for bit every round.
+fn burst_bench(n: usize, seed: u64, reps: usize) -> (f64, f64) {
+    use surge_core::{BurstParams, WindowKind};
+    use surge_exact::{BurstSegTree, SplitBurstSegTree};
+
+    let params = BurstParams {
+        alpha: DEFAULT_ALPHA,
+        current_norm: 1.0,
+        past_norm: 1.0,
+    };
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let ops: Vec<(usize, usize, f64, WindowKind, f64)> = (0..3 * n)
+        .map(|i| {
+            let a = next() as usize % n;
+            let b = next() as usize % n;
+            let w = 1.0 + (next() % 7) as f64;
+            let kind = if next() % 3 == 0 {
+                WindowKind::Past
+            } else {
+                WindowKind::Current
+            };
+            // Every third op retracts (the persistent sweep's remove path).
+            let sign = if i % 3 == 2 { -1.0 } else { 1.0 };
+            (a.min(b), a.max(b), w, kind, sign)
+        })
+        .collect();
+
+    let mut fused = BurstSegTree::new(n, &params);
+    let mut split = SplitBurstSegTree::new(n, &params);
+    let mut t_fused = std::time::Duration::ZERO;
+    let mut t_split = std::time::Duration::ZERO;
+    let mut acc_fused = 0.0f64;
+    let mut acc_split = 0.0f64;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        fused.clear_values();
+        fused.sync_len(n, &params);
+        for &(l, r, w, kind, sign) in &ops {
+            fused.apply(l, r, w, kind, sign);
+            acc_fused += fused.top().0;
+        }
+        t_fused += t0.elapsed();
+        let t0 = std::time::Instant::now();
+        split.clear_values();
+        split.sync_len(n, &params);
+        for &(l, r, w, kind, sign) in &ops {
+            split.apply(l, r, w, kind, sign);
+            acc_split += split.top().0;
+        }
+        t_split += t0.elapsed();
+    }
+    assert!(
+        acc_fused.to_bits() == acc_split.to_bits(),
+        "burst-tree mismatch at n={n}: {acc_fused} vs {acc_split}"
+    );
+    (
+        t_fused.as_secs_f64() * 1e6 / reps as f64,
+        t_split.as_secs_f64() * 1e6 / reps as f64,
     )
 }
 
@@ -1194,6 +1272,7 @@ pub fn sweep_bench(cfg: &ExpConfig) -> Vec<SweepBenchRow> {
             let naive_us = t_naive.as_secs_f64() * 1e6 / reps as f64;
             let segtree_us = t_seg.as_secs_f64() * 1e6 / reps as f64;
             let (tree_flat_us, tree_recursive_us) = tree_bench(n, cfg.seed, reps.min(64));
+            let (burst_fused_us, burst_split_us) = burst_bench(n, cfg.seed, reps.min(64));
             SweepBenchRow {
                 n,
                 naive_us,
@@ -1202,6 +1281,9 @@ pub fn sweep_bench(cfg: &ExpConfig) -> Vec<SweepBenchRow> {
                 tree_flat_us,
                 tree_recursive_us,
                 tree_speedup: tree_recursive_us / tree_flat_us,
+                burst_fused_us,
+                burst_split_us,
+                burst_speedup: burst_split_us / burst_fused_us,
             }
         })
         .collect()
@@ -1234,6 +1316,13 @@ pub struct PersistentBenchRow {
     pub rebuilt_leaves: u64,
     /// Full rebuilds executed.
     pub full_rebuilds: u64,
+    /// Searches answered from the epoch-keyed result cache (0 in rebuild
+    /// mode; 0 on exactly-once streams, where every window event mutates a
+    /// touched cell's clip set).
+    pub epoch_hits: u64,
+    /// Searches that replayed a retained kinetic y-order plan instead of
+    /// re-deriving it (0 in rebuild mode).
+    pub plan_reuses: u64,
     /// Wall-clock milliseconds for the run (informative only on a 1-CPU
     /// container).
     pub elapsed_ms: f64,
@@ -1249,7 +1338,11 @@ pub struct PersistentBenchRow {
 pub fn persistent_bench(cfg: &ExpConfig) -> Vec<PersistentBenchRow> {
     use surge_stream::drive_incremental;
 
-    let slide = 256;
+    // Tighter cadence than the throughput benches: continuous monitoring
+    // sweeps after every few arrivals, which is the regime cross-sweep
+    // persistence targets (fewer mutations per inter-sweep window, so
+    // kinetic plans and incremental structures amortize across searches).
+    let slide = 32;
     let taxi_windows = Dataset::Taxi.spec().default_windows;
     let taxi_objects = objects_for(Dataset::Taxi, taxi_windows, cfg.objects, cfg.max_objects);
     let uniform_windows = WindowConfig::equal(60_000);
@@ -1275,11 +1368,20 @@ pub fn persistent_bench(cfg: &ExpConfig) -> Vec<PersistentBenchRow> {
             ("rebuild", SweepMode::Rebuild),
             ("persistent", SweepMode::Persistent),
         ] {
-            let mut det = CellCspot::with_sweep_mode(query, BoundMode::Combined, sweep_mode, 1);
-            let t0 = std::time::Instant::now();
-            let report = drive_incremental(&mut det, windows, stream.iter().copied(), slide, 1);
-            let elapsed = t0.elapsed();
-            reports.push((mode, report, elapsed, det.sweep_stats()));
+            // Best of five: single runs on a shared 1-CPU container are
+            // ±10% noisy, more than the effect under measurement.
+            let mut best: Option<(_, std::time::Duration, _)> = None;
+            for _ in 0..5 {
+                let mut det = CellCspot::with_sweep_mode(query, BoundMode::Combined, sweep_mode, 1);
+                let t0 = std::time::Instant::now();
+                let report = drive_incremental(&mut det, windows, stream.iter().copied(), slide, 1);
+                let elapsed = t0.elapsed();
+                if best.as_ref().is_none_or(|(_, b, _)| elapsed < *b) {
+                    best = Some((report, elapsed, det.sweep_stats()));
+                }
+            }
+            let (report, elapsed, stats) = best.expect("three runs");
+            reports.push((mode, report, elapsed, stats));
         }
         let (rebuild_report, rebuild_elapsed) = (&reports[0].1, reports[0].2);
 
@@ -1316,12 +1418,118 @@ pub fn persistent_bench(cfg: &ExpConfig) -> Vec<PersistentBenchRow> {
                 churn_ops: sweep.churn_ops,
                 rebuilt_leaves: sweep.rebuilt_leaves,
                 full_rebuilds: sweep.full_rebuilds,
+                epoch_hits: sweep.epoch_hits,
+                plan_reuses: sweep.plan_reuses,
                 elapsed_ms: elapsed.as_secs_f64() * 1e3,
                 speedup: rebuild_elapsed.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
             });
         }
     }
+    rows.extend(redelivery_bench(cfg, slide));
     rows
+}
+
+/// The at-least-once workload the epoch cache exists for: after every sweep
+/// the batch just processed is redelivered in full (a crash/retry replay)
+/// and the detector swept again. The pending-delta journal cancels each
+/// duplicate back to the anchored epoch, so persistent mode answers the
+/// replay sweeps from the cell result cache while rebuild mode re-sweeps —
+/// with per-sweep bit-identity asserted across the modes throughout.
+fn redelivery_bench(cfg: &ExpConfig, slide: usize) -> Vec<PersistentBenchRow> {
+    use surge_core::{Event, IncrementalDetector, RegionAnswer};
+    use surge_stream::EventBatch;
+
+    let windows = WindowConfig::equal(60_000);
+    let query = SurgeQuery::whole_space(RegionSize::new(0.3, 0.3), windows, DEFAULT_ALPHA);
+    let stream = uniform_stream(cfg.objects.clamp(4_000, 50_000), cfg.seed);
+
+    let drive = |sweep_mode: SweepMode| {
+        let mut det = CellCspot::with_sweep_mode(query, BoundMode::Combined, sweep_mode, 1);
+        let mut engine = SlidingWindowEngine::new(windows);
+        let mut batch = EventBatch::new();
+        let mut window: Vec<Event> = Vec::new();
+        let mut answers: Vec<Option<RegionAnswer>> = Vec::new();
+        let t0 = std::time::Instant::now();
+        for (i, obj) in stream.iter().copied().enumerate() {
+            engine.push_into(obj, &mut batch);
+            for ev in batch.as_slice() {
+                window.push(*ev);
+                det.on_event(ev);
+            }
+            batch.clear();
+            if (i + 1) % slide == 0 {
+                det.sweep_dirty(1);
+                answers.push(det.current());
+                for ev in &window {
+                    det.on_event(ev);
+                }
+                det.sweep_dirty(1);
+                answers.push(det.current());
+                window.clear();
+            }
+        }
+        let elapsed = t0.elapsed();
+        (answers, elapsed, det.sweep_stats())
+    };
+
+    // Best of three, for the same reason the main workloads take the best of
+    // five: container noise exceeds the effect size.
+    let drive_best = |sweep_mode: SweepMode| {
+        let mut best = drive(sweep_mode);
+        for _ in 0..2 {
+            let run = drive(sweep_mode);
+            if run.1 < best.1 {
+                best = run;
+            }
+        }
+        best
+    };
+    let (rebuild_answers, rebuild_elapsed, rebuild_sweep) = drive_best(SweepMode::Rebuild);
+    let (persistent_answers, persistent_elapsed, persistent_sweep) =
+        drive_best(SweepMode::Persistent);
+
+    // Bit-identity gate: live and replay sweeps alike must agree.
+    assert_eq!(persistent_answers.len(), rebuild_answers.len());
+    for (i, (a, b)) in persistent_answers
+        .iter()
+        .zip(rebuild_answers.iter())
+        .enumerate()
+    {
+        match (a, b) {
+            (Some(x), Some(y)) => assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "redelivery-bench divergence at sweep {i}"
+            ),
+            (None, None) => {}
+            other => panic!("redelivery-bench divergence at sweep {i}: {other:?}"),
+        }
+    }
+    assert!(
+        persistent_sweep.epoch_hits > 0,
+        "replayed batches must hit the epoch cache"
+    );
+
+    let objects = stream.len() as u64;
+    [
+        ("rebuild", rebuild_elapsed, rebuild_sweep),
+        ("persistent", persistent_elapsed, persistent_sweep),
+    ]
+    .into_iter()
+    .map(|(mode, elapsed, sweep)| PersistentBenchRow {
+        workload: "redeliver",
+        mode,
+        objects,
+        searches: sweep.searches,
+        churn_ops: sweep.churn_ops,
+        rebuilt_leaves: sweep.rebuilt_leaves,
+        full_rebuilds: sweep.full_rebuilds,
+        epoch_hits: sweep.epoch_hits,
+        plan_reuses: sweep.plan_reuses,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        speedup: rebuild_elapsed.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+    })
+    .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -2214,9 +2422,11 @@ mod tests {
     #[test]
     fn persistent_bench_reports_both_modes_and_less_rebuild_work() {
         let rows = persistent_bench(&tiny());
-        // Two workloads x {rebuild, persistent}; bit-identity is asserted
-        // inside the runner before any row is emitted.
-        assert_eq!(rows.len(), 4);
+        // Three workloads (uniform, taxi, redeliver) x {rebuild, persistent};
+        // bit-identity is asserted inside the runner before any row is
+        // emitted, and the redeliver runner additionally asserts the
+        // persistent mode answers replayed batches from the epoch cache.
+        assert_eq!(rows.len(), 6);
         for chunk in rows.chunks(2) {
             let (rebuild, persistent) = (&chunk[0], &chunk[1]);
             assert_eq!(rebuild.mode, "rebuild");
@@ -2229,6 +2439,9 @@ mod tests {
             assert_eq!(rebuild.searches, persistent.searches);
             assert_eq!(rebuild.churn_ops, 0);
             assert_eq!(rebuild.full_rebuilds, rebuild.searches);
+            // Epoch hits and plan reuses are persistent-mode concepts.
+            assert_eq!(rebuild.epoch_hits, 0);
+            assert_eq!(rebuild.plan_reuses, 0);
             assert!(
                 persistent.rebuilt_leaves < rebuild.rebuilt_leaves,
                 "{}: persistent rebuilt {} leaves vs rebuild {}",
@@ -2237,6 +2450,11 @@ mod tests {
                 rebuild.rebuilt_leaves
             );
         }
+        let redeliver = rows
+            .iter()
+            .find(|r| r.workload == "redeliver" && r.mode == "persistent")
+            .expect("redeliver persistent row");
+        assert!(redeliver.epoch_hits > 0);
     }
 
     #[test]

@@ -225,19 +225,23 @@ pub fn roadnet(rows: &[crate::experiments::RoadnetRow]) -> String {
 /// Sweep micro-benchmark: naive vs segment-tree SL-CSPOT.
 pub fn sweep_bench(rows: &[crate::experiments::SweepBenchRow]) -> String {
     let mut out = format!(
-        "\n== SL-CSPOT sweep: naive O(n²) vs segment-tree O(n log n); flat vs recursive tree ==\n{:<8} {:>14} {:>14} {:>10} {:>12} {:>12} {:>10}\n",
-        "n", "naive (us)", "segtree (us)", "speedup", "flat (us)", "recur (us)", "tree spd"
+        "\n== SL-CSPOT sweep: naive O(n²) vs segment-tree O(n log n); flat vs recursive tree; fused vs split burst lanes ==\n{:<8} {:>14} {:>14} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10}\n",
+        "n", "naive (us)", "segtree (us)", "speedup", "flat (us)", "recur (us)", "tree spd",
+        "fused (us)", "split (us)", "burst spd"
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<8} {:>14.1} {:>14.1} {:>9.1}x {:>12.1} {:>12.1} {:>9.2}x\n",
+            "{:<8} {:>14.1} {:>14.1} {:>9.1}x {:>12.1} {:>12.1} {:>9.2}x {:>12.1} {:>12.1} {:>9.2}x\n",
             r.n,
             r.naive_us,
             r.segtree_us,
             r.speedup,
             r.tree_flat_us,
             r.tree_recursive_us,
-            r.tree_speedup
+            r.tree_speedup,
+            r.burst_fused_us,
+            r.burst_split_us,
+            r.burst_speedup
         ));
     }
     out
@@ -248,18 +252,21 @@ pub fn sweep_bench(rows: &[crate::experiments::SweepBenchRow]) -> String {
 /// informative only on a 1-CPU container.
 pub fn persistent_bench(rows: &[crate::experiments::PersistentBenchRow]) -> String {
     let mut out = format!(
-        "\n== Cell sweeps: persistent cross-sweep state vs rebuild-per-search ==\n{:<10} {:<12} {:>9} {:>10} {:>13} {:>10} {:>12} {:>9}\n",
-        "workload", "mode", "searches", "churn", "rebuilt-lvs", "rebuilds", "elapsed(ms)", "speedup"
+        "\n== Cell sweeps: persistent cross-sweep state vs rebuild-per-search ==\n{:<10} {:<12} {:>9} {:>10} {:>13} {:>10} {:>10} {:>10} {:>12} {:>9}\n",
+        "workload", "mode", "searches", "churn", "rebuilt-lvs", "rebuilds", "epoch-hit", "plan-reuse",
+        "elapsed(ms)", "speedup"
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<10} {:<12} {:>9} {:>10} {:>13} {:>10} {:>12.1} {:>8.2}x\n",
+            "{:<10} {:<12} {:>9} {:>10} {:>13} {:>10} {:>10} {:>10} {:>12.1} {:>8.2}x\n",
             r.workload,
             r.mode,
             r.searches,
             r.churn_ops,
             r.rebuilt_leaves,
             r.full_rebuilds,
+            r.epoch_hits,
+            r.plan_reuses,
             r.elapsed_ms,
             r.speedup
         ));
@@ -279,7 +286,7 @@ pub fn sweep_bench_json(
     );
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"n\": {}, \"naive_us\": {:.3}, \"segtree_us\": {:.3}, \"speedup\": {:.3}, \"tree_flat_us\": {:.3}, \"tree_recursive_us\": {:.3}, \"tree_speedup\": {:.3}}}{}\n",
+            "    {{\"n\": {}, \"naive_us\": {:.3}, \"segtree_us\": {:.3}, \"speedup\": {:.3}, \"tree_flat_us\": {:.3}, \"tree_recursive_us\": {:.3}, \"tree_speedup\": {:.3}, \"burst_fused_us\": {:.3}, \"burst_split_us\": {:.3}, \"burst_speedup\": {:.3}}}{}\n",
             r.n,
             r.naive_us,
             r.segtree_us,
@@ -287,13 +294,16 @@ pub fn sweep_bench_json(
             r.tree_flat_us,
             r.tree_recursive_us,
             r.tree_speedup,
+            r.burst_fused_us,
+            r.burst_split_us,
+            r.burst_speedup,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n  \"persistent\": [\n");
     for (i, r) in persistent.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"objects\": {}, \"searches\": {}, \"churn_ops\": {}, \"rebuilt_leaves\": {}, \"full_rebuilds\": {}, \"elapsed_ms\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"objects\": {}, \"searches\": {}, \"churn_ops\": {}, \"rebuilt_leaves\": {}, \"full_rebuilds\": {}, \"epoch_hits\": {}, \"plan_reuses\": {}, \"elapsed_ms\": {:.1}, \"speedup\": {:.3}}}{}\n",
             r.workload,
             r.mode,
             r.objects,
@@ -301,6 +311,8 @@ pub fn sweep_bench_json(
             r.churn_ops,
             r.rebuilt_leaves,
             r.full_rebuilds,
+            r.epoch_hits,
+            r.plan_reuses,
             r.elapsed_ms,
             r.speedup,
             if i + 1 < persistent.len() { "," } else { "" }
@@ -773,6 +785,9 @@ mod tests {
                 tree_flat_us: 10.0,
                 tree_recursive_us: 15.0,
                 tree_speedup: 1.5,
+                burst_fused_us: 8.0,
+                burst_split_us: 12.0,
+                burst_speedup: 1.5,
             },
             crate::experiments::SweepBenchRow {
                 n: 256,
@@ -782,6 +797,9 @@ mod tests {
                 tree_flat_us: 40.0,
                 tree_recursive_us: 80.0,
                 tree_speedup: 2.0,
+                burst_fused_us: 30.0,
+                burst_split_us: 45.0,
+                burst_speedup: 1.5,
             },
         ];
         let prows = vec![
@@ -795,6 +813,8 @@ mod tests {
                 full_rebuilds: 40,
                 elapsed_ms: 12.0,
                 speedup: 1.0,
+                epoch_hits: 0,
+                plan_reuses: 0,
             },
             crate::experiments::PersistentBenchRow {
                 workload: "uniform",
@@ -806,6 +826,8 @@ mod tests {
                 full_rebuilds: 3,
                 elapsed_ms: 8.0,
                 speedup: 1.5,
+                epoch_hits: 5,
+                plan_reuses: 12,
             },
         ];
         let json = sweep_bench_json(&rows, &prows);

@@ -56,6 +56,25 @@ pub trait BurstDetector {
     }
 }
 
+/// Hot-path reuse counters a detector's persistent sweep layer may expose:
+/// how often a dirty cell's search was answered from its epoch cache
+/// without touching the tree, and how often a retained kinetic y-sweep
+/// plan was replayed instead of re-deriving the sweep inputs. Detectors
+/// without a persistent sweep layer report all zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepCacheStats {
+    /// Searches answered from the epoch cache (churn epoch unchanged since
+    /// the cached outcome — no tree work at all).
+    pub epoch_hits: u64,
+    /// Searches that had to sweep: cold cache or the epoch advanced.
+    pub epoch_misses: u64,
+    /// Kinetic y-sweep plans compiled from scratch.
+    pub plan_builds: u64,
+    /// Sweeps that replayed a retained plan instead of re-sorting and
+    /// re-clipping the cell's rectangles.
+    pub plan_reuses: u64,
+}
+
 /// A [`BurstDetector`] whose per-cell maintenance is *incremental*: events
 /// only mark the touched cells dirty, and the expensive per-cell searches
 /// can be snapshotted as pure jobs, executed out-of-band (in particular on
@@ -143,6 +162,14 @@ pub trait IncrementalDetector: BurstDetector {
     /// The default implementation routes through the job API sequentially
     /// (`threads` is a hint; honoring it is optional).
     ///
+    /// Cumulative hot-path reuse counters of the persistent sweep layer
+    /// backing [`sweep_dirty`](Self::sweep_dirty) (epoch-cache hits/misses,
+    /// kinetic plan builds/reuses). The default reports all zeros, which is
+    /// correct for detectors that rebuild their sweeps per search.
+    fn sweep_cache_stats(&self) -> SweepCacheStats {
+        SweepCacheStats::default()
+    }
+
     /// [`snapshot_dirty_jobs`]: Self::snapshot_dirty_jobs
     fn sweep_dirty(&mut self, threads: usize) -> u64 {
         let _ = threads;

@@ -51,7 +51,7 @@ pub use checkpoint::{
 };
 pub use detector::{
     BurstDetector, DetectorStats, IncrementalDetector, ShardAnswer, ShardRunStats, ShardWorker,
-    ShardWorkerStats, ShardedIngest, TopKDetector,
+    ShardWorkerStats, ShardedIngest, SweepCacheStats, TopKDetector,
 };
 pub use event::{Event, EventKind};
 pub use geom::{Point, Rect};

@@ -41,7 +41,7 @@ pub use cell::{
 pub use maxrs::maxrs_sweep;
 pub use oracle::{score_of_region, snapshot_bursty_region, snapshot_rects, snapshot_topk};
 pub use psweep::{PersistentCellSweep, SweepMode, SweepPool, SweepStats, MIN_CHURN_BUDGET};
-pub use segtree::{BurstSegTree, MaxAddTree, RecursiveMaxAddTree};
+pub use segtree::{BurstSegTree, MaxAddTree, RecursiveMaxAddTree, SplitBurstSegTree};
 pub use sweep::{
     score_at_point, sl_cspot, sl_cspot_naive, sl_cspot_rebuild, sl_cspot_with, SweepArena,
     SweepRect, SweepResult,

@@ -64,8 +64,24 @@
 //! with exact arithmetic (integer-valued adds) they agree bit-for-bit,
 //! argmax included.
 //!
-//! [`BurstSegTree`] bundles two trees behind window-kind-aware updates; the
-//! α = 0 MaxRS fast path in [`crate::maxrs`] uses a single [`MaxAddTree`].
+//! # Structure-of-arrays lanes
+//!
+//! [`BurstSegTree`] maintains both linear forms behind window-kind-aware
+//! updates; the α = 0 MaxRS fast path in [`crate::maxrs`] uses a single
+//! [`MaxAddTree`]. The burst tree's node storage is **structure-of-arrays**:
+//! one contiguous `max` lane array, one `add` lane array and one `arg` lane
+//! array, each holding *both* forms — node `i`'s L₁ (diff) slot is `2i` and
+//! its L₂ (sig) slot is `2i + 1`. A current-rectangle update walks the
+//! boundary nodes once and writes both slots of each touched node (adjacent
+//! doubles — one vector lane pair), a past-rectangle update strides over the
+//! diff slots only, and `reset`/`clear_values` re-initialize each level with
+//! plain `fill` calls instead of a per-node compare chain, so the zeroing
+//! that dominates near-no-op sweeps compiles to straight-line vector loops.
+//! Per lane the arithmetic (order, operands, tie-breaks) is exactly what two
+//! independent [`MaxAddTree`]s would do, so the fused tree is bitwise
+//! interchangeable with the split pair — which survives as
+//! [`SplitBurstSegTree`], the differential reference and the baseline the
+//! `surge_exp sweep-bench` fused-vs-split micro-benchmark measures against.
 
 use surge_core::{BurstParams, WindowKind};
 
@@ -133,22 +149,28 @@ impl MaxAddTree {
         self.arg.clear();
         self.arg.resize(size, 0);
         // Leaves: real ones at 0.0, padding at −∞ so it can never win.
-        for j in leaves..m {
-            self.max[m + j] = f64::NEG_INFINITY;
-        }
+        self.max[m + leaves..].fill(f64::NEG_INFINITY);
         for (j, a) in self.arg[m..].iter_mut().enumerate() {
             *a = j;
         }
-        // Internal nodes bottom-up; left child wins ties (leftmost bias).
-        for i in (1..m).rev() {
-            let (l, r) = (2 * i, 2 * i + 1);
-            if self.max[l] >= self.max[r] {
-                self.max[i] = self.max[l];
-                self.arg[i] = self.arg[l];
-            } else {
-                self.max[i] = self.max[r];
-                self.arg[i] = self.arg[r];
+        // Internal levels in closed form, bitwise what the old bottom-up
+        // compare build produced: in the reset state a node's max is 0.0
+        // iff its leftmost leaf is real (left children win ties, and a left
+        // subtree can never be all-padding while its right sibling holds a
+        // real leaf), and its argmax is that leftmost leaf. Each level is
+        // two `fill`s plus a strided iota, which vectorize; the per-node
+        // compare chain did not.
+        let mut w = m / 2;
+        let mut span = 2usize;
+        while w >= 1 {
+            let k = leaves.div_ceil(span).min(w);
+            self.max[w..w + k].fill(0.0);
+            self.max[w + k..2 * w].fill(f64::NEG_INFINITY);
+            for (i, a) in self.arg[w..2 * w].iter_mut().enumerate() {
+                *a = i * span;
             }
+            w /= 2;
+            span *= 2;
         }
         self.pristine = true;
     }
@@ -414,8 +436,337 @@ impl RecursiveMaxAddTree {
 /// The two-linear-form segment tree that maintains the exact maximum burst
 /// score over x-leaves under rectangle enter/leave range updates (see the
 /// module docs for the decomposition argument).
+///
+/// Node storage is structure-of-arrays with *fused lanes*: each field is one
+/// contiguous array of length `4m` holding both forms — node `i`'s L₁
+/// (diff) slot is `2i`, its L₂ (sig) slot is `2i + 1`. Per lane, every
+/// floating-point operation (order, operands, tie-breaks) is exactly what
+/// two independent [`MaxAddTree`]s would perform, so this tree is bitwise
+/// interchangeable with [`SplitBurstSegTree`]; past-rectangle updates touch
+/// the diff slots only (adding a literal `0.0` to the sig lane would turn a
+/// `-0.0` partial sum into `+0.0` and break that bit-identity).
 #[derive(Debug, Clone)]
 pub struct BurstSegTree {
+    /// Logical leaf count (as constructed; `n = 0` behaves like `n = 1`).
+    n: usize,
+    /// Power-of-two leaf span; leaf `j`'s slots are `2(m + j)` / `2(m + j) + 1`.
+    m: usize,
+    /// `max[2i]` / `max[2i + 1]` = lane maxima over node `i`'s subtree
+    /// *including* pending adds at `i`. Padding-leaf slots hold `−∞`.
+    max: Vec<f64>,
+    /// Pending per-lane additions to the whole subtree of node `i`.
+    add: Vec<f64>,
+    /// Leaf index attaining each lane max within node `i`'s subtree.
+    arg: Vec<usize>,
+    /// Whether the state is exactly the `reset` state (all real leaves
+    /// `0.0`, no pending adds in either lane).
+    pristine: bool,
+    /// Incremental leaf edits taken since construction (two per paired
+    /// push/pop — one per lane, matching the split pair's accounting).
+    leaf_churn: u64,
+    /// Per-unit-weight contribution of a current rectangle to `L₁`.
+    cur_diff: f64,
+    /// Per-unit-weight contribution of a current rectangle to `L₂`.
+    cur_sig: f64,
+    /// Per-unit-weight contribution of a past rectangle to `L₁` (≤ 0).
+    past_diff: f64,
+}
+
+impl BurstSegTree {
+    /// A tree over `n` x-leaves for the given score parameters.
+    pub fn new(n: usize, params: &BurstParams) -> Self {
+        let mut t = BurstSegTree {
+            n: 0,
+            m: 1,
+            max: Vec::new(),
+            add: Vec::new(),
+            arg: Vec::new(),
+            pristine: true,
+            leaf_churn: 0,
+            cur_diff: 0.0,
+            cur_sig: 0.0,
+            past_diff: 0.0,
+        };
+        t.reset(n, params);
+        t
+    }
+
+    fn set_params(&mut self, params: &BurstParams) {
+        self.cur_diff = 1.0 / params.current_norm;
+        self.cur_sig = (1.0 - params.alpha) / params.current_norm;
+        self.past_diff = -params.alpha / params.past_norm;
+    }
+
+    /// Re-initializes over `n` leaves and fresh parameters, reusing the lane
+    /// allocations (the arena path: one `BurstSegTree` serves every sweep of
+    /// a detector or shard worker).
+    pub fn reset(&mut self, n: usize, params: &BurstParams) {
+        self.set_params(params);
+        self.n = n;
+        self.rebuild_zeroed();
+    }
+
+    /// Rebuilds the lane arrays to the pristine all-zero state for the
+    /// current `self.n`, entirely with `fill`s and strided iotas (no
+    /// per-node compares — see [`MaxAddTree::reset`] for why the closed
+    /// form is bitwise the compare-chain build).
+    fn rebuild_zeroed(&mut self) {
+        let leaves = self.n.max(1);
+        let m = leaves.next_power_of_two();
+        self.m = m;
+        let size = 4 * m;
+        self.max.clear();
+        self.max.resize(size, 0.0);
+        self.add.clear();
+        self.add.resize(size, 0.0);
+        self.arg.clear();
+        self.arg.resize(size, 0);
+        // Leaf pairs: real ones at 0.0, padding at −∞ so it can never win.
+        self.max[2 * (m + leaves)..].fill(f64::NEG_INFINITY);
+        for j in 0..m {
+            let b = 2 * (m + j);
+            self.arg[b] = j;
+            self.arg[b + 1] = j;
+        }
+        // Internal levels in closed form, both lanes at once: at the level
+        // whose nodes span `span` leaves each, the first ⌈leaves/span⌉
+        // nodes hold 0.0 and the rest −∞, and every argmax is the node's
+        // leftmost leaf.
+        let mut w = m / 2;
+        let mut span = 2usize;
+        while w >= 1 {
+            let k = leaves.div_ceil(span).min(w);
+            self.max[2 * w..2 * (w + k)].fill(0.0);
+            self.max[2 * (w + k)..4 * w].fill(f64::NEG_INFINITY);
+            for i in 0..w {
+                let b = 2 * (w + i);
+                let leftmost = i * span;
+                self.arg[b] = leftmost;
+                self.arg[b + 1] = leftmost;
+            }
+            w /= 2;
+            span *= 2;
+        }
+        self.pristine = true;
+    }
+
+    /// Re-zeroes both lanes in place, keeping the current leaf count, layout
+    /// and score parameters. After this the tree is pristine, so the next
+    /// [`sync_len`](Self::sync_len) can repair size drift with incremental
+    /// leaf edits instead of full resets.
+    pub fn clear_values(&mut self) {
+        if !self.pristine {
+            self.rebuild_zeroed();
+        }
+    }
+
+    /// Number of leaves the tree currently spans.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tree spans zero leaves.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether this tree's flat layout equals the one `reset(n, …)` would
+    /// build (same power-of-two leaf span).
+    #[inline]
+    pub fn layout_matches(&self, n: usize) -> bool {
+        self.m == n.max(1).next_power_of_two()
+    }
+
+    /// Brings the (pristine) tree to exactly `n` leaves, preferring
+    /// incremental end-of-layout leaf edits when the power-of-two layout is
+    /// unchanged — the resulting state is bitwise identical to
+    /// `reset(n, params)`, which is what bit-exact persistent-vs-rebuild
+    /// sweeps require — and falling back to a full re-zero when the layout
+    /// must change (or the tree is not pristine).
+    pub fn sync_len(&mut self, n: usize, params: &BurstParams) {
+        self.set_params(params);
+        if !(self.pristine && self.layout_matches(n)) {
+            self.n = n;
+            self.rebuild_zeroed();
+            return;
+        }
+        while self.n < n {
+            self.push_leaf();
+        }
+        while self.n > n {
+            self.pop_leaf();
+        }
+    }
+
+    /// Appends a `0.0` leaf pair (pristine trees only; every real leaf is
+    /// zero, so appending is bitwise `reset(n + 1)` when the layout holds).
+    fn push_leaf(&mut self) {
+        debug_assert!(self.pristine && self.n < self.m);
+        self.leaf_churn += 2;
+        let j = self.n;
+        let b = 2 * (self.m + j);
+        self.max[b] = 0.0;
+        self.max[b + 1] = 0.0;
+        self.n += 1;
+        self.pull_up_pair((self.m + j) >> 1);
+    }
+
+    /// Drops the last leaf pair (pristine trees only). Shrinking to zero
+    /// leaves re-zeroes outright: the `n = 0` tree still spans one
+    /// sentinel leaf, which a plain −∞ overwrite would clobber.
+    fn pop_leaf(&mut self) {
+        debug_assert!(self.pristine && self.n > 0);
+        self.leaf_churn += 2;
+        if self.n == 1 {
+            self.n = 0;
+            self.rebuild_zeroed();
+            return;
+        }
+        self.n -= 1;
+        let b = 2 * (self.m + self.n);
+        self.max[b] = f64::NEG_INFINITY;
+        self.max[b + 1] = f64::NEG_INFINITY;
+        self.pull_up_pair((self.m + self.n) >> 1);
+    }
+
+    /// Incremental leaf edits taken (two per paired push/pop).
+    #[inline]
+    pub fn leaf_churn(&self) -> u64 {
+        self.leaf_churn
+    }
+
+    /// Applies a rectangle of `weight` and window `kind` entering
+    /// (`sign = 1.0`) or leaving (`sign = -1.0`) the sweep front over leaf
+    /// range `[l, r]`.
+    pub fn apply(&mut self, l: usize, r: usize, weight: f64, kind: WindowKind, sign: f64) {
+        let w = weight * sign;
+        match kind {
+            WindowKind::Current => self.add_pair(l, r, w * self.cur_diff, w * self.cur_sig),
+            WindowKind::Past => self.add_diff(l, r, w * self.past_diff),
+        }
+    }
+
+    /// Adds `vd` to the diff lane and `vs` to the sig lane over `[l, r]`:
+    /// one boundary walk, two adjacent stores per touched node.
+    fn add_pair(&mut self, l: usize, r: usize, vd: f64, vs: f64) {
+        debug_assert!(l <= r && r < self.n.max(1));
+        self.pristine = false;
+        let mut lo = l + self.m;
+        let mut hi = r + self.m + 1; // half-open [lo, hi)
+        let (lseed, rseed) = (lo, hi - 1);
+        while lo < hi {
+            if lo & 1 == 1 {
+                let b = 2 * lo;
+                self.max[b] += vd;
+                self.max[b + 1] += vs;
+                self.add[b] += vd;
+                self.add[b + 1] += vs;
+                lo += 1;
+            }
+            if hi & 1 == 1 {
+                hi -= 1;
+                let b = 2 * hi;
+                self.max[b] += vd;
+                self.max[b + 1] += vs;
+                self.add[b] += vd;
+                self.add[b + 1] += vs;
+            }
+            lo >>= 1;
+            hi >>= 1;
+        }
+        self.pull_up_pair(lseed >> 1);
+        self.pull_up_pair(rseed >> 1);
+    }
+
+    /// Adds `vd` to the diff lane only over `[l, r]` (past rectangles touch
+    /// L₁ alone; the sig slots must stay byte-untouched — see the type docs).
+    fn add_diff(&mut self, l: usize, r: usize, vd: f64) {
+        debug_assert!(l <= r && r < self.n.max(1));
+        self.pristine = false;
+        let mut lo = l + self.m;
+        let mut hi = r + self.m + 1;
+        let (lseed, rseed) = (lo, hi - 1);
+        while lo < hi {
+            if lo & 1 == 1 {
+                let b = 2 * lo;
+                self.max[b] += vd;
+                self.add[b] += vd;
+                lo += 1;
+            }
+            if hi & 1 == 1 {
+                hi -= 1;
+                let b = 2 * hi;
+                self.max[b] += vd;
+                self.add[b] += vd;
+            }
+            lo >>= 1;
+            hi >>= 1;
+        }
+        self.pull_up_diff(lseed >> 1);
+        self.pull_up_diff(rseed >> 1);
+    }
+
+    #[inline]
+    fn pull_up_pair(&mut self, mut node: usize) {
+        while node >= 1 {
+            let (l, r) = (4 * node, 4 * node + 2); // children's diff slots
+            let b = 2 * node;
+            if self.max[l] >= self.max[r] {
+                self.max[b] = self.max[l] + self.add[b];
+                self.arg[b] = self.arg[l];
+            } else {
+                self.max[b] = self.max[r] + self.add[b];
+                self.arg[b] = self.arg[r];
+            }
+            if self.max[l + 1] >= self.max[r + 1] {
+                self.max[b + 1] = self.max[l + 1] + self.add[b + 1];
+                self.arg[b + 1] = self.arg[l + 1];
+            } else {
+                self.max[b + 1] = self.max[r + 1] + self.add[b + 1];
+                self.arg[b + 1] = self.arg[r + 1];
+            }
+            node >>= 1;
+        }
+    }
+
+    #[inline]
+    fn pull_up_diff(&mut self, mut node: usize) {
+        while node >= 1 {
+            let (l, r) = (4 * node, 4 * node + 2);
+            let b = 2 * node;
+            if self.max[l] >= self.max[r] {
+                self.max[b] = self.max[l] + self.add[b];
+                self.arg[b] = self.arg[l];
+            } else {
+                self.max[b] = self.max[r] + self.add[b];
+                self.arg[b] = self.arg[r];
+            }
+            node >>= 1;
+        }
+    }
+
+    /// The maximum burst score over all leaves at the current sweep height,
+    /// and a leaf attaining it.
+    #[inline]
+    pub fn top(&self) -> (f64, usize) {
+        let (d, s) = (self.max[2], self.max[3]); // root pair (node 1)
+        if d >= s {
+            (d, self.arg[2])
+        } else {
+            (s, self.arg[3])
+        }
+    }
+}
+
+/// The pre-fusion burst tree: two independent [`MaxAddTree`]s, one per
+/// linear form. Retained verbatim as the differential-testing reference and
+/// micro-benchmark baseline for the fused-lane [`BurstSegTree`] — per lane
+/// the two perform identical floating-point operations, so they must agree
+/// bit for bit on every `top()`, `-0.0` partial sums included.
+#[derive(Debug, Clone)]
+pub struct SplitBurstSegTree {
     /// `L₁ = f_c − α·f_p` — exact on the `f_c ≥ f_p` side.
     diff: MaxAddTree,
     /// `L₂ = (1 − α)·f_c` — exact on the `f_c < f_p` side.
@@ -428,10 +779,10 @@ pub struct BurstSegTree {
     past_diff: f64,
 }
 
-impl BurstSegTree {
+impl SplitBurstSegTree {
     /// A tree over `n` x-leaves for the given score parameters.
     pub fn new(n: usize, params: &BurstParams) -> Self {
-        BurstSegTree {
+        SplitBurstSegTree {
             diff: MaxAddTree::new(n),
             sig: MaxAddTree::new(n),
             cur_diff: 1.0 / params.current_norm,
@@ -441,8 +792,7 @@ impl BurstSegTree {
     }
 
     /// Re-initializes over `n` leaves and fresh parameters, reusing both
-    /// trees' allocations (the arena path: one `BurstSegTree` serves every
-    /// sweep of a detector or shard worker).
+    /// trees' allocations.
     pub fn reset(&mut self, n: usize, params: &BurstParams) {
         self.diff.reset(n);
         self.sig.reset(n);
@@ -452,9 +802,7 @@ impl BurstSegTree {
     }
 
     /// Re-zeroes both trees in place, keeping their current leaf counts and
-    /// layouts (and the score parameters). After this the trees are pristine,
-    /// so the next [`sync_len`](Self::sync_len) can repair size drift with
-    /// incremental leaf edits instead of full resets.
+    /// layouts (and the score parameters).
     pub fn clear_values(&mut self) {
         if !self.diff.is_pristine() {
             let n = self.diff.len();
@@ -478,12 +826,8 @@ impl BurstSegTree {
         self.diff.is_empty()
     }
 
-    /// Brings both (pristine) trees to exactly `n` leaves, preferring
-    /// incremental [`MaxAddTree::insert_leaf`] / [`MaxAddTree::remove_leaf`]
-    /// edits when the power-of-two layout is unchanged — the resulting state
-    /// is bitwise identical to `reset(n, params)`, which is what bit-exact
-    /// persistent-vs-rebuild sweeps require — and falling back to a full
-    /// reset when the layout must change (or the trees are not pristine).
+    /// Brings both (pristine) trees to exactly `n` leaves, incrementally
+    /// when the power-of-two layout is unchanged.
     pub fn sync_len(&mut self, n: usize, params: &BurstParams) {
         self.cur_diff = 1.0 / params.current_norm;
         self.cur_sig = (1.0 - params.alpha) / params.current_norm;
@@ -695,6 +1039,58 @@ mod tests {
         let (m, _) = t.top();
         // S = 0.5·max(1 − 0.5, 0) + 0.5·1 = 0.75
         assert!((m - 0.75).abs() < 1e-12, "got {m}");
+    }
+
+    #[test]
+    fn fused_lanes_match_split_pair_bitwise() {
+        // Randomized apply/clear/sync churn: the fused-lane tree and the
+        // split two-tree reference must agree bit for bit on every top(),
+        // across α (including α = 1, whose cur_sig = 0.0 makes -0.0 sig
+        // deltas reachable) and across non-power-of-two sizes.
+        let mut state = 0x0DDB_A11C_0FFE_E000u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for alpha in [0.0, 0.3, 0.7, 1.0] {
+            let p = BurstParams {
+                alpha,
+                current_norm: 3.0,
+                past_norm: 7.0,
+            };
+            let mut n = 1 + (next() as usize) % 50;
+            let mut fused = BurstSegTree::new(n, &p);
+            let mut split = SplitBurstSegTree::new(n, &p);
+            for step in 0..400 {
+                if step % 37 == 36 {
+                    // Occasionally clear + resize like the persistent path.
+                    n = 1 + (next() as usize) % 50;
+                    fused.clear_values();
+                    split.clear_values();
+                    fused.sync_len(n, &p);
+                    split.sync_len(n, &p);
+                    assert_eq!(fused.leaf_churn(), split.leaf_churn(), "churn accounting");
+                }
+                let a = (next() as usize) % n;
+                let b = (next() as usize) % n;
+                let (l, r) = (a.min(b), a.max(b));
+                let w = (next() % 9) as f64 + 1.0;
+                let kind = if next() % 3 == 0 {
+                    WindowKind::Past
+                } else {
+                    WindowKind::Current
+                };
+                let sign = if next() % 2 == 0 { 1.0 } else { -1.0 };
+                fused.apply(l, r, w, kind, sign);
+                split.apply(l, r, w, kind, sign);
+                let (fm, fa) = fused.top();
+                let (sm, sa) = split.top();
+                assert_eq!(fm.to_bits(), sm.to_bits(), "α={alpha} n={n} max bits");
+                assert_eq!(fa, sa, "α={alpha} n={n} argmax");
+            }
+        }
     }
 
     #[test]

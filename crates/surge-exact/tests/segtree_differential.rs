@@ -182,7 +182,106 @@ fn segtree_matches_naive_on_adversarial_scenes() {
 // Flat vs recursive segment tree
 // ---------------------------------------------------------------------------
 
-use surge_exact::{sl_cspot_with, BurstSegTree, MaxAddTree, RecursiveMaxAddTree, SweepArena};
+use surge_exact::{
+    sl_cspot_with, BurstSegTree, MaxAddTree, RecursiveMaxAddTree, SplitBurstSegTree, SweepArena,
+};
+
+// ---------------------------------------------------------------------------
+// Fused SoA lanes vs split per-form trees
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The fused SoA-lane tree against the split two-tree reference over
+    /// random insert/remove burst-update sequences: max and argmax must
+    /// agree bit for bit after every apply. α runs to 1.0 inclusive so the
+    /// zero current-signal coefficient exercises `-0.0` lane sums (a lane
+    /// that canonicalized zeros would diverge here), and removals replay
+    /// earlier inserts with `sign = -1` the way the persistent sweep does.
+    #[test]
+    fn fused_lanes_match_split_trees_bitwise(
+        n in 1usize..100,
+        ops in prop::collection::vec(
+            (0u32..1_000, 0u32..1_000, 1u32..5, any::<bool>(), any::<bool>()),
+            1..150,
+        ),
+        alpha_pct in 0u32..=100,
+        cur_norm in 1u32..500,
+        past_norm in 1u32..500,
+    ) {
+        let params = BurstParams {
+            alpha: alpha_pct as f64 / 100.0,
+            current_norm: cur_norm as f64,
+            past_norm: past_norm as f64,
+        };
+        let mut fused = BurstSegTree::new(n, &params);
+        let mut split = SplitBurstSegTree::new(n, &params);
+        let mut live: Vec<(usize, usize, f64, WindowKind)> = Vec::new();
+        for (a, b, w, past, remove) in ops {
+            let (l, r, w, kind) = if remove && !live.is_empty() {
+                let (l, r, w, kind) = live.swap_remove(a as usize % live.len());
+                fused.apply(l, r, w, kind, -1.0);
+                split.apply(l, r, w, kind, -1.0);
+                (l, r, w, kind)
+            } else {
+                let (a, b) = (a as usize % n, b as usize % n);
+                let (l, r) = (a.min(b), a.max(b));
+                let kind = if past { WindowKind::Past } else { WindowKind::Current };
+                fused.apply(l, r, w as f64, kind, 1.0);
+                split.apply(l, r, w as f64, kind, 1.0);
+                live.push((l, r, w as f64, kind));
+                (l, r, w as f64, kind)
+            };
+            let (fm, fa) = fused.top();
+            let (sm, sa) = split.top();
+            prop_assert_eq!(
+                fm.to_bits(), sm.to_bits(),
+                "n {} op ({}, {}, {}, {:?}): fused {} vs split {}",
+                n, l, r, w, kind, fm, sm
+            );
+            prop_assert_eq!(fa, sa, "argmax");
+        }
+    }
+
+    /// Resizing a loaded fused tree through `clear_values` + `sync_len`
+    /// (the persistent sweep's reuse path) tracks the split reference doing
+    /// the same: pool reuse must stay bitwise invisible in both layouts.
+    #[test]
+    fn fused_and_split_agree_across_sync_len_resizes(
+        sizes in prop::collection::vec(1usize..60, 2..5),
+        applies in prop::collection::vec(
+            (0u32..1_000, 0u32..1_000, 1u32..5, any::<bool>()),
+            1..40,
+        ),
+        alpha_pct in 0u32..=100,
+    ) {
+        let params = BurstParams {
+            alpha: alpha_pct as f64 / 100.0,
+            current_norm: 1.0,
+            past_norm: 1.0,
+        };
+        let mut fused = BurstSegTree::new(sizes[0], &params);
+        let mut split = SplitBurstSegTree::new(sizes[0], &params);
+        for &n in &sizes {
+            fused.clear_values();
+            fused.sync_len(n, &params);
+            split.clear_values();
+            split.sync_len(n, &params);
+            for &(a, b, w, past) in &applies {
+                let (a, b) = (a as usize % n, b as usize % n);
+                let (l, r) = (a.min(b), a.max(b));
+                let kind = if past { WindowKind::Past } else { WindowKind::Current };
+                fused.apply(l, r, w as f64, kind, 1.0);
+                split.apply(l, r, w as f64, kind, 1.0);
+                let (fm, fa) = fused.top();
+                let (sm, sa) = split.top();
+                prop_assert_eq!(fm.to_bits(), sm.to_bits(), "n {}: {} vs {}", n, fm, sm);
+                prop_assert_eq!(fa, sa, "argmax at n {}", n);
+            }
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Incremental leaf edits (the persistent-sweep tree API)

@@ -1,0 +1,162 @@
+//! Differential property tests: the epoch-cached persistent sweep against
+//! the always-sweep rebuild reference, over randomized object streams.
+//!
+//! The epoch cache may only ever skip a sweep whose inputs are **content
+//! identical** to the previously swept state (the pending-delta journal has
+//! cancelled to zero), so cache-on and cache-off runs must agree bit for bit
+//! at every slide. On canonical exactly-once streams the cache is expected
+//! to stay cold — every window-transition event mutates some touched cell's
+//! clip set — so the second test drives the at-least-once scenario the cache
+//! exists for: a crash/retry replay of an already-processed batch, which the
+//! journal cancels back to the anchored epoch.
+
+use proptest::prelude::*;
+use surge_core::{
+    BurstDetector, IncrementalDetector, Point, RegionSize, SpatialObject, SurgeQuery,
+    SweepCacheStats, WindowConfig,
+};
+use surge_exact::{BoundMode, CellCspot, SweepMode};
+use surge_stream::{drive_incremental, EventBatch, SlidingWindowEngine};
+use surge_testkit::arb_lattice_stream as arb_stream;
+
+fn query(alpha: f64) -> SurgeQuery {
+    SurgeQuery::whole_space(RegionSize::new(1.0, 1.0), WindowConfig::equal(300), alpha)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Epoch-cache-on (persistent) vs always-sweep (rebuild), bit for bit,
+    /// across slide cadences, with cache accounting checked on both sides.
+    #[test]
+    fn epoch_cache_bit_matches_always_sweep(
+        objs in arb_stream(260),
+        alpha_pct in 0u32..100,
+        slide_pow in 2u32..6,
+    ) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let slide = 1usize << slide_pow;
+        let windows = WindowConfig::equal(300);
+
+        let mut reb =
+            CellCspot::with_sweep_mode(query(alpha), BoundMode::Combined, SweepMode::Rebuild, 1);
+        let base = drive_incremental(&mut reb, windows, objs.iter().copied(), slide, 1);
+
+        let mut pers =
+            CellCspot::with_sweep_mode(query(alpha), BoundMode::Combined, SweepMode::Persistent, 1);
+        let cached = drive_incremental(&mut pers, windows, objs.iter().copied(), slide, 1);
+
+        prop_assert_eq!(cached.answers.len(), base.answers.len());
+        for (i, (a, b)) in cached.answers.iter().zip(base.answers.iter()).enumerate() {
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    prop_assert_eq!(
+                        x.score.to_bits(), y.score.to_bits(),
+                        "slide {} (alpha {}, cadence {}): {} vs {}",
+                        i, alpha, slide, x.score, y.score
+                    );
+                    prop_assert_eq!(x.point.x.to_bits(), y.point.x.to_bits());
+                    prop_assert_eq!(x.point.y.to_bits(), y.point.y.to_bits());
+                    prop_assert_eq!(x.region, y.region);
+                }
+                (None, None) => {}
+                other => panic!("slide {i}: {other:?}"),
+            }
+        }
+
+        // The always-sweep reference never consults the cache, so its cache
+        // counters must be untouched.
+        prop_assert_eq!(reb.sweep_cache_stats(), SweepCacheStats::default());
+
+        // Every cache-capable search on the persistent side is accounted as
+        // exactly one hit or one miss, and hits are counted as searches so
+        // both modes report the same search totals.
+        let cs = pers.sweep_cache_stats();
+        let ss = pers.sweep_stats();
+        prop_assert_eq!(cs.epoch_hits + cs.epoch_misses, ss.searches);
+        prop_assert_eq!(pers.stats().searches, reb.stats().searches);
+    }
+}
+
+/// At-least-once delivery: after each sweep, the previous batch of window
+/// events is replayed in full (a crash/retry of an acked-but-unconfirmed
+/// batch) and the detector is swept again. The pending-delta journal cancels
+/// each replayed event — duplicate `New` is an identical replace, duplicate
+/// `Grown` re-marks an already-past entry — so the replay sweeps answer from
+/// the epoch cache, while the rebuild reference re-sweeps and must agree bit
+/// for bit.
+#[test]
+fn redelivered_batch_hits_epoch_cache() {
+    let q = query(0.4);
+    let windows = WindowConfig::equal(300);
+    let mut pers = CellCspot::with_sweep_mode(q, BoundMode::Combined, SweepMode::Persistent, 4);
+    let mut reb = CellCspot::with_sweep_mode(q, BoundMode::Combined, SweepMode::Rebuild, 4);
+
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+
+    let mut engine = SlidingWindowEngine::new(windows);
+    let mut batch = EventBatch::new();
+    let mut window = Vec::new();
+    let mut sweeps = 0u32;
+    for i in 0..1500u64 {
+        let r = next();
+        let obj = SpatialObject::new(
+            i,
+            1.0 + (r % 4) as f64,
+            Point::new(((r >> 8) % 16) as f64 * 0.5, ((r >> 16) % 12) as f64 * 0.5),
+            (i / 3) * 20,
+        );
+        engine.push_into(obj, &mut batch);
+        for ev in batch.as_slice() {
+            window.push(*ev);
+            pers.on_event(ev);
+            reb.on_event(ev);
+        }
+        batch.clear();
+        if (i + 1) % 32 == 0 {
+            for replay in [false, true] {
+                if replay {
+                    // Redeliver the batch that was just processed and swept.
+                    for ev in &window {
+                        pers.on_event(ev);
+                        reb.on_event(ev);
+                    }
+                }
+                pers.sweep_dirty(1);
+                reb.sweep_dirty(1);
+                sweeps += 1;
+                let (a, b) = (pers.current(), reb.current());
+                match (a, b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(
+                            x.score.to_bits(),
+                            y.score.to_bits(),
+                            "sweep {sweeps}: {} vs {}",
+                            x.score,
+                            y.score
+                        );
+                        assert_eq!(x.point.x.to_bits(), y.point.x.to_bits());
+                        assert_eq!(x.point.y.to_bits(), y.point.y.to_bits());
+                    }
+                    (None, None) => {}
+                    other => panic!("sweep {sweeps}: {other:?}"),
+                }
+            }
+            window.clear();
+        }
+    }
+
+    let cs = pers.sweep_cache_stats();
+    assert!(
+        cs.epoch_hits > 0,
+        "replayed batches must answer from the epoch cache: {cs:?}"
+    );
+    assert!(cs.epoch_misses > 0, "live batches must still sweep: {cs:?}");
+    assert_eq!(reb.sweep_cache_stats(), SweepCacheStats::default());
+}
