@@ -31,6 +31,10 @@
 //!                          degradation autopilot (SLO, bound, and
 //!                          return-to-exact contracts asserted); writes
 //!                          BENCH_degrade.json
+//!   serve-bench            multi-query serving: one shared server vs N
+//!                          dedicated runs (bit-identity asserted first),
+//!                          dedup hit-rate and per-query answer
+//!                          throughput; writes BENCH_serve.json
 //!   all                    everything above
 //!
 //! Options:
@@ -145,7 +149,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|window-bench|checkpoint-bench|degrade-bench|all> \
+    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|window-bench|checkpoint-bench|degrade-bench|serve-bench|all> \
      [--axis window|rect|k] [--objects N] [--heavy N] [--naive N] [--seed S] \
      [--datasets uk,us,taxi] [--fast] [--paper] [--persistent on|off]"
         .to_string()
@@ -211,6 +215,21 @@ fn run_degrade_bench(cfg: &ExpConfig) -> Result<(), String> {
     print!("{}", print::degrade_bench(&rows));
     let json = print::degrade_bench_json(&rows);
     let path = "BENCH_degrade.json";
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# wrote {path}");
+    Ok(())
+}
+
+/// Runs the multi-query serving experiment, printing the table and writing
+/// `BENCH_serve.json` to the working directory. Bit-identity of every
+/// subscription channel against its dedicated run is asserted inside the
+/// experiment before anything is timed, so a successful exit is the smoke
+/// check.
+fn run_serve_bench(cfg: &ExpConfig) -> Result<(), String> {
+    let rows = experiments::serve_bench(cfg);
+    print!("{}", print::serve_bench(&rows));
+    let json = print::serve_bench_json(&rows);
+    let path = "BENCH_serve.json";
     std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("# wrote {path}");
     Ok(())
@@ -303,6 +322,7 @@ fn run(args: &Args) -> Result<(), String> {
         "window-bench" => run_window_bench(cfg)?,
         "checkpoint-bench" => run_checkpoint_bench(cfg)?,
         "degrade-bench" => run_degrade_bench(cfg)?,
+        "serve-bench" => run_serve_bench(cfg)?,
         "all" => {
             print!("{}", print::table1(&experiments::table1(cfg)));
             print!(
@@ -367,6 +387,7 @@ fn run(args: &Args) -> Result<(), String> {
             run_window_bench(cfg)?;
             run_checkpoint_bench(cfg)?;
             run_degrade_bench(cfg)?;
+            run_serve_bench(cfg)?;
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
     }

@@ -2066,6 +2066,158 @@ pub fn checkpoint_bench(cfg: &ExpConfig) -> Vec<CheckpointBenchRow> {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-query serving experiment
+// ---------------------------------------------------------------------------
+
+/// One row of the serving experiment: one subscription count, comparing a
+/// shared [`surge_serve::SurgeServer`] against the aggregate cost of one
+/// dedicated single-query run per subscription.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchRow {
+    /// Live subscriptions registered on the server.
+    pub queries: usize,
+    /// Deduped detector groups the registry collapsed them into.
+    pub groups: usize,
+    /// `(queries - groups) / queries`: the fraction of subscriptions served
+    /// without their own detector.
+    pub dedup_hit_rate: f64,
+    /// Objects in the stream.
+    pub objects: u64,
+    /// Flushes each subscription received (slides + terminal).
+    pub slides: u64,
+    /// Wall-clock ms for `queries` dedicated single-query runs — what N
+    /// independent processes pay in aggregate ingest work.
+    pub independent_ms: f64,
+    /// Wall-clock ms for the one shared server run.
+    pub served_ms: f64,
+    /// `independent_ms / served_ms`.
+    pub speedup: f64,
+    /// Answer flushes delivered across all subscriptions per second of
+    /// served wall-clock.
+    pub answers_per_sec: f64,
+    /// `answers_per_sec / queries`.
+    pub per_query_answers_per_sec: f64,
+}
+
+/// Runs the multi-query serving experiment (`surge_exp serve-bench` →
+/// `BENCH_serve.json`): subscription counts 1/2/4/8 with bitwise-duplicate
+/// pairs mixed in, the shared server timed against the aggregate of N
+/// dedicated runs — **after** asserting every subscription's channel is
+/// bit-identical to its dedicated run. Reports the dedup hit-rate and
+/// per-query answer throughput alongside the speedup.
+pub fn serve_bench(cfg: &ExpConfig) -> Vec<ServeBenchRow> {
+    use surge_checkpoint::{DetectorSpec, SpecDetector};
+    use surge_core::RegionAnswer;
+    use surge_exact::BoundMode;
+    use surge_serve::{ServeConfig, SurgeServer};
+    use surge_stream::QueryRuntime;
+
+    let slide = 256;
+    let windows = WindowConfig::equal(60_000);
+    let stream = surge_testkit::uniform_stream(cfg.objects.clamp(4_000, 120_000), cfg.seed);
+    let spec = DetectorSpec::Cell {
+        bound: BoundMode::Combined,
+        sweep: cfg.sweep_mode,
+        shards: DEFAULT_SHARDS,
+    };
+
+    let mut rows = Vec::new();
+    for q in [1usize, 2, 4, 8] {
+        // Consecutive pairs are bitwise-identical queries, so half of every
+        // multi-query panel dedupes; distinct pairs vary region and α.
+        let queries: Vec<SurgeQuery> = (0..q)
+            .map(|i| {
+                let v = i / 2;
+                SurgeQuery::whole_space(
+                    RegionSize::new(0.25 + 0.05 * (v % 4) as f64, 0.25 + 0.04 * (v % 3) as f64),
+                    windows,
+                    0.3 + 0.1 * (v % 4) as f64,
+                )
+            })
+            .collect();
+
+        // The aggregate cost of dedicated processes: one full single-query
+        // run per subscription, duplicates included (each independent
+        // process pays even for a query someone else already runs).
+        let mut dedicated: Vec<Vec<Vec<RegionAnswer>>> = Vec::new();
+        let t0 = std::time::Instant::now();
+        for query in &queries {
+            let det = SpecDetector::build(&spec, *query).expect("servable spec");
+            let mut rt = QueryRuntime::new(det, windows, slide, 1);
+            let mut answers = Vec::new();
+            rt.run(stream.iter().copied(), |_seq, a| answers.push(a));
+            dedicated.push(answers);
+        }
+        let independent_elapsed = t0.elapsed();
+
+        // The shared server: register everything, ingest once.
+        let mut server = SurgeServer::new(ServeConfig {
+            slide_objects: slide,
+            threads: 1,
+            engine_lanes: 1,
+        });
+        let subs: Vec<_> = queries
+            .iter()
+            .map(|query| server.subscribe(*query, spec).expect("servable"))
+            .collect();
+        let stats = server.stats();
+        let t0 = std::time::Instant::now();
+        for obj in &stream {
+            server.ingest(*obj);
+        }
+        server.finish();
+        let served_elapsed = t0.elapsed();
+
+        // Benchmarks must not time a divergent pipeline: every channel is
+        // bit-identical to its dedicated run before any number is reported.
+        let mut delivered = 0usize;
+        for (sub, want) in subs.iter().zip(&dedicated) {
+            let got = server.drain(*sub).expect("live channel");
+            assert_eq!(
+                got.len(),
+                want.len(),
+                "serve-bench divergence at {q} queries"
+            );
+            for ((seq, a), b) in got.iter().zip(want) {
+                assert_eq!(a.len(), b.len(), "serve-bench divergence at flush {seq}");
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(
+                        x.score.to_bits(),
+                        y.score.to_bits(),
+                        "serve-bench divergence at {q} queries, flush {seq}"
+                    );
+                }
+            }
+            delivered += got.len();
+        }
+
+        let served_s = served_elapsed.as_secs_f64().max(1e-9);
+        let speedup = independent_elapsed.as_secs_f64() / served_s;
+        if q >= 2 {
+            // Sharing the engine and deduping detectors must beat paying
+            // for N independent ingest paths.
+            assert!(
+                speedup > 1.0,
+                "shared serving slower than {q} dedicated runs ({speedup:.2}x)"
+            );
+        }
+        rows.push(ServeBenchRow {
+            queries: q,
+            groups: stats.groups,
+            dedup_hit_rate: stats.dedup_hit_rate(),
+            objects: server.objects_ingested(),
+            slides: dedicated[0].len() as u64,
+            independent_ms: independent_elapsed.as_secs_f64() * 1e3,
+            served_ms: served_elapsed.as_secs_f64() * 1e3,
+            speedup,
+            answers_per_sec: delivered as f64 / served_s,
+            per_query_answers_per_sec: delivered as f64 / q as f64 / served_s,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // Overload-degradation (autopilot) experiment
 // ---------------------------------------------------------------------------
 
@@ -2264,7 +2416,7 @@ pub fn degrade_bench(cfg: &ExpConfig) -> Vec<DegradeBenchRow> {
             p99_us: latency.p99_us,
             max_us: latency.max_us,
             within_slo: latency.p99_us <= budget_us as f64,
-            answers_in_tier: answers_in_tier(&report.answers),
+            answers_in_tier: answers_in_tier(report.answers.retained()),
             slides_in_tier: report.slides_in_tier,
             time_in_tier_ms: time_in_tier_ms(report),
             transitions: report.transitions,

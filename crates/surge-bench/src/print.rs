@@ -515,6 +515,97 @@ pub fn checkpoint_bench_json(rows: &[crate::experiments::CheckpointBenchRow]) ->
     out
 }
 
+/// The multi-query serving experiment as a console table: shared-server
+/// cost against the aggregate of N dedicated runs, with the dedup hit-rate
+/// and answer throughput.
+pub fn serve_bench(rows: &[crate::experiments::ServeBenchRow]) -> String {
+    let mut out = format!(
+        "\n== Multi-query serving: one shared engine vs N dedicated runs (bit-identity asserted) ==\n{:<8} {:<7} {:>6} {:>8} {:>7} {:>10} {:>10} {:>8} {:>12} {:>12}\n",
+        "queries",
+        "groups",
+        "dedup",
+        "objects",
+        "slides",
+        "indep(ms)",
+        "serve(ms)",
+        "speedup",
+        "ans/s",
+        "ans/s/query"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<7} {:>5.0}% {:>8} {:>7} {:>10.1} {:>10.1} {:>7.2}x {:>12.0} {:>12.0}\n",
+            r.queries,
+            r.groups,
+            r.dedup_hit_rate * 100.0,
+            r.objects,
+            r.slides,
+            r.independent_ms,
+            r.served_ms,
+            r.speedup,
+            r.answers_per_sec,
+            r.per_query_answers_per_sec
+        ));
+    }
+    out
+}
+
+/// The multi-query serving experiment as a `BENCH_serve.json` document
+/// (hand-rolled: the offline build has no serde).
+pub fn serve_bench_json(rows: &[crate::experiments::ServeBenchRow]) -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"multi_query_serving\",\n  \"cpus\": {cpus},\n  \"rows\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"queries\": {}, \"groups\": {}, \"dedup_hit_rate\": {:.4}, \"objects\": {}, \"slides\": {}, \"independent_ms\": {:.3}, \"served_ms\": {:.3}, \"speedup\": {:.3}, \"answers_per_sec\": {:.1}, \"per_query_answers_per_sec\": {:.1}}}{}\n",
+            r.queries,
+            r.groups,
+            r.dedup_hit_rate,
+            r.objects,
+            r.slides,
+            r.independent_ms,
+            r.served_ms,
+            r.speedup,
+            r.answers_per_sec,
+            r.per_query_answers_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod serve_tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_json_is_wellformed() {
+        let rows = vec![crate::experiments::ServeBenchRow {
+            queries: 4,
+            groups: 2,
+            dedup_hit_rate: 0.5,
+            objects: 20_000,
+            slides: 79,
+            independent_ms: 400.0,
+            served_ms: 150.0,
+            speedup: 2.67,
+            answers_per_sec: 2000.0,
+            per_query_answers_per_sec: 500.0,
+        }];
+        let json = serve_bench_json(&rows);
+        assert!(json.contains("\"benchmark\": \"multi_query_serving\""));
+        assert!(json.contains("\"dedup_hit_rate\": 0.5000"));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let table = serve_bench(&rows);
+        assert!(table.contains("speedup"));
+        assert!(table.contains("2.67x"));
+    }
+}
+
 #[cfg(test)]
 mod checkpoint_tests {
     use super::*;

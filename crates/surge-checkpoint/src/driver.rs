@@ -24,13 +24,15 @@ use std::time::Instant;
 
 use surge_approx::{GapSurge, MgapSurge};
 use surge_core::{
-    BurstDetector, CheckpointableDetector, DetectorState, DetectorStats, IncrementalDetector,
-    RegionAnswer, RestoreError, SpatialObject, SurgeQuery, TopKDetector, WindowConfig,
+    BurstDetector, CheckpointableDetector, DetectorState, DetectorStats, Event,
+    IncrementalDetector, RegionAnswer, RestoreError, SpatialObject, SurgeQuery, TopKDetector,
+    WindowConfig,
 };
 use surge_exact::{BaseDetector, CellCspot};
 use surge_io::{BlobStore, FsStore, IoError};
 use surge_stream::{
-    AutopilotDetector, EventBatch, LatencyHistogram, LatencySummary, SlidingWindowEngine,
+    AnswerLog, AnswerSink, AutopilotDetector, EventBatch, FlushOutcome, LatencyHistogram,
+    LatencySummary, QueryCore, RetainAll, SlidingWindowEngine,
 };
 use surge_topk::KCellCspot;
 
@@ -175,8 +177,11 @@ pub struct CheckpointReport {
     /// The answer at every flush, in flush order: 0/1 entries per flush
     /// for single-region detectors, up to k for top-k. For a recovered run
     /// this includes the answers restored from the snapshot, so the full
-    /// sequence is comparable to an uninterrupted run's.
-    pub answers: Vec<Vec<RegionAnswer>>,
+    /// sequence is comparable to an uninterrupted run's. With the default
+    /// [`RetainAll`] sink every flush stays retained (the historical `Vec`
+    /// shape); a run wired to an acking consumer via
+    /// [`run_checkpointed_with_sink`] retains only the unacked suffix.
+    pub answers: AnswerLog<Vec<RegionAnswer>>,
     /// Snapshots written during this run.
     pub snapshots_written: u64,
     /// Objects appended to the WAL during this run.
@@ -198,8 +203,8 @@ pub struct CheckpointReport {
 }
 
 impl CheckpointReport {
-    /// The answers as the single-region drivers report them — convenience
-    /// for comparing against `drive_incremental`.
+    /// The retained answers as the single-region drivers report them —
+    /// convenience for comparing against `drive_incremental`.
     pub fn single_answers(&self) -> Vec<Option<RegionAnswer>> {
         self.answers
             .iter()
@@ -209,48 +214,73 @@ impl CheckpointReport {
 }
 
 /// The detector behind a checkpointed run: one variant per
-/// [`DetectorSpec`], so the driver loop is a single implementation.
-enum Det {
+/// [`DetectorSpec`], so every driver loop — the checkpoint runner and the
+/// multi-query serving layer — is a single implementation.
+///
+/// Implements [`surge_stream::QueryCore`], which is how `surge-serve`
+/// drives one of these per deduped detector group over a shared window
+/// engine at the exact per-slide cadence the checkpoint runner uses.
+pub enum SpecDetector {
+    /// CCS / B-CCS ([`surge_exact::CellCspot`]).
     Cell(CellCspot),
+    /// The baseline detector ([`surge_exact::BaseDetector`]).
     Base(BaseDetector),
+    /// Continuous top-k ([`surge_topk::KCellCspot`]).
     TopK(KCellCspot),
+    /// GAP-SURGE ([`surge_approx::GapSurge`]).
     Gaps(GapSurge),
+    /// MGAP-SURGE ([`surge_approx::MgapSurge`]).
     Mgaps(Box<MgapSurge>),
+    /// The overload autopilot ([`surge_stream::AutopilotDetector`]).
     Autopilot(Box<AutopilotDetector>),
 }
 
-impl Det {
-    fn build(spec: &DetectorSpec, query: SurgeQuery) -> Det {
-        match *spec {
+impl SpecDetector {
+    /// Builds an empty detector for `spec` over `query`.
+    ///
+    /// [`DetectorSpec::Serve`] is rejected: a serve registry is not a
+    /// single detector — build a `surge-serve` server instead.
+    pub fn build(spec: &DetectorSpec, query: SurgeQuery) -> Result<SpecDetector, CheckpointError> {
+        Ok(match *spec {
             DetectorSpec::Cell {
                 bound,
                 sweep,
                 shards,
-            } => Det::Cell(CellCspot::with_sweep_mode(query, bound, sweep, shards)),
-            DetectorSpec::Base { pruned } => Det::Base(if pruned {
+            } => SpecDetector::Cell(CellCspot::with_sweep_mode(query, bound, sweep, shards)),
+            DetectorSpec::Base { pruned } => SpecDetector::Base(if pruned {
                 BaseDetector::with_pruning(query)
             } else {
                 BaseDetector::new(query)
             }),
-            DetectorSpec::TopK { k } => Det::TopK(KCellCspot::new(query, k)),
-            DetectorSpec::Gaps { shards } => Det::Gaps(GapSurge::with_shards(query, shards)),
-            DetectorSpec::Mgaps { shards } => {
-                Det::Mgaps(Box::new(MgapSurge::with_shards(query, shards)))
+            DetectorSpec::TopK { k } => SpecDetector::TopK(KCellCspot::new(query, k)),
+            DetectorSpec::Gaps { shards } => {
+                SpecDetector::Gaps(GapSurge::with_shards(query, shards))
             }
-            DetectorSpec::Autopilot { shards, policy } => Det::Autopilot(Box::new(
+            DetectorSpec::Mgaps { shards } => {
+                SpecDetector::Mgaps(Box::new(MgapSurge::with_shards(query, shards)))
+            }
+            DetectorSpec::Autopilot { shards, policy } => SpecDetector::Autopilot(Box::new(
                 AutopilotDetector::with_shards(query, policy, shards),
             )),
-        }
+            DetectorSpec::Serve => {
+                return Err(CheckpointError::Config(
+                    "DetectorSpec::Serve is a registry marker, not a detector; \
+                     drive it through surge-serve"
+                        .into(),
+                ))
+            }
+        })
     }
 
-    fn on_event(&mut self, ev: &surge_core::Event) {
+    /// Consumes one window-transition event.
+    pub fn on_event(&mut self, ev: &Event) {
         match self {
-            Det::Cell(d) => d.on_event(ev),
-            Det::Base(d) => BurstDetector::on_event(d, ev),
-            Det::TopK(d) => TopKDetector::on_event(d, ev),
-            Det::Gaps(d) => BurstDetector::on_event(d, ev),
-            Det::Mgaps(d) => BurstDetector::on_event(d.as_mut(), ev),
-            Det::Autopilot(d) => BurstDetector::on_event(d.as_mut(), ev),
+            SpecDetector::Cell(d) => d.on_event(ev),
+            SpecDetector::Base(d) => BurstDetector::on_event(d, ev),
+            SpecDetector::TopK(d) => TopKDetector::on_event(d, ev),
+            SpecDetector::Gaps(d) => BurstDetector::on_event(d, ev),
+            SpecDetector::Mgaps(d) => BurstDetector::on_event(d.as_mut(), ev),
+            SpecDetector::Autopilot(d) => BurstDetector::on_event(d.as_mut(), ev),
         }
     }
 
@@ -258,63 +288,90 @@ impl Det {
     /// cadence: CCS sweeps its dirty cells in place and then reads the
     /// all-fresh answer (bit-identical to `drive_incremental`), Base,
     /// top-k and the grid detectors answer directly.
-    fn flush(&mut self, threads: usize) -> Vec<RegionAnswer> {
+    pub fn flush(&mut self, threads: usize) -> Vec<RegionAnswer> {
         match self {
-            Det::Cell(d) => {
+            SpecDetector::Cell(d) => {
                 d.sweep_dirty(threads);
                 d.current().into_iter().collect()
             }
-            Det::Base(d) => d.current().into_iter().collect(),
-            Det::TopK(d) => d.current_topk(),
-            Det::Gaps(d) => d.current().into_iter().collect(),
-            Det::Mgaps(d) => d.current().into_iter().collect(),
-            Det::Autopilot(d) => d.current().into_iter().collect(),
+            SpecDetector::Base(d) => d.current().into_iter().collect(),
+            SpecDetector::TopK(d) => d.current_topk(),
+            SpecDetector::Gaps(d) => d.current().into_iter().collect(),
+            SpecDetector::Mgaps(d) => d.current().into_iter().collect(),
+            SpecDetector::Autopilot(d) => d.current().into_iter().collect(),
         }
     }
 
-    fn capture(&self) -> DetectorState {
+    /// Captures the detector's logical state for a snapshot.
+    pub fn capture(&self) -> DetectorState {
         match self {
-            Det::Cell(d) => d.capture_state(),
-            Det::Base(d) => d.capture_state(),
-            Det::TopK(d) => d.capture_state(),
-            Det::Gaps(d) => d.capture_state(),
-            Det::Mgaps(d) => d.capture_state(),
-            Det::Autopilot(d) => d.capture_state(),
+            SpecDetector::Cell(d) => d.capture_state(),
+            SpecDetector::Base(d) => d.capture_state(),
+            SpecDetector::TopK(d) => d.capture_state(),
+            SpecDetector::Gaps(d) => d.capture_state(),
+            SpecDetector::Mgaps(d) => d.capture_state(),
+            SpecDetector::Autopilot(d) => d.capture_state(),
         }
     }
 
-    fn restore(&mut self, state: &DetectorState) -> Result<(), RestoreError> {
+    /// Restores the detector from captured logical state.
+    pub fn restore(&mut self, state: &DetectorState) -> Result<(), RestoreError> {
         match self {
-            Det::Cell(d) => d.restore_state(state),
-            Det::Base(d) => d.restore_state(state),
-            Det::TopK(d) => d.restore_state(state),
-            Det::Gaps(d) => d.restore_state(state),
-            Det::Mgaps(d) => d.restore_state(state),
-            Det::Autopilot(d) => d.restore_state(state),
+            SpecDetector::Cell(d) => d.restore_state(state),
+            SpecDetector::Base(d) => d.restore_state(state),
+            SpecDetector::TopK(d) => d.restore_state(state),
+            SpecDetector::Gaps(d) => d.restore_state(state),
+            SpecDetector::Mgaps(d) => d.restore_state(state),
+            SpecDetector::Autopilot(d) => d.restore_state(state),
         }
     }
 
-    fn stats(&self) -> DetectorStats {
+    /// Detector counters.
+    pub fn stats(&self) -> DetectorStats {
         match self {
-            Det::Cell(d) => d.stats(),
-            Det::Base(d) => BurstDetector::stats(d),
-            Det::TopK(d) => TopKDetector::stats(d),
-            Det::Gaps(d) => BurstDetector::stats(d),
-            Det::Mgaps(d) => BurstDetector::stats(d.as_ref()),
-            Det::Autopilot(d) => BurstDetector::stats(d.as_ref()),
+            SpecDetector::Cell(d) => d.stats(),
+            SpecDetector::Base(d) => BurstDetector::stats(d),
+            SpecDetector::TopK(d) => TopKDetector::stats(d),
+            SpecDetector::Gaps(d) => BurstDetector::stats(d),
+            SpecDetector::Mgaps(d) => BurstDetector::stats(d.as_ref()),
+            SpecDetector::Autopilot(d) => BurstDetector::stats(d.as_ref()),
         }
     }
 }
 
+impl QueryCore for SpecDetector {
+    fn on_event(&mut self, event: &Event) {
+        SpecDetector::on_event(self, event);
+    }
+
+    fn flush(&mut self, threads: usize) -> FlushOutcome {
+        let swept = match self {
+            SpecDetector::Cell(d) => d.sweep_dirty(threads),
+            _ => 0,
+        };
+        FlushOutcome {
+            // For `Cell` the dirty set is now empty, so the canonical
+            // sweep-then-answer flush above reduces to this same read.
+            answers: SpecDetector::flush(self, threads),
+            swept,
+        }
+    }
+
+    fn stats(&self) -> DetectorStats {
+        SpecDetector::stats(self)
+    }
+}
+
 /// The run loop shared by fresh runs and recovery.
-struct Runner {
+struct Runner<'s> {
     cfg: CheckpointConfig,
     dir: CheckpointDir,
-    detector: Det,
+    detector: SpecDetector,
     engine: SlidingWindowEngine,
     wal: WalWriter,
     batch: EventBatch,
-    answers: Vec<Vec<RegionAnswer>>,
+    answers: AnswerLog<Vec<RegionAnswer>>,
+    sink: &'s mut dyn AnswerSink<Vec<RegionAnswer>>,
     objects: u64,
     slides: u64,
     events: u64,
@@ -328,7 +385,7 @@ struct Runner {
     slide_t0: Instant,
 }
 
-impl Runner {
+impl Runner<'_> {
     fn apply_events(&mut self) {
         for ev in self.batch.iter() {
             self.detector.on_event(ev);
@@ -345,13 +402,13 @@ impl Runner {
             SyncPolicy::OsFlush | SyncPolicy::FsyncPerSnapshot => self.wal.sync()?,
         }
         let flush_answers = self.detector.flush(self.cfg.threads);
-        self.answers.push(flush_answers);
+        self.answers.offer(flush_answers, &mut *self.sink);
         self.slides += 1;
         // The autopilot observes its SLO signals at the same point
         // `drive_autopilot` does: after the slide's answer is taken, before
         // the snapshot — so a snapshot captures the post-transition tier
         // and replay reproduces the same transition sequence.
-        if let Det::Autopilot(d) = &mut self.detector {
+        if let SpecDetector::Autopilot(d) = &mut self.detector {
             let dt = self.slide_t0.elapsed();
             let latency_us = (dt.as_nanos() / 1_000).min(u64::MAX as u128) as u64;
             d.note_slide(latency_us, &self.engine);
@@ -389,7 +446,8 @@ impl Runner {
             query: self.cfg.query,
             engine: self.engine.checkpoint(),
             detector: self.detector.capture(),
-            answers: self.answers.clone(),
+            answers_released: self.answers.released(),
+            answers: self.answers.retained().to_vec(),
         };
         self.dir.write_snapshot(&state)?;
         self.snapshots_written += 1;
@@ -455,7 +513,7 @@ impl Runner {
             }
         }
         let final_tier = match &self.detector {
-            Det::Autopilot(d) => Some(d.tier().index() as u8),
+            SpecDetector::Autopilot(d) => Some(d.tier().index() as u8),
             _ => None,
         };
         Ok(CheckpointReport {
@@ -498,7 +556,7 @@ pub fn run_checkpointed(
     source: impl Iterator<Item = SpatialObject>,
     tail: Tail,
 ) -> Result<CheckpointReport, CheckpointError> {
-    run_checkpointed_with_store(cfg, dir, source, tail, Box::new(FsStore))
+    run_checkpointed_inner(cfg, dir, source, tail, Box::new(FsStore), &mut RetainAll)
 }
 
 /// [`run_checkpointed`] with an explicit WAL segment-file store — the
@@ -511,6 +569,31 @@ pub fn run_checkpointed_with_store(
     source: impl Iterator<Item = SpatialObject>,
     tail: Tail,
     store: Box<dyn BlobStore>,
+) -> Result<CheckpointReport, CheckpointError> {
+    run_checkpointed_inner(cfg, dir, source, tail, store, &mut RetainAll)
+}
+
+/// [`run_checkpointed`] with a consumer [`AnswerSink`]: every flush is
+/// delivered synchronously and an [`surge_stream::Ack::Release`] lets the
+/// runner drop the retained answer, bounding both the in-memory report and
+/// every snapshot by consumer lag instead of stream length.
+pub fn run_checkpointed_with_sink(
+    cfg: &CheckpointConfig,
+    dir: impl Into<PathBuf>,
+    source: impl Iterator<Item = SpatialObject>,
+    tail: Tail,
+    sink: &mut dyn AnswerSink<Vec<RegionAnswer>>,
+) -> Result<CheckpointReport, CheckpointError> {
+    run_checkpointed_inner(cfg, dir, source, tail, Box::new(FsStore), sink)
+}
+
+fn run_checkpointed_inner(
+    cfg: &CheckpointConfig,
+    dir: impl Into<PathBuf>,
+    source: impl Iterator<Item = SpatialObject>,
+    tail: Tail,
+    store: Box<dyn BlobStore>,
+    sink: &mut dyn AnswerSink<Vec<RegionAnswer>>,
 ) -> Result<CheckpointReport, CheckpointError> {
     check_cfg(cfg)?;
     let dir = CheckpointDir::create(dir)?;
@@ -526,11 +609,12 @@ pub fn run_checkpointed_with_store(
     let runner = Runner {
         cfg: *cfg,
         dir,
-        detector: Det::build(&cfg.spec, cfg.query),
+        detector: SpecDetector::build(&cfg.spec, cfg.query)?,
         engine: SlidingWindowEngine::new(cfg.windows),
         wal,
         batch: EventBatch::new(),
-        answers: Vec::new(),
+        answers: AnswerLog::new(),
+        sink,
         objects: 0,
         slides: 0,
         events: 0,
@@ -563,14 +647,27 @@ pub fn recover(
     source: impl Iterator<Item = SpatialObject>,
     tail: Tail,
 ) -> Result<CheckpointReport, CheckpointError> {
+    recover_with_sink(cfg, dir, source, tail, &mut RetainAll)
+}
+
+/// [`recover`] with a consumer [`AnswerSink`]. Flushes replayed from the
+/// WAL tail are re-delivered (at-least-once semantics across a crash);
+/// answers the snapshot recorded as released stay released.
+pub fn recover_with_sink(
+    cfg: &CheckpointConfig,
+    dir: impl Into<PathBuf>,
+    source: impl Iterator<Item = SpatialObject>,
+    tail: Tail,
+    sink: &mut dyn AnswerSink<Vec<RegionAnswer>>,
+) -> Result<CheckpointReport, CheckpointError> {
     check_cfg(cfg)?;
     let dir = CheckpointDir::create(dir)?;
     let snapshot = dir.latest_snapshot()?;
     let wal_rec = Wal::recover(dir.wal_dir())?;
 
-    let mut detector = Det::build(&cfg.spec, cfg.query);
+    let mut detector = SpecDetector::build(&cfg.spec, cfg.query)?;
     let mut engine = SlidingWindowEngine::new(cfg.windows);
-    let mut answers = Vec::new();
+    let mut answers = AnswerLog::new();
     let mut objects = 0u64;
     let mut slides = 0u64;
     let mut snapshot_seq = 0u64;
@@ -602,7 +699,7 @@ pub fn recover(
         }
         detector.restore(&state.detector)?;
         engine = SlidingWindowEngine::from_state(&state.engine)?;
-        answers = state.answers;
+        answers = AnswerLog::from_parts(state.answers_released, state.answers);
         objects = state.meta.objects_ingested;
         slides = state.meta.slides_done;
         snapshot_seq = state.meta.snapshot_seq;
@@ -635,6 +732,7 @@ pub fn recover(
         wal,
         batch: EventBatch::new(),
         answers,
+        sink,
         objects,
         slides,
         events: 0,

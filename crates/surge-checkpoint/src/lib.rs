@@ -50,14 +50,17 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod serve;
 pub mod state;
 pub mod store;
 pub mod wal;
 
 pub use driver::{
-    recover, run_checkpointed, run_checkpointed_with_store, CheckpointConfig, CheckpointError,
-    CheckpointPolicy, CheckpointReport, SyncPolicy, Tail,
+    recover, recover_with_sink, run_checkpointed, run_checkpointed_with_sink,
+    run_checkpointed_with_store, CheckpointConfig, CheckpointError, CheckpointPolicy,
+    CheckpointReport, SpecDetector, SyncPolicy, Tail,
 };
+pub use serve::{ServeGroupState, ServeLaneState, ServeMeta, ServeState, ServeSubState};
 pub use state::{CheckpointMeta, CheckpointState, DetectorSpec};
 pub use store::CheckpointDir;
 pub use wal::{Wal, WalRecovery, WalWriter, WAL_MAGIC};

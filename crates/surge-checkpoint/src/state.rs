@@ -35,11 +35,18 @@ pub mod tags {
     pub const DETECTOR: u32 = 4;
     /// Per-slide answers produced so far.
     pub const ANSWERS: u32 = 5;
+    /// Serving-registry cadence and id counters (`surge-serve`).
+    pub const SERVE_META: u32 = 6;
+    /// The full serving registry: lanes, detector groups, subscriptions.
+    pub const SERVE_REGISTRY: u32 = 7;
 }
 
 /// Which detector a checkpointed run drives, with its construction
 /// parameters — enough to rebuild an empty twin at recovery time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` (alongside `Eq`) lets the serving layer dedupe detector groups
+/// on `(QueryKey, DetectorSpec)` identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DetectorSpec {
     /// [`surge_exact::CellCspot`] (CCS / B-CCS).
     Cell {
@@ -78,6 +85,10 @@ pub enum DetectorSpec {
         /// The degradation SLO.
         policy: SloPolicy,
     },
+    /// A multi-query serving registry (`surge-serve`): the snapshot's
+    /// detector section is empty and the real state lives in the serve
+    /// sections. Not constructible by the single-query driver.
+    Serve,
 }
 
 /// Run cadence and durability bookkeeping carried in every snapshot.
@@ -109,25 +120,30 @@ pub struct CheckpointState {
     pub engine: EngineState,
     /// Detector logical state.
     pub detector: DetectorState,
-    /// Per-slide answers so far (one `Vec` per flush: 0/1 entries for
-    /// single-region detectors, up to k for top-k).
+    /// Flushes released by consumer acks before this snapshot — the seq of
+    /// the first entry in [`answers`](Self::answers). With no acking
+    /// consumer this is 0 and `answers` is the full history.
+    pub answers_released: u64,
+    /// Retained per-slide answers (one `Vec` per flush: 0/1 entries for
+    /// single-region detectors, up to k for top-k), covering flush seqs
+    /// `answers_released..answers_released + answers.len()`.
     pub answers: Vec<Vec<RegionAnswer>>,
 }
 
-fn inv(msg: impl std::fmt::Display) -> IoError {
+pub(crate) fn inv(msg: impl std::fmt::Display) -> IoError {
     IoError::Invariant(msg.to_string())
 }
 
 // --- scalar helpers -------------------------------------------------------
 
-fn put_rect(w: &mut PayloadWriter, r: &Rect) {
+pub(crate) fn put_rect(w: &mut PayloadWriter, r: &Rect) {
     w.f64(r.x0);
     w.f64(r.y0);
     w.f64(r.x1);
     w.f64(r.y1);
 }
 
-fn get_rect(r: &mut PayloadReader<'_>, what: &str) -> Result<Rect, IoError> {
+pub(crate) fn get_rect(r: &mut PayloadReader<'_>, what: &str) -> Result<Rect, IoError> {
     let x0 = r.f64(what)?;
     let y0 = r.f64(what)?;
     let x1 = r.f64(what)?;
@@ -138,7 +154,7 @@ fn get_rect(r: &mut PayloadReader<'_>, what: &str) -> Result<Rect, IoError> {
     Ok(Rect { x0, y0, x1, y1 })
 }
 
-fn put_object(w: &mut PayloadWriter, o: &SpatialObject) {
+pub(crate) fn put_object(w: &mut PayloadWriter, o: &SpatialObject) {
     w.u64(o.id);
     w.f64(o.weight);
     w.f64(o.pos.x);
@@ -146,7 +162,7 @@ fn put_object(w: &mut PayloadWriter, o: &SpatialObject) {
     w.u64(o.created);
 }
 
-fn get_object(r: &mut PayloadReader<'_>, what: &str) -> Result<SpatialObject, IoError> {
+pub(crate) fn get_object(r: &mut PayloadReader<'_>, what: &str) -> Result<SpatialObject, IoError> {
     let id = r.u64(what)?;
     let weight = r.f64(what)?;
     let x = r.f64(what)?;
@@ -158,12 +174,12 @@ fn get_object(r: &mut PayloadReader<'_>, what: &str) -> Result<SpatialObject, Io
     Ok(SpatialObject::new(id, weight, Point::new(x, y), created))
 }
 
-fn put_windows(w: &mut PayloadWriter, cfg: &WindowConfig) {
+pub(crate) fn put_windows(w: &mut PayloadWriter, cfg: &WindowConfig) {
     w.u64(cfg.current_len);
     w.u64(cfg.past_len);
 }
 
-fn get_windows(r: &mut PayloadReader<'_>, what: &str) -> Result<WindowConfig, IoError> {
+pub(crate) fn get_windows(r: &mut PayloadReader<'_>, what: &str) -> Result<WindowConfig, IoError> {
     let current = r.u64(what)?;
     let past = r.u64(what)?;
     if current == 0 {
@@ -217,12 +233,17 @@ fn decode_meta(buf: &[u8]) -> Result<CheckpointMeta, IoError> {
     Ok(m)
 }
 
-fn encode_spec(query: &SurgeQuery, spec: &DetectorSpec) -> Vec<u8> {
+pub(crate) fn encode_spec(query: &SurgeQuery, spec: &DetectorSpec) -> Vec<u8> {
     let mut w = PayloadWriter::new();
-    put_rect(&mut w, &query.area);
+    put_spec(&mut w, query, spec);
+    w.finish()
+}
+
+pub(crate) fn put_spec(w: &mut PayloadWriter, query: &SurgeQuery, spec: &DetectorSpec) {
+    put_rect(w, &query.area);
     w.f64(query.region.width);
     w.f64(query.region.height);
-    put_windows(&mut w, &query.windows);
+    put_windows(w, &query.windows);
     w.f64(query.alpha);
     match spec {
         DetectorSpec::Cell {
@@ -267,19 +288,25 @@ fn encode_spec(query: &SurgeQuery, spec: &DetectorSpec) -> Vec<u8> {
             w.u32(policy.cooldown_slides);
             w.u32(policy.drain_percent);
         }
+        DetectorSpec::Serve => w.u8(6),
     }
-    w.finish()
 }
 
-fn decode_spec(buf: &[u8]) -> Result<(SurgeQuery, DetectorSpec), IoError> {
+pub(crate) fn decode_spec(buf: &[u8]) -> Result<(SurgeQuery, DetectorSpec), IoError> {
     let mut r = PayloadReader::new(buf);
-    let area = get_rect(&mut r, "spec.area")?;
+    let out = get_spec(&mut r)?;
+    r.expect_exhausted("spec")?;
+    Ok(out)
+}
+
+pub(crate) fn get_spec(r: &mut PayloadReader<'_>) -> Result<(SurgeQuery, DetectorSpec), IoError> {
+    let area = get_rect(r, "spec.area")?;
     let width = r.f64("spec.region.width")?;
     let height = r.f64("spec.region.height")?;
     if !(width > 0.0 && width.is_finite() && height > 0.0 && height.is_finite()) {
         return Err(inv("spec: region extents must be positive and finite"));
     }
-    let windows = get_windows(&mut r, "spec.windows")?;
+    let windows = get_windows(r, "spec.windows")?;
     let alpha = r.f64("spec.alpha")?;
     if !(0.0..1.0).contains(&alpha) {
         return Err(inv(format!("spec: alpha {alpha} outside [0, 1)")));
@@ -343,15 +370,20 @@ fn decode_spec(buf: &[u8]) -> Result<(SurgeQuery, DetectorSpec), IoError> {
             }
             DetectorSpec::Autopilot { shards, policy }
         }
+        6 => DetectorSpec::Serve,
         other => return Err(inv(format!("unknown detector-spec code {other}"))),
     };
-    r.expect_exhausted("spec")?;
     Ok((query, spec))
 }
 
-fn encode_engine(e: &EngineState) -> Vec<u8> {
+pub(crate) fn encode_engine(e: &EngineState) -> Vec<u8> {
     let mut w = PayloadWriter::new();
-    put_windows(&mut w, &e.windows);
+    put_engine(&mut w, e);
+    w.finish()
+}
+
+pub(crate) fn put_engine(w: &mut PayloadWriter, e: &EngineState) {
+    put_windows(w, &e.windows);
     w.u64(e.now);
     w.u64(e.last_created);
     w.u8(u8::from(e.started));
@@ -366,15 +398,20 @@ fn encode_engine(e: &EngineState) -> Vec<u8> {
     for objs in [&e.current, &e.past] {
         w.u64(objs.len() as u64);
         for o in objs {
-            put_object(&mut w, o);
+            put_object(w, o);
         }
     }
-    w.finish()
 }
 
-fn decode_engine(buf: &[u8]) -> Result<EngineState, IoError> {
+pub(crate) fn decode_engine(buf: &[u8]) -> Result<EngineState, IoError> {
     let mut r = PayloadReader::new(buf);
-    let windows = get_windows(&mut r, "engine.windows")?;
+    let engine = get_engine(&mut r)?;
+    r.expect_exhausted("engine")?;
+    Ok(engine)
+}
+
+pub(crate) fn get_engine(r: &mut PayloadReader<'_>) -> Result<EngineState, IoError> {
+    let windows = get_windows(r, "engine.windows")?;
     let now = r.u64("engine.now")?;
     let last_created = r.u64("engine.last_created")?;
     let started = r.u8("engine.started")? != 0;
@@ -391,13 +428,12 @@ fn decode_engine(buf: &[u8]) -> Result<EngineState, IoError> {
         let n = r.u64(what)?;
         let mut objs = Vec::with_capacity(n.min(1 << 24) as usize);
         for _ in 0..n {
-            objs.push(get_object(&mut r, what)?);
+            objs.push(get_object(r, what)?);
         }
         lists.push(objs);
     }
     let past = lists.pop().expect("two lists");
     let current = lists.pop().expect("two lists");
-    r.expect_exhausted("engine")?;
     Ok(EngineState {
         windows,
         now,
@@ -456,8 +492,13 @@ fn get_cand(r: &mut PayloadReader<'_>, what: &str) -> Result<CandidateState, IoE
     }
 }
 
-fn encode_detector(d: &DetectorState) -> Vec<u8> {
+pub(crate) fn encode_detector(d: &DetectorState) -> Vec<u8> {
     let mut w = PayloadWriter::new();
+    put_detector(&mut w, d);
+    w.finish()
+}
+
+pub(crate) fn put_detector(w: &mut PayloadWriter, d: &DetectorState) {
     w.str(&d.name);
     w.u32(d.levels);
     w.u64(d.stats.events);
@@ -466,7 +507,7 @@ fn encode_detector(d: &DetectorState) -> Vec<u8> {
     w.u64(d.stats.events_triggering_search);
     w.u64(d.rects.len() as u64);
     for r in &d.rects {
-        put_rect_state(&mut w, r);
+        put_rect_state(w, r);
     }
     w.u64(d.cells.len() as u64);
     for c in &d.cells {
@@ -474,7 +515,7 @@ fn encode_detector(d: &DetectorState) -> Vec<u8> {
         w.i64(c.id.1);
         w.u64(c.rects.len() as u64);
         for r in &c.rects {
-            put_rect_state(&mut w, r);
+            put_rect_state(w, r);
         }
         for floats in [&c.us, &c.ud] {
             w.u64(floats.len() as u64);
@@ -484,7 +525,7 @@ fn encode_detector(d: &DetectorState) -> Vec<u8> {
         }
         w.u64(c.cand.len() as u64);
         for cand in &c.cand {
-            put_cand(&mut w, cand);
+            put_cand(w, cand);
         }
     }
     w.u64(d.incumbents.len() as u64);
@@ -526,11 +567,16 @@ fn encode_detector(d: &DetectorState) -> Vec<u8> {
         }
         None => w.u8(0),
     }
-    w.finish()
 }
 
-fn decode_detector(buf: &[u8]) -> Result<DetectorState, IoError> {
+pub(crate) fn decode_detector(buf: &[u8]) -> Result<DetectorState, IoError> {
     let mut r = PayloadReader::new(buf);
+    let detector = get_detector(&mut r)?;
+    r.expect_exhausted("detector")?;
+    Ok(detector)
+}
+
+pub(crate) fn get_detector(r: &mut PayloadReader<'_>) -> Result<DetectorState, IoError> {
     let name = r.str("detector.name")?;
     let levels = r.u32("detector.levels")?;
     let stats = DetectorStats {
@@ -542,7 +588,7 @@ fn decode_detector(buf: &[u8]) -> Result<DetectorState, IoError> {
     let n_rects = r.u64("detector.rects")?;
     let mut rects = Vec::with_capacity(n_rects.min(1 << 24) as usize);
     for _ in 0..n_rects {
-        rects.push(get_rect_state(&mut r, "detector.rect")?);
+        rects.push(get_rect_state(r, "detector.rect")?);
     }
     let n_cells = r.u64("detector.cells")?;
     let mut cells = Vec::with_capacity(n_cells.min(1 << 24) as usize);
@@ -551,7 +597,7 @@ fn decode_detector(buf: &[u8]) -> Result<DetectorState, IoError> {
         let n = r.u64("cell.rects")?;
         let mut cr = Vec::with_capacity(n.min(1 << 24) as usize);
         for _ in 0..n {
-            cr.push(get_rect_state(&mut r, "cell.rect")?);
+            cr.push(get_rect_state(r, "cell.rect")?);
         }
         let mut floats = Vec::with_capacity(2);
         for what in ["cell.us", "cell.ud"] {
@@ -567,7 +613,7 @@ fn decode_detector(buf: &[u8]) -> Result<DetectorState, IoError> {
         let n = r.u64("cell.cand")?;
         let mut cand = Vec::with_capacity(n.min(1 << 20) as usize);
         for _ in 0..n {
-            cand.push(get_cand(&mut r, "cell.cand")?);
+            cand.push(get_cand(r, "cell.cand")?);
         }
         cells.push(CellState {
             id,
@@ -644,7 +690,6 @@ fn decode_detector(buf: &[u8]) -> Result<DetectorState, IoError> {
         }
         other => return Err(inv(format!("bad controller flag {other}"))),
     };
-    r.expect_exhausted("detector")?;
     Ok(DetectorState {
         name,
         levels,
@@ -657,8 +702,14 @@ fn decode_detector(buf: &[u8]) -> Result<DetectorState, IoError> {
     })
 }
 
-fn encode_answers(answers: &[Vec<RegionAnswer>]) -> Vec<u8> {
+pub(crate) fn encode_answers(released: u64, answers: &[Vec<RegionAnswer>]) -> Vec<u8> {
     let mut w = PayloadWriter::new();
+    put_answers(&mut w, released, answers);
+    w.finish()
+}
+
+pub(crate) fn put_answers(w: &mut PayloadWriter, released: u64, answers: &[Vec<RegionAnswer>]) {
+    w.u64(released);
     w.u64(answers.len() as u64);
     for flush in answers {
         w.u64(flush.len() as u64);
@@ -668,11 +719,23 @@ fn encode_answers(answers: &[Vec<RegionAnswer>]) -> Vec<u8> {
             w.f64(a.score);
         }
     }
-    w.finish()
 }
 
-fn decode_answers(buf: &[u8], query: &SurgeQuery) -> Result<Vec<Vec<RegionAnswer>>, IoError> {
+pub(crate) fn decode_answers(
+    buf: &[u8],
+    query: &SurgeQuery,
+) -> Result<(u64, Vec<Vec<RegionAnswer>>), IoError> {
     let mut r = PayloadReader::new(buf);
+    let out = get_answers(&mut r, query)?;
+    r.expect_exhausted("answers")?;
+    Ok(out)
+}
+
+pub(crate) fn get_answers(
+    r: &mut PayloadReader<'_>,
+    query: &SurgeQuery,
+) -> Result<(u64, Vec<Vec<RegionAnswer>>), IoError> {
+    let released = r.u64("answers.released")?;
     let n = r.u64("answers")?;
     let mut answers = Vec::with_capacity(n.min(1 << 24) as usize);
     for _ in 0..n {
@@ -687,8 +750,7 @@ fn decode_answers(buf: &[u8], query: &SurgeQuery) -> Result<Vec<Vec<RegionAnswer
         }
         answers.push(flush);
     }
-    r.expect_exhausted("answers")?;
-    Ok(answers)
+    Ok((released, answers))
 }
 
 impl CheckpointState {
@@ -699,7 +761,10 @@ impl CheckpointState {
         s.push_section(tags::SPEC, encode_spec(&self.query, &self.spec));
         s.push_section(tags::ENGINE, encode_engine(&self.engine));
         s.push_section(tags::DETECTOR, encode_detector(&self.detector));
-        s.push_section(tags::ANSWERS, encode_answers(&self.answers));
+        s.push_section(
+            tags::ANSWERS,
+            encode_answers(self.answers_released, &self.answers),
+        );
         s
     }
 
@@ -713,13 +778,15 @@ impl CheckpointState {
         let (query, spec) = decode_spec(section(tags::SPEC, "SPEC")?)?;
         let engine = decode_engine(section(tags::ENGINE, "ENGINE")?)?;
         let detector = decode_detector(section(tags::DETECTOR, "DETECTOR")?)?;
-        let answers = decode_answers(section(tags::ANSWERS, "ANSWERS")?, &query)?;
+        let (answers_released, answers) =
+            decode_answers(section(tags::ANSWERS, "ANSWERS")?, &query)?;
         Ok(CheckpointState {
             meta,
             spec,
             query,
             engine,
             detector,
+            answers_released,
             answers,
         })
     }

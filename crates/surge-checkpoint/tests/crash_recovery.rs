@@ -90,7 +90,7 @@ fn crash_recover_matches(
     let resumed =
         recover(config, &crash_dir, stream.iter().copied(), Tail::Finish).expect("recovery");
     assert_eq!(resumed.objects, stream.len() as u64);
-    assert_answers_bitwise(&full.answers, &resumed.answers, tag);
+    assert_answers_bitwise(full.answers.retained(), resumed.answers.retained(), tag);
     assert_eq!(
         resumed.stats, full.stats,
         "{tag}: detector counters diverge"
@@ -218,7 +218,7 @@ proptest! {
 
         let resumed = recover(&config, &crash_dir, stream.iter().copied(), Tail::Finish)
             .expect("recovery after torn tail");
-        assert_answers_bitwise(&full.answers, &resumed.answers, "torn-tail");
+        assert_answers_bitwise(full.answers.retained(), resumed.answers.retained(), "torn-tail");
         prop_assert_eq!(resumed.objects, stream.len() as u64);
 
         std::fs::remove_dir_all(&full_dir).ok();
@@ -267,7 +267,11 @@ fn corrupt_newest_snapshot_falls_back() {
     std::fs::write(newest, &bytes).unwrap();
 
     let resumed = recover(&config, &crash_dir, stream.iter().copied(), Tail::Finish).unwrap();
-    assert_answers_bitwise(&full.answers, &resumed.answers, "fallback");
+    assert_answers_bitwise(
+        full.answers.retained(),
+        resumed.answers.retained(),
+        "fallback",
+    );
     // It really did fall back: the resume point predates the corrupt
     // snapshot's coverage.
     assert!(resumed.resumed_at.unwrap() < crashed.objects);
@@ -306,7 +310,11 @@ fn recovery_without_any_snapshot_replays_the_wal() {
     let resumed = recover(&config, &crash_dir, stream.iter().copied(), Tail::Finish).unwrap();
     assert_eq!(resumed.resumed_at, None);
     assert_eq!(resumed.replayed_from_wal, 29);
-    assert_answers_bitwise(&full.answers, &resumed.answers, "nosnap");
+    assert_answers_bitwise(
+        full.answers.retained(),
+        resumed.answers.retained(),
+        "nosnap",
+    );
 
     std::fs::remove_dir_all(&full_dir).ok();
     std::fs::remove_dir_all(&crash_dir).ok();

@@ -58,7 +58,7 @@ pub use geom::{Point, Rect};
 pub use grid::{CellId, GridSpec};
 pub use object::{ObjectId, RectObject, SpatialObject, WindowKind};
 pub use ordered::TotalF64;
-pub use query::{RegionAnswer, RegionSize, SurgeQuery};
+pub use query::{QueryKey, QueryKeyError, RegionAnswer, RegionSize, SurgeQuery};
 pub use reduction::{object_to_rect, region_for_point};
 pub use score::{burst_score, BurstParams, ScorePair, SCORE_EPS};
 pub use store::{shard_of_cell, CellStore, LaneRouter, ShardedCellStore};

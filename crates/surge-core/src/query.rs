@@ -110,6 +110,95 @@ impl SurgeQuery {
     }
 }
 
+/// The canonical identity of a [`SurgeQuery`] for reduction dedup: every
+/// `f64` parameter is keyed by its IEEE-754 **bit pattern**, so two queries
+/// share a key exactly when their SURGE→cSPOT reductions — and therefore
+/// their detector states — evolve bit-identically over the same stream.
+///
+/// Bitwise keying is deliberate on both edges of float equality:
+///
+/// * `-0.0` and `0.0` compare equal as floats but have different bits; they
+///   get **distinct** keys, because downstream arithmetic (`1/x`, sign-
+///   sensitive sweeps) can distinguish them and sharing a detector would
+///   break the bit-identity contract.
+/// * `NaN` never equals itself, so a NaN parameter has no well-defined
+///   dedup identity; [`QueryKey::new`] **rejects** it (the query
+///   constructors already reject NaN α and region extents — this guards the
+///   area rectangle too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Area rectangle `(x0, y0, x1, y1)` as bits.
+    area: [u64; 4],
+    /// Region extents `(width, height)` as bits.
+    region: [u64; 2],
+    /// Window lengths `(current, past)`.
+    windows: [u64; 2],
+    /// `α` as bits.
+    alpha: u64,
+}
+
+impl QueryKey {
+    /// Keys a query, rejecting any NaN parameter.
+    pub fn new(q: &SurgeQuery) -> Result<Self, QueryKeyError> {
+        let fields = [
+            ("area.x0", q.area.x0),
+            ("area.y0", q.area.y0),
+            ("area.x1", q.area.x1),
+            ("area.y1", q.area.y1),
+            ("region.width", q.region.width),
+            ("region.height", q.region.height),
+            ("alpha", q.alpha),
+        ];
+        for (name, v) in fields {
+            if v.is_nan() {
+                return Err(QueryKeyError { field: name });
+            }
+        }
+        Ok(QueryKey {
+            area: [
+                q.area.x0.to_bits(),
+                q.area.y0.to_bits(),
+                q.area.x1.to_bits(),
+                q.area.y1.to_bits(),
+            ],
+            region: [q.region.width.to_bits(), q.region.height.to_bits()],
+            windows: [q.windows.current_len, q.windows.past_len],
+            alpha: q.alpha.to_bits(),
+        })
+    }
+
+    /// The window configuration embedded in the key.
+    pub fn windows(&self) -> WindowConfig {
+        WindowConfig::new(self.windows[0], self.windows[1])
+    }
+}
+
+impl TryFrom<&SurgeQuery> for QueryKey {
+    type Error = QueryKeyError;
+    fn try_from(q: &SurgeQuery) -> Result<Self, QueryKeyError> {
+        QueryKey::new(q)
+    }
+}
+
+/// A query parameter was NaN and therefore has no dedup identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryKeyError {
+    /// Which parameter was NaN.
+    pub field: &'static str,
+}
+
+impl core::fmt::Display for QueryKeyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "query parameter {} is NaN and cannot be keyed",
+            self.field
+        )
+    }
+}
+
+impl std::error::Error for QueryKeyError {}
+
 /// A detector's answer: the reported bursty region, the cSPOT point it was
 /// derived from (the region's top-right corner, per Theorem 1), and its burst
 /// score.
@@ -235,5 +324,73 @@ mod tests {
     fn answer_from_region_derives_point() {
         let a = RegionAnswer::from_region(Rect::new(0.0, 0.0, 2.0, 2.0), 1.0);
         assert_eq!(a.point, Point::new(2.0, 2.0));
+    }
+
+    fn keyed(area: Rect, alpha: f64) -> QueryKey {
+        QueryKey::new(&SurgeQuery::new(
+            area,
+            RegionSize::new(1.0, 1.0),
+            WindowConfig::equal(100),
+            alpha,
+        ))
+        .expect("finite query keys")
+    }
+
+    #[test]
+    fn query_key_equal_queries_share_keys() {
+        let a = keyed(Rect::new(0.0, 0.0, 10.0, 10.0), 0.5);
+        let b = keyed(Rect::new(0.0, 0.0, 10.0, 10.0), 0.5);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |k: &QueryKey| {
+            let mut s = DefaultHasher::new();
+            k.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+        assert_eq!(a.windows(), WindowConfig::equal(100));
+    }
+
+    #[test]
+    fn query_key_distinguishes_negative_zero() {
+        // -0.0 == 0.0 as floats, but the reductions they parameterize are
+        // not interchangeable bit-for-bit — the keys must differ.
+        let plus = keyed(Rect::new(0.0, 0.0, 10.0, 10.0), 0.5);
+        let minus = keyed(Rect::new(-0.0, 0.0, 10.0, 10.0), 0.5);
+        assert_ne!(plus, minus);
+    }
+
+    #[test]
+    fn query_key_rejects_nan() {
+        let q = SurgeQuery {
+            area: Rect {
+                x0: f64::NAN,
+                y0: 0.0,
+                x1: 1.0,
+                y1: 1.0,
+            },
+            region: RegionSize::new(1.0, 1.0),
+            windows: WindowConfig::equal(100),
+            alpha: 0.5,
+        };
+        let err = QueryKey::new(&q).unwrap_err();
+        assert_eq!(err.field, "area.x0");
+        assert!(err.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn query_key_separates_parameters() {
+        let base = keyed(Rect::new(0.0, 0.0, 10.0, 10.0), 0.5);
+        assert_ne!(base, keyed(Rect::new(0.0, 0.0, 10.0, 11.0), 0.5));
+        assert_ne!(base, keyed(Rect::new(0.0, 0.0, 10.0, 10.0), 0.25));
+        let other_windows = QueryKey::new(&SurgeQuery::new(
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            RegionSize::new(1.0, 1.0),
+            WindowConfig::new(100, 50),
+            0.5,
+        ))
+        .unwrap();
+        assert_ne!(base, other_windows);
     }
 }

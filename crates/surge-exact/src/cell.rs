@@ -90,7 +90,7 @@ impl DirtyCellJob {
 }
 
 /// Which upper bound the detector maintains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BoundMode {
     /// `min(static, dynamic)` — the paper's CCS.
     Combined,

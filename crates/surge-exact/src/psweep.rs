@@ -62,7 +62,7 @@ use crate::segtree::BurstSegTree;
 use crate::sweep::{score_at_point, sweep_core, SweepRect, SweepResult};
 
 /// How a detector runs its per-cell searches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SweepMode {
     /// Persistent cross-sweep state: searches reuse incrementally maintained
     /// coordinate maps and orders (the production path).

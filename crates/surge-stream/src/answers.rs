@@ -1,0 +1,313 @@
+//! Ack-released answer retention: the fix for the grow-forever
+//! `answers: Vec` pattern.
+//!
+//! Every replay driver produces one answer (or answer set) per flush. The
+//! original reports retained all of them in a plain `Vec`, which is fine
+//! for a bench run and fatal for a server: on an unbounded stream the
+//! retained answers — and any snapshot embedding them — grow O(slides).
+//!
+//! [`AnswerLog`] replaces that `Vec` with a sequence-numbered retention
+//! window: every flushed answer gets a monotonically increasing `seq`
+//! (0-based, dense), and a consumer **acks** a sequence number to release
+//! everything up to and including it. A driver run with the default
+//! [`RetainAll`] sink behaves exactly like the old `Vec` (every answer
+//! retained, indexable by flush number); a run wired to a real consumer
+//! retains only the unacked suffix, so retention — and snapshot size — is
+//! bounded by consumer lag instead of stream length.
+//!
+//! The ack model is a **cursor**, not per-item: acking seq `s` declares
+//! everything `<= s` consumed. That matches how every consumer here reads
+//! (in flush order) and keeps the retained window contiguous, which is what
+//! lets a checkpoint encode it as `(released, retained)`.
+
+use std::ops::Index;
+
+/// What a consumer tells the producer about a delivered answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ack {
+    /// Keep retaining: the consumer has not durably consumed this yet.
+    Hold,
+    /// The consumer has consumed everything up to and including this
+    /// answer; the log may release it (and any earlier retained answers).
+    Release,
+}
+
+/// A consumer of flushed answers, called synchronously at each flush.
+///
+/// The returned [`Ack`] drives retention: `Release` advances the log's
+/// released cursor past this answer. Implemented for plain closures
+/// `FnMut(u64, &T) -> Ack`.
+pub trait AnswerSink<T> {
+    /// Delivers the answer with its sequence number; returns whether the
+    /// log may release it.
+    fn deliver(&mut self, seq: u64, answer: &T) -> Ack;
+}
+
+impl<T, F: FnMut(u64, &T) -> Ack> AnswerSink<T> for F {
+    fn deliver(&mut self, seq: u64, answer: &T) -> Ack {
+        self(seq, answer)
+    }
+}
+
+/// The no-consumer sink: holds every answer, reproducing the historical
+/// `Vec` retention (every report index stays addressable). The default for
+/// all `drive_*` entry points without an explicit sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetainAll;
+
+impl<T> AnswerSink<T> for RetainAll {
+    fn deliver(&mut self, _seq: u64, _answer: &T) -> Ack {
+        Ack::Hold
+    }
+}
+
+/// A sequence-numbered answer retention window.
+///
+/// Holds the contiguous range `[released(), next_seq())` of produced
+/// answers; everything below `released()` has been acked away. With no
+/// acks it is `Vec`-shaped: `len()`, `iter()`, `last()`, and `log[i]`
+/// behave exactly like the old report `Vec`s (indexing is by **absolute
+/// sequence number**, which coincides with the `Vec` index while nothing
+/// has been released).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerLog<T> {
+    /// Number of answers released (= seq of the first retained answer).
+    base: u64,
+    retained: Vec<T>,
+}
+
+impl<T> Default for AnswerLog<T> {
+    fn default() -> Self {
+        AnswerLog {
+            base: 0,
+            retained: Vec::new(),
+        }
+    }
+}
+
+impl<T> AnswerLog<T> {
+    /// An empty log starting at seq 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty log whose first push gets seq `released` — the restore path
+    /// for checkpoints that recorded earlier releases.
+    pub fn with_released(released: u64) -> Self {
+        AnswerLog {
+            base: released,
+            retained: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a log from its checkpointed `(released, retained)` form.
+    pub fn from_parts(released: u64, retained: Vec<T>) -> Self {
+        AnswerLog {
+            base: released,
+            retained,
+        }
+    }
+
+    /// Appends an answer, assigning the next sequence number (returned).
+    pub fn push(&mut self, answer: T) -> u64 {
+        let seq = self.next_seq();
+        self.retained.push(answer);
+        seq
+    }
+
+    /// Delivers an answer through `sink`, retaining or releasing per the
+    /// returned [`Ack`]. Returns the assigned sequence number.
+    pub fn offer(&mut self, answer: T, sink: &mut (impl AnswerSink<T> + ?Sized)) -> u64 {
+        let seq = self.next_seq();
+        let ack = sink.deliver(seq, &answer);
+        self.retained.push(answer);
+        if ack == Ack::Release {
+            self.ack(seq);
+        }
+        seq
+    }
+
+    /// Releases every retained answer with seq `<= upto` (the ack cursor
+    /// model). Acking an already-released or not-yet-produced seq releases
+    /// what it can and is otherwise a no-op.
+    pub fn ack(&mut self, upto: u64) {
+        let k = (upto + 1).saturating_sub(self.base) as usize;
+        let k = k.min(self.retained.len());
+        if k > 0 {
+            self.retained.drain(..k);
+            self.base += k as u64;
+        }
+    }
+
+    /// Number of answers released so far (the seq of the first retained
+    /// answer, if any).
+    pub fn released(&self) -> u64 {
+        self.base
+    }
+
+    /// The sequence number the next push will get (= total answers ever
+    /// produced).
+    pub fn next_seq(&self) -> u64 {
+        self.base + self.retained.len() as u64
+    }
+
+    /// Retained answers (equals the total count while nothing is released).
+    pub fn len(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.retained.is_empty()
+    }
+
+    /// The retained answer with sequence number `seq`, if not released.
+    pub fn get(&self, seq: u64) -> Option<&T> {
+        seq.checked_sub(self.base)
+            .and_then(|i| self.retained.get(i as usize))
+    }
+
+    /// The newest retained answer.
+    pub fn last(&self) -> Option<&T> {
+        self.retained.last()
+    }
+
+    /// Iterates the retained answers in sequence order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.retained.iter()
+    }
+
+    /// Iterates `(seq, answer)` pairs over the retained window.
+    pub fn iter_seq(&self) -> impl Iterator<Item = (u64, &T)> {
+        let base = self.base;
+        self.retained
+            .iter()
+            .enumerate()
+            .map(move |(i, a)| (base + i as u64, a))
+    }
+
+    /// The retained answers as a slice (seqs `released()..next_seq()`).
+    pub fn retained(&self) -> &[T] {
+        &self.retained
+    }
+
+    /// Consumes the log into its `(released, retained)` checkpoint form.
+    pub fn into_parts(self) -> (u64, Vec<T>) {
+        (self.base, self.retained)
+    }
+}
+
+impl<'a, T> IntoIterator for &'a AnswerLog<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.retained.iter()
+    }
+}
+
+impl<T> Index<usize> for AnswerLog<T> {
+    type Output = T;
+    /// Indexes by **absolute sequence number**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seq was released or not yet produced.
+    fn index(&self, seq: usize) -> &T {
+        self.get(seq as u64).unwrap_or_else(|| {
+            panic!(
+                "answer seq {seq} not retained (window is {}..{})",
+                self.base,
+                self.next_seq()
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retain_all_reproduces_vec_shape() {
+        let mut log = AnswerLog::new();
+        for i in 0..5 {
+            assert_eq!(log.offer(i * 10, &mut RetainAll), i as u64);
+        }
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.released(), 0);
+        assert_eq!(log[3], 30);
+        assert_eq!(log.last(), Some(&40));
+        let collected: Vec<i32> = log.iter().copied().collect();
+        assert_eq!(collected, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn ack_releases_a_contiguous_prefix() {
+        let mut log = AnswerLog::new();
+        for i in 0..6 {
+            log.push(i);
+        }
+        log.ack(2);
+        assert_eq!(log.released(), 3);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.get(2), None);
+        assert_eq!(log.get(3), Some(&3));
+        assert_eq!(log[4], 4);
+        assert_eq!(log.next_seq(), 6);
+        // Acking below the window is a no-op; beyond it drains everything.
+        log.ack(1);
+        assert_eq!(log.len(), 3);
+        log.ack(100);
+        assert!(log.is_empty());
+        assert_eq!(log.released(), 6);
+        assert_eq!(log.push(99), 6);
+    }
+
+    #[test]
+    fn release_sink_keeps_retention_bounded() {
+        let mut log = AnswerLog::new();
+        let mut seen = Vec::new();
+        let mut sink = |seq: u64, a: &i32| {
+            seen.push((seq, *a));
+            Ack::Release
+        };
+        for i in 0..100 {
+            log.offer(i, &mut sink);
+            assert!(log.is_empty(), "every answer released on delivery");
+        }
+        assert_eq!(log.released(), 100);
+        assert_eq!(seen.len(), 100);
+        assert_eq!(seen[99], (99, 99));
+    }
+
+    #[test]
+    fn iter_seq_reports_absolute_seqs() {
+        let mut log = AnswerLog::new();
+        for i in 0..4 {
+            log.push(i);
+        }
+        log.ack(1);
+        let pairs: Vec<(u64, i32)> = log.iter_seq().map(|(s, a)| (s, *a)).collect();
+        assert_eq!(pairs, vec![(2, 2), (3, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not retained")]
+    fn indexing_a_released_seq_panics() {
+        let mut log = AnswerLog::new();
+        log.push(1);
+        log.push(2);
+        log.ack(0);
+        let _ = log[0];
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let log = AnswerLog::from_parts(7, vec![70, 80]);
+        assert_eq!(log.released(), 7);
+        assert_eq!(log.get(7), Some(&70));
+        assert_eq!(log.next_seq(), 9);
+        let (released, retained) = log.into_parts();
+        assert_eq!((released, retained), (7, vec![70, 80]));
+    }
+}

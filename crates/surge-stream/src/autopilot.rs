@@ -32,6 +32,7 @@ use surge_core::{
 };
 use surge_exact::{BoundMode, CellCspot};
 
+use crate::answers::{AnswerLog, AnswerSink, RetainAll};
 use crate::metrics::{LatencyHistogram, LatencySummary};
 use crate::window::{EventBatch, SlidingWindowEngine};
 
@@ -120,7 +121,7 @@ pub struct AnswerQuality {
 /// * `max_residents` — current-window residency ceiling. Deterministic for
 ///   a given stream, which makes controller transitions bit-reproducible
 ///   (the crash-recovery proptests rely on this).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SloPolicy {
     /// Per-slide wall-clock budget in microseconds (0 = disabled).
     pub slide_latency_budget_us: u64,
@@ -534,7 +535,9 @@ pub struct AutopilotReport {
     /// Slides executed (including the terminal flush).
     pub slides: u64,
     /// Per-slide answers with their quality stamps, in slide order.
-    pub answers: Vec<(Option<RegionAnswer>, AnswerQuality)>,
+    /// Retains every answer under the default [`RetainAll`] sink; bounded
+    /// by consumer lag under [`drive_autopilot_with_sink`].
+    pub answers: AnswerLog<(Option<RegionAnswer>, AnswerQuality)>,
     /// Per-slide latency (ingest + flush), all tiers.
     pub slide_latency: LatencyHistogram,
     /// Per-slide latency split by the tier that served the slide.
@@ -571,19 +574,37 @@ pub fn drive_autopilot(
     source: impl Iterator<Item = SpatialObject>,
     slide_objects: usize,
 ) -> AutopilotReport {
+    drive_autopilot_with_sink(detector, engine, source, slide_objects, &mut RetainAll)
+}
+
+/// [`drive_autopilot`] with an explicit answer consumer: every per-slide
+/// `(answer, quality)` pair is delivered through `sink`, and acked pairs
+/// are released from `AutopilotReport::answers` instead of retained.
+pub fn drive_autopilot_with_sink(
+    detector: &mut AutopilotDetector,
+    engine: &mut SlidingWindowEngine,
+    source: impl Iterator<Item = SpatialObject>,
+    slide_objects: usize,
+    sink: &mut impl AnswerSink<(Option<RegionAnswer>, AnswerQuality)>,
+) -> AutopilotReport {
     assert!(slide_objects > 0, "slide must contain at least one object");
     struct Acc {
         slides: u64,
-        answers: Vec<(Option<RegionAnswer>, AnswerQuality)>,
+        answers: AnswerLog<(Option<RegionAnswer>, AnswerQuality)>,
         slide_latency: LatencyHistogram,
         tier_latency: [LatencyHistogram; 3],
         transitions: u64,
         slide_t0: Instant,
     }
-    fn flush_slide(acc: &mut Acc, detector: &mut AutopilotDetector, engine: &SlidingWindowEngine) {
+    fn flush_slide(
+        acc: &mut Acc,
+        detector: &mut AutopilotDetector,
+        engine: &SlidingWindowEngine,
+        sink: &mut impl AnswerSink<(Option<RegionAnswer>, AnswerQuality)>,
+    ) {
         let tier = detector.tier();
         let ans = detector.current();
-        acc.answers.push((ans, detector.quality()));
+        acc.answers.offer((ans, detector.quality()), sink);
         let dt = acc.slide_t0.elapsed();
         acc.slide_latency.record(dt);
         acc.tier_latency[tier.index()].record(dt);
@@ -601,7 +622,7 @@ pub fn drive_autopilot(
     let mut in_slide = 0usize;
     let mut acc = Acc {
         slides: 0,
-        answers: Vec::new(),
+        answers: AnswerLog::new(),
         slide_latency: LatencyHistogram::new(),
         tier_latency: std::array::from_fn(|_| LatencyHistogram::new()),
         transitions: 0,
@@ -618,12 +639,12 @@ pub fn drive_autopilot(
         objects += 1;
         in_slide += 1;
         if in_slide >= slide_objects {
-            flush_slide(&mut acc, detector, engine);
+            flush_slide(&mut acc, detector, engine, sink);
             in_slide = 0;
         }
     }
     if in_slide > 0 {
-        flush_slide(&mut acc, detector, engine);
+        flush_slide(&mut acc, detector, engine, sink);
     }
     // Terminal drain + flush, mirroring `slide_loop`.
     batch.clear();
@@ -632,7 +653,7 @@ pub fn drive_autopilot(
         detector.on_event(ev);
     }
     events += batch.len() as u64;
-    flush_slide(&mut acc, detector, engine);
+    flush_slide(&mut acc, detector, engine, sink);
 
     AutopilotReport {
         objects,

@@ -7,8 +7,9 @@
 
 use std::time::{Duration as WallDuration, Instant};
 
-use surge_core::{BurstDetector, DetectorStats, RegionSize, SpatialObject, TopKDetector};
+use surge_core::{BurstDetector, DetectorStats, Event, RegionSize, SpatialObject, TopKDetector};
 
+use crate::runtime::{FlushOutcome, QueryCore, QueryRuntime};
 use crate::window::{DirtyCellTracker, EventBatch, SlidingWindowEngine};
 
 /// Outcome of a replay run.
@@ -208,9 +209,9 @@ impl SlideRunStats {
 /// answer at each slide boundary is identical to calling `current()` at the
 /// same stream position under the per-object driver. After the last slide
 /// the engine tail is drained and one terminal flush runs (the `slides`
-/// counter includes it), so the run ends with empty windows. For the
-/// parallel variant see `drive_incremental` in the [`crate::parallel`]
-/// module.
+/// counter includes it), so the run ends with empty windows. Built on
+/// [`QueryRuntime`]; for the parallel variant see `drive_incremental` in
+/// the [`crate::parallel`] module.
 pub fn drive_slides<D: BurstDetector + ?Sized>(
     detector: &mut D,
     engine: &mut SlidingWindowEngine,
@@ -218,101 +219,50 @@ pub fn drive_slides<D: BurstDetector + ?Sized>(
     source: impl Iterator<Item = SpatialObject>,
     slide_objects: usize,
 ) -> SlideRunStats {
-    struct Ctx<'a, D: ?Sized> {
+    /// Dirty-cell-accounting face of a plain [`BurstDetector`]: flush
+    /// drains the tracker (the slide's dirty-cell count becomes the flush's
+    /// maintenance units) and refreshes the continuous answer.
+    struct SlideCore<'a, D: ?Sized> {
         detector: &'a mut D,
         tracker: DirtyCellTracker,
-        events: u64,
-        slides: u64,
-        dirty_cells: u64,
-        max_dirty: u64,
     }
+    impl<D: BurstDetector + ?Sized> QueryCore for SlideCore<'_, D> {
+        fn on_event(&mut self, event: &Event) {
+            self.tracker.note(event);
+            self.detector.on_event(event);
+        }
+        fn flush(&mut self, _threads: usize) -> FlushOutcome {
+            let dirty = self.tracker.drain().len() as u64;
+            let answers = self.detector.current().into_iter().collect();
+            FlushOutcome {
+                answers,
+                swept: dirty,
+            }
+        }
+        fn stats(&self) -> DetectorStats {
+            self.detector.stats()
+        }
+    }
+
     let t0 = Instant::now();
-    let mut ctx = Ctx {
+    let core = SlideCore {
         detector,
         tracker: DirtyCellTracker::new(region),
-        events: 0,
-        slides: 0,
-        dirty_cells: 0,
-        max_dirty: 0,
     };
-
-    let objects = slide_loop(
-        engine,
-        source,
-        slide_objects,
-        &mut ctx,
-        |c, ev| {
-            c.tracker.note(ev);
-            c.detector.on_event(ev);
-            c.events += 1;
-        },
-        |c| {
-            let dirty = c.tracker.drain().len() as u64;
-            c.dirty_cells += dirty;
-            c.max_dirty = c.max_dirty.max(dirty);
-            c.slides += 1;
-            let _ = c.detector.current();
-        },
-    );
-
+    let mut rt = QueryRuntime::over(core, engine, slide_objects, 1);
+    rt.run(source, |_, _| {});
+    let counters = *rt.counters();
+    let core = rt.into_core();
     SlideRunStats {
-        objects,
-        events: ctx.events,
-        slides: ctx.slides,
-        dirty_cells: ctx.dirty_cells,
-        max_dirty_per_slide: ctx.max_dirty,
+        objects: counters.objects,
+        events: counters.events,
+        slides: counters.slides,
+        dirty_cells: counters.jobs,
+        max_dirty_per_slide: counters.max_jobs_per_slide,
         elapsed: t0.elapsed(),
-        detector: ctx.detector.stats(),
-        name: ctx.detector.name(),
+        detector: core.detector.stats(),
+        name: core.detector.name(),
     }
-}
-
-/// The shared slide-batching loop behind [`drive_slides`] and the parallel
-/// `drive_incremental`: feeds each object's events to `on_event` and calls
-/// `flush` at every slide boundary, including the trailing partial slide.
-/// After the source is exhausted the engine's tail is drained
-/// ([`SlidingWindowEngine::finish`]) and one terminal flush runs, so the
-/// final answer reflects empty windows — the answer sequence is therefore
-/// `[slide answers..., terminal answer]`. Returns the number of objects
-/// processed. `ctx` threads the caller's mutable state (typically the
-/// detector) into both callbacks.
-pub(crate) fn slide_loop<C: ?Sized>(
-    engine: &mut SlidingWindowEngine,
-    source: impl Iterator<Item = SpatialObject>,
-    slide_objects: usize,
-    ctx: &mut C,
-    mut on_event: impl FnMut(&mut C, &surge_core::Event),
-    mut flush: impl FnMut(&mut C),
-) -> u64 {
-    assert!(slide_objects > 0, "slide must contain at least one object");
-    let mut objects = 0u64;
-    let mut in_slide = 0usize;
-    let mut batch = EventBatch::new();
-    for obj in source {
-        batch.clear();
-        engine.push_into(obj, &mut batch);
-        for ev in batch.iter() {
-            on_event(ctx, ev);
-        }
-        objects += 1;
-        in_slide += 1;
-        if in_slide >= slide_objects {
-            flush(ctx);
-            in_slide = 0;
-        }
-    }
-    if in_slide > 0 {
-        flush(ctx);
-    }
-    // Terminal drain + flush: without it, pending tail transitions are never
-    // emitted and the last answer over-counts the truncated windows.
-    batch.clear();
-    engine.finish_into(&mut batch);
-    for ev in batch.iter() {
-        on_event(ctx, ev);
-    }
-    flush(ctx);
-    objects
 }
 
 /// Replays `source` through `engine` into a top-k detector.

@@ -308,6 +308,44 @@ impl ShardedWindowEngine {
         })
     }
 
+    /// Captures the engine's logical state as the **monolithic**
+    /// [`EngineState`] — the lane decomposition is purely structural, so a
+    /// sharded engine checkpoints to exactly the state the monolithic
+    /// engine at the same stream position would capture (bit-identical,
+    /// unit-tested). Residents are re-merged in arrival order
+    /// (`(created, id)`, the order every lane observes them in); the clock
+    /// fields come from the lanes' shared schedule.
+    ///
+    /// The inverse of [`ShardedWindowEngine::from_state`]: a state captured
+    /// here restores into either engine shape at any lane count.
+    pub fn checkpoint(&self) -> EngineState {
+        let mut current: Vec<SpatialObject> = Vec::new();
+        let mut past: Vec<SpatialObject> = Vec::new();
+        let mut now = 0;
+        let mut last_created = 0;
+        let mut started = false;
+        for lane in &self.lanes {
+            let state = lane.engine.checkpoint();
+            current.extend(state.current);
+            past.extend(state.past);
+            now = now.max(state.now);
+            last_created = last_created.max(state.last_created);
+            started |= state.started;
+        }
+        current.sort_by_key(|o| (o.created, o.id));
+        past.sort_by_key(|o| (o.created, o.id));
+        EngineState {
+            windows: self.windows,
+            now,
+            last_created,
+            started,
+            // Every lane tracks the full arrival stream; lane 0 always exists.
+            last_arrival: self.lanes[0].last_arrival,
+            current,
+            past,
+        }
+    }
+
     /// The window configuration.
     pub fn windows(&self) -> WindowConfig {
         self.windows
@@ -596,6 +634,65 @@ mod tests {
             }
             eng.finish_into(&mut out);
             assert_streams_identical(out.as_slice(), ref_out.as_slice());
+        }
+    }
+
+    #[test]
+    fn sharded_checkpoint_is_bitwise_the_monolithic_checkpoint() {
+        let objs: Vec<_> = (0..90)
+            .map(|i| obj(i, (i % 13) as f64 * 2.1, (i / 3) * 45))
+            .collect();
+        let windows = WindowConfig::new(260, 90);
+
+        let mut mono = SlidingWindowEngine::new(windows);
+        let mut sink = EventBatch::new();
+        for o in &objs {
+            mono.push_into(*o, &mut sink);
+        }
+        let want = mono.checkpoint();
+
+        for lanes in [1usize, 2, 8] {
+            let mut eng = ShardedWindowEngine::new(windows, region(), lanes);
+            let mut out = EventBatch::new();
+            for o in &objs {
+                eng.push_into(*o, &mut out);
+            }
+            let got = eng.checkpoint();
+            assert_eq!(got.windows, want.windows, "lanes {lanes}");
+            assert_eq!(got.now, want.now);
+            assert_eq!(got.last_created, want.last_created);
+            assert_eq!(got.started, want.started);
+            assert_eq!(got.last_arrival, want.last_arrival);
+            assert_eq!(got.current.len(), want.current.len());
+            assert_eq!(got.past.len(), want.past.len());
+            for (a, b) in got
+                .current
+                .iter()
+                .chain(got.past.iter())
+                .zip(want.current.iter().chain(want.past.iter()))
+            {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.created, b.created);
+                assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+                assert_eq!(a.pos.x.to_bits(), b.pos.x.to_bits());
+                assert_eq!(a.pos.y.to_bits(), b.pos.y.to_bits());
+            }
+
+            // Round trip: the captured state restores into both engine
+            // shapes and the suffix emissions stay bit-identical.
+            let mut ref_eng = SlidingWindowEngine::from_state(&got).unwrap();
+            let mut resumed = ShardedWindowEngine::from_state(&got, region(), lanes).unwrap();
+            let suffix: Vec<_> = (90..140u64)
+                .map(|i| obj(i, (i % 13) as f64 * 2.1, (i / 3) * 45))
+                .collect();
+            let (mut a, mut b) = (EventBatch::new(), EventBatch::new());
+            for o in &suffix {
+                ref_eng.push_into(*o, &mut a);
+                resumed.push_into(*o, &mut b);
+            }
+            ref_eng.finish_into(&mut a);
+            resumed.finish_into(&mut b);
+            assert_streams_identical(a.as_slice(), b.as_slice());
         }
     }
 

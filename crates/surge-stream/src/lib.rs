@@ -26,6 +26,13 @@
 //!   workers expand their own window lanes from broadcast object batches,
 //!   exchange lane events peer-to-peer, ingest and sweep — with answers
 //!   bit-identical to the sequential drivers.
+//! * [`runtime`] — the common [`QueryRuntime`] state machine every
+//!   slide-batched driver wraps: a [`QueryCore`] (detector face) bound to a
+//!   [`WindowEngine`] at a slide cadence, with the canonical flush / drain /
+//!   terminal-flush contract in one place.
+//! * [`answers`] — ack-released answer retention ([`AnswerLog`],
+//!   [`AnswerSink`]): the bounded replacement for the grow-forever
+//!   `answers: Vec` report pattern.
 //! * [`metrics`] — log-bucketed latency histogram for tail-latency
 //!   reporting.
 //! * [`autopilot`] — the overload autopilot: a [`DegradationController`]
@@ -37,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod answers;
 pub mod autopilot;
 pub mod datasets;
 pub mod driver;
@@ -44,13 +52,15 @@ pub mod generator;
 pub mod lanes;
 pub mod metrics;
 pub mod parallel;
+pub mod runtime;
 pub mod sharded;
 pub mod text;
 pub mod window;
 
+pub use answers::{Ack, AnswerLog, AnswerSink, RetainAll};
 pub use autopilot::{
-    drive_autopilot, AnswerQuality, AutopilotDetector, AutopilotReport, DegradationController,
-    SloPolicy, Tier,
+    drive_autopilot, drive_autopilot_with_sink, AnswerQuality, AutopilotDetector, AutopilotReport,
+    DegradationController, SloPolicy, Tier,
 };
 pub use datasets::{Dataset, DatasetSpec};
 pub use driver::{drive, drive_slides, drive_topk, RunStats, SlideRunStats};
@@ -58,8 +68,10 @@ pub use generator::{BurstSpec, Hotspot, StreamGenerator, WorkloadConfig};
 pub use lanes::{LaneMerger, LaneStats, ShardedWindowEngine, WindowLane};
 pub use metrics::{LatencyHistogram, LatencySummary};
 pub use parallel::{
-    drive_incremental, drive_parallel, sweep_parallel, IncrementalReport, ParallelReport,
+    drive_incremental, drive_incremental_with_sink, drive_parallel, sweep_parallel,
+    IncrementalReport, ParallelReport,
 };
-pub use sharded::{drive_sharded, ShardedReport};
+pub use runtime::{FlushOutcome, QueryCore, QueryRuntime, RuntimeCounters, WindowEngine};
+pub use sharded::{drive_sharded, drive_sharded_with_sink, ShardedReport};
 pub use text::{GeoMessage, KeywordQuery, TextStreamGenerator, Topic, TopicBurst, Vocabulary};
 pub use window::{DirtyCellTracker, EventBatch, SlidingWindowEngine};

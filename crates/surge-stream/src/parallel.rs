@@ -31,7 +31,9 @@ use surge_core::{
     WindowConfig,
 };
 
+use crate::answers::{AnswerLog, AnswerSink, RetainAll};
 use crate::metrics::{LatencyHistogram, LatencySummary};
+use crate::runtime::{FlushOutcome, QueryCore, QueryRuntime};
 use crate::window::{EventBatch, SlidingWindowEngine};
 
 /// Events are shipped to workers in fixed-size batches to amortize channel
@@ -229,8 +231,10 @@ pub struct IncrementalReport {
     /// Largest single-slide job count.
     pub max_jobs_per_slide: u64,
     /// The answer at every slide boundary, in slide order (the comparison
-    /// target for the sharded driver's bit-identity tests).
-    pub answers: Vec<Option<RegionAnswer>>,
+    /// target for the sharded driver's bit-identity tests). Retains every
+    /// answer under the default [`RetainAll`] sink; bounded by consumer lag
+    /// under [`drive_incremental_with_sink`].
+    pub answers: AnswerLog<Option<RegionAnswer>>,
     /// Detector counters at the end of the run.
     pub stats: DetectorStats,
 }
@@ -251,6 +255,9 @@ pub struct IncrementalReport {
 /// driver's answer at the same stream position. After the last slide the
 /// engine tail is drained and one terminal flush runs (counted in
 /// `slides`/`answers`), so the detector ends the run with empty windows.
+///
+/// Retains every per-slide answer ([`RetainAll`]); wire a consumer with
+/// [`drive_incremental_with_sink`] to bound retention.
 pub fn drive_incremental<D>(
     detector: &mut D,
     windows: WindowConfig,
@@ -261,32 +268,70 @@ pub fn drive_incremental<D>(
 where
     D: IncrementalDetector,
 {
-    let mut engine = SlidingWindowEngine::new(windows);
-    let mut report = IncrementalReport::default();
-
-    let mut ctx = (detector, &mut report);
-    let objects = crate::driver::slide_loop(
-        &mut engine,
+    drive_incremental_with_sink(
+        detector,
+        windows,
         source,
         slide_objects,
-        &mut ctx,
-        |(detector, report), ev| {
-            detector.on_event(ev);
-            report.events += 1;
-        },
-        |(detector, report)| {
-            let swept = detector.sweep_dirty(threads);
-            report.slides += 1;
-            report.jobs += swept;
-            report.max_jobs_per_slide = report.max_jobs_per_slide.max(swept);
-            report.answers.push(detector.current());
-        },
-    );
+        threads,
+        &mut RetainAll,
+    )
+}
 
-    let stats = ctx.0.stats();
-    report.objects = objects;
-    report.stats = stats;
-    report
+/// The sweep-capable [`QueryCore`] face of an [`IncrementalDetector`]:
+/// flush sweeps the dirty cells (the swept count becomes the flush's
+/// maintenance units) and then reads the continuous answer.
+struct IncrementalCore<'a, D: ?Sized> {
+    detector: &'a mut D,
+}
+
+impl<D: IncrementalDetector + ?Sized> QueryCore for IncrementalCore<'_, D> {
+    fn on_event(&mut self, event: &Event) {
+        self.detector.on_event(event);
+    }
+    fn flush(&mut self, threads: usize) -> FlushOutcome {
+        let swept = self.detector.sweep_dirty(threads);
+        FlushOutcome {
+            answers: self.detector.current().into_iter().collect(),
+            swept,
+        }
+    }
+    fn stats(&self) -> DetectorStats {
+        self.detector.stats()
+    }
+}
+
+/// [`drive_incremental`] with an explicit answer consumer: every per-slide
+/// answer is delivered through `sink`, and answers the sink acks are
+/// released from `IncrementalReport::answers` instead of retained — the
+/// bounded-retention path long-running services use.
+pub fn drive_incremental_with_sink<D>(
+    detector: &mut D,
+    windows: WindowConfig,
+    source: impl Iterator<Item = SpatialObject>,
+    slide_objects: usize,
+    threads: usize,
+    sink: &mut impl AnswerSink<Option<RegionAnswer>>,
+) -> IncrementalReport
+where
+    D: IncrementalDetector,
+{
+    let core = IncrementalCore { detector };
+    let mut rt = QueryRuntime::new(core, windows, slide_objects, threads);
+    let mut answers = AnswerLog::new();
+    rt.run(source, |_, flushed: Vec<RegionAnswer>| {
+        answers.offer(flushed.first().copied(), sink);
+    });
+    let counters = *rt.counters();
+    IncrementalReport {
+        objects: counters.objects,
+        events: counters.events,
+        slides: counters.slides,
+        jobs: counters.jobs,
+        max_jobs_per_slide: counters.max_jobs_per_slide,
+        answers,
+        stats: rt.core().stats(),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,394 @@
+//! The single-query runtime every slide-batched driver is a thin wrapper
+//! over.
+//!
+//! Before this module, each driver (`drive_slides`, `drive_incremental`,
+//! the checkpoint runner, the autopilot loop) re-implemented the same
+//! state machine: push an object through a window engine, deliver the
+//! expanded events to a detector, flush at every `slide_objects`-th
+//! arrival, and end with the canonical drain + terminal flush. Those loops
+//! had to stay bit-identical to each other by discipline alone.
+//!
+//! [`QueryRuntime`] *is* that state machine, once: a [`QueryCore`] (the
+//! detector face: consume events, flush answers) bound to a
+//! [`WindowEngine`] (monolithic or lane-sharded) at a slide cadence. The
+//! single-query drivers wrap it; the multi-query serving layer
+//! (`surge-serve`) runs one core per deduped detector group over shared
+//! engines. The flush contract is unchanged and proptested against the
+//! historical loops: the answer sequence is
+//! `[slide answers..., terminal answer]`, with a flush for the trailing
+//! partial slide before the drain.
+
+use surge_core::{DetectorStats, Event, RegionAnswer, SpatialObject, WindowConfig};
+
+use crate::lanes::ShardedWindowEngine;
+use crate::window::{EventBatch, SlidingWindowEngine};
+
+/// A window engine a [`QueryRuntime`] can drive: anything that expands
+/// arrivals into the canonical transition stream and can drain its tail.
+///
+/// Implemented by [`SlidingWindowEngine`], [`ShardedWindowEngine`] (whose
+/// merged emission is bit-identical — the lane-module contract), and
+/// mutable references to either (drivers that borrow a caller's engine).
+pub trait WindowEngine {
+    /// Ingests one object, appending the caused events to `out`.
+    fn push_into(&mut self, object: SpatialObject, out: &mut EventBatch);
+    /// Drains the tail windows, appending the pending transitions to `out`.
+    fn finish_into(&mut self, out: &mut EventBatch);
+}
+
+impl WindowEngine for SlidingWindowEngine {
+    fn push_into(&mut self, object: SpatialObject, out: &mut EventBatch) {
+        SlidingWindowEngine::push_into(self, object, out);
+    }
+    fn finish_into(&mut self, out: &mut EventBatch) {
+        SlidingWindowEngine::finish_into(self, out);
+    }
+}
+
+impl WindowEngine for ShardedWindowEngine {
+    fn push_into(&mut self, object: SpatialObject, out: &mut EventBatch) {
+        ShardedWindowEngine::push_into(self, object, out);
+    }
+    fn finish_into(&mut self, out: &mut EventBatch) {
+        ShardedWindowEngine::finish_into(self, out);
+    }
+}
+
+impl<E: WindowEngine> WindowEngine for &mut E {
+    fn push_into(&mut self, object: SpatialObject, out: &mut EventBatch) {
+        (**self).push_into(object, out);
+    }
+    fn finish_into(&mut self, out: &mut EventBatch) {
+        (**self).finish_into(out);
+    }
+}
+
+/// What one flush produced.
+#[derive(Debug, Clone, Default)]
+pub struct FlushOutcome {
+    /// The flush's answers: 0/1 entries for single-region detectors, up to
+    /// k for top-k.
+    pub answers: Vec<RegionAnswer>,
+    /// Maintenance units this flush performed (dirty-cell sweeps for the
+    /// incremental detectors, dirty-cell count for the tracker-based
+    /// sequential driver) — feeds [`RuntimeCounters::jobs`].
+    pub swept: u64,
+}
+
+/// The detector face of a [`QueryRuntime`]: consume the event stream,
+/// produce answers at flush boundaries.
+///
+/// This is the shape every detector family already had implicitly — CCS
+/// sweeps dirty cells then answers, Base/top-k/grid detectors answer
+/// directly. A core must be deterministic in the event sequence: the
+/// runtime guarantees the sequence, the core guarantees the answer.
+pub trait QueryCore {
+    /// Consumes one window-transition event.
+    fn on_event(&mut self, event: &Event);
+    /// Flush boundary: settle deferred maintenance (with up to `threads`
+    /// workers) and report the current answers.
+    fn flush(&mut self, threads: usize) -> FlushOutcome;
+    /// Detector counters.
+    fn stats(&self) -> DetectorStats;
+}
+
+/// Progress counters of a [`QueryRuntime`], matching the fields the
+/// driver reports always exposed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeCounters {
+    /// Objects pushed.
+    pub objects: u64,
+    /// Window-transition events delivered to the core.
+    pub events: u64,
+    /// Flushes executed (slides + the terminal flush).
+    pub slides: u64,
+    /// Total maintenance units across all flushes ([`FlushOutcome::swept`]).
+    pub jobs: u64,
+    /// Largest single-flush maintenance count.
+    pub max_jobs_per_slide: u64,
+}
+
+/// One continuous query's execution state: a [`QueryCore`] fed by a
+/// [`WindowEngine`] at a fixed slide cadence.
+///
+/// Every flush invokes the caller's `on_flush(seq, answers)` with a dense
+/// 0-based flush sequence number — the hook answer channels
+/// ([`crate::answers::AnswerLog`]) attach to.
+#[derive(Debug)]
+pub struct QueryRuntime<C: QueryCore, E: WindowEngine = SlidingWindowEngine> {
+    core: C,
+    engine: E,
+    slide_objects: usize,
+    threads: usize,
+    batch: EventBatch,
+    in_slide: usize,
+    counters: RuntimeCounters,
+}
+
+impl<C: QueryCore> QueryRuntime<C> {
+    /// A runtime over a fresh monolithic engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slide_objects` is 0.
+    pub fn new(core: C, windows: WindowConfig, slide_objects: usize, threads: usize) -> Self {
+        Self::over(
+            core,
+            SlidingWindowEngine::new(windows),
+            slide_objects,
+            threads,
+        )
+    }
+}
+
+impl<C: QueryCore, E: WindowEngine> QueryRuntime<C, E> {
+    /// A runtime over an existing engine (possibly mid-stream — the
+    /// restore path and the borrowed-engine drivers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slide_objects` is 0.
+    pub fn over(core: C, engine: E, slide_objects: usize, threads: usize) -> Self {
+        assert!(slide_objects > 0, "slide must contain at least one object");
+        QueryRuntime {
+            core,
+            engine,
+            slide_objects,
+            threads,
+            batch: EventBatch::new(),
+            in_slide: 0,
+            counters: RuntimeCounters::default(),
+        }
+    }
+
+    /// Pushes one arrival; flushes through `on_flush` if it completes a
+    /// slide.
+    pub fn push(
+        &mut self,
+        object: SpatialObject,
+        on_flush: &mut impl FnMut(u64, Vec<RegionAnswer>),
+    ) {
+        self.batch.clear();
+        self.engine.push_into(object, &mut self.batch);
+        for ev in self.batch.iter() {
+            self.core.on_event(ev);
+        }
+        self.counters.events += self.batch.len() as u64;
+        self.counters.objects += 1;
+        self.in_slide += 1;
+        if self.in_slide >= self.slide_objects {
+            self.in_slide = 0;
+            self.flush_now(on_flush);
+        }
+    }
+
+    /// End of stream: flushes the trailing partial slide (if any), drains
+    /// the engine tail, and runs the terminal flush — the shared
+    /// end-of-stream contract of every replay driver.
+    pub fn finish(&mut self, on_flush: &mut impl FnMut(u64, Vec<RegionAnswer>)) {
+        if self.in_slide > 0 {
+            self.in_slide = 0;
+            self.flush_now(on_flush);
+        }
+        self.batch.clear();
+        self.engine.finish_into(&mut self.batch);
+        for ev in self.batch.iter() {
+            self.core.on_event(ev);
+        }
+        self.counters.events += self.batch.len() as u64;
+        self.flush_now(on_flush);
+    }
+
+    /// Runs a whole source to completion: push every object, then
+    /// [`finish`](Self::finish).
+    pub fn run(
+        &mut self,
+        source: impl Iterator<Item = SpatialObject>,
+        mut on_flush: impl FnMut(u64, Vec<RegionAnswer>),
+    ) {
+        for obj in source {
+            self.push(obj, &mut on_flush);
+        }
+        self.finish(&mut on_flush);
+    }
+
+    fn flush_now(&mut self, on_flush: &mut impl FnMut(u64, Vec<RegionAnswer>)) {
+        let outcome = self.core.flush(self.threads);
+        let seq = self.counters.slides;
+        self.counters.slides += 1;
+        self.counters.jobs += outcome.swept;
+        self.counters.max_jobs_per_slide = self.counters.max_jobs_per_slide.max(outcome.swept);
+        on_flush(seq, outcome.answers);
+    }
+
+    /// Progress counters so far.
+    pub fn counters(&self) -> &RuntimeCounters {
+        &self.counters
+    }
+
+    /// Arrivals in the currently open slide.
+    pub fn in_slide(&self) -> usize {
+        self.in_slide
+    }
+
+    /// The core.
+    pub fn core(&self) -> &C {
+        &self.core
+    }
+
+    /// The core, mutably.
+    pub fn core_mut(&mut self) -> &mut C {
+        &mut self.core
+    }
+
+    /// The engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Consumes the runtime, returning the core.
+    pub fn into_core(self) -> C {
+        self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surge_core::{EventKind, Point, RegionSize};
+
+    /// Counts events and flushes; answers with the running weight sum.
+    struct SumCore {
+        sum: f64,
+        events: u64,
+        flushes: u64,
+    }
+
+    impl QueryCore for SumCore {
+        fn on_event(&mut self, event: &Event) {
+            self.events += 1;
+            if event.kind == EventKind::New {
+                self.sum += event.object.weight;
+            }
+        }
+        fn flush(&mut self, _threads: usize) -> FlushOutcome {
+            self.flushes += 1;
+            FlushOutcome {
+                answers: vec![RegionAnswer::from_point(
+                    Point::new(0.0, 0.0),
+                    RegionSize::new(1.0, 1.0),
+                    self.sum,
+                )],
+                swept: 1,
+            }
+        }
+        fn stats(&self) -> DetectorStats {
+            DetectorStats {
+                events: self.events,
+                ..Default::default()
+            }
+        }
+    }
+
+    fn stream(n: usize) -> Vec<SpatialObject> {
+        (0..n)
+            .map(|i| SpatialObject::new(i as u64, 1.0, Point::new(0.0, 0.0), i as u64 * 10))
+            .collect()
+    }
+
+    #[test]
+    fn runtime_matches_the_historical_slide_loop_shape() {
+        let core = SumCore {
+            sum: 0.0,
+            events: 0,
+            flushes: 0,
+        };
+        let mut rt = QueryRuntime::new(core, WindowConfig::equal(100), 10, 1);
+        let mut seqs = Vec::new();
+        rt.run(stream(25).into_iter(), |seq, answers| {
+            assert_eq!(answers.len(), 1);
+            seqs.push(seq);
+        });
+        // 10 + 10 + 5 (partial), then the terminal drain flush.
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        let c = rt.counters();
+        assert_eq!(c.objects, 25);
+        assert_eq!(c.slides, 4);
+        assert_eq!(c.jobs, 4);
+        assert_eq!(c.max_jobs_per_slide, 1);
+        // Every object completes its New/Grown/Expired lifecycle.
+        assert_eq!(c.events, 75);
+        assert_eq!(rt.core().flushes, 4);
+    }
+
+    #[test]
+    fn exact_slide_boundary_has_no_partial_flush() {
+        let core = SumCore {
+            sum: 0.0,
+            events: 0,
+            flushes: 0,
+        };
+        let mut rt = QueryRuntime::new(core, WindowConfig::equal(100), 5, 1);
+        let mut flushes = 0u64;
+        rt.run(stream(10).into_iter(), |_, _| flushes += 1);
+        // Two full slides + terminal only — no empty partial flush.
+        assert_eq!(flushes, 3);
+    }
+
+    #[test]
+    fn sharded_engine_is_a_drop_in() {
+        let objs = stream(40);
+        let mono = {
+            let mut rt = QueryRuntime::new(
+                SumCore {
+                    sum: 0.0,
+                    events: 0,
+                    flushes: 0,
+                },
+                WindowConfig::equal(100),
+                8,
+                1,
+            );
+            let mut answers = Vec::new();
+            rt.run(objs.iter().copied(), |_, a| {
+                answers.push(a[0].score.to_bits())
+            });
+            (answers, *rt.counters())
+        };
+        let sharded = {
+            let engine =
+                ShardedWindowEngine::new(WindowConfig::equal(100), RegionSize::new(1.0, 1.0), 4);
+            let mut rt = QueryRuntime::over(
+                SumCore {
+                    sum: 0.0,
+                    events: 0,
+                    flushes: 0,
+                },
+                engine,
+                8,
+                1,
+            );
+            let mut answers = Vec::new();
+            rt.run(objs.iter().copied(), |_, a| {
+                answers.push(a[0].score.to_bits())
+            });
+            (answers, *rt.counters())
+        };
+        assert_eq!(mono, sharded);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn zero_slide_rejected() {
+        let _ = QueryRuntime::new(
+            SumCore {
+                sum: 0.0,
+                events: 0,
+                flushes: 0,
+            },
+            WindowConfig::equal(100),
+            0,
+            1,
+        );
+    }
+}

@@ -39,6 +39,7 @@ use surge_core::{
     SpatialObject, WindowConfig,
 };
 
+use crate::answers::{AnswerLog, AnswerSink, RetainAll};
 use crate::lanes::{LaneMerger, LaneStats, WindowLane};
 use crate::window::EventBatch;
 
@@ -75,8 +76,10 @@ pub struct ShardedReport {
     /// Per-lane window-expansion counters, indexed by lane (= shard).
     pub lane_stats: Vec<LaneStats>,
     /// The merged answer at every flush boundary, in flush order —
-    /// bit-identical to `drive_incremental`'s per-slide answers.
-    pub answers: Vec<Option<RegionAnswer>>,
+    /// bit-identical to `drive_incremental`'s per-slide answers. Retains
+    /// every answer under the default [`RetainAll`] sink; bounded by
+    /// consumer lag under [`drive_sharded_with_sink`].
+    pub answers: AnswerLog<Option<RegionAnswer>>,
     /// The last flush's answer (after the terminal drain: `None` unless the
     /// detector reports something for empty windows).
     pub final_answer: Option<RegionAnswer>,
@@ -192,12 +195,29 @@ pub fn drive_sharded<D: ShardedIngest>(
     source: impl Iterator<Item = SpatialObject>,
     slide_objects: usize,
 ) -> ShardedReport {
+    drive_sharded_with_sink(detector, windows, source, slide_objects, &mut RetainAll)
+}
+
+/// [`drive_sharded`] with an explicit answer consumer: every merged flush
+/// answer is delivered through `sink` on the driver thread, and acked
+/// answers are released from `ShardedReport::answers` instead of retained.
+///
+/// # Panics
+///
+/// Panics if `slide_objects` is 0, or propagates a worker panic.
+pub fn drive_sharded_with_sink<D: ShardedIngest>(
+    detector: &mut D,
+    windows: WindowConfig,
+    source: impl Iterator<Item = SpatialObject>,
+    slide_objects: usize,
+    sink: &mut impl AnswerSink<Option<RegionAnswer>>,
+) -> ShardedReport {
     assert!(slide_objects > 0, "slide must contain at least one object");
     let region = detector.region_size();
     let mut run = ShardRunStats::default();
     let mut objects = 0u64;
     let mut slides = 0u64;
-    let mut answers: Vec<Option<RegionAnswer>> = Vec::new();
+    let mut answers: AnswerLog<Option<RegionAnswer>> = AnswerLog::new();
 
     let (shard_stats, lane_stats) = thread::scope(|scope| {
         let workers = detector.ingest_workers();
@@ -281,13 +301,13 @@ pub fn drive_sharded<D: ShardedIngest>(
             objects += 1;
             in_slide += 1;
             if in_slide >= slide_objects {
-                answers.push(flush(&mut batch));
+                answers.offer(flush(&mut batch), sink);
                 slides += 1;
                 in_slide = 0;
             }
         }
         if in_slide > 0 {
-            answers.push(flush(&mut batch));
+            answers.offer(flush(&mut batch), sink);
             slides += 1;
         }
         // Terminal drain + flush, mirroring the sequential slide loop. Any
@@ -298,7 +318,7 @@ pub fn drive_sharded<D: ShardedIngest>(
         for tx in &txs {
             tx.send(LaneMsg::Drain).expect("worker alive");
         }
-        answers.push(flush(&mut batch));
+        answers.offer(flush(&mut batch), sink);
         slides += 1;
         drop(txs); // close channels: workers drain and finish
 

@@ -52,6 +52,10 @@
 //!   export of detections, and the checksummed snapshot container.
 //! * [`checkpoint`] — durable state: periodic logical snapshots + a
 //!   segmented WAL, with crash recovery that resumes bit-identically.
+//! * [`serve`] — the multi-query subscription layer: many queries over one
+//!   shared ingest + window engine, bitwise-identical queries deduped onto
+//!   one detector, per-subscription ack-released answer channels, and
+//!   whole-registry crash recovery.
 //! * [`roadnet`] — the road-network extension (the paper's stated future
 //!   work): graph substrate, synthetic cities, and network detectors.
 //!
@@ -69,6 +73,7 @@ pub use surge_core as core;
 pub use surge_exact as exact;
 pub use surge_io as io;
 pub use surge_roadnet as roadnet;
+pub use surge_serve as serve;
 pub use surge_stream as stream;
 pub use surge_topk as topk;
 
@@ -93,6 +98,7 @@ pub mod prelude {
     pub use surge_roadnet::{
         grid_city, GridCityConfig, NetBallOracle, NetGapSurge, NetMgapSurge, RoadNetwork,
     };
+    pub use surge_serve::{ServeConfig, ServeError, ServeStats, SubId, SurgeServer};
     pub use surge_stream::{
         drive, drive_autopilot, drive_incremental, drive_parallel, drive_sharded, drive_slides,
         drive_topk, sweep_parallel, AnswerQuality, AutopilotDetector, AutopilotReport, BurstSpec,
