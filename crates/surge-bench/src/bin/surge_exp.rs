@@ -35,6 +35,10 @@
 //!                          dedicated runs (bit-identity asserted first),
 //!                          dedup hit-rate and per-query answer
 //!                          throughput; writes BENCH_serve.json
+//!   elastic-bench          elastic mesh: work-stealing + live resharding
+//!                          vs static shards vs sequential (bit-identity
+//!                          and the >=2x max_shard_sweeps drop asserted
+//!                          first); writes BENCH_elastic.json
 //!   all                    everything above
 //!
 //! Options:
@@ -149,7 +153,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|window-bench|checkpoint-bench|degrade-bench|serve-bench|all> \
+    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|window-bench|checkpoint-bench|degrade-bench|serve-bench|elastic-bench|all> \
      [--axis window|rect|k] [--objects N] [--heavy N] [--naive N] [--seed S] \
      [--datasets uk,us,taxi] [--fast] [--paper] [--persistent on|off]"
         .to_string()
@@ -177,6 +181,23 @@ fn run_shard_bench(cfg: &ExpConfig) -> Result<(), String> {
     print!("{}", print::shard_bench(&rows));
     let json = print::shard_bench_json(&rows);
     let path = "BENCH_shard.json";
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# wrote {path}");
+    Ok(())
+}
+
+/// Runs the elastic-mesh experiment (work-stealing + balancer-driven
+/// resharding vs the static mesh and the sequential baseline), printing
+/// the table and writing `BENCH_elastic.json` to the working directory.
+/// Bit-identity across every configuration *and* the >=2x
+/// `max_shard_sweeps` improvement on the hotspot workload are asserted
+/// inside the experiment before anything is timed, so a successful exit
+/// is the smoke check.
+fn run_elastic_bench(cfg: &ExpConfig) -> Result<(), String> {
+    let rows = experiments::elastic_bench(cfg);
+    print!("{}", print::elastic_bench(&rows));
+    let json = print::elastic_bench_json(&rows);
+    let path = "BENCH_elastic.json";
     std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("# wrote {path}");
     Ok(())
@@ -323,6 +344,7 @@ fn run(args: &Args) -> Result<(), String> {
         "checkpoint-bench" => run_checkpoint_bench(cfg)?,
         "degrade-bench" => run_degrade_bench(cfg)?,
         "serve-bench" => run_serve_bench(cfg)?,
+        "elastic-bench" => run_elastic_bench(cfg)?,
         "all" => {
             print!("{}", print::table1(&experiments::table1(cfg)));
             print!(
@@ -384,6 +406,7 @@ fn run(args: &Args) -> Result<(), String> {
             print!("{}", print::roadnet(&experiments::roadnet_sweep(cfg)));
             run_sweep_bench(cfg)?;
             run_shard_bench(cfg)?;
+            run_elastic_bench(cfg)?;
             run_window_bench(cfg)?;
             run_checkpoint_bench(cfg)?;
             run_degrade_bench(cfg)?;

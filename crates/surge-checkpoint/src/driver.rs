@@ -32,11 +32,11 @@ use surge_exact::{BaseDetector, CellCspot};
 use surge_io::{BlobStore, FsStore, IoError};
 use surge_stream::{
     AnswerLog, AnswerSink, AutopilotDetector, EventBatch, FlushOutcome, LatencyHistogram,
-    LatencySummary, QueryCore, RetainAll, SlidingWindowEngine,
+    LatencySummary, QueryCore, RetainAll, ShardBalancer, SlidingWindowEngine,
 };
 use surge_topk::KCellCspot;
 
-use crate::state::{CheckpointMeta, CheckpointState, DetectorSpec};
+use crate::state::{CheckpointMeta, CheckpointState, DetectorSpec, MeshState};
 use crate::store::CheckpointDir;
 use crate::wal::{Wal, WalWriter};
 
@@ -233,6 +233,11 @@ pub enum SpecDetector {
     Mgaps(Box<MgapSurge>),
     /// The overload autopilot ([`surge_stream::AutopilotDetector`]).
     Autopilot(Box<AutopilotDetector>),
+    /// CCS under the elastic shard balancer: each flush feeds the
+    /// per-shard dirty counts into the [`ShardBalancer`] and reshards the
+    /// cell store in place when it recommends a split. The live shard
+    /// count and balancer history travel in the snapshot's MESH section.
+    Elastic(CellCspot, ShardBalancer),
 }
 
 impl SpecDetector {
@@ -262,6 +267,15 @@ impl SpecDetector {
             DetectorSpec::Autopilot { shards, policy } => SpecDetector::Autopilot(Box::new(
                 AutopilotDetector::with_shards(query, policy, shards),
             )),
+            DetectorSpec::Elastic {
+                bound,
+                sweep,
+                shards,
+                policy,
+            } => SpecDetector::Elastic(
+                CellCspot::with_sweep_mode(query, bound, sweep, shards),
+                ShardBalancer::new(policy),
+            ),
             DetectorSpec::Serve => {
                 return Err(CheckpointError::Config(
                     "DetectorSpec::Serve is a registry marker, not a detector; \
@@ -281,24 +295,94 @@ impl SpecDetector {
             SpecDetector::Gaps(d) => BurstDetector::on_event(d, ev),
             SpecDetector::Mgaps(d) => BurstDetector::on_event(d.as_mut(), ev),
             SpecDetector::Autopilot(d) => BurstDetector::on_event(d.as_mut(), ev),
+            SpecDetector::Elastic(d, _) => d.on_event(ev),
         }
     }
 
     /// The per-slide flush, matching each detector family's canonical
     /// cadence: CCS sweeps its dirty cells in place and then reads the
     /// all-fresh answer (bit-identical to `drive_incremental`), Base,
-    /// top-k and the grid detectors answer directly.
+    /// top-k and the grid detectors answer directly. The elastic variant
+    /// additionally feeds the flush-boundary dirty counts to its balancer
+    /// and reshards in place *after* the answer is taken — the balancer
+    /// decision is a pure function of those counters, so a crash-replayed
+    /// run re-triggers the same reshard at the same flush.
     pub fn flush(&mut self, threads: usize) -> Vec<RegionAnswer> {
+        self.flush_outcome(threads).answers
+    }
+
+    /// [`flush`](Self::flush) with the swept-cell count, shared with the
+    /// [`QueryCore`] face.
+    pub fn flush_outcome(&mut self, threads: usize) -> FlushOutcome {
         match self {
             SpecDetector::Cell(d) => {
-                d.sweep_dirty(threads);
-                d.current().into_iter().collect()
+                let swept = d.sweep_dirty(threads);
+                FlushOutcome {
+                    answers: d.current().into_iter().collect(),
+                    swept,
+                }
             }
-            SpecDetector::Base(d) => d.current().into_iter().collect(),
-            SpecDetector::TopK(d) => d.current_topk(),
-            SpecDetector::Gaps(d) => d.current().into_iter().collect(),
-            SpecDetector::Mgaps(d) => d.current().into_iter().collect(),
-            SpecDetector::Autopilot(d) => d.current().into_iter().collect(),
+            SpecDetector::Elastic(d, balancer) => {
+                // The load signal must be read before the sweep clears the
+                // dirty set.
+                let dirty = d.dirty_counts();
+                let swept = d.sweep_dirty(threads);
+                let answers = d.current().into_iter().collect();
+                if let Some(to) = balancer.observe(d.shard_count(), &dirty, &[]) {
+                    d.reshard(to);
+                }
+                FlushOutcome { answers, swept }
+            }
+            SpecDetector::Base(d) => FlushOutcome {
+                answers: d.current().into_iter().collect(),
+                swept: 0,
+            },
+            SpecDetector::TopK(d) => FlushOutcome {
+                answers: d.current_topk(),
+                swept: 0,
+            },
+            SpecDetector::Gaps(d) => FlushOutcome {
+                answers: d.current().into_iter().collect(),
+                swept: 0,
+            },
+            SpecDetector::Mgaps(d) => FlushOutcome {
+                answers: d.current().into_iter().collect(),
+                swept: 0,
+            },
+            SpecDetector::Autopilot(d) => FlushOutcome {
+                answers: d.current().into_iter().collect(),
+                swept: 0,
+            },
+        }
+    }
+
+    /// Elastic-mesh runtime state for the snapshot's MESH section — `Some`
+    /// exactly for the [`SpecDetector::Elastic`] variant.
+    pub fn mesh_state(&self) -> Option<MeshState> {
+        match self {
+            SpecDetector::Elastic(d, b) => Some(MeshState {
+                shards: d.shard_count() as u64,
+                streak: b.streak(),
+                reshards: b.reshards(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Applies recovered MESH state: reshards the cell store to the
+    /// snapshot's live count and restores the balancer mid-streak. Must be
+    /// called after [`restore`](Self::restore).
+    pub fn apply_mesh(&mut self, mesh: &MeshState) -> Result<(), CheckpointError> {
+        match self {
+            SpecDetector::Elastic(d, b) => {
+                d.reshard(mesh.shards as usize);
+                let policy = b.policy();
+                *b = ShardBalancer::from_parts(policy, mesh.streak, mesh.reshards);
+                Ok(())
+            }
+            _ => Err(CheckpointError::Config(
+                "snapshot carries MESH state but the configured spec is not Elastic".into(),
+            )),
         }
     }
 
@@ -311,6 +395,7 @@ impl SpecDetector {
             SpecDetector::Gaps(d) => d.capture_state(),
             SpecDetector::Mgaps(d) => d.capture_state(),
             SpecDetector::Autopilot(d) => d.capture_state(),
+            SpecDetector::Elastic(d, _) => d.capture_state(),
         }
     }
 
@@ -323,6 +408,7 @@ impl SpecDetector {
             SpecDetector::Gaps(d) => d.restore_state(state),
             SpecDetector::Mgaps(d) => d.restore_state(state),
             SpecDetector::Autopilot(d) => d.restore_state(state),
+            SpecDetector::Elastic(d, _) => d.restore_state(state),
         }
     }
 
@@ -335,6 +421,7 @@ impl SpecDetector {
             SpecDetector::Gaps(d) => BurstDetector::stats(d),
             SpecDetector::Mgaps(d) => BurstDetector::stats(d.as_ref()),
             SpecDetector::Autopilot(d) => BurstDetector::stats(d.as_ref()),
+            SpecDetector::Elastic(d, _) => d.stats(),
         }
     }
 }
@@ -345,16 +432,7 @@ impl QueryCore for SpecDetector {
     }
 
     fn flush(&mut self, threads: usize) -> FlushOutcome {
-        let swept = match self {
-            SpecDetector::Cell(d) => d.sweep_dirty(threads),
-            _ => 0,
-        };
-        FlushOutcome {
-            // For `Cell` the dirty set is now empty, so the canonical
-            // sweep-then-answer flush above reduces to this same read.
-            answers: SpecDetector::flush(self, threads),
-            swept,
-        }
+        SpecDetector::flush_outcome(self, threads)
     }
 
     fn stats(&self) -> DetectorStats {
@@ -448,6 +526,7 @@ impl Runner<'_> {
             detector: self.detector.capture(),
             answers_released: self.answers.released(),
             answers: self.answers.retained().to_vec(),
+            mesh: self.detector.mesh_state(),
         };
         self.dir.write_snapshot(&state)?;
         self.snapshots_written += 1;
@@ -698,6 +777,12 @@ pub fn recover_with_sink(
             )));
         }
         detector.restore(&state.detector)?;
+        // A resharded mesh resumes at its live width, mid-streak: the
+        // restored cells are re-homed under the snapshot's shard count and
+        // the balancer continues exactly where the crashed run left it.
+        if let Some(mesh) = &state.mesh {
+            detector.apply_mesh(mesh)?;
+        }
         engine = SlidingWindowEngine::from_state(&state.engine)?;
         answers = AnswerLog::from_parts(state.answers_released, state.answers);
         objects = state.meta.objects_ingested;

@@ -21,8 +21,8 @@ use surge_core::{DetectorState, EngineState, RegionAnswer, SurgeQuery};
 use surge_io::{IoError, PayloadReader, PayloadWriter, Snapshot};
 
 use crate::state::{
-    get_answers, get_detector, get_engine, get_spec, inv, put_answers, put_detector, put_engine,
-    put_spec, tags, DetectorSpec,
+    get_answers, get_detector, get_engine, get_mesh, get_spec, inv, put_answers, put_detector,
+    put_engine, put_mesh, put_spec, tags, DetectorSpec, MeshState,
 };
 
 /// Cadence and id counters of a serving registry.
@@ -62,6 +62,10 @@ pub struct ServeGroupState {
     pub spec: DetectorSpec,
     /// The shared detector's logical state.
     pub detector: DetectorState,
+    /// Elastic-mesh runtime state — `Some` exactly for
+    /// [`DetectorSpec::Elastic`] groups, whose live shard count and
+    /// balancer streak are not derivable from the detector state alone.
+    pub mesh: Option<MeshState>,
     /// Window-transition events the group has consumed.
     pub events: u64,
     /// The group's subscriptions (at least one; an empty group is removed).
@@ -141,6 +145,7 @@ fn encode_registry(lanes: &[ServeLaneState]) -> Vec<u8> {
         for g in &lane.groups {
             put_spec(&mut w, &g.query, &g.spec);
             put_detector(&mut w, &g.detector);
+            put_mesh(&mut w, g.mesh.as_ref());
             w.u64(g.events);
             w.u64(g.subs.len() as u64);
             for sub in &g.subs {
@@ -177,6 +182,12 @@ fn decode_registry(buf: &[u8]) -> Result<Vec<ServeLaneState>, IoError> {
                 return Err(inv("serve group: nested Serve spec"));
             }
             let detector = get_detector(&mut r)?;
+            let mesh = get_mesh(&mut r)?;
+            if mesh.is_some() != matches!(spec, DetectorSpec::Elastic { .. }) {
+                return Err(inv(
+                    "serve group: MESH state present iff the spec is Elastic — mismatch",
+                ));
+            }
             let events = r.u64("group.events")?;
             let n_subs = r.u64("group.subs")?;
             if n_subs == 0 {
@@ -196,6 +207,7 @@ fn decode_registry(buf: &[u8]) -> Result<Vec<ServeLaneState>, IoError> {
                 query,
                 spec,
                 detector,
+                mesh,
                 events,
                 subs,
             });

@@ -7,9 +7,12 @@ use surge_checkpoint::{
     run_checkpointed, run_checkpointed_with_sink, CheckpointConfig, CheckpointDir,
     CheckpointPolicy, DetectorSpec, SyncPolicy, Tail,
 };
-use surge_core::{Point, RegionAnswer, RegionSize, SpatialObject, SurgeQuery, WindowConfig};
+use surge_core::{
+    BurstDetector, Event, Point, RegionAnswer, RegionSize, ShardAnswer, ShardRunStats, ShardWorker,
+    ShardWorkerStats, ShardedIngest, SpatialObject, SurgeQuery, WindowConfig,
+};
 use surge_exact::{BoundMode, SweepMode};
-use surge_stream::Ack;
+use surge_stream::{drive_sharded_with_sink, Ack};
 
 /// A fully periodic stream (period 60 in position and weight, constant
 /// timestamp spacing): once the windows saturate, residency at object
@@ -133,6 +136,114 @@ fn acked_snapshots_stop_growing_with_slide_count() {
     );
     // And the acked one is strictly smaller than its retained twin.
     assert!(acked_sizes[2] < retained_sizes[2]);
+}
+
+/// A detector that always has an answer — even for drained windows. The
+/// cell detectors report `None` after the terminal drain, which made the
+/// `final_answer = answers.last()` bug invisible to them: with a fully
+/// acking sink `answers` is empty and `last()` is `None`, exactly the value
+/// the drain happens to produce. This toy makes the terminal answer `Some`,
+/// so the regression below fails on the pre-fix code.
+struct AlwaysAnswer {
+    events: u64,
+}
+
+struct AlwaysWorker<'a> {
+    events: u64,
+    _mesh: std::marker::PhantomData<&'a ()>,
+}
+
+impl ShardWorker for AlwaysWorker<'_> {
+    fn on_event(&mut self, _event: &Event) {
+        self.events += 1;
+    }
+    fn flush(&mut self) -> Option<ShardAnswer> {
+        Some(ShardAnswer {
+            point: Point::new(0.25, 0.25),
+            score: 1.0 + self.events as f64,
+            bound: 2.0 + self.events as f64,
+            cell: (0, 0),
+        })
+    }
+    fn stats(&self) -> ShardWorkerStats {
+        ShardWorkerStats::default()
+    }
+}
+
+impl BurstDetector for AlwaysAnswer {
+    fn on_event(&mut self, _event: &Event) {
+        self.events += 1;
+    }
+    fn current(&mut self) -> Option<RegionAnswer> {
+        None
+    }
+    fn name(&self) -> &'static str {
+        "always-answer"
+    }
+}
+
+impl ShardedIngest for AlwaysAnswer {
+    type Worker<'a> = AlwaysWorker<'a>;
+    fn ingest_workers(&mut self) -> Vec<AlwaysWorker<'_>> {
+        vec![AlwaysWorker {
+            events: 0,
+            _mesh: std::marker::PhantomData,
+        }]
+    }
+    fn absorb_shard_run(&mut self, run: ShardRunStats) {
+        self.events += run.events;
+    }
+    fn region_size(&self) -> RegionSize {
+        RegionSize::new(1.5, 1.5)
+    }
+}
+
+/// The sharded report's terminal answer is tracked independently of answer
+/// retention: a consumer that acks every flush releases the whole
+/// `answers` log, and `final_answer` must still hold the terminal flush's
+/// answer. Pre-fix, `final_answer` was derived as `answers.last()`, which
+/// is `None` as soon as the sink keeps up — this test fails on that code.
+#[test]
+fn terminal_answer_survives_a_fully_acked_consumer() {
+    let stream = periodic_stream(120);
+
+    // Ground truth: retain everything, terminal answer = last retained.
+    let mut retained = AlwaysAnswer { events: 0 };
+    let full = surge_stream::drive_sharded(
+        &mut retained,
+        WindowConfig::new(240, 120),
+        stream.iter().copied(),
+        8,
+    );
+    let want = full
+        .answers
+        .iter()
+        .last()
+        .copied()
+        .flatten()
+        .expect("the toy answers every flush");
+    assert_eq!(
+        full.final_answer.map(|a| a.score.to_bits()),
+        Some(want.score.to_bits())
+    );
+
+    // The regression: a sink that releases every flush on delivery.
+    let mut acked = AlwaysAnswer { events: 0 };
+    let mut sink = |_seq: u64, _ans: &Option<RegionAnswer>| Ack::Release;
+    let report = drive_sharded_with_sink(
+        &mut acked,
+        WindowConfig::new(240, 120),
+        stream.iter().copied(),
+        8,
+        &mut sink,
+    );
+    assert!(report.answers.is_empty(), "everything was acked away");
+    let got = report
+        .final_answer
+        .expect("terminal answer must survive full acking");
+    assert_eq!(got.score.to_bits(), want.score.to_bits());
+    assert_eq!(got.point.x.to_bits(), want.point.x.to_bits());
+    assert_eq!(got.point.y.to_bits(), want.point.y.to_bits());
 }
 
 /// A consumer that acks lazily (every third flush) bounds retention by its

@@ -292,6 +292,96 @@ pub trait ShardedIngest: BurstDetector {
     fn region_size(&self) -> RegionSize;
 }
 
+/// A [`ShardWorker`] that can participate in driver-coordinated work
+/// stealing at flush boundaries.
+///
+/// The steal protocol splits [`ShardWorker::flush`] into phases the driver
+/// sequences across the whole mesh:
+///
+/// 1. [`dirty_count`](Self::dirty_count) — how many dirty cells this shard
+///    would sweep now;
+/// 2. [`export_jobs`](Self::export_jobs) — surrender the *tail* `k` of the
+///    shard's ascending dirty-cell list as self-contained jobs (the cells
+///    stay home; only their sweeps travel). Exported cells are remembered
+///    and skipped by the next [`sweep_kept`](Self::sweep_kept);
+/// 3. [`run_jobs`](Self::run_jobs) — sweep cells stolen *from peers*
+///    (counted in this worker's `sweeps`: the thief did the work);
+/// 4. [`sweep_kept`](Self::sweep_kept) — sweep the cells this shard kept,
+///    in place;
+/// 5. [`install_and_best`](Self::install_and_best) — install outcomes
+///    routed home by the driver **without counting them** (the thief
+///    already did), clear the export list, and report the shard's best.
+///
+/// Cells are independent and job execution uses the rebuild-per-search
+/// reference path, which is bit-identical to the in-place persistent sweep
+/// — so any steal schedule yields the same merged answer and the same
+/// total sweep count as the un-stolen flush.
+pub trait ElasticWorker: ShardWorker {
+    /// A stolen cell's sweep, self-contained enough to run on any worker.
+    type Job: Send;
+    /// The outcome of one stolen sweep, routed home by the driver.
+    type Outcome: Send;
+
+    /// Number of dirty cells this shard would sweep at the next flush.
+    fn dirty_count(&self) -> u64;
+
+    /// Exports the tail `k` dirty cells as jobs and marks them exported
+    /// (skipped by [`sweep_kept`](Self::sweep_kept), cleared by
+    /// [`install_and_best`](Self::install_and_best)). `k` never exceeds
+    /// the last reported [`dirty_count`](Self::dirty_count).
+    fn export_jobs(&mut self, k: usize) -> Vec<Self::Job>;
+
+    /// Runs jobs stolen from peers, counting each in this worker's
+    /// `sweeps`.
+    fn run_jobs(&mut self, jobs: Vec<Self::Job>) -> Vec<Self::Outcome>;
+
+    /// Sweeps the dirty cells this shard kept (everything not exported),
+    /// in place, counting them in this worker's `sweeps`.
+    fn sweep_kept(&mut self);
+
+    /// Installs outcomes of this shard's exported cells (computed by the
+    /// thieves — not counted again here), clears the export list and
+    /// returns the shard's best candidate.
+    fn install_and_best(&mut self, outcomes: Vec<Self::Outcome>) -> Option<ShardAnswer>;
+}
+
+/// A [`ShardedIngest`] detector whose mesh is *elastic*: flushes can steal
+/// work across shards and the shard count can change at a pause boundary
+/// without losing state.
+///
+/// [`reshard`](Self::reshard) re-homes every cell under the new
+/// [`crate::store::shard_of_cell`] mapping by capturing the detector's
+/// logical state and restoring it into a fresh store — the same
+/// machine-independent path checkpointing uses, so the answer stream after
+/// a reshard is bit-identical to a detector built at the new count from
+/// the start.
+pub trait ElasticIngest: ShardedIngest {
+    /// Stolen-sweep job (matches the worker's).
+    type Job: Send;
+    /// Stolen-sweep outcome (matches the worker's).
+    type Outcome: Send;
+    /// The per-shard elastic handle type.
+    type EWorker<'a>: ElasticWorker<Job = Self::Job, Outcome = Self::Outcome> + Send
+    where
+        Self: 'a;
+
+    /// Splits the detector into one steal-capable worker per shard.
+    fn elastic_workers(&mut self) -> Vec<Self::EWorker<'_>>;
+
+    /// Current shard count of the mesh.
+    fn mesh_shards(&self) -> usize;
+
+    /// Re-homes every cell under `shard_of_cell(id, shards)`. `shards` is
+    /// rounded up to a power of two by the store. Must be called only
+    /// between flushes (no dirty state in flight is required — dirty
+    /// marks survive via the captured per-cell state).
+    fn reshard(&mut self, shards: usize);
+
+    /// The home cell of an outcome — the driver routes each stolen
+    /// outcome back to `shard_of_cell(outcome_cell, n)`.
+    fn outcome_cell(outcome: &Self::Outcome) -> CellId;
+}
+
 /// A continuous top-k bursty-region detector (paper §VI).
 pub trait TopKDetector {
     /// Processes one window-transition event.

@@ -31,10 +31,10 @@ use std::collections::{BTreeSet, HashMap};
 
 use surge_core::{
     object_to_rect, shard_of_cell, BurstDetector, BurstParams, CandidateState, CellId, CellState,
-    CheckpointableDetector, DetectorState, DetectorStats, Event, EventKind, GridSpec,
-    IncrementalDetector, Point, Rect, RectState, RegionAnswer, RegionSize, RestoreError,
-    ShardAnswer, ShardRunStats, ShardWorker, ShardWorkerStats, ShardedCellStore, ShardedIngest,
-    SurgeQuery, SweepCacheStats, TotalF64, WindowKind,
+    CheckpointableDetector, DetectorState, DetectorStats, ElasticIngest, ElasticWorker, Event,
+    EventKind, GridSpec, IncrementalDetector, Point, Rect, RectState, RegionAnswer, RegionSize,
+    RestoreError, ShardAnswer, ShardRunStats, ShardWorker, ShardWorkerStats, ShardedCellStore,
+    ShardedIngest, SurgeQuery, SweepCacheStats, TotalF64, WindowKind,
 };
 
 use crate::psweep::{PersistentCellSweep, SweepMode, SweepPool, SweepStats};
@@ -422,8 +422,23 @@ fn sweep_shard_dirty(
     queue: &mut ShardQueue,
     ctx: &ShardCtx,
 ) -> u64 {
+    sweep_shard_dirty_excluding(cells, queue, ctx, &[])
+}
+
+/// [`sweep_shard_dirty`] minus the cells in `skip` (sorted ascending): the
+/// kept-cell sweep of an elastic flush, where `skip` is the exported tail
+/// whose sweeps run on thief workers instead.
+fn sweep_shard_dirty_excluding(
+    cells: &mut HashMap<CellId, Cell>,
+    queue: &mut ShardQueue,
+    ctx: &ShardCtx,
+    skip: &[CellId],
+) -> u64 {
     let mut swept = 0u64;
     for id in dirty_ids(cells) {
+        if skip.binary_search(&id).is_ok() {
+            continue;
+        }
         let outcome = sweep_cell(cells, id).expect("dirty cell is present and feasible");
         install_result_into(cells, queue, ctx, id, outcome);
         swept += 1;
@@ -676,6 +691,35 @@ impl CellCspot {
                 );
             }
         }
+    }
+
+    /// Per-shard dirty (stale, feasible) cell counts — the load signal an
+    /// elastic mesh's balancer watches for persistent skew.
+    pub fn dirty_counts(&self) -> Vec<u64> {
+        (0..self.store.shard_count())
+            .map(|s| dirty_ids(self.store.shard(s)).len() as u64)
+            .collect()
+    }
+
+    /// Re-homes every cell under `shard_of_cell(id, shards)` (rounded up to
+    /// a power of two) by capturing the detector's machine-independent
+    /// logical state and restoring it into a fresh store at the new count —
+    /// the exact checkpoint path, so everything derived (persistent sweeps,
+    /// shard queues, heap keys) rebuilds deterministically and answers
+    /// continue bit-identically. Stats are preserved verbatim.
+    pub fn reshard(&mut self, shards: usize) {
+        if ShardedCellStore::<Cell>::new(shards).shard_count() == self.store.shard_count() {
+            return;
+        }
+        let state = self.capture_state();
+        let searches_at_last_current = self.searches_at_last_current;
+        let mut fresh =
+            CellCspot::with_sweep_mode(self.ctx.query, self.ctx.mode, self.ctx.sweep_mode, shards);
+        fresh
+            .restore_state(&state)
+            .expect("a detector's own capture restores into a same-query twin");
+        fresh.searches_at_last_current = searches_at_last_current;
+        *self = fresh;
     }
 
     /// The queue entry strictly below `cursor` in the global descending
@@ -943,6 +987,13 @@ pub struct CellShardWorker<'a> {
     queue: &'a mut ShardQueue,
     pool: &'a mut SweepPool,
     stats: ShardWorkerStats,
+    /// Dirty cells exported to thieves in the current elastic flush (the
+    /// ascending tail of `dirty_ids`); skipped by the kept-cell sweep and
+    /// cleared once their outcomes are installed.
+    exported: Vec<CellId>,
+    /// Scratch for sweeping cells stolen *from* peers (the export path
+    /// ships pure rebuild jobs, which reuse one arena across jobs).
+    arena: SweepArena,
 }
 
 impl ShardWorker for CellShardWorker<'_> {
@@ -971,6 +1022,61 @@ impl ShardWorker for CellShardWorker<'_> {
     }
 }
 
+/// The steal-capable flush (see [`ElasticWorker`]): exported cells ship as
+/// [`DirtyCellJob`]s — the rebuild-per-search reference path, bit-identical
+/// to the in-place persistent sweep by construction — so any steal schedule
+/// produces the same installed state, the same merged answer and the same
+/// total sweep count as the un-stolen flush. Sweep attribution follows the
+/// work: the thief counts stolen jobs, the donor counts only kept cells and
+/// installs imported outcomes without counting.
+impl ElasticWorker for CellShardWorker<'_> {
+    type Job = DirtyCellJob;
+    type Outcome = DirtyCellResult;
+
+    fn dirty_count(&self) -> u64 {
+        dirty_ids(self.cells).len() as u64
+    }
+
+    fn export_jobs(&mut self, k: usize) -> Vec<DirtyCellJob> {
+        debug_assert!(self.exported.is_empty(), "previous export not installed");
+        let mut ids = dirty_ids(self.cells);
+        let keep = ids.len().saturating_sub(k);
+        self.exported = ids.split_off(keep);
+        self.exported
+            .iter()
+            .map(|&id| {
+                let cell = &self.cells[&id];
+                DirtyCellJob {
+                    id,
+                    rects: cell.sweep.full_rects(),
+                    domain: cell.domain.expect("filtered to feasible"),
+                }
+            })
+            .collect()
+    }
+
+    fn run_jobs(&mut self, jobs: Vec<DirtyCellJob>) -> Vec<DirtyCellResult> {
+        self.stats.sweeps += jobs.len() as u64;
+        jobs.iter()
+            .map(|j| j.run_with(&mut self.arena, &self.ctx.params))
+            .collect()
+    }
+
+    fn sweep_kept(&mut self) {
+        self.stats.sweeps +=
+            sweep_shard_dirty_excluding(self.cells, self.queue, &self.ctx, &self.exported);
+    }
+
+    fn install_and_best(&mut self, outcomes: Vec<DirtyCellResult>) -> Option<ShardAnswer> {
+        for r in outcomes {
+            // The thief already accounted the sweep; install only.
+            install_result_into(self.cells, self.queue, &self.ctx, r.id, r.outcome);
+        }
+        self.exported.clear();
+        shard_best(self.cells, self.queue, &self.ctx)
+    }
+}
+
 impl ShardedIngest for CellCspot {
     type Worker<'a> = CellShardWorker<'a>;
 
@@ -990,6 +1096,8 @@ impl ShardedIngest for CellCspot {
                 queue,
                 pool,
                 stats: ShardWorkerStats::default(),
+                exported: Vec::new(),
+                arena: SweepArena::default(),
             })
             .collect()
     }
@@ -1003,6 +1111,28 @@ impl ShardedIngest for CellCspot {
 
     fn region_size(&self) -> RegionSize {
         self.ctx.query.region
+    }
+}
+
+impl ElasticIngest for CellCspot {
+    type Job = DirtyCellJob;
+    type Outcome = DirtyCellResult;
+    type EWorker<'a> = CellShardWorker<'a>;
+
+    fn elastic_workers(&mut self) -> Vec<CellShardWorker<'_>> {
+        self.ingest_workers()
+    }
+
+    fn mesh_shards(&self) -> usize {
+        self.store.shard_count()
+    }
+
+    fn reshard(&mut self, shards: usize) {
+        CellCspot::reshard(self, shards);
+    }
+
+    fn outcome_cell(outcome: &DirtyCellResult) -> CellId {
+        outcome.id
     }
 }
 

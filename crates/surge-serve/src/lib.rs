@@ -33,12 +33,22 @@
 //! `tests/serve_recovery.rs` proves a crashed server with live
 //! subscriptions recovers all of them bit-identically via
 //! [`ServeState`](surge_checkpoint::ServeState).
+//!
+//! The mesh is **elastic** at both levels:
+//! [`SurgeServer::reshard_lanes`] rebuilds every ingest lane's window
+//! engine at a new shard-lane count mid-run (lane count is structural, so
+//! bit-identity holds across the switch), and [`DetectorSpec::Elastic`]
+//! groups carry their own work-stealing sweep mesh whose balancer splits
+//! hot shards from flush-boundary load — `tests/reshard_live.rs` proves
+//! both under live subscriptions, and the group's
+//! [`MeshState`](surge_checkpoint::MeshState) travels through
+//! [`ServeState`] so a recovered server resumes at the live width.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use surge_checkpoint::{
-    DetectorSpec, ServeGroupState, ServeLaneState, ServeMeta, ServeState, ServeSubState,
+    DetectorSpec, MeshState, ServeGroupState, ServeLaneState, ServeMeta, ServeState, ServeSubState,
     SpecDetector,
 };
 use surge_core::{
@@ -403,6 +413,48 @@ impl SurgeServer {
         }
     }
 
+    /// Live-reshards the **ingest mesh**: every lane's window engine is
+    /// rebuilt at `engine_lanes` shard lanes from its logical checkpoint,
+    /// without disturbing slide phase, detector state or subscription
+    /// channels. Lane count is structural — the merged transition stream
+    /// is bit-identical at every count — so answers after the reshard
+    /// match a server that ran at either width all along. Safe at any
+    /// stream position, including mid-slide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engine_lanes` is 0 (mirroring [`new`](Self::new)).
+    pub fn reshard_lanes(&mut self, engine_lanes: usize) -> Result<(), ServeError> {
+        assert!(engine_lanes > 0, "engine needs at least one lane");
+        if self.finished {
+            return Err(ServeError::Finished);
+        }
+        for lane in &mut self.lanes {
+            let state = lane.engine.checkpoint();
+            lane.engine = ShardedWindowEngine::from_state(&state, lane.region, engine_lanes)
+                .map_err(|e| ServeError::Corrupt(e.to_string()))?;
+        }
+        self.cfg.engine_lanes = engine_lanes;
+        Ok(())
+    }
+
+    /// The elastic-mesh state of the detector group serving `sub` —
+    /// `None` unless the group's flavor is [`DetectorSpec::Elastic`].
+    /// Elastic groups rebalance themselves: every flush feeds the shared
+    /// detector's balancer, so a skewed stream splits that group's sweep
+    /// mesh mid-run while every subscription keeps its bit-identical
+    /// answer stream.
+    pub fn mesh_state(&self, sub: SubId) -> Result<Option<MeshState>, ServeError> {
+        for lane in &self.lanes {
+            for group in &lane.groups {
+                if group.subs.iter().any(|s| s.id == sub) {
+                    return Ok(group.detector.mesh_state());
+                }
+            }
+        }
+        Err(ServeError::UnknownSubscription(sub))
+    }
+
     /// A subscription's answer channel: flush answers at dense 0-based
     /// seqs, `released..next_seq` retained until acked.
     pub fn answers(&self, sub: SubId) -> Result<&AnswerLog<Vec<RegionAnswer>>, ServeError> {
@@ -486,6 +538,7 @@ impl SurgeServer {
                             query: g.query,
                             spec: g.spec,
                             detector: g.detector.capture(),
+                            mesh: g.detector.mesh_state(),
                             events: g.events,
                             subs: g
                                 .subs
@@ -551,6 +604,11 @@ impl SurgeServer {
                 detector
                     .restore(&gs.detector)
                     .map_err(|e| ServeError::Corrupt(e.to_string()))?;
+                if let Some(mesh) = &gs.mesh {
+                    detector
+                        .apply_mesh(mesh)
+                        .map_err(|e| ServeError::Corrupt(e.to_string()))?;
+                }
                 let subs = gs
                     .subs
                     .iter()

@@ -156,6 +156,16 @@ impl WindowLane {
         &self.engine
     }
 
+    /// The last arrival this lane observed (`(created, id)`), tracking the
+    /// **full** stream — every lane sees every arrival, home or not — unlike
+    /// the per-lane engine, which only records its own pushes. This is the
+    /// value a merged checkpoint must carry so a restored lane set rejects
+    /// exactly the arrivals the original would have.
+    #[inline]
+    pub fn last_arrival(&self) -> Option<(Timestamp, ObjectId)> {
+        self.last_arrival
+    }
+
     /// Observes one arrival from the global stream: pushes it if this lane
     /// is its home, otherwise advances the lane clock to its timestamp.
     /// Either way the caused events are appended to `out`, in this lane's
@@ -252,6 +262,50 @@ impl LaneMerger {
     }
 }
 
+/// Merges a complete lane set's per-engine states into the **monolithic**
+/// [`EngineState`] the unsharded engine at the same stream position would
+/// capture: residents re-merged in arrival order (`(created, id)`), the
+/// clock fields from the lanes' shared schedule, `last_arrival` from the
+/// lane-level full-stream tracker (lane 0 — every lane tracks the whole
+/// stream).
+///
+/// This is both [`ShardedWindowEngine::checkpoint`] and the pause-marker
+/// half of a live reshard: the elastic driver joins its epoch's lanes,
+/// merges them here, and rebuilds lanes at the new count with
+/// [`WindowLane::from_state`] — bit-identically, because lane count is
+/// purely structural.
+///
+/// # Panics
+///
+/// Panics on an empty lane set (a mesh always has at least one lane).
+pub fn merge_lane_states(windows: WindowConfig, lanes: &[WindowLane]) -> EngineState {
+    let mut current: Vec<SpatialObject> = Vec::new();
+    let mut past: Vec<SpatialObject> = Vec::new();
+    let mut now = 0;
+    let mut last_created = 0;
+    let mut started = false;
+    for lane in lanes {
+        let state = lane.engine.checkpoint();
+        current.extend(state.current);
+        past.extend(state.past);
+        now = now.max(state.now);
+        last_created = last_created.max(state.last_created);
+        started |= state.started;
+    }
+    current.sort_by_key(|o| (o.created, o.id));
+    past.sort_by_key(|o| (o.created, o.id));
+    EngineState {
+        windows,
+        now,
+        last_created,
+        started,
+        // Every lane tracks the full arrival stream; lane 0 always exists.
+        last_arrival: lanes[0].last_arrival,
+        current,
+        past,
+    }
+}
+
 /// The sharded window engine: a drop-in for [`SlidingWindowEngine`] whose
 /// event expansion is partitioned into per-shard window lanes.
 ///
@@ -319,31 +373,7 @@ impl ShardedWindowEngine {
     /// The inverse of [`ShardedWindowEngine::from_state`]: a state captured
     /// here restores into either engine shape at any lane count.
     pub fn checkpoint(&self) -> EngineState {
-        let mut current: Vec<SpatialObject> = Vec::new();
-        let mut past: Vec<SpatialObject> = Vec::new();
-        let mut now = 0;
-        let mut last_created = 0;
-        let mut started = false;
-        for lane in &self.lanes {
-            let state = lane.engine.checkpoint();
-            current.extend(state.current);
-            past.extend(state.past);
-            now = now.max(state.now);
-            last_created = last_created.max(state.last_created);
-            started |= state.started;
-        }
-        current.sort_by_key(|o| (o.created, o.id));
-        past.sort_by_key(|o| (o.created, o.id));
-        EngineState {
-            windows: self.windows,
-            now,
-            last_created,
-            started,
-            // Every lane tracks the full arrival stream; lane 0 always exists.
-            last_arrival: self.lanes[0].last_arrival,
-            current,
-            past,
-        }
+        merge_lane_states(self.windows, &self.lanes)
     }
 
     /// The window configuration.

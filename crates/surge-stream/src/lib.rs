@@ -40,6 +40,10 @@
 //!   a latency/residency SLO with hysteresis, warm hand-offs from the live
 //!   windows, and per-answer [`AnswerQuality`] stamps
 //!   ([`drive_autopilot`]).
+//! * [`elastic`] — the elastic mesh ([`drive_elastic`]): work-stealing
+//!   sweeps at every flush, a [`ShardBalancer`] watching per-flush skew,
+//!   and live resharding that doubles the shard count at a slide boundary
+//!   — all bit-identical to the static drivers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +52,7 @@ pub mod answers;
 pub mod autopilot;
 pub mod datasets;
 pub mod driver;
+pub mod elastic;
 pub mod generator;
 pub mod lanes;
 pub mod metrics;
@@ -64,8 +69,12 @@ pub use autopilot::{
 };
 pub use datasets::{Dataset, DatasetSpec};
 pub use driver::{drive, drive_slides, drive_topk, RunStats, SlideRunStats};
+pub use elastic::{
+    drive_elastic, drive_elastic_with_sink, BalancerPolicy, ElasticReport, EpochStats,
+    ShardBalancer,
+};
 pub use generator::{BurstSpec, Hotspot, StreamGenerator, WorkloadConfig};
-pub use lanes::{LaneMerger, LaneStats, ShardedWindowEngine, WindowLane};
+pub use lanes::{merge_lane_states, LaneMerger, LaneStats, ShardedWindowEngine, WindowLane};
 pub use metrics::{LatencyHistogram, LatencySummary};
 pub use parallel::{
     drive_incremental, drive_incremental_with_sink, drive_parallel, sweep_parallel,

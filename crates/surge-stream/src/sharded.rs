@@ -35,8 +35,8 @@ use std::thread;
 use crossbeam_channel::{bounded, Receiver, Sender};
 
 use surge_core::{
-    Event, RegionAnswer, ShardAnswer, ShardRunStats, ShardWorker, ShardWorkerStats, ShardedIngest,
-    SpatialObject, WindowConfig,
+    Event, ObjectId, RegionAnswer, ShardAnswer, ShardRunStats, ShardWorker, ShardWorkerStats,
+    ShardedIngest, SpatialObject, Timestamp, WindowConfig,
 };
 
 use crate::answers::{AnswerLog, AnswerSink, RetainAll};
@@ -44,8 +44,9 @@ use crate::lanes::{LaneMerger, LaneStats, WindowLane};
 use crate::window::EventBatch;
 
 /// Objects are broadcast to shard workers in fixed-size batches to amortize
-/// channel overhead (each batch is one expansion/exchange round).
-const BATCH: usize = 256;
+/// channel overhead (each batch is one expansion/exchange round). Shared
+/// with the elastic driver ([`crate::elastic`]).
+pub(crate) const BATCH: usize = 256;
 
 /// What the driver sends each shard worker.
 enum LaneMsg {
@@ -80,8 +81,10 @@ pub struct ShardedReport {
     /// every answer under the default [`RetainAll`] sink; bounded by
     /// consumer lag under [`drive_sharded_with_sink`].
     pub answers: AnswerLog<Option<RegionAnswer>>,
-    /// The last flush's answer (after the terminal drain: `None` unless the
-    /// detector reports something for empty windows).
+    /// The terminal flush's answer (after the drain: `None` unless the
+    /// detector reports something for empty windows), tracked independently
+    /// of retention — it is correct even when an acking sink has released
+    /// every flush from [`answers`](Self::answers).
     pub final_answer: Option<RegionAnswer>,
 }
 
@@ -99,27 +102,29 @@ impl ShardedReport {
 }
 
 /// A lane batch in flight between shard workers: `(lane, events)`.
-type LaneBatch = (usize, Arc<[Event]>);
+pub(crate) type LaneBatch = (usize, Arc<[Event]>);
 
 /// Per-worker state for the expand → exchange → merge → apply round.
-struct LaneExchange {
-    lane: usize,
+/// Shared with the elastic driver ([`crate::elastic`]), whose flush rounds
+/// differ but whose exchange rounds are identical.
+pub(crate) struct LaneExchange {
+    pub(crate) lane: usize,
     /// Senders to every *other* worker's inbox, in lane order.
-    peers: Vec<Sender<LaneBatch>>,
-    inbox: Receiver<LaneBatch>,
+    pub(crate) peers: Vec<Sender<LaneBatch>>,
+    pub(crate) inbox: Receiver<LaneBatch>,
     /// Received-but-not-yet-consumed batches, per lane (a fast peer can be
     /// a round ahead; per-sender FIFO keeps each queue in round order).
-    pending: Vec<VecDeque<Arc<[Event]>>>,
-    merger: LaneMerger,
+    pub(crate) pending: Vec<VecDeque<Arc<[Event]>>>,
+    pub(crate) merger: LaneMerger,
     /// Reused assembly of the round's lane batches, in lane order.
-    round: Vec<Arc<[Event]>>,
+    pub(crate) round: Vec<Arc<[Event]>>,
 }
 
 impl LaneExchange {
     /// Shares this worker's expanded lane events with every peer, waits for
     /// the round's batch from every other lane, and applies the merged
     /// canonical sequence to `worker`.
-    fn exchange_apply<W: ShardWorker>(&mut self, expanded: &EventBatch, worker: &mut W) {
+    pub(crate) fn exchange_apply<W: ShardWorker>(&mut self, expanded: &EventBatch, worker: &mut W) {
         let own: Arc<[Event]> = Arc::from(expanded.as_slice());
         for tx in &self.peers {
             tx.send((self.lane, Arc::clone(&own))).expect("peer alive");
@@ -140,6 +145,32 @@ impl LaneExchange {
         }
         self.merger.merge(&self.round, |ev| worker.on_event(ev));
     }
+}
+
+/// Rejects an out-of-order arrival **on the driver thread**, before it is
+/// broadcast into the mesh (mirroring `SlidingWindowEngine::push`'s
+/// stale-object rejection). Without this, the first lane to observe the bad
+/// object panics inside a shard worker and the failure surfaces as a
+/// cascade of opaque `expect("peer alive")` / `expect("worker alive")`
+/// panics across the mesh — one precise error here instead of a poisoned
+/// mesh. Shared with the elastic driver.
+pub(crate) fn validate_arrival_order(
+    last: &mut Option<(Timestamp, ObjectId)>,
+    obj: &SpatialObject,
+) {
+    if let Some((t, id)) = *last {
+        assert!(
+            obj.created > t || (obj.created == t && obj.id > id),
+            "sharded drivers need a timestamp-ordered stream with increasing ids on equal \
+             timestamps: got object {} at {} after object {} at {} (rejected on the driver \
+             thread before broadcast)",
+            obj.id,
+            obj.created,
+            id,
+            t
+        );
+    }
+    *last = Some((obj.created, obj.id));
 }
 
 fn shard_worker_loop<W: ShardWorker>(
@@ -218,6 +249,10 @@ pub fn drive_sharded_with_sink<D: ShardedIngest>(
     let mut objects = 0u64;
     let mut slides = 0u64;
     let mut answers: AnswerLog<Option<RegionAnswer>> = AnswerLog::new();
+    // The terminal flush's answer, tracked independently of retention: an
+    // acking sink may release every flush from `answers`, and the report
+    // must still state the terminal answer.
+    let mut final_answer: Option<RegionAnswer> = None;
 
     let (shard_stats, lane_stats) = thread::scope(|scope| {
         let workers = detector.ingest_workers();
@@ -293,7 +328,9 @@ pub fn drive_sharded_with_sink<D: ShardedIngest>(
 
         let mut batch: Vec<SpatialObject> = Vec::with_capacity(BATCH);
         let mut in_slide = 0usize;
+        let mut last_arrival: Option<(Timestamp, ObjectId)> = None;
         for obj in source {
+            validate_arrival_order(&mut last_arrival, &obj);
             batch.push(obj);
             if batch.len() >= BATCH {
                 broadcast(&mut batch);
@@ -318,7 +355,10 @@ pub fn drive_sharded_with_sink<D: ShardedIngest>(
         for tx in &txs {
             tx.send(LaneMsg::Drain).expect("worker alive");
         }
-        answers.offer(flush(&mut batch), sink);
+        // The terminal answer is recorded before the sink can release it.
+        let ans = flush(&mut batch);
+        final_answer = ans;
+        answers.offer(ans, sink);
         slides += 1;
         drop(txs); // close channels: workers drain and finish
 
@@ -344,7 +384,7 @@ pub fn drive_sharded_with_sink<D: ShardedIngest>(
         sweeps: run.searches,
         shard_stats,
         lane_stats,
-        final_answer: answers.last().cloned().flatten(),
+        final_answer,
         answers,
     }
 }
@@ -446,6 +486,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A stream whose third arrival is *late* (earlier timestamp than its
+    /// predecessor). Pre-fix, the first lane to observe it panicked inside
+    /// a shard worker and the run died in a cascade of `expect("peer
+    /// alive")` / `expect("worker alive")` panics; now the driver thread
+    /// rejects it before broadcast with one precise message.
+    fn drive_late_arrival(shards: usize) {
+        let objs = vec![
+            SpatialObject::new(0, 1.0, Point::new(0.1, 0.1), 100),
+            SpatialObject::new(1, 1.0, Point::new(0.5, 0.5), 200),
+            SpatialObject::new(2, 1.0, Point::new(0.9, 0.9), 150), // late
+        ];
+        let mut d = CellCspot::with_shards(query(0.5), BoundMode::Combined, shards);
+        drive_sharded(&mut d, WindowConfig::equal(400), objs.into_iter(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected on the driver thread before broadcast")]
+    fn late_arrival_is_rejected_on_the_driver_thread_1_shard() {
+        drive_late_arrival(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected on the driver thread before broadcast")]
+    fn late_arrival_is_rejected_on_the_driver_thread_2_shards() {
+        drive_late_arrival(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected on the driver thread before broadcast")]
+    fn late_arrival_is_rejected_on_the_driver_thread_8_shards() {
+        drive_late_arrival(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected on the driver thread before broadcast")]
+    fn equal_timestamp_nonincreasing_id_is_rejected_on_the_driver_thread() {
+        let objs = vec![
+            SpatialObject::new(5, 1.0, Point::new(0.1, 0.1), 100),
+            SpatialObject::new(3, 1.0, Point::new(0.5, 0.5), 100), // id ties must increase
+        ];
+        let mut d = CellCspot::with_shards(query(0.5), BoundMode::Combined, 2);
+        drive_sharded(&mut d, WindowConfig::equal(400), objs.into_iter(), 8);
     }
 
     #[test]
