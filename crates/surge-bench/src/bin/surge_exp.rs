@@ -39,6 +39,11 @@
 //!                          vs static shards vs sequential (bit-identity
 //!                          and the >=2x max_shard_sweeps drop asserted
 //!                          first); writes BENCH_elastic.json
+//!   observe-bench          observability overhead: every threaded driver
+//!                          with the surge-observe layer off vs on
+//!                          (bit-identity and registry conservation
+//!                          asserted first, overhead column, registry
+//!                          export embedded); writes BENCH_observe.json
 //!   all                    everything above
 //!
 //! Options:
@@ -153,7 +158,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|window-bench|checkpoint-bench|degrade-bench|serve-bench|elastic-bench|all> \
+    "usage: surge-exp <table1|fig5|table2|fig6|fig7|table3|table4|fig8|fig9|case-study|latency|roadnet|sweep-bench|shard-bench|window-bench|checkpoint-bench|degrade-bench|serve-bench|elastic-bench|observe-bench|all> \
      [--axis window|rect|k] [--objects N] [--heavy N] [--naive N] [--seed S] \
      [--datasets uk,us,taxi] [--fast] [--paper] [--persistent on|off]"
         .to_string()
@@ -256,6 +261,23 @@ fn run_serve_bench(cfg: &ExpConfig) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the observability-overhead experiment (every threaded driver with
+/// the surge-observe layer off vs on), printing the table and writing
+/// `BENCH_observe.json` to the working directory. Bit-identity of the
+/// observed runs and conservation of the registry totals against the
+/// legacy report counters are asserted inside the experiment before
+/// anything is timed, so a successful exit is the smoke check; the JSON
+/// embeds the registry's own `to_json` export.
+fn run_observe_bench(cfg: &ExpConfig) -> Result<(), String> {
+    let (rows, registry) = experiments::observe_bench(cfg);
+    print!("{}", print::observe_bench(&rows));
+    let json = print::observe_bench_json(&rows, &registry);
+    let path = "BENCH_observe.json";
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# wrote {path}");
+    Ok(())
+}
+
 fn parse_axis(axis: &Option<String>, default: SweepAxis) -> Result<SweepAxis, String> {
     match axis.as_deref() {
         None => Ok(default),
@@ -345,6 +367,7 @@ fn run(args: &Args) -> Result<(), String> {
         "degrade-bench" => run_degrade_bench(cfg)?,
         "serve-bench" => run_serve_bench(cfg)?,
         "elastic-bench" => run_elastic_bench(cfg)?,
+        "observe-bench" => run_observe_bench(cfg)?,
         "all" => {
             print!("{}", print::table1(&experiments::table1(cfg)));
             print!(
@@ -411,6 +434,7 @@ fn run(args: &Args) -> Result<(), String> {
             run_checkpoint_bench(cfg)?;
             run_degrade_bench(cfg)?;
             run_serve_bench(cfg)?;
+            run_observe_bench(cfg)?;
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
     }

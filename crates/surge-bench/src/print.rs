@@ -644,6 +644,129 @@ pub fn serve_bench_json(rows: &[crate::experiments::ServeBenchRow]) -> String {
     out
 }
 
+/// The observability-overhead experiment as a console table. Paired rows:
+/// each driver family timed with the layer off, then on, with the overhead
+/// column on the `on` row (the acceptance bar is ≤ 5%).
+pub fn observe_bench(rows: &[crate::experiments::ObserveBenchRow]) -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = format!(
+        "\n== Observability overhead: registry + flight recorders vs Observe::off ({cpus} cpu) ==\n{:<12} {:<5} {:>9} {:>9} {:>9} {:>13} {:>12} {:>12} {:>10}\n",
+        "driver",
+        "mode",
+        "objects",
+        "events",
+        "sweeps",
+        "registry",
+        "elapsed(ms)",
+        "objects/s",
+        "overhead"
+    );
+    for r in rows {
+        let registry = if r.mode == "on" {
+            r.registry_sweeps.to_string()
+        } else {
+            "-".to_string()
+        };
+        let overhead = if r.mode == "on" {
+            format!("{:+.1}%", r.overhead_pct)
+        } else {
+            "-".to_string()
+        };
+        out.push_str(&format!(
+            "{:<12} {:<5} {:>9} {:>9} {:>9} {:>13} {:>12.1} {:>12.0} {:>10}\n",
+            r.driver,
+            r.mode,
+            r.objects,
+            r.events,
+            r.sweeps,
+            registry,
+            r.elapsed_ms,
+            r.objects_per_sec,
+            overhead
+        ));
+    }
+    out
+}
+
+/// The observability-overhead experiment as a `BENCH_observe.json`
+/// document. The enabled runs' registry is embedded verbatim via
+/// [`surge_observe::RegistrySnapshot::to_json`] under `"registry"` — the
+/// bench JSON emission rides the registry's own export, not a parallel
+/// hand-maintained encoding of the same counters.
+pub fn observe_bench_json(
+    rows: &[crate::experiments::ObserveBenchRow],
+    registry: &surge_observe::RegistrySnapshot,
+) -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out =
+        format!("{{\n  \"benchmark\": \"observe_overhead\",\n  \"cpus\": {cpus},\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"driver\": \"{}\", \"mode\": \"{}\", \"objects\": {}, \"events\": {}, \"sweeps\": {}, \"registry_sweeps\": {}, \"elapsed_ms\": {:.3}, \"objects_per_sec\": {:.1}, \"overhead_pct\": {:.2}}}{}\n",
+            r.driver,
+            r.mode,
+            r.objects,
+            r.events,
+            r.sweeps,
+            r.registry_sweeps,
+            r.elapsed_ms,
+            r.objects_per_sec,
+            r.overhead_pct,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"registry\": ");
+    out.push_str(registry.to_json().trim_end());
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod observe_tests {
+    use super::*;
+
+    #[test]
+    fn observe_bench_json_embeds_registry_export() {
+        let rows = vec![
+            crate::experiments::ObserveBenchRow {
+                driver: "sharded",
+                mode: "off",
+                objects: 10_000,
+                events: 40_000,
+                sweeps: 300,
+                registry_sweeps: 0,
+                elapsed_ms: 12.0,
+                objects_per_sec: 800_000.0,
+                overhead_pct: 0.0,
+            },
+            crate::experiments::ObserveBenchRow {
+                driver: "sharded",
+                mode: "on",
+                objects: 10_000,
+                events: 40_000,
+                sweeps: 300,
+                registry_sweeps: 300,
+                elapsed_ms: 12.3,
+                objects_per_sec: 790_000.0,
+                overhead_pct: 2.5,
+            },
+        ];
+        let obs = surge_observe::Observe::enabled();
+        obs.counter("sharded/sweeps").add(300);
+        let json = observe_bench_json(&rows, &obs.snapshot());
+        assert!(json.contains("\"benchmark\": \"observe_overhead\""));
+        assert!(json.contains("\"overhead_pct\": 2.50"));
+        // The registry export is embedded, not re-encoded.
+        assert!(json.contains("\"surge-observe-registry-v1\""));
+        assert!(json.contains("\"sharded/sweeps\": 300"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+        let table = observe_bench(&rows);
+        assert!(table.contains("overhead"));
+        assert!(table.contains("+2.5%"));
+    }
+}
+
 #[cfg(test)]
 mod serve_tests {
     use super::*;

@@ -30,6 +30,7 @@ use surge_core::{
 };
 use surge_exact::{BaseDetector, CellCspot};
 use surge_io::{BlobStore, FsStore, IoError};
+use surge_observe::{Flight, Histogram, Observe, TraceEvent};
 use surge_stream::{
     AnswerLog, AnswerSink, AutopilotDetector, EventBatch, FlushOutcome, LatencyHistogram,
     LatencySummary, QueryCore, RetainAll, ShardBalancer, SlidingWindowEngine,
@@ -461,6 +462,32 @@ struct Runner<'s> {
     /// When the current slide started (last flush end) — feeds the
     /// autopilot's slide-latency signal.
     slide_t0: Instant,
+    /// Registry/flight probes; all no-ops under `Observe::off()`.
+    probes: RunnerProbes,
+}
+
+/// The checkpoint runner's observability handles: a flight ring attributing
+/// every snapshot stall to `(slide, bytes, sync_policy)` and every WAL
+/// rotation to its segment, plus the `checkpoint/stall_ns` histogram the
+/// stalls land in. Wall-clock stall durations go to the histogram only; the
+/// trace events carry logical time, so a dump is deterministic run-to-run.
+struct RunnerProbes {
+    obs: Observe,
+    flight: Flight,
+    stall_ns: Histogram,
+    /// WAL segments seen opened so far (rotation edge detector).
+    wal_segments: u64,
+}
+
+impl RunnerProbes {
+    fn new(obs: &Observe) -> Self {
+        RunnerProbes {
+            obs: obs.clone(),
+            flight: obs.flight("checkpoint/runner"),
+            stall_ns: obs.histogram("checkpoint/stall_ns"),
+            wal_segments: 0,
+        }
+    }
 }
 
 impl Runner<'_> {
@@ -528,11 +555,24 @@ impl Runner<'_> {
             answers: self.answers.retained().to_vec(),
             mesh: self.detector.mesh_state(),
         };
-        self.dir.write_snapshot(&state)?;
+        let path = self.dir.write_snapshot(&state)?;
         self.snapshots_written += 1;
         let retained_floor = self.dir.retire_snapshots(self.cfg.policy.keep_snapshots)?;
         self.wal.gc(retained_floor.unwrap_or(0))?;
-        self.pause.record(t0.elapsed());
+        let stall = t0.elapsed();
+        self.pause.record(stall);
+        self.probes.stall_ns.record(stall);
+        if self.probes.flight.is_enabled() {
+            // Stall *identity* is logical — (slide, bytes, sync policy) —
+            // so the trace dump is deterministic; the wall-clock duration
+            // lives in the `checkpoint/stall_ns` histogram above.
+            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            self.probes.flight.record(TraceEvent::SnapshotStall {
+                slide: self.slides,
+                bytes,
+                sync_policy: self.cfg.policy.sync.name(),
+            });
+        }
         Ok(())
     }
 
@@ -553,6 +593,13 @@ impl Runner<'_> {
         if durable {
             self.wal.append(&obj)?;
             self.wal_appends += 1;
+            let segments = self.wal.segments_opened();
+            if segments != self.probes.wal_segments {
+                self.probes.wal_segments = segments;
+                self.probes
+                    .flight
+                    .record(TraceEvent::WalRotation { segment: segments });
+            }
         }
         self.batch.clear();
         self.engine.push_into(obj, &mut self.batch);
@@ -595,6 +642,15 @@ impl Runner<'_> {
             SpecDetector::Autopilot(d) => Some(d.tier().index() as u8),
             _ => None,
         };
+        if self.probes.obs.is_enabled() {
+            let obs = &self.probes.obs;
+            obs.counter("checkpoint/objects").add(self.objects);
+            obs.counter("checkpoint/slides").add(self.slides);
+            obs.counter("checkpoint/events").add(self.events);
+            obs.counter("checkpoint/snapshots_written")
+                .add(self.snapshots_written);
+            obs.counter("checkpoint/wal_appends").add(self.wal_appends);
+        }
         Ok(CheckpointReport {
             objects: self.objects,
             slides: self.slides,
@@ -635,7 +691,39 @@ pub fn run_checkpointed(
     source: impl Iterator<Item = SpatialObject>,
     tail: Tail,
 ) -> Result<CheckpointReport, CheckpointError> {
-    run_checkpointed_inner(cfg, dir, source, tail, Box::new(FsStore), &mut RetainAll)
+    run_checkpointed_inner(
+        cfg,
+        dir,
+        source,
+        tail,
+        Box::new(FsStore),
+        &mut RetainAll,
+        &Observe::off(),
+    )
+}
+
+/// [`run_checkpointed`] with registry probes: counters under
+/// `checkpoint/*`, the `checkpoint/stall_ns` snapshot-stall histogram, and
+/// a `checkpoint/runner` flight ring attributing every snapshot stall to
+/// `(slide, bytes, sync_policy)` and every WAL rotation to its segment —
+/// all no-ops under [`Observe::off`], with bitwise-identical answers either
+/// way (proptested in `tests/observe_checkpoint.rs`).
+pub fn run_checkpointed_observed(
+    cfg: &CheckpointConfig,
+    dir: impl Into<PathBuf>,
+    source: impl Iterator<Item = SpatialObject>,
+    tail: Tail,
+    obs: &Observe,
+) -> Result<CheckpointReport, CheckpointError> {
+    run_checkpointed_inner(
+        cfg,
+        dir,
+        source,
+        tail,
+        Box::new(FsStore),
+        &mut RetainAll,
+        obs,
+    )
 }
 
 /// [`run_checkpointed`] with an explicit WAL segment-file store — the
@@ -649,7 +737,15 @@ pub fn run_checkpointed_with_store(
     tail: Tail,
     store: Box<dyn BlobStore>,
 ) -> Result<CheckpointReport, CheckpointError> {
-    run_checkpointed_inner(cfg, dir, source, tail, store, &mut RetainAll)
+    run_checkpointed_inner(
+        cfg,
+        dir,
+        source,
+        tail,
+        store,
+        &mut RetainAll,
+        &Observe::off(),
+    )
 }
 
 /// [`run_checkpointed`] with a consumer [`AnswerSink`]: every flush is
@@ -663,9 +759,18 @@ pub fn run_checkpointed_with_sink(
     tail: Tail,
     sink: &mut dyn AnswerSink<Vec<RegionAnswer>>,
 ) -> Result<CheckpointReport, CheckpointError> {
-    run_checkpointed_inner(cfg, dir, source, tail, Box::new(FsStore), sink)
+    run_checkpointed_inner(
+        cfg,
+        dir,
+        source,
+        tail,
+        Box::new(FsStore),
+        sink,
+        &Observe::off(),
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_checkpointed_inner(
     cfg: &CheckpointConfig,
     dir: impl Into<PathBuf>,
@@ -673,6 +778,7 @@ fn run_checkpointed_inner(
     tail: Tail,
     store: Box<dyn BlobStore>,
     sink: &mut dyn AnswerSink<Vec<RegionAnswer>>,
+    obs: &Observe,
 ) -> Result<CheckpointReport, CheckpointError> {
     check_cfg(cfg)?;
     let dir = CheckpointDir::create(dir)?;
@@ -703,6 +809,7 @@ fn run_checkpointed_inner(
         wal_appends: 0,
         pause: LatencyHistogram::new(),
         slide_t0: Instant::now(),
+        probes: RunnerProbes::new(obs),
     };
     runner.run(source, tail, None, 0, 0)
 }
@@ -830,6 +937,7 @@ pub fn recover_with_sink(
         wal_appends: 0,
         pause: LatencyHistogram::new(),
         slide_t0: Instant::now(),
+        probes: RunnerProbes::new(&Observe::off()),
     };
 
     // Replay the WAL tail through the identical loop (not re-appended).

@@ -56,9 +56,9 @@ pub mod store;
 pub mod wal;
 
 pub use driver::{
-    recover, recover_with_sink, run_checkpointed, run_checkpointed_with_sink,
-    run_checkpointed_with_store, CheckpointConfig, CheckpointError, CheckpointPolicy,
-    CheckpointReport, SpecDetector, SyncPolicy, Tail,
+    recover, recover_with_sink, run_checkpointed, run_checkpointed_observed,
+    run_checkpointed_with_sink, run_checkpointed_with_store, CheckpointConfig, CheckpointError,
+    CheckpointPolicy, CheckpointReport, SpecDetector, SyncPolicy, Tail,
 };
 pub use serve::{ServeGroupState, ServeLaneState, ServeMeta, ServeState, ServeSubState};
 pub use state::{CheckpointMeta, CheckpointState, DetectorSpec, MeshState};

@@ -1,0 +1,36 @@
+//! # surge-observe
+//!
+//! The unified observability layer for the SURGE stack: a metrics registry
+//! of named counters/gauges/latency histograms with hierarchical labels,
+//! per-worker flight recorders (fixed-size rings of logical-time-stamped
+//! trace events), and the [`Observe`] handle every driver threads through.
+//!
+//! * [`metrics`] — [`LatencyHistogram`] / [`LatencySummary`], the
+//!   log-bucketed histogram previously homed in `surge-stream` (which
+//!   still re-exports it).
+//! * [`registry`] — [`MetricsRegistry`], the cheap record handles
+//!   ([`Counter`], [`Gauge`], [`Histogram`], [`Flight`]), the [`Observe`]
+//!   entry point, and snapshot export to JSON and Prometheus text.
+//! * [`flight`] — [`FlightRecorder`] rings and the [`TraceEvent`] schema.
+//!
+//! The layer's central contract is **non-invasiveness**: a run with
+//! [`Observe::off`] and a run with an enabled handle produce bitwise
+//! identical answer streams (differentially proptested across every driver
+//! family in `surge-stream`/`surge-checkpoint`), and registry totals are
+//! conserved against the legacy per-driver report counters. Trace events
+//! carry only logical time (slide/flush sequence numbers), so flight dumps
+//! are deterministic — same run, same dump, ring wrap included.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod metrics;
+pub mod registry;
+
+pub use flight::{FlightDump, FlightRecorder, TraceDump, TraceEvent};
+pub use metrics::{LatencyHistogram, LatencySummary};
+pub use registry::{
+    Counter, Flight, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Observe, PanicDumpGuard,
+    RegistrySnapshot, DEFAULT_FLIGHT_CAPACITY,
+};

@@ -54,6 +54,7 @@ use surge_checkpoint::{
 use surge_core::{
     QueryKey, QueryKeyError, RegionAnswer, RegionSize, SpatialObject, SurgeQuery, WindowConfig,
 };
+use surge_observe::{Counter, Flight, Observe, RegistrySnapshot, TraceDump, TraceEvent};
 use surge_stream::{AnswerLog, EventBatch, ShardedWindowEngine};
 
 /// Opaque subscription handle issued by [`SurgeServer::subscribe`].
@@ -174,14 +175,43 @@ struct Group {
 }
 
 impl Group {
-    fn flush_to_subs(&mut self, threads: usize) {
+    fn flush_to_subs(&mut self, threads: usize) -> u64 {
         let outcome = self.detector.flush(threads);
+        let produced = outcome.len() as u64;
         // Last subscriber takes the vector itself; earlier ones clone.
         let (last, rest) = self.subs.split_last_mut().expect("groups are never empty");
         for sub in rest {
             sub.log.push(outcome.clone());
         }
         last.log.push(outcome);
+        produced
+    }
+}
+
+/// The server's observability handles: registry counters for the shared
+/// ingest, occupancy gauges synced on every subscribe/unsubscribe, and a
+/// flight ring tracing lane flushes in logical time. All no-ops until
+/// [`SurgeServer::observe`] attaches an enabled [`Observe`]; the answer
+/// streams are bitwise identical either way.
+struct ServeProbes {
+    obs: Observe,
+    objects: Counter,
+    slides: Counter,
+    flight: Flight,
+}
+
+impl ServeProbes {
+    fn new(obs: &Observe) -> Self {
+        ServeProbes {
+            obs: obs.clone(),
+            objects: obs.counter("serve/objects"),
+            slides: obs.counter("serve/slides"),
+            flight: obs.flight("serve/ingest"),
+        }
+    }
+
+    fn off() -> Self {
+        Self::new(&Observe::off())
     }
 }
 
@@ -212,7 +242,13 @@ impl Lane {
     /// Mirrors `QueryRuntime::push` for every group at once: expand the
     /// arrival once, deliver the events to each detector, flush everyone
     /// when the slide completes.
-    fn push(&mut self, object: SpatialObject, slide_objects: usize, threads: usize) {
+    fn push(
+        &mut self,
+        object: SpatialObject,
+        slide_objects: usize,
+        threads: usize,
+        probes: &ServeProbes,
+    ) {
         self.batch.clear();
         self.engine.push_into(object, &mut self.batch);
         for group in &mut self.groups {
@@ -224,16 +260,16 @@ impl Lane {
         self.in_slide += 1;
         if self.in_slide >= slide_objects {
             self.in_slide = 0;
-            self.flush(threads);
+            self.flush(threads, probes);
         }
     }
 
     /// Mirrors `QueryRuntime::finish`: partial-slide flush, engine drain,
     /// terminal flush.
-    fn finish(&mut self, threads: usize) {
+    fn finish(&mut self, threads: usize, probes: &ServeProbes) {
         if self.in_slide > 0 {
             self.in_slide = 0;
-            self.flush(threads);
+            self.flush(threads, probes);
         }
         self.batch.clear();
         self.engine.finish_into(&mut self.batch);
@@ -243,14 +279,23 @@ impl Lane {
             }
             group.events += self.batch.len() as u64;
         }
-        self.flush(threads);
+        self.flush(threads, probes);
     }
 
-    fn flush(&mut self, threads: usize) {
-        self.slides += 1;
+    fn flush(&mut self, threads: usize, probes: &ServeProbes) {
+        probes
+            .flight
+            .record(TraceEvent::FlushStart { seq: self.slides });
+        let mut produced = 0u64;
         for group in &mut self.groups {
-            group.flush_to_subs(threads);
+            produced += group.flush_to_subs(threads);
         }
+        probes.flight.record(TraceEvent::FlushEnd {
+            seq: self.slides,
+            answers: produced,
+        });
+        probes.slides.inc();
+        self.slides += 1;
     }
 }
 
@@ -264,6 +309,7 @@ pub struct SurgeServer {
     snapshot_seq: u64,
     finished: bool,
     lanes: Vec<Lane>,
+    probes: ServeProbes,
 }
 
 impl SurgeServer {
@@ -285,6 +331,47 @@ impl SurgeServer {
             snapshot_seq: 0,
             finished: false,
             lanes: Vec::new(),
+            probes: ServeProbes::off(),
+        }
+    }
+
+    /// Attaches an observability handle: `serve/objects` and `serve/slides`
+    /// counters, `serve/lanes|groups|subscriptions` occupancy gauges (kept
+    /// in sync on every subscribe/unsubscribe), and a `serve/ingest` flight
+    /// ring tracing lane flushes in logical time. Attaching [`Observe::off`]
+    /// detaches. The answer streams are bitwise identical with observability
+    /// on or off — the serving layer's non-invasiveness contract.
+    pub fn observe(&mut self, obs: &Observe) {
+        self.probes = ServeProbes::new(obs);
+        self.sync_occupancy();
+    }
+
+    /// A point-in-time snapshot of the attached metrics registry, or `None`
+    /// when observability is off — the live server-stats surface
+    /// ([`RegistrySnapshot::to_json`] / [`RegistrySnapshot::to_prometheus`]
+    /// render it for transport).
+    pub fn registry_snapshot(&self) -> Option<RegistrySnapshot> {
+        self.probes
+            .obs
+            .is_enabled()
+            .then(|| self.probes.obs.snapshot())
+    }
+
+    /// Dumps every flight-recorder ring of the attached [`Observe`] handle
+    /// (non-destructively). Empty when observability is off.
+    pub fn trace_dump(&self) -> TraceDump {
+        self.probes.obs.trace_dump()
+    }
+
+    /// Re-points the occupancy gauges at the current registry shape.
+    fn sync_occupancy(&self) {
+        if self.probes.obs.is_enabled() {
+            let stats = self.stats();
+            let obs = &self.probes.obs;
+            obs.gauge("serve/lanes").set(stats.lanes as i64);
+            obs.gauge("serve/groups").set(stats.groups as i64);
+            obs.gauge("serve/subscriptions")
+                .set(stats.subscriptions as i64);
         }
     }
 
@@ -365,6 +452,7 @@ impl SurgeServer {
                 subs: vec![sub],
             }),
         }
+        self.sync_occupancy();
         Ok(id)
     }
 
@@ -378,6 +466,7 @@ impl SurgeServer {
                     let removed = group.subs.remove(pos);
                     lane.groups.retain(|g| !g.subs.is_empty());
                     self.lanes.retain(|l| !l.groups.is_empty());
+                    self.sync_occupancy();
                     return Ok(removed.log);
                 }
             }
@@ -395,8 +484,14 @@ impl SurgeServer {
     pub fn ingest(&mut self, object: SpatialObject) {
         assert!(!self.finished, "SurgeServer::ingest after finish");
         self.objects_ingested += 1;
+        self.probes.objects.inc();
         for lane in &mut self.lanes {
-            lane.push(object, self.cfg.slide_objects, self.cfg.threads);
+            lane.push(
+                object,
+                self.cfg.slide_objects,
+                self.cfg.threads,
+                &self.probes,
+            );
         }
     }
 
@@ -409,7 +504,7 @@ impl SurgeServer {
         }
         self.finished = true;
         for lane in &mut self.lanes {
-            lane.finish(self.cfg.threads);
+            lane.finish(self.cfg.threads, &self.probes);
         }
     }
 
@@ -651,6 +746,7 @@ impl SurgeServer {
             snapshot_seq: meta.snapshot_seq + 1,
             finished: false,
             lanes,
+            probes: ServeProbes::off(),
         })
     }
 

@@ -31,6 +31,7 @@ use surge_core::{
     RegionAnswer, RestoreError, SpatialObject, SurgeQuery,
 };
 use surge_exact::{BoundMode, CellCspot};
+use surge_observe::{Flight, Observe, TraceEvent};
 
 use crate::answers::{AnswerLog, AnswerSink, RetainAll};
 use crate::metrics::{LatencyHistogram, LatencySummary};
@@ -587,6 +588,36 @@ pub fn drive_autopilot_with_sink(
     slide_objects: usize,
     sink: &mut impl AnswerSink<(Option<RegionAnswer>, AnswerQuality)>,
 ) -> AutopilotReport {
+    drive_autopilot_observed(
+        detector,
+        engine,
+        source,
+        slide_objects,
+        sink,
+        &Observe::off(),
+    )
+}
+
+/// [`drive_autopilot_with_sink`] with registry probes: counters and latency
+/// histograms under `autopilot/*` (total and per tier, e.g.
+/// `autopilot/tier=MGAPS/latency_ns`) and a driver flight ring recording a
+/// [`TraceEvent::TierSwitch`] at every controller transition, stamped with
+/// the slide that triggered it. The wall-clock latencies live in the
+/// histograms only; the trace carries logical time and tier names, so a
+/// residency-driven run dumps identically run-to-run. Disabled `obs` is a
+/// no-op and the answers are bitwise identical either way (proptested).
+///
+/// # Panics
+///
+/// Panics if `slide_objects` is 0.
+pub fn drive_autopilot_observed(
+    detector: &mut AutopilotDetector,
+    engine: &mut SlidingWindowEngine,
+    source: impl Iterator<Item = SpatialObject>,
+    slide_objects: usize,
+    sink: &mut impl AnswerSink<(Option<RegionAnswer>, AnswerQuality)>,
+    obs: &Observe,
+) -> AutopilotReport {
     assert!(slide_objects > 0, "slide must contain at least one object");
     struct Acc {
         slides: u64,
@@ -595,6 +626,7 @@ pub fn drive_autopilot_with_sink(
         tier_latency: [LatencyHistogram; 3],
         transitions: u64,
         slide_t0: Instant,
+        flight: Flight,
     }
     fn flush_slide(
         acc: &mut Acc,
@@ -608,14 +640,21 @@ pub fn drive_autopilot_with_sink(
         let dt = acc.slide_t0.elapsed();
         acc.slide_latency.record(dt);
         acc.tier_latency[tier.index()].record(dt);
-        acc.slides += 1;
         let latency_us = (dt.as_nanos() / 1_000).min(u64::MAX as u128) as u64;
-        if detector.note_slide(latency_us, engine).is_some() {
+        if let Some((from, to)) = detector.note_slide(latency_us, engine) {
             acc.transitions += 1;
+            acc.flight.record(TraceEvent::TierSwitch {
+                seq: acc.slides,
+                from: from.name(),
+                to: to.name(),
+            });
         }
+        acc.slides += 1;
         acc.slide_t0 = Instant::now();
     }
 
+    let enabled = obs.is_enabled();
+    let _panic_dump = obs.panic_dump_guard("drive_autopilot");
     let mut objects = 0u64;
     let mut events = 0u64;
     let mut batch = EventBatch::new();
@@ -627,6 +666,7 @@ pub fn drive_autopilot_with_sink(
         tier_latency: std::array::from_fn(|_| LatencyHistogram::new()),
         transitions: 0,
         slide_t0: Instant::now(),
+        flight: obs.flight("autopilot/driver"),
     };
 
     for obj in source {
@@ -654,6 +694,25 @@ pub fn drive_autopilot_with_sink(
     }
     events += batch.len() as u64;
     flush_slide(&mut acc, detector, engine, sink);
+
+    let slides_in_tier = detector.controller().slides_in_tier();
+    if enabled {
+        obs.counter("autopilot/objects").add(objects);
+        obs.counter("autopilot/events").add(events);
+        obs.counter("autopilot/slides").add(acc.slides);
+        obs.counter("autopilot/transitions").add(acc.transitions);
+        obs.gauge("autopilot/final_tier")
+            .set(detector.tier().index() as i64);
+        obs.histogram("autopilot/slide_latency_ns")
+            .merge(&acc.slide_latency);
+        for (i, &slides) in slides_in_tier.iter().enumerate() {
+            let name = Tier::from_index(i).expect("three tiers").name();
+            obs.counter(&format!("autopilot/tier={name}/slides"))
+                .add(slides);
+            obs.histogram(&format!("autopilot/tier={name}/latency_ns"))
+                .merge(&acc.tier_latency[i]);
+        }
+    }
 
     AutopilotReport {
         objects,

@@ -219,6 +219,29 @@ pub fn drive_slides<D: BurstDetector + ?Sized>(
     source: impl Iterator<Item = SpatialObject>,
     slide_objects: usize,
 ) -> SlideRunStats {
+    drive_slides_observed(
+        detector,
+        engine,
+        region,
+        source,
+        slide_objects,
+        &surge_observe::Observe::off(),
+    )
+}
+
+/// [`drive_slides`] with registry probes attached under `driver/slides`
+/// (counters `objects`/`events`/`slides`/`jobs` plus per-flush trace
+/// events). With a disabled handle this *is* `drive_slides`; with an
+/// enabled one the answers are still bitwise identical — the
+/// observe-on/off differential proptests pin that down.
+pub fn drive_slides_observed<D: BurstDetector + ?Sized>(
+    detector: &mut D,
+    engine: &mut SlidingWindowEngine,
+    region: RegionSize,
+    source: impl Iterator<Item = SpatialObject>,
+    slide_objects: usize,
+    obs: &surge_observe::Observe,
+) -> SlideRunStats {
     /// Dirty-cell-accounting face of a plain [`BurstDetector`]: flush
     /// drains the tracker (the slide's dirty-cell count becomes the flush's
     /// maintenance units) and refreshes the continuous answer.
@@ -250,6 +273,7 @@ pub fn drive_slides<D: BurstDetector + ?Sized>(
         tracker: DirtyCellTracker::new(region),
     };
     let mut rt = QueryRuntime::over(core, engine, slide_objects, 1);
+    rt.observe(obs, "driver/slides");
     rt.run(source, |_, _| {});
     let counters = *rt.counters();
     let core = rt.into_core();

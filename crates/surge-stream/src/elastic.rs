@@ -47,6 +47,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 
@@ -54,10 +55,11 @@ use surge_core::{
     shard_of_cell, ElasticIngest, ElasticWorker, EngineState, ObjectId, RegionAnswer, RegionSize,
     ShardAnswer, ShardRunStats, ShardWorkerStats, SpatialObject, Timestamp, WindowConfig,
 };
+use surge_observe::{Flight, Observe, TraceEvent};
 
 use crate::answers::{AnswerLog, AnswerSink, RetainAll};
 use crate::lanes::{merge_lane_states, LaneMerger, LaneStats, WindowLane};
-use crate::sharded::{validate_arrival_order, LaneBatch, LaneExchange, BATCH};
+use crate::sharded::{validate_arrival_order, LaneBatch, LaneExchange, BATCH, WATCHDOG_SEND};
 use crate::window::EventBatch;
 
 /// When the [`ShardBalancer`] recommends splitting the mesh.
@@ -397,8 +399,11 @@ fn elastic_flush<D: ElasticIngest>(
     region: RegionSize,
     shard_sweeps: &mut [u64],
     stolen_total: &mut u64,
+    flight: &Flight,
+    seq: u64,
 ) -> (Option<RegionAnswer>, Vec<u64>, Vec<u64>) {
     let n = txs.len();
+    flight.record(TraceEvent::FlushStart { seq });
     // Phase 1: dirty counts.
     for tx in txs {
         tx.send(ElasticMsg::FlushBegin).expect("worker alive");
@@ -438,6 +443,10 @@ fn elastic_flush<D: ElasticIngest>(
             }
         }
         *stolen_total += plan.stolen as u64;
+        flight.record(TraceEvent::StealPlan {
+            seq,
+            moved: plan.stolen as u64,
+        });
     }
 
     // Phase 3: everyone sweeps — stolen jobs first, then kept cells.
@@ -479,7 +488,12 @@ fn elastic_flush<D: ElasticIngest>(
             _ => unreachable!("protocol: Install answers with Answer"),
         }
     }
-    (best.map(|b| b.answer(region)), dirty, transitions)
+    let merged = best.map(|b| b.answer(region));
+    flight.record(TraceEvent::FlushEnd {
+        seq,
+        answers: merged.is_some() as u64,
+    });
+    (merged, dirty, transitions)
 }
 
 /// Drives `source` into an [`ElasticIngest`] detector with one worker per
@@ -521,7 +535,43 @@ pub fn drive_elastic_with_sink<D: ElasticIngest>(
     policy: BalancerPolicy,
     sink: &mut impl AnswerSink<Option<RegionAnswer>>,
 ) -> ElasticReport {
+    drive_elastic_observed(
+        detector,
+        windows,
+        source,
+        slide_objects,
+        policy,
+        sink,
+        &Observe::off(),
+    )
+}
+
+/// [`drive_elastic_with_sink`] with registry probes: driver counters under
+/// `elastic/*`, per-epoch shard-sweep counters
+/// (`elastic/epoch=E/shard=S/sweeps`), and a driver flight ring that traces
+/// every flush, steal plan and reshard epoch in logical time. Stolen-cell
+/// counts and reshard decisions are already deterministic (see the module
+/// docs), so the trace dump is identical run-to-run; a disabled `obs`
+/// compiles the probes down to a branch on `None` and the answers are
+/// bitwise identical either way (proptested).
+///
+/// # Panics
+///
+/// Same as [`drive_elastic`].
+pub fn drive_elastic_observed<D: ElasticIngest>(
+    detector: &mut D,
+    windows: WindowConfig,
+    source: impl Iterator<Item = SpatialObject>,
+    slide_objects: usize,
+    policy: BalancerPolicy,
+    sink: &mut impl AnswerSink<Option<RegionAnswer>>,
+    obs: &Observe,
+) -> ElasticReport {
     assert!(slide_objects > 0, "slide must contain at least one object");
+    let enabled = obs.is_enabled();
+    let driver_flight = obs.flight("elastic/driver");
+    let _panic_dump = obs.panic_dump_guard("drive_elastic");
+    let watchdog_fired = std::cell::Cell::new(false);
     let region = detector.region_size();
     let mut source = source.fuse();
     let mut balancer = ShardBalancer::new(policy);
@@ -601,12 +651,29 @@ pub fn drive_elastic_with_sink<D: ElasticIngest>(
             }
             drop(mesh_txs);
 
-            let broadcast = |batch: &mut Vec<SpatialObject>| {
+            let broadcast = |batch: &mut Vec<SpatialObject>, seq: u64| {
                 if !batch.is_empty() {
                     let shared: Arc<[SpatialObject]> = std::mem::take(batch).into();
-                    for tx in &txs {
-                        tx.send(ElasticMsg::Objects(Arc::clone(&shared)))
-                            .expect("worker alive");
+                    for (shard, tx) in txs.iter().enumerate() {
+                        if enabled {
+                            // Same reporting-only backpressure watchdog as
+                            // the sharded driver.
+                            let start = Instant::now();
+                            tx.send(ElasticMsg::Objects(Arc::clone(&shared)))
+                                .expect("worker alive");
+                            if start.elapsed() >= WATCHDOG_SEND {
+                                driver_flight.record(TraceEvent::Backpressure {
+                                    seq,
+                                    shard: shard as u32,
+                                });
+                                if !watchdog_fired.replace(true) {
+                                    eprintln!("{}", obs.trace_dump());
+                                }
+                            }
+                        } else {
+                            tx.send(ElasticMsg::Objects(Arc::clone(&shared)))
+                                .expect("worker alive");
+                        }
                     }
                 }
             };
@@ -623,18 +690,20 @@ pub fn drive_elastic_with_sink<D: ElasticIngest>(
                 validate_arrival_order(&mut last_arrival, &obj);
                 batch.push(obj);
                 if batch.len() >= BATCH {
-                    broadcast(&mut batch);
+                    broadcast(&mut batch, slides);
                 }
                 objects += 1;
                 in_slide += 1;
                 if in_slide >= slide_objects {
-                    broadcast(&mut batch);
+                    broadcast(&mut batch, slides);
                     let (ans, dirty, transitions) = elastic_flush::<D>(
                         &txs,
                         &reply_rxs,
                         region,
                         &mut shard_sweeps,
                         &mut epoch_stolen,
+                        &driver_flight,
+                        slides,
                     );
                     answers.offer(ans, sink);
                     slides += 1;
@@ -658,19 +727,21 @@ pub fn drive_elastic_with_sink<D: ElasticIngest>(
                 // flush, mirroring the sharded driver (no balancing on the
                 // tail — there is nothing left to balance for).
                 if in_slide > 0 {
-                    broadcast(&mut batch);
+                    broadcast(&mut batch, slides);
                     let (ans, _, _) = elastic_flush::<D>(
                         &txs,
                         &reply_rxs,
                         region,
                         &mut shard_sweeps,
                         &mut epoch_stolen,
+                        &driver_flight,
+                        slides,
                     );
                     answers.offer(ans, sink);
                     slides += 1;
                     epoch_slides += 1;
                 }
-                broadcast(&mut batch);
+                broadcast(&mut batch, slides);
                 for tx in &txs {
                     tx.send(ElasticMsg::Drain).expect("worker alive");
                 }
@@ -680,6 +751,8 @@ pub fn drive_elastic_with_sink<D: ElasticIngest>(
                     region,
                     &mut shard_sweeps,
                     &mut epoch_stolen,
+                    &driver_flight,
+                    slides,
                 );
                 final_answer = ans;
                 answers.offer(ans, sink);
@@ -724,6 +797,12 @@ pub fn drive_elastic_with_sink<D: ElasticIngest>(
         match end {
             EpochEnd::Done => break,
             EpochEnd::Reshard(to) => {
+                let from = epochs.last().map_or(0, |e| e.shards);
+                driver_flight.record(TraceEvent::ReshardEpoch {
+                    epoch: epochs.len() as u64,
+                    from: from as u32,
+                    to: to as u32,
+                });
                 paused = Some(merge_lane_states(windows, &joined));
                 detector.reshard(to);
                 reshards += 1;
@@ -732,6 +811,30 @@ pub fn drive_elastic_with_sink<D: ElasticIngest>(
     }
 
     detector.absorb_shard_run(run);
+
+    if enabled {
+        // Registry totals match the report exactly; the per-epoch breakdown
+        // exposes the stealing/resharding story the flat report sums away.
+        obs.counter("elastic/objects").add(objects);
+        obs.counter("elastic/events").add(run.events);
+        obs.counter("elastic/slides").add(slides);
+        obs.counter("elastic/sweeps").add(run.searches);
+        obs.counter("elastic/stolen").add(stolen);
+        obs.counter("elastic/reshards").add(reshards);
+        obs.gauge("elastic/final_shards")
+            .set(detector.mesh_shards() as i64);
+        for (e, ep) in epochs.iter().enumerate() {
+            obs.counter(&format!("elastic/epoch={e}/slides"))
+                .add(ep.slides);
+            obs.counter(&format!("elastic/epoch={e}/stolen"))
+                .add(ep.stolen);
+            for (s, sw) in ep.shard_sweeps.iter().enumerate() {
+                obs.counter(&format!("elastic/epoch={e}/shard={s}/sweeps"))
+                    .add(*sw);
+            }
+        }
+    }
+
     ElasticReport {
         objects,
         events: run.events,

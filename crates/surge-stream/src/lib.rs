@@ -64,23 +64,25 @@ pub mod window;
 
 pub use answers::{Ack, AnswerLog, AnswerSink, RetainAll};
 pub use autopilot::{
-    drive_autopilot, drive_autopilot_with_sink, AnswerQuality, AutopilotDetector, AutopilotReport,
-    DegradationController, SloPolicy, Tier,
+    drive_autopilot, drive_autopilot_observed, drive_autopilot_with_sink, AnswerQuality,
+    AutopilotDetector, AutopilotReport, DegradationController, SloPolicy, Tier,
 };
 pub use datasets::{Dataset, DatasetSpec};
-pub use driver::{drive, drive_slides, drive_topk, RunStats, SlideRunStats};
+pub use driver::{drive, drive_slides, drive_slides_observed, drive_topk, RunStats, SlideRunStats};
 pub use elastic::{
-    drive_elastic, drive_elastic_with_sink, BalancerPolicy, ElasticReport, EpochStats,
-    ShardBalancer,
+    drive_elastic, drive_elastic_observed, drive_elastic_with_sink, BalancerPolicy, ElasticReport,
+    EpochStats, ShardBalancer,
 };
 pub use generator::{BurstSpec, Hotspot, StreamGenerator, WorkloadConfig};
 pub use lanes::{merge_lane_states, LaneMerger, LaneStats, ShardedWindowEngine, WindowLane};
 pub use metrics::{LatencyHistogram, LatencySummary};
 pub use parallel::{
-    drive_incremental, drive_incremental_with_sink, drive_parallel, sweep_parallel,
-    IncrementalReport, ParallelReport,
+    drive_incremental, drive_incremental_observed, drive_incremental_with_sink, drive_parallel,
+    sweep_parallel, IncrementalReport, ParallelReport,
 };
-pub use runtime::{FlushOutcome, QueryCore, QueryRuntime, RuntimeCounters, WindowEngine};
-pub use sharded::{drive_sharded, drive_sharded_with_sink, ShardedReport};
+pub use runtime::{
+    FlushOutcome, QueryCore, QueryRuntime, RuntimeCounters, RuntimeProbes, WindowEngine,
+};
+pub use sharded::{drive_sharded, drive_sharded_observed, drive_sharded_with_sink, ShardedReport};
 pub use text::{GeoMessage, KeywordQuery, TextStreamGenerator, Topic, TopicBurst, Vocabulary};
 pub use window::{DirtyCellTracker, EventBatch, SlidingWindowEngine};

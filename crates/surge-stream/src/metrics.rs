@@ -1,306 +1,9 @@
-//! Per-object latency metrics.
+//! Per-object latency metrics — re-exported from `surge-observe`.
 //!
-//! The paper reports only the *mean* processing time per object; a
-//! production system also needs tail behavior (the exact detector's cost is
-//! extremely bimodal — most events touch only upper bounds, a few trigger an
-//! `O(|c_max|²)` sweep). [`LatencyHistogram`] is a log-bucketed histogram in
-//! the style of HdrHistogram, sized for nanosecond-to-minute latencies with
-//! ≤ ~4% relative quantile error, constant memory, and O(1) recording.
+//! The log-bucketed [`LatencyHistogram`] started life here; when the
+//! unified observability layer landed it moved to `surge-observe` (where
+//! the registry owns named histograms). This module keeps every historical
+//! `surge_stream::metrics::*` / `surge_stream::LatencyHistogram` import
+//! working unchanged.
 
-/// Number of sub-buckets per power of two (quantile resolution).
-const SUBBUCKETS: usize = 16;
-/// Number of powers of two covered (2^0 .. 2^41 ns ≈ 36 minutes).
-const EXPONENTS: usize = 42;
-
-/// A log-bucketed latency histogram over nanosecond samples.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    sum_ns: u128,
-    max_ns: u64,
-    min_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: vec![0; SUBBUCKETS * EXPONENTS],
-            total: 0,
-            sum_ns: 0,
-            max_ns: 0,
-            min_ns: u64::MAX,
-        }
-    }
-
-    fn bucket_of(ns: u64) -> usize {
-        if ns < SUBBUCKETS as u64 {
-            return ns as usize;
-        }
-        let exp = 63 - ns.leading_zeros() as usize; // floor(log2(ns)), >= 4
-        let shift = exp - SUBBUCKETS.trailing_zeros() as usize; // exp - 4
-        let sub = ((ns >> shift) as usize) & (SUBBUCKETS - 1);
-        let idx = (shift + 1) * SUBBUCKETS + sub;
-        idx.min(SUBBUCKETS * EXPONENTS - 1)
-    }
-
-    /// The representative (upper-bound) value of a bucket.
-    fn bucket_value(idx: usize) -> u64 {
-        let row = idx / SUBBUCKETS;
-        let sub = (idx % SUBBUCKETS) as u64;
-        if row == 0 {
-            sub
-        } else {
-            let shift = row - 1;
-            ((SUBBUCKETS as u64 + sub) << shift) + ((1u64 << shift) - 1)
-        }
-    }
-
-    /// Records one latency sample.
-    #[inline]
-    pub fn record(&mut self, duration: std::time::Duration) {
-        self.record_ns(duration.as_nanos().min(u64::MAX as u128) as u64);
-    }
-
-    /// Records one latency sample in nanoseconds.
-    pub fn record_ns(&mut self, ns: u64) {
-        self.counts[Self::bucket_of(ns)] += 1;
-        self.total += 1;
-        self.sum_ns += ns as u128;
-        self.max_ns = self.max_ns.max(ns);
-        self.min_ns = self.min_ns.min(ns);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Mean latency in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum_ns as f64 / self.total as f64
-        }
-    }
-
-    /// Exact maximum recorded sample (0 when empty).
-    pub fn max_ns(&self) -> u64 {
-        if self.total == 0 {
-            0
-        } else {
-            self.max_ns
-        }
-    }
-
-    /// Exact minimum recorded sample (0 when empty).
-    pub fn min_ns(&self) -> u64 {
-        if self.total == 0 {
-            0
-        } else {
-            self.min_ns
-        }
-    }
-
-    /// The latency at quantile `q ∈ [0, 1]`, within the bucket resolution
-    /// (≤ ~1/16 relative error). 0 when empty.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Self::bucket_value(i).min(self.max_ns);
-            }
-        }
-        self.max_ns
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_ns += other.sum_ns;
-        self.max_ns = self.max_ns.max(other.max_ns);
-        self.min_ns = self.min_ns.min(other.min_ns);
-    }
-
-    /// A one-line summary: `n / mean / p50 / p95 / p99 / max`, in
-    /// microseconds.
-    pub fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            count: self.total,
-            mean_us: self.mean_ns() / 1e3,
-            p50_us: self.quantile_ns(0.50) as f64 / 1e3,
-            p95_us: self.quantile_ns(0.95) as f64 / 1e3,
-            p99_us: self.quantile_ns(0.99) as f64 / 1e3,
-            max_us: self.max_ns() as f64 / 1e3,
-        }
-    }
-}
-
-/// The headline percentiles of a [`LatencyHistogram`], in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LatencySummary {
-    /// Number of samples.
-    pub count: u64,
-    /// Mean latency.
-    pub mean_us: f64,
-    /// Median latency.
-    pub p50_us: f64,
-    /// 95th percentile.
-    pub p95_us: f64,
-    /// 99th percentile.
-    pub p99_us: f64,
-    /// Maximum.
-    pub max_us: f64,
-}
-
-impl std::fmt::Display for LatencySummary {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "n={} mean={:.2}us p50={:.2}us p95={:.2}us p99={:.2}us max={:.2}us",
-            self.count, self.mean_us, self.p50_us, self.p95_us, self.p99_us, self.max_us
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram_is_zeroed() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean_ns(), 0.0);
-        assert_eq!(h.quantile_ns(0.5), 0);
-        assert_eq!(h.max_ns(), 0);
-        assert_eq!(h.min_ns(), 0);
-    }
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut h = LatencyHistogram::new();
-        for ns in [0u64, 1, 5, 15] {
-            h.record_ns(ns);
-        }
-        assert_eq!(h.count(), 4);
-        assert_eq!(h.min_ns(), 0);
-        assert_eq!(h.max_ns(), 15);
-        assert_eq!(h.quantile_ns(0.0), 0);
-        assert_eq!(h.quantile_ns(1.0), 15);
-    }
-
-    #[test]
-    fn mean_is_exact() {
-        let mut h = LatencyHistogram::new();
-        h.record_ns(100);
-        h.record_ns(300);
-        assert_eq!(h.mean_ns(), 200.0);
-    }
-
-    #[test]
-    fn quantiles_have_bounded_relative_error() {
-        let mut h = LatencyHistogram::new();
-        // 1..=10_000 uniformly.
-        for v in 1..=10_000u64 {
-            h.record_ns(v * 100);
-        }
-        for &(q, expect) in &[(0.5, 500_000.0), (0.95, 950_000.0), (0.99, 990_000.0)] {
-            let got = h.quantile_ns(q) as f64;
-            let rel = (got - expect).abs() / expect;
-            assert!(rel < 0.08, "q={q}: got {got}, want ~{expect} (rel {rel})");
-        }
-    }
-
-    #[test]
-    fn quantile_never_exceeds_max() {
-        let mut h = LatencyHistogram::new();
-        h.record_ns(1_000_003);
-        assert!(h.quantile_ns(1.0) <= 1_000_003);
-        assert!(h.quantile_ns(0.99) <= 1_000_003);
-    }
-
-    #[test]
-    fn bucket_mapping_is_monotone() {
-        let mut last = 0;
-        for ns in (0..10_000u64).chain((10_000..10_000_000).step_by(997)) {
-            let b = LatencyHistogram::bucket_of(ns);
-            assert!(b >= last || b == last, "bucket regressed at {ns}");
-            last = last.max(b);
-        }
-    }
-
-    #[test]
-    fn bucket_value_is_within_bucket() {
-        for ns in [0u64, 3, 17, 255, 1_000, 123_456, 9_999_999, u64::MAX / 2] {
-            let b = LatencyHistogram::bucket_of(ns);
-            let v = LatencyHistogram::bucket_value(b);
-            // The representative is the bucket's inclusive upper bound:
-            // it must not be smaller than the sample's bucket lower bound.
-            assert!(
-                LatencyHistogram::bucket_of(v) == b,
-                "value {v} for bucket {b} of sample {ns} maps to {}",
-                LatencyHistogram::bucket_of(v)
-            );
-            assert!(v >= ns || b == SUBBUCKETS * EXPONENTS - 1, "v={v} ns={ns}");
-        }
-    }
-
-    #[test]
-    fn merge_combines_counts() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record_ns(10);
-        b.record_ns(1_000);
-        b.record_ns(100_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 3);
-        assert_eq!(a.min_ns(), 10);
-        assert_eq!(a.max_ns(), 100_000);
-    }
-
-    #[test]
-    fn summary_formats() {
-        let mut h = LatencyHistogram::new();
-        for _ in 0..100 {
-            h.record_ns(2_000);
-        }
-        let s = h.summary();
-        assert_eq!(s.count, 100);
-        assert!((s.mean_us - 2.0).abs() < 0.2);
-        let text = s.to_string();
-        assert!(text.contains("p99"));
-    }
-
-    #[test]
-    fn record_duration_converts() {
-        let mut h = LatencyHistogram::new();
-        h.record(std::time::Duration::from_micros(5));
-        assert!(h.max_ns() >= 5_000);
-    }
-
-    #[test]
-    fn huge_values_clamp_to_last_bucket() {
-        let mut h = LatencyHistogram::new();
-        h.record_ns(u64::MAX);
-        assert_eq!(h.count(), 1);
-        assert!(h.quantile_ns(0.5) > 0);
-    }
-}
+pub use surge_observe::{LatencyHistogram, LatencySummary};

@@ -316,13 +316,62 @@ pub fn drive_incremental_with_sink<D>(
 where
     D: IncrementalDetector,
 {
+    drive_incremental_observed(
+        detector,
+        windows,
+        source,
+        slide_objects,
+        threads,
+        sink,
+        &surge_observe::Observe::off(),
+    )
+}
+
+/// [`drive_incremental_with_sink`] with registry probes: runtime counters
+/// under `incremental/*` (via [`QueryRuntime::observe`]) plus, after the
+/// run, the detector's counters and its sweep-cache accounting
+/// (`incremental/sweep_cache/epoch_hits` etc.) — whose invariant
+/// `epoch_hits + epoch_misses == searches` the accounting proptests check
+/// against the registry. No-op under [`surge_observe::Observe::off`];
+/// answers are bitwise identical either way (proptested).
+///
+/// # Panics
+///
+/// Panics if `slide_objects` is 0.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_incremental_observed<D>(
+    detector: &mut D,
+    windows: WindowConfig,
+    source: impl Iterator<Item = SpatialObject>,
+    slide_objects: usize,
+    threads: usize,
+    sink: &mut impl AnswerSink<Option<RegionAnswer>>,
+    obs: &surge_observe::Observe,
+) -> IncrementalReport
+where
+    D: IncrementalDetector,
+{
     let core = IncrementalCore { detector };
     let mut rt = QueryRuntime::new(core, windows, slide_objects, threads);
+    rt.observe(obs, "incremental");
     let mut answers = AnswerLog::new();
     rt.run(source, |_, flushed: Vec<RegionAnswer>| {
         answers.offer(flushed.first().copied(), sink);
     });
     let counters = *rt.counters();
+    let stats = rt.core().stats();
+    if obs.is_enabled() {
+        let cache = rt.core().detector.sweep_cache_stats();
+        obs.counter("incremental/searches").add(stats.searches);
+        obs.counter("incremental/sweep_cache/epoch_hits")
+            .add(cache.epoch_hits);
+        obs.counter("incremental/sweep_cache/epoch_misses")
+            .add(cache.epoch_misses);
+        obs.counter("incremental/sweep_cache/plan_builds")
+            .add(cache.plan_builds);
+        obs.counter("incremental/sweep_cache/plan_reuses")
+            .add(cache.plan_reuses);
+    }
     IncrementalReport {
         objects: counters.objects,
         events: counters.events,
@@ -330,7 +379,7 @@ where
         jobs: counters.jobs,
         max_jobs_per_slide: counters.max_jobs_per_slide,
         answers,
-        stats: rt.core().stats(),
+        stats,
     }
 }
 

@@ -19,6 +19,7 @@
 //! partial slide before the drain.
 
 use surge_core::{DetectorStats, Event, RegionAnswer, SpatialObject, WindowConfig};
+use surge_observe::{Counter, Flight, Observe, TraceEvent};
 
 use crate::lanes::ShardedWindowEngine;
 use crate::window::{EventBatch, SlidingWindowEngine};
@@ -108,6 +109,34 @@ pub struct RuntimeCounters {
     pub max_jobs_per_slide: u64,
 }
 
+/// Registry handles a [`QueryRuntime`] records through when observability
+/// is enabled. The default (disabled) probes are no-ops: recording is a
+/// branch on `None` the optimizer erases, and the observe-on/off
+/// differential proptests prove the enabled path is answer-invariant too.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeProbes {
+    objects: Counter,
+    events: Counter,
+    slides: Counter,
+    jobs: Counter,
+    flight: Flight,
+}
+
+impl RuntimeProbes {
+    /// Probes registered under `scope` (e.g. `"runtime"` or
+    /// `"serve/sub=3"`): counters `scope/objects`, `scope/events`,
+    /// `scope/slides`, `scope/jobs`, and the flight ring `scope`.
+    pub fn new(obs: &Observe, scope: &str) -> Self {
+        RuntimeProbes {
+            objects: obs.counter(&format!("{scope}/objects")),
+            events: obs.counter(&format!("{scope}/events")),
+            slides: obs.counter(&format!("{scope}/slides")),
+            jobs: obs.counter(&format!("{scope}/jobs")),
+            flight: obs.flight(scope),
+        }
+    }
+}
+
 /// One continuous query's execution state: a [`QueryCore`] fed by a
 /// [`WindowEngine`] at a fixed slide cadence.
 ///
@@ -123,6 +152,7 @@ pub struct QueryRuntime<C: QueryCore, E: WindowEngine = SlidingWindowEngine> {
     batch: EventBatch,
     in_slide: usize,
     counters: RuntimeCounters,
+    probes: RuntimeProbes,
 }
 
 impl<C: QueryCore> QueryRuntime<C> {
@@ -158,7 +188,14 @@ impl<C: QueryCore, E: WindowEngine> QueryRuntime<C, E> {
             batch: EventBatch::new(),
             in_slide: 0,
             counters: RuntimeCounters::default(),
+            probes: RuntimeProbes::default(),
         }
+    }
+
+    /// Attaches registry probes under `scope` (see [`RuntimeProbes::new`]).
+    /// A disabled [`Observe`] handle attaches no-op probes — the default.
+    pub fn observe(&mut self, obs: &Observe, scope: &str) {
+        self.probes = RuntimeProbes::new(obs, scope);
     }
 
     /// Pushes one arrival; flushes through `on_flush` if it completes a
@@ -175,6 +212,8 @@ impl<C: QueryCore, E: WindowEngine> QueryRuntime<C, E> {
         }
         self.counters.events += self.batch.len() as u64;
         self.counters.objects += 1;
+        self.probes.events.add(self.batch.len() as u64);
+        self.probes.objects.inc();
         self.in_slide += 1;
         if self.in_slide >= self.slide_objects {
             self.in_slide = 0;
@@ -196,6 +235,7 @@ impl<C: QueryCore, E: WindowEngine> QueryRuntime<C, E> {
             self.core.on_event(ev);
         }
         self.counters.events += self.batch.len() as u64;
+        self.probes.events.add(self.batch.len() as u64);
         self.flush_now(on_flush);
     }
 
@@ -213,11 +253,18 @@ impl<C: QueryCore, E: WindowEngine> QueryRuntime<C, E> {
     }
 
     fn flush_now(&mut self, on_flush: &mut impl FnMut(u64, Vec<RegionAnswer>)) {
-        let outcome = self.core.flush(self.threads);
         let seq = self.counters.slides;
+        self.probes.flight.record(TraceEvent::FlushStart { seq });
+        let outcome = self.core.flush(self.threads);
         self.counters.slides += 1;
         self.counters.jobs += outcome.swept;
         self.counters.max_jobs_per_slide = self.counters.max_jobs_per_slide.max(outcome.swept);
+        self.probes.slides.inc();
+        self.probes.jobs.add(outcome.swept);
+        self.probes.flight.record(TraceEvent::FlushEnd {
+            seq,
+            answers: outcome.answers.len() as u64,
+        });
         on_flush(seq, outcome.answers);
     }
 

@@ -31,6 +31,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration as WallDuration, Instant};
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 
@@ -38,6 +39,7 @@ use surge_core::{
     Event, ObjectId, RegionAnswer, ShardAnswer, ShardRunStats, ShardWorker, ShardWorkerStats,
     ShardedIngest, SpatialObject, Timestamp, WindowConfig,
 };
+use surge_observe::{Flight, Observe, TraceEvent};
 
 use crate::answers::{AnswerLog, AnswerSink, RetainAll};
 use crate::lanes::{LaneMerger, LaneStats, WindowLane};
@@ -47,6 +49,12 @@ use crate::window::EventBatch;
 /// channel overhead (each batch is one expansion/exchange round). Shared
 /// with the elastic driver ([`crate::elastic`]).
 pub(crate) const BATCH: usize = 256;
+
+/// How long a blocking mesh send may take before the backpressure watchdog
+/// notes it in the flight recorder (and dumps the rings once per run).
+/// Wall-clock gated, but it only ever *reports* — it never changes what the
+/// drivers compute, so the bitwise contract is untouched.
+pub(crate) const WATCHDOG_SEND: WallDuration = WallDuration::from_millis(250);
 
 /// What the driver sends each shard worker.
 enum LaneMsg {
@@ -179,8 +187,10 @@ fn shard_worker_loop<W: ShardWorker>(
     mut exchange: LaneExchange,
     rx: Receiver<LaneMsg>,
     tx: Sender<Option<ShardAnswer>>,
+    flight: Flight,
 ) -> (ShardWorkerStats, LaneStats) {
     let mut expanded = EventBatch::new();
+    let mut flush_seq = 0u64;
     for msg in rx.iter() {
         match msg {
             LaneMsg::Objects(objects) => {
@@ -196,7 +206,14 @@ fn shard_worker_loop<W: ShardWorker>(
                 exchange.exchange_apply(&expanded, &mut worker);
             }
             LaneMsg::Flush => {
-                tx.send(worker.flush()).expect("driver alive");
+                flight.record(TraceEvent::FlushStart { seq: flush_seq });
+                let best = worker.flush();
+                flight.record(TraceEvent::FlushEnd {
+                    seq: flush_seq,
+                    answers: best.is_some() as u64,
+                });
+                flush_seq += 1;
+                tx.send(best).expect("driver alive");
             }
         }
     }
@@ -243,7 +260,40 @@ pub fn drive_sharded_with_sink<D: ShardedIngest>(
     slide_objects: usize,
     sink: &mut impl AnswerSink<Option<RegionAnswer>>,
 ) -> ShardedReport {
+    drive_sharded_observed(
+        detector,
+        windows,
+        source,
+        slide_objects,
+        sink,
+        &Observe::off(),
+    )
+}
+
+/// [`drive_sharded_with_sink`] with registry probes: driver counters under
+/// `sharded/*`, per-shard sweep/touch counters (`sharded/shard=N/sweeps`),
+/// per-lane expansion counters, a flight ring per shard worker plus one
+/// for the driver, a mesh-backpressure watchdog that notes slow channel
+/// sends and dumps the rings (reporting only — answers stay bitwise
+/// identical to the unobserved run, proptested), and a panic-time ring
+/// dump.
+///
+/// # Panics
+///
+/// Panics if `slide_objects` is 0, or propagates a worker panic.
+pub fn drive_sharded_observed<D: ShardedIngest>(
+    detector: &mut D,
+    windows: WindowConfig,
+    source: impl Iterator<Item = SpatialObject>,
+    slide_objects: usize,
+    sink: &mut impl AnswerSink<Option<RegionAnswer>>,
+    obs: &Observe,
+) -> ShardedReport {
     assert!(slide_objects > 0, "slide must contain at least one object");
+    let enabled = obs.is_enabled();
+    let driver_flight = obs.flight("sharded/driver");
+    let _panic_dump = obs.panic_dump_guard("drive_sharded");
+    let watchdog_fired = std::cell::Cell::new(false);
     let region = detector.region_size();
     let mut run = ShardRunStats::default();
     let mut objects = 0u64;
@@ -296,34 +346,62 @@ pub fn drive_sharded_with_sink<D: ShardedIngest>(
                 merger: LaneMerger::new(),
                 round: Vec::with_capacity(n),
             };
-            handles.push(scope.spawn(move || shard_worker_loop(worker, lane, exchange, rx, rtx)));
+            let flight = obs.flight(&format!("sharded/shard={idx}"));
+            handles.push(
+                scope.spawn(move || shard_worker_loop(worker, lane, exchange, rx, rtx, flight)),
+            );
         }
         drop(mesh_txs); // workers hold the only senders now
 
-        let broadcast = |batch: &mut Vec<SpatialObject>| {
+        let broadcast = |batch: &mut Vec<SpatialObject>, seq: u64| {
             if !batch.is_empty() {
                 // One shared allocation per batch; each worker holds an Arc,
                 // not a deep copy of the objects.
                 let shared: Arc<[SpatialObject]> = std::mem::take(batch).into();
-                for tx in &txs {
-                    tx.send(LaneMsg::Objects(Arc::clone(&shared)))
-                        .expect("worker alive");
+                for (shard, tx) in txs.iter().enumerate() {
+                    if enabled {
+                        // Backpressure watchdog: time the blocking mesh send.
+                        // A slow one is noted in the driver ring and the
+                        // rings are dumped once per run — reporting only,
+                        // the send itself is the same blocking call.
+                        let start = Instant::now();
+                        tx.send(LaneMsg::Objects(Arc::clone(&shared)))
+                            .expect("worker alive");
+                        if start.elapsed() >= WATCHDOG_SEND {
+                            driver_flight.record(TraceEvent::Backpressure {
+                                seq,
+                                shard: shard as u32,
+                            });
+                            if !watchdog_fired.replace(true) {
+                                eprintln!("{}", obs.trace_dump());
+                            }
+                        }
+                    } else {
+                        tx.send(LaneMsg::Objects(Arc::clone(&shared)))
+                            .expect("worker alive");
+                    }
                 }
             }
         };
-        let flush = |batch: &mut Vec<SpatialObject>| -> Option<RegionAnswer> {
-            broadcast(batch);
+        let flush = |batch: &mut Vec<SpatialObject>, seq: u64| -> Option<RegionAnswer> {
+            broadcast(batch, seq);
+            driver_flight.record(TraceEvent::FlushStart { seq });
             for tx in &txs {
                 tx.send(LaneMsg::Flush).expect("worker alive");
             }
             // Deterministic merge: the shard bests are keyed by
             // (score, bound, cell), a total order independent of thread
             // timing and shard count.
-            result_rxs
+            let best = result_rxs
                 .iter()
                 .filter_map(|rx| rx.recv().expect("worker alive"))
                 .max_by_key(ShardAnswer::merge_key)
-                .map(|b| b.answer(region))
+                .map(|b| b.answer(region));
+            driver_flight.record(TraceEvent::FlushEnd {
+                seq,
+                answers: best.is_some() as u64,
+            });
+            best
         };
 
         let mut batch: Vec<SpatialObject> = Vec::with_capacity(BATCH);
@@ -333,30 +411,30 @@ pub fn drive_sharded_with_sink<D: ShardedIngest>(
             validate_arrival_order(&mut last_arrival, &obj);
             batch.push(obj);
             if batch.len() >= BATCH {
-                broadcast(&mut batch);
+                broadcast(&mut batch, slides);
             }
             objects += 1;
             in_slide += 1;
             if in_slide >= slide_objects {
-                answers.offer(flush(&mut batch), sink);
+                answers.offer(flush(&mut batch, slides), sink);
                 slides += 1;
                 in_slide = 0;
             }
         }
         if in_slide > 0 {
-            answers.offer(flush(&mut batch), sink);
+            answers.offer(flush(&mut batch, slides), sink);
             slides += 1;
         }
         // Terminal drain + flush, mirroring the sequential slide loop. Any
         // buffered objects must reach the workers before the lanes drain
         // (a Drain advances the lane clocks to the horizon, after which
         // pushing an older arrival would panic).
-        broadcast(&mut batch);
+        broadcast(&mut batch, slides);
         for tx in &txs {
             tx.send(LaneMsg::Drain).expect("worker alive");
         }
         // The terminal answer is recorded before the sink can release it.
-        let ans = flush(&mut batch);
+        let ans = flush(&mut batch, slides);
         final_answer = ans;
         answers.offer(ans, sink);
         slides += 1;
@@ -376,6 +454,28 @@ pub fn drive_sharded_with_sink<D: ShardedIngest>(
     run.new_events = lane_stats.iter().map(|s| s.arrivals).sum();
     run.searches = shard_stats.iter().map(|s| s.sweeps).sum();
     detector.absorb_shard_run(run);
+
+    if enabled {
+        // Published after the join from the authoritative per-worker stats,
+        // so registry totals equal the legacy report counters exactly
+        // (conservation proptested in `tests/observe_differential.rs`).
+        obs.counter("sharded/objects").add(objects);
+        obs.counter("sharded/events").add(run.events);
+        obs.counter("sharded/slides").add(slides);
+        obs.counter("sharded/sweeps").add(run.searches);
+        for (i, s) in shard_stats.iter().enumerate() {
+            obs.counter(&format!("sharded/shard={i}/sweeps"))
+                .add(s.sweeps);
+            obs.counter(&format!("sharded/shard={i}/cell_touches"))
+                .add(s.cell_touches);
+        }
+        for (i, l) in lane_stats.iter().enumerate() {
+            obs.counter(&format!("sharded/lane={i}/arrivals"))
+                .add(l.arrivals);
+            obs.counter(&format!("sharded/lane={i}/transitions"))
+                .add(l.transitions);
+        }
+    }
 
     ShardedReport {
         objects,

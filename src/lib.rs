@@ -48,6 +48,11 @@
 //! * [`approx`] — GAP-SURGE and MGAP-SURGE with the `(1−α)/4` guarantee.
 //! * [`baseline`] — the adapted aG2 competitor.
 //! * [`topk`] — kCCS, kGAPS, kMGAPS and the naive greedy top-k.
+//! * [`observe`] — the observability layer: a metrics registry of
+//!   counters/gauges/latency histograms with JSON + Prometheus export, and
+//!   per-worker flight recorders of logical-time trace events. Provably
+//!   non-invasive: a disabled [`observe::Observe`] handle compiles to
+//!   no-ops, and an enabled one never perturbs answer bits.
 //! * [`io`] — CSV/binary stream codecs, event-log recording/replay, GeoJSON
 //!   export of detections, and the checksummed snapshot container.
 //! * [`checkpoint`] — durable state: periodic logical snapshots + a
@@ -72,6 +77,7 @@ pub use surge_checkpoint as checkpoint;
 pub use surge_core as core;
 pub use surge_exact as exact;
 pub use surge_io as io;
+pub use surge_observe as observe;
 pub use surge_roadnet as roadnet;
 pub use surge_serve as serve;
 pub use surge_stream as stream;
@@ -95,6 +101,7 @@ pub mod prelude {
     pub use surge_io::{
         read_events_from, read_objects_from, write_events_to, write_objects_to, LabelledAnswer,
     };
+    pub use surge_observe::{Observe, RegistrySnapshot, TraceDump, TraceEvent};
     pub use surge_roadnet::{
         grid_city, GridCityConfig, NetBallOracle, NetGapSurge, NetMgapSurge, RoadNetwork,
     };
